@@ -1,0 +1,313 @@
+//! Demand-driven attribute evaluation with forwarding.
+//!
+//! An executable core of the Silver semantics the specifications in
+//! [`crate::spec`] describe: synthesized attributes are computed by
+//! equations attached to productions, inherited attributes flow down from
+//! parent equations, and a production with no equation for a demanded
+//! synthesized attribute *forwards* the demand to a tree it constructs —
+//! Silver's mechanism for giving extension constructs host-language
+//! semantics via their translation, and the basis of the higher-order
+//! attributes the §V transformations use.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Dynamic attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+    /// List of values.
+    List(Vec<Value>),
+    /// A tree-valued (higher-order) attribute.
+    Tree(Tree),
+}
+
+impl Value {
+    /// Integer content, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String content, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Generic syntax tree the evaluator decorates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tree {
+    /// Production name.
+    pub production: String,
+    /// Child subtrees.
+    pub children: Vec<Tree>,
+    /// Lexeme for leaf productions.
+    pub lexeme: Option<String>,
+}
+
+impl Tree {
+    /// Interior node.
+    pub fn node(production: &str, children: Vec<Tree>) -> Self {
+        Tree {
+            production: production.to_string(),
+            children,
+            lexeme: None,
+        }
+    }
+
+    /// Leaf with a lexeme.
+    pub fn leaf(production: &str, lexeme: &str) -> Self {
+        Tree {
+            production: production.to_string(),
+            children: Vec::new(),
+            lexeme: Some(lexeme.to_string()),
+        }
+    }
+}
+
+/// Attribute-evaluation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// No equation and no forward for a demanded synthesized attribute.
+    MissingEquation {
+        /// Production demanded on.
+        production: String,
+        /// Attribute demanded.
+        attr: String,
+    },
+    /// An inherited attribute was demanded but never supplied.
+    MissingInherited {
+        /// Production demanding it.
+        production: String,
+        /// Attribute name.
+        attr: String,
+    },
+    /// An equation failed (type mismatch, missing lexeme, ...).
+    Rule(String),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::MissingEquation { production, attr } => {
+                write!(f, "no equation or forward for '{attr}' on production '{production}'")
+            }
+            EvalError::MissingInherited { production, attr } => {
+                write!(f, "inherited attribute '{attr}' not supplied to '{production}'")
+            }
+            EvalError::Rule(msg) => write!(f, "equation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluation context handed to equations.
+pub struct Ctx<'a> {
+    eval: &'a AgEvaluator,
+    tree: &'a Tree,
+    inherited: &'a HashMap<String, Value>,
+}
+
+impl Ctx<'_> {
+    /// Number of children.
+    pub fn child_count(&self) -> usize {
+        self.tree.children.len()
+    }
+
+    /// Lexeme of this node (leaf productions).
+    pub fn lexeme(&self) -> Result<&str, EvalError> {
+        self.tree
+            .lexeme
+            .as_deref()
+            .ok_or_else(|| EvalError::Rule(format!("production '{}' has no lexeme", self.tree.production)))
+    }
+
+    /// Demand a synthesized attribute on child `i`. Inherited attributes
+    /// for the child are computed from this production's child equations.
+    pub fn child(&self, i: usize, attr: &str) -> Result<Value, EvalError> {
+        let child = self.tree.children.get(i).ok_or_else(|| {
+            EvalError::Rule(format!(
+                "production '{}' has no child {i}",
+                self.tree.production
+            ))
+        })?;
+        let child_inh = self.eval.child_inherited(self.tree, i, self.inherited)?;
+        self.eval.demand(child, &child_inh, attr)
+    }
+
+    /// Read an inherited attribute on this node.
+    pub fn inherited(&self, attr: &str) -> Result<Value, EvalError> {
+        self.inherited
+            .get(attr)
+            .cloned()
+            .ok_or_else(|| EvalError::MissingInherited {
+                production: self.tree.production.clone(),
+                attr: attr.to_string(),
+            })
+    }
+
+    /// The subtree itself (for higher-order rules that manipulate trees,
+    /// like the §V transformations).
+    pub fn subtree(&self, i: usize) -> Result<&Tree, EvalError> {
+        self.tree.children.get(i).ok_or_else(|| {
+            EvalError::Rule(format!(
+                "production '{}' has no child {i}",
+                self.tree.production
+            ))
+        })
+    }
+}
+
+type SynRule = Rc<dyn Fn(&Ctx) -> Result<Value, EvalError>>;
+type InhRule = Rc<dyn Fn(&Ctx) -> Result<Value, EvalError>>;
+type FwdRule = Rc<dyn Fn(&Ctx) -> Result<Tree, EvalError>>;
+
+/// Demand-driven attribute evaluator.
+///
+/// ```
+/// use cmm_ag::{AgEvaluator, Tree, Value};
+/// let mut ag = AgEvaluator::new();
+/// ag.syn("num", "value", |ctx| Ok(Value::Int(ctx.lexeme()?.parse().unwrap())));
+/// ag.syn("add", "value", |ctx| {
+///     let (a, b) = (ctx.child(0, "value")?, ctx.child(1, "value")?);
+///     Ok(Value::Int(a.as_int().unwrap() + b.as_int().unwrap()))
+/// });
+/// let t = Tree::node("add", vec![Tree::leaf("num", "2"), Tree::leaf("num", "3")]);
+/// assert_eq!(ag.synthesized(&t, "value").unwrap(), Value::Int(5));
+/// ```
+#[derive(Default)]
+pub struct AgEvaluator {
+    syn: HashMap<(String, String), SynRule>,
+    inh: HashMap<(String, String, usize), InhRule>,
+    forwards: HashMap<String, FwdRule>,
+}
+
+impl AgEvaluator {
+    /// New empty evaluator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a synthesized-attribute equation.
+    pub fn syn(
+        &mut self,
+        production: &str,
+        attr: &str,
+        rule: impl Fn(&Ctx) -> Result<Value, EvalError> + 'static,
+    ) {
+        self.syn
+            .insert((production.to_string(), attr.to_string()), Rc::new(rule));
+    }
+
+    /// Register an inherited-attribute equation for child `i`.
+    pub fn inh(
+        &mut self,
+        production: &str,
+        attr: &str,
+        child: usize,
+        rule: impl Fn(&Ctx) -> Result<Value, EvalError> + 'static,
+    ) {
+        self.inh.insert(
+            (production.to_string(), attr.to_string(), child),
+            Rc::new(rule),
+        );
+    }
+
+    /// Register a forwarding rule: when a synthesized attribute is demanded
+    /// on `production` without an explicit equation, it is demanded on the
+    /// constructed forward tree instead (inherited attributes pass through).
+    pub fn forward(
+        &mut self,
+        production: &str,
+        rule: impl Fn(&Ctx) -> Result<Tree, EvalError> + 'static,
+    ) {
+        self.forwards.insert(production.to_string(), Rc::new(rule));
+    }
+
+    /// Demand a synthesized attribute on the root of `tree` with no
+    /// inherited context.
+    pub fn synthesized(&self, tree: &Tree, attr: &str) -> Result<Value, EvalError> {
+        self.demand(tree, &HashMap::new(), attr)
+    }
+
+    /// Demand with an explicit inherited environment.
+    pub fn synthesized_with(
+        &self,
+        tree: &Tree,
+        inherited: &HashMap<String, Value>,
+        attr: &str,
+    ) -> Result<Value, EvalError> {
+        self.demand(tree, inherited, attr)
+    }
+
+    fn demand(
+        &self,
+        tree: &Tree,
+        inherited: &HashMap<String, Value>,
+        attr: &str,
+    ) -> Result<Value, EvalError> {
+        let key = (tree.production.clone(), attr.to_string());
+        if let Some(rule) = self.syn.get(&key) {
+            let ctx = Ctx {
+                eval: self,
+                tree,
+                inherited,
+            };
+            return rule(&ctx);
+        }
+        if let Some(fwd) = self.forwards.get(&tree.production) {
+            let ctx = Ctx {
+                eval: self,
+                tree,
+                inherited,
+            };
+            let target = fwd(&ctx)?;
+            // Forwarding: inherited attributes are passed through unchanged.
+            return self.demand(&target, inherited, attr);
+        }
+        Err(EvalError::MissingEquation {
+            production: tree.production.clone(),
+            attr: attr.to_string(),
+        })
+    }
+
+    fn child_inherited(
+        &self,
+        tree: &Tree,
+        child: usize,
+        inherited: &HashMap<String, Value>,
+    ) -> Result<HashMap<String, Value>, EvalError> {
+        let mut env = HashMap::new();
+        for ((prod, attr, idx), rule) in &self.inh {
+            if prod == &tree.production && *idx == child {
+                let ctx = Ctx {
+                    eval: self,
+                    tree,
+                    inherited,
+                };
+                env.insert(attr.clone(), rule(&ctx)?);
+            }
+        }
+        // Auto-copy: inherited attributes with no explicit child equation
+        // flow down unchanged (Silver's autocopy convention, which the env
+        // threading of the real translator also uses).
+        for (attr, value) in inherited {
+            env.entry(attr.clone()).or_insert_with(|| value.clone());
+        }
+        Ok(env)
+    }
+}

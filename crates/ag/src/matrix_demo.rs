@@ -1,0 +1,156 @@
+//! Executable demonstration of §VI-B on the paper's own constructs: a
+//! miniature matrix-extension AG evaluated by [`crate::AgEvaluator`].
+//!
+//! The host module defines `typeof` on an expression language; the matrix
+//! module adds a `with`-genarray construct that (a) performs the paper's
+//! arity check ("the number of expressions in both the upper bound and
+//! lower bound should match the number of Id's provided") via an explicit
+//! `errors` equation, and (b) obtains the rest of its host semantics by
+//! *forwarding* to its translation — exactly the division of labour the
+//! paper describes for extension constructs.
+//!
+//! This module is compiled only for tests; it exists to show the
+//! specification layer ([`crate::spec`]) and the execution layer
+//! ([`crate::eval`]) describing the same semantics.
+
+use crate::eval::{AgEvaluator, EvalError, Tree, Value};
+
+/// Build the demo evaluator: host `num`/`add`/`mat` productions plus the
+/// extension's `with_genarray` production.
+pub fn build() -> AgEvaluator {
+    let mut ag = AgEvaluator::new();
+
+    // --- host module -----------------------------------------------------
+    ag.syn("num", "typeof", |_| Ok(Value::Str("int".into())));
+    ag.syn("num", "errors", |_| Ok(Value::List(vec![])));
+    ag.syn("add", "typeof", |ctx| {
+        let (a, b) = (ctx.child(0, "typeof")?, ctx.child(1, "typeof")?);
+        if a == b {
+            Ok(a)
+        } else {
+            Ok(Value::Str("<error>".into()))
+        }
+    });
+    ag.syn("add", "errors", |ctx| {
+        let (Value::List(mut a), Value::List(b)) =
+            (ctx.child(0, "errors")?, ctx.child(1, "errors")?)
+        else {
+            return Err(EvalError::Rule("errors must be lists".into()));
+        };
+        a.extend(b);
+        if ctx.child(0, "typeof")? != ctx.child(1, "typeof")? {
+            a.push(Value::Str("operands of + differ in type".into()));
+        }
+        Ok(Value::List(a))
+    });
+    // A rank-annotated matrix literal: `mat` leaf whose lexeme is the rank.
+    ag.syn("mat", "typeof", |ctx| {
+        Ok(Value::Str(format!("Matrix<{}>", ctx.lexeme()?)))
+    });
+    ag.syn("mat", "errors", |_| Ok(Value::List(vec![])));
+
+    // --- matrix-extension module ------------------------------------------
+    // with_genarray(lowerBounds, vars, upperBounds, body):
+    // children 0..2 are `bounds` leaves whose lexemes are counts; child 3
+    // is the body expression.
+    //
+    // Extension-specific analysis: the §III-A4 arity check, an explicit
+    // `errors` equation (overriding what forwarding would give).
+    ag.syn("with_genarray", "errors", |ctx| {
+        let lo: i64 = ctx.subtree(0)?.lexeme.as_deref().unwrap_or("0").parse().unwrap_or(-1);
+        let vars: i64 = ctx.subtree(1)?.lexeme.as_deref().unwrap_or("0").parse().unwrap_or(-1);
+        let hi: i64 = ctx.subtree(2)?.lexeme.as_deref().unwrap_or("0").parse().unwrap_or(-1);
+        let mut errs = match ctx.child(3, "errors")? {
+            Value::List(l) => l,
+            _ => vec![],
+        };
+        if lo != vars || hi != vars {
+            errs.push(Value::Str(format!(
+                "with-loop generator arity mismatch: {lo} lower bounds, {vars} \
+                 variables, {hi} upper bounds"
+            )));
+        }
+        Ok(Value::List(errs))
+    });
+    // Host attributes (typeof here) come from the forward: the construct's
+    // translation is a matrix literal of the generator's rank.
+    ag.forward("with_genarray", |ctx| {
+        let vars = ctx.subtree(1)?.lexeme.clone().unwrap_or_default();
+        Ok(Tree::leaf("mat", &vars))
+    });
+
+    ag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_loop(lo: &str, vars: &str, hi: &str) -> Tree {
+        Tree::node(
+            "with_genarray",
+            vec![
+                Tree::leaf("bounds", lo),
+                Tree::leaf("bounds", vars),
+                Tree::leaf("bounds", hi),
+                Tree::node(
+                    "add",
+                    vec![Tree::leaf("num", "1"), Tree::leaf("num", "2")],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn typeof_comes_from_forwarding() {
+        let ag = build();
+        let t = with_loop("2", "2", "2");
+        // No explicit typeof equation on with_genarray: the demand
+        // forwards to its translation `mat<2>`.
+        assert_eq!(
+            ag.synthesized(&t, "typeof").unwrap(),
+            Value::Str("Matrix<2>".into())
+        );
+    }
+
+    #[test]
+    fn arity_check_is_an_explicit_extension_equation() {
+        let ag = build();
+        let ok = with_loop("2", "2", "2");
+        assert_eq!(ag.synthesized(&ok, "errors").unwrap(), Value::List(vec![]));
+
+        let bad = with_loop("2", "1", "2");
+        let Value::List(errs) = ag.synthesized(&bad, "errors").unwrap() else {
+            panic!("errors must be a list");
+        };
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0]
+            .as_str()
+            .unwrap()
+            .contains("arity mismatch: 2 lower bounds, 1 variables, 2 upper bounds"));
+    }
+
+    #[test]
+    fn body_errors_propagate_through_the_extension() {
+        let ag = build();
+        // Body adds an int to a matrix: host error collected by the
+        // extension's errors equation.
+        let t = Tree::node(
+            "with_genarray",
+            vec![
+                Tree::leaf("bounds", "1"),
+                Tree::leaf("bounds", "1"),
+                Tree::leaf("bounds", "1"),
+                Tree::node(
+                    "add",
+                    vec![Tree::leaf("num", "1"), Tree::leaf("mat", "2")],
+                ),
+            ],
+        );
+        let Value::List(errs) = ag.synthesized(&t, "errors").unwrap() else {
+            panic!()
+        };
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].as_str().unwrap().contains("differ in type"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Diagnostics reported by semantic analysis.
+
+use crate::Span;
+use std::fmt;
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fatal: translation does not proceed.
+    Error,
+    /// Non-fatal advice.
+    Warning,
+}
+
+/// One diagnostic message with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diag {
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable message.
+    pub message: String,
+    /// Source position.
+    pub span: Span,
+}
+
+impl Diag {
+    /// Construct an error diagnostic.
+    pub fn error(span: Span, message: impl Into<String>) -> Self {
+        Diag {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Construct a warning diagnostic.
+    pub fn warning(span: Span, message: impl Into<String>) -> Self {
+        Diag {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{}: {sev}: {}", self.span, self.message)
+    }
+}

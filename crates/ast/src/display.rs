@@ -1,0 +1,246 @@
+//! Pretty-printer: AST back to extended-C surface syntax (used by tests
+//! and diagnostics; not guaranteed token-identical to the input).
+
+use crate::*;
+use std::fmt::Write;
+
+/// Render a program as extended-C source.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for f in &p.functions {
+        print_function(f, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+fn print_function(f: &Function, out: &mut String) {
+    let _ = write!(out, "{} {}(", f.ret, f.name);
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{} {}", p.ty, p.name);
+    }
+    out.push_str(") ");
+    print_block(&f.body, 0, out);
+}
+
+fn indent(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(b: &Block, level: usize, out: &mut String) {
+    out.push_str("{\n");
+    for s in &b.stmts {
+        print_stmt(s, level + 1, out);
+    }
+    indent(level, out);
+    out.push_str("}\n");
+}
+
+fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match s {
+        Stmt::Decl { ty, name, init, .. } => {
+            let _ = write!(out, "{ty} {name}");
+            if let Some(e) = init {
+                let _ = write!(out, " = {}", print_expr(e));
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Assign {
+            target,
+            value,
+            transforms,
+            ..
+        } => {
+            let t = match target {
+                LValue::Var(n, _) => n.clone(),
+                LValue::Index { base, indices, .. } => {
+                    format!("{base}[{}]", print_indices(indices))
+                }
+                LValue::Tuple(names, _) => format!("({})", names.join(", ")),
+            };
+            let _ = write!(out, "{t} = {}", print_expr(value));
+            if !transforms.is_empty() {
+                out.push_str(" transform ");
+                let parts: Vec<String> = transforms.iter().map(print_transform).collect();
+                out.push_str(&parts.join(". "));
+            }
+            out.push_str(";\n");
+        }
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            ..
+        } => {
+            let _ = write!(out, "if ({}) ", print_expr(cond));
+            print_block(then_blk, level, out);
+            if let Some(e) = else_blk {
+                indent(level, out);
+                out.push_str("else ");
+                print_block(e, level, out);
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            let _ = write!(out, "while ({}) ", print_expr(cond));
+            print_block(body, level, out);
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            let mut i = String::new();
+            print_stmt(init, 0, &mut i);
+            let mut st = String::new();
+            print_stmt(step, 0, &mut st);
+            let trim = |s: &str| s.trim().trim_end_matches(';').to_string();
+            let _ = write!(out, "for ({}; {}; {}) ", trim(&i), print_expr(cond), trim(&st));
+            print_block(body, level, out);
+        }
+        Stmt::Return { value, .. } => {
+            match value {
+                Some(e) => {
+                    let _ = write!(out, "return {};\n", print_expr(e));
+                }
+                None => out.push_str("return;\n"),
+            };
+        }
+        Stmt::ExprStmt { expr, .. } => {
+            let _ = write!(out, "{};\n", print_expr(expr));
+        }
+        Stmt::Nested(b) => print_block(b, level, out),
+        Stmt::Spawn { target, call, .. } => {
+            match target {
+                Some(t) => {
+                    let _ = write!(out, "spawn {t} = {};\n", print_expr(call));
+                }
+                None => {
+                    let _ = write!(out, "spawn {};\n", print_expr(call));
+                }
+            };
+        }
+        Stmt::Sync { .. } => out.push_str("sync;\n"),
+    }
+}
+
+fn print_transform(t: &TransformSpec) -> String {
+    match t {
+        TransformSpec::Split {
+            index,
+            by,
+            inner,
+            outer,
+        } => format!("split {index} by {by}, {inner}, {outer}"),
+        TransformSpec::Vectorize { index } => format!("vectorize {index}"),
+        TransformSpec::Parallelize { index } => format!("parallelize {index}"),
+        TransformSpec::Reorder { order } => format!("reorder {}", order.join(", ")),
+        TransformSpec::Interchange { a, b } => format!("interchange {a}, {b}"),
+        TransformSpec::Unroll { index, by } => format!("unroll {index} by {by}"),
+        TransformSpec::Tile { i, j, bi, bj } => format!("tile {i}, {j} by {bi}, {bj}"),
+    }
+}
+
+fn print_indices(ixs: &[IndexExpr]) -> String {
+    ixs.iter()
+        .map(|ix| match ix {
+            IndexExpr::At(e) => print_expr(e),
+            IndexExpr::Range(a, b) => format!("{} : {}", print_expr(a), print_expr(b)),
+            IndexExpr::All => ":".to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Render an expression.
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::IntLit(v, _) => v.to_string(),
+        Expr::FloatLit(v, _) => {
+            if v.fract() == 0.0 {
+                format!("{v:.1}")
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::BoolLit(v, _) => v.to_string(),
+        Expr::StrLit(s, _) => format!("{s:?}"),
+        Expr::Var(n, _) => n.clone(),
+        Expr::Unary { op, operand, .. } => {
+            let o = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            format!("{o}({})", print_expr(operand))
+        }
+        Expr::Binary { op, left, right, .. } => {
+            let sym = if *op == BinOp::ElemMul { ".*" } else { op.c_symbol() };
+            format!("({} {sym} {})", print_expr(left), print_expr(right))
+        }
+        Expr::Call { name, args, .. } => {
+            let a: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{name}({})", a.join(", "))
+        }
+        Expr::Cast { ty, expr, .. } => format!("({ty})({})", print_expr(expr)),
+        Expr::Index { base, indices, .. } => {
+            format!("{}[{}]", print_expr(base), print_indices(indices))
+        }
+        Expr::End(_) => "end".to_string(),
+        Expr::RangeVec { lo, hi, .. } => {
+            format!("({} :: {})", print_expr(lo), print_expr(hi))
+        }
+        Expr::Tuple(es, _) => {
+            let a: Vec<String> = es.iter().map(print_expr).collect();
+            format!("({})", a.join(", "))
+        }
+        Expr::With { generator, op, .. } => {
+            let lo: Vec<String> = generator.lower.iter().map(print_expr).collect();
+            let hi: Vec<String> = generator.upper.iter().map(print_expr).collect();
+            let cmp = if generator.upper_inclusive { "<=" } else { "<" };
+            let opstr = match op {
+                WithOp::Genarray { shape, body } => {
+                    let sh: Vec<String> = shape.iter().map(print_expr).collect();
+                    format!("genarray([{}], {})", sh.join(", "), print_expr(body))
+                }
+                WithOp::Fold { op, base, body } => {
+                    let o = match op {
+                        FoldKind::Add => "+",
+                        FoldKind::Mul => "*",
+                        FoldKind::Max => "max",
+                        FoldKind::Min => "min",
+                    };
+                    format!("fold({o}, {}, {})", print_expr(base), print_expr(body))
+                }
+                WithOp::Modarray { src, body } => {
+                    format!("modarray({}, {})", print_expr(src), print_expr(body))
+                }
+            };
+            format!(
+                "with ([{}] <= [{}] {cmp} [{}]) {opstr}",
+                lo.join(", "),
+                generator.vars.join(", "),
+                hi.join(", ")
+            )
+        }
+        Expr::MatrixMap {
+            func, matrix, dims, ..
+        } => {
+            let d: Vec<String> = dims.iter().map(|d| d.to_string()).collect();
+            format!("matrixMap({func}, {}, [{}])", print_expr(matrix), d.join(", "))
+        }
+        Expr::Init { ty, dims, .. } => {
+            let d: Vec<String> = dims.iter().map(print_expr).collect();
+            format!("init({ty}, {})", d.join(", "))
+        }
+        Expr::RcAlloc { elem, len, .. } => {
+            format!("rcAlloc({}, {})", elem.keyword(), print_expr(len))
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The extended type system.
+
+use std::fmt;
+
+/// Matrix element kinds — "matrices can only contain integers, booleans,
+/// or floating point numbers" (§III-A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElemKind {
+    /// 32-bit `int`.
+    Int,
+    /// 32-bit `float`.
+    Float,
+    /// `bool`.
+    Bool,
+}
+
+impl ElemKind {
+    /// Source keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ElemKind::Int => "int",
+            ElemKind::Float => "float",
+            ElemKind::Bool => "bool",
+        }
+    }
+
+    /// The scalar type of this element kind.
+    pub fn scalar(self) -> Type {
+        match self {
+            ElemKind::Int => Type::Int,
+            ElemKind::Float => Type::Float,
+            ElemKind::Bool => Type::Bool,
+        }
+    }
+}
+
+/// Types of extended CMINUS.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// `int`.
+    Int,
+    /// `float`.
+    Float,
+    /// `bool`.
+    Bool,
+    /// `void` (function returns only).
+    Void,
+    /// String literal type (file names).
+    Str,
+    /// `[ext-matrix]` `Matrix elem <rank>`.
+    Matrix(ElemKind, u8),
+    /// `[ext-tuples]` `(T1, ..., Tn)`.
+    Tuple(Vec<Type>),
+    /// `[ext-rcptr]` reference-counted buffer of an element kind.
+    Rc(ElemKind),
+    /// Error recovery type: produced after a reported type error so
+    /// checking can continue; unifies with everything.
+    Error,
+}
+
+impl Type {
+    /// Whether this is a numeric scalar (`int` or `float`).
+    pub fn is_numeric_scalar(&self) -> bool {
+        matches!(self, Type::Int | Type::Float)
+    }
+
+    /// Whether this is a matrix type; returns element kind and rank.
+    pub fn as_matrix(&self) -> Option<(ElemKind, u8)> {
+        match self {
+            Type::Matrix(e, r) => Some((*e, *r)),
+            _ => None,
+        }
+    }
+
+    /// Element kind of a scalar type.
+    pub fn as_elem(&self) -> Option<ElemKind> {
+        match self {
+            Type::Int => Some(ElemKind::Int),
+            Type::Float => Some(ElemKind::Float),
+            Type::Bool => Some(ElemKind::Bool),
+            _ => None,
+        }
+    }
+
+    /// Whether `self` accepts a value of `other` (identity, plus implicit
+    /// int→float promotion on scalars, plus the error type).
+    pub fn accepts(&self, other: &Type) -> bool {
+        self == other
+            || matches!(self, Type::Error)
+            || matches!(other, Type::Error)
+            || (matches!(self, Type::Float) && matches!(other, Type::Int))
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Float => write!(f, "float"),
+            Type::Bool => write!(f, "bool"),
+            Type::Void => write!(f, "void"),
+            Type::Str => write!(f, "string"),
+            Type::Matrix(e, r) => write!(f, "Matrix {} <{r}>", e.keyword()),
+            Type::Tuple(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            Type::Rc(e) => write!(f, "rc<{}>", e.keyword()),
+            Type::Error => write!(f, "<error>"),
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Experiment E10 — allocator behaviour under matrix churn (§III-C):
+//! the size-class recycling pool vs the system allocator, sequentially
+//! and under concurrent allocation from the fork-join pool (the heap
+//! contention the paper's discussion of malloc arenas is about).
+
+use cmm_bench::config;
+use cmm_forkjoin::ForkJoinPool;
+use cmm_rc::{reset_pool, set_pool_enabled, RcBuf};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn churn(rounds: usize, size: usize) {
+    for i in 0..rounds {
+        let b = RcBuf::new(size + (i % 3), i as f32);
+        black_box(b.as_slice()[0]);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alloc_sequential_churn");
+    g.bench_function("pool_recycler", |b| {
+        set_pool_enabled(true);
+        reset_pool();
+        b.iter(|| churn(200, 1024));
+    });
+    g.bench_function("system_malloc", |b| {
+        set_pool_enabled(false);
+        b.iter(|| churn(200, 1024));
+        set_pool_enabled(true);
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("alloc_concurrent_churn");
+    let pool = ForkJoinPool::new(2);
+    g.bench_function("pool_recycler_t2", |b| {
+        set_pool_enabled(true);
+        reset_pool();
+        b.iter(|| {
+            pool.run(|_tid, _n| churn(100, 1024));
+        });
+    });
+    g.bench_function("system_malloc_t2", |b| {
+        set_pool_enabled(false);
+        b.iter(|| {
+            pool.run(|_tid, _n| churn(100, 1024));
+        });
+        set_pool_enabled(true);
+    });
+    g.finish();
+
+    // Matrix-sized blocks: the "relatively infrequent and large"
+    // allocations of §III-C.
+    let mut g = c.benchmark_group("alloc_large_blocks");
+    g.bench_function("pool_recycler_256KiB", |b| {
+        set_pool_enabled(true);
+        reset_pool();
+        b.iter(|| churn(20, 64 * 1024));
+    });
+    g.bench_function("system_malloc_256KiB", |b| {
+        set_pool_enabled(false);
+        b.iter(|| churn(20, 64 * 1024));
+        set_pool_enabled(true);
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Experiment E9 — thread-management overhead (§III-C): the enhanced
+//! fork-join model (persistent workers parked in a spin lock, released by
+//! a condition flip) vs the naive fork-join model (spawn and destroy
+//! threads at every parallel region), across region granularities.
+
+use cmm_bench::config;
+use cmm_forkjoin::{chunk_range, naive_run, ForkJoinPool};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn region_body(work: usize) -> impl Fn(usize, usize) + Sync {
+    move |tid, nthreads| {
+        // Serial dependency chain so LLVM cannot close-form the loop.
+        let mut acc = 0x9e3779b97f4a7c15u64;
+        for i in chunk_range(work, nthreads, tid) {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+        }
+        black_box(acc);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // Region work sizes from tiny (overhead-dominated — where the naive
+    // model "pays the price of creating and destroying threads each
+    // time") to large (compute-dominated).
+    for &work in &[1_000usize, 100_000, 2_000_000] {
+        let mut g = c.benchmark_group(format!("forkjoin_region_{work}"));
+        let pool = ForkJoinPool::new(2);
+        let body = region_body(work);
+        g.bench_with_input(BenchmarkId::new("enhanced_pool", 2), &2, |b, _| {
+            b.iter(|| pool.run(&body))
+        });
+        g.bench_with_input(BenchmarkId::new("naive_spawn", 2), &2, |b, _| {
+            b.iter(|| naive_run(2, &body))
+        });
+        g.finish();
+    }
+
+    // Many consecutive small regions — the pattern generated code
+    // produces for a sequence of matrix statements.
+    let mut g = c.benchmark_group("forkjoin_50_regions");
+    let pool = ForkJoinPool::new(2);
+    let body = region_body(5_000);
+    g.bench_function("enhanced_pool", |b| {
+        b.iter(|| {
+            for _ in 0..50 {
+                pool.run(&body);
+            }
+        })
+    });
+    g.bench_function("naive_spawn", |b| {
+        b.iter(|| {
+            for _ in 0..50 {
+                naive_run(2, &body);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Experiments E1 / E11 / E14 — the temporal-mean kernel in every form
+//! the paper discusses: the fused Fig 3 nest, the "library
+//! implementation" with its extraneous temporary and slice copies
+//! (§III-A4), the split Fig 10 nest, the 4-lane vector Fig 11 nest, and
+//! the parallel variants.
+
+use cmm_bench::{config, cube};
+use cmm_forkjoin::ForkJoinPool;
+use cmm_runtime::kernels::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (m, n, p) = (48, 96, 64);
+    let mat = cube(m, n, p);
+    let mut means = vec![0.0f32; m * n];
+    let mut g = c.benchmark_group("temporal_mean");
+
+    g.bench_function("fig3_fused", |b| {
+        b.iter(|| temporal_mean_fig3(black_box(&mat), m, n, p, &mut means))
+    });
+    g.bench_function("library_with_copies", |b| {
+        b.iter(|| temporal_mean_library(black_box(&mat), m, n, p, &mut means))
+    });
+    g.bench_function("fig10_split", |b| {
+        b.iter(|| temporal_mean_fig10(black_box(&mat), m, n, p, &mut means))
+    });
+    g.bench_function("fig11_vectorized", |b| {
+        b.iter(|| temporal_mean_fig11(black_box(&mat), m, n, p, &mut means))
+    });
+    let pool2 = ForkJoinPool::new(2);
+    g.bench_function("fig11_vectorized_parallel_t2", |b| {
+        b.iter(|| temporal_mean_fig11_parallel(&pool2, black_box(&mat), m, n, p, &mut means))
+    });
+    g.bench_function("auto_parallel_t2", |b| {
+        b.iter(|| temporal_mean_parallel(&pool2, black_box(&mat), m, n, p, &mut means))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Experiment E7 — the §V tiling motivation: "programmers ... can more
+//! easily experiment with different tile sizes ... without having to
+//! manually rewrite their code for each configuration". This sweep is
+//! that experiment: dense matrix product, untiled vs square tiles of
+//! 4..64 (tile = two splits + a reorder), plus the parallel variant.
+
+use cmm_bench::{config, dense};
+use cmm_forkjoin::ForkJoinPool;
+use cmm_runtime::kernels::{matmul_naive, matmul_parallel, matmul_tiled};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = 256usize;
+    let a = dense(n, n, 1);
+    let b = dense(n, n, 2);
+    let mut out = vec![0.0f32; n * n];
+
+    let mut g = c.benchmark_group("tiling_matmul_256");
+    g.bench_function("naive", |bch| {
+        bch.iter(|| matmul_naive(black_box(&a), black_box(&b), &mut out, n, n, n))
+    });
+    for tile in [4usize, 8, 16, 32, 64] {
+        g.bench_with_input(BenchmarkId::new("tiled", tile), &tile, |bch, &t| {
+            bch.iter(|| matmul_tiled(black_box(&a), black_box(&b), &mut out, n, n, n, t))
+        });
+    }
+    let pool = ForkJoinPool::new(2);
+    g.bench_function("parallel_t2", |bch| {
+        bch.iter(|| matmul_parallel(&pool, black_box(&a), black_box(&b), &mut out, n, n, n))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Shared helpers for the experiment benchmarks (see EXPERIMENTS.md for
+//! the experiment ↔ bench index).
+
+use cmm_runtime::Matrix;
+
+/// Deterministic pseudo-random SSH-like cube used by the kernel benches.
+pub fn cube(m: usize, n: usize, p: usize) -> Vec<f32> {
+    (0..m * n * p)
+        .map(|x| ((x.wrapping_mul(2654435761) >> 8) % 1000) as f32 * 0.01 - 5.0)
+        .collect()
+}
+
+/// Deterministic dense matrix for the tiling sweep.
+pub fn dense(rows: usize, cols: usize, seed: usize) -> Vec<f32> {
+    (0..rows * cols)
+        .map(|x| (((x + seed).wrapping_mul(40503) >> 4) % 100) as f32 * 0.02 - 1.0)
+        .collect()
+}
+
+/// Matrix wrapper around [`cube`].
+pub fn cube_matrix(m: usize, n: usize, p: usize) -> Matrix<f32> {
+    Matrix::from_vec([m, n, p], cube(m, n, p)).expect("cube shape")
+}
+
+/// Default criterion configuration: short measurement windows so the full
+/// suite finishes in CI while still being stable enough to read shapes.
+pub fn config() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}

@@ -1,0 +1,63 @@
+//! Helper for round-tripping emitted C through a real C compiler.
+//!
+//! The paper's translator output is "plain C code, which can then be
+//! compiled for execution by a traditional compiler" (§II). These helpers
+//! let tests and experiments do exactly that: compile the emitted
+//! translation unit with `gcc -O2 -fopenmp -msse2` and run the binary,
+//! so interpreter output can be diffed against real compiled output.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Whether a usable `gcc` is on PATH (tests skip the round trip when the
+/// environment has no C toolchain).
+pub fn gcc_available() -> bool {
+    Command::new("gcc")
+        .arg("--version")
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false)
+}
+
+/// Compile `c_source` with gcc and run it, returning its stdout.
+///
+/// `threads` sets `OMP_NUM_THREADS` for the run. Returns an error string
+/// describing compilation or execution failure.
+pub fn compile_and_run_c(c_source: &str, threads: usize) -> Result<String, String> {
+    let dir = std::env::temp_dir();
+    let tag = format!(
+        "cmmc-{}-{:x}",
+        std::process::id(),
+        c_source.len() as u64 * 2654435761 % 0xffff_ffff
+    );
+    let c_path: PathBuf = dir.join(format!("{tag}.c"));
+    let bin_path: PathBuf = dir.join(tag.clone());
+    std::fs::write(&c_path, c_source).map_err(|e| format!("write: {e}"))?;
+
+    let compile = Command::new("gcc")
+        .args(["-O2", "-fopenmp", "-msse2", "-o"])
+        .arg(&bin_path)
+        .arg(&c_path)
+        .arg("-lm")
+        .output()
+        .map_err(|e| format!("gcc spawn: {e}"))?;
+    if !compile.status.success() {
+        let err = String::from_utf8_lossy(&compile.stderr).into_owned();
+        std::fs::remove_file(&c_path).ok();
+        return Err(format!("gcc failed:\n{err}"));
+    }
+
+    let run = Command::new(&bin_path)
+        .env("OMP_NUM_THREADS", threads.to_string())
+        .output()
+        .map_err(|e| format!("run: {e}"))?;
+    let stdout = String::from_utf8_lossy(&run.stdout).into_owned();
+    let status = run.status;
+    let stderr = String::from_utf8_lossy(&run.stderr).into_owned();
+    std::fs::remove_file(&c_path).ok();
+    std::fs::remove_file(&bin_path).ok();
+    if !status.success() {
+        return Err(format!("binary exited with {status}: {stderr}"));
+    }
+    Ok(stdout)
+}

@@ -1,0 +1,322 @@
+//! The extensible-translator driver: extension registry, composition with
+//! the modular analyses, and the end-to-end compilation pipeline.
+//!
+//! This crate is the paper's user-facing story (§II): "the programmer
+//! using an extensible language is free to choose the set of extensions
+//! that fits his or her problem at hand and direct a set of
+//! compiler-generating tools to compose the extensions with the host
+//! language and construct the compiler for their customized language."
+//!
+//! * [`Registry::standard`] holds the host CMINUS specification and the
+//!   four extensions of the paper. The matrix and rc-pointer extensions
+//!   pass `isComposable` and compose as independent units; the tuples
+//!   extension fails it (its initial terminal is the host's `(`) and is
+//!   therefore "packaged as part of the host language" exactly as §VI-A
+//!   describes; the transformation extension's clause necessarily begins
+//!   with host syntax, so it is packaged with the matrix extension (§V
+//!   presents it as an extension of the matrix constructs).
+//! * [`Registry::compiler`] composes the chosen extensions — running the
+//!   modular determinism analysis and the AG well-definedness analysis
+//!   first — and constructs a [`Compiler`].
+//! * [`Compiler`] runs the full pipeline: context-aware scan + LALR(1)
+//!   parse → AST → extended semantic analysis → high-level optimizations
+//!   → lowering to parallel loop IR → C emission ([`Compiler::compile_to_c`])
+//!   or direct execution ([`Compiler::run`]).
+
+use cmm_ag::{analyze_fragment, AgFragment, WellDefinednessReport};
+use cmm_ast::Diag;
+use cmm_grammar::{is_composable, ComposabilityReport, ComposedGrammar, GrammarFragment, Parser};
+use cmm_lang::typecheck::ExtSet;
+use cmm_lang::{build_program, check_program, host_ag, host_grammar, lower_program, LowerOptions};
+use cmm_loopir::{emit, Interp, IrProgram};
+
+pub use cmm_lang::typecheck::ExtSet as EnabledExtensions;
+
+mod gcc;
+pub use gcc::{compile_and_run_c, gcc_available};
+
+/// One pluggable language extension: its specifications plus packaging
+/// status as determined by the modular analyses.
+pub struct Extension {
+    /// Extension name.
+    pub name: String,
+    /// Concrete-syntax fragment.
+    pub grammar: GrammarFragment,
+    /// Attribute-grammar module.
+    pub ag: AgFragment,
+    /// `None` when the extension composes independently (passes
+    /// `isComposable`); `Some(reason)` when it must be packaged with the
+    /// host/another extension instead.
+    pub packaged: Option<String>,
+}
+
+/// The host specification plus available extensions.
+pub struct Registry {
+    /// Host grammar fragment.
+    pub host: GrammarFragment,
+    /// Host AG module.
+    pub host_ag: AgFragment,
+    /// Available extensions in registration order.
+    pub extensions: Vec<Extension>,
+}
+
+impl Registry {
+    /// The paper's configuration: CMINUS host; matrix and rc-pointer
+    /// extensions independently composable; tuples packaged with the
+    /// host; transformations packaged with the matrix extension.
+    pub fn standard() -> Registry {
+        Registry {
+            host: host_grammar(),
+            host_ag: host_ag(),
+            extensions: vec![
+                Extension {
+                    name: cmm_ext_matrix::NAME.to_string(),
+                    grammar: cmm_ext_matrix::grammar(),
+                    ag: cmm_ext_matrix::ag(),
+                    packaged: None,
+                },
+                Extension {
+                    name: cmm_ext_rcptr::NAME.to_string(),
+                    grammar: cmm_ext_rcptr::grammar(),
+                    ag: cmm_ext_rcptr::ag(),
+                    packaged: None,
+                },
+                Extension {
+                    name: cmm_ext_cilk::NAME.to_string(),
+                    grammar: cmm_ext_cilk::grammar(),
+                    ag: cmm_ext_cilk::ag(),
+                    packaged: None,
+                },
+                Extension {
+                    name: cmm_ext_tuples::NAME.to_string(),
+                    grammar: cmm_ext_tuples::grammar(),
+                    ag: cmm_ext_tuples::ag(),
+                    packaged: Some(
+                        "fails the modular determinism analysis (initial terminal is the \
+                         host's '('); packaged as part of the host language (§VI-A)"
+                            .to_string(),
+                    ),
+                },
+                Extension {
+                    name: cmm_ext_transform::NAME.to_string(),
+                    grammar: cmm_ext_transform::grammar(),
+                    ag: cmm_ext_transform::ag(),
+                    packaged: Some(
+                        "its clause begins with host syntax (the transformed assignment); \
+                         packaged with the matrix extension it extends (§V)"
+                            .to_string(),
+                    ),
+                },
+            ],
+        }
+    }
+
+    /// Run the modular determinism analysis for every extension.
+    pub fn composability_reports(&self) -> Vec<ComposabilityReport> {
+        self.extensions
+            .iter()
+            .map(|e| is_composable(&self.host, &e.grammar))
+            .collect()
+    }
+
+    /// Run the modular well-definedness analysis for every extension.
+    pub fn well_definedness_reports(&self) -> Vec<WellDefinednessReport> {
+        self.extensions
+            .iter()
+            .map(|e| analyze_fragment(&self.host_ag, &e.ag))
+            .collect()
+    }
+
+    /// Compose the host with the named extensions (packaged companions
+    /// are pulled in automatically) and construct a compiler.
+    ///
+    /// Independently composable extensions are verified with
+    /// `isComposable` before composition — the paper's guarantee that the
+    /// user "need not be an expert in programming language design" to
+    /// compose safely.
+    pub fn compiler(&self, enabled: &[&str]) -> Result<Compiler, CompileError> {
+        for name in enabled {
+            if !self.extensions.iter().any(|e| e.name == *name) {
+                return Err(CompileError::UnknownExtension((*name).to_string()));
+            }
+        }
+        let on = |n: &str| enabled.contains(&n);
+        // Packaging: transform rides with matrix; tuples with the host.
+        let matrix = on(cmm_ext_matrix::NAME);
+        let selected: Vec<&Extension> = self
+            .extensions
+            .iter()
+            .filter(|e| match e.name.as_str() {
+                "ext-tuples" => on("ext-tuples"),
+                "ext-transform" => matrix && on("ext-transform"),
+                other => on(other),
+            })
+            .collect();
+
+        // Verify the independently composable ones.
+        let mut failing = Vec::new();
+        for e in &selected {
+            if e.packaged.is_none() {
+                let report = is_composable(&self.host, &e.grammar);
+                if !report.passed {
+                    failing.push(report);
+                }
+            }
+        }
+        if !failing.is_empty() {
+            return Err(CompileError::Composition(failing));
+        }
+
+        let fragments: Vec<&GrammarFragment> = selected.iter().map(|e| &e.grammar).collect();
+        let grammar = ComposedGrammar::compose(&self.host, &fragments)
+            .map_err(|e| CompileError::Compose(e.to_string()))?;
+        let parser = Parser::new(grammar).map_err(|conflicts| {
+            CompileError::Compose(format!(
+                "composed grammar is not LALR(1): {} conflicts, first: {}",
+                conflicts.len(),
+                conflicts
+                    .first()
+                    .map(|c| c.description.clone())
+                    .unwrap_or_default()
+            ))
+        })?;
+        let exts = ExtSet {
+            matrix: on("ext-matrix"),
+            tuples: on("ext-tuples"),
+            rcptr: on("ext-rcptr"),
+            transform: matrix && on("ext-transform"),
+            cilk: on("ext-cilk"),
+        };
+        Ok(Compiler {
+            parser,
+            exts,
+            options: LowerOptions::default(),
+        })
+    }
+}
+
+/// Pipeline failure.
+#[derive(Debug)]
+pub enum CompileError {
+    /// Requested extension is not registered.
+    UnknownExtension(String),
+    /// An extension failed the modular determinism analysis.
+    Composition(Vec<ComposabilityReport>),
+    /// Grammar composition failed (duplicate names etc.).
+    Compose(String),
+    /// Scanning/parsing failed.
+    Parse(String),
+    /// AST construction failed.
+    Build(String),
+    /// Semantic analysis reported errors.
+    Type(Vec<Diag>),
+    /// Lowering reported an error (e.g. a §V transform naming no loop).
+    Lower(Diag),
+    /// The interpreted program failed at runtime.
+    Runtime(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::UnknownExtension(n) => write!(f, "unknown extension '{n}'"),
+            CompileError::Composition(reports) => {
+                writeln!(f, "extension composition rejected:")?;
+                for r in reports {
+                    write!(f, "{r}")?;
+                }
+                Ok(())
+            }
+            CompileError::Compose(m) => write!(f, "composition failed: {m}"),
+            CompileError::Parse(m) | CompileError::Build(m) | CompileError::Runtime(m) => {
+                write!(f, "{m}")
+            }
+            CompileError::Type(diags) => {
+                for d in diags {
+                    writeln!(f, "{d}")?;
+                }
+                Ok(())
+            }
+            CompileError::Lower(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A constructed translator for one composition of extensions.
+pub struct Compiler {
+    parser: Parser,
+    exts: ExtSet,
+    /// Lowering options (high-level optimizations, auto-parallelization);
+    /// public so experiments can toggle the ablation knobs.
+    pub options: LowerOptions,
+}
+
+/// Result of running a program through the interpreter.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Captured `print*` output.
+    pub output: String,
+    /// Buffers allocated during the run.
+    pub allocations: u32,
+    /// Buffers still live at exit (0 = the inserted reference counting
+    /// freed everything).
+    pub leaked: u32,
+}
+
+impl Compiler {
+    /// The composed grammar's parser (exposed for tooling/tests).
+    pub fn parser(&self) -> &Parser {
+        &self.parser
+    }
+
+    /// Parse + build + check: the front half of the pipeline.
+    pub fn frontend(&self, src: &str) -> Result<cmm_ast::Program, CompileError> {
+        let cst = self
+            .parser
+            .parse(src)
+            .map_err(|e| CompileError::Parse(e.to_string()))?;
+        let ast = build_program(self.parser.grammar(), &cst)
+            .map_err(|e| CompileError::Build(e.to_string()))?;
+        let (_info, diags) = check_program(&ast, self.exts);
+        let errors: Vec<Diag> = diags
+            .into_iter()
+            .filter(|d| d.severity == cmm_ast::Severity::Error)
+            .collect();
+        if !errors.is_empty() {
+            return Err(CompileError::Type(errors));
+        }
+        Ok(ast)
+    }
+
+    /// Full translation to the loop IR.
+    pub fn compile(&self, src: &str) -> Result<IrProgram, CompileError> {
+        let ast = self.frontend(src)?;
+        let (info, _) = check_program(&ast, self.exts);
+        lower_program(&ast, &info, &self.options).map_err(CompileError::Lower)
+    }
+
+    /// Translate to plain parallel C — the paper's output artifact.
+    pub fn compile_to_c(&self, src: &str) -> Result<String, CompileError> {
+        Ok(emit::emit_program(&self.compile(src)?))
+    }
+
+    /// Compile and execute on the interpreter with `threads` pool
+    /// threads (the command-line thread-count argument of §III-C).
+    pub fn run(&self, src: &str, threads: usize) -> Result<RunResult, CompileError> {
+        let ir = self.compile(src)?;
+        let interp = Interp::new(&ir, threads);
+        interp
+            .run_main()
+            .map_err(|e| CompileError::Runtime(format!("{e}\noutput so far:\n{}", interp.output())))?;
+        Ok(RunResult {
+            output: interp.output(),
+            allocations: interp.alloc_count(),
+            leaked: interp.live_buffers(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,179 @@
+use crate::*;
+
+fn full() -> Compiler {
+    Registry::standard()
+        .compiler(&["ext-matrix", "ext-tuples", "ext-rcptr", "ext-transform"])
+        .expect("standard composition")
+}
+
+mod registry {
+    use super::*;
+
+    #[test]
+    fn matrix_and_rcptr_pass_iscomposable() {
+        // E12: the paper's verdicts reproduced.
+        let reg = Registry::standard();
+        let reports = reg.composability_reports();
+        let verdict = |name: &str| {
+            reports
+                .iter()
+                .find(|r| r.extension == name)
+                .unwrap_or_else(|| panic!("no report for {name}"))
+        };
+        let mx = verdict("ext-matrix");
+        assert!(mx.passed, "{mx}");
+        assert!(mx.marking_terminals.contains(&"KW_WITH".to_string()));
+        assert!(mx.marking_terminals.contains(&"KW_MATRIX".to_string()));
+        assert!(mx.marking_terminals.contains(&"KW_MATRIXMAP".to_string()));
+        assert!(verdict("ext-rcptr").passed);
+        // Tuples fail on the host's left paren, exactly as §VI-A says.
+        let tup = verdict("ext-tuples");
+        assert!(!tup.passed);
+        assert!(
+            tup.violations.iter().any(|v| v.contains("'LP'")),
+            "{:?}",
+            tup.violations
+        );
+        // The transform clause begins with host syntax.
+        let tr = verdict("ext-transform");
+        assert!(!tr.passed);
+    }
+
+    #[test]
+    fn all_extensions_pass_well_definedness() {
+        // E13: "All extensions described above pass this analysis."
+        let reg = Registry::standard();
+        for report in reg.well_definedness_reports() {
+            assert!(report.passed, "{report}");
+        }
+    }
+
+    #[test]
+    fn composition_of_passing_extensions_is_lalr() {
+        // The §VI-A theorem, checked on the real language.
+        let reg = Registry::standard();
+        let mx = &reg.extensions[0].grammar;
+        let rc = &reg.extensions[1].grammar;
+        assert!(cmm_grammar::is_lalr(&reg.host, &[mx]).unwrap());
+        assert!(cmm_grammar::is_lalr(&reg.host, &[rc]).unwrap());
+        assert!(cmm_grammar::is_lalr(&reg.host, &[mx, rc]).unwrap());
+    }
+
+    #[test]
+    fn unknown_extension_rejected() {
+        assert!(matches!(
+            Registry::standard().compiler(&["ext-nope"]),
+            Err(CompileError::UnknownExtension(_))
+        ));
+    }
+
+    #[test]
+    fn host_only_compiler_rejects_matrix_syntax() {
+        let c = Registry::standard().compiler(&[]).unwrap();
+        // `with` is not a keyword without the matrix extension: scanning
+        // sees an identifier and parsing fails.
+        let err = c
+            .frontend("int main() { Matrix int <1> v = init(Matrix int <1>, 2); return 0; }")
+            .unwrap_err();
+        assert!(matches!(err, CompileError::Parse(_)), "{err}");
+    }
+
+    #[test]
+    fn transform_requires_matrix_packaging() {
+        // transform alone (no matrix) doesn't activate.
+        let c = Registry::standard().compiler(&["ext-transform"]).unwrap();
+        let err = c
+            .frontend("int main() { int x = 0; x = 1 transform parallelize i; return 0; }")
+            .unwrap_err();
+        assert!(matches!(err, CompileError::Parse(_)));
+    }
+}
+
+mod pipeline {
+    use super::*;
+
+    #[test]
+    fn run_produces_output_and_no_leaks() {
+        let c = full();
+        let r = c
+            .run(
+                r#"
+                int main() {
+                    int n = 16;
+                    Matrix int <1> v = with ([0] <= [i] < [n]) genarray([n], i * i);
+                    printInt(with ([0] <= [i] < [n]) fold(+, 0, v[i]));
+                    return 0;
+                }
+                "#,
+                2,
+            )
+            .unwrap();
+        assert_eq!(r.output, "1240\n");
+        assert_eq!(r.leaked, 0, "allocations: {}", r.allocations);
+    }
+
+    #[test]
+    fn type_errors_surface_as_compile_errors() {
+        let c = full();
+        let err = c.frontend("int main() { printInt(zzz); return 0; }").unwrap_err();
+        match err {
+            CompileError::Type(diags) => {
+                assert!(diags[0].message.contains("undefined variable"));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn compile_to_c_is_selfcontained() {
+        let c = full();
+        let src = r#"
+            int main() {
+                Matrix float <2> m = init(Matrix float <2>, 2, 2);
+                m[0, 0] = 1.5;
+                printFloat(m[0, 0]);
+                return 0;
+            }
+        "#;
+        let ccode = c.compile_to_c(src).unwrap();
+        assert!(ccode.contains("#include <stdio.h>"));
+        assert!(ccode.contains("int main(void)"));
+        assert!(ccode.contains("cmm_mat"));
+    }
+
+    #[test]
+    fn gcc_roundtrip_matches_interpreter() {
+        if !gcc_available() {
+            eprintln!("gcc not available; skipping round trip");
+            return;
+        }
+        let c = full();
+        let src = r#"
+            int main() {
+                int m = 3;
+                int n = 4;
+                int p = 6;
+                Matrix float <3> mat = init(Matrix float <3>, m, n, p);
+                for (int a = 0; a < m; a++) {
+                    for (int b = 0; b < n; b++) {
+                        for (int q = 0; q < p; q++) { mat[a, b, q] = toFloat(a * 31 + b * 7 + q); }
+                    }
+                }
+                Matrix float <2> means = init(Matrix float <2>, m, n);
+                means = with ([0, 0] <= [i, j] < [m, n])
+                    genarray([m, n],
+                        with ([0] <= [k] < [p]) fold(+, 0.0, mat[i, j, k]) / toFloat(p))
+                    transform split j by 4, jin, jout. vectorize jin. parallelize i;
+                for (int a = 0; a < m; a++) {
+                    for (int b = 0; b < n; b++) { printFloat(means[a, b]); }
+                }
+                printInt(dimSize(means, 1));
+                return 0;
+            }
+        "#;
+        let interp_out = c.run(src, 2).unwrap().output;
+        let ccode = c.compile_to_c(src).unwrap();
+        let gcc_out = compile_and_run_c(&ccode, 2).unwrap();
+        assert_eq!(interp_out, gcc_out);
+    }
+}

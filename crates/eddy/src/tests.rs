@@ -1,0 +1,444 @@
+use crate::conncomp::*;
+use crate::score::*;
+use crate::ssh::*;
+use cmm_forkjoin::ForkJoinPool;
+use cmm_runtime::{Ix, Matrix};
+use proptest::prelude::*;
+
+mod ssh_tests {
+    use super::*;
+
+    #[test]
+    fn generator_shape_and_determinism() {
+        let p = SshParams {
+            lat: 10,
+            lon: 20,
+            time: 30,
+            ..Default::default()
+        };
+        let a = synthetic_ssh(&p);
+        let b = synthetic_ssh(&p);
+        assert_eq!(a.shape().dims(), &[10, 20, 30]);
+        assert_eq!(a, b, "same seed ⇒ same field");
+        let c = synthetic_ssh(&SshParams { seed: 7, ..p });
+        assert_ne!(a, c, "different seed ⇒ different field");
+    }
+
+    #[test]
+    fn eddies_depress_the_surface() {
+        // With eddies the global minimum must be clearly below the
+        // no-eddy field's minimum.
+        let base = SshParams {
+            lat: 24,
+            lon: 24,
+            time: 60,
+            noise: 0.0,
+            ..Default::default()
+        };
+        let calm = synthetic_ssh(&SshParams { eddies: 0, ..base.clone() });
+        let eddy = synthetic_ssh(&SshParams { eddies: 6, ..base });
+        let min = |m: &Matrix<f32>| m.as_slice().iter().cloned().fold(f32::MAX, f32::min);
+        assert!(
+            min(&eddy) < min(&calm) - 0.2,
+            "eddy min {} vs calm min {}",
+            min(&eddy),
+            min(&calm)
+        );
+    }
+
+    #[test]
+    fn time_series_shows_fig7_signature() {
+        // A strong eddy passing a point creates a trough whose score is
+        // much larger than noise-level scores elsewhere.
+        let p = SshParams {
+            lat: 16,
+            lon: 16,
+            time: 80,
+            eddies: 1,
+            noise: 0.005,
+            depth: 1.0,
+            seed: 3,
+            ..Default::default()
+        };
+        let cube = synthetic_ssh(&p);
+        let pool = ForkJoinPool::new(2);
+        let scores = score_all(&pool, &cube).unwrap();
+        let max_score = scores.as_slice().iter().cloned().fold(f32::MIN, f32::max);
+        assert!(max_score > 1.0, "expected a strong trough, got {max_score}");
+    }
+}
+
+mod score_tests {
+    use super::*;
+
+    #[test]
+    fn get_trough_walks_down_then_up() {
+        //        peak  v     v peak
+        let ts = [3.0, 2.0, 1.0, 2.0, 3.0, 2.5];
+        let (trough, b, e) = get_trough(&ts, 0);
+        assert_eq!((b, e), (0, 4));
+        assert_eq!(trough, vec![3.0, 2.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn get_trough_stops_at_series_end() {
+        let ts = [3.0, 2.0, 1.0];
+        let (trough, b, e) = get_trough(&ts, 0);
+        assert_eq!((b, e), (0, 2));
+        assert_eq!(trough.len(), 3);
+    }
+
+    #[test]
+    fn compute_area_of_v_shape() {
+        // V from 2 down to 0 back to 2: line is flat 2.0; area =
+        // (2-2)+(2-1)+(2-0)+(2-1)+(2-2) = 4.
+        let aoi = [2.0, 1.0, 0.0, 1.0, 2.0];
+        let areas = compute_area(&aoi);
+        assert_eq!(areas.len(), 5);
+        for a in &areas {
+            assert!((a - 4.0).abs() < 1e-5, "{a}");
+        }
+    }
+
+    #[test]
+    fn compute_area_handles_sloped_line() {
+        // Peaks 4 → 2 with a dip to 0 between: line = 4, 3, 2.
+        let aoi = [4.0, 0.0, 2.0];
+        let areas = compute_area(&aoi);
+        assert!((areas[0] - 3.0).abs() < 1e-5, "{areas:?}");
+    }
+
+    #[test]
+    fn compute_area_degenerate() {
+        assert_eq!(compute_area(&[1.0]), vec![0.0]);
+        assert!(compute_area(&[]).is_empty());
+    }
+
+    #[test]
+    fn score_ts_flat_series_is_zero() {
+        let scores = score_ts(&[1.0; 10]);
+        assert_eq!(scores, vec![0.0; 10]);
+    }
+
+    #[test]
+    fn score_ts_single_trough() {
+        let ts = [0.0, 1.0, 2.0, 1.0, 0.0, 1.0, 2.0, 2.0];
+        let scores = score_ts(&ts);
+        // Trough spans indices 2..=6 ([2,1,0,1,2] against the flat line at
+        // 2): area = 0+1+2+1+0 = 4. The trailing flat segment [2,2] forms
+        // a degenerate trough with area 0 that overwrites the shared
+        // endpoint at index 6 — the Fig 8 algorithm's behaviour.
+        assert!((scores[3] - 4.0).abs() < 1e-4, "{scores:?}");
+        assert!((scores[5] - 4.0).abs() < 1e-4, "{scores:?}");
+        assert_eq!(scores[0], 0.0);
+        assert_eq!(scores[1], 0.0);
+        assert_eq!(scores[6], 0.0);
+    }
+
+    #[test]
+    fn deeper_troughs_score_higher() {
+        let shallow = [2.0, 1.8, 1.6, 1.8, 2.0];
+        let deep = [2.0, 1.0, 0.0, 1.0, 2.0];
+        let s = score_ts(&shallow);
+        let d = score_ts(&deep);
+        assert!(d[2] > s[2] * 3.0, "deep {d:?} vs shallow {s:?}");
+    }
+
+    #[test]
+    fn score_all_matches_pointwise_scoring() {
+        let cube = synthetic_ssh(&SshParams {
+            lat: 6,
+            lon: 7,
+            time: 40,
+            ..Default::default()
+        });
+        let pool = ForkJoinPool::new(3);
+        let all = score_all(&pool, &cube).unwrap();
+        for i in [0usize, 3, 5] {
+            for j in [0usize, 2, 6] {
+                let ts = cube
+                    .index_get(&[Ix::At(i as i64), Ix::At(j as i64), Ix::All])
+                    .unwrap();
+                let expect = score_ts(ts.as_slice());
+                let got = all
+                    .index_get(&[Ix::At(i as i64), Ix::At(j as i64), Ix::All])
+                    .unwrap();
+                assert_eq!(got.as_slice(), expect.as_slice(), "point ({i},{j})");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_scores_are_finite_and_shape_preserved(
+            v in proptest::collection::vec(-10.0f32..10.0, 3..80)
+        ) {
+            let scores = score_ts(&v);
+            prop_assert_eq!(scores.len(), v.len());
+            prop_assert!(scores.iter().all(|s| s.is_finite()));
+        }
+
+        #[test]
+        fn prop_troughs_have_nonnegative_area(
+            depth in 0.1f32..5.0, flank in 1usize..10
+        ) {
+            // Symmetric V trough: area must be positive.
+            let mut ts: Vec<f32> = (0..=flank).rev().map(|k| k as f32 * depth / flank as f32).collect();
+            let mut up: Vec<f32> = (1..=flank).map(|k| k as f32 * depth / flank as f32).collect();
+            ts.append(&mut up);
+            let areas = compute_area(&ts);
+            prop_assert!(areas[0] > 0.0, "{:?}", areas);
+        }
+    }
+}
+
+mod conncomp_tests {
+    use super::*;
+
+    fn bmat(rows: usize, cols: usize, cells: &[u8]) -> Matrix<bool> {
+        Matrix::from_vec([rows, cols], cells.iter().map(|&c| c != 0).collect()).unwrap()
+    }
+
+    #[test]
+    fn labels_simple_components() {
+        let b = bmat(3, 4, &[
+            1, 1, 0, 0, //
+            0, 0, 0, 1, //
+            1, 0, 0, 1,
+        ]);
+        let l = connected_components(&b);
+        assert_eq!(l.get(&[0, 0]).unwrap(), l.get(&[0, 1]).unwrap());
+        assert_eq!(l.get(&[1, 3]).unwrap(), l.get(&[2, 3]).unwrap());
+        assert_ne!(l.get(&[0, 0]).unwrap(), l.get(&[2, 0]).unwrap());
+        assert_eq!(l.get(&[0, 2]).unwrap(), 0);
+        assert_eq!(count_components(&l), 3);
+    }
+
+    #[test]
+    fn four_connectivity_not_eight() {
+        // Diagonal touch is NOT connected under 4-connectivity.
+        let b = bmat(2, 2, &[1, 0, 0, 1]);
+        let l = connected_components(&b);
+        assert_ne!(l.get(&[0, 0]).unwrap(), l.get(&[1, 1]).unwrap());
+        assert_eq!(count_components(&l), 2);
+    }
+
+    #[test]
+    fn snake_component_is_single() {
+        let b = bmat(3, 3, &[
+            1, 1, 1, //
+            0, 0, 1, //
+            1, 1, 1,
+        ]);
+        let l = connected_components(&b);
+        assert_eq!(count_components(&l), 1);
+    }
+
+    #[test]
+    fn empty_and_full_frames() {
+        let empty = bmat(3, 3, &[0; 9]);
+        assert_eq!(count_components(&connected_components(&empty)), 0);
+        let full = bmat(3, 3, &[1; 9]);
+        assert_eq!(count_components(&connected_components(&full)), 1);
+    }
+
+    #[test]
+    fn size_filter_drops_small_and_large() {
+        let b = bmat(4, 4, &[
+            1, 0, 1, 1, //
+            0, 0, 1, 1, //
+            0, 0, 0, 0, //
+            1, 1, 0, 0,
+        ]);
+        let l = connected_components(&b);
+        let f = filter_components_by_size(&l, 2, 3);
+        // singleton dropped, 4-cell block dropped, 2-cell block kept
+        assert_eq!(f.get(&[0, 0]).unwrap(), 0);
+        assert_eq!(f.get(&[0, 2]).unwrap(), 0);
+        assert!(f.get(&[3, 0]).unwrap() > 0);
+    }
+
+    #[test]
+    fn detect_eddies_finds_planted_eddy() {
+        let p = SshParams {
+            lat: 20,
+            lon: 20,
+            time: 40,
+            eddies: 2,
+            depth: 1.2,
+            noise: 0.01,
+            seed: 11,
+            ..Default::default()
+        };
+        let cube = synthetic_ssh(&p);
+        let pool = ForkJoinPool::new(2);
+        let labels = detect_eddies(&pool, &cube, &EddyParams::default()).unwrap();
+        assert_eq!(labels.shape(), cube.shape());
+        let detected: usize = labels.as_slice().iter().filter(|&&l| l > 0).count();
+        assert!(detected > 0, "no eddy cells detected");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_labels_respect_connectivity(cells in proptest::collection::vec(0u8..2, 36)) {
+            let b = bmat(6, 6, &cells);
+            let l = connected_components(&b);
+            let bs = b.as_slice();
+            let ls = l.as_slice();
+            // Background cells get 0; foreground cells get > 0.
+            for (i, &c) in bs.iter().enumerate() {
+                prop_assert_eq!(ls[i] > 0, c, "cell {}", i);
+            }
+            // 4-adjacent foreground cells share labels.
+            for r in 0..6 {
+                for c in 0..6 {
+                    let k = r * 6 + c;
+                    if bs[k] && c + 1 < 6 && bs[k + 1] {
+                        prop_assert_eq!(ls[k], ls[k + 1]);
+                    }
+                    if bs[k] && r + 1 < 6 && bs[k + 6] {
+                        prop_assert_eq!(ls[k], ls[k + 6]);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn prop_canonical_labels_idempotent(cells in proptest::collection::vec(0u8..2, 25)) {
+            let b = bmat(5, 5, &cells);
+            let l = connected_components(&b);
+            let c1 = canonical_labels(&l);
+            let c2 = canonical_labels(&c1);
+            prop_assert_eq!(c1, c2);
+        }
+    }
+}
+
+mod program_tests {
+    use super::*;
+    use crate::programs::*;
+    use cmm_runtime::{read_matrix, write_matrix};
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("cmm-eddy-{}-{name}", std::process::id()))
+            .display()
+            .to_string()
+    }
+
+    #[test]
+    fn quickstart_program_runs() {
+        let c = full_compiler();
+        let r = c.run(quickstart_program(), 2).unwrap();
+        assert!(!r.output.is_empty());
+        assert_eq!(r.leaked, 0);
+    }
+
+    #[test]
+    fn temporal_mean_program_matches_native() {
+        let cube = synthetic_ssh(&SshParams {
+            lat: 5,
+            lon: 6,
+            time: 20,
+            ..Default::default()
+        });
+        let input = tmp("tm-in.cmmx");
+        let output = tmp("tm-out.cmmx");
+        write_matrix(&input, &cube).unwrap();
+        let c = full_compiler();
+        let r = c.run(&temporal_mean_program(&input, &output, ""), 2).unwrap();
+        assert_eq!(r.leaked, 0);
+        let means: Matrix<f32> = read_matrix(&output).unwrap();
+        assert_eq!(means.shape().dims(), &[5, 6]);
+        // Check a few cells against a direct mean.
+        for (i, j) in [(0usize, 0usize), (4, 5), (2, 3)] {
+            let ts = cube
+                .index_get(&[Ix::At(i as i64), Ix::At(j as i64), Ix::All])
+                .unwrap();
+            let expect: f32 = ts.as_slice().iter().sum::<f32>() / ts.len() as f32;
+            let got = means.get(&[i, j]).unwrap();
+            assert!((got - expect).abs() < 1e-4, "({i},{j}): {got} vs {expect}");
+        }
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn eddy_scoring_program_matches_native() {
+        // E4: the compiled Fig 8 program and the native implementation
+        // agree on every score.
+        let cube = synthetic_ssh(&SshParams {
+            lat: 4,
+            lon: 5,
+            time: 30,
+            eddies: 2,
+            seed: 5,
+            ..Default::default()
+        });
+        let input = tmp("score-in.cmmx");
+        let output = tmp("score-out.cmmx");
+        write_matrix(&input, &cube).unwrap();
+        let c = full_compiler();
+        let r = c.run(&eddy_scoring_program(&input, &output), 2).unwrap();
+        assert_eq!(r.leaked, 0, "allocs {}", r.allocations);
+        let compiled: Matrix<f32> = read_matrix(&output).unwrap();
+
+        let pool = ForkJoinPool::new(2);
+        let native = score_all(&pool, &cube).unwrap();
+        assert_eq!(compiled.shape(), native.shape());
+        for (a, b) in compiled.as_slice().iter().zip(native.as_slice()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn conncomp_program_matches_native_up_to_relabeling() {
+        // E3: compiled Fig 4 vs native union-find, canonicalized.
+        let cube = synthetic_ssh(&SshParams {
+            lat: 8,
+            lon: 8,
+            time: 6,
+            eddies: 2,
+            depth: 1.2,
+            seed: 9,
+            ..Default::default()
+        });
+        let input = tmp("cc-in.cmmx");
+        let output = tmp("cc-out.cmmx");
+        write_matrix(&input, &cube).unwrap();
+        let threshold = -0.2f32;
+        let c = full_compiler();
+        let r = c
+            .run(&connected_components_program(&input, &output, threshold), 2)
+            .unwrap();
+        assert_eq!(r.leaked, 0);
+        let compiled: Matrix<i32> = read_matrix(&output).unwrap();
+
+        let pool = ForkJoinPool::new(2);
+        let native = cmm_runtime::matrix_map(
+            &pool,
+            |frame: &Matrix<f32>| conn_comp_frame(frame, threshold),
+            &cube,
+            &[0, 1],
+        )
+        .unwrap();
+        assert_eq!(compiled.shape(), native.shape());
+        for t in 0..cube.dim_size(2) {
+            let ct = compiled
+                .index_get(&[Ix::All, Ix::All, Ix::At(t as i64)])
+                .unwrap();
+            let nt = native
+                .index_get(&[Ix::All, Ix::All, Ix::At(t as i64)])
+                .unwrap();
+            assert_eq!(
+                canonical_labels(&ct),
+                canonical_labels(&nt),
+                "frame {t} labelings differ structurally"
+            );
+        }
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&output).ok();
+    }
+}

@@ -1,0 +1,289 @@
+//! SAC-style *enhanced fork-join* execution substrate (paper §III-C).
+//!
+//! A naive translation of parallel matrix constructs spawns and joins
+//! threads at every parallel region, paying thread-management overhead each
+//! time. The paper instead adopts the enhanced fork-join model from SAC:
+//! the necessary number of threads is spawned once at program start and
+//! parked in a spin lock; when the main thread encounters a parallel
+//! construct it "flips the condition that keeps the threads spinning,
+//! which releases all of them at once"; each worker then passes through a
+//! stop barrier and returns to the spin lock, while the main thread waits
+//! in the stop barrier for all workers.
+//!
+//! [`ForkJoinPool`] implements exactly that protocol (the condition flip is
+//! an epoch counter, the stop barrier an atomic countdown), and
+//! [`naive_run`] implements the spawn-per-region baseline. Experiment E9
+//! benchmarks one against the other; everything else in the workspace
+//! (with-loop engine, `matrixMap`, the loop-IR interpreter's `parallelize`)
+//! runs on [`ForkJoinPool`].
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+mod partition;
+pub use partition::{chunk_range, chunks_of};
+
+/// Type-erased reference to the closure of the current parallel region.
+/// Stored as a raw wide pointer; the epoch protocol orders the store before
+/// any worker dereference, and the stop barrier orders every dereference
+/// before `run` returns (so the borrow never escapes the region).
+type TaskPtr = *const (dyn Fn(usize, usize) + Sync);
+
+struct Shared {
+    /// The spin-lock "condition": workers spin until it changes.
+    epoch: AtomicU64,
+    /// Stop barrier: number of workers still executing the current region.
+    remaining: AtomicUsize,
+    /// Current region's closure; valid only between the epoch flip and the
+    /// stop barrier reaching zero.
+    task: UnsafeCell<Option<TaskPtr>>,
+    shutdown: AtomicBool,
+    /// Set when any participant panicked during the current region.
+    panicked: AtomicBool,
+    /// Total threads participating in a region (workers + main).
+    threads: usize,
+}
+
+// Safety: `task` is only written by the main thread while all workers are
+// parked (remaining == 0 and epoch unchanged), and only read by workers
+// after the Release/Acquire epoch handshake. The raw pointer it holds
+// refers to a `Sync` closure, so sharing/moving the cell across threads
+// under that protocol is sound.
+unsafe impl Sync for Shared {}
+unsafe impl Send for Shared {}
+
+/// Persistent worker pool implementing the enhanced fork-join model.
+///
+/// `ForkJoinPool::new(n)` spawns `n - 1` workers; the main thread acts as
+/// participant 0 of every region, so `n` is the total degree of parallelism
+/// (the paper's command-line thread-count argument).
+///
+/// ```
+/// use cmm_forkjoin::ForkJoinPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = ForkJoinPool::new(4);
+/// let sum = AtomicUsize::new(0);
+/// pool.run(|tid, nthreads| {
+///     let part = cmm_forkjoin::chunk_range(100, nthreads, tid);
+///     sum.fetch_add(part.sum::<usize>(), Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.into_inner(), (0..100).sum());
+/// ```
+pub struct ForkJoinPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Guards against nested `run` calls from inside a region.
+    busy: AtomicBool,
+    regions: AtomicU64,
+    nested_sequential: AtomicU64,
+}
+
+impl ForkJoinPool {
+    /// Spawn a pool with `threads` total participants (minimum 1; 1 means
+    /// fully sequential with zero synchronization).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            epoch: AtomicU64::new(0),
+            remaining: AtomicUsize::new(0),
+            task: UnsafeCell::new(None),
+            shutdown: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
+            threads,
+        });
+        let handles = (1..threads)
+            .map(|tid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cmm-worker-{tid}"))
+                    .spawn(move || worker_loop(&shared, tid))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            handles,
+            busy: AtomicBool::new(false),
+            regions: AtomicU64::new(0),
+            nested_sequential: AtomicU64::new(0),
+        }
+    }
+
+    /// Total degree of parallelism (workers + main thread).
+    pub fn threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Number of parallel regions executed so far.
+    pub fn regions_run(&self) -> u64 {
+        self.regions.load(Ordering::Relaxed)
+    }
+
+    /// Number of regions that ran sequentially because they were issued
+    /// from inside another region (nested parallelism degrades gracefully,
+    /// as in SAC).
+    pub fn nested_sequential_runs(&self) -> u64 {
+        self.nested_sequential.load(Ordering::Relaxed)
+    }
+
+    /// Execute one parallel region. `f(tid, nthreads)` runs once for every
+    /// `tid in 0..nthreads`, concurrently; the call returns when all
+    /// participants have passed the stop barrier.
+    ///
+    /// Nested calls (from inside a region) execute all participants
+    /// sequentially on the calling thread, which preserves the semantics of
+    /// disjoint work partitions.
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        self.regions.fetch_add(1, Ordering::Relaxed);
+        let n = self.shared.threads;
+        if n == 1 {
+            f(0, 1);
+            return;
+        }
+        if self
+            .busy
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            // Nested region: run every partition on this thread.
+            self.nested_sequential.fetch_add(1, Ordering::Relaxed);
+            for tid in 0..n {
+                f(tid, n);
+            }
+            return;
+        }
+
+        let wide: *const (dyn Fn(usize, usize) + Sync + '_) = &f;
+        // Erase the lifetime: the stop barrier below keeps the borrow
+        // inside this call frame.
+        let wide: TaskPtr = unsafe { std::mem::transmute(wide) };
+        unsafe { *self.shared.task.get() = Some(wide) };
+        self.shared.remaining.store(n - 1, Ordering::Relaxed);
+        // The "condition flip": release all parked workers at once.
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+
+        // Main thread participates as tid 0. Even if it panics, the drop
+        // guard waits in the stop barrier first — the closure must stay
+        // alive until every worker is done with it.
+        let guard = RegionGuard {
+            pool: self,
+            main_panicked: true,
+        };
+        f(0, n);
+        let mut guard = guard;
+        guard.main_panicked = false;
+        drop(guard);
+
+        if self.shared.panicked.swap(false, Ordering::AcqRel) {
+            panic!("a fork-join worker panicked during a parallel region");
+        }
+    }
+}
+
+impl Drop for ForkJoinPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Waits in the stop barrier and releases region state even when the main
+/// thread's portion of the work panics.
+struct RegionGuard<'a> {
+    pool: &'a ForkJoinPool,
+    main_panicked: bool,
+}
+
+impl Drop for RegionGuard<'_> {
+    fn drop(&mut self) {
+        let shared = &self.pool.shared;
+        let mut spins = 0u32;
+        while shared.remaining.load(Ordering::Acquire) != 0 {
+            backoff(&mut spins);
+        }
+        unsafe { *shared.task.get() = None };
+        if self.main_panicked {
+            // The original panic is already unwinding; just clear the
+            // worker flag so the next region starts clean.
+            shared.panicked.store(false, Ordering::Release);
+        }
+        self.pool.busy.store(false, Ordering::Release);
+    }
+}
+
+fn worker_loop(shared: &Shared, tid: usize) {
+    let mut seen = 0u64;
+    loop {
+        // Spin lock: idle until the main thread flips the condition.
+        let mut spins = 0u32;
+        let mut epoch = shared.epoch.load(Ordering::Acquire);
+        while epoch == seen {
+            backoff(&mut spins);
+            epoch = shared.epoch.load(Ordering::Acquire);
+        }
+        seen = epoch;
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Safety: the epoch Acquire pairs with the Release flip performed
+        // after the task pointer was stored, and the closure outlives the
+        // region because `run` blocks on the stop barrier.
+        let task = unsafe { (*shared.task.get()).expect("epoch flipped without a task") };
+        let task = unsafe { &*task };
+        // A panicking body must still reach the stop barrier or the main
+        // thread would wait forever; record it and re-raise over there.
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(tid, shared.threads)))
+            .is_err()
+        {
+            shared.panicked.store(true, Ordering::Release);
+        }
+        // Stop barrier.
+        shared.remaining.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Spin-then-yield backoff: burn a few hundred spins (cheap wake-up when
+/// work arrives immediately, the case the enhanced model optimizes for),
+/// then yield so oversubscribed configurations still make progress.
+#[inline]
+fn backoff(spins: &mut u32) {
+    if *spins < 512 {
+        std::hint::spin_loop();
+        *spins += 1;
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// The naive fork-join baseline: spawn `threads` OS threads for this one
+/// region and join them all, paying creation/destruction cost every time
+/// (the model the paper's enhanced pool replaces).
+pub fn naive_run<F>(threads: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 {
+        f(0, 1);
+        return;
+    }
+    std::thread::scope(|s| {
+        for tid in 1..threads {
+            let f = &f;
+            s.spawn(move || f(tid, threads));
+        }
+        f(0, threads);
+    });
+}
+
+#[cfg(test)]
+mod tests;

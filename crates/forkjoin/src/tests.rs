@@ -1,0 +1,162 @@
+use crate::*;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+#[test]
+fn single_thread_pool_runs_inline() {
+    let pool = ForkJoinPool::new(1);
+    let hit = std::sync::atomic::AtomicBool::new(false);
+    pool.run(|tid, n| {
+        assert_eq!((tid, n), (0, 1));
+        hit.store(true, Ordering::Relaxed);
+    });
+    assert!(hit.into_inner());
+    assert_eq!(pool.regions_run(), 1);
+}
+
+#[test]
+fn all_tids_run_exactly_once() {
+    let pool = ForkJoinPool::new(4);
+    for _ in 0..100 {
+        let seen = [(); 4].map(|_| AtomicUsize::new(0));
+        pool.run(|tid, n| {
+            assert_eq!(n, 4);
+            seen[tid].fetch_add(1, Ordering::Relaxed);
+        });
+        for s in &seen {
+            assert_eq!(s.load(Ordering::Relaxed), 1);
+        }
+    }
+    assert_eq!(pool.regions_run(), 100);
+}
+
+#[test]
+fn regions_are_synchronized_barriers() {
+    // Writes from region k must be visible in region k+1 without extra
+    // synchronization (stop barrier provides happens-before).
+    let pool = ForkJoinPool::new(4);
+    let data = Mutex::new(vec![0u64; 4]);
+    for round in 1..50u64 {
+        pool.run(|tid, _| {
+            data.lock().unwrap()[tid] = round;
+        });
+        let d = data.lock().unwrap();
+        assert!(d.iter().all(|&v| v == round), "round {round}: {d:?}");
+    }
+}
+
+#[test]
+fn pool_reuses_same_workers() {
+    let pool = ForkJoinPool::new(3);
+    let ids = Mutex::new(std::collections::HashSet::new());
+    for _ in 0..20 {
+        pool.run(|_, _| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+    }
+    // 2 workers + main thread.
+    assert_eq!(ids.lock().unwrap().len(), 3);
+}
+
+#[test]
+fn nested_run_degrades_to_sequential() {
+    let pool = ForkJoinPool::new(2);
+    let count = AtomicUsize::new(0);
+    pool.run(|_, _| {
+        pool.run(|_, n| {
+            assert_eq!(n, 2);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    // Two outer participants each ran the inner region over 2 tids.
+    assert_eq!(count.load(Ordering::Relaxed), 4);
+    assert_eq!(pool.nested_sequential_runs(), 2);
+}
+
+#[test]
+fn naive_run_covers_all_tids() {
+    for threads in [1, 2, 3, 8] {
+        let seen = Mutex::new(vec![0u32; threads]);
+        naive_run(threads, |tid, n| {
+            assert_eq!(n, threads);
+            seen.lock().unwrap()[tid] += 1;
+        });
+        assert!(seen.lock().unwrap().iter().all(|&c| c == 1));
+    }
+}
+
+#[test]
+fn parallel_sum_matches_sequential() {
+    let pool = ForkJoinPool::new(4);
+    let n = 1_000_000usize;
+    let total = AtomicU64::new(0);
+    pool.run(|tid, nt| {
+        let r = chunk_range(n, nt, tid);
+        let local: u64 = r.map(|i| i as u64).sum();
+        total.fetch_add(local, Ordering::Relaxed);
+    });
+    assert_eq!(total.into_inner(), (n as u64 - 1) * n as u64 / 2);
+}
+
+#[test]
+fn drop_joins_workers() {
+    // Must not hang or leak: create and drop several pools.
+    for _ in 0..5 {
+        let pool = ForkJoinPool::new(4);
+        pool.run(|_, _| {});
+        drop(pool);
+    }
+}
+
+#[test]
+fn zero_threads_clamped_to_one() {
+    let pool = ForkJoinPool::new(0);
+    assert_eq!(pool.threads(), 1);
+    pool.run(|tid, n| assert_eq!((tid, n), (0, 1)));
+}
+
+#[test]
+fn chunk_range_examples() {
+    assert_eq!(chunk_range(10, 1, 0), 0..10);
+    assert_eq!(chunk_range(0, 4, 2), 0..0);
+    assert_eq!(chunk_range(3, 4, 3), 3..3);
+    assert_eq!(chunk_range(7, 2, 0), 0..4);
+    assert_eq!(chunk_range(7, 2, 1), 4..7);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn chunk_range_tid_checked() {
+    let _ = chunk_range(10, 2, 2);
+}
+
+proptest! {
+    #[test]
+    fn prop_chunks_partition_exactly(total in 0usize..10_000, nthreads in 1usize..17) {
+        let chunks = chunks_of(total, nthreads);
+        prop_assert_eq!(chunks.len(), nthreads);
+        let mut next = 0;
+        for c in &chunks {
+            prop_assert_eq!(c.start, next);
+            next = c.end;
+        }
+        prop_assert_eq!(next, total);
+        // Balanced: sizes differ by at most one.
+        let sizes: Vec<_> = chunks.iter().map(|c| c.len()).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn prop_pool_sum_any_shape(n in 0usize..50_000, threads in 1usize..6) {
+        let pool = ForkJoinPool::new(threads);
+        let total = AtomicU64::new(0);
+        pool.run(|tid, nt| {
+            let local: u64 = chunk_range(n, nt, tid).map(|i| i as u64 + 1).sum();
+            total.fetch_add(local, Ordering::Relaxed);
+        });
+        prop_assert_eq!(total.into_inner(), (1..=n as u64).sum::<u64>());
+    }
+}

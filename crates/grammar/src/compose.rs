@@ -1,0 +1,214 @@
+//! The modular determinism analysis — `isComposable` (§VI-A).
+//!
+//! The paper's guarantee: if every chosen extension passes the analysis
+//! against the host, then the composition of the host with *all* of them is
+//! LALR(1), so a working scanner and parser can always be generated:
+//!
+//! ```text
+//! (∀ i. isLALR(CFG_H ∪ CFG_Ei) ∧ isComposable(CFG_H, CFG_Ei))
+//!     ⇒ isLALR(CFG_H ∪ {CFG_E1, …, CFG_En})
+//! ```
+//!
+//! The analysis implemented here enforces the restriction the paper
+//! highlights: extension syntax reachable from host nonterminals must begin
+//! with a unique *marking terminal* owned by the extension — "a unique
+//! initial terminal symbol is needed on extension syntax". That is exactly
+//! why the matrix extension passes (its bridge productions start with
+//! `with`, `Matrix`, `matrixMap`, …) while the tuples extension fails (its
+//! initial symbol is the host's left parenthesis), so tuples are packaged
+//! as part of the host language instead.
+
+use std::collections::HashSet;
+
+use crate::grammar::{ComposeError, ComposedGrammar, GrammarFragment, Sym};
+use crate::lalr;
+
+/// Outcome of running the analysis on one extension against a host.
+#[derive(Debug, Clone)]
+pub struct ComposabilityReport {
+    /// The extension analysed.
+    pub extension: String,
+    /// Whether the extension is in the composable class.
+    pub passed: bool,
+    /// Violations found (empty iff `passed`).
+    pub violations: Vec<String>,
+    /// Marking terminals found on the extension's bridge productions.
+    pub marking_terminals: Vec<String>,
+    /// Whether host ∪ extension alone is LALR(1).
+    pub is_lalr_with_host: bool,
+}
+
+impl std::fmt::Display for ComposabilityReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "extension '{}': {}",
+            self.extension,
+            if self.passed { "COMPOSABLE" } else { "NOT COMPOSABLE" }
+        )?;
+        if !self.marking_terminals.is_empty() {
+            writeln!(f, "  marking terminals: {}", self.marking_terminals.join(", "))?;
+        }
+        for v in &self.violations {
+            writeln!(f, "  violation: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Run the modular determinism analysis of one extension against the host.
+pub fn is_composable(host: &GrammarFragment, ext: &GrammarFragment) -> ComposabilityReport {
+    let mut violations = Vec::new();
+    let mut marking = Vec::new();
+
+    let host_nts: HashSet<&str> = host.productions.iter().map(|p| p.lhs.as_str()).collect();
+    let host_ts: HashSet<&str> = host.terminals.iter().map(|t| t.name.as_str()).collect();
+    let ext_ts: HashSet<&str> = ext.terminals.iter().map(|t| t.name.as_str()).collect();
+
+    // Rule 1: bridge productions (extension productions on host
+    // nonterminals) must begin with a marking terminal new to the
+    // extension, OR be left-recursive operator productions `A -> A t β`
+    // whose operator terminal `t` is new to the extension. The second
+    // form is a documented relaxation covering new infix/postfix
+    // operators (the matrix extension's `.*` and `m[...]`): the new
+    // terminal is still the unique decision point — the parser has
+    // finished the host-language left operand when it sees it, and no
+    // host action can exist on a terminal the host does not know.
+    for p in &ext.productions {
+        if host_nts.contains(p.lhs.as_str()) {
+            match p.rhs.first() {
+                Some(Sym::T(t)) if ext_ts.contains(t.as_str()) => {
+                    if !marking.contains(t) {
+                        marking.push(t.clone());
+                    }
+                }
+                Some(Sym::T(t)) if host_ts.contains(t.as_str()) => {
+                    violations.push(format!(
+                        "bridge production '{}' begins with host terminal '{t}' \
+                         instead of a new marking terminal",
+                        p.name
+                    ));
+                }
+                Some(Sym::T(t)) => {
+                    violations.push(format!(
+                        "bridge production '{}' begins with unknown terminal '{t}'",
+                        p.name
+                    ));
+                }
+                Some(Sym::N(n)) if n == &p.lhs => {
+                    // Left-recursive operator form: A -> A t β.
+                    match p.rhs.get(1) {
+                        Some(Sym::T(t)) if ext_ts.contains(t.as_str()) => {
+                            if !marking.contains(t) {
+                                marking.push(t.clone());
+                            }
+                        }
+                        _ => violations.push(format!(
+                            "left-recursive bridge production '{}' must have a new \
+                             operator terminal in its second position",
+                            p.name
+                        )),
+                    }
+                }
+                Some(Sym::N(n)) => {
+                    violations.push(format!(
+                        "bridge production '{}' begins with nonterminal '{n}' \
+                         instead of a marking terminal",
+                        p.name
+                    ));
+                }
+                None => violations.push(format!(
+                    "bridge production '{}' is empty; extensions may not add \
+                     epsilon productions to host nonterminals",
+                    p.name
+                )),
+            }
+        }
+    }
+
+    // Rule 2: extensions must not redefine host terminals or host
+    // production names (caught by composition) and must not set a start
+    // symbol.
+    if ext.start.is_some() {
+        violations.push("extension sets a start symbol".to_string());
+    }
+
+    // Rule 3: host ∪ ext must itself be LALR(1).
+    let is_lalr_with_host = match ComposedGrammar::compose(host, &[ext]) {
+        Ok(g) => {
+            let t = lalr::build(&g);
+            for c in &t.conflicts {
+                violations.push(format!(
+                    "host ∪ {} has an LALR conflict on '{}' in state {}: {}",
+                    ext.name, c.terminal, c.state, c.description
+                ));
+            }
+            t.is_lalr()
+        }
+        Err(e) => {
+            violations.push(format!("composition with host failed: {e}"));
+            false
+        }
+    };
+
+    ComposabilityReport {
+        extension: ext.name.clone(),
+        passed: violations.is_empty(),
+        violations,
+        marking_terminals: marking,
+        is_lalr_with_host,
+    }
+}
+
+/// Compose host + extensions with the paper's guarantee workflow: each
+/// extension is checked with [`is_composable`] first; if all pass, the
+/// full composition is built and (as the theorem predicts) verified
+/// LALR(1). Returns the composed grammar or the collected reports of the
+/// failing extensions.
+pub fn compose_verified(
+    host: &GrammarFragment,
+    extensions: &[&GrammarFragment],
+) -> Result<ComposedGrammar, Vec<ComposabilityReport>> {
+    let reports: Vec<ComposabilityReport> = extensions
+        .iter()
+        .map(|e| is_composable(host, e))
+        .collect();
+    if reports.iter().any(|r| !r.passed) {
+        return Err(reports.into_iter().filter(|r| !r.passed).collect());
+    }
+    let composed = ComposedGrammar::compose(host, extensions).map_err(|e| {
+        vec![ComposabilityReport {
+            extension: "<composition>".to_string(),
+            passed: false,
+            violations: vec![e.to_string()],
+            marking_terminals: Vec::new(),
+            is_lalr_with_host: false,
+        }]
+    })?;
+    let tables = lalr::build(&composed);
+    if !tables.is_lalr() {
+        // The theorem says this cannot happen for passing extensions; if it
+        // does, report it as a composition-level failure.
+        return Err(vec![ComposabilityReport {
+            extension: "<composition>".to_string(),
+            passed: false,
+            violations: tables
+                .conflicts
+                .iter()
+                .map(|c| format!("conflict on '{}': {}", c.terminal, c.description))
+                .collect(),
+            marking_terminals: Vec::new(),
+            is_lalr_with_host: false,
+        }]);
+    }
+    Ok(composed)
+}
+
+/// Convenience: does `host ∪ extensions` form an LALR(1) grammar?
+pub fn is_lalr(
+    host: &GrammarFragment,
+    extensions: &[&GrammarFragment],
+) -> Result<bool, ComposeError> {
+    let g = ComposedGrammar::compose(host, extensions)?;
+    Ok(lalr::build(&g).is_lalr())
+}

@@ -1,0 +1,117 @@
+//! Subset construction: one DFA recognizing every terminal of the
+//! composed language at once.
+//!
+//! Each DFA state records *all* terminals that accept there; the
+//! context-aware scanner intersects that set with the parser state's
+//! valid-terminal set at match time, which is what lets composed languages
+//! reuse overlapping lexical syntax (§VI-A).
+
+use crate::regex::{Nfa, Regex};
+
+/// Sentinel for "no transition".
+pub const DEAD: u32 = u32::MAX;
+
+/// Deterministic automaton over bytes with terminal-accept sets per state.
+pub struct Dfa {
+    /// `next[state * 256 + byte]` = target state or [`DEAD`].
+    next: Vec<u32>,
+    /// Terminal ids accepting in each state (sorted).
+    accepts: Vec<Vec<u16>>,
+}
+
+impl Dfa {
+    /// Build the combined DFA for `terminals` (id = index).
+    pub fn build(terminals: &[Regex]) -> Dfa {
+        let mut nfa = Nfa::default();
+        let mut accept_of = Vec::new(); // NFA accept state -> terminal id
+        let mut starts = Vec::new();
+        for (tid, re) in terminals.iter().enumerate() {
+            let (s, a) = nfa.compile(re);
+            starts.push(s);
+            accept_of.push((a, tid as u16));
+        }
+
+        let eps_closure = |states: &mut Vec<usize>| {
+            let mut stack: Vec<usize> = states.clone();
+            while let Some(s) = stack.pop() {
+                for &t in &nfa.epsilon[s] {
+                    if !states.contains(&t) {
+                        states.push(t);
+                        stack.push(t);
+                    }
+                }
+            }
+            states.sort_unstable();
+            states.dedup();
+        };
+
+        let mut start_set = starts.clone();
+        eps_closure(&mut start_set);
+
+        let mut states: Vec<Vec<usize>> = vec![start_set.clone()];
+        let mut index = std::collections::HashMap::new();
+        index.insert(start_set, 0u32);
+        let mut next: Vec<u32> = Vec::new();
+        let mut accepts: Vec<Vec<u16>> = Vec::new();
+        let mut work = 0usize;
+        while work < states.len() {
+            let current = states[work].clone();
+            // Accept set of this subset state.
+            let mut acc: Vec<u16> = accept_of
+                .iter()
+                .filter(|(a, _)| current.binary_search(a).is_ok())
+                .map(|&(_, tid)| tid)
+                .collect();
+            acc.sort_unstable();
+            accepts.push(acc);
+            // Transitions: for each byte, union of NFA moves.
+            let row_base = next.len();
+            next.resize(row_base + 256, DEAD);
+            for byte in 0u16..256 {
+                let b = byte as u8;
+                let mut target: Vec<usize> = Vec::new();
+                for &s in &current {
+                    for (set, t) in &nfa.transitions[s] {
+                        if set.contains(b) {
+                            target.push(*t);
+                        }
+                    }
+                }
+                if target.is_empty() {
+                    continue;
+                }
+                eps_closure(&mut target);
+                let id = *index.entry(target.clone()).or_insert_with(|| {
+                    states.push(target);
+                    (states.len() - 1) as u32
+                });
+                next[row_base + byte as usize] = id;
+            }
+            work += 1;
+        }
+        Dfa { next, accepts }
+    }
+
+    /// Start state (always 0).
+    #[inline]
+    pub fn start(&self) -> u32 {
+        0
+    }
+
+    /// Transition from `state` on `byte`, or [`DEAD`].
+    #[inline]
+    pub fn step(&self, state: u32, byte: u8) -> u32 {
+        self.next[state as usize * 256 + byte as usize]
+    }
+
+    /// Terminals accepting in `state` (sorted ids).
+    #[inline]
+    pub fn accepts(&self, state: u32) -> &[u16] {
+        &self.accepts[state as usize]
+    }
+
+    /// Number of DFA states.
+    pub fn num_states(&self) -> usize {
+        self.accepts.len()
+    }
+}

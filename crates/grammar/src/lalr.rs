@@ -1,0 +1,490 @@
+//! LALR(1) table construction.
+//!
+//! The composed grammar is required to be LALR(1), "the class of
+//! deterministic (and thus unambiguous) grammars" the paper builds on
+//! (§VI-A). Tables are built the classical efficient way: construct the
+//! LR(0) automaton, then compute lookaheads by spontaneous generation and
+//! propagation over kernel items (Dragon Book Alg. 4.63), which stays fast
+//! even for the full composed C-subset grammar.
+
+use std::collections::HashMap;
+
+use crate::grammar::{ComposedGrammar, GSym, EOF};
+
+/// One parse action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// No action: syntax error.
+    Error,
+    /// Shift and go to state.
+    Shift(u32),
+    /// Reduce by production index.
+    Reduce(u32),
+    /// Accept the input.
+    Accept,
+}
+
+/// A shift/reduce or reduce/reduce conflict, reported with production
+/// names so extension authors can diagnose composition failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conflict {
+    /// State where the conflict occurs.
+    pub state: u32,
+    /// Terminal on which the actions clash.
+    pub terminal: String,
+    /// Human-readable description of the two actions.
+    pub description: String,
+}
+
+/// LALR(1) parse tables.
+pub struct Tables {
+    /// `action[state * num_terminals + terminal]`.
+    action: Vec<Action>,
+    /// `goto_nt[state * num_nonterminals + nt]` = target state or u32::MAX.
+    goto_nt: Vec<u32>,
+    num_terminals: usize,
+    num_nonterminals: usize,
+    /// Conflicts found during construction; non-empty means the composed
+    /// grammar is not LALR(1).
+    pub conflicts: Vec<Conflict>,
+    /// Number of LR(0)/LALR states.
+    pub num_states: usize,
+}
+
+impl Tables {
+    /// Look up the action for `(state, terminal)`.
+    #[inline]
+    pub fn action(&self, state: u32, terminal: u16) -> Action {
+        self.action[state as usize * self.num_terminals + terminal as usize]
+    }
+
+    /// Look up the goto for `(state, nonterminal)`.
+    #[inline]
+    pub fn goto(&self, state: u32, nt: u16) -> Option<u32> {
+        let g = self.goto_nt[state as usize * self.num_nonterminals + nt as usize];
+        (g != u32::MAX).then_some(g)
+    }
+
+    /// Terminals with a non-error action in `state` — the context the
+    /// scanner uses to disambiguate overlapping terminals (§VI-A).
+    pub fn valid_terminals(&self, state: u32) -> Vec<u16> {
+        let row = &self.action
+            [state as usize * self.num_terminals..(state as usize + 1) * self.num_terminals];
+        row.iter()
+            .enumerate()
+            .filter(|(_, a)| !matches!(a, Action::Error))
+            .map(|(t, _)| t as u16)
+            .collect()
+    }
+
+    /// Whether the grammar is LALR(1) (no conflicts).
+    pub fn is_lalr(&self) -> bool {
+        self.conflicts.is_empty()
+    }
+}
+
+/// Dynamic bitset over terminal ids plus one extra "probe" bit used by the
+/// propagation algorithm.
+#[derive(Clone, PartialEq, Eq)]
+struct LkSet {
+    words: Vec<u64>,
+}
+
+impl LkSet {
+    fn new(bits: usize) -> Self {
+        LkSet {
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+    #[inline]
+    fn insert(&mut self, i: usize) -> bool {
+        let w = &mut self.words[i / 64];
+        let m = 1u64 << (i % 64);
+        let added = *w & m == 0;
+        *w |= m;
+        added
+    }
+    fn union_with(&mut self, other: &LkSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | *b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+    fn iter_bits(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter_map(move |b| (w & (1 << b) != 0).then_some(wi * 64 + b))
+        })
+    }
+}
+
+/// Packed LR item: production index in the high bits, dot position low.
+type Item = u32;
+
+#[inline]
+fn item(prod: usize, dot: usize) -> Item {
+    (prod as u32) << 8 | dot as u32
+}
+#[inline]
+fn item_prod(i: Item) -> usize {
+    (i >> 8) as usize
+}
+#[inline]
+fn item_dot(i: Item) -> usize {
+    (i & 0xff) as usize
+}
+
+/// Build LALR(1) tables for a composed grammar.
+pub fn build(grammar: &ComposedGrammar) -> Tables {
+    let nt_count = grammar.num_nonterminals();
+    let t_count = grammar.num_terminals();
+    let probe_bit = t_count; // extra lookahead symbol '#'
+
+    // Augment: production index = grammar.prods.len() is S' -> S.
+    let aug_prod = grammar.prods.len();
+    let aug_rhs = [GSym::N(grammar.start)];
+    struct ProdView<'a> {
+        grammar: &'a ComposedGrammar,
+        aug_prod: usize,
+        aug_rhs: &'a [GSym; 1],
+    }
+    impl<'a> ProdView<'a> {
+        fn rhs(&self, p: usize) -> &'a [GSym] {
+            if p == self.aug_prod {
+                self.aug_rhs
+            } else {
+                &self.grammar.prods[p].1
+            }
+        }
+    }
+    let view = ProdView {
+        grammar,
+        aug_prod,
+        aug_rhs: &aug_rhs,
+    };
+
+    // Productions per nonterminal.
+    let mut prods_of: Vec<Vec<usize>> = vec![Vec::new(); nt_count];
+    for (i, (lhs, _)) in grammar.prods.iter().enumerate() {
+        prods_of[*lhs as usize].push(i);
+    }
+
+    // FIRST sets and nullability for nonterminals.
+    let mut nullable = vec![false; nt_count];
+    let mut first: Vec<LkSet> = (0..nt_count).map(|_| LkSet::new(t_count + 1)).collect();
+    loop {
+        let mut changed = false;
+        for (lhs, rhs) in &grammar.prods {
+            let l = *lhs as usize;
+            let mut all_nullable = true;
+            for sym in rhs {
+                match sym {
+                    GSym::T(t) => {
+                        changed |= first[l].insert(*t as usize);
+                        all_nullable = false;
+                    }
+                    GSym::N(n) => {
+                        let (a, b) = if l == *n as usize {
+                            (None, None)
+                        } else {
+                            let (lo, hi) = (l.min(*n as usize), l.max(*n as usize));
+                            let (left, right) = first.split_at_mut(hi);
+                            if l < *n as usize {
+                                (Some(&mut left[lo]), Some(&right[0]))
+                            } else {
+                                (None, None)
+                            }
+                        };
+                        match (a, b) {
+                            (Some(dst), Some(src)) => changed |= dst.union_with(src),
+                            _ => {
+                                // Same nonterminal or l > n: do a copy-based
+                                // union to sidestep the borrow split.
+                                if l != *n as usize {
+                                    let src = first[*n as usize].clone();
+                                    changed |= first[l].union_with(&src);
+                                }
+                            }
+                        }
+                        if !nullable[*n as usize] {
+                            all_nullable = false;
+                        }
+                    }
+                }
+                if !all_nullable {
+                    break;
+                }
+            }
+            if all_nullable && !nullable[l] {
+                nullable[l] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // FIRST of a symbol sequence followed by a lookahead set.
+    let first_of_seq = |seq: &[GSym], la: &LkSet, out: &mut LkSet| {
+        for sym in seq {
+            match sym {
+                GSym::T(t) => {
+                    out.insert(*t as usize);
+                    return;
+                }
+                GSym::N(n) => {
+                    out.union_with(&first[*n as usize]);
+                    if !nullable[*n as usize] {
+                        return;
+                    }
+                }
+            }
+        }
+        out.union_with(la);
+    };
+
+    // --- LR(0) automaton ---------------------------------------------
+    // closure0 returns kernel + nonkernel items of a state.
+    let closure0 = |kernel: &[Item]| -> Vec<Item> {
+        let mut items: Vec<Item> = kernel.to_vec();
+        let mut seen_nt = vec![false; nt_count];
+        let mut stack: Vec<Item> = kernel.to_vec();
+        while let Some(it) = stack.pop() {
+            let rhs = view.rhs(item_prod(it));
+            if let Some(GSym::N(n)) = rhs.get(item_dot(it)) {
+                if !seen_nt[*n as usize] {
+                    seen_nt[*n as usize] = true;
+                    for &p in &prods_of[*n as usize] {
+                        let ni = item(p, 0);
+                        items.push(ni);
+                        stack.push(ni);
+                    }
+                }
+            }
+        }
+        items.sort_unstable();
+        items.dedup();
+        items
+    };
+
+    let start_kernel = vec![item(aug_prod, 0)];
+    let mut kernels: Vec<Vec<Item>> = vec![start_kernel.clone()];
+    let mut state_of: HashMap<Vec<Item>, u32> = HashMap::new();
+    state_of.insert(start_kernel, 0);
+    let mut transitions: Vec<HashMap<GSym, u32>> = vec![HashMap::new()];
+    let mut work = 0usize;
+    while work < kernels.len() {
+        let full = closure0(&kernels[work]);
+        // Group advancing items by the symbol after the dot.
+        let mut by_sym: HashMap<GSym, Vec<Item>> = HashMap::new();
+        for &it in &full {
+            if let Some(sym) = view.rhs(item_prod(it)).get(item_dot(it)) {
+                by_sym
+                    .entry(*sym)
+                    .or_default()
+                    .push(item(item_prod(it), item_dot(it) + 1));
+            }
+        }
+        for (sym, mut kernel) in by_sym {
+            kernel.sort_unstable();
+            kernel.dedup();
+            let id = *state_of.entry(kernel.clone()).or_insert_with(|| {
+                kernels.push(kernel);
+                transitions.push(HashMap::new());
+                (kernels.len() - 1) as u32
+            });
+            transitions[work].insert(sym, id);
+        }
+        work += 1;
+    }
+    let num_states = kernels.len();
+
+    // --- Lookahead computation (spontaneous + propagation) -----------
+    // Kernel item positions: (state, index within kernels[state]).
+    let kernel_index: Vec<HashMap<Item, usize>> = kernels
+        .iter()
+        .map(|k| k.iter().enumerate().map(|(i, &it)| (it, i)).collect())
+        .collect();
+    let mut lookaheads: Vec<Vec<LkSet>> = kernels
+        .iter()
+        .map(|k| k.iter().map(|_| LkSet::new(t_count + 1)).collect())
+        .collect();
+    // EOF on the start item.
+    lookaheads[0][0].insert(EOF as usize);
+
+    // LR(1) closure of a single kernel item with probe lookahead, used to
+    // discover spontaneous lookaheads and propagation links.
+    let mut propagate: Vec<((u32, usize), (u32, usize))> = Vec::new();
+    for (s, kernel) in kernels.iter().enumerate() {
+        for (ki, &kit) in kernel.iter().enumerate() {
+            // closure over (item, lookahead-set) pairs
+            let mut la_of: HashMap<Item, LkSet> = HashMap::new();
+            let mut probe_la = LkSet::new(t_count + 1);
+            probe_la.insert(probe_bit);
+            la_of.insert(kit, probe_la);
+            let mut stack = vec![kit];
+            while let Some(it) = stack.pop() {
+                let la = la_of[&it].clone();
+                let rhs = view.rhs(item_prod(it));
+                if let Some(GSym::N(n)) = rhs.get(item_dot(it)) {
+                    let beta = &rhs[item_dot(it) + 1..];
+                    let mut new_la = LkSet::new(t_count + 1);
+                    first_of_seq(beta, &la, &mut new_la);
+                    for &p in &prods_of[*n as usize] {
+                        let ni = item(p, 0);
+                        let entry = la_of
+                            .entry(ni)
+                            .or_insert_with(|| LkSet::new(t_count + 1));
+                        if entry.union_with(&new_la) {
+                            stack.push(ni);
+                        }
+                    }
+                }
+            }
+            // Distribute to successor kernels.
+            for (it, la) in &la_of {
+                let rhs = view.rhs(item_prod(*it));
+                if let Some(sym) = rhs.get(item_dot(*it)) {
+                    let target = transitions[s][sym];
+                    let advanced = item(item_prod(*it), item_dot(*it) + 1);
+                    let ti = kernel_index[target as usize][&advanced];
+                    for bit in la.iter_bits() {
+                        if bit == probe_bit {
+                            propagate.push(((s as u32, ki), (target, ti)));
+                        } else {
+                            lookaheads[target as usize][ti].insert(bit);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Propagation fixpoint.
+    loop {
+        let mut changed = false;
+        for &((fs, fi), (ts, ti)) in &propagate {
+            let src = lookaheads[fs as usize][fi].clone();
+            changed |= lookaheads[ts as usize][ti].union_with(&src);
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // --- Table construction -------------------------------------------
+    let mut action = vec![Action::Error; num_states * t_count];
+    let mut goto_nt = vec![u32::MAX; num_states * nt_count];
+    let mut conflicts = Vec::new();
+
+    for (s, kernel) in kernels.iter().enumerate() {
+        // Shifts and gotos.
+        for (sym, &target) in &transitions[s] {
+            match sym {
+                GSym::T(t) => action[s * t_count + *t as usize] = Action::Shift(target),
+                GSym::N(n) => goto_nt[s * nt_count + *n as usize] = target,
+            }
+        }
+        // Reductions: complete items of the full closure. Nonkernel items
+        // can only be complete for epsilon productions; compute their
+        // lookaheads from the kernel ones on the fly.
+        let full = closure0(kernel);
+        for &it in &full {
+            let p = item_prod(it);
+            let dot = item_dot(it);
+            if dot != view.rhs(p).len() {
+                continue;
+            }
+            // Lookahead set for this complete item.
+            let la = if let Some(&ki) = kernel_index[s].get(&it) {
+                lookaheads[s][ki].clone()
+            } else {
+                // Epsilon item: recompute closure lookaheads from all
+                // kernel items of this state.
+                let mut acc = LkSet::new(t_count + 1);
+                for (ki, &kit) in kernel.iter().enumerate() {
+                    let mut la_of: HashMap<Item, LkSet> = HashMap::new();
+                    la_of.insert(kit, lookaheads[s][ki].clone());
+                    let mut stack = vec![kit];
+                    while let Some(cit) = stack.pop() {
+                        let la = la_of[&cit].clone();
+                        let rhs = view.rhs(item_prod(cit));
+                        if let Some(GSym::N(n)) = rhs.get(item_dot(cit)) {
+                            let beta = &rhs[item_dot(cit) + 1..];
+                            let mut new_la = LkSet::new(t_count + 1);
+                            first_of_seq(beta, &la, &mut new_la);
+                            for &pp in &prods_of[*n as usize] {
+                                let ni = item(pp, 0);
+                                let entry = la_of
+                                    .entry(ni)
+                                    .or_insert_with(|| LkSet::new(t_count + 1));
+                                if entry.union_with(&new_la) {
+                                    stack.push(ni);
+                                }
+                            }
+                        }
+                    }
+                    if let Some(l) = la_of.get(&it) {
+                        acc.union_with(l);
+                    }
+                }
+                acc
+            };
+            for t in la.iter_bits() {
+                if t == probe_bit {
+                    continue;
+                }
+                let cell = &mut action[s * t_count + t];
+                let new = if p == aug_prod {
+                    Action::Accept
+                } else {
+                    Action::Reduce(p as u32)
+                };
+                match *cell {
+                    Action::Error => *cell = new,
+                    existing if existing == new => {}
+                    existing => {
+                        conflicts.push(Conflict {
+                            state: s as u32,
+                            terminal: grammar.terminals[t].name.clone(),
+                            description: describe_conflict(grammar, existing, new, aug_prod),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    Tables {
+        action,
+        goto_nt,
+        num_terminals: t_count,
+        num_nonterminals: nt_count,
+        conflicts,
+        num_states,
+    }
+}
+
+fn describe_conflict(
+    grammar: &ComposedGrammar,
+    a: Action,
+    b: Action,
+    aug_prod: usize,
+) -> String {
+    let name = |act: Action| match act {
+        Action::Shift(s) => format!("shift({s})"),
+        Action::Reduce(p) => {
+            if p as usize == aug_prod {
+                "accept".to_string()
+            } else {
+                format!("reduce({})", grammar.productions[p as usize].name)
+            }
+        }
+        Action::Accept => "accept".to_string(),
+        Action::Error => "error".to_string(),
+    };
+    format!("{} vs {}", name(a), name(b))
+}

@@ -1,0 +1,209 @@
+//! LR parse driver producing concrete syntax trees.
+//!
+//! The driver couples the LALR(1) tables with the context-aware scanner:
+//! before requesting a token it computes the set of terminals with a
+//! non-error action in the current state and passes that set to the
+//! scanner as the "context" (§VI-A).
+
+use crate::dfa::Dfa;
+use crate::grammar::ComposedGrammar;
+use crate::lalr::{Action, Tables};
+use crate::scanner::{ScanError, Scanner, Token};
+
+/// Concrete syntax tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cst {
+    /// A shifted token.
+    Leaf(Token),
+    /// A reduced production with its children in RHS order.
+    Node {
+        /// Production index into [`ComposedGrammar::productions`].
+        prod: u32,
+        /// Children, one per RHS symbol.
+        children: Vec<Cst>,
+    },
+}
+
+impl Cst {
+    /// Production name, if this is a node.
+    pub fn prod_name<'g>(&self, grammar: &'g ComposedGrammar) -> Option<&'g str> {
+        match self {
+            Cst::Node { prod, .. } => Some(&grammar.productions[*prod as usize].name),
+            Cst::Leaf(_) => None,
+        }
+    }
+
+    /// Token, if this is a leaf.
+    pub fn token(&self) -> Option<&Token> {
+        match self {
+            Cst::Leaf(t) => Some(t),
+            Cst::Node { .. } => None,
+        }
+    }
+
+    /// Children of a node (empty for leaves).
+    pub fn children(&self) -> &[Cst] {
+        match self {
+            Cst::Node { children, .. } => children,
+            Cst::Leaf(_) => &[],
+        }
+    }
+
+    /// First token in source order (for spans/diagnostics).
+    pub fn first_token(&self) -> Option<&Token> {
+        match self {
+            Cst::Leaf(t) => Some(t),
+            Cst::Node { children, .. } => children.iter().find_map(|c| c.first_token()),
+        }
+    }
+}
+
+/// Syntax error with source position and expectations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Scanner failure.
+    Scan(ScanError),
+    /// Parser failure: unexpected token.
+    Unexpected {
+        /// The offending token's text.
+        found: String,
+        /// Terminal name of the offending token.
+        terminal: String,
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+        /// Names of terminals that would have been accepted.
+        expected: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Scan(e) => write!(f, "{e}"),
+            ParseError::Unexpected {
+                found,
+                terminal,
+                line,
+                col,
+                expected,
+            } => write!(
+                f,
+                "line {line}:{col}: unexpected {terminal} '{found}'; expected one of: {}",
+                expected.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ScanError> for ParseError {
+    fn from(e: ScanError) -> Self {
+        ParseError::Scan(e)
+    }
+}
+
+/// A ready-to-use parser: composed grammar + tables + scanner DFA.
+pub struct Parser {
+    grammar: ComposedGrammar,
+    tables: Tables,
+    dfa: Dfa,
+    /// Per-state valid-terminal membership, precomputed for the scanner.
+    valid: Vec<Vec<bool>>,
+}
+
+impl Parser {
+    /// Build a parser. Fails (with the conflict list) if the composed
+    /// grammar is not LALR(1).
+    pub fn new(grammar: ComposedGrammar) -> Result<Parser, Vec<crate::lalr::Conflict>> {
+        let tables = crate::lalr::build(&grammar);
+        if !tables.is_lalr() {
+            return Err(tables.conflicts);
+        }
+        let dfa = Dfa::build(&grammar.patterns[1..]);
+        let nt = grammar.num_terminals();
+        let valid = (0..tables.num_states as u32)
+            .map(|s| {
+                let mut row = vec![false; nt];
+                for t in tables.valid_terminals(s) {
+                    row[t as usize] = true;
+                }
+                row
+            })
+            .collect();
+        Ok(Parser {
+            grammar,
+            tables,
+            dfa,
+            valid,
+        })
+    }
+
+    /// The composed grammar.
+    pub fn grammar(&self) -> &ComposedGrammar {
+        &self.grammar
+    }
+
+    /// Number of LALR states (exposed for reporting).
+    pub fn num_states(&self) -> usize {
+        self.tables.num_states
+    }
+
+    /// Parse a full source string to a CST.
+    pub fn parse(&self, src: &str) -> Result<Cst, ParseError> {
+        let mut scanner = Scanner::new(&self.grammar, &self.dfa, src);
+        let mut states: Vec<u32> = vec![0];
+        let mut nodes: Vec<Cst> = Vec::new();
+        let mut lookahead: Option<Token> = None;
+
+        loop {
+            let state = *states.last().expect("state stack never empty");
+            if lookahead.is_none() {
+                let row = &self.valid[state as usize];
+                lookahead = Some(scanner.next_token(&|t| row[t as usize])?);
+            }
+            let tok = lookahead.as_ref().expect("lookahead present");
+            match self.tables.action(state, tok.terminal) {
+                Action::Shift(next) => {
+                    states.push(next);
+                    nodes.push(Cst::Leaf(lookahead.take().expect("shift consumes token")));
+                }
+                Action::Reduce(p) => {
+                    let (lhs, rhs) = &self.grammar.prods[p as usize];
+                    let n = rhs.len();
+                    let children = nodes.split_off(nodes.len() - n);
+                    for _ in 0..n {
+                        states.pop();
+                    }
+                    nodes.push(Cst::Node { prod: p, children });
+                    let top = *states.last().expect("state under reduction");
+                    let goto = self
+                        .tables
+                        .goto(top, *lhs)
+                        .expect("goto defined after reduce");
+                    states.push(goto);
+                }
+                Action::Accept => {
+                    return Ok(nodes.pop().expect("accept with one node"));
+                }
+                Action::Error => {
+                    let expected = self
+                        .tables
+                        .valid_terminals(state)
+                        .into_iter()
+                        .map(|t| self.grammar.terminals[t as usize].name.clone())
+                        .collect();
+                    return Err(ParseError::Unexpected {
+                        found: tok.text.clone(),
+                        terminal: self.grammar.terminals[tok.terminal as usize].name.clone(),
+                        line: tok.line,
+                        col: tok.col,
+                        expected,
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Context-aware scanner (Copper-style, §VI-A).
+//!
+//! A conventional scanner tokenizes in isolation; Copper's context-aware
+//! scanner instead asks, at each point, *which terminals the LR parser can
+//! currently accept*, and only considers those (plus layout) when matching.
+//! That is what lets independently developed extensions reuse keywords and
+//! overlapping lexical syntax: "such a scanner uses the 'context' of the
+//! parser to determine which of the overlapping keywords is to be
+//! recognized".
+//!
+//! Disambiguation at a match point: longest match wins, considering only
+//! valid-in-context and layout terminals; among equal-length candidates the
+//! highest [`crate::grammar::Terminal::precedence`] wins (keywords beat
+//! identifiers).
+
+use crate::dfa::{Dfa, DEAD};
+use crate::grammar::{ComposedGrammar, EOF};
+
+/// A scanned token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Terminal id.
+    pub terminal: u16,
+    /// Matched text.
+    pub text: String,
+    /// Byte offset in the source.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Scanner failure: no valid terminal matches at the position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Names of the terminals that were valid in context.
+    pub expected: Vec<String>,
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "line {}:{}: no valid token here; expected one of: {}",
+            self.line,
+            self.col,
+            self.expected.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+/// Incremental context-aware scanner over a source string.
+pub struct Scanner<'g, 's> {
+    grammar: &'g ComposedGrammar,
+    dfa: &'g Dfa,
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// DFA terminal ids are offset by one relative to grammar terminal ids
+    /// (the DFA is built without the EOF slot).
+    ignore: Vec<bool>,
+}
+
+impl<'g, 's> Scanner<'g, 's> {
+    /// New scanner at the start of `src`. `dfa` must be built from
+    /// `grammar.patterns[1..]` (everything but EOF).
+    pub fn new(grammar: &'g ComposedGrammar, dfa: &'g Dfa, src: &'s str) -> Self {
+        Scanner {
+            grammar,
+            dfa,
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            ignore: grammar.terminals.iter().map(|t| t.ignore).collect(),
+        }
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn advance(&mut self, len: usize) {
+        for i in 0..len {
+            if self.src[self.pos + i] == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+        self.pos += len;
+    }
+
+    /// Scan the next token, considering only `valid(t)` terminals (plus
+    /// layout). EOF (id 0) is produced at end of input.
+    pub fn next_token(&mut self, valid: &dyn Fn(u16) -> bool) -> Result<Token, ScanError> {
+        loop {
+            if self.pos >= self.src.len() {
+                return Ok(Token {
+                    terminal: EOF,
+                    text: String::new(),
+                    offset: self.pos,
+                    line: self.line,
+                    col: self.col,
+                });
+            }
+            // Maximal munch over the combined DFA, tracking the longest
+            // prefix whose accept set intersects {valid ∪ layout}.
+            let mut state = self.dfa.start();
+            let mut best: Option<(usize, u16)> = None; // (len, terminal id)
+            let mut len = 0usize;
+            while self.pos + len < self.src.len() {
+                let next = self.dfa.step(state, self.src[self.pos + len]);
+                if next == DEAD {
+                    break;
+                }
+                state = next;
+                len += 1;
+                let mut candidate: Option<u16> = None;
+                for &dfa_tid in self.dfa.accepts(state) {
+                    let tid = dfa_tid + 1; // grammar id (EOF offset)
+                    if self.ignore[tid as usize] || valid(tid) {
+                        candidate = Some(match candidate {
+                            None => tid,
+                            Some(prev) => {
+                                let (pp, tp) = (
+                                    self.grammar.terminals[prev as usize].precedence,
+                                    self.grammar.terminals[tid as usize].precedence,
+                                );
+                                if tp > pp {
+                                    tid
+                                } else {
+                                    prev
+                                }
+                            }
+                        });
+                    }
+                }
+                if let Some(tid) = candidate {
+                    best = Some((len, tid));
+                }
+            }
+            let Some((mlen, tid)) = best else {
+                return Err(ScanError {
+                    offset: self.pos,
+                    line: self.line,
+                    col: self.col,
+                    expected: (0..self.grammar.num_terminals() as u16)
+                        .filter(|&t| valid(t))
+                        .map(|t| self.grammar.terminals[t as usize].name.clone())
+                        .collect(),
+                });
+            };
+            let token = Token {
+                terminal: tid,
+                text: String::from_utf8_lossy(&self.src[self.pos..self.pos + mlen]).into_owned(),
+                offset: self.pos,
+                line: self.line,
+                col: self.col,
+            };
+            self.advance(mlen);
+            if self.ignore[tid as usize] {
+                continue; // layout: skip and rescan
+            }
+            return Ok(token);
+        }
+    }
+}

@@ -1,0 +1,811 @@
+//! Concrete-syntax-tree → AST construction.
+//!
+//! The composed parser produces a generic CST whose nodes carry production
+//! names; this module dispatches on those names — host productions plus
+//! every extension's — to build the unified AST of `cmm-ast`. Structural
+//! validation that is not expressible in an LALR grammar happens here:
+//! assignment targets must be lvalues, with-loop generator variable lists
+//! must be identifiers, `matrixMap` dimension lists must be integer
+//! literals, matrix ranks must be literals, tuple element counts, etc.
+
+use cmm_ast::*;
+use cmm_grammar::{ComposedGrammar, Cst, Token};
+
+/// AST-construction failure with a source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildError {
+    /// What is malformed.
+    pub message: String,
+    /// Where.
+    pub span: Span,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+type BResult<T> = Result<T, BuildError>;
+
+fn err<T>(span: Span, message: impl Into<String>) -> BResult<T> {
+    Err(BuildError {
+        message: message.into(),
+        span,
+    })
+}
+
+/// Build a [`Program`] from a parsed CST.
+pub fn build_program(grammar: &ComposedGrammar, cst: &Cst) -> BResult<Program> {
+    let b = Builder { grammar };
+    b.program(cst)
+}
+
+struct Builder<'g> {
+    grammar: &'g ComposedGrammar,
+}
+
+fn token_span(t: &Token) -> Span {
+    Span::new(t.line, t.col)
+}
+
+fn span_of(cst: &Cst) -> Span {
+    cst.first_token().map(token_span).unwrap_or(Span::SYNTH)
+}
+
+impl Builder<'_> {
+    fn name<'c>(&self, cst: &'c Cst) -> &str {
+        cst.prod_name(self.grammar).unwrap_or("<leaf>")
+    }
+
+    fn tok<'c>(&self, cst: &'c Cst, i: usize) -> BResult<&'c Token> {
+        cst.children()
+            .get(i)
+            .and_then(Cst::token)
+            .ok_or_else(|| BuildError {
+                message: format!("malformed {} node: expected token child {i}", self.name(cst)),
+                span: span_of(cst),
+            })
+    }
+
+    fn child<'c>(&self, cst: &'c Cst, i: usize) -> BResult<&'c Cst> {
+        cst.children().get(i).ok_or_else(|| BuildError {
+            message: format!("malformed {} node: missing child {i}", self.name(cst)),
+            span: span_of(cst),
+        })
+    }
+
+    // --- top level -----------------------------------------------------
+
+    fn program(&self, cst: &Cst) -> BResult<Program> {
+        // program -> ItemList
+        let mut functions = Vec::new();
+        self.collect_items(self.child(cst, 0)?, &mut functions)?;
+        Ok(Program { functions })
+    }
+
+    fn collect_items(&self, cst: &Cst, out: &mut Vec<Function>) -> BResult<()> {
+        match self.name(cst) {
+            "items_one" => self.collect_items(self.child(cst, 0)?, out),
+            "items_more" => {
+                self.collect_items(self.child(cst, 0)?, out)?;
+                self.collect_items(self.child(cst, 1)?, out)
+            }
+            "item_func" => self.collect_items(self.child(cst, 0)?, out),
+            "func_def" => {
+                out.push(self.function(cst)?);
+                Ok(())
+            }
+            other => err(span_of(cst), format!("unexpected item production '{other}'")),
+        }
+    }
+
+    fn function(&self, cst: &Cst) -> BResult<Function> {
+        // func_def -> Type ID LP ParamsOpt RP Block
+        let ret = self.ty(self.child(cst, 0)?)?;
+        let name_tok = self.tok(cst, 1)?;
+        let params = self.params(self.child(cst, 3)?)?;
+        let body = self.block(self.child(cst, 5)?)?;
+        Ok(Function {
+            ret,
+            name: name_tok.text.clone(),
+            params,
+            body,
+            span: token_span(name_tok),
+        })
+    }
+
+    fn params(&self, cst: &Cst) -> BResult<Vec<Param>> {
+        let mut out = Vec::new();
+        self.collect_params(cst, &mut out)?;
+        Ok(out)
+    }
+
+    fn collect_params(&self, cst: &Cst, out: &mut Vec<Param>) -> BResult<()> {
+        match self.name(cst) {
+            "params_none" => Ok(()),
+            "params_some" | "params_one" => {
+                for c in cst.children() {
+                    self.collect_params(c, out)?;
+                }
+                Ok(())
+            }
+            "params_more" => {
+                self.collect_params(self.child(cst, 0)?, out)?;
+                self.collect_params(self.child(cst, 2)?, out)
+            }
+            "param" => {
+                let ty = self.ty(self.child(cst, 0)?)?;
+                let name = self.tok(cst, 1)?.text.clone();
+                out.push(Param { ty, name });
+                Ok(())
+            }
+            other => err(span_of(cst), format!("unexpected parameter production '{other}'")),
+        }
+    }
+
+    // --- types ----------------------------------------------------------
+
+    fn ty(&self, cst: &Cst) -> BResult<Type> {
+        match self.name(cst) {
+            "type_int" => Ok(Type::Int),
+            "type_float" => Ok(Type::Float),
+            "type_bool" => Ok(Type::Bool),
+            "type_void" => Ok(Type::Void),
+            // [ext-matrix] Matrix elem <rank>
+            "type_matrix" => {
+                let elem_ty = self.ty(self.child(cst, 1)?)?;
+                let elem = elem_ty.as_elem().ok_or_else(|| BuildError {
+                    message: format!(
+                        "matrices can only contain int, bool or float elements, not {elem_ty}"
+                    ),
+                    span: span_of(cst),
+                })?;
+                let rank_tok = self.tok(cst, 3)?;
+                let rank: u8 = rank_tok.text.parse().map_err(|_| BuildError {
+                    message: format!("matrix rank '{}' is not a small integer", rank_tok.text),
+                    span: token_span(rank_tok),
+                })?;
+                if rank == 0 {
+                    return err(token_span(rank_tok), "matrix rank must be at least 1");
+                }
+                Ok(Type::Matrix(elem, rank))
+            }
+            // [ext-tuples] (T1, T2, ...)
+            "type_tuple" => {
+                let mut parts = vec![self.ty(self.child(cst, 1)?)?];
+                self.collect_types(self.child(cst, 3)?, &mut parts)?;
+                Ok(Type::Tuple(parts))
+            }
+            // [ext-rcptr] rc<elem>
+            "type_rc" => {
+                let inner = self.ty(self.child(cst, 2)?)?;
+                let elem = inner.as_elem().ok_or_else(|| BuildError {
+                    message: format!("rc pointers hold int, float or bool elements, not {inner}"),
+                    span: span_of(cst),
+                })?;
+                Ok(Type::Rc(elem))
+            }
+            other => err(span_of(cst), format!("unexpected type production '{other}'")),
+        }
+    }
+
+    fn collect_types(&self, cst: &Cst, out: &mut Vec<Type>) -> BResult<()> {
+        match self.name(cst) {
+            "typelist_one" => {
+                out.push(self.ty(self.child(cst, 0)?)?);
+                Ok(())
+            }
+            "typelist_more" => {
+                self.collect_types(self.child(cst, 0)?, out)?;
+                out.push(self.ty(self.child(cst, 2)?)?);
+                Ok(())
+            }
+            other => err(span_of(cst), format!("unexpected type-list production '{other}'")),
+        }
+    }
+
+    // --- statements --------------------------------------------------------
+
+    fn block(&self, cst: &Cst) -> BResult<Block> {
+        // block -> LB StmtList RB
+        let mut stmts = Vec::new();
+        self.collect_stmts(self.child(cst, 1)?, &mut stmts)?;
+        Ok(Block { stmts })
+    }
+
+    fn collect_stmts(&self, cst: &Cst, out: &mut Vec<Stmt>) -> BResult<()> {
+        match self.name(cst) {
+            "stmts_none" => Ok(()),
+            "stmts_more" => {
+                self.collect_stmts(self.child(cst, 0)?, out)?;
+                out.push(self.stmt(self.child(cst, 1)?)?);
+                Ok(())
+            }
+            other => err(
+                span_of(cst),
+                format!("unexpected statement-list production '{other}'"),
+            ),
+        }
+    }
+
+    fn stmt(&self, cst: &Cst) -> BResult<Stmt> {
+        let span = span_of(cst);
+        match self.name(cst) {
+            "stmt_decl" => Ok(Stmt::Decl {
+                ty: self.ty(self.child(cst, 0)?)?,
+                name: self.tok(cst, 1)?.text.clone(),
+                init: None,
+                span,
+            }),
+            "stmt_decl_init" => Ok(Stmt::Decl {
+                ty: self.ty(self.child(cst, 0)?)?,
+                name: self.tok(cst, 1)?.text.clone(),
+                init: Some(self.expr(self.child(cst, 3)?)?),
+                span,
+            }),
+            "stmt_assign" => {
+                let target = self.lvalue(self.child(cst, 0)?)?;
+                let value = self.expr(self.child(cst, 2)?)?;
+                Ok(Stmt::Assign {
+                    target,
+                    value,
+                    transforms: Vec::new(),
+                    span,
+                })
+            }
+            // [ext-transform] assignment with transform clause (Fig 9)
+            "stmt_assign_transform" => {
+                let target = self.lvalue(self.child(cst, 0)?)?;
+                let value = self.expr(self.child(cst, 2)?)?;
+                let mut transforms = Vec::new();
+                self.collect_transforms(self.child(cst, 4)?, &mut transforms)?;
+                Ok(Stmt::Assign {
+                    target,
+                    value,
+                    transforms,
+                    span,
+                })
+            }
+            "stmt_expr" => Ok(Stmt::ExprStmt {
+                expr: self.expr(self.child(cst, 0)?)?,
+                span,
+            }),
+            "stmt_if" => Ok(Stmt::If {
+                cond: self.expr(self.child(cst, 2)?)?,
+                then_blk: self.block(self.child(cst, 4)?)?,
+                else_blk: None,
+                span,
+            }),
+            "stmt_if_else" => Ok(Stmt::If {
+                cond: self.expr(self.child(cst, 2)?)?,
+                then_blk: self.block(self.child(cst, 4)?)?,
+                else_blk: Some(self.block(self.child(cst, 6)?)?),
+                span,
+            }),
+            "stmt_while" => Ok(Stmt::While {
+                cond: self.expr(self.child(cst, 2)?)?,
+                body: self.block(self.child(cst, 4)?)?,
+                span,
+            }),
+            "stmt_for" => Ok(Stmt::For {
+                init: Box::new(self.for_init(self.child(cst, 2)?)?),
+                cond: self.expr(self.child(cst, 4)?)?,
+                step: Box::new(self.for_step(self.child(cst, 6)?)?),
+                body: self.block(self.child(cst, 8)?)?,
+                span,
+            }),
+            "stmt_return" => Ok(Stmt::Return {
+                value: Some(self.expr(self.child(cst, 1)?)?),
+                span,
+            }),
+            "stmt_return_void" => Ok(Stmt::Return { value: None, span }),
+            "stmt_block" => Ok(Stmt::Nested(self.block(self.child(cst, 0)?)?)),
+            // [ext-cilk] spawn / sync
+            "stmt_spawn_assign" => {
+                let target = self.lvalue(self.child(cst, 1)?)?;
+                let LValue::Var(name, _) = target else {
+                    return err(span, "spawn targets must be plain variables");
+                };
+                let call = self.expr(self.child(cst, 3)?)?;
+                if !matches!(call, Expr::Call { .. }) {
+                    return err(span, "spawn applies to function calls");
+                }
+                Ok(Stmt::Spawn {
+                    target: Some(name),
+                    call,
+                    span,
+                })
+            }
+            "stmt_spawn_call" => {
+                let call = self.expr(self.child(cst, 1)?)?;
+                if !matches!(call, Expr::Call { .. }) {
+                    return err(span, "spawn applies to function calls");
+                }
+                Ok(Stmt::Spawn {
+                    target: None,
+                    call,
+                    span,
+                })
+            }
+            "stmt_sync" => Ok(Stmt::Sync { span }),
+            other => err(span, format!("unexpected statement production '{other}'")),
+        }
+    }
+
+    fn for_init(&self, cst: &Cst) -> BResult<Stmt> {
+        let span = span_of(cst);
+        match self.name(cst) {
+            "forinit_decl" => Ok(Stmt::Decl {
+                ty: self.ty(self.child(cst, 0)?)?,
+                name: self.tok(cst, 1)?.text.clone(),
+                init: Some(self.expr(self.child(cst, 3)?)?),
+                span,
+            }),
+            "forinit_assign" => Ok(Stmt::Assign {
+                target: self.lvalue(self.child(cst, 0)?)?,
+                value: self.expr(self.child(cst, 2)?)?,
+                transforms: Vec::new(),
+                span,
+            }),
+            other => err(span, format!("unexpected for-init production '{other}'")),
+        }
+    }
+
+    fn for_step(&self, cst: &Cst) -> BResult<Stmt> {
+        let span = span_of(cst);
+        match self.name(cst) {
+            "forstep_assign" => Ok(Stmt::Assign {
+                target: self.lvalue(self.child(cst, 0)?)?,
+                value: self.expr(self.child(cst, 2)?)?,
+                transforms: Vec::new(),
+                span,
+            }),
+            "forstep_incr" => {
+                // i++ desugars to i = i + 1.
+                let target = self.lvalue(self.child(cst, 0)?)?;
+                let LValue::Var(name, vspan) = &target else {
+                    return err(span, "'++' applies to plain variables only");
+                };
+                let value = Expr::Binary {
+                    op: BinOp::Add,
+                    left: Box::new(Expr::Var(name.clone(), *vspan)),
+                    right: Box::new(Expr::IntLit(1, *vspan)),
+                    span: *vspan,
+                };
+                Ok(Stmt::Assign {
+                    target,
+                    value,
+                    transforms: Vec::new(),
+                    span,
+                })
+            }
+            other => err(span, format!("unexpected for-step production '{other}'")),
+        }
+    }
+
+    /// Convert an expression CST used in assignment-target position into
+    /// an [`LValue`], rejecting non-lvalues with a domain-specific error.
+    fn lvalue(&self, cst: &Cst) -> BResult<LValue> {
+        let e = self.expr(cst)?;
+        let span = e.span();
+        match e {
+            Expr::Var(name, s) => Ok(LValue::Var(name, s)),
+            Expr::Index { base, indices, span } => match *base {
+                Expr::Var(name, _) => Ok(LValue::Index {
+                    base: name,
+                    indices,
+                    span,
+                }),
+                _ => err(span, "indexed assignment target must be a matrix variable"),
+            },
+            // [ext-tuples] (a, b, c) = ...
+            Expr::Tuple(parts, s) => {
+                let mut names = Vec::with_capacity(parts.len());
+                for p in parts {
+                    match p {
+                        Expr::Var(n, _) => names.push(n),
+                        other => {
+                            return err(
+                                other.span(),
+                                "tuple assignment targets must be plain variables",
+                            )
+                        }
+                    }
+                }
+                Ok(LValue::Tuple(names, s))
+            }
+            _ => err(span, "invalid assignment target"),
+        }
+    }
+
+    // --- transform clause ----------------------------------------------
+
+    fn collect_transforms(&self, cst: &Cst, out: &mut Vec<TransformSpec>) -> BResult<()> {
+        match self.name(cst) {
+            "tlist_one" => {
+                out.push(self.transform(self.child(cst, 0)?)?);
+                Ok(())
+            }
+            "tlist_more" => {
+                self.collect_transforms(self.child(cst, 0)?, out)?;
+                out.push(self.transform(self.child(cst, 2)?)?);
+                Ok(())
+            }
+            other => err(
+                span_of(cst),
+                format!("unexpected transform-list production '{other}'"),
+            ),
+        }
+    }
+
+    fn parse_factor(&self, tok: &Token) -> BResult<i64> {
+        tok.text.parse().map_err(|_| BuildError {
+            message: format!("bad transformation factor '{}'", tok.text),
+            span: token_span(tok),
+        })
+    }
+
+    fn transform(&self, cst: &Cst) -> BResult<TransformSpec> {
+        let span = span_of(cst);
+        match self.name(cst) {
+            // split ID by INT , ID , ID
+            "t_split" => Ok(TransformSpec::Split {
+                index: self.tok(cst, 1)?.text.clone(),
+                by: self.parse_factor(self.tok(cst, 3)?)?,
+                inner: self.tok(cst, 5)?.text.clone(),
+                outer: self.tok(cst, 7)?.text.clone(),
+            }),
+            "t_vectorize" => Ok(TransformSpec::Vectorize {
+                index: self.tok(cst, 1)?.text.clone(),
+            }),
+            "t_parallelize" => Ok(TransformSpec::Parallelize {
+                index: self.tok(cst, 1)?.text.clone(),
+            }),
+            "t_reorder" => {
+                let mut order = Vec::new();
+                self.collect_ids(self.child(cst, 1)?, &mut order)?;
+                Ok(TransformSpec::Reorder { order })
+            }
+            "t_interchange" => Ok(TransformSpec::Interchange {
+                a: self.tok(cst, 1)?.text.clone(),
+                b: self.tok(cst, 3)?.text.clone(),
+            }),
+            "t_unroll" => Ok(TransformSpec::Unroll {
+                index: self.tok(cst, 1)?.text.clone(),
+                by: self.parse_factor(self.tok(cst, 3)?)?,
+            }),
+            "t_tile" => Ok(TransformSpec::Tile {
+                i: self.tok(cst, 1)?.text.clone(),
+                j: self.tok(cst, 3)?.text.clone(),
+                bi: self.parse_factor(self.tok(cst, 5)?)?,
+                bj: self.parse_factor(self.tok(cst, 7)?)?,
+            }),
+            other => err(span, format!("unexpected transform production '{other}'")),
+        }
+    }
+
+    fn collect_ids(&self, cst: &Cst, out: &mut Vec<String>) -> BResult<()> {
+        match self.name(cst) {
+            "idlist_one" => {
+                out.push(self.tok(cst, 0)?.text.clone());
+                Ok(())
+            }
+            "idlist_more" => {
+                self.collect_ids(self.child(cst, 0)?, out)?;
+                out.push(self.tok(cst, 2)?.text.clone());
+                Ok(())
+            }
+            other => err(span_of(cst), format!("unexpected id-list production '{other}'")),
+        }
+    }
+
+    // --- expressions -----------------------------------------------------
+
+    fn expr(&self, cst: &Cst) -> BResult<Expr> {
+        let span = span_of(cst);
+        match self.name(cst) {
+            // Pass-through levels.
+            "expr_top" | "or_one" | "and_one" | "cmp_one" | "add_one" | "mul_one"
+            | "unary_post" | "post_primary" => self.expr(self.child(cst, 0)?),
+            // Binary operators.
+            "or_more" => self.binary(cst, BinOp::Or),
+            "and_more" => self.binary(cst, BinOp::And),
+            "cmp_lt" => self.binary(cst, BinOp::Lt),
+            "cmp_le" => self.binary(cst, BinOp::Le),
+            "cmp_gt" => self.binary(cst, BinOp::Gt),
+            "cmp_ge" => self.binary(cst, BinOp::Ge),
+            "cmp_eq" => self.binary(cst, BinOp::Eq),
+            "cmp_ne" => self.binary(cst, BinOp::Ne),
+            "add_plus" => self.binary(cst, BinOp::Add),
+            "add_minus" => self.binary(cst, BinOp::Sub),
+            "mul_star" => self.binary(cst, BinOp::Mul),
+            "mul_slash" => self.binary(cst, BinOp::Div),
+            "mul_percent" => self.binary(cst, BinOp::Rem),
+            // [ext-matrix] element-wise multiplication.
+            "mul_elemwise" => self.binary(cst, BinOp::ElemMul),
+            // Unary.
+            "unary_neg" => Ok(Expr::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(self.expr(self.child(cst, 1)?)?),
+                span,
+            }),
+            "unary_not" => Ok(Expr::Unary {
+                op: UnOp::Not,
+                operand: Box::new(self.expr(self.child(cst, 1)?)?),
+                span,
+            }),
+            "unary_cast" => Ok(Expr::Cast {
+                ty: self.ty(self.child(cst, 1)?)?,
+                expr: Box::new(self.expr(self.child(cst, 3)?)?),
+                span,
+            }),
+            // Primaries.
+            "prim_int" => {
+                let t = self.tok(cst, 0)?;
+                let v: i64 = t.text.parse().map_err(|_| BuildError {
+                    message: format!("integer literal '{}' out of range", t.text),
+                    span: token_span(t),
+                })?;
+                Ok(Expr::IntLit(v, token_span(t)))
+            }
+            "prim_float" => {
+                let t = self.tok(cst, 0)?;
+                let v: f32 = t.text.parse().map_err(|_| BuildError {
+                    message: format!("bad float literal '{}'", t.text),
+                    span: token_span(t),
+                })?;
+                Ok(Expr::FloatLit(v, token_span(t)))
+            }
+            "prim_str" => {
+                let t = self.tok(cst, 0)?;
+                Ok(Expr::StrLit(unescape(&t.text), token_span(t)))
+            }
+            "prim_true" => Ok(Expr::BoolLit(true, span)),
+            "prim_false" => Ok(Expr::BoolLit(false, span)),
+            "prim_var" => {
+                let t = self.tok(cst, 0)?;
+                Ok(Expr::Var(t.text.clone(), token_span(t)))
+            }
+            "prim_paren" => self.expr(self.child(cst, 1)?),
+            "prim_call" => {
+                let t = self.tok(cst, 0)?;
+                let mut args = Vec::new();
+                self.collect_args(self.child(cst, 2)?, &mut args)?;
+                Ok(Expr::Call {
+                    name: t.text.clone(),
+                    args,
+                    span: token_span(t),
+                })
+            }
+            // [ext-matrix] indexing.
+            "post_index" => {
+                let base = self.expr(self.child(cst, 0)?)?;
+                let indices = self.index_list(self.child(cst, 2)?)?;
+                Ok(Expr::Index {
+                    base: Box::new(base),
+                    indices,
+                    span,
+                })
+            }
+            "prim_end" => Ok(Expr::End(span)),
+            // [ext-matrix] with-loop.
+            "prim_with" => self.with_expr(cst),
+            // [ext-matrix] matrixMap.
+            "prim_matrixmap" => {
+                let func = self.tok(cst, 2)?.text.clone();
+                let matrix = self.expr(self.child(cst, 4)?)?;
+                let dim_exprs = self.bracketed(self.child(cst, 6)?)?;
+                let mut dims = Vec::with_capacity(dim_exprs.len());
+                for d in dim_exprs {
+                    match d {
+                        Expr::IntLit(v, _) => dims.push(v),
+                        other => {
+                            return err(
+                                other.span(),
+                                "matrixMap dimension lists must be integer literals",
+                            )
+                        }
+                    }
+                }
+                Ok(Expr::MatrixMap {
+                    func,
+                    matrix: Box::new(matrix),
+                    dims,
+                    span,
+                })
+            }
+            // [ext-matrix] init.
+            "prim_init" => {
+                let ty = self.ty(self.child(cst, 2)?)?;
+                let mut dims = Vec::new();
+                self.collect_exprs(self.child(cst, 4)?, &mut dims)?;
+                Ok(Expr::Init { ty, dims, span })
+            }
+            // [ext-tuples] anonymous tuple.
+            "prim_tuple" => {
+                let mut parts = vec![self.expr(self.child(cst, 1)?)?];
+                self.collect_exprs(self.child(cst, 3)?, &mut parts)?;
+                Ok(Expr::Tuple(parts, span))
+            }
+            // [ext-rcptr] rcAlloc.
+            "prim_rcalloc" => {
+                let ty = self.ty(self.child(cst, 2)?)?;
+                let elem = ty.as_elem().ok_or_else(|| BuildError {
+                    message: format!("rcAlloc element type must be int, float or bool, not {ty}"),
+                    span,
+                })?;
+                Ok(Expr::RcAlloc {
+                    elem,
+                    len: Box::new(self.expr(self.child(cst, 4)?)?),
+                    span,
+                })
+            }
+            other => err(span, format!("unexpected expression production '{other}'")),
+        }
+    }
+
+    fn binary(&self, cst: &Cst, op: BinOp) -> BResult<Expr> {
+        Ok(Expr::Binary {
+            op,
+            left: Box::new(self.expr(self.child(cst, 0)?)?),
+            right: Box::new(self.expr(self.child(cst, 2)?)?),
+            span: span_of(cst),
+        })
+    }
+
+    fn collect_args(&self, cst: &Cst, out: &mut Vec<Expr>) -> BResult<()> {
+        match self.name(cst) {
+            "args_none" => Ok(()),
+            "args_some" => self.collect_exprs(self.child(cst, 0)?, out),
+            other => err(span_of(cst), format!("unexpected argument production '{other}'")),
+        }
+    }
+
+    fn collect_exprs(&self, cst: &Cst, out: &mut Vec<Expr>) -> BResult<()> {
+        match self.name(cst) {
+            "exprs_one" => {
+                out.push(self.expr(self.child(cst, 0)?)?);
+                Ok(())
+            }
+            "exprs_more" => {
+                self.collect_exprs(self.child(cst, 0)?, out)?;
+                out.push(self.expr(self.child(cst, 2)?)?);
+                Ok(())
+            }
+            other => err(
+                span_of(cst),
+                format!("unexpected expression-list production '{other}'"),
+            ),
+        }
+    }
+
+    fn bracketed(&self, cst: &Cst) -> BResult<Vec<Expr>> {
+        // bracketed -> LBRACK ExprList RBRACK
+        let mut out = Vec::new();
+        self.collect_exprs(self.child(cst, 1)?, &mut out)?;
+        Ok(out)
+    }
+
+    fn index_list(&self, cst: &Cst) -> BResult<Vec<IndexExpr>> {
+        let mut out = Vec::new();
+        self.collect_indices(cst, &mut out)?;
+        Ok(out)
+    }
+
+    fn collect_indices(&self, cst: &Cst, out: &mut Vec<IndexExpr>) -> BResult<()> {
+        match self.name(cst) {
+            "idx_one" => {
+                out.push(self.index_elem(self.child(cst, 0)?)?);
+                Ok(())
+            }
+            "idx_more" => {
+                self.collect_indices(self.child(cst, 0)?, out)?;
+                out.push(self.index_elem(self.child(cst, 2)?)?);
+                Ok(())
+            }
+            other => err(span_of(cst), format!("unexpected index-list production '{other}'")),
+        }
+    }
+
+    fn index_elem(&self, cst: &Cst) -> BResult<IndexExpr> {
+        match self.name(cst) {
+            "idxel_expr" => Ok(IndexExpr::At(self.expr(self.child(cst, 0)?)?)),
+            "idxel_range" => Ok(IndexExpr::Range(
+                self.expr(self.child(cst, 0)?)?,
+                self.expr(self.child(cst, 2)?)?,
+            )),
+            "idxel_all" => Ok(IndexExpr::All),
+            other => err(span_of(cst), format!("unexpected index production '{other}'")),
+        }
+    }
+
+    fn with_expr(&self, cst: &Cst) -> BResult<Expr> {
+        // prim_with -> KW_WITH LP Bracketed LE Bracketed WithUpper RP WithOperation
+        let span = span_of(cst);
+        let lower = self.bracketed(self.child(cst, 2)?)?;
+        let var_exprs = self.bracketed(self.child(cst, 4)?)?;
+        let mut vars = Vec::with_capacity(var_exprs.len());
+        for v in var_exprs {
+            match v {
+                Expr::Var(n, _) => vars.push(n),
+                other => {
+                    return err(
+                        other.span(),
+                        "with-loop generator variables must be plain identifiers",
+                    )
+                }
+            }
+        }
+        let upper_cst = self.child(cst, 5)?;
+        let upper_inclusive = match self.name(upper_cst) {
+            "withupper_le" => true,
+            "withupper_lt" => false,
+            other => return err(span, format!("unexpected with-upper production '{other}'")),
+        };
+        let upper = self.bracketed(self.child(upper_cst, 1)?)?;
+        let op_cst = self.child(cst, 7)?;
+        let op = match self.name(op_cst) {
+            "withop_genarray" => WithOp::Genarray {
+                shape: self.bracketed(self.child(op_cst, 2)?)?,
+                body: Box::new(self.expr(self.child(op_cst, 4)?)?),
+            },
+            "withop_fold" => {
+                let sym_cst = self.child(op_cst, 2)?;
+                let op = match self.name(sym_cst) {
+                    "foldop_add" => FoldKind::Add,
+                    "foldop_mul" => FoldKind::Mul,
+                    "foldop_max" => FoldKind::Max,
+                    "foldop_min" => FoldKind::Min,
+                    other => {
+                        return err(span, format!("unexpected fold operator production '{other}'"))
+                    }
+                };
+                WithOp::Fold {
+                    op,
+                    base: Box::new(self.expr(self.child(op_cst, 4)?)?),
+                    body: Box::new(self.expr(self.child(op_cst, 6)?)?),
+                }
+            }
+            "withop_modarray" => WithOp::Modarray {
+                src: Box::new(self.expr(self.child(op_cst, 2)?)?),
+                body: Box::new(self.expr(self.child(op_cst, 4)?)?),
+            },
+            other => return err(span, format!("unexpected with-operation production '{other}'")),
+        };
+        Ok(Expr::With {
+            generator: Generator {
+                lower,
+                vars,
+                upper,
+                upper_inclusive,
+            },
+            op,
+            span,
+        })
+    }
+}
+
+/// Strip quotes and process escapes in a string literal.
+fn unescape(text: &str) -> String {
+    let inner = &text[1..text.len() - 1];
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('r') => out.push('\r'),
+                Some('0') => out.push('\0'),
+                Some(other) => out.push(other),
+                None => {}
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}

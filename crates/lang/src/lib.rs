@@ -1,0 +1,30 @@
+//! The CMINUS host language: grammar, AST construction, semantic
+//! analysis, high-level optimizations and lowering to the loop IR.
+//!
+//! This crate is the translator core that the composed extensions plug
+//! into (paper §II, §III): [`grammar`] declares the host fragment and its
+//! AG module; [`builder`] maps concrete syntax trees (from any composed
+//! parser including extension productions) to the unified AST of
+//! `cmm-ast`; [`typecheck`] performs the extended semantic analysis —
+//! operator overloading on matrices, with-loop arity checks, tuple
+//! checking, domain-specific error messages; [`optimize`] applies the
+//! high-level matrix optimizations of §III-A4 (with-loop/assignment copy
+//! elision and slice-index fusion, the optimizations "not possible via
+//! libraries"); [`lower`] translates the checked AST down to the
+//! plain-parallel-C loop IR of `cmm-loopir`, inserting the
+//! reference-counting operations of §III-B.
+
+pub mod builder;
+pub mod grammar;
+pub mod lower;
+pub mod optimize;
+pub mod typecheck;
+
+pub use builder::{build_program, BuildError};
+pub use grammar::{host_ag, host_grammar};
+pub use lower::{lower_program, LowerOptions};
+pub use optimize::fuse_slice_indices;
+pub use typecheck::{check_program, ExtSet, FuncSig, TypeInfo};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,1413 @@
+//! Lowering: checked AST → plain-parallel-C loop IR.
+//!
+//! This is the translation the paper's extensions perform "down to plain
+//! C code" (§III): matrices become reference-counted buffers, with-loops
+//! expand into nested for-loops (Fig 1 → Fig 3) whose outer loop is
+//! automatically parallelized (§III-C), `matrixMap` is lifted into a new
+//! function "so that the spawned threads can get direct access to it"
+//! (§III-A5), MATLAB-style indexing becomes gather/scatter loops (with
+//! selection tables for logical indexing), tuples are scalarized into
+//! multi-value returns, and every matrix assignment/scope edge gets the
+//! `rc_incr`/`rc_decr` calls of the reference-counting extension (§III-B).
+//!
+//! When a statement carries `[ext-transform]` directives, the loop nest
+//! generated for it is rewritten by `cmm_loopir::transform` in source
+//! order (§V), and automatic parallelization is suppressed — the
+//! programmer has taken control.
+
+use std::collections::HashMap;
+
+use cmm_ast::*;
+use cmm_loopir::transform::{apply_all, LoopTransform};
+use cmm_loopir::{CType, Elem, ForLoop, IrBinOp, IrExpr, IrFunction, IrProgram, IrStmt};
+
+use crate::typecheck::{FuncSig, TypeInfo};
+
+/// Lowering configuration; the flags are the ablation knobs of the
+/// fusion/copy-elision experiments (E11).
+#[derive(Debug, Clone, Copy)]
+pub struct LowerOptions {
+    /// Automatically parallelize the outer loop of with-loops and
+    /// `matrixMap` (§III-C). Suppressed per-statement by transform
+    /// clauses.
+    pub parallelize: bool,
+    /// With-loop/assignment copy elision (§III-A4): bind the result
+    /// buffer directly instead of materializing a temporary and copying
+    /// ("a library implementation would likely evaluate the result of the
+    /// with-loops into a temporary variable which is then copied").
+    pub fuse_with_assign: bool,
+    /// Slice-index fusion (§III-A4): run
+    /// [`crate::optimize::fuse_slice_indices`] before lowering.
+    pub fuse_slice_index: bool,
+}
+
+impl Default for LowerOptions {
+    fn default() -> Self {
+        LowerOptions {
+            parallelize: true,
+            fuse_with_assign: true,
+            fuse_slice_index: true,
+        }
+    }
+}
+
+/// Lower a type-checked program to the loop IR.
+pub fn lower_program(
+    prog: &Program,
+    info: &TypeInfo,
+    opts: &LowerOptions,
+) -> Result<IrProgram, Diag> {
+    let optimized;
+    let prog = if opts.fuse_slice_index {
+        let (p, _count) = crate::optimize::fuse_slice_indices(prog);
+        optimized = p;
+        &optimized
+    } else {
+        prog
+    };
+    let mut lifted: Vec<IrFunction> = Vec::new();
+    let mut tmp = 0u32;
+    let mut functions = Vec::new();
+    for f in &prog.functions {
+        let mut fl = FnLower {
+            sigs: &info.sigs,
+            opts: *opts,
+            vars: vec![HashMap::new()],
+            owned: vec![Vec::new()],
+            tmp: &mut tmp,
+            lifted: &mut lifted,
+            ret: f.ret.clone(),
+            current_end: None,
+        };
+        functions.push(fl.function(f)?);
+    }
+    functions.extend(lifted);
+    Ok(IrProgram { functions })
+}
+
+fn elem_ir(e: ElemKind) -> Elem {
+    match e {
+        ElemKind::Int => Elem::I32,
+        ElemKind::Float => Elem::F32,
+        ElemKind::Bool => Elem::Bool,
+    }
+}
+
+fn scalar_ctype(t: &Type) -> CType {
+    match t {
+        Type::Int => CType::Int,
+        Type::Float => CType::Float,
+        Type::Bool => CType::Bool,
+        Type::Matrix(e, _) | Type::Rc(e) => CType::Buf(elem_ir(*e)),
+        Type::Void => CType::Void,
+        other => panic!("no single CType for {other}"),
+    }
+}
+
+/// A lowered value.
+#[derive(Debug, Clone)]
+enum RV {
+    Scalar(IrExpr, Type),
+    Mat {
+        var: String,
+        elem: ElemKind,
+        rank: u8,
+    },
+    Rc {
+        var: String,
+        elem: ElemKind,
+    },
+    Tuple(Vec<RV>),
+    Str(String),
+    Void,
+}
+
+impl RV {
+    fn scalar(self) -> IrExpr {
+        match self {
+            RV::Scalar(e, _) => e,
+            other => panic!("expected scalar value, got {other:?}"),
+        }
+    }
+
+    fn mat_var(&self) -> &str {
+        match self {
+            RV::Mat { var, .. } | RV::Rc { var, .. } => var,
+            other => panic!("expected matrix value, got {other:?}"),
+        }
+    }
+}
+
+struct FnLower<'a> {
+    sigs: &'a HashMap<String, FuncSig>,
+    opts: LowerOptions,
+    /// Variable bindings per scope: AST name → (type, IR names).
+    vars: Vec<HashMap<String, (Type, Vec<String>)>>,
+    /// Owned buffer IR names per scope (decremented at scope exit).
+    owned: Vec<Vec<String>>,
+    tmp: &'a mut u32,
+    lifted: &'a mut Vec<IrFunction>,
+    ret: Type,
+    /// IR expression `end` resolves to while lowering a subscript
+    /// component (`dim(m, d) - 1` of the dimension being indexed).
+    current_end: Option<IrExpr>,
+}
+
+type LResult<T> = Result<T, Diag>;
+
+impl FnLower<'_> {
+    fn fresh(&mut self, prefix: &str) -> String {
+        *self.tmp += 1;
+        format!("__{prefix}{}", *self.tmp)
+    }
+
+    fn bug(&self, span: Span, msg: impl Into<String>) -> Diag {
+        Diag::error(span, format!("lowering error: {}", msg.into()))
+    }
+
+    fn lookup(&self, name: &str) -> Option<&(Type, Vec<String>)> {
+        self.vars.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn declare_var(&mut self, name: &str, ty: Type, irs: Vec<String>) {
+        self.vars
+            .last_mut()
+            .expect("var scope")
+            .insert(name.to_string(), (ty, irs));
+    }
+
+    fn register_owned(&mut self, ir: &str) {
+        self.owned.last_mut().expect("owned scope").push(ir.to_string());
+    }
+
+    fn push_scope(&mut self) {
+        self.vars.push(HashMap::new());
+        self.owned.push(Vec::new());
+    }
+
+    fn pop_scope(&mut self, out: &mut Vec<IrStmt>) {
+        self.vars.pop();
+        let owned = self.owned.pop().expect("owned scope");
+        for var in owned.into_iter().rev() {
+            out.push(IrStmt::Expr(IrExpr::Call(
+                "rc_decr".into(),
+                vec![IrExpr::var(&var)],
+            )));
+        }
+    }
+
+    /// Decrement every owned buffer in every active scope (for returns).
+    fn decr_all_scopes(&self, out: &mut Vec<IrStmt>) {
+        for scope in self.owned.iter().rev() {
+            for var in scope.iter().rev() {
+                out.push(IrStmt::Expr(IrExpr::Call(
+                    "rc_decr".into(),
+                    vec![IrExpr::var(var)],
+                )));
+            }
+        }
+    }
+
+    fn incr(&self, var: &str, out: &mut Vec<IrStmt>) {
+        out.push(IrStmt::Expr(IrExpr::Call(
+            "rc_incr".into(),
+            vec![IrExpr::var(var)],
+        )));
+    }
+
+    /// Declare a fresh owned matrix temp initialized by an allocation.
+    fn alloc_tmp(
+        &mut self,
+        elem: ElemKind,
+        dims: Vec<IrExpr>,
+        out: &mut Vec<IrStmt>,
+    ) -> String {
+        let var = self.fresh("m");
+        out.push(IrStmt::Decl {
+            ty: CType::Buf(elem_ir(elem)),
+            name: var.clone(),
+            init: Some(IrExpr::Call(
+                format!("alloc_mat_{}", elem_ir(elem).suffix()),
+                dims,
+            )),
+        });
+        self.register_owned(&var);
+        var
+    }
+
+    fn dims_of(&self, var: &str, rank: u8) -> Vec<IrExpr> {
+        (0..rank)
+            .map(|d| IrExpr::Call("dim".into(), vec![IrExpr::var(var), IrExpr::Int(d as i64)]))
+            .collect()
+    }
+
+    fn len_of(&self, var: &str) -> IrExpr {
+        IrExpr::Call("len".into(), vec![IrExpr::var(var)])
+    }
+
+    /// Row-major flat offset for `var` given per-dimension index exprs.
+    fn flat_offset(&self, var: &str, idxs: &[IrExpr]) -> IrExpr {
+        let mut it = idxs.iter();
+        let mut off = it.next().cloned().unwrap_or(IrExpr::Int(0));
+        for (d, idx) in it.enumerate() {
+            let dim = IrExpr::Call(
+                "dim".into(),
+                vec![IrExpr::var(var), IrExpr::Int(d as i64 + 1)],
+            );
+            off = IrExpr::add(IrExpr::mul(off, dim), idx.clone());
+        }
+        off
+    }
+
+    fn load(&self, elem: ElemKind, var: &str, idx: IrExpr) -> IrExpr {
+        IrExpr::Load {
+            elem: elem_ir(elem),
+            buf: Box::new(IrExpr::var(var)),
+            idx: Box::new(idx),
+        }
+    }
+
+    fn store(&self, elem: ElemKind, var: &str, idx: IrExpr, value: IrExpr) -> IrStmt {
+        IrStmt::Store {
+            elem: elem_ir(elem),
+            buf: IrExpr::var(var),
+            idx,
+            value,
+        }
+    }
+
+    fn panic_if(&self, cond: IrExpr, msg: &str) -> IrStmt {
+        IrStmt::If {
+            cond,
+            then_b: vec![IrStmt::Expr(IrExpr::Call(
+                "cmm_panic".into(),
+                vec![IrExpr::Str(msg.to_string())],
+            ))],
+            else_b: vec![],
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Functions
+    // ------------------------------------------------------------------
+
+    fn function(&mut self, f: &Function) -> LResult<IrFunction> {
+        let mut params: Vec<(String, CType)> = Vec::new();
+        let mut body = Vec::new();
+        for p in &f.params {
+            match &p.ty {
+                Type::Tuple(parts) => {
+                    let mut irs = Vec::new();
+                    for (i, part) in parts.iter().enumerate() {
+                        let ir = format!("{}__{i}", p.name);
+                        params.push((ir.clone(), scalar_ctype(part)));
+                        // Matrix components follow the callee-owns
+                        // convention (caller incremented).
+                        if matches!(part, Type::Matrix(..) | Type::Rc(_)) {
+                            self.register_owned(&ir);
+                        }
+                        irs.push(ir);
+                    }
+                    self.declare_var(&p.name, p.ty.clone(), irs);
+                }
+                other => {
+                    params.push((p.name.clone(), scalar_ctype(other)));
+                    if matches!(other, Type::Matrix(..) | Type::Rc(_)) {
+                        // Callee owns its matrix arguments; the caller
+                        // increments before the call (§III-B).
+                        self.register_owned(&p.name);
+                    }
+                    self.declare_var(&p.name, other.clone(), vec![p.name.clone()]);
+                }
+            }
+        }
+        for s in &f.body.stmts {
+            self.stmt(s, &mut body)?;
+        }
+        // Implicit fall-off-the-end: release everything still owned.
+        let mut tail = Vec::new();
+        self.decr_all_scopes(&mut tail);
+        body.extend(tail);
+        // Reset scopes for the next function.
+        self.vars = vec![HashMap::new()];
+        self.owned = vec![Vec::new()];
+
+        let (ret, ret_tuple) = match &f.ret {
+            Type::Tuple(parts) => (CType::Void, Some(parts.iter().map(scalar_ctype).collect())),
+            other => (scalar_ctype(other), None),
+        };
+        Ok(IrFunction {
+            name: f.name.clone(),
+            params,
+            ret,
+            ret_tuple,
+            body,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn block(&mut self, b: &Block, out: &mut Vec<IrStmt>) -> LResult<()> {
+        self.push_scope();
+        let mut inner = Vec::new();
+        for s in &b.stmts {
+            self.stmt(s, &mut inner)?;
+        }
+        self.pop_scope(&mut inner);
+        out.push(IrStmt::Block(inner));
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt, out: &mut Vec<IrStmt>) -> LResult<()> {
+        match s {
+            Stmt::Decl { ty, name, init, span } => self.decl(ty, name, init.as_ref(), *span, out),
+            Stmt::Assign {
+                target,
+                value,
+                transforms,
+                span,
+            } => {
+                let mut sub = Vec::new();
+                let auto_par = transforms.is_empty();
+                let saved = self.opts.parallelize;
+                self.opts.parallelize = saved && auto_par;
+                self.assign(target, value, &mut sub)?;
+                self.opts.parallelize = saved;
+                if !transforms.is_empty() {
+                    let ts: Vec<LoopTransform> =
+                        transforms.iter().map(convert_transform).collect();
+                    apply_all(&mut sub, &ts).map_err(|e| Diag::error(*span, e.to_string()))?;
+                }
+                out.extend(sub);
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                let c = self.expr(cond, Some(&Type::Bool), out)?.scalar();
+                let mut t = Vec::new();
+                self.block(then_blk, &mut t)?;
+                let mut e = Vec::new();
+                if let Some(b) = else_blk {
+                    self.block(b, &mut e)?;
+                }
+                out.push(IrStmt::If {
+                    cond: c,
+                    then_b: t,
+                    else_b: e,
+                });
+                Ok(())
+            }
+            Stmt::While { cond, body, .. } => self.while_loop(cond, body, out),
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                // Desugar into { init; while (cond) { body; step } }.
+                self.push_scope();
+                let mut inner = Vec::new();
+                self.stmt(init, &mut inner)?;
+                let step_block = Block {
+                    stmts: vec![(**step).clone()],
+                };
+                let mut merged = body.clone();
+                merged.stmts.extend(step_block.stmts);
+                self.while_loop(cond, &merged, &mut inner)?;
+                self.pop_scope(&mut inner);
+                out.push(IrStmt::Block(inner));
+                Ok(())
+            }
+            Stmt::Return { value, span } => self.ret_stmt(value.as_ref(), *span, out),
+            Stmt::ExprStmt { expr, .. } => {
+                let rv = self.expr(expr, None, out)?;
+                if let RV::Scalar(e, _) = rv {
+                    // Evaluate for effect (calls).
+                    if matches!(e, IrExpr::Call(..)) {
+                        out.push(IrStmt::Expr(e));
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Nested(b) => self.block(b, out),
+            Stmt::Spawn { target, call, span } => self.spawn(target.as_deref(), call, *span, out),
+            Stmt::Sync { .. } => {
+                out.push(IrStmt::Sync);
+                Ok(())
+            }
+        }
+    }
+
+    fn while_loop(&mut self, cond: &Expr, body: &Block, out: &mut Vec<IrStmt>) -> LResult<()> {
+        // Evaluate the condition before the loop and at the end of each
+        // iteration (condition temps live in the iteration scope).
+        let cvar = self.fresh("c");
+        let c0 = self.expr(cond, Some(&Type::Bool), out)?.scalar();
+        out.push(IrStmt::Decl {
+            ty: CType::Bool,
+            name: cvar.clone(),
+            init: Some(c0),
+        });
+        let mut loop_body = Vec::new();
+        self.push_scope();
+        let mut inner = Vec::new();
+        for s in &body.stmts {
+            self.stmt(s, &mut inner)?;
+        }
+        // Re-evaluate the condition within the iteration scope.
+        let c1 = self.expr(cond, Some(&Type::Bool), &mut inner)?.scalar();
+        let ctmp = self.fresh("c");
+        inner.push(IrStmt::Decl {
+            ty: CType::Bool,
+            name: ctmp.clone(),
+            init: Some(c1),
+        });
+        self.pop_scope(&mut inner);
+        loop_body.push(IrStmt::Block(inner));
+        loop_body.push(IrStmt::Assign {
+            name: cvar.clone(),
+            value: IrExpr::var(&ctmp),
+        });
+        // `ctmp` must outlive the inner block: declare it up front.
+        out.push(IrStmt::Decl {
+            ty: CType::Bool,
+            name: ctmp.clone(),
+            init: Some(IrExpr::Bool(false)),
+        });
+        // Remove the duplicate inner decl of ctmp (declared above).
+        fix_duplicate_decl(&mut loop_body, &ctmp);
+        out.push(IrStmt::While {
+            cond: IrExpr::var(&cvar),
+            body: loop_body,
+        });
+        Ok(())
+    }
+
+    fn decl(
+        &mut self,
+        ty: &Type,
+        name: &str,
+        init: Option<&Expr>,
+        span: Span,
+        out: &mut Vec<IrStmt>,
+    ) -> LResult<()> {
+        match ty {
+            Type::Tuple(parts) => {
+                let mut irs = Vec::new();
+                let init_rv = match init {
+                    Some(e) => Some(self.expr(e, Some(ty), out)?),
+                    None => None,
+                };
+                let init_parts: Option<Vec<RV>> = match init_rv {
+                    Some(RV::Tuple(ps)) => Some(ps),
+                    Some(other) => {
+                        return Err(self.bug(span, format!("tuple initializer is {other:?}")))
+                    }
+                    None => None,
+                };
+                for (i, part) in parts.iter().enumerate() {
+                    let ir = self.fresh(&format!("{name}_{i}_"));
+                    let value = init_parts.as_ref().map(|ps| ps[i].clone());
+                    self.bind_fresh(part, &ir, value, out)?;
+                    irs.push(ir);
+                }
+                self.declare_var(name, ty.clone(), irs);
+                Ok(())
+            }
+            _ => {
+                let ir = self.fresh(name);
+                let value = match init {
+                    Some(e) => Some(self.expr(e, Some(ty), out)?),
+                    None => None,
+                };
+                self.bind_fresh(ty, &ir, value, out)?;
+                self.declare_var(name, ty.clone(), vec![ir]);
+                Ok(())
+            }
+        }
+    }
+
+    /// Emit the declaration of IR variable `ir` of AST type `ty`, bound to
+    /// `value` (or a default).
+    fn bind_fresh(
+        &mut self,
+        ty: &Type,
+        ir: &str,
+        value: Option<RV>,
+        out: &mut Vec<IrStmt>,
+    ) -> LResult<()> {
+        match ty {
+            Type::Matrix(elem, rank) => {
+                match value {
+                    Some(rv @ (RV::Mat { .. } | RV::Rc { .. })) => {
+                        let src = rv.mat_var().to_string();
+                        if self.opts.fuse_with_assign {
+                            // Copy elision: alias the handle, bump the count.
+                            out.push(IrStmt::Decl {
+                                ty: CType::Buf(elem_ir(*elem)),
+                                name: ir.to_string(),
+                                init: Some(IrExpr::var(&src)),
+                            });
+                            self.incr(ir, out);
+                        } else {
+                            // Library mode: materialize a copy.
+                            let dims = self.dims_of(&src, *rank);
+                            out.push(IrStmt::Decl {
+                                ty: CType::Buf(elem_ir(*elem)),
+                                name: ir.to_string(),
+                                init: Some(IrExpr::Call(
+                                    format!("alloc_mat_{}", elem_ir(*elem).suffix()),
+                                    dims,
+                                )),
+                            });
+                            let q = self.fresh("q");
+                            out.push(IrStmt::For(ForLoop {
+                                var: q.clone(),
+                                lo: IrExpr::Int(0),
+                                hi: self.len_of(&src),
+                                body: vec![self.store(
+                                    *elem,
+                                    ir,
+                                    IrExpr::var(&q),
+                                    self.load(*elem, &src, IrExpr::var(&q)),
+                                )],
+                                parallel: false,
+                                vector: false,
+                            }));
+                        }
+                    }
+                    None => {
+                        // Uninitialized matrix: placeholder empty buffer so
+                        // reference counting stays uniform.
+                        let dims = vec![IrExpr::Int(0); *rank as usize];
+                        out.push(IrStmt::Decl {
+                            ty: CType::Buf(elem_ir(*elem)),
+                            name: ir.to_string(),
+                            init: Some(IrExpr::Call(
+                                format!("alloc_mat_{}", elem_ir(*elem).suffix()),
+                                dims,
+                            )),
+                        });
+                    }
+                    Some(other) => {
+                        return Err(self.bug(
+                            Span::SYNTH,
+                            format!("matrix initializer lowered to {other:?}"),
+                        ))
+                    }
+                }
+                self.register_owned(ir);
+                Ok(())
+            }
+            Type::Rc(elem) => {
+                match value {
+                    Some(rv) => {
+                        let src = rv.mat_var().to_string();
+                        out.push(IrStmt::Decl {
+                            ty: CType::Buf(elem_ir(*elem)),
+                            name: ir.to_string(),
+                            init: Some(IrExpr::var(&src)),
+                        });
+                        self.incr(ir, out);
+                    }
+                    None => {
+                        out.push(IrStmt::Decl {
+                            ty: CType::Buf(elem_ir(*elem)),
+                            name: ir.to_string(),
+                            init: Some(IrExpr::Call(
+                                format!("alloc_mat_{}", elem_ir(*elem).suffix()),
+                                vec![IrExpr::Int(0)],
+                            )),
+                        });
+                    }
+                }
+                self.register_owned(ir);
+                Ok(())
+            }
+            _ => {
+                let init = match value {
+                    Some(RV::Scalar(e, from_ty)) => Some(self.coerce(e, &from_ty, ty)),
+                    None => None,
+                    Some(other) => {
+                        return Err(self.bug(
+                            Span::SYNTH,
+                            format!("scalar initializer lowered to {other:?}"),
+                        ))
+                    }
+                };
+                out.push(IrStmt::Decl {
+                    ty: scalar_ctype(ty),
+                    name: ir.to_string(),
+                    init,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Implicit scalar promotion at binding/return sites.
+    fn coerce(&self, e: IrExpr, from: &Type, to: &Type) -> IrExpr {
+        if from == to {
+            e
+        } else if *to == Type::Float && *from == Type::Int {
+            IrExpr::CastFloat(Box::new(e))
+        } else {
+            e
+        }
+    }
+
+    fn assign(&mut self, target: &LValue, value: &Expr, out: &mut Vec<IrStmt>) -> LResult<()> {
+        match target {
+            LValue::Var(name, span) => {
+                let (ty, irs) = self
+                    .lookup(name)
+                    .cloned()
+                    .ok_or_else(|| self.bug(*span, format!("unbound variable '{name}'")))?;
+                let rv = self.expr(value, Some(&ty), out)?;
+                self.assign_components(&ty, &irs, rv, out)
+            }
+            LValue::Index { base, indices, span } => self.index_assign(base, indices, value, *span, out),
+            LValue::Tuple(names, span) => {
+                let mut tys = Vec::new();
+                let mut all_irs = Vec::new();
+                for n in names {
+                    let (ty, irs) = self
+                        .lookup(n)
+                        .cloned()
+                        .ok_or_else(|| self.bug(*span, format!("unbound variable '{n}'")))?;
+                    tys.push(ty);
+                    all_irs.push(irs);
+                }
+                let rv = self.expr(value, Some(&Type::Tuple(tys.clone())), out)?;
+                let RV::Tuple(parts) = rv else {
+                    return Err(self.bug(*span, "tuple assignment from non-tuple value"));
+                };
+                for ((ty, irs), part) in tys.iter().zip(&all_irs).zip(parts) {
+                    self.assign_components(ty, irs, part, out)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Store an RV into existing variable slots (handles matrices, rc
+    /// pointers, tuples and scalars uniformly).
+    fn assign_components(
+        &mut self,
+        ty: &Type,
+        irs: &[String],
+        rv: RV,
+        out: &mut Vec<IrStmt>,
+    ) -> LResult<()> {
+        match (ty, rv) {
+            (Type::Matrix(elem, rank), rv @ (RV::Mat { .. } | RV::Rc { .. })) => {
+                let src = rv.mat_var().to_string();
+                let ir = &irs[0];
+                if self.opts.fuse_with_assign {
+                    self.incr(&src, out);
+                    out.push(IrStmt::Expr(IrExpr::Call(
+                        "rc_decr".into(),
+                        vec![IrExpr::var(ir)],
+                    )));
+                    out.push(IrStmt::Assign {
+                        name: ir.clone(),
+                        value: IrExpr::var(&src),
+                    });
+                } else {
+                    // Library mode: copy into a fresh buffer.
+                    let dims = self.dims_of(&src, *rank);
+                    let fresh = self.fresh("cp");
+                    out.push(IrStmt::Decl {
+                        ty: CType::Buf(elem_ir(*elem)),
+                        name: fresh.clone(),
+                        init: Some(IrExpr::Call(
+                            format!("alloc_mat_{}", elem_ir(*elem).suffix()),
+                            dims,
+                        )),
+                    });
+                    let q = self.fresh("q");
+                    out.push(IrStmt::For(ForLoop {
+                        var: q.clone(),
+                        lo: IrExpr::Int(0),
+                        hi: self.len_of(&src),
+                        body: vec![self.store(
+                            *elem,
+                            &fresh,
+                            IrExpr::var(&q),
+                            self.load(*elem, &src, IrExpr::var(&q)),
+                        )],
+                        parallel: false,
+                        vector: false,
+                    }));
+                    out.push(IrStmt::Expr(IrExpr::Call(
+                        "rc_decr".into(),
+                        vec![IrExpr::var(ir)],
+                    )));
+                    out.push(IrStmt::Assign {
+                        name: ir.clone(),
+                        value: IrExpr::var(&fresh),
+                    });
+                    self.incr(ir, out);
+                }
+                Ok(())
+            }
+            (Type::Rc(_), rv @ (RV::Mat { .. } | RV::Rc { .. })) => {
+                let src = rv.mat_var().to_string();
+                let ir = &irs[0];
+                self.incr(&src, out);
+                out.push(IrStmt::Expr(IrExpr::Call(
+                    "rc_decr".into(),
+                    vec![IrExpr::var(ir)],
+                )));
+                out.push(IrStmt::Assign {
+                    name: ir.clone(),
+                    value: IrExpr::var(&src),
+                });
+                Ok(())
+            }
+            (Type::Tuple(parts), RV::Tuple(vals)) => {
+                let mut idx = 0usize;
+                for (part, val) in parts.iter().zip(vals) {
+                    self.assign_components(part, &irs[idx..idx + 1], val, out)?;
+                    idx += 1;
+                }
+                Ok(())
+            }
+            (scalar_ty, RV::Scalar(e, from)) => {
+                let value = self.coerce(e, &from, scalar_ty);
+                out.push(IrStmt::Assign {
+                    name: irs[0].clone(),
+                    value,
+                });
+                Ok(())
+            }
+            (t, rv) => Err(self.bug(Span::SYNTH, format!("cannot assign {rv:?} to {t}"))),
+        }
+    }
+
+    fn ret_stmt(&mut self, value: Option<&Expr>, span: Span, out: &mut Vec<IrStmt>) -> LResult<()> {
+        let ret_ty = self.ret.clone();
+        match value {
+            None => {
+                self.decr_all_scopes(out);
+                out.push(IrStmt::Return(None));
+                Ok(())
+            }
+            Some(e) => {
+                let rv = self.expr(e, Some(&ret_ty), out)?;
+                match rv {
+                    RV::Scalar(ex, from) => {
+                        let tmp = self.fresh("ret");
+                        let coerced = self.coerce(ex, &from, &ret_ty);
+                        out.push(IrStmt::Decl {
+                            ty: scalar_ctype(&ret_ty),
+                            name: tmp.clone(),
+                            init: Some(coerced),
+                        });
+                        self.decr_all_scopes(out);
+                        out.push(IrStmt::Return(Some(IrExpr::var(&tmp))));
+                    }
+                    rv @ (RV::Mat { .. } | RV::Rc { .. }) => {
+                        let var = rv.mat_var().to_string();
+                        // Transfer ownership to the caller.
+                        self.incr(&var, out);
+                        self.decr_all_scopes(out);
+                        out.push(IrStmt::Return(Some(IrExpr::var(&var))));
+                    }
+                    RV::Tuple(parts) => {
+                        let mut exprs = Vec::with_capacity(parts.len());
+                        let expected = match &ret_ty {
+                            Type::Tuple(ps) => ps.clone(),
+                            _ => return Err(self.bug(span, "tuple return from non-tuple function")),
+                        };
+                        for (part, want) in parts.into_iter().zip(expected) {
+                            match part {
+                                RV::Scalar(ex, from) => {
+                                    let tmp = self.fresh("ret");
+                                    let coerced = self.coerce(ex, &from, &want);
+                                    out.push(IrStmt::Decl {
+                                        ty: scalar_ctype(&want),
+                                        name: tmp.clone(),
+                                        init: Some(coerced),
+                                    });
+                                    exprs.push(IrExpr::var(&tmp));
+                                }
+                                rv @ (RV::Mat { .. } | RV::Rc { .. }) => {
+                                    let var = rv.mat_var().to_string();
+                                    self.incr(&var, out);
+                                    exprs.push(IrExpr::var(&var));
+                                }
+                                other => {
+                                    return Err(self.bug(span, format!("bad tuple component {other:?}")))
+                                }
+                            }
+                        }
+                        self.decr_all_scopes(out);
+                        out.push(IrStmt::Return(Some(IrExpr::Tuple(exprs))));
+                    }
+                    RV::Void | RV::Str(_) => {
+                        return Err(self.bug(span, "cannot return this value"));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn expr(
+        &mut self,
+        e: &Expr,
+        expected: Option<&Type>,
+        out: &mut Vec<IrStmt>,
+    ) -> LResult<RV> {
+        match e {
+            Expr::IntLit(v, _) => Ok(RV::Scalar(IrExpr::Int(*v), Type::Int)),
+            Expr::FloatLit(v, _) => Ok(RV::Scalar(IrExpr::Float(*v), Type::Float)),
+            Expr::BoolLit(v, _) => Ok(RV::Scalar(IrExpr::Bool(*v), Type::Bool)),
+            Expr::StrLit(s, _) => Ok(RV::Str(s.clone())),
+            Expr::End(span) => match self.current_end.clone() {
+                Some(e) => Ok(RV::Scalar(e, Type::Int)),
+                None => Err(self.bug(
+                    *span,
+                    "'end' outside a subscript survived type checking",
+                )),
+            },
+            Expr::Var(name, span) => {
+                let (ty, irs) = self
+                    .lookup(name)
+                    .cloned()
+                    .ok_or_else(|| self.bug(*span, format!("unbound variable '{name}'")))?;
+                Ok(self.var_rv(&ty, &irs))
+            }
+            Expr::Unary { op, operand, span } => self.unary(*op, operand, *span, out),
+            Expr::Binary { op, left, right, span } => {
+                let l = self.expr(left, None, out)?;
+                let r = self.expr(right, None, out)?;
+                self.binary(*op, l, r, *span, out)
+            }
+            Expr::Cast { ty, expr, span } => self.cast(ty, expr, *span, out),
+            Expr::Index { base, indices, span } => {
+                let b = self.expr(base, None, out)?;
+                self.index_get(b, indices, *span, out)
+            }
+            Expr::RangeVec { lo, hi, .. } => {
+                let lo = self.expr(lo, Some(&Type::Int), out)?.scalar();
+                let hi = self.expr(hi, Some(&Type::Int), out)?.scalar();
+                Ok(self.range_vector(lo, hi, out))
+            }
+            Expr::Tuple(parts, _) => {
+                let expected_parts: Option<&Vec<Type>> = match expected {
+                    Some(Type::Tuple(ps)) if ps.len() == parts.len() => Some(ps),
+                    _ => None,
+                };
+                let mut vals = Vec::with_capacity(parts.len());
+                for (i, p) in parts.iter().enumerate() {
+                    vals.push(self.expr(p, expected_parts.map(|ps| &ps[i]), out)?);
+                }
+                Ok(RV::Tuple(vals))
+            }
+            Expr::With { generator, op, span } => self.with_loop(generator, op, *span, out),
+            Expr::MatrixMap {
+                func,
+                matrix,
+                dims,
+                span,
+            } => self.matrix_map(func, matrix, dims, *span, out),
+            Expr::Init { ty, dims, span } => {
+                let Some((elem, rank)) = ty.as_matrix() else {
+                    return Err(self.bug(*span, "init of non-matrix type"));
+                };
+                let mut dim_exprs = Vec::with_capacity(dims.len());
+                for d in dims {
+                    dim_exprs.push(self.expr(d, Some(&Type::Int), out)?.scalar());
+                }
+                let var = self.alloc_tmp(elem, dim_exprs, out);
+                Ok(RV::Mat { var, elem, rank })
+            }
+            Expr::RcAlloc { elem, len, .. } => {
+                let n = self.expr(len, Some(&Type::Int), out)?.scalar();
+                let var = self.fresh("rc");
+                out.push(IrStmt::Decl {
+                    ty: CType::Buf(elem_ir(*elem)),
+                    name: var.clone(),
+                    init: Some(IrExpr::Call(
+                        format!("alloc_mat_{}", elem_ir(*elem).suffix()),
+                        vec![n],
+                    )),
+                });
+                self.register_owned(&var);
+                Ok(RV::Rc { var, elem: *elem })
+            }
+            Expr::Call { name, args, span } => self.call(name, args, expected, *span, out),
+        }
+    }
+
+    fn var_rv(&self, ty: &Type, irs: &[String]) -> RV {
+        match ty {
+            Type::Matrix(e, r) => RV::Mat {
+                var: irs[0].clone(),
+                elem: *e,
+                rank: *r,
+            },
+            Type::Rc(e) => RV::Rc {
+                var: irs[0].clone(),
+                elem: *e,
+            },
+            Type::Tuple(parts) => RV::Tuple(
+                parts
+                    .iter()
+                    .zip(irs)
+                    .map(|(p, ir)| self.var_rv(p, std::slice::from_ref(ir)))
+                    .collect(),
+            ),
+            scalar => RV::Scalar(IrExpr::var(&irs[0]), scalar.clone()),
+        }
+    }
+
+    fn unary(&mut self, op: UnOp, operand: &Expr, span: Span, out: &mut Vec<IrStmt>) -> LResult<RV> {
+        let rv = self.expr(operand, None, out)?;
+        match (op, rv) {
+            (UnOp::Neg, RV::Scalar(e, t)) => Ok(RV::Scalar(IrExpr::Neg(Box::new(e)), t)),
+            (UnOp::Not, RV::Scalar(e, _)) => Ok(RV::Scalar(IrExpr::Not(Box::new(e)), Type::Bool)),
+            (op, RV::Mat { var, elem, rank }) => {
+                let dims = self.dims_of(&var, rank);
+                let result = self.alloc_tmp(elem, dims, out);
+                let q = self.fresh("q");
+                let loaded = self.load(elem, &var, IrExpr::var(&q));
+                let value = match op {
+                    UnOp::Neg => IrExpr::Neg(Box::new(loaded)),
+                    UnOp::Not => IrExpr::Not(Box::new(loaded)),
+                };
+                let st = self.store(elem, &result, IrExpr::var(&q), value);
+                out.push(IrStmt::For(ForLoop {
+                    var: q,
+                    lo: IrExpr::Int(0),
+                    hi: self.len_of(&var),
+                    body: vec![st],
+                    parallel: false,
+                    vector: false,
+                }));
+                Ok(RV::Mat {
+                    var: result,
+                    elem,
+                    rank,
+                })
+            }
+            (_, other) => Err(self.bug(span, format!("unary operator on {other:?}"))),
+        }
+    }
+
+    fn cast(&mut self, ty: &Type, expr: &Expr, span: Span, out: &mut Vec<IrStmt>) -> LResult<RV> {
+        let rv = self.expr(expr, None, out)?;
+        match (ty, rv) {
+            (Type::Int, RV::Scalar(e, _)) => Ok(RV::Scalar(IrExpr::CastInt(Box::new(e)), Type::Int)),
+            (Type::Float, RV::Scalar(e, _)) => {
+                Ok(RV::Scalar(IrExpr::CastFloat(Box::new(e)), Type::Float))
+            }
+            (Type::Bool, RV::Scalar(e, _)) => Ok(RV::Scalar(
+                IrExpr::bin(IrBinOp::Ne, IrExpr::CastInt(Box::new(e)), IrExpr::Int(0)),
+                Type::Bool,
+            )),
+            (Type::Matrix(to_elem, _), RV::Mat { var, elem, rank }) => {
+                let dims = self.dims_of(&var, rank);
+                let result = self.alloc_tmp(*to_elem, dims, out);
+                let q = self.fresh("q");
+                let loaded = self.load(elem, &var, IrExpr::var(&q));
+                let value = match to_elem {
+                    ElemKind::Int => IrExpr::CastInt(Box::new(loaded)),
+                    ElemKind::Float => IrExpr::CastFloat(Box::new(loaded)),
+                    ElemKind::Bool => {
+                        IrExpr::bin(IrBinOp::Ne, IrExpr::CastInt(Box::new(loaded)), IrExpr::Int(0))
+                    }
+                };
+                let st = self.store(*to_elem, &result, IrExpr::var(&q), value);
+                out.push(IrStmt::For(ForLoop {
+                    var: q,
+                    lo: IrExpr::Int(0),
+                    hi: self.len_of(&var),
+                    body: vec![st],
+                    parallel: false,
+                    vector: false,
+                }));
+                Ok(RV::Mat {
+                    var: result,
+                    elem: *to_elem,
+                    rank,
+                })
+            }
+            (t, rv) => Err(self.bug(span, format!("cannot lower cast of {rv:?} to {t}"))),
+        }
+    }
+
+    fn range_vector(&mut self, lo: IrExpr, hi: IrExpr, out: &mut Vec<IrStmt>) -> RV {
+        // n = max(hi - lo + 1, 0)
+        let n = self.fresh("n");
+        out.push(IrStmt::Decl {
+            ty: CType::Int,
+            name: n.clone(),
+            init: Some(IrExpr::add(
+                IrExpr::bin(IrBinOp::Sub, hi, lo.clone()),
+                IrExpr::Int(1),
+            )),
+        });
+        out.push(IrStmt::If {
+            cond: IrExpr::bin(IrBinOp::Lt, IrExpr::var(&n), IrExpr::Int(0)),
+            then_b: vec![IrStmt::Assign {
+                name: n.clone(),
+                value: IrExpr::Int(0),
+            }],
+            else_b: vec![],
+        });
+        let var = self.alloc_tmp(ElemKind::Int, vec![IrExpr::var(&n)], out);
+        let q = self.fresh("q");
+        let st = self.store(
+            ElemKind::Int,
+            &var,
+            IrExpr::var(&q),
+            IrExpr::add(lo, IrExpr::var(&q)),
+        );
+        out.push(IrStmt::For(ForLoop {
+            var: q,
+            lo: IrExpr::Int(0),
+            hi: IrExpr::var(&n),
+            body: vec![st],
+            parallel: false,
+            vector: false,
+        }));
+        RV::Mat {
+            var,
+            elem: ElemKind::Int,
+            rank: 1,
+        }
+    }
+
+    /// Overloaded binary operators (§III-A2).
+    fn binary(
+        &mut self,
+        op: BinOp,
+        l: RV,
+        r: RV,
+        span: Span,
+        out: &mut Vec<IrStmt>,
+    ) -> LResult<RV> {
+        use BinOp::*;
+        match (l, r) {
+            (RV::Scalar(le, lt), RV::Scalar(re, rt)) => {
+                let float = lt == Type::Float || rt == Type::Float;
+                let (le, re) = if float {
+                    (
+                        self.coerce(le, &lt, &Type::Float),
+                        self.coerce(re, &rt, &Type::Float),
+                    )
+                } else {
+                    (le, re)
+                };
+                let irop = scalar_binop(op);
+                let ty = if op.is_comparison() || matches!(op, And | Or) {
+                    Type::Bool
+                } else if float {
+                    Type::Float
+                } else {
+                    lt
+                };
+                Ok(RV::Scalar(IrExpr::bin(irop, le, re), ty))
+            }
+            (
+                RV::Mat {
+                    var: lv,
+                    elem: le,
+                    rank: lr,
+                },
+                RV::Mat {
+                    var: rv,
+                    elem: _re,
+                    rank: _rr,
+                },
+            ) => {
+                if op == Mul {
+                    return self.matmul(&lv, &rv, le, out);
+                }
+                // Element-wise: shapes must agree at runtime.
+                for d in 0..lr {
+                    let check = IrExpr::bin(
+                        IrBinOp::Ne,
+                        IrExpr::Call("dim".into(), vec![IrExpr::var(&lv), IrExpr::Int(d as i64)]),
+                        IrExpr::Call("dim".into(), vec![IrExpr::var(&rv), IrExpr::Int(d as i64)]),
+                    );
+                    out.push(self.panic_if(
+                        check,
+                        "element-wise operation on matrices of different shapes",
+                    ));
+                }
+                let out_elem = if op.is_comparison() { ElemKind::Bool } else { le };
+                let dims = self.dims_of(&lv, lr);
+                let result = self.alloc_tmp(out_elem, dims, out);
+                let q = self.fresh("q");
+                let a = self.load(le, &lv, IrExpr::var(&q));
+                let b = self.load(le, &rv, IrExpr::var(&q));
+                let value = IrExpr::bin(scalar_binop(op), a, b);
+                let st = self.store(out_elem, &result, IrExpr::var(&q), value);
+                out.push(IrStmt::For(ForLoop {
+                    var: q,
+                    lo: IrExpr::Int(0),
+                    hi: self.len_of(&lv),
+                    body: vec![st],
+                    parallel: false,
+                    vector: false,
+                }));
+                Ok(RV::Mat {
+                    var: result,
+                    elem: out_elem,
+                    rank: lr,
+                })
+            }
+            // matrix ⊗ scalar and scalar ⊗ matrix
+            (RV::Mat { var, elem, rank }, RV::Scalar(se, st)) => {
+                self.mat_scalar(op, &var, elem, rank, se, st, false, out)
+            }
+            (RV::Scalar(se, st), RV::Mat { var, elem, rank }) => {
+                self.mat_scalar(op, &var, elem, rank, se, st, true, out)
+            }
+            (l, r) => Err(self.bug(span, format!("binary operator on {l:?} and {r:?}"))),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn mat_scalar(
+        &mut self,
+        op: BinOp,
+        var: &str,
+        elem: ElemKind,
+        rank: u8,
+        scalar: IrExpr,
+        scalar_ty: Type,
+        scalar_on_left: bool,
+        out: &mut Vec<IrStmt>,
+    ) -> LResult<RV> {
+        let scalar = if elem == ElemKind::Float {
+            self.coerce(scalar, &scalar_ty, &Type::Float)
+        } else {
+            scalar
+        };
+        // Hoist the scalar into a temp (evaluated once).
+        let s = self.fresh("s");
+        out.push(IrStmt::Decl {
+            ty: if elem == ElemKind::Float {
+                CType::Float
+            } else {
+                scalar_ctype(&scalar_ty)
+            },
+            name: s.clone(),
+            init: Some(scalar),
+        });
+        let out_elem = if op.is_comparison() { ElemKind::Bool } else { elem };
+        let dims = self.dims_of(var, rank);
+        let result = self.alloc_tmp(out_elem, dims, out);
+        let q = self.fresh("q");
+        let loaded = self.load(elem, var, IrExpr::var(&q));
+        let (a, b) = if scalar_on_left {
+            (IrExpr::var(&s), loaded)
+        } else {
+            (loaded, IrExpr::var(&s))
+        };
+        let st = self.store(
+            out_elem,
+            &result,
+            IrExpr::var(&q),
+            IrExpr::bin(scalar_binop(op), a, b),
+        );
+        out.push(IrStmt::For(ForLoop {
+            var: q,
+            lo: IrExpr::Int(0),
+            hi: self.len_of(var),
+            body: vec![st],
+            parallel: false,
+            vector: false,
+        }));
+        Ok(RV::Mat {
+            var: result,
+            elem: out_elem,
+            rank,
+        })
+    }
+
+    /// Linear-algebra multiplication of two rank-2 matrices.
+    fn matmul(
+        &mut self,
+        lv: &str,
+        rv: &str,
+        elem: ElemKind,
+        out: &mut Vec<IrStmt>,
+    ) -> LResult<RV> {
+        let check = IrExpr::bin(
+            IrBinOp::Ne,
+            IrExpr::Call("dim".into(), vec![IrExpr::var(lv), IrExpr::Int(1)]),
+            IrExpr::Call("dim".into(), vec![IrExpr::var(rv), IrExpr::Int(0)]),
+        );
+        out.push(self.panic_if(check, "matrix multiplication dimension mismatch"));
+        let m = IrExpr::Call("dim".into(), vec![IrExpr::var(lv), IrExpr::Int(0)]);
+        let k = IrExpr::Call("dim".into(), vec![IrExpr::var(lv), IrExpr::Int(1)]);
+        let n = IrExpr::Call("dim".into(), vec![IrExpr::var(rv), IrExpr::Int(1)]);
+        let result = self.alloc_tmp(elem, vec![m.clone(), n.clone()], out);
+        let (i, kk, j) = (self.fresh("i"), self.fresh("k"), self.fresh("j"));
+        let acc = self.fresh("acc");
+        let a = self.load(
+            elem,
+            lv,
+            IrExpr::add(IrExpr::mul(IrExpr::var(&i), k.clone()), IrExpr::var(&kk)),
+        );
+        let b = self.load(
+            elem,
+            rv,
+            IrExpr::add(IrExpr::mul(IrExpr::var(&kk), n.clone()), IrExpr::var(&j)),
+        );
+        let inner_k = IrStmt::For(ForLoop {
+            var: kk.clone(),
+            lo: IrExpr::Int(0),
+            hi: k,
+            body: vec![IrStmt::Assign {
+                name: acc.clone(),
+                value: IrExpr::add(IrExpr::var(&acc), IrExpr::mul(a, b)),
+            }],
+            parallel: false,
+            vector: false,
+        });
+        let store = self.store(
+            elem,
+            &result,
+            IrExpr::add(IrExpr::mul(IrExpr::var(&i), n.clone()), IrExpr::var(&j)),
+            IrExpr::var(&acc),
+        );
+        let body_j = IrStmt::For(ForLoop {
+            var: j.clone(),
+            lo: IrExpr::Int(0),
+            hi: n,
+            body: vec![
+                IrStmt::Decl {
+                    ty: if elem == ElemKind::Float {
+                        CType::Float
+                    } else {
+                        CType::Int
+                    },
+                    name: acc.clone(),
+                    init: Some(if elem == ElemKind::Float {
+                        IrExpr::Float(0.0)
+                    } else {
+                        IrExpr::Int(0)
+                    }),
+                },
+                inner_k,
+                store,
+            ],
+            parallel: false,
+            vector: false,
+        });
+        out.push(IrStmt::For(ForLoop {
+            var: i,
+            lo: IrExpr::Int(0),
+            hi: m,
+            body: vec![body_j],
+            parallel: self.opts.parallelize,
+            vector: false,
+        }));
+        Ok(RV::Mat {
+            var: result,
+            elem,
+            rank: 2,
+        })
+    }
+}
+
+fn scalar_binop(op: BinOp) -> IrBinOp {
+    match op {
+        BinOp::Add => IrBinOp::Add,
+        BinOp::Sub => IrBinOp::Sub,
+        BinOp::Mul | BinOp::ElemMul => IrBinOp::Mul,
+        BinOp::Div => IrBinOp::Div,
+        BinOp::Rem => IrBinOp::Rem,
+        BinOp::Lt => IrBinOp::Lt,
+        BinOp::Le => IrBinOp::Le,
+        BinOp::Gt => IrBinOp::Gt,
+        BinOp::Ge => IrBinOp::Ge,
+        BinOp::Eq => IrBinOp::Eq,
+        BinOp::Ne => IrBinOp::Ne,
+        BinOp::And => IrBinOp::And,
+        BinOp::Or => IrBinOp::Or,
+    }
+}
+
+fn convert_transform(t: &TransformSpec) -> LoopTransform {
+    match t {
+        TransformSpec::Split {
+            index,
+            by,
+            inner,
+            outer,
+        } => LoopTransform::Split {
+            index: index.clone(),
+            by: *by,
+            inner: inner.clone(),
+            outer: outer.clone(),
+        },
+        TransformSpec::Vectorize { index } => LoopTransform::Vectorize {
+            index: index.clone(),
+        },
+        TransformSpec::Parallelize { index } => LoopTransform::Parallelize {
+            index: index.clone(),
+        },
+        TransformSpec::Reorder { order } => LoopTransform::Reorder {
+            order: order.clone(),
+        },
+        TransformSpec::Interchange { a, b } => LoopTransform::Interchange {
+            a: a.clone(),
+            b: b.clone(),
+        },
+        TransformSpec::Unroll { index, by } => LoopTransform::Unroll {
+            index: index.clone(),
+            by: *by,
+        },
+        TransformSpec::Tile { i, j, bi, bj } => LoopTransform::Tile {
+            i: i.clone(),
+            j: j.clone(),
+            bi: *bi,
+            bj: *bj,
+        },
+    }
+}
+
+/// Remove an inner duplicate declaration of `name` (turn it into an
+/// assignment) — used by the while-loop condition re-evaluation pattern.
+fn fix_duplicate_decl(stmts: &mut [IrStmt], name: &str) {
+    for s in stmts {
+        match s {
+            IrStmt::Decl {
+                name: n,
+                init: Some(init),
+                ..
+            } if n == name => {
+                *s = IrStmt::Assign {
+                    name: n.clone(),
+                    value: init.clone(),
+                };
+                return;
+            }
+            IrStmt::Block(b) => fix_duplicate_decl(b, name),
+            _ => {}
+        }
+    }
+}
+
+#[path = "lower/constructs.rs"]
+mod constructs;

@@ -1,0 +1,1459 @@
+//! Lowering of the extension constructs: with-loops, `matrixMap`,
+//! MATLAB-style indexing, and calls (user functions and builtins).
+
+use super::*;
+
+/// How one dimension of an indexing expression selects source positions.
+enum DimSel {
+    /// Single index: the dimension is dropped.
+    Fixed(IrExpr),
+    /// Contiguous range / whole dimension: position `r` maps to `lo + r`.
+    Off {
+        /// Start offset expression.
+        lo: IrExpr,
+        /// IR variable holding the selection size.
+        size: String,
+    },
+    /// Logical indexing: position `r` maps to `table[r]`.
+    Table {
+        /// IR variable of the selection table (int buffer).
+        table: String,
+        /// IR variable holding the selection size.
+        size: String,
+    },
+}
+
+impl DimSel {
+    fn kept(&self) -> bool {
+        !matches!(self, DimSel::Fixed(_))
+    }
+
+    fn size_expr(&self) -> IrExpr {
+        match self {
+            DimSel::Fixed(_) => IrExpr::Int(1),
+            DimSel::Off { size, .. } | DimSel::Table { size, .. } => IrExpr::var(size),
+        }
+    }
+
+    /// Source index expression given the result-position variable (only
+    /// meaningful for kept dimensions).
+    fn src_index(&self, pos: &str, elem_loader: &dyn Fn(&str, IrExpr) -> IrExpr) -> IrExpr {
+        match self {
+            DimSel::Fixed(e) => e.clone(),
+            DimSel::Off { lo, .. } => IrExpr::add(lo.clone(), IrExpr::var(pos)),
+            DimSel::Table { table, .. } => elem_loader(table, IrExpr::var(pos)),
+        }
+    }
+}
+
+impl FnLower<'_> {
+    // ------------------------------------------------------------------
+    // Static types (mirror of the checker, for already-checked programs)
+    // ------------------------------------------------------------------
+
+    /// Type of an expression in the current lowering environment. The
+    /// program has passed the checker, so inconsistencies are compiler
+    /// bugs (reported as lowering errors by callers where reachable).
+    pub(super) fn static_type(&self, e: &Expr, expected: Option<&Type>) -> Type {
+        match e {
+            Expr::IntLit(..) => Type::Int,
+            Expr::FloatLit(..) => Type::Float,
+            Expr::BoolLit(..) => Type::Bool,
+            Expr::StrLit(..) => Type::Str,
+            Expr::End(_) => Type::Int,
+            Expr::Var(n, _) => self
+                .lookup(n)
+                .map(|(t, _)| t.clone())
+                .unwrap_or(Type::Error),
+            Expr::Unary { op, operand, .. } => match op {
+                UnOp::Neg => self.static_type(operand, None),
+                UnOp::Not => match self.static_type(operand, None) {
+                    m @ Type::Matrix(..) => m,
+                    _ => Type::Bool,
+                },
+            },
+            Expr::Binary { op, left, right, .. } => {
+                let lt = self.static_type(left, None);
+                let rt = self.static_type(right, None);
+                static_binary_type(*op, &lt, &rt)
+            }
+            Expr::Cast { ty, .. } => ty.clone(),
+            Expr::Index { base, indices, .. } => {
+                let bt = self.static_type(base, None);
+                let Some((elem, _)) = bt.as_matrix() else {
+                    return Type::Error;
+                };
+                let mut kept = 0u8;
+                for ix in indices {
+                    match ix {
+                        IndexExpr::At(e) => {
+                            if matches!(
+                                self.static_type(e, None),
+                                Type::Matrix(ElemKind::Bool, 1)
+                            ) {
+                                kept += 1;
+                            }
+                        }
+                        IndexExpr::Range(..) | IndexExpr::All => kept += 1,
+                    }
+                }
+                if kept == 0 {
+                    elem.scalar()
+                } else {
+                    Type::Matrix(elem, kept)
+                }
+            }
+            Expr::RangeVec { .. } => Type::Matrix(ElemKind::Int, 1),
+            Expr::Tuple(parts, _) => {
+                Type::Tuple(parts.iter().map(|p| self.static_type(p, None)).collect())
+            }
+            Expr::With { generator, op, .. } => match op {
+                WithOp::Genarray { shape, body } => {
+                    let bt = self.with_body_type(generator, body);
+                    match bt.as_elem() {
+                        Some(e) => Type::Matrix(e, shape.len().max(1) as u8),
+                        None => Type::Error,
+                    }
+                }
+                WithOp::Fold { base, body, .. } => {
+                    let bt = self.static_type(base, None);
+                    let et = self.with_body_type(generator, body);
+                    if bt == Type::Float || et == Type::Float {
+                        Type::Float
+                    } else {
+                        Type::Int
+                    }
+                }
+                WithOp::Modarray { src, .. } => self.static_type(src, None),
+            },
+            Expr::MatrixMap { func, matrix, .. } => {
+                let mt = self.static_type(matrix, None);
+                let rank = mt.as_matrix().map(|(_, r)| r).unwrap_or(0);
+                match self.sigs.get(func).map(|s| &s.ret) {
+                    Some(Type::Matrix(e, _)) => Type::Matrix(*e, rank),
+                    _ => Type::Error,
+                }
+            }
+            Expr::Init { ty, .. } => ty.clone(),
+            Expr::RcAlloc { elem, .. } => Type::Rc(*elem),
+            Expr::Call { name, args, .. } => match name.as_str() {
+                "dimSize" | "toInt" | "rcLen" => match name.as_str() {
+                    "toInt" => match self.static_type(&args[0], None) {
+                        Type::Matrix(_, r) => Type::Matrix(ElemKind::Int, r),
+                        _ => Type::Int,
+                    },
+                    _ => Type::Int,
+                },
+                "toFloat" => match self.static_type(&args[0], None) {
+                    Type::Matrix(_, r) => Type::Matrix(ElemKind::Float, r),
+                    _ => Type::Float,
+                },
+                "range" => Type::Matrix(ElemKind::Int, 1),
+                "readMatrix" => expected.cloned().unwrap_or(Type::Error),
+                "writeMatrix" | "printInt" | "printFloat" | "printBool" | "rcSet" => Type::Void,
+                "rcGet" => match self.static_type(&args[0], None) {
+                    Type::Rc(e) => e.scalar(),
+                    _ => Type::Error,
+                },
+                _ => self
+                    .sigs
+                    .get(name)
+                    .map(|s| s.ret.clone())
+                    .unwrap_or(Type::Error),
+            },
+        }
+    }
+
+    fn with_body_type(&self, g: &Generator, body: &Expr) -> Type {
+        // Bind generator variables as ints in a throwaway view.
+        let mut probe = FnProbe {
+            lower: self,
+            extra: g.vars.clone(),
+        };
+        probe.ty(body)
+    }
+
+    // ------------------------------------------------------------------
+    // With-loops (§III-A4, Fig 1 → Fig 3)
+    // ------------------------------------------------------------------
+
+    pub(super) fn with_loop(
+        &mut self,
+        g: &Generator,
+        op: &WithOp,
+        span: Span,
+        out: &mut Vec<IrStmt>,
+    ) -> LResult<RV> {
+        let rank = g.vars.len();
+        // Bound temps.
+        let mut lo_vars = Vec::with_capacity(rank);
+        let mut hi_vars = Vec::with_capacity(rank);
+        for (d, (lo, hi)) in g.lower.iter().zip(&g.upper).enumerate() {
+            let lo_e = self.expr(lo, Some(&Type::Int), out)?.scalar();
+            let hi_e = self.expr(hi, Some(&Type::Int), out)?.scalar();
+            let hi_e = if g.upper_inclusive {
+                IrExpr::add(hi_e, IrExpr::Int(1))
+            } else {
+                hi_e
+            };
+            let lv = self.fresh(&format!("lo{d}"));
+            let hv = self.fresh(&format!("hi{d}"));
+            out.push(IrStmt::Decl {
+                ty: CType::Int,
+                name: lv.clone(),
+                init: Some(lo_e),
+            });
+            out.push(IrStmt::Decl {
+                ty: CType::Int,
+                name: hv.clone(),
+                init: Some(hi_e),
+            });
+            out.push(self.panic_if(
+                IrExpr::bin(IrBinOp::Lt, IrExpr::var(&lv), IrExpr::Int(0)),
+                "with-loop generator lower bound is negative",
+            ));
+            lo_vars.push(lv);
+            hi_vars.push(hv);
+        }
+
+        match op {
+            WithOp::Genarray { shape, body } => {
+                // Shape temps + the §III-A4 runtime superset check.
+                let mut sh_vars = Vec::with_capacity(shape.len());
+                for (d, s) in shape.iter().enumerate() {
+                    let se = self.expr(s, Some(&Type::Int), out)?.scalar();
+                    let sv = self.fresh(&format!("sh{d}"));
+                    out.push(IrStmt::Decl {
+                        ty: CType::Int,
+                        name: sv.clone(),
+                        init: Some(se),
+                    });
+                    out.push(self.panic_if(
+                        IrExpr::bin(IrBinOp::Gt, IrExpr::var(&hi_vars[d]), IrExpr::var(&sv)),
+                        "with-loop generator exceeds the genarray shape (the shape must \
+                         be a superset of the generator indexes)",
+                    ));
+                    sh_vars.push(sv);
+                }
+                // Element type of the body (generator vars in scope).
+                self.push_scope();
+                for v in &g.vars {
+                    self.declare_var(v, Type::Int, vec![v.clone()]);
+                }
+                let body_ty = self.static_type(body, None);
+                let Some(elem) = body_ty.as_elem() else {
+                    self.owned.pop();
+                    self.vars.pop();
+                    return Err(self.bug(span, format!("genarray body has type {body_ty}")));
+                };
+                let result = self.alloc_tmp(
+                    elem,
+                    sh_vars.iter().map(|v| IrExpr::var(v)).collect(),
+                    out,
+                );
+                // The result temp was registered in the inner scope; move
+                // it to the enclosing scope so it survives.
+                let moved = self.owned.last_mut().expect("scope").pop();
+                if let Some(m) = moved {
+                    let outer = self.owned.len() - 2;
+                    self.owned[outer].push(m);
+                }
+
+                // Body statements (own scope for temps per iteration).
+                let mut body_stmts = Vec::new();
+                self.push_scope();
+                let value = self.expr(body, None, &mut body_stmts)?;
+                let RV::Scalar(value_e, vty) = value else {
+                    return Err(self.bug(span, "genarray body must be scalar"));
+                };
+                let value_e = self.coerce(value_e, &vty, &elem.scalar());
+                // Flat offset over the *shape*.
+                let mut off = IrExpr::var(&g.vars[0]);
+                for d in 1..rank {
+                    off = IrExpr::add(
+                        IrExpr::mul(off, IrExpr::var(&sh_vars[d])),
+                        IrExpr::var(&g.vars[d]),
+                    );
+                }
+                body_stmts.push(self.store(elem, &result, off, value_e));
+                self.pop_scope(&mut body_stmts);
+
+                // Loop nest, innermost to outermost, using the source
+                // index names (so §V transforms can refer to them).
+                let mut nest = body_stmts;
+                for d in (0..rank).rev() {
+                    nest = vec![IrStmt::For(ForLoop {
+                        var: g.vars[d].clone(),
+                        lo: IrExpr::var(&lo_vars[d]),
+                        hi: IrExpr::var(&hi_vars[d]),
+                        body: nest,
+                        parallel: d == 0 && self.opts.parallelize,
+                        vector: false,
+                    })];
+                }
+                out.extend(nest);
+                self.pop_scope(out); // generator-variable scope (no owned)
+                Ok(RV::Mat {
+                    var: result,
+                    elem,
+                    rank: rank.max(1) as u8,
+                })
+            }
+            WithOp::Fold { op, base, body } => {
+                let base_rv = self.expr(base, None, out)?;
+                let RV::Scalar(base_e, base_ty) = base_rv else {
+                    return Err(self.bug(span, "fold base must be scalar"));
+                };
+                self.push_scope();
+                for v in &g.vars {
+                    self.declare_var(v, Type::Int, vec![v.clone()]);
+                }
+                let body_ty = self.static_type(body, None);
+                let acc_ty = if base_ty == Type::Float || body_ty == Type::Float {
+                    Type::Float
+                } else {
+                    Type::Int
+                };
+                let acc = self.fresh("acc");
+                out.push(IrStmt::Decl {
+                    ty: scalar_ctype(&acc_ty),
+                    name: acc.clone(),
+                    init: Some(self.coerce(base_e, &base_ty, &acc_ty)),
+                });
+
+                let mut body_stmts = Vec::new();
+                self.push_scope();
+                let value = self.expr(body, None, &mut body_stmts)?;
+                let RV::Scalar(value_e, vty) = value else {
+                    return Err(self.bug(span, "fold body must be scalar"));
+                };
+                let v = self.fresh("v");
+                body_stmts.push(IrStmt::Decl {
+                    ty: scalar_ctype(&acc_ty),
+                    name: v.clone(),
+                    init: Some(self.coerce(value_e, &vty, &acc_ty)),
+                });
+                let update = match op {
+                    FoldKind::Add => IrStmt::Assign {
+                        name: acc.clone(),
+                        value: IrExpr::add(IrExpr::var(&acc), IrExpr::var(&v)),
+                    },
+                    FoldKind::Mul => IrStmt::Assign {
+                        name: acc.clone(),
+                        value: IrExpr::mul(IrExpr::var(&acc), IrExpr::var(&v)),
+                    },
+                    FoldKind::Max => IrStmt::If {
+                        cond: IrExpr::bin(IrBinOp::Gt, IrExpr::var(&v), IrExpr::var(&acc)),
+                        then_b: vec![IrStmt::Assign {
+                            name: acc.clone(),
+                            value: IrExpr::var(&v),
+                        }],
+                        else_b: vec![],
+                    },
+                    FoldKind::Min => IrStmt::If {
+                        cond: IrExpr::bin(IrBinOp::Lt, IrExpr::var(&v), IrExpr::var(&acc)),
+                        then_b: vec![IrStmt::Assign {
+                            name: acc.clone(),
+                            value: IrExpr::var(&v),
+                        }],
+                        else_b: vec![],
+                    },
+                };
+                body_stmts.push(update);
+                self.pop_scope(&mut body_stmts);
+
+                // Sequential loop nest (folds stay inside the parallel
+                // genarray / matrixMap loops that contain them, Fig 3).
+                let mut nest = body_stmts;
+                for d in (0..rank).rev() {
+                    nest = vec![IrStmt::For(ForLoop {
+                        var: g.vars[d].clone(),
+                        lo: IrExpr::var(&lo_vars[d]),
+                        hi: IrExpr::var(&hi_vars[d]),
+                        body: nest,
+                        parallel: false,
+                        vector: false,
+                    })];
+                }
+                out.extend(nest);
+                self.pop_scope(out);
+                Ok(RV::Scalar(IrExpr::var(&acc), acc_ty))
+            }
+            WithOp::Modarray { src, body } => {
+                // modarray(src, body): copy src, then overwrite the
+                // generator region with the body values.
+                let src_rv = self.expr(src, None, out)?;
+                let RV::Mat {
+                    var: src_var,
+                    elem,
+                    rank: src_rank,
+                } = src_rv
+                else {
+                    return Err(self.bug(span, "modarray source must be a matrix"));
+                };
+                // Dimension temps + the superset runtime check.
+                let mut sd_vars = Vec::with_capacity(src_rank as usize);
+                for d in 0..src_rank as usize {
+                    let sv = self.fresh(&format!("sd{d}"));
+                    out.push(IrStmt::Decl {
+                        ty: CType::Int,
+                        name: sv.clone(),
+                        init: Some(IrExpr::Call(
+                            "dim".into(),
+                            vec![IrExpr::var(&src_var), IrExpr::Int(d as i64)],
+                        )),
+                    });
+                    if d < hi_vars.len() {
+                        out.push(self.panic_if(
+                            IrExpr::bin(IrBinOp::Gt, IrExpr::var(&hi_vars[d]), IrExpr::var(&sv)),
+                            "with-loop generator exceeds the modarray source shape",
+                        ));
+                    }
+                    sd_vars.push(sv);
+                }
+                let result = self.alloc_tmp(
+                    elem,
+                    sd_vars.iter().map(|v| IrExpr::var(v)).collect(),
+                    out,
+                );
+                // Copy the source.
+                let q = self.fresh("q");
+                let copy = self.store(
+                    elem,
+                    &result,
+                    IrExpr::var(&q),
+                    self.load(elem, &src_var, IrExpr::var(&q)),
+                );
+                out.push(IrStmt::For(ForLoop {
+                    var: q,
+                    lo: IrExpr::Int(0),
+                    hi: self.len_of(&src_var),
+                    body: vec![copy],
+                    parallel: false,
+                    vector: false,
+                }));
+
+                // Overwrite the generator region.
+                self.push_scope();
+                for v in &g.vars {
+                    self.declare_var(v, Type::Int, vec![v.clone()]);
+                }
+                let mut body_stmts = Vec::new();
+                self.push_scope();
+                let value = self.expr(body, None, &mut body_stmts)?;
+                let RV::Scalar(value_e, vty) = value else {
+                    return Err(self.bug(span, "modarray body must be scalar"));
+                };
+                let value_e = self.coerce(value_e, &vty, &elem.scalar());
+                let mut off = IrExpr::var(&g.vars[0]);
+                for d in 1..rank {
+                    off = IrExpr::add(
+                        IrExpr::mul(off, IrExpr::var(&sd_vars[d])),
+                        IrExpr::var(&g.vars[d]),
+                    );
+                }
+                body_stmts.push(self.store(elem, &result, off, value_e));
+                self.pop_scope(&mut body_stmts);
+
+                let mut nest = body_stmts;
+                for d in (0..rank).rev() {
+                    nest = vec![IrStmt::For(ForLoop {
+                        var: g.vars[d].clone(),
+                        lo: IrExpr::var(&lo_vars[d]),
+                        hi: IrExpr::var(&hi_vars[d]),
+                        body: nest,
+                        parallel: d == 0 && self.opts.parallelize,
+                        vector: false,
+                    })];
+                }
+                out.extend(nest);
+                self.pop_scope(out);
+                Ok(RV::Mat {
+                    var: result,
+                    elem,
+                    rank: src_rank,
+                })
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // matrixMap (§III-A5, Figs 4–5)
+    // ------------------------------------------------------------------
+
+    pub(super) fn matrix_map(
+        &mut self,
+        func: &str,
+        matrix: &Expr,
+        dims: &[i64],
+        span: Span,
+        out: &mut Vec<IrStmt>,
+    ) -> LResult<RV> {
+        let src_rv = self.expr(matrix, None, out)?;
+        let RV::Mat {
+            var: src,
+            elem: src_elem,
+            rank,
+        } = src_rv
+        else {
+            return Err(self.bug(span, "matrixMap over a non-matrix"));
+        };
+        let sig = self
+            .sigs
+            .get(func)
+            .ok_or_else(|| self.bug(span, format!("unknown function '{func}'")))?;
+        let Type::Matrix(out_elem, _) = sig.ret else {
+            return Err(self.bug(span, "mapped function must return a matrix"));
+        };
+        let dst = {
+            let dims_all = self.dims_of(&src, rank);
+            self.alloc_tmp(out_elem, dims_all, out)
+        };
+
+        // Lift a helper function: the spawned threads need direct access
+        // to the per-slice work (§III-A5).
+        let lifted_name = self.fresh(&format!("mmap_{func}_"));
+        let lifted_name = lifted_name.trim_start_matches("__").to_string();
+        let mapped: Vec<usize> = dims.iter().map(|&d| d as usize).collect();
+        let outer: Vec<usize> = (0..rank as usize).filter(|d| !mapped.contains(d)).collect();
+
+        let dim_of = |buf: &str, d: usize| {
+            IrExpr::Call(
+                "dim".into(),
+                vec![IrExpr::var(buf), IrExpr::Int(d as i64)],
+            )
+        };
+        // Per-dimension index variable names inside the lifted function.
+        let idx_name = |d: usize| format!("x{d}");
+
+        // Flat offset into src given per-dim index variables.
+        let src_offset = {
+            let mut off = IrExpr::var(&idx_name(0));
+            for d in 1..rank as usize {
+                off = IrExpr::add(
+                    IrExpr::mul(off, dim_of("src", d)),
+                    IrExpr::var(&idx_name(d)),
+                );
+            }
+            off
+        };
+        // Flat offset into the slice buffer over the mapped dims.
+        let slice_offset = {
+            let mut off = IrExpr::var(&idx_name(mapped[0]));
+            for &md in &mapped[1..] {
+                off = IrExpr::add(
+                    IrExpr::mul(off, dim_of("src", md)),
+                    IrExpr::var(&idx_name(md)),
+                );
+            }
+            off
+        };
+
+        // Gather loop nest over mapped dims.
+        let gather_store = IrStmt::Store {
+            elem: elem_ir(src_elem),
+            buf: IrExpr::var("slice"),
+            idx: slice_offset.clone(),
+            value: IrExpr::Load {
+                elem: elem_ir(src_elem),
+                buf: Box::new(IrExpr::var("src")),
+                idx: Box::new(src_offset.clone()),
+            },
+        };
+        let mut gather = vec![gather_store];
+        for &md in mapped.iter().rev() {
+            gather = vec![IrStmt::For(ForLoop {
+                var: idx_name(md),
+                lo: IrExpr::Int(0),
+                hi: dim_of("src", md),
+                body: gather,
+                parallel: false,
+                vector: false,
+            })];
+        }
+        // Scatter loop nest over mapped dims.
+        let scatter_store = IrStmt::Store {
+            elem: elem_ir(out_elem),
+            buf: IrExpr::var("dst"),
+            idx: src_offset.clone(),
+            value: IrExpr::Load {
+                elem: elem_ir(out_elem),
+                buf: Box::new(IrExpr::var("res")),
+                idx: Box::new(slice_offset),
+            },
+        };
+        let mut scatter = vec![scatter_store];
+        for &md in mapped.iter().rev() {
+            scatter = vec![IrStmt::For(ForLoop {
+                var: idx_name(md),
+                lo: IrExpr::Int(0),
+                hi: dim_of("src", md),
+                body: scatter,
+                parallel: false,
+                vector: false,
+            })];
+        }
+
+        // Slice allocation + per-slice body.
+        let slice_dims: Vec<IrExpr> = mapped.iter().map(|&md| dim_of("src", md)).collect();
+        let mut per_slice = vec![IrStmt::Decl {
+            ty: CType::Buf(elem_ir(src_elem)),
+            name: "slice".into(),
+            init: Some(IrExpr::Call(
+                format!("alloc_mat_{}", elem_ir(src_elem).suffix()),
+                slice_dims,
+            )),
+        }];
+        per_slice.extend(gather);
+        // The mapped function follows the callee-owns convention.
+        per_slice.push(IrStmt::Expr(IrExpr::Call(
+            "rc_incr".into(),
+            vec![IrExpr::var("slice")],
+        )));
+        per_slice.push(IrStmt::Decl {
+            ty: CType::Buf(elem_ir(out_elem)),
+            name: "res".into(),
+            init: Some(IrExpr::Call(func.to_string(), vec![IrExpr::var("slice")])),
+        });
+        per_slice.extend(scatter);
+        per_slice.push(IrStmt::Expr(IrExpr::Call(
+            "rc_decr".into(),
+            vec![IrExpr::var("res")],
+        )));
+        per_slice.push(IrStmt::Expr(IrExpr::Call(
+            "rc_decr".into(),
+            vec![IrExpr::var("slice")],
+        )));
+
+        // Outer loops over unmapped dims; the whole nest collapses to the
+        // body when everything is mapped.
+        let mut nest = per_slice;
+        for (pos, &od) in outer.iter().enumerate().rev() {
+            nest = vec![IrStmt::For(ForLoop {
+                var: idx_name(od),
+                lo: IrExpr::Int(0),
+                hi: dim_of("src", od),
+                body: nest,
+                parallel: pos == 0 && self.opts.parallelize,
+                vector: false,
+            })];
+        }
+
+        self.lifted.push(IrFunction {
+            name: lifted_name.clone(),
+            params: vec![
+                ("src".into(), CType::Buf(elem_ir(src_elem))),
+                ("dst".into(), CType::Buf(elem_ir(out_elem))),
+            ],
+            ret: CType::Void,
+            ret_tuple: None,
+            body: nest,
+        });
+
+        out.push(IrStmt::Expr(IrExpr::Call(
+            lifted_name,
+            vec![IrExpr::var(&src), IrExpr::var(&dst)],
+        )));
+        Ok(RV::Mat {
+            var: dst,
+            elem: out_elem,
+            rank,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Indexing (§III-A3)
+    // ------------------------------------------------------------------
+
+    /// Lower one subscript list against a base buffer into per-dimension
+    /// selections, including selection tables for logical indexing.
+    fn dim_selections(
+        &mut self,
+        base: &str,
+        base_elem: ElemKind,
+        indices: &[IndexExpr],
+        out: &mut Vec<IrStmt>,
+    ) -> LResult<Vec<DimSel>> {
+        let _ = base_elem;
+        let mut sels = Vec::with_capacity(indices.len());
+        for (d, ix) in indices.iter().enumerate() {
+            let end_expr = IrExpr::bin(
+                IrBinOp::Sub,
+                IrExpr::Call(
+                    "dim".into(),
+                    vec![IrExpr::var(base), IrExpr::Int(d as i64)],
+                ),
+                IrExpr::Int(1),
+            );
+            match ix {
+                IndexExpr::At(e) => {
+                    if matches!(self.static_type(e, None), Type::Matrix(ElemKind::Bool, 1)) {
+                        // Logical indexing: build the selection table.
+                        let mask_rv = self.expr(e, None, out)?;
+                        let mask = mask_rv.mat_var().to_string();
+                        out.push(self.panic_if(
+                            IrExpr::bin(
+                                IrBinOp::Ne,
+                                self.len_of(&mask),
+                                IrExpr::Call(
+                                    "dim".into(),
+                                    vec![IrExpr::var(base), IrExpr::Int(d as i64)],
+                                ),
+                            ),
+                            "logical index mask length does not match the dimension",
+                        ));
+                        // count
+                        let count = self.fresh("cnt");
+                        out.push(IrStmt::Decl {
+                            ty: CType::Int,
+                            name: count.clone(),
+                            init: Some(IrExpr::Int(0)),
+                        });
+                        let q = self.fresh("q");
+                        out.push(IrStmt::For(ForLoop {
+                            var: q.clone(),
+                            lo: IrExpr::Int(0),
+                            hi: self.len_of(&mask),
+                            body: vec![IrStmt::If {
+                                cond: self.load(ElemKind::Bool, &mask, IrExpr::var(&q)),
+                                then_b: vec![IrStmt::Assign {
+                                    name: count.clone(),
+                                    value: IrExpr::add(IrExpr::var(&count), IrExpr::Int(1)),
+                                }],
+                                else_b: vec![],
+                            }],
+                            parallel: false,
+                            vector: false,
+                        }));
+                        // table
+                        let table =
+                            self.alloc_tmp(ElemKind::Int, vec![IrExpr::var(&count)], out);
+                        let w = self.fresh("w");
+                        out.push(IrStmt::Decl {
+                            ty: CType::Int,
+                            name: w.clone(),
+                            init: Some(IrExpr::Int(0)),
+                        });
+                        let q2 = self.fresh("q");
+                        let fill = IrStmt::If {
+                            cond: self.load(ElemKind::Bool, &mask, IrExpr::var(&q2)),
+                            then_b: vec![
+                                self.store(
+                                    ElemKind::Int,
+                                    &table,
+                                    IrExpr::var(&w),
+                                    IrExpr::var(&q2),
+                                ),
+                                IrStmt::Assign {
+                                    name: w.clone(),
+                                    value: IrExpr::add(IrExpr::var(&w), IrExpr::Int(1)),
+                                },
+                            ],
+                            else_b: vec![],
+                        };
+                        out.push(IrStmt::For(ForLoop {
+                            var: q2,
+                            lo: IrExpr::Int(0),
+                            hi: self.len_of(&mask),
+                            body: vec![fill],
+                            parallel: false,
+                            vector: false,
+                        }));
+                        sels.push(DimSel::Table { table, size: count });
+                    } else {
+                        let saved = self.current_end.replace(end_expr);
+                        let idx = self.expr(e, Some(&Type::Int), out)?.scalar();
+                        self.current_end = saved;
+                        sels.push(DimSel::Fixed(idx));
+                    }
+                }
+                IndexExpr::Range(a, b) => {
+                    let saved = self.current_end.replace(end_expr);
+                    let lo = self.expr(a, Some(&Type::Int), out)?.scalar();
+                    let hi = self.expr(b, Some(&Type::Int), out)?.scalar();
+                    self.current_end = saved;
+                    let lo_v = self.fresh("rlo");
+                    out.push(IrStmt::Decl {
+                        ty: CType::Int,
+                        name: lo_v.clone(),
+                        init: Some(lo),
+                    });
+                    let size = self.fresh("rsz");
+                    out.push(IrStmt::Decl {
+                        ty: CType::Int,
+                        name: size.clone(),
+                        init: Some(IrExpr::add(
+                            IrExpr::bin(IrBinOp::Sub, hi, IrExpr::var(&lo_v)),
+                            IrExpr::Int(1),
+                        )),
+                    });
+                    out.push(IrStmt::If {
+                        cond: IrExpr::bin(IrBinOp::Lt, IrExpr::var(&size), IrExpr::Int(0)),
+                        then_b: vec![IrStmt::Assign {
+                            name: size.clone(),
+                            value: IrExpr::Int(0),
+                        }],
+                        else_b: vec![],
+                    });
+                    sels.push(DimSel::Off {
+                        lo: IrExpr::var(&lo_v),
+                        size,
+                    });
+                }
+                IndexExpr::All => {
+                    let size = self.fresh("asz");
+                    out.push(IrStmt::Decl {
+                        ty: CType::Int,
+                        name: size.clone(),
+                        init: Some(IrExpr::Call(
+                            "dim".into(),
+                            vec![IrExpr::var(base), IrExpr::Int(d as i64)],
+                        )),
+                    });
+                    sels.push(DimSel::Off {
+                        lo: IrExpr::Int(0),
+                        size,
+                    });
+                }
+            }
+        }
+        Ok(sels)
+    }
+
+    pub(super) fn index_get(
+        &mut self,
+        base: RV,
+        indices: &[IndexExpr],
+        span: Span,
+        out: &mut Vec<IrStmt>,
+    ) -> LResult<RV> {
+        let (base_var, elem) = match &base {
+            RV::Mat { var, elem, .. } => (var.clone(), *elem),
+            other => return Err(self.bug(span, format!("indexing into {other:?}"))),
+        };
+        // Fast path: all single int subscripts → one load (bounds are the
+        // buffer's concern).
+        let all_at = indices.iter().all(|ix| {
+            matches!(ix, IndexExpr::At(e)
+                if !matches!(self.static_type(e, None), Type::Matrix(..)))
+        });
+        if all_at {
+            let mut idxs = Vec::with_capacity(indices.len());
+            for (d, ix) in indices.iter().enumerate() {
+                let IndexExpr::At(e) = ix else { unreachable!() };
+                let end_expr = IrExpr::bin(
+                    IrBinOp::Sub,
+                    IrExpr::Call(
+                        "dim".into(),
+                        vec![IrExpr::var(&base_var), IrExpr::Int(d as i64)],
+                    ),
+                    IrExpr::Int(1),
+                );
+                let saved = self.current_end.replace(end_expr);
+                idxs.push(self.expr(e, Some(&Type::Int), out)?.scalar());
+                self.current_end = saved;
+            }
+            let off = self.flat_offset(&base_var, &idxs);
+            return Ok(RV::Scalar(self.load(elem, &base_var, off), elem.scalar()));
+        }
+
+        // General gather.
+        let sels = self.dim_selections(&base_var, elem, indices, out)?;
+        let kept: Vec<&DimSel> = sels.iter().filter(|s| s.kept()).collect();
+        let result_dims: Vec<IrExpr> = kept.iter().map(|s| s.size_expr()).collect();
+        let result = self.alloc_tmp(elem, result_dims, out);
+        let loader = |table: &str, pos: IrExpr| IrExpr::Load {
+            elem: Elem::I32,
+            buf: Box::new(IrExpr::var(table)),
+            idx: Box::new(pos),
+        };
+        // Result-position loop variables, one per kept dim.
+        let pos_vars: Vec<String> = kept.iter().map(|_| self.fresh("r")).collect();
+        // Source index per dimension.
+        let mut kept_cursor = 0usize;
+        let mut src_idx = Vec::with_capacity(sels.len());
+        for sel in &sels {
+            if sel.kept() {
+                src_idx.push(sel.src_index(&pos_vars[kept_cursor], &loader));
+                kept_cursor += 1;
+            } else {
+                src_idx.push(sel.src_index("", &loader));
+            }
+        }
+        let src_off = self.flat_offset(&base_var, &src_idx);
+        // Result flat offset over the kept sizes.
+        let mut res_off = IrExpr::var(&pos_vars[0]);
+        for (k, pos) in pos_vars.iter().enumerate().skip(1) {
+            res_off = IrExpr::add(
+                IrExpr::mul(res_off, kept[k].size_expr()),
+                IrExpr::var(pos),
+            );
+        }
+        let mut nest = vec![self.store(
+            elem,
+            &result,
+            res_off,
+            self.load(elem, &base_var, src_off),
+        )];
+        for (k, pos) in pos_vars.iter().enumerate().rev() {
+            nest = vec![IrStmt::For(ForLoop {
+                var: pos.clone(),
+                lo: IrExpr::Int(0),
+                hi: kept[k].size_expr(),
+                body: nest,
+                parallel: false,
+                vector: false,
+            })];
+        }
+        out.extend(nest);
+        Ok(RV::Mat {
+            var: result,
+            elem,
+            rank: kept.len().max(1) as u8,
+        })
+    }
+
+    pub(super) fn index_assign(
+        &mut self,
+        base: &str,
+        indices: &[IndexExpr],
+        value: &Expr,
+        span: Span,
+        out: &mut Vec<IrStmt>,
+    ) -> LResult<()> {
+        let (ty, irs) = self
+            .lookup(base)
+            .cloned()
+            .ok_or_else(|| self.bug(span, format!("unbound variable '{base}'")))?;
+        let Some((elem, _rank)) = ty.as_matrix() else {
+            return Err(self.bug(span, format!("indexed assignment into {ty}")));
+        };
+        let ir = irs[0].clone();
+        // Copy-on-write before mutation preserves value semantics for
+        // shared handles (§III-B).
+        out.push(IrStmt::Assign {
+            name: ir.clone(),
+            value: IrExpr::Call(
+                format!("cow_{}", elem_ir(elem).suffix()),
+                vec![IrExpr::var(&ir)],
+            ),
+        });
+
+        let value_rv = self.expr(value, Some(&elem.scalar()), out)?;
+
+        // Fast path: all-At subscripts with a scalar value → single store.
+        let all_at = indices.iter().all(|ix| {
+            matches!(ix, IndexExpr::At(e)
+                if !matches!(self.static_type(e, None), Type::Matrix(..)))
+        });
+        if all_at {
+            let RV::Scalar(ve, vty) = value_rv else {
+                return Err(self.bug(span, "single-element assignment needs a scalar value"));
+            };
+            let mut idxs = Vec::with_capacity(indices.len());
+            for (d, ix) in indices.iter().enumerate() {
+                let IndexExpr::At(e) = ix else { unreachable!() };
+                let end_expr = IrExpr::bin(
+                    IrBinOp::Sub,
+                    IrExpr::Call(
+                        "dim".into(),
+                        vec![IrExpr::var(&ir), IrExpr::Int(d as i64)],
+                    ),
+                    IrExpr::Int(1),
+                );
+                let saved = self.current_end.replace(end_expr);
+                idxs.push(self.expr(e, Some(&Type::Int), out)?.scalar());
+                self.current_end = saved;
+            }
+            let off = self.flat_offset(&ir, &idxs);
+            let coerced = self.coerce(ve, &vty, &elem.scalar());
+            out.push(self.store(elem, &ir, off, coerced));
+            return Ok(());
+        }
+
+        // General scatter.
+        let sels = self.dim_selections(&ir, elem, indices, out)?;
+        let kept: Vec<&DimSel> = sels.iter().filter(|s| s.kept()).collect();
+        let loader = |table: &str, pos: IrExpr| IrExpr::Load {
+            elem: Elem::I32,
+            buf: Box::new(IrExpr::var(table)),
+            idx: Box::new(pos),
+        };
+        let pos_vars: Vec<String> = kept.iter().map(|_| self.fresh("r")).collect();
+        let mut kept_cursor = 0usize;
+        let mut dst_idx = Vec::with_capacity(sels.len());
+        for sel in &sels {
+            if sel.kept() {
+                dst_idx.push(sel.src_index(&pos_vars[kept_cursor], &loader));
+                kept_cursor += 1;
+            } else {
+                dst_idx.push(sel.src_index("", &loader));
+            }
+        }
+        let dst_off = self.flat_offset(&ir, &dst_idx);
+        let mut res_off = if pos_vars.is_empty() {
+            IrExpr::Int(0)
+        } else {
+            IrExpr::var(&pos_vars[0])
+        };
+        for (k, pos) in pos_vars.iter().enumerate().skip(1) {
+            res_off = IrExpr::add(
+                IrExpr::mul(res_off, kept[k].size_expr()),
+                IrExpr::var(pos),
+            );
+        }
+
+        let store_stmt = match &value_rv {
+            RV::Scalar(ve, vty) => {
+                let coerced = self.coerce(ve.clone(), vty, &elem.scalar());
+                self.store(elem, &ir, dst_off, coerced)
+            }
+            RV::Mat { var: vvar, elem: velem, .. } => {
+                // Element counts must agree.
+                let mut total = kept
+                    .first()
+                    .map(|s| s.size_expr())
+                    .unwrap_or(IrExpr::Int(1));
+                for s in kept.iter().skip(1) {
+                    total = IrExpr::mul(total, s.size_expr());
+                }
+                out.push(self.panic_if(
+                    IrExpr::bin(IrBinOp::Ne, self.len_of(vvar), total),
+                    "indexed assignment selection and value sizes differ",
+                ));
+                self.store(elem, &ir, dst_off, self.load(*velem, vvar, res_off))
+            }
+            other => return Err(self.bug(span, format!("cannot store {other:?}"))),
+        };
+        let mut nest = vec![store_stmt];
+        for (k, pos) in pos_vars.iter().enumerate().rev() {
+            nest = vec![IrStmt::For(ForLoop {
+                var: pos.clone(),
+                lo: IrExpr::Int(0),
+                hi: kept[k].size_expr(),
+                body: nest,
+                parallel: false,
+                vector: false,
+            })];
+        }
+        out.extend(nest);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Calls: builtins and user functions
+    // ------------------------------------------------------------------
+
+    pub(super) fn call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        expected: Option<&Type>,
+        span: Span,
+        out: &mut Vec<IrStmt>,
+    ) -> LResult<RV> {
+        match name {
+            "dimSize" => {
+                let m = self.expr(&args[0], None, out)?;
+                let d = self.expr(&args[1], Some(&Type::Int), out)?.scalar();
+                Ok(RV::Scalar(
+                    IrExpr::Call("dim".into(), vec![IrExpr::var(m.mat_var()), d]),
+                    Type::Int,
+                ))
+            }
+            "readMatrix" => {
+                let RV::Str(path) = self.expr(&args[0], None, out)? else {
+                    return Err(self.bug(span, "readMatrix path must be a string literal"));
+                };
+                let Some(Type::Matrix(elem, rank)) = expected else {
+                    return Err(self.bug(span, "readMatrix without a matrix-typed context"));
+                };
+                let var = self.fresh("rd");
+                out.push(IrStmt::Decl {
+                    ty: CType::Buf(elem_ir(*elem)),
+                    name: var.clone(),
+                    init: Some(IrExpr::Call(
+                        format!("read_mat_{}", elem_ir(*elem).suffix()),
+                        vec![IrExpr::Str(path)],
+                    )),
+                });
+                self.register_owned(&var);
+                // The declared rank is checked at runtime against the file.
+                out.push(self.panic_if(
+                    IrExpr::bin(
+                        IrBinOp::Ne,
+                        IrExpr::Call("rank".into(), vec![IrExpr::var(&var)]),
+                        IrExpr::Int(*rank as i64),
+                    ),
+                    "readMatrix: file rank does not match the declared matrix rank",
+                ));
+                Ok(RV::Mat {
+                    var,
+                    elem: *elem,
+                    rank: *rank,
+                })
+            }
+            "writeMatrix" => {
+                let RV::Str(path) = self.expr(&args[0], None, out)? else {
+                    return Err(self.bug(span, "writeMatrix path must be a string literal"));
+                };
+                let m = self.expr(&args[1], None, out)?;
+                let RV::Mat { var, elem, .. } = m else {
+                    return Err(self.bug(span, "writeMatrix writes matrices"));
+                };
+                out.push(IrStmt::Expr(IrExpr::Call(
+                    format!("write_mat_{}", elem_ir(elem).suffix()),
+                    vec![IrExpr::Str(path), IrExpr::var(&var)],
+                )));
+                Ok(RV::Void)
+            }
+            "range" => {
+                let lo = self.expr(&args[0], Some(&Type::Int), out)?.scalar();
+                let hi = self.expr(&args[1], Some(&Type::Int), out)?.scalar();
+                Ok(self.range_vector(lo, hi, out))
+            }
+            "toFloat" | "toInt" => {
+                let target_scalar = if name == "toFloat" { Type::Float } else { Type::Int };
+                let arg_ty = self.static_type(&args[0], None);
+                let target = match arg_ty {
+                    Type::Matrix(_, r) => Type::Matrix(
+                        if name == "toFloat" { ElemKind::Float } else { ElemKind::Int },
+                        r,
+                    ),
+                    _ => target_scalar,
+                };
+                self.cast(&target, &args[0], span, out)
+            }
+            "printInt" | "printFloat" | "printBool" => {
+                let rv = self.expr(&args[0], None, out)?;
+                let RV::Scalar(e, t) = rv else {
+                    return Err(self.bug(span, format!("{name} prints scalars")));
+                };
+                let (builtin, e) = match name {
+                    "printInt" => ("print_i32", e),
+                    "printFloat" => ("print_f32", self.coerce(e, &t, &Type::Float)),
+                    _ => ("print_b", e),
+                };
+                out.push(IrStmt::Expr(IrExpr::Call(builtin.into(), vec![e])));
+                Ok(RV::Void)
+            }
+            "rcGet" => {
+                let p = self.expr(&args[0], None, out)?;
+                let RV::Rc { var, elem } = p else {
+                    return Err(self.bug(span, "rcGet needs an rc pointer"));
+                };
+                let i = self.expr(&args[1], Some(&Type::Int), out)?.scalar();
+                Ok(RV::Scalar(self.load(elem, &var, i), elem.scalar()))
+            }
+            "rcSet" => {
+                let p = self.expr(&args[0], None, out)?;
+                let RV::Rc { var, elem } = p else {
+                    return Err(self.bug(span, "rcSet needs an rc pointer"));
+                };
+                let i = self.expr(&args[1], Some(&Type::Int), out)?.scalar();
+                let v = self.expr(&args[2], Some(&elem.scalar()), out)?;
+                let RV::Scalar(ve, vty) = v else {
+                    return Err(self.bug(span, "rcSet stores scalars"));
+                };
+                let coerced = self.coerce(ve, &vty, &elem.scalar());
+                // Reference semantics: rc pointers share mutations (no COW).
+                out.push(self.store(elem, &var, i, coerced));
+                Ok(RV::Void)
+            }
+            "rcLen" => {
+                let p = self.expr(&args[0], None, out)?;
+                let RV::Rc { var, .. } = p else {
+                    return Err(self.bug(span, "rcLen needs an rc pointer"));
+                };
+                Ok(RV::Scalar(self.len_of(&var), Type::Int))
+            }
+            _ => self.user_call(name, args, span, out),
+        }
+    }
+
+    fn user_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        span: Span,
+        out: &mut Vec<IrStmt>,
+    ) -> LResult<RV> {
+        let sig = self
+            .sigs
+            .get(name)
+            .cloned()
+            .ok_or_else(|| self.bug(span, format!("unknown function '{name}'")))?;
+        let mut ir_args = Vec::new();
+        for (a, pty) in args.iter().zip(&sig.params) {
+            let rv = self.expr(a, Some(pty), out)?;
+            self.push_call_arg(rv, pty, &mut ir_args, out, span)?;
+        }
+        let call = IrExpr::Call(name.to_string(), ir_args);
+        match &sig.ret {
+            Type::Void => {
+                out.push(IrStmt::Expr(call));
+                Ok(RV::Void)
+            }
+            Type::Matrix(elem, rank) => {
+                let var = self.fresh("cr");
+                out.push(IrStmt::Decl {
+                    ty: CType::Buf(elem_ir(*elem)),
+                    name: var.clone(),
+                    init: Some(call),
+                });
+                self.register_owned(&var);
+                Ok(RV::Mat {
+                    var,
+                    elem: *elem,
+                    rank: *rank,
+                })
+            }
+            Type::Rc(elem) => {
+                let var = self.fresh("cr");
+                out.push(IrStmt::Decl {
+                    ty: CType::Buf(elem_ir(*elem)),
+                    name: var.clone(),
+                    init: Some(call),
+                });
+                self.register_owned(&var);
+                Ok(RV::Rc { var, elem: *elem })
+            }
+            Type::Tuple(parts) => {
+                // Declare component temps, then unpack.
+                let mut targets = Vec::with_capacity(parts.len());
+                let mut rvs = Vec::with_capacity(parts.len());
+                for (i, p) in parts.iter().enumerate() {
+                    let t = self.fresh(&format!("tup{i}_"));
+                    out.push(IrStmt::Decl {
+                        ty: scalar_ctype(p),
+                        name: t.clone(),
+                        init: None,
+                    });
+                    match p {
+                        Type::Matrix(e, r) => {
+                            self.register_owned(&t);
+                            rvs.push(RV::Mat {
+                                var: t.clone(),
+                                elem: *e,
+                                rank: *r,
+                            });
+                        }
+                        Type::Rc(e) => {
+                            self.register_owned(&t);
+                            rvs.push(RV::Rc {
+                                var: t.clone(),
+                                elem: *e,
+                            });
+                        }
+                        scalar => rvs.push(RV::Scalar(IrExpr::var(&t), scalar.clone())),
+                    }
+                    targets.push(t);
+                }
+                out.push(IrStmt::UnpackCall { targets, call });
+                Ok(RV::Tuple(rvs))
+            }
+            scalar => {
+                let var = self.fresh("cr");
+                out.push(IrStmt::Decl {
+                    ty: scalar_ctype(scalar),
+                    name: var.clone(),
+                    init: Some(call),
+                });
+                Ok(RV::Scalar(IrExpr::var(&var), scalar.clone()))
+            }
+        }
+    }
+
+    /// `[ext-cilk]` spawn lowering: evaluate the arguments now (with the
+    /// callee-owns increments), emit a deferred-call statement. The
+    /// interpreter runs outstanding spawns concurrently at `sync`; the C
+    /// emitter uses the serial elision.
+    pub(super) fn spawn(
+        &mut self,
+        target: Option<&str>,
+        call: &Expr,
+        span: Span,
+        out: &mut Vec<IrStmt>,
+    ) -> LResult<()> {
+        let Expr::Call { name, args, .. } = call else {
+            return Err(self.bug(span, "spawn applies to function calls"));
+        };
+        let sig = self
+            .sigs
+            .get(name)
+            .cloned()
+            .ok_or_else(|| self.bug(span, format!("unknown function '{name}'")))?;
+        let mut ir_args = Vec::new();
+        for (a, pty) in args.iter().zip(&sig.params) {
+            let rv = self.expr(a, Some(pty), out)?;
+            self.push_call_arg(rv, pty, &mut ir_args, out, span)?;
+        }
+        let (ir_target, target_is_buf) = match target {
+            None => (None, false),
+            Some(t) => {
+                let (ty, irs) = self
+                    .lookup(t)
+                    .cloned()
+                    .ok_or_else(|| self.bug(span, format!("unbound spawn target '{t}'")))?;
+                (
+                    Some(irs[0].clone()),
+                    matches!(ty, Type::Matrix(..) | Type::Rc(_)),
+                )
+            }
+        };
+        out.push(IrStmt::Spawn {
+            target: ir_target,
+            target_is_buf,
+            func: name.clone(),
+            args: ir_args,
+        });
+        Ok(())
+    }
+
+    fn push_call_arg(
+        &mut self,
+        rv: RV,
+        pty: &Type,
+        ir_args: &mut Vec<IrExpr>,
+        out: &mut Vec<IrStmt>,
+        span: Span,
+    ) -> LResult<()> {
+        match rv {
+            RV::Scalar(e, from) => {
+                ir_args.push(self.coerce(e, &from, pty));
+                Ok(())
+            }
+            rv @ (RV::Mat { .. } | RV::Rc { .. }) => {
+                // Callee-owns convention: increment before the call.
+                let var = rv.mat_var().to_string();
+                self.incr(&var, out);
+                ir_args.push(IrExpr::var(&var));
+                Ok(())
+            }
+            RV::Tuple(parts) => {
+                let ptys = match pty {
+                    Type::Tuple(ps) => ps.clone(),
+                    _ => return Err(self.bug(span, "tuple argument for non-tuple parameter")),
+                };
+                for (p, t) in parts.into_iter().zip(ptys) {
+                    self.push_call_arg(p, &t, ir_args, out, span)?;
+                }
+                Ok(())
+            }
+            other => Err(self.bug(span, format!("cannot pass {other:?} as an argument"))),
+        }
+    }
+}
+
+/// Probe view used by [`FnLower::with_body_type`] to type with-loop bodies
+/// with the generator variables bound as ints.
+struct FnProbe<'a, 'b> {
+    lower: &'a FnLower<'b>,
+    extra: Vec<String>,
+}
+
+impl FnProbe<'_, '_> {
+    fn ty(&mut self, e: &Expr) -> Type {
+        // Generator variables shadow anything else.
+        if let Expr::Var(n, _) = e {
+            if self.extra.contains(n) {
+                return Type::Int;
+            }
+        }
+        // For compound expressions the generator variables can only be
+        // ints inside subscripts/arithmetic, which static_type handles the
+        // same way; temporarily treat unknown vars as ints.
+        match e {
+            Expr::Binary { op, left, right, .. } => {
+                let lt = self.ty(left);
+                let rt = self.ty(right);
+                static_binary_type(*op, &lt, &rt)
+            }
+            Expr::Unary { op, operand, .. } => match op {
+                UnOp::Neg => self.ty(operand),
+                UnOp::Not => match self.ty(operand) {
+                    m @ Type::Matrix(..) => m,
+                    _ => Type::Bool,
+                },
+            },
+            Expr::Index { base, indices, .. } => {
+                let bt = self.ty(base);
+                let Some((elem, _)) = bt.as_matrix() else {
+                    return Type::Error;
+                };
+                let mut kept = 0u8;
+                for ix in indices {
+                    match ix {
+                        IndexExpr::At(e) => {
+                            if matches!(self.ty(e), Type::Matrix(ElemKind::Bool, 1)) {
+                                kept += 1;
+                            }
+                        }
+                        IndexExpr::Range(..) | IndexExpr::All => kept += 1,
+                    }
+                }
+                if kept == 0 {
+                    elem.scalar()
+                } else {
+                    Type::Matrix(elem, kept)
+                }
+            }
+            Expr::Cast { ty, .. } => ty.clone(),
+            Expr::With { generator, op, .. } => {
+                let mut inner = FnProbe {
+                    lower: self.lower,
+                    extra: self
+                        .extra
+                        .iter()
+                        .cloned()
+                        .chain(generator.vars.iter().cloned())
+                        .collect(),
+                };
+                match op {
+                    WithOp::Genarray { shape, body } => match inner.ty(body).as_elem() {
+                        Some(e) => Type::Matrix(e, shape.len().max(1) as u8),
+                        None => Type::Error,
+                    },
+                    WithOp::Fold { base, body, .. } => {
+                        let bt = inner.ty(base);
+                        let et = inner.ty(body);
+                        if bt == Type::Float || et == Type::Float {
+                            Type::Float
+                        } else {
+                            Type::Int
+                        }
+                    }
+                    WithOp::Modarray { src, .. } => inner.ty(src),
+                }
+            }
+            other => self.lower.static_type(other, None),
+        }
+    }
+}
+
+fn static_binary_type(op: BinOp, lt: &Type, rt: &Type) -> Type {
+    use BinOp::*;
+    match (lt, rt) {
+        (Type::Matrix(e, r), Type::Matrix(..)) => match op {
+            Mul => Type::Matrix(*e, 2),
+            Lt | Le | Gt | Ge | Eq | Ne => Type::Matrix(ElemKind::Bool, *r),
+            _ => Type::Matrix(*e, *r),
+        },
+        (Type::Matrix(e, r), _) | (_, Type::Matrix(e, r)) => {
+            if op.is_comparison() {
+                Type::Matrix(ElemKind::Bool, *r)
+            } else {
+                Type::Matrix(*e, *r)
+            }
+        }
+        _ => {
+            if op.is_comparison() || matches!(op, And | Or) {
+                Type::Bool
+            } else if *lt == Type::Float || *rt == Type::Float {
+                Type::Float
+            } else {
+                Type::Int
+            }
+        }
+    }
+}

@@ -1,0 +1,702 @@
+//! C code emission: IR → plain parallel C.
+//!
+//! The translator's final step "maps extended C programs down to plain
+//! (parallel) C code" for compilation by a traditional compiler. The
+//! emitted translation unit is self-contained: it embeds a small C runtime
+//! (reference-counted `cmm_mat` buffers with the 4-byte count header,
+//! CMMX matrix file IO, printing) and uses
+//!
+//! * `#pragma omp parallel for` on loops marked by `parallelize` (§V,
+//!   Fig 11),
+//! * Intel SSE intrinsics (`_mm_*`, four 32-bit floats per 128-bit
+//!   vector) for loops marked by `vectorize`, including the lifted vector
+//!   temporaries the paper points out ("note the addition of many new
+//!   variables involved in loading data into vectors"),
+//!
+//! so `gcc -O2 -fopenmp -msse2 out.c` produces a runnable parallel binary.
+
+use std::fmt::Write;
+
+use crate::ir::{CType, Elem, ForLoop, IrBinOp, IrExpr, IrFunction, IrProgram, IrStmt};
+
+/// Emit a complete C translation unit for the program.
+pub fn emit_program(p: &IrProgram) -> String {
+    let mut out = String::new();
+    out.push_str(C_RUNTIME);
+    out.push('\n');
+    // Struct definitions for tuple-returning functions, then forward
+    // declarations.
+    for f in &p.functions {
+        if let Some(s) = tuple_struct(f) {
+            let _ = writeln!(out, "{s}");
+        }
+    }
+    for f in &p.functions {
+        let _ = writeln!(out, "{};", signature(f));
+    }
+    out.push('\n');
+    for f in &p.functions {
+        emit_function(f, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+fn signature(f: &IrFunction) -> String {
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|(n, t)| format!("{} {n}", t.c_name()))
+        .collect();
+    let params = if params.is_empty() {
+        "void".to_string()
+    } else {
+        params.join(", ")
+    };
+    // main must have the standard signature.
+    if f.name == "main" {
+        "int main(void)".to_string()
+    } else if f.ret_tuple.is_some() {
+        format!("struct {}_ret {}({params})", f.name, f.name)
+    } else {
+        format!("{} {}({params})", f.ret.c_name(), f.name)
+    }
+}
+
+/// Struct typedef for a tuple-returning function.
+fn tuple_struct(f: &IrFunction) -> Option<String> {
+    let tys = f.ret_tuple.as_ref()?;
+    let fields: Vec<String> = tys
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("{} _{i};", t.c_name()))
+        .collect();
+    Some(format!("struct {}_ret {{ {} }};", f.name, fields.join(" ")))
+}
+
+fn emit_function(f: &IrFunction, out: &mut String) {
+    let _ = writeln!(out, "{} {{", signature(f));
+    let mut ctx = EmitCtx {
+        ret_struct: f.ret_tuple.as_ref().map(|_| f.name.clone()),
+        ..EmitCtx::default()
+    };
+    for s in &f.body {
+        emit_stmt(s, 1, &mut ctx, out);
+    }
+    if f.name == "main" {
+        let _ = writeln!(out, "    return 0;");
+    }
+    out.push_str("}\n");
+}
+
+/// Emitter state: temp-name counter and the set of float variables that
+/// are vector-widened inside a vectorized loop.
+#[derive(Default)]
+struct EmitCtx {
+    tmp: u32,
+    vector_vars: Vec<String>,
+    /// Set when emitting a tuple-returning function: its name (for the
+    /// return-struct type).
+    ret_struct: Option<String>,
+}
+
+impl EmitCtx {
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.tmp += 1;
+        format!("{prefix}_{}", self.tmp)
+    }
+}
+
+fn ind(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn emit_stmt(s: &IrStmt, level: usize, ctx: &mut EmitCtx, out: &mut String) {
+    match s {
+        IrStmt::Decl { ty, name, init } => {
+            ind(level, out);
+            match init {
+                Some(e) => {
+                    let _ = writeln!(out, "{} {name} = {};", ty.c_name(), expr(e));
+                }
+                None => {
+                    let zero = match ty {
+                        CType::Buf(_) => " = 0",
+                        CType::Float => " = 0.0f",
+                        CType::Void => "",
+                        _ => " = 0",
+                    };
+                    let _ = writeln!(out, "{} {name}{zero};", ty.c_name());
+                }
+            }
+        }
+        IrStmt::Assign { name, value } => {
+            ind(level, out);
+            let _ = writeln!(out, "{name} = {};", expr(value));
+        }
+        IrStmt::Store { elem, buf, idx, value } => {
+            ind(level, out);
+            let _ = writeln!(
+                out,
+                "{}[{}] = {};",
+                data_field(*elem, &expr(buf)),
+                expr(idx),
+                expr(value)
+            );
+        }
+        IrStmt::For(f) if f.vector => emit_vector_loop(f, level, ctx, out),
+        IrStmt::For(f) => {
+            if f.parallel {
+                ind(level, out);
+                out.push_str("#pragma omp parallel for\n");
+            }
+            ind(level, out);
+            let _ = writeln!(
+                out,
+                "for (int {v} = {}; {v} < {}; {v}++) {{",
+                expr(&f.lo),
+                expr(&f.hi),
+                v = f.var
+            );
+            for s in &f.body {
+                emit_stmt(s, level + 1, ctx, out);
+            }
+            ind(level, out);
+            out.push_str("}\n");
+        }
+        IrStmt::While { cond, body } => {
+            ind(level, out);
+            let _ = writeln!(out, "while ({}) {{", expr(cond));
+            for s in body {
+                emit_stmt(s, level + 1, ctx, out);
+            }
+            ind(level, out);
+            out.push_str("}\n");
+        }
+        IrStmt::If { cond, then_b, else_b } => {
+            ind(level, out);
+            let _ = writeln!(out, "if ({}) {{", expr(cond));
+            for s in then_b {
+                emit_stmt(s, level + 1, ctx, out);
+            }
+            ind(level, out);
+            if else_b.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                for s in else_b {
+                    emit_stmt(s, level + 1, ctx, out);
+                }
+                ind(level, out);
+                out.push_str("}\n");
+            }
+        }
+        IrStmt::Expr(e) => {
+            ind(level, out);
+            let _ = writeln!(out, "{};", expr(e));
+        }
+        IrStmt::Return(e) => {
+            ind(level, out);
+            match e {
+                Some(IrExpr::Tuple(parts)) => {
+                    let name = ctx.ret_struct.as_deref().unwrap_or("anon");
+                    let fields: Vec<String> = parts.iter().map(expr).collect();
+                    let _ = writeln!(
+                        out,
+                        "return (struct {name}_ret){{ {} }};",
+                        fields.join(", ")
+                    );
+                }
+                Some(e) => {
+                    let _ = writeln!(out, "return {};", expr(e));
+                }
+                None => out.push_str("return;\n"),
+            }
+        }
+        IrStmt::Spawn {
+            target,
+            target_is_buf,
+            func,
+            args,
+        } => {
+            // Serial elision: a Cilk program run with the spawn treated as
+            // a plain call is a legal schedule of the parallel program.
+            let rendered: Vec<String> = args.iter().map(expr).collect();
+            let call = format!("{func}({})", rendered.join(", "));
+            ind(level, out);
+            match target {
+                Some(t) if *target_is_buf => {
+                    let tmp = ctx.fresh("spawn");
+                    let _ = writeln!(
+                        out,
+                        "{{ cmm_mat* {tmp} = {call}; rc_decr({t}); {t} = {tmp}; }} /* spawn (serial elision) */"
+                    );
+                }
+                Some(t) => {
+                    let _ = writeln!(out, "{t} = {call}; /* spawn (serial elision) */");
+                }
+                None => {
+                    let _ = writeln!(out, "{call}; /* spawn (serial elision) */");
+                }
+            }
+        }
+        IrStmt::Sync => {
+            ind(level, out);
+            out.push_str("/* sync (no-op under serial elision) */\n");
+        }
+        IrStmt::UnpackCall { targets, call } => {
+            let IrExpr::Call(fname, _) = call else {
+                panic!("UnpackCall requires a direct call expression");
+            };
+            let tmp = ctx.fresh("tupret");
+            ind(level, out);
+            let _ = writeln!(out, "struct {fname}_ret {tmp} = {};", expr(call));
+            for (i, t) in targets.iter().enumerate() {
+                ind(level, out);
+                let _ = writeln!(out, "{t} = {tmp}._{i};");
+            }
+        }
+        IrStmt::Comment(c) => {
+            ind(level, out);
+            let _ = writeln!(out, "/* {c} */");
+        }
+        IrStmt::Block(b) => {
+            ind(level, out);
+            out.push_str("{\n");
+            for s in b {
+                emit_stmt(s, level + 1, ctx, out);
+            }
+            ind(level, out);
+            out.push_str("}\n");
+        }
+    }
+}
+
+fn data_field(elem: Elem, buf: &str) -> String {
+    let field = match elem {
+        Elem::I32 => "i",
+        Elem::F32 => "f",
+        Elem::Bool => "b",
+    };
+    format!("{buf}->data.{field}")
+}
+
+/// Scalar expression emission.
+fn expr(e: &IrExpr) -> String {
+    match e {
+        IrExpr::Int(v) => v.to_string(),
+        IrExpr::Float(v) => {
+            if v.fract() == 0.0 && v.abs() < 1e16 {
+                format!("{v:.1}f")
+            } else {
+                format!("{v:?}f")
+            }
+        }
+        IrExpr::Bool(v) => if *v { "1" } else { "0" }.to_string(),
+        IrExpr::Str(s) => format!("{s:?}"),
+        IrExpr::Var(n) => n.clone(),
+        IrExpr::Bin(op, a, b) => format!("({} {} {})", expr(a), op.c_symbol(), expr(b)),
+        IrExpr::Neg(e) => format!("(-{})", expr(e)),
+        IrExpr::Not(e) => format!("(!{})", expr(e)),
+        IrExpr::Load { elem, buf, idx } => {
+            format!("{}[{}]", data_field(*elem, &expr(buf)), expr(idx))
+        }
+        IrExpr::Call(name, args) => {
+            let mut rendered: Vec<String> = args.iter().map(expr).collect();
+            // Variadic runtime allocators take an explicit rank first.
+            if name.starts_with("alloc_mat_") {
+                rendered.insert(0, args.len().to_string());
+            }
+            format!("{name}({})", rendered.join(", "))
+        }
+        IrExpr::CastInt(e) => format!("((int)({}))", expr(e)),
+        IrExpr::CastFloat(e) => format!("((float)({}))", expr(e)),
+        IrExpr::Tuple(_) => panic!("tuple expression outside a return statement"),
+    }
+}
+
+// --- SSE vector emission -------------------------------------------------
+
+/// Emit a `vectorize`d loop (constant bounds 0..4) as straight-line SSE
+/// code. Float scalars declared in the body become `__m128` lanes; loads
+/// and stores with unit stride in the lane variable use
+/// `_mm_loadu_ps`/`_mm_storeu_ps`, anything else gathers/scatters lanes
+/// explicitly (the "many new variables" of Fig 11).
+fn emit_vector_loop(f: &ForLoop, level: usize, ctx: &mut EmitCtx, out: &mut String) {
+    ind(level, out);
+    let _ = writeln!(out, "/* vectorized loop over {} (4 x f32 SSE lanes) */", f.var);
+    ind(level, out);
+    out.push_str("{\n");
+    let saved = ctx.vector_vars.clone();
+    for s in &f.body {
+        emit_vector_stmt(s, &f.var, level + 1, ctx, out);
+    }
+    ctx.vector_vars = saved;
+    ind(level, out);
+    out.push_str("}\n");
+}
+
+fn emit_vector_stmt(s: &IrStmt, lane: &str, level: usize, ctx: &mut EmitCtx, out: &mut String) {
+    match s {
+        IrStmt::Decl {
+            ty: CType::Float,
+            name,
+            init,
+        } => {
+            ctx.vector_vars.push(name.clone());
+            ind(level, out);
+            match init {
+                Some(e) => {
+                    let v = vec_expr(e, lane, ctx, level, out);
+                    let _ = writeln!(out, "__m128 {name} = {v};");
+                }
+                None => {
+                    let _ = writeln!(out, "__m128 {name} = _mm_setzero_ps();");
+                }
+            }
+        }
+        IrStmt::Decl { ty, name, init } => {
+            // Non-float scalars stay scalar (loop counters etc.).
+            ind(level, out);
+            match init {
+                Some(e) => {
+                    let _ = writeln!(out, "{} {name} = {};", ty.c_name(), expr(e));
+                }
+                None => {
+                    let _ = writeln!(out, "{} {name} = 0;", ty.c_name());
+                }
+            }
+        }
+        IrStmt::Assign { name, value } if ctx.vector_vars.contains(name) => {
+            let v = vec_expr(value, lane, ctx, level, out);
+            ind(level, out);
+            let _ = writeln!(out, "{name} = {v};");
+        }
+        IrStmt::Assign { name, value } => {
+            ind(level, out);
+            let _ = writeln!(out, "{name} = {};", expr(value));
+        }
+        IrStmt::Store {
+            elem: Elem::F32,
+            buf,
+            idx,
+            value,
+        } => {
+            let v = vec_expr(value, lane, ctx, level, out);
+            match unit_stride(idx, lane) {
+                Some(base) => {
+                    ind(level, out);
+                    let _ = writeln!(
+                        out,
+                        "_mm_storeu_ps(&{}[{}], {v});",
+                        data_field(Elem::F32, &expr(buf)),
+                        expr(&base)
+                    );
+                }
+                None => {
+                    // Scatter lanes through a spill array.
+                    let spill = ctx.fresh("vspill");
+                    ind(level, out);
+                    let _ = writeln!(out, "float {spill}[4];");
+                    ind(level, out);
+                    let _ = writeln!(out, "_mm_storeu_ps({spill}, {v});");
+                    for k in 0..4 {
+                        let idx_k = idx.substitute(lane, &IrExpr::Int(k));
+                        ind(level, out);
+                        let _ = writeln!(
+                            out,
+                            "{}[{}] = {spill}[{k}];",
+                            data_field(Elem::F32, &expr(buf)),
+                            expr(&idx_k)
+                        );
+                    }
+                }
+            }
+        }
+        IrStmt::Store { elem, buf, idx, value } => {
+            // Non-float stores: scalar per lane.
+            for k in 0..4 {
+                let idx_k = idx.substitute(lane, &IrExpr::Int(k));
+                let val_k = value.substitute(lane, &IrExpr::Int(k));
+                ind(level, out);
+                let _ = writeln!(
+                    out,
+                    "{}[{}] = {};",
+                    data_field(*elem, &expr(buf)),
+                    expr(&idx_k),
+                    expr(&val_k)
+                );
+            }
+        }
+        IrStmt::For(inner) => {
+            // Scalar loop inside the vector body (e.g. the k accumulation
+            // loop of Fig 11); its body continues in vector context.
+            ind(level, out);
+            let _ = writeln!(
+                out,
+                "for (int {v} = {}; {v} < {}; {v}++) {{",
+                expr(&inner.lo),
+                expr(&inner.hi),
+                v = inner.var
+            );
+            for s in &inner.body {
+                emit_vector_stmt(s, lane, level + 1, ctx, out);
+            }
+            ind(level, out);
+            out.push_str("}\n");
+        }
+        IrStmt::Comment(c) => {
+            ind(level, out);
+            let _ = writeln!(out, "/* {c} */");
+        }
+        other => {
+            // Control flow inside vector bodies: execute per lane.
+            ind(level, out);
+            out.push_str("/* per-lane fallback */\n");
+            for k in 0..4 {
+                let lane_stmt = other.substitute(lane, &IrExpr::Int(k));
+                emit_stmt(&lane_stmt, level, ctx, out);
+            }
+        }
+    }
+}
+
+/// Vector expression emission. Returns a C `__m128` expression; may append
+/// preparatory statements (gather temporaries) to `out`.
+fn vec_expr(e: &IrExpr, lane: &str, ctx: &mut EmitCtx, level: usize, out: &mut String) -> String {
+    match e {
+        IrExpr::Float(_) | IrExpr::Int(_) => format!("_mm_set1_ps({})", scalar_as_float(e)),
+        IrExpr::Var(n) if ctx.vector_vars.contains(n) => n.clone(),
+        IrExpr::Var(n) if n == lane => "_mm_set_ps(3.0f, 2.0f, 1.0f, 0.0f)".to_string(),
+        IrExpr::Var(_) => format!("_mm_set1_ps({})", scalar_as_float(e)),
+        IrExpr::Bin(op, a, b) if matches!(op, IrBinOp::Add | IrBinOp::Sub | IrBinOp::Mul | IrBinOp::Div) => {
+            let va = vec_expr(a, lane, ctx, level, out);
+            let vb = vec_expr(b, lane, ctx, level, out);
+            let intrinsic = match op {
+                IrBinOp::Add => "_mm_add_ps",
+                IrBinOp::Sub => "_mm_sub_ps",
+                IrBinOp::Mul => "_mm_mul_ps",
+                IrBinOp::Div => "_mm_div_ps",
+                _ => unreachable!(),
+            };
+            format!("{intrinsic}({va}, {vb})")
+        }
+        IrExpr::Neg(a) => {
+            let va = vec_expr(a, lane, ctx, level, out);
+            format!("_mm_sub_ps(_mm_setzero_ps(), {va})")
+        }
+        IrExpr::Load {
+            elem: Elem::F32,
+            buf,
+            idx,
+        } => match unit_stride(idx, lane) {
+            Some(base) => {
+                // The lifted vector-load temporary of Fig 11.
+                let tmp = ctx.fresh("vload");
+                ind(level, out);
+                let _ = writeln!(
+                    out,
+                    "__m128 {tmp} = _mm_loadu_ps(&{}[{}]);",
+                    data_field(Elem::F32, &expr(buf)),
+                    expr(&base)
+                );
+                tmp
+            }
+            None => {
+                // Strided gather: one scalar load per lane.
+                let lanes: Vec<String> = (0..4)
+                    .map(|k| {
+                        let idx_k = idx.substitute(lane, &IrExpr::Int(k));
+                        format!("{}[{}]", data_field(Elem::F32, &expr(buf)), expr(&idx_k))
+                    })
+                    .collect();
+                // _mm_set_ps takes lanes high-to-low.
+                format!(
+                    "_mm_set_ps({}, {}, {}, {})",
+                    lanes[3], lanes[2], lanes[1], lanes[0]
+                )
+            }
+        },
+        other if !other.uses_var(lane) => format!("_mm_set1_ps({})", scalar_as_float(other)),
+        other => {
+            // Universal fallback: evaluate each lane scalar and pack.
+            let lanes: Vec<String> = (0..4)
+                .map(|k| {
+                    let ek = other.substitute(lane, &IrExpr::Int(k));
+                    scalar_as_float(&ek)
+                })
+                .collect();
+            format!(
+                "_mm_set_ps({}, {}, {}, {})",
+                lanes[3], lanes[2], lanes[1], lanes[0]
+            )
+        }
+    }
+}
+
+fn scalar_as_float(e: &IrExpr) -> String {
+    match e {
+        IrExpr::Float(_) => expr(e),
+        _ => format!("((float)({}))", expr(e)),
+    }
+}
+
+/// `idx` = `base + lane` (lane coefficient 1)? Returns `base` with the
+/// lane variable removed.
+fn unit_stride(idx: &IrExpr, lane: &str) -> Option<IrExpr> {
+    match idx {
+        IrExpr::Var(v) if v == lane => Some(IrExpr::Int(0)),
+        IrExpr::Bin(IrBinOp::Add, a, b) => {
+            if matches!(&**b, IrExpr::Var(v) if v == lane) && !a.uses_var(lane) {
+                Some((**a).clone())
+            } else if matches!(&**a, IrExpr::Var(v) if v == lane) && !b.uses_var(lane) {
+                Some((**b).clone())
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// The embedded C runtime: reference-counted matrices with the paper's
+/// 4-byte count header, CMMX file IO, and print helpers.
+const C_RUNTIME: &str = r#"/* Generated by the cmm extended-C translator. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <stdarg.h>
+#include <stdint.h>
+#if defined(__SSE__) || defined(_M_X64) || defined(__x86_64__)
+#include <xmmintrin.h>
+#endif
+
+typedef struct {
+    int refs;               /* the 4-byte reference count header */
+    int rank;
+    long long dims[8];
+    long long len;
+    int tag;                /* 0 = int, 1 = float, 2 = bool */
+    union { float *f; int *i; unsigned char *b; } data;
+} cmm_mat;
+
+static cmm_mat* cmm_alloc_tagged(int tag, int rank, va_list ap) {
+    cmm_mat *m = (cmm_mat*)malloc(sizeof(cmm_mat));
+    m->refs = 1;
+    m->rank = rank;
+    m->len = 1;
+    m->tag = tag;
+    for (int d = 0; d < rank; d++) {
+        m->dims[d] = va_arg(ap, long long);
+        m->len *= m->dims[d];
+    }
+    size_t cell = tag == 2 ? sizeof(unsigned char) : 4;
+    void *p = calloc(m->len > 0 ? (size_t)m->len : 1, cell);
+    m->data.f = (float*)p;
+    return m;
+}
+static cmm_mat* alloc_mat_f32(int rank, ...) {
+    va_list ap; va_start(ap, rank);
+    cmm_mat *m = cmm_alloc_tagged(1, rank, ap);
+    va_end(ap); return m;
+}
+static cmm_mat* alloc_mat_i32(int rank, ...) {
+    va_list ap; va_start(ap, rank);
+    cmm_mat *m = cmm_alloc_tagged(0, rank, ap);
+    va_end(ap); return m;
+}
+static cmm_mat* alloc_mat_b(int rank, ...) {
+    va_list ap; va_start(ap, rank);
+    cmm_mat *m = cmm_alloc_tagged(2, rank, ap);
+    va_end(ap); return m;
+}
+static int dim(cmm_mat *m, int d) { return (int)m->dims[d]; }
+static int len(cmm_mat *m) { return (int)m->len; }
+static int rank(cmm_mat *m) { return m->rank; }
+static void rc_incr(cmm_mat *m) { m->refs++; }
+static void rc_decr(cmm_mat *m) {
+    if (--m->refs == 0) { free(m->data.f); free(m); }
+}
+static int rc_count(cmm_mat *m) { return m->refs; }
+static cmm_mat* cmm_cow(cmm_mat *m) {
+    if (m->refs == 1) return m;
+    cmm_mat *c = (cmm_mat*)malloc(sizeof(cmm_mat));
+    *c = *m;
+    c->refs = 1;
+    size_t cell = m->tag == 2 ? sizeof(unsigned char) : 4;
+    c->data.f = (float*)malloc((size_t)(m->len > 0 ? m->len : 1) * cell);
+    memcpy(c->data.f, m->data.f, (size_t)m->len * cell);
+    m->refs--;
+    return c;
+}
+static cmm_mat* cow_f32(cmm_mat *m) { return cmm_cow(m); }
+static cmm_mat* cow_i32(cmm_mat *m) { return cmm_cow(m); }
+static cmm_mat* cow_b(cmm_mat *m) { return cmm_cow(m); }
+static void print_i32(int x) { printf("%d\n", x); }
+static void print_f32(float x) { printf("%.6f\n", x); }
+static void print_b(unsigned char x) { printf("%d\n", x ? 1 : 0); }
+static void print_str(const char *s) { printf("%s\n", s); }
+static void cmm_panic(const char *msg) {
+    fprintf(stderr, "program panic: %s\n", msg);
+    exit(1);
+}
+
+/* CMMX container format (shared with the Rust runtime). */
+static cmm_mat* cmm_read_mat(const char *path, int tag) {
+    FILE *fp = fopen(path, "rb");
+    if (!fp) { fprintf(stderr, "readMatrix(%s): cannot open\n", path); exit(1); }
+    unsigned char head[8];
+    if (fread(head, 1, 8, fp) != 8 || memcmp(head, "CMMX", 4) != 0 || head[4] != tag) {
+        fprintf(stderr, "readMatrix(%s): bad header\n", path); exit(1);
+    }
+    int rank = head[5];
+    cmm_mat *m = (cmm_mat*)malloc(sizeof(cmm_mat));
+    m->refs = 1; m->rank = rank; m->len = 1; m->tag = tag;
+    for (int d = 0; d < rank; d++) {
+        unsigned char b8[8];
+        if (fread(b8, 1, 8, fp) != 8) { fprintf(stderr, "readMatrix: truncated\n"); exit(1); }
+        long long v = 0;
+        for (int k = 7; k >= 0; k--) v = (v << 8) | b8[k];
+        m->dims[d] = v; m->len *= v;
+    }
+    size_t cell = tag == 2 ? 1 : 4;
+    m->data.f = (float*)calloc(m->len > 0 ? (size_t)m->len : 1, cell);
+    for (long long i = 0; i < m->len; i++) {
+        unsigned char c4[4];
+        if (fread(c4, 1, 4, fp) != 4) { fprintf(stderr, "readMatrix: truncated\n"); exit(1); }
+        if (tag == 2) m->data.b[i] = c4[0] ? 1 : 0;
+        else {
+            uint32_t bits = (uint32_t)c4[0] | ((uint32_t)c4[1] << 8)
+                          | ((uint32_t)c4[2] << 16) | ((uint32_t)c4[3] << 24);
+            memcpy(&m->data.i[i], &bits, 4);
+        }
+    }
+    fclose(fp);
+    return m;
+}
+static cmm_mat* read_mat_f32(const char *p) { return cmm_read_mat(p, 1); }
+static cmm_mat* read_mat_i32(const char *p) { return cmm_read_mat(p, 0); }
+static cmm_mat* read_mat_b(const char *p) { return cmm_read_mat(p, 2); }
+static void cmm_write_mat(const char *path, cmm_mat *m) {
+    FILE *fp = fopen(path, "wb");
+    if (!fp) { fprintf(stderr, "writeMatrix(%s): cannot open\n", path); exit(1); }
+    fputc('C', fp); fputc('M', fp); fputc('M', fp); fputc('X', fp);
+    fputc(m->tag, fp); fputc(m->rank, fp); fputc(0, fp); fputc(0, fp);
+    for (int d = 0; d < m->rank; d++) {
+        unsigned long long v = (unsigned long long)m->dims[d];
+        for (int k = 0; k < 8; k++) { fputc((int)(v & 0xff), fp); v >>= 8; }
+    }
+    for (long long i = 0; i < m->len; i++) {
+        uint32_t bits;
+        if (m->tag == 2) bits = m->data.b[i] ? 1 : 0;
+        else memcpy(&bits, &m->data.i[i], 4);
+        for (int k = 0; k < 4; k++) { fputc((int)(bits & 0xff), fp); bits >>= 8; }
+    }
+    fclose(fp);
+}
+static void write_mat_f32(const char *p, cmm_mat *m) { cmm_write_mat(p, m); }
+static void write_mat_i32(const char *p, cmm_mat *m) { cmm_write_mat(p, m); }
+static void write_mat_b(const char *p, cmm_mat *m) { cmm_write_mat(p, m); }
+"#;

@@ -1,0 +1,444 @@
+//! IR data types.
+
+/// Matrix element types at the IR level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Elem {
+    /// 32-bit int.
+    I32,
+    /// 32-bit float.
+    F32,
+    /// Boolean (one byte in emitted C).
+    Bool,
+}
+
+impl Elem {
+    /// C type name of one element.
+    pub fn c_name(self) -> &'static str {
+        match self {
+            Elem::I32 => "int",
+            Elem::F32 => "float",
+            Elem::Bool => "unsigned char",
+        }
+    }
+
+    /// Suffix used in runtime-call names (`alloc_mat_f32`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Elem::I32 => "i32",
+            Elem::F32 => "f32",
+            Elem::Bool => "b",
+        }
+    }
+}
+
+/// Scalar / handle types of IR variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CType {
+    /// `int`.
+    Int,
+    /// `float`.
+    Float,
+    /// `bool` (`unsigned char` in C).
+    Bool,
+    /// Handle to a reference-counted matrix buffer of the element type.
+    Buf(Elem),
+    /// No value (function returns).
+    Void,
+}
+
+impl CType {
+    /// C spelling of the type.
+    pub fn c_name(self) -> String {
+        match self {
+            CType::Int => "int".to_string(),
+            CType::Float => "float".to_string(),
+            CType::Bool => "unsigned char".to_string(),
+            CType::Buf(_) => "cmm_mat*".to_string(),
+            CType::Void => "void".to_string(),
+        }
+    }
+}
+
+/// Binary operators (scalar semantics; all matrix ops are already loops at
+/// this level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IrBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl IrBinOp {
+    /// C spelling.
+    pub fn c_symbol(self) -> &'static str {
+        match self {
+            IrBinOp::Add => "+",
+            IrBinOp::Sub => "-",
+            IrBinOp::Mul => "*",
+            IrBinOp::Div => "/",
+            IrBinOp::Rem => "%",
+            IrBinOp::Lt => "<",
+            IrBinOp::Le => "<=",
+            IrBinOp::Gt => ">",
+            IrBinOp::Ge => ">=",
+            IrBinOp::Eq => "==",
+            IrBinOp::Ne => "!=",
+            IrBinOp::And => "&&",
+            IrBinOp::Or => "||",
+        }
+    }
+
+    /// Whether the result is boolean.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            IrBinOp::Lt | IrBinOp::Le | IrBinOp::Gt | IrBinOp::Ge | IrBinOp::Eq | IrBinOp::Ne
+        )
+    }
+}
+
+/// IR expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrExpr {
+    /// Integer constant.
+    Int(i64),
+    /// Float constant.
+    Float(f32),
+    /// Boolean constant.
+    Bool(bool),
+    /// String constant (file names).
+    Str(String),
+    /// Variable read.
+    Var(String),
+    /// Binary operation.
+    Bin(IrBinOp, Box<IrExpr>, Box<IrExpr>),
+    /// Arithmetic negation.
+    Neg(Box<IrExpr>),
+    /// Logical not.
+    Not(Box<IrExpr>),
+    /// Element load `buf[idx]` (flat, row-major).
+    Load {
+        /// Element type of the buffer.
+        elem: Elem,
+        /// Buffer expression (usually a variable).
+        buf: Box<IrExpr>,
+        /// Flat element index.
+        idx: Box<IrExpr>,
+    },
+    /// Call to a user function or runtime builtin.
+    Call(String, Vec<IrExpr>),
+    /// Truncate to int.
+    CastInt(Box<IrExpr>),
+    /// Convert to float.
+    CastFloat(Box<IrExpr>),
+    /// Tuple construction (multi-value returns for the tuples extension;
+    /// emitted C returns a per-function struct by value).
+    Tuple(Vec<IrExpr>),
+}
+
+impl IrExpr {
+    /// `a op b` convenience constructor.
+    pub fn bin(op: IrBinOp, a: IrExpr, b: IrExpr) -> IrExpr {
+        IrExpr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// `a + b`.
+    pub fn add(a: IrExpr, b: IrExpr) -> IrExpr {
+        IrExpr::bin(IrBinOp::Add, a, b)
+    }
+
+    /// `a * b`.
+    pub fn mul(a: IrExpr, b: IrExpr) -> IrExpr {
+        IrExpr::bin(IrBinOp::Mul, a, b)
+    }
+
+    /// Variable reference.
+    pub fn var(name: &str) -> IrExpr {
+        IrExpr::Var(name.to_string())
+    }
+
+    /// Substitute every occurrence of variable `name` with `replacement`
+    /// (used by `split`/`unroll` to rewrite loop indices, §V: "the
+    /// transformation also replaces instances of j with the appropriate
+    /// expression jout * 4 + jin").
+    pub fn substitute(&self, name: &str, replacement: &IrExpr) -> IrExpr {
+        match self {
+            IrExpr::Var(v) if v == name => replacement.clone(),
+            IrExpr::Int(_) | IrExpr::Float(_) | IrExpr::Bool(_) | IrExpr::Str(_) | IrExpr::Var(_) => {
+                self.clone()
+            }
+            IrExpr::Bin(op, a, b) => IrExpr::Bin(
+                *op,
+                Box::new(a.substitute(name, replacement)),
+                Box::new(b.substitute(name, replacement)),
+            ),
+            IrExpr::Neg(e) => IrExpr::Neg(Box::new(e.substitute(name, replacement))),
+            IrExpr::Not(e) => IrExpr::Not(Box::new(e.substitute(name, replacement))),
+            IrExpr::Load { elem, buf, idx } => IrExpr::Load {
+                elem: *elem,
+                buf: Box::new(buf.substitute(name, replacement)),
+                idx: Box::new(idx.substitute(name, replacement)),
+            },
+            IrExpr::Call(f, args) => IrExpr::Call(
+                f.clone(),
+                args.iter().map(|a| a.substitute(name, replacement)).collect(),
+            ),
+            IrExpr::CastInt(e) => IrExpr::CastInt(Box::new(e.substitute(name, replacement))),
+            IrExpr::CastFloat(e) => IrExpr::CastFloat(Box::new(e.substitute(name, replacement))),
+            IrExpr::Tuple(es) => {
+                IrExpr::Tuple(es.iter().map(|e| e.substitute(name, replacement)).collect())
+            }
+        }
+    }
+
+    /// Whether variable `name` occurs in the expression.
+    pub fn uses_var(&self, name: &str) -> bool {
+        match self {
+            IrExpr::Var(v) => v == name,
+            IrExpr::Int(_) | IrExpr::Float(_) | IrExpr::Bool(_) | IrExpr::Str(_) => false,
+            IrExpr::Bin(_, a, b) => a.uses_var(name) || b.uses_var(name),
+            IrExpr::Neg(e) | IrExpr::Not(e) | IrExpr::CastInt(e) | IrExpr::CastFloat(e) => {
+                e.uses_var(name)
+            }
+            IrExpr::Load { buf, idx, .. } => buf.uses_var(name) || idx.uses_var(name),
+            IrExpr::Call(_, args) => args.iter().any(|a| a.uses_var(name)),
+            IrExpr::Tuple(es) => es.iter().any(|e| e.uses_var(name)),
+        }
+    }
+}
+
+/// A counted `for` loop: `for (var = lo; var < hi; var++)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForLoop {
+    /// Loop index variable.
+    pub var: String,
+    /// Lower bound (inclusive).
+    pub lo: IrExpr,
+    /// Upper bound (exclusive).
+    pub hi: IrExpr,
+    /// Body statements.
+    pub body: Vec<IrStmt>,
+    /// Distribute iterations over the thread pool (`#pragma omp parallel
+    /// for` in C).
+    pub parallel: bool,
+    /// Execute with 4-lane vectors (SSE in C).
+    pub vector: bool,
+}
+
+/// IR statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrStmt {
+    /// Variable declaration.
+    Decl {
+        /// Variable type.
+        ty: CType,
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<IrExpr>,
+    },
+    /// Scalar / handle assignment.
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Value.
+        value: IrExpr,
+    },
+    /// Element store `buf[idx] = value`.
+    Store {
+        /// Element type of the buffer.
+        elem: Elem,
+        /// Buffer expression.
+        buf: IrExpr,
+        /// Flat element index.
+        idx: IrExpr,
+        /// Stored value.
+        value: IrExpr,
+    },
+    /// Counted loop.
+    For(ForLoop),
+    /// `while` loop.
+    While {
+        /// Condition.
+        cond: IrExpr,
+        /// Body.
+        body: Vec<IrStmt>,
+    },
+    /// Conditional.
+    If {
+        /// Condition.
+        cond: IrExpr,
+        /// Then branch.
+        then_b: Vec<IrStmt>,
+        /// Else branch.
+        else_b: Vec<IrStmt>,
+    },
+    /// Expression for effect (runtime calls).
+    Expr(IrExpr),
+    /// Function return.
+    Return(Option<IrExpr>),
+    /// Cilk-style spawn (the ext-cilk extension): evaluate the arguments
+    /// now, defer the call; it runs concurrently with its siblings at the
+    /// next [`IrStmt::Sync`] (or the function's implicit sync on return).
+    /// Emitted C uses the serial elision (a plain call at the spawn
+    /// point), which is a legal Cilk schedule.
+    Spawn {
+        /// Variable receiving the result at sync (`None` for void calls).
+        target: Option<String>,
+        /// Whether the target is a reference-counted buffer (the old
+        /// handle is released when the result lands).
+        target_is_buf: bool,
+        /// Function to call.
+        func: String,
+        /// Argument expressions (evaluated at the spawn point).
+        args: Vec<IrExpr>,
+    },
+    /// Wait for all outstanding spawns of the current function and bind
+    /// their results.
+    Sync,
+    /// Unpack a tuple-returning call into pre-declared variables.
+    UnpackCall {
+        /// Target variable names, one per tuple component.
+        targets: Vec<String>,
+        /// The call expression (must evaluate to a tuple).
+        call: IrExpr,
+    },
+    /// Emitted as a C comment; ignored by the interpreter.
+    Comment(String),
+    /// Scope block.
+    Block(Vec<IrStmt>),
+}
+
+impl IrStmt {
+    /// Substitute a variable throughout the statement (loop bodies
+    /// included; a nested loop redefining `name` shadows it and stops the
+    /// substitution).
+    pub fn substitute(&self, name: &str, replacement: &IrExpr) -> IrStmt {
+        let sub_body = |body: &[IrStmt]| -> Vec<IrStmt> {
+            body.iter().map(|s| s.substitute(name, replacement)).collect()
+        };
+        match self {
+            IrStmt::Decl { ty, name: n, init } => IrStmt::Decl {
+                ty: *ty,
+                name: n.clone(),
+                init: init.as_ref().map(|e| e.substitute(name, replacement)),
+            },
+            IrStmt::Assign { name: n, value } => IrStmt::Assign {
+                name: n.clone(),
+                value: value.substitute(name, replacement),
+            },
+            IrStmt::Store { elem, buf, idx, value } => IrStmt::Store {
+                elem: *elem,
+                buf: buf.substitute(name, replacement),
+                idx: idx.substitute(name, replacement),
+                value: value.substitute(name, replacement),
+            },
+            IrStmt::For(f) => {
+                if f.var == name {
+                    // Shadowed: only the bounds see the outer variable.
+                    IrStmt::For(ForLoop {
+                        var: f.var.clone(),
+                        lo: f.lo.substitute(name, replacement),
+                        hi: f.hi.substitute(name, replacement),
+                        body: f.body.clone(),
+                        parallel: f.parallel,
+                        vector: f.vector,
+                    })
+                } else {
+                    IrStmt::For(ForLoop {
+                        var: f.var.clone(),
+                        lo: f.lo.substitute(name, replacement),
+                        hi: f.hi.substitute(name, replacement),
+                        body: sub_body(&f.body),
+                        parallel: f.parallel,
+                        vector: f.vector,
+                    })
+                }
+            }
+            IrStmt::While { cond, body } => IrStmt::While {
+                cond: cond.substitute(name, replacement),
+                body: sub_body(body),
+            },
+            IrStmt::If { cond, then_b, else_b } => IrStmt::If {
+                cond: cond.substitute(name, replacement),
+                then_b: sub_body(then_b),
+                else_b: sub_body(else_b),
+            },
+            IrStmt::Expr(e) => IrStmt::Expr(e.substitute(name, replacement)),
+            IrStmt::Return(e) => {
+                IrStmt::Return(e.as_ref().map(|e| e.substitute(name, replacement)))
+            }
+            IrStmt::Spawn {
+                target,
+                target_is_buf,
+                func,
+                args,
+            } => IrStmt::Spawn {
+                target: target.clone(),
+                target_is_buf: *target_is_buf,
+                func: func.clone(),
+                args: args.iter().map(|a| a.substitute(name, replacement)).collect(),
+            },
+            IrStmt::Sync => IrStmt::Sync,
+            IrStmt::UnpackCall { targets, call } => IrStmt::UnpackCall {
+                targets: targets.clone(),
+                call: call.substitute(name, replacement),
+            },
+            IrStmt::Comment(c) => IrStmt::Comment(c.clone()),
+            IrStmt::Block(b) => IrStmt::Block(sub_body(b)),
+        }
+    }
+}
+
+/// A function in the IR program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrFunction {
+    /// Function name.
+    pub name: String,
+    /// Parameters (name, type).
+    pub params: Vec<(String, CType)>,
+    /// Return type.
+    pub ret: CType,
+    /// For tuple-returning functions: the component types (emitted C
+    /// returns a struct by value; `ret` is ignored when this is set).
+    pub ret_tuple: Option<Vec<CType>>,
+    /// Body.
+    pub body: Vec<IrStmt>,
+}
+
+/// A whole IR program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IrProgram {
+    /// Functions; execution starts at `main`.
+    pub functions: Vec<IrFunction>,
+}
+
+impl IrProgram {
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&IrFunction> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}

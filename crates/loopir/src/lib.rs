@@ -1,0 +1,31 @@
+//! Loop-nest intermediate representation.
+//!
+//! The translator expands matrix constructs into "the same type of nested
+//! for-loops" that loop-transforming compilers target (§V). This crate is
+//! that target: a small C-like IR of scalars, reference-counted matrix
+//! buffers, and loop nests, shared by
+//!
+//! * the lowering in `cmm-lang` (with-loops, `matrixMap`, indexing and
+//!   tuples all compile to this IR plus runtime calls),
+//! * the `[ext-transform]` loop transformations ([`transform`]): `split`,
+//!   `reorder`, `interchange`, `unroll`, `tile`, `vectorize`,
+//!   `parallelize`, applied in source order exactly as §V describes,
+//! * the C emitter ([`emit`]), which prints the IR as plain parallel C —
+//!   OpenMP pragma for parallel loops, SSE intrinsics for vectorized
+//!   loops, and a self-contained C runtime (refcounted matrices, CMMX
+//!   file IO) so the output compiles with `gcc -fopenmp` alone,
+//! * the interpreter ([`interp`]), which executes IR programs directly in
+//!   Rust on top of `cmm-forkjoin`, so every compiled program can also be
+//!   run and measured without a C toolchain.
+
+pub mod emit;
+pub mod interp;
+mod ir;
+pub mod transform;
+
+pub use interp::{BufHandle, Interp, InterpError, Value};
+pub use ir::{CType, Elem, ForLoop, IrBinOp, IrExpr, IrFunction, IrProgram, IrStmt};
+pub use transform::TransformError;
+
+#[cfg(test)]
+mod tests;

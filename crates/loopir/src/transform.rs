@@ -1,0 +1,578 @@
+//! Programmer-directed loop transformations (§V).
+//!
+//! The `[ext-transform]` extension lets the programmer attach a transform
+//! clause to a statement; each directive rewrites the loop nest the
+//! statement expanded into, in the order written. `split` introduces
+//! inner/outer loops and rewrites the original index to `outer * by +
+//! inner` (Fig 9 → Fig 10); `vectorize` and `parallelize` mark loops for
+//! the SSE and OpenMP backends (Fig 10 → Fig 11); `tile` is the composite
+//! the paper describes — "two splits and a reorder". Each directive
+//! performs the §V semantic check "that the loop indices in the
+//! transformations correspond to loops in the code being transformed".
+
+use crate::ir::{ForLoop, IrExpr, IrStmt};
+
+/// A loop transformation directive at the IR level (mirrors the surface
+/// `TransformSpec` of `cmm-ast`; kept separate so this crate stands alone).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoopTransform {
+    /// `split index by factor, inner, outer`.
+    Split {
+        /// Index of the loop to split.
+        index: String,
+        /// Split factor.
+        by: i64,
+        /// New inner index.
+        inner: String,
+        /// New outer index.
+        outer: String,
+    },
+    /// `vectorize index` — the loop must have constant bounds `0..4` (the
+    /// four 32-bit float lanes of an SSE vector, §V).
+    Vectorize {
+        /// Loop index.
+        index: String,
+    },
+    /// `parallelize index`.
+    Parallelize {
+        /// Loop index.
+        index: String,
+    },
+    /// `reorder i, j, k` — permute a perfect nest.
+    Reorder {
+        /// Index names, outermost first.
+        order: Vec<String>,
+    },
+    /// `interchange a, b` — swap two perfectly nested loops.
+    Interchange {
+        /// Outer loop index.
+        a: String,
+        /// Inner loop index.
+        b: String,
+    },
+    /// `unroll index by factor`.
+    Unroll {
+        /// Loop index.
+        index: String,
+        /// Unroll factor.
+        by: i64,
+    },
+    /// `tile i, j by bi, bj` — two splits plus a reorder.
+    Tile {
+        /// Outer tiled index.
+        i: String,
+        /// Inner tiled index.
+        j: String,
+        /// Tile size for `i`.
+        bi: i64,
+        /// Tile size for `j`.
+        bj: i64,
+    },
+}
+
+/// Transformation failure — the §V semantic checks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransformError {
+    /// The named index does not correspond to a loop in the generated code.
+    LoopNotFound {
+        /// The missing index.
+        index: String,
+    },
+    /// The named index corresponds to more than one loop.
+    AmbiguousIndex {
+        /// The ambiguous index.
+        index: String,
+    },
+    /// `reorder`/`interchange`/`tile` require a perfect loop nest.
+    NotPerfectlyNested {
+        /// Description of the offending structure.
+        detail: String,
+    },
+    /// Reordering would move a loop above one its bounds depend on.
+    BoundDependency {
+        /// The dependent index.
+        index: String,
+        /// The index it depends on.
+        depends_on: String,
+    },
+    /// A split/unroll/tile factor must be a positive integer.
+    BadFactor {
+        /// The factor given.
+        factor: i64,
+    },
+    /// `vectorize` requires constant bounds `0..4`.
+    BadVectorLoop {
+        /// The loop index.
+        index: String,
+        /// Description of why it cannot be vectorized.
+        detail: String,
+    },
+    /// A new index name collides with an existing loop index.
+    NameCollision {
+        /// The colliding name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for TransformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransformError::LoopNotFound { index } => write!(
+                f,
+                "transformation index '{index}' does not correspond to a loop in the \
+                 code being transformed"
+            ),
+            TransformError::AmbiguousIndex { index } => {
+                write!(f, "index '{index}' names more than one loop")
+            }
+            TransformError::NotPerfectlyNested { detail } => {
+                write!(f, "loops are not perfectly nested: {detail}")
+            }
+            TransformError::BoundDependency { index, depends_on } => write!(
+                f,
+                "cannot move loop '{index}' above '{depends_on}' which its bounds depend on"
+            ),
+            TransformError::BadFactor { factor } => {
+                write!(f, "transformation factor must be positive, got {factor}")
+            }
+            TransformError::BadVectorLoop { index, detail } => {
+                write!(f, "cannot vectorize loop '{index}': {detail}")
+            }
+            TransformError::NameCollision { name } => {
+                write!(f, "new index name '{name}' collides with an existing loop")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// Apply one transformation to a statement list (the expansion of the
+/// transformed statement), in place.
+pub fn apply(stmts: &mut Vec<IrStmt>, t: &LoopTransform) -> Result<(), TransformError> {
+    match t {
+        LoopTransform::Split {
+            index,
+            by,
+            inner,
+            outer,
+        } => {
+            if *by <= 0 {
+                return Err(TransformError::BadFactor { factor: *by });
+            }
+            for name in [inner, outer] {
+                if count_loops(stmts, name) > 0 {
+                    return Err(TransformError::NameCollision { name: name.clone() });
+                }
+            }
+            with_unique_loop(stmts, index, &mut |l| Ok(split_loop(l, *by, inner, outer)))
+        }
+        LoopTransform::Vectorize { index } => with_unique_loop(stmts, index, &mut |l| {
+            if !(l.lo == IrExpr::Int(0) && l.hi == IrExpr::Int(4)) {
+                return Err(TransformError::BadVectorLoop {
+                    index: index.clone(),
+                    detail: format!(
+                        "vector loops must have constant bounds 0..4 (one SSE vector of \
+                         four 32-bit floats); found {:?}..{:?}",
+                        l.lo, l.hi
+                    ),
+                });
+            }
+            let mut v = l.clone();
+            v.vector = true;
+            Ok(IrStmt::For(v))
+        }),
+        LoopTransform::Parallelize { index } => with_unique_loop(stmts, index, &mut |l| {
+            let mut v = l.clone();
+            v.parallel = true;
+            Ok(IrStmt::For(v))
+        }),
+        LoopTransform::Interchange { a, b } => {
+            apply(stmts, &LoopTransform::Reorder { order: vec![b.clone(), a.clone()] })
+        }
+        LoopTransform::Reorder { order } => reorder(stmts, order),
+        LoopTransform::Unroll { index, by } => {
+            if *by <= 0 {
+                return Err(TransformError::BadFactor { factor: *by });
+            }
+            with_unique_loop(stmts, index, &mut |l| Ok(unroll_loop(l, *by)))
+        }
+        LoopTransform::Tile { i, j, bi, bj } => {
+            let (i_in, i_out) = (format!("{i}_in"), format!("{i}_out"));
+            let (j_in, j_out) = (format!("{j}_in"), format!("{j}_out"));
+            apply(
+                stmts,
+                &LoopTransform::Split {
+                    index: i.clone(),
+                    by: *bi,
+                    inner: i_in.clone(),
+                    outer: i_out.clone(),
+                },
+            )?;
+            apply(
+                stmts,
+                &LoopTransform::Split {
+                    index: j.clone(),
+                    by: *bj,
+                    inner: j_in.clone(),
+                    outer: j_out.clone(),
+                },
+            )?;
+            apply(
+                stmts,
+                &LoopTransform::Reorder {
+                    order: vec![i_out, j_out, i_in, j_in],
+                },
+            )
+        }
+    }
+}
+
+/// Apply a sequence of transformations in source order (§V: "applying the
+/// transformations in the order in which they appear").
+pub fn apply_all(stmts: &mut Vec<IrStmt>, ts: &[LoopTransform]) -> Result<(), TransformError> {
+    for t in ts {
+        apply(stmts, t)?;
+    }
+    Ok(())
+}
+
+/// Count loops with the given index (recursively).
+fn count_loops(stmts: &[IrStmt], index: &str) -> usize {
+    let mut n = 0;
+    for s in stmts {
+        match s {
+            IrStmt::For(f) => {
+                if f.var == index {
+                    n += 1;
+                }
+                n += count_loops(&f.body, index);
+            }
+            IrStmt::While { body, .. } => n += count_loops(body, index),
+            IrStmt::If { then_b, else_b, .. } => {
+                n += count_loops(then_b, index) + count_loops(else_b, index);
+            }
+            IrStmt::Block(b) => n += count_loops(b, index),
+            _ => {}
+        }
+    }
+    n
+}
+
+/// Find the unique loop with the given index and replace it with the
+/// statement produced by `f`.
+fn with_unique_loop(
+    stmts: &mut Vec<IrStmt>,
+    index: &str,
+    f: &mut dyn FnMut(&ForLoop) -> Result<IrStmt, TransformError>,
+) -> Result<(), TransformError> {
+    match count_loops(stmts, index) {
+        0 => Err(TransformError::LoopNotFound {
+            index: index.to_string(),
+        }),
+        1 => {
+            replace_loop(stmts, index, f)?;
+            Ok(())
+        }
+        _ => Err(TransformError::AmbiguousIndex {
+            index: index.to_string(),
+        }),
+    }
+}
+
+fn replace_loop(
+    stmts: &mut Vec<IrStmt>,
+    index: &str,
+    f: &mut dyn FnMut(&ForLoop) -> Result<IrStmt, TransformError>,
+) -> Result<bool, TransformError> {
+    for s in stmts.iter_mut() {
+        let replaced = match s {
+            IrStmt::For(l) if l.var == index => {
+                *s = f(l)?;
+                true
+            }
+            IrStmt::For(l) => replace_loop(&mut l.body, index, f)?,
+            IrStmt::While { body, .. } => replace_loop(body, index, f)?,
+            IrStmt::If { then_b, else_b, .. } => {
+                replace_loop(then_b, index, f)? || replace_loop(else_b, index, f)?
+            }
+            IrStmt::Block(b) => replace_loop(b, index, f)?,
+            _ => false,
+        };
+        if replaced {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// `split x by k, xin, xout`: Fig 9 line 6 → Fig 10.
+///
+/// ```text
+/// for (x = lo; x < hi; x++) B(x)
+///   ⇒ for (xout = 0; xout < (hi-lo)/k; xout++)
+///       for (xin = 0; xin < k; xin++)
+///         B(lo + xout*k + xin)
+/// ```
+///
+/// As in the paper's example, the extent is assumed divisible by `k`
+/// ("to keep the example simple we have assumed that the dimension n is a
+/// multiple of 4"); when both bounds are integer literals the division is
+/// checked and a remainder loop is appended if needed.
+fn split_loop(l: &ForLoop, k: i64, inner: &str, outer: &str) -> IrStmt {
+    let extent = match (&l.lo, &l.hi) {
+        (IrExpr::Int(a), IrExpr::Int(b)) => Some(b - a),
+        _ => None,
+    };
+    let extent_expr = if l.lo == IrExpr::Int(0) {
+        l.hi.clone()
+    } else {
+        IrExpr::bin(crate::ir::IrBinOp::Sub, l.hi.clone(), l.lo.clone())
+    };
+    // x := lo + xout*k + xin  (dropping the "+ lo" when lo = 0).
+    let recon = {
+        let base = IrExpr::add(
+            IrExpr::mul(IrExpr::var(outer), IrExpr::Int(k)),
+            IrExpr::var(inner),
+        );
+        if l.lo == IrExpr::Int(0) {
+            base
+        } else {
+            IrExpr::add(l.lo.clone(), base)
+        }
+    };
+    let new_body: Vec<IrStmt> = l.body.iter().map(|s| s.substitute(&l.var, &recon)).collect();
+    let inner_loop = ForLoop {
+        var: inner.to_string(),
+        lo: IrExpr::Int(0),
+        hi: IrExpr::Int(k),
+        body: new_body,
+        parallel: false,
+        vector: false,
+    };
+    let outer_loop = ForLoop {
+        var: outer.to_string(),
+        lo: IrExpr::Int(0),
+        hi: IrExpr::bin(crate::ir::IrBinOp::Div, extent_expr, IrExpr::Int(k)),
+        body: vec![IrStmt::For(inner_loop)],
+        parallel: l.parallel,
+        vector: false,
+    };
+    match extent {
+        Some(e) if e % k != 0 => {
+            // Literal bounds with a remainder: append an epilogue loop
+            // covering the tail with the original body.
+            let done = (e / k) * k;
+            let lo_i = match l.lo {
+                IrExpr::Int(a) => a,
+                _ => unreachable!("extent known implies literal bounds"),
+            };
+            let epilogue = ForLoop {
+                var: l.var.clone(),
+                lo: IrExpr::Int(lo_i + done),
+                hi: l.hi.clone(),
+                body: l.body.clone(),
+                parallel: false,
+                vector: false,
+            };
+            IrStmt::Block(vec![IrStmt::For(outer_loop), IrStmt::For(epilogue)])
+        }
+        _ => IrStmt::For(outer_loop),
+    }
+}
+
+/// `unroll x by k`: replicate the body `k` times per iteration.
+fn unroll_loop(l: &ForLoop, k: i64) -> IrStmt {
+    let uvar = format!("{}_u", l.var);
+    let extent_expr = if l.lo == IrExpr::Int(0) {
+        l.hi.clone()
+    } else {
+        IrExpr::bin(crate::ir::IrBinOp::Sub, l.hi.clone(), l.lo.clone())
+    };
+    let mut body = Vec::new();
+    for lane in 0..k {
+        // x := lo + x_u*k + lane
+        let base = IrExpr::add(
+            IrExpr::mul(IrExpr::var(&uvar), IrExpr::Int(k)),
+            IrExpr::Int(lane),
+        );
+        let recon = if l.lo == IrExpr::Int(0) {
+            base
+        } else {
+            IrExpr::add(l.lo.clone(), base)
+        };
+        for s in &l.body {
+            body.push(s.substitute(&l.var, &recon));
+        }
+    }
+    let main = ForLoop {
+        var: uvar,
+        lo: IrExpr::Int(0),
+        hi: IrExpr::bin(crate::ir::IrBinOp::Div, extent_expr, IrExpr::Int(k)),
+        body,
+        parallel: l.parallel,
+        vector: false,
+    };
+    // Remainder loop for non-divisible extents (always emitted for unroll
+    // unless the extent is a literal multiple of k — unlike split, unroll
+    // has no paper example to stay textually faithful to).
+    let needs_remainder = match (&l.lo, &l.hi) {
+        (IrExpr::Int(a), IrExpr::Int(b)) => (b - a) % k != 0,
+        _ => true,
+    };
+    if needs_remainder {
+        let done = IrExpr::mul(
+            IrExpr::bin(crate::ir::IrBinOp::Div, if l.lo == IrExpr::Int(0) {
+                l.hi.clone()
+            } else {
+                IrExpr::bin(crate::ir::IrBinOp::Sub, l.hi.clone(), l.lo.clone())
+            }, IrExpr::Int(k)),
+            IrExpr::Int(k),
+        );
+        let rem_lo = if l.lo == IrExpr::Int(0) {
+            done
+        } else {
+            IrExpr::add(l.lo.clone(), done)
+        };
+        let epilogue = ForLoop {
+            var: l.var.clone(),
+            lo: rem_lo,
+            hi: l.hi.clone(),
+            body: l.body.clone(),
+            parallel: false,
+            vector: false,
+        };
+        IrStmt::Block(vec![IrStmt::For(main), IrStmt::For(epilogue)])
+    } else {
+        IrStmt::For(main)
+    }
+}
+
+/// Reorder a perfect loop nest to the given outermost-first order.
+fn reorder(stmts: &mut Vec<IrStmt>, order: &[String]) -> Result<(), TransformError> {
+    let Some(first) = order.first() else {
+        return Ok(());
+    };
+    // The nest's current outermost loop is whichever of `order` is found
+    // shallowest; we locate the loop containing all the others.
+    let outermost = order
+        .iter()
+        .find(|v| count_loops(stmts, v) == 1 && loop_contains_all(stmts, v, order))
+        .cloned()
+        .ok_or_else(|| TransformError::LoopNotFound {
+            index: first.clone(),
+        })?;
+
+    with_unique_loop(stmts, &outermost, &mut |l| {
+        // Collect the perfect nest: order.len() loops, innermost body kept.
+        let mut loops: Vec<ForLoop> = Vec::new();
+        let mut cur = l.clone();
+        loop {
+            loops.push(ForLoop {
+                body: Vec::new(),
+                ..cur.clone()
+            });
+            if loops.len() == order.len() {
+                break;
+            }
+            // The body must be exactly one For (comments allowed around it).
+            let inner: Vec<&IrStmt> = cur
+                .body
+                .iter()
+                .filter(|s| !matches!(s, IrStmt::Comment(_)))
+                .collect();
+            match inner.as_slice() {
+                [IrStmt::For(f)] => {
+                    let f = (*f).clone();
+                    cur = f;
+                }
+                _ => {
+                    return Err(TransformError::NotPerfectlyNested {
+                        detail: format!(
+                            "loop '{}' does not immediately contain a single loop",
+                            cur.var
+                        ),
+                    })
+                }
+            }
+        }
+        let innermost_body = cur.body.clone();
+
+        // Check the set matches.
+        for v in order {
+            if !loops.iter().any(|f| &f.var == v) {
+                return Err(TransformError::LoopNotFound { index: v.clone() });
+            }
+        }
+
+        // Bound-dependency check: in the new order, a loop's bounds must
+        // not reference indices that now sit inside it.
+        for (pos, v) in order.iter().enumerate() {
+            let f = loops.iter().find(|f| &f.var == v).expect("checked above");
+            for inner_v in &order[pos + 1..] {
+                if f.lo.uses_var(inner_v) || f.hi.uses_var(inner_v) {
+                    return Err(TransformError::BoundDependency {
+                        index: v.clone(),
+                        depends_on: inner_v.clone(),
+                    });
+                }
+            }
+        }
+
+        // Rebuild innermost-out.
+        let mut body = innermost_body;
+        for v in order.iter().rev() {
+            let f = loops.iter().find(|f| &f.var == v).expect("checked above");
+            body = vec![IrStmt::For(ForLoop {
+                var: f.var.clone(),
+                lo: f.lo.clone(),
+                hi: f.hi.clone(),
+                body,
+                parallel: f.parallel,
+                vector: f.vector,
+            })];
+        }
+        Ok(body.pop().expect("nest rebuilt"))
+    })
+}
+
+fn loop_contains_all(stmts: &[IrStmt], outer: &str, order: &[String]) -> bool {
+    fn find<'a>(stmts: &'a [IrStmt], var: &str) -> Option<&'a ForLoop> {
+        for s in stmts {
+            match s {
+                IrStmt::For(f) => {
+                    if f.var == var {
+                        return Some(f);
+                    }
+                    if let Some(r) = find(&f.body, var) {
+                        return Some(r);
+                    }
+                }
+                IrStmt::While { body, .. } => {
+                    if let Some(r) = find(body, var) {
+                        return Some(r);
+                    }
+                }
+                IrStmt::If { then_b, else_b, .. } => {
+                    if let Some(r) = find(then_b, var).or_else(|| find(else_b, var)) {
+                        return Some(r);
+                    }
+                }
+                IrStmt::Block(b) => {
+                    if let Some(r) = find(b, var) {
+                        return Some(r);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+    let Some(l) = find(stmts, outer) else {
+        return false;
+    };
+    order
+        .iter()
+        .filter(|v| v.as_str() != outer)
+        .all(|v| count_loops(&l.body, v) == 1)
+}

@@ -1,0 +1,31 @@
+//! Reference-counted buffer substrate for the matrix runtime.
+//!
+//! The paper (§III-B) manages matrix memory with *reference counting
+//! pointers*: every allocation carries an extra 4-byte header holding the
+//! number of live references; assignment increments it, scope exit
+//! decrements it, and the block is freed when the count reaches zero.
+//! §III-C further observes that "off the shelf" memory allocators do not
+//! scale under the allocation pattern of the generated parallel code and
+//! discusses arena-based allocators.
+//!
+//! This crate reproduces both pieces:
+//!
+//! * [`RcBuf<T>`] — an atomically reference-counted, fixed-length buffer of
+//!   `Copy` elements with exactly one 4-byte reference-count word in its
+//!   header (plus the length/size-class bookkeeping a real allocation
+//!   needs), copy-on-write mutation ([`RcBuf::make_mut`]), and a
+//!   [`SharedWriter`] escape hatch for the disjoint-index parallel writes
+//!   performed by `with`-loop code generation.
+//! * [`pool`] — a size-class recycling allocator (thread-local caches over a
+//!   shared global free list) that `RcBuf` uses when enabled, standing in
+//!   for the arena allocators of the paper's discussion. The benchmark
+//!   `alloc` (experiment E10) compares it against the system allocator.
+
+mod pool;
+mod rcbuf;
+
+pub use pool::{pool_stats, reset_pool, set_pool_enabled, PoolStats};
+pub use rcbuf::{RcBuf, SharedWriter};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,149 @@
+//! Size-class recycling allocator.
+//!
+//! Raw blocks are grouped into power-of-two size classes. Freed blocks go to
+//! a small thread-local cache first (no synchronization); overflow and
+//! refills hit a shared per-class free list guarded by a mutex, which mimics
+//! the "arena" structure modern allocators adopt once heap contention is
+//! detected (paper §III-C). The pool is global because `RcBuf` values cross
+//! threads freely, exactly like the C pointers in the generated code.
+
+use std::alloc::{alloc, dealloc, Layout};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of power-of-two size classes (class `c` holds blocks of
+/// `1 << c` bytes). 2^31 = 2 GiB is far above any matrix this library
+/// allocates in one block.
+const NUM_CLASSES: usize = 32;
+/// Per-thread cache depth per class. Small, so memory held by idle threads
+/// stays bounded.
+const THREAD_CACHE: usize = 8;
+/// Upper bound on blocks retained per class in the global free list.
+const GLOBAL_CACHE: usize = 256;
+
+static POOL_ENABLED: AtomicBool = AtomicBool::new(true);
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static RECYCLED: AtomicU64 = AtomicU64::new(0);
+
+static GLOBAL_FREE: [Mutex<Vec<usize>>; NUM_CLASSES] = {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const EMPTY: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    [EMPTY; NUM_CLASSES]
+};
+
+thread_local! {
+    static LOCAL_FREE: RefCell<[Vec<usize>; NUM_CLASSES]> =
+        RefCell::new(std::array::from_fn(|_| Vec::new()));
+}
+
+/// Counters describing pool behaviour since the last [`reset_pool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Allocations served from a cache (thread-local or global).
+    pub hits: u64,
+    /// Allocations that had to fall through to the system allocator.
+    pub misses: u64,
+    /// Frees captured by a cache instead of returned to the system.
+    pub recycled: u64,
+}
+
+/// Enable or disable recycling. When disabled the pool degrades to plain
+/// `alloc`/`dealloc`, which is the "off the shelf malloc" baseline of
+/// experiment E10.
+pub fn set_pool_enabled(enabled: bool) {
+    POOL_ENABLED.store(enabled, Ordering::SeqCst);
+}
+
+/// Snapshot of the global pool counters.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        recycled: RECYCLED.load(Ordering::Relaxed),
+    }
+}
+
+/// Drop every cached block (global list only; thread-local caches drain when
+/// their threads exit or on their next overflow) and zero the counters.
+pub fn reset_pool() {
+    for (class, m) in GLOBAL_FREE.iter().enumerate() {
+        let mut list = m.lock().unwrap();
+        for p in list.drain(..) {
+            // Safety: every pointer in the list was allocated by
+            // `alloc_block` with the layout of its class.
+            unsafe { dealloc(p as *mut u8, class_layout(class)) };
+        }
+    }
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+    RECYCLED.store(0, Ordering::Relaxed);
+}
+
+/// Size class for a byte size: index of the next power of two.
+#[inline]
+pub(crate) fn size_class(bytes: usize) -> usize {
+    bytes.next_power_of_two().trailing_zeros() as usize
+}
+
+#[inline]
+fn class_layout(class: usize) -> Layout {
+    // All pool blocks are maximally aligned for the element types the
+    // runtime uses (up to 16 for the 4-lane vector unit emulation).
+    Layout::from_size_align(1 << class, 16).expect("valid class layout")
+}
+
+/// Allocate a block of at least `bytes` bytes, 16-byte aligned. Returns the
+/// pointer and the size class it belongs to.
+pub(crate) fn alloc_block(bytes: usize) -> (*mut u8, usize) {
+    let class = size_class(bytes.max(1));
+    if POOL_ENABLED.load(Ordering::Relaxed) {
+        let cached = LOCAL_FREE
+            .try_with(|local| local.borrow_mut()[class].pop())
+            .ok()
+            .flatten()
+            .or_else(|| GLOBAL_FREE[class].lock().unwrap().pop());
+        if let Some(p) = cached {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            return (p as *mut u8, class);
+        }
+        MISSES.fetch_add(1, Ordering::Relaxed);
+    }
+    // Safety: layout has nonzero size (class of bytes.max(1)).
+    let p = unsafe { alloc(class_layout(class)) };
+    assert!(!p.is_null(), "allocation of {bytes} bytes failed");
+    (p, class)
+}
+
+/// Return a block obtained from [`alloc_block`] with the recorded class.
+///
+/// # Safety
+/// `ptr` must come from `alloc_block` with the same `class` and must not be
+/// used afterwards.
+pub(crate) unsafe fn free_block(ptr: *mut u8, class: usize) {
+    if POOL_ENABLED.load(Ordering::Relaxed) {
+        let kept = LOCAL_FREE
+            .try_with(|local| {
+                let mut local = local.borrow_mut();
+                if local[class].len() < THREAD_CACHE {
+                    local[class].push(ptr as usize);
+                    true
+                } else {
+                    false
+                }
+            })
+            .unwrap_or(false);
+        if kept {
+            RECYCLED.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut global = GLOBAL_FREE[class].lock().unwrap();
+        if global.len() < GLOBAL_CACHE {
+            global.push(ptr as usize);
+            RECYCLED.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    }
+    dealloc(ptr, class_layout(class));
+}

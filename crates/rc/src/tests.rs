@@ -1,0 +1,223 @@
+use crate::pool::size_class;
+use crate::*;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn new_fills_buffer() {
+    let b = RcBuf::new(5, 7i32);
+    assert_eq!(b.as_slice(), &[7, 7, 7, 7, 7]);
+    assert_eq!(b.len(), 5);
+    assert!(!b.is_empty());
+}
+
+#[test]
+fn from_fn_indexes() {
+    let b = RcBuf::from_fn(4, |i| i as i64 * 10);
+    assert_eq!(b.as_slice(), &[0, 10, 20, 30]);
+}
+
+#[test]
+fn from_slice_copies() {
+    let b = RcBuf::from_slice(&[1.5f32, 2.5]);
+    assert_eq!(b.as_slice(), &[1.5, 2.5]);
+}
+
+#[test]
+fn empty_buffer() {
+    let b = RcBuf::new(0, 0u8);
+    assert!(b.is_empty());
+    assert_eq!(b.as_slice(), &[] as &[u8]);
+}
+
+#[test]
+fn clone_bumps_refcount_and_shares_storage() {
+    let a = RcBuf::new(3, 1i32);
+    assert_eq!(a.ref_count(), 1);
+    let b = a.clone();
+    assert_eq!(a.ref_count(), 2);
+    assert_eq!(b.ref_count(), 2);
+    assert_eq!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+    drop(b);
+    assert_eq!(a.ref_count(), 1);
+}
+
+#[test]
+fn get_mut_only_when_unique() {
+    let mut a = RcBuf::new(2, 0i32);
+    assert!(a.get_mut().is_some());
+    let b = a.clone();
+    assert!(a.get_mut().is_none());
+    drop(b);
+    a.get_mut().unwrap()[0] = 42;
+    assert_eq!(a[0], 42);
+}
+
+#[test]
+fn make_mut_is_copy_on_write() {
+    let mut a = RcBuf::new(3, 1i32);
+    let b = a.clone();
+    a.make_mut()[1] = 9;
+    assert_eq!(a.as_slice(), &[1, 9, 1]);
+    assert_eq!(b.as_slice(), &[1, 1, 1], "original untouched");
+    assert_eq!(a.ref_count(), 1);
+    assert_eq!(b.ref_count(), 1);
+}
+
+#[test]
+fn make_mut_in_place_when_unique() {
+    let mut a = RcBuf::new(3, 1i32);
+    let p = a.as_slice().as_ptr();
+    a.make_mut()[0] = 5;
+    assert_eq!(a.as_slice().as_ptr(), p, "no reallocation when unique");
+}
+
+#[test]
+#[should_panic(expected = "SharedWriter requires a unique buffer")]
+fn shared_writer_rejects_shared_buffers() {
+    let mut a = RcBuf::new(3, 0i32);
+    let _b = a.clone();
+    let _ = a.shared_writer();
+}
+
+#[test]
+fn shared_writer_parallel_disjoint_writes() {
+    let n = 4096;
+    let mut a = RcBuf::new(n, 0usize);
+    {
+        let w = a.shared_writer();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let w = &w;
+                s.spawn(move || {
+                    for i in (t..n).step_by(4) {
+                        // Safety: threads write strided, disjoint indices.
+                        unsafe { w.write(i, i * 2) };
+                    }
+                });
+            }
+        });
+    }
+    for (i, &v) in a.as_slice().iter().enumerate() {
+        assert_eq!(v, i * 2);
+    }
+}
+
+#[test]
+#[should_panic(expected = "out of bounds")]
+fn shared_writer_bounds_checked() {
+    let mut a = RcBuf::new(2, 0i32);
+    let w = a.shared_writer();
+    unsafe { w.write(2, 1) };
+}
+
+#[test]
+fn concurrent_clone_drop_stress() {
+    let a = RcBuf::new(64, 3i32);
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let a = a.clone();
+            s.spawn(move || {
+                for _ in 0..10_000 {
+                    let b = a.clone();
+                    assert_eq!(b[0], 3);
+                }
+            });
+        }
+    });
+    assert_eq!(a.ref_count(), 1);
+}
+
+#[test]
+fn pool_recycles_blocks() {
+    reset_pool();
+    set_pool_enabled(true);
+    let p1 = {
+        let b = RcBuf::new(100, 0u64);
+        b.as_slice().as_ptr() as usize
+    };
+    // Same size class, so the freed block should be reused immediately by
+    // this thread's cache.
+    let b2 = RcBuf::new(100, 1u64);
+    assert_eq!(b2.as_slice().as_ptr() as usize, p1);
+    assert_eq!(b2.as_slice(), vec![1u64; 100].as_slice());
+    let stats = pool_stats();
+    assert!(stats.hits >= 1, "expected a pool hit, got {stats:?}");
+    assert!(stats.recycled >= 1);
+}
+
+#[test]
+fn pool_disabled_goes_to_system() {
+    reset_pool();
+    set_pool_enabled(false);
+    let before = pool_stats();
+    drop(RcBuf::new(64, 0u8));
+    drop(RcBuf::new(64, 0u8));
+    let after = pool_stats();
+    assert_eq!(before.hits, after.hits);
+    assert_eq!(before.recycled, after.recycled);
+    set_pool_enabled(true);
+}
+
+#[test]
+fn size_class_rounds_to_power_of_two() {
+    assert_eq!(size_class(1), 0);
+    assert_eq!(size_class(2), 1);
+    assert_eq!(size_class(3), 2);
+    assert_eq!(size_class(1024), 10);
+    assert_eq!(size_class(1025), 11);
+}
+
+#[test]
+fn alignment_suits_vector_lanes() {
+    for len in [1usize, 3, 4, 17] {
+        let b = RcBuf::new(len, 0f32);
+        assert_eq!(
+            b.as_slice().as_ptr() as usize % 16,
+            0,
+            "f32 data must be 16-byte aligned for 4-lane vectors"
+        );
+    }
+}
+
+#[test]
+fn drop_frees_exactly_once() {
+    // Indirectly observed via refcount on a tracked payload: use an index
+    // into a counter table since elements must be Copy.
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+    DROPS.store(0, Ordering::SeqCst);
+    let a = RcBuf::new(8, 1u32);
+    let clones: Vec<_> = (0..100).map(|_| a.clone()).collect();
+    assert_eq!(a.ref_count(), 101);
+    drop(clones);
+    assert_eq!(a.ref_count(), 1);
+}
+
+proptest! {
+    #[test]
+    fn prop_from_slice_roundtrip(v in proptest::collection::vec(any::<i32>(), 0..512)) {
+        let b = RcBuf::from_slice(&v);
+        prop_assert_eq!(b.as_slice(), v.as_slice());
+    }
+
+    #[test]
+    fn prop_cow_preserves_original(v in proptest::collection::vec(any::<f32>(), 1..128), idx in 0usize..127, val in any::<f32>()) {
+        let idx = idx % v.len();
+        let mut a = RcBuf::from_slice(&v);
+        let b = a.clone();
+        a.make_mut()[idx] = val;
+        prop_assert_eq!(b.as_slice(), v.as_slice());
+        let mut expect = v.clone();
+        expect[idx] = val;
+        prop_assert_eq!(a.as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn prop_clone_chain_refcounts(n in 1usize..64) {
+        let a = RcBuf::new(4, 0u8);
+        let clones: Vec<_> = (0..n).map(|_| a.clone()).collect();
+        prop_assert_eq!(a.ref_count() as usize, n + 1);
+        drop(clones);
+        prop_assert_eq!(a.ref_count(), 1);
+    }
+}

@@ -1,0 +1,203 @@
+//! MATLAB-style matrix indexing (§III-A3).
+//!
+//! The four indexing modes of the paper, usable in any combination on a
+//! matrix of arbitrary rank, on either side of an assignment:
+//!
+//! * standard single-element indexing — `data[6, 4, 1]`,
+//! * inclusive range indexing — `data[0:4, end-4:end, 0:4]`,
+//! * whole-dimension indexing — `data[0, end, :]`,
+//! * logical indexing — `data[v % 2 == 1, :, 0]`.
+//!
+//! A dimension indexed by a single subscript is *dropped* from the result
+//! (so `data[0, end, :]` is a vector); range / whole / logical dimensions
+//! are kept. `end` is resolved by the translator to `dimSize(m, d) - 1`
+//! before these runtime calls are made.
+
+use crate::element::Element;
+use crate::error::{MatrixError, Result};
+use crate::matrix::Matrix;
+use crate::shape::Shape;
+
+/// One subscript of an indexing expression.
+#[derive(Debug, Clone)]
+pub enum Ix {
+    /// Single index; this dimension is dropped from the result.
+    At(i64),
+    /// Inclusive range `a:b` (MATLAB convention: `data[0:4]` has 5
+    /// elements). An empty selection (`a > b`) is allowed.
+    Range(i64, i64),
+    /// Whole dimension (`:`).
+    All,
+    /// Logical indexing by a rank-1 boolean mask whose length equals the
+    /// dimension size; keeps the positions where the mask is true.
+    Mask(Matrix<bool>),
+}
+
+impl Ix {
+    /// Selected positions in a dimension of size `size`, plus whether the
+    /// dimension is kept in the result.
+    fn resolve(&self, dim: usize, size: usize) -> Result<(Vec<usize>, bool)> {
+        let check = |i: i64| -> Result<usize> {
+            if i < 0 || i as usize >= size {
+                Err(MatrixError::IndexOutOfBounds {
+                    dim,
+                    index: i,
+                    size,
+                })
+            } else {
+                Ok(i as usize)
+            }
+        };
+        match self {
+            Ix::At(i) => Ok((vec![check(*i)?], false)),
+            Ix::Range(a, b) => {
+                if a > b {
+                    return Ok((Vec::new(), true));
+                }
+                let (a, b) = (check(*a)?, check(*b)?);
+                Ok(((a..=b).collect(), true))
+            }
+            Ix::All => Ok(((0..size).collect(), true)),
+            Ix::Mask(mask) => {
+                if mask.rank() != 1 || mask.len() != size {
+                    return Err(MatrixError::MaskLength {
+                        dim,
+                        mask: mask.len(),
+                        size,
+                    });
+                }
+                Ok((
+                    mask.as_slice()
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, &b)| b.then_some(i))
+                        .collect(),
+                    true,
+                ))
+            }
+        }
+    }
+}
+
+/// Resolved selection: positions per source dimension and which dimensions
+/// survive into the result.
+struct Selection {
+    positions: Vec<Vec<usize>>,
+    kept: Vec<bool>,
+}
+
+impl Selection {
+    fn resolve<T: Element>(m: &Matrix<T>, spec: &[Ix]) -> Result<Selection> {
+        if spec.len() != m.rank() {
+            return Err(MatrixError::IndexArity {
+                rank: m.rank(),
+                supplied: spec.len(),
+            });
+        }
+        let mut positions = Vec::with_capacity(spec.len());
+        let mut kept = Vec::with_capacity(spec.len());
+        for (d, ix) in spec.iter().enumerate() {
+            let (pos, keep) = ix.resolve(d, m.dim_size(d))?;
+            positions.push(pos);
+            kept.push(keep);
+        }
+        Ok(Selection { positions, kept })
+    }
+
+    fn result_shape(&self) -> Shape {
+        Shape::new(
+            self.positions
+                .iter()
+                .zip(&self.kept)
+                .filter(|(_, &k)| k)
+                .map(|(p, _)| p.len())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Visit every selected source multi-index in row-major result order.
+    fn for_each(&self, mut f: impl FnMut(&[usize])) {
+        let rank = self.positions.len();
+        if self.positions.iter().any(|p| p.is_empty()) {
+            return;
+        }
+        let mut cursor = vec![0usize; rank];
+        let mut src = vec![0usize; rank];
+        loop {
+            for d in 0..rank {
+                src[d] = self.positions[d][cursor[d]];
+            }
+            f(&src);
+            // Row-major increment over the selection space.
+            let mut d = rank;
+            loop {
+                if d == 0 {
+                    return;
+                }
+                d -= 1;
+                cursor[d] += 1;
+                if cursor[d] < self.positions[d].len() {
+                    break;
+                }
+                cursor[d] = 0;
+            }
+        }
+    }
+}
+
+impl<T: Element> Matrix<T> {
+    /// Extract the sub-matrix selected by `spec` (right-hand-side indexing).
+    ///
+    /// ```
+    /// use cmm_runtime::{Ix, Matrix};
+    /// let m = Matrix::from_vec([2, 3], vec![1, 2, 3, 4, 5, 6]).unwrap();
+    /// // m[1, :] — a row vector.
+    /// let row = m.index_get(&[Ix::At(1), Ix::All]).unwrap();
+    /// assert_eq!(row.shape().dims(), &[3]);
+    /// assert_eq!(row.as_slice(), &[4, 5, 6]);
+    /// ```
+    pub fn index_get(&self, spec: &[Ix]) -> Result<Matrix<T>> {
+        let sel = Selection::resolve(self, spec)?;
+        let shape = sel.result_shape();
+        let mut out = Vec::with_capacity(shape.len());
+        sel.for_each(|src| out.push(self.get_unchecked(src)));
+        Matrix::from_vec(shape, out)
+    }
+
+    /// Assign `value` into the region selected by `spec` (left-hand-side
+    /// indexing). The value's elements must match the selection's element
+    /// count; its shape must match the kept-dimension shape exactly or be a
+    /// reshaping of it with equal length (the translator produces both).
+    pub fn index_set(&mut self, spec: &[Ix], value: &Matrix<T>) -> Result<()> {
+        let sel = Selection::resolve(self, spec)?;
+        let shape = sel.result_shape();
+        if shape.len() != value.len() {
+            return Err(MatrixError::AssignShape {
+                target: shape.dims().to_vec(),
+                value: value.shape().dims().to_vec(),
+            });
+        }
+        // Collect offsets first so the copy-on-write split happens once.
+        let own_shape = self.shape().clone();
+        let mut offsets = Vec::with_capacity(shape.len());
+        sel.for_each(|src| offsets.push(own_shape.offset_unchecked(src)));
+        let dst = self.as_mut_slice();
+        for (o, &v) in offsets.iter().zip(value.as_slice()) {
+            dst[*o] = v;
+        }
+        Ok(())
+    }
+
+    /// Assign one scalar to every selected position (`m[0:4, :] = 0`).
+    pub fn index_fill(&mut self, spec: &[Ix], value: T) -> Result<()> {
+        let sel = Selection::resolve(self, spec)?;
+        let own_shape = self.shape().clone();
+        let mut offsets = Vec::new();
+        sel.for_each(|src| offsets.push(own_shape.offset_unchecked(src)));
+        let dst = self.as_mut_slice();
+        for o in offsets {
+            dst[o] = value;
+        }
+        Ok(())
+    }
+}

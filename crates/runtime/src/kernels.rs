@@ -1,0 +1,256 @@
+//! Native mirror kernels of the loop nests the translator generates.
+//!
+//! The loop-IR interpreter (crate `cmm-loopir`) executes transformed
+//! programs faithfully but pays interpretation overhead, which would drown
+//! the cache and SIMD effects the §V transformations exist to exploit.
+//! These kernels are hand-written Rust renderings of the *exact* loop
+//! structures of Figs 3, 10 and 11 (and the tiled variant described in
+//! §V), compiled natively, so the ablation benchmarks (experiments E7,
+//! E11, E14) measure the structural effect of each transformation the way
+//! the paper's generated C would.
+//!
+//! All kernels compute the running example: the temporal mean of an
+//! `m × n × p` sea-surface-height cube (`means[i,j] = Σ_k mat[i,j,k] / p`),
+//! or a dense matrix product for the tiling sweep.
+
+use cmm_forkjoin::{chunk_range, ForkJoinPool};
+
+/// Fig 3 — the loop nest produced by the untransformed with-loops: two
+/// outer loops and an inner accumulation, writing `means` directly (the
+/// with-loop/assignment fusion already applied).
+pub fn temporal_mean_fig3(mat: &[f32], m: usize, n: usize, p: usize, means: &mut [f32]) {
+    assert_eq!(mat.len(), m * n * p);
+    assert_eq!(means.len(), m * n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut mean = 0.0f32;
+            let base = (i * n + j) * p;
+            for k in 0..p {
+                mean += mat[base + k];
+            }
+            means[i * n + j] = mean / p as f32;
+        }
+    }
+}
+
+/// The "library implementation" the paper contrasts against (§III-A4):
+/// the with-loop result is evaluated into a temporary which is then copied
+/// into `means`, and each fold first materializes the slice `mat[i,j,:]`
+/// as its own allocation. Both extra costs are what the extension's
+/// high-level optimizations remove.
+pub fn temporal_mean_library(mat: &[f32], m: usize, n: usize, p: usize, means: &mut [f32]) {
+    assert_eq!(mat.len(), m * n * p);
+    assert_eq!(means.len(), m * n);
+    let mut temp = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            // Materialized slice copy (the removed matrix indexing).
+            let base = (i * n + j) * p;
+            let slice: Vec<f32> = mat[base..base + p].to_vec();
+            let mut mean = 0.0f32;
+            for &v in &slice {
+                mean += v;
+            }
+            temp[i * n + j] = mean / p as f32;
+        }
+    }
+    // Extraneous copy from the temporary into the assignment target.
+    means.copy_from_slice(&temp);
+}
+
+/// Fig 10 — after `split j by 4, jin, jout`: the `j` loop becomes
+/// `jout`/`jin` with `j = jout * 4 + jin`. (As in the paper, `n` is
+/// assumed to be a multiple of 4.)
+pub fn temporal_mean_fig10(mat: &[f32], m: usize, n: usize, p: usize, means: &mut [f32]) {
+    assert_eq!(n % 4, 0, "Fig 10 assumes n is a multiple of 4");
+    for i in 0..m {
+        for jout in 0..n / 4 {
+            for jin in 0..4 {
+                let j = jout * 4 + jin;
+                let mut mean = 0.0f32;
+                let base = (i * n + j) * p;
+                for k in 0..p {
+                    mean += mat[base + k];
+                }
+                means[i * n + j] = mean / p as f32;
+            }
+        }
+    }
+}
+
+/// Fig 11 — after `vectorize jin` (+ the parallel outer loop handled by
+/// [`temporal_mean_fig11_parallel`]): the four `jin` lanes are processed
+/// as one 4-wide vector. Rust arrays of 4 floats compile to SSE on
+/// x86-64, mirroring the `_mm_*` code of Fig 11.
+pub fn temporal_mean_fig11(mat: &[f32], m: usize, n: usize, p: usize, means: &mut [f32]) {
+    assert_eq!(n % 4, 0, "Fig 11 assumes n is a multiple of 4");
+    for i in 0..m {
+        for jout in 0..n / 4 {
+            let j0 = jout * 4;
+            let mut acc = [0.0f32; 4];
+            let bases = [
+                (i * n + j0) * p,
+                (i * n + j0 + 1) * p,
+                (i * n + j0 + 2) * p,
+                (i * n + j0 + 3) * p,
+            ];
+            for k in 0..p {
+                // One 4-lane vector add per k, as the SSE body does.
+                for lane in 0..4 {
+                    acc[lane] += mat[bases[lane] + k];
+                }
+            }
+            let inv = 1.0 / p as f32;
+            for lane in 0..4 {
+                means[i * n + j0 + lane] = acc[lane] * inv;
+            }
+        }
+    }
+}
+
+/// Fig 11 with the `parallelize i` transformation: the outer loop is
+/// distributed over the fork-join pool (the generated C uses
+/// `#pragma omp parallel for`).
+pub fn temporal_mean_fig11_parallel(
+    pool: &ForkJoinPool,
+    mat: &[f32],
+    m: usize,
+    n: usize,
+    p: usize,
+    means: &mut [f32],
+) {
+    assert_eq!(n % 4, 0);
+    assert_eq!(means.len(), m * n);
+    let means_ptr = SendPtr(means.as_mut_ptr());
+    pool.run(|tid, nthreads| {
+        let rows = chunk_range(m, nthreads, tid);
+        for i in rows {
+            for jout in 0..n / 4 {
+                let j0 = jout * 4;
+                let mut acc = [0.0f32; 4];
+                for k in 0..p {
+                    for lane in 0..4 {
+                        acc[lane] += mat[(i * n + j0 + lane) * p + k];
+                    }
+                }
+                let inv = 1.0 / p as f32;
+                for lane in 0..4 {
+                    // Safety: rows are partitioned disjointly across tids.
+                    unsafe {
+                        *means_ptr.get().add(i * n + j0 + lane) = acc[lane] * inv;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Plain parallel temporal mean (no split/vectorize), the automatic
+/// parallelization of §III-C used by the scaling experiment E8.
+pub fn temporal_mean_parallel(
+    pool: &ForkJoinPool,
+    mat: &[f32],
+    m: usize,
+    n: usize,
+    p: usize,
+    means: &mut [f32],
+) {
+    assert_eq!(means.len(), m * n);
+    let means_ptr = SendPtr(means.as_mut_ptr());
+    pool.run(|tid, nthreads| {
+        for cell in chunk_range(m * n, nthreads, tid) {
+            let base = cell * p;
+            let mut mean = 0.0f32;
+            for k in 0..p {
+                mean += mat[base + k];
+            }
+            // Safety: cells are partitioned disjointly across tids.
+            unsafe { *means_ptr.get().add(cell) = mean / p as f32 };
+        }
+    });
+}
+
+/// Naive triple-loop matrix product (`C = A·B`, row-major), the untiled
+/// baseline of the §V tiling discussion.
+pub fn matmul_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+    c.fill(0.0);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[i * k + kk] * b[kk * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// Tiled matrix product: the §V "tile two nested loops = two splits plus a
+/// reorder" transformation applied with square tiles of size `t`.
+pub fn matmul_tiled(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, t: usize) {
+    assert!(t > 0);
+    c.fill(0.0);
+    for i0 in (0..m).step_by(t) {
+        for k0 in (0..k).step_by(t) {
+            for j0 in (0..n).step_by(t) {
+                let imax = (i0 + t).min(m);
+                let kmax = (k0 + t).min(k);
+                let jmax = (j0 + t).min(n);
+                for i in i0..imax {
+                    for kk in k0..kmax {
+                        let aik = a[i * k + kk];
+                        for j in j0..jmax {
+                            c[i * n + j] += aik * b[kk * n + j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Parallel tiled matrix product: rows distributed over the pool.
+pub fn matmul_parallel(
+    pool: &ForkJoinPool,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(c.len(), m * n);
+    c.fill(0.0);
+    let c_ptr = SendPtr(c.as_mut_ptr());
+    pool.run(|tid, nthreads| {
+        for i in chunk_range(m, nthreads, tid) {
+            for kk in 0..k {
+                let aik = a[i * k + kk];
+                for j in 0..n {
+                    // Safety: row i belongs to exactly one tid.
+                    unsafe {
+                        *c_ptr.get().add(i * n + j) += aik * b[kk * n + j];
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Raw pointer wrapper so disjoint-row writers can cross the closure
+/// boundary; safety rests on the row partitioning at each use site. The
+/// accessor (rather than a public field) keeps edition-2021 disjoint
+/// closure capture from capturing the bare pointer.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    #[inline]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}

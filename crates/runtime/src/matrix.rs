@@ -1,0 +1,212 @@
+//! The core matrix value type.
+
+use cmm_rc::RcBuf;
+
+use crate::element::Element;
+use crate::error::{MatrixError, Result};
+use crate::shape::Shape;
+
+/// An arbitrary-rank matrix over reference-counted storage.
+///
+/// Cloning a `Matrix` is O(1): it bumps the reference count of the shared
+/// buffer, exactly like the overloaded matrix assignment of the generated C
+/// code (§III-B). Mutation goes through copy-on-write, so value semantics
+/// are preserved without eager copies.
+///
+/// ```
+/// use cmm_runtime::Matrix;
+/// let m = Matrix::from_vec([2, 3], vec![1, 2, 3, 4, 5, 6]).unwrap();
+/// assert_eq!(m.get(&[1, 2]).unwrap(), 6);
+/// assert_eq!(m.dim_size(1), 3);
+/// ```
+#[derive(Clone)]
+pub struct Matrix<T: Element> {
+    shape: Shape,
+    data: RcBuf<T>,
+}
+
+impl<T: Element> Matrix<T> {
+    /// Matrix of default-valued elements (`init` in extended C).
+    pub fn init(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let data = RcBuf::new(shape.len(), T::default());
+        Matrix { shape, data }
+    }
+
+    /// Matrix filled with one value.
+    pub fn fill(shape: impl Into<Shape>, value: T) -> Self {
+        let shape = shape.into();
+        let data = RcBuf::new(shape.len(), value);
+        Matrix { shape, data }
+    }
+
+    /// Matrix from row-major element data; the length must match the shape.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<T>) -> Result<Self> {
+        let shape = shape.into();
+        if data.len() != shape.len() {
+            return Err(MatrixError::ShapeMismatch {
+                left: shape.dims().to_vec(),
+                right: vec![data.len()],
+                op: "from_vec",
+            });
+        }
+        Ok(Matrix {
+            data: RcBuf::from_slice(&data),
+            shape,
+        })
+    }
+
+    /// Matrix whose element at each multi-index is `f(index)`.
+    pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut(&[usize]) -> T) -> Self {
+        let shape = shape.into();
+        let rank = shape.rank();
+        let mut idx = vec![0usize; rank];
+        let shape2 = shape.clone();
+        let data = RcBuf::from_fn(shape.len(), |flat| {
+            shape2.unravel(flat, &mut idx);
+            f(&idx)
+        });
+        Matrix { shape, data }
+    }
+
+    /// Build from parts (crate-internal fast path).
+    pub(crate) fn from_parts(shape: Shape, data: RcBuf<T>) -> Self {
+        debug_assert_eq!(shape.len(), data.len());
+        Matrix { shape, data }
+    }
+
+    /// The shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Size of dimension `d` (`dimSize(m, d)` in extended C).
+    #[inline]
+    pub fn dim_size(&self, d: usize) -> usize {
+        self.shape.dim(d)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Whether the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Live references to the underlying buffer (exposed for the
+    /// reference-counting tests and the copy-elision experiments).
+    pub fn ref_count(&self) -> u32 {
+        self.data.ref_count()
+    }
+
+    /// Row-major element slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        self.data.as_slice()
+    }
+
+    /// Mutable row-major element slice (copy-on-write if shared).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        self.data.make_mut()
+    }
+
+    /// Element at a multi-index.
+    pub fn get(&self, idx: &[usize]) -> Result<T> {
+        Ok(self.as_slice()[self.shape.offset(idx)?])
+    }
+
+    /// Element at a multi-index without bounds checks.
+    ///
+    /// Callers must guarantee `idx` is in range for every dimension.
+    #[inline]
+    pub fn get_unchecked(&self, idx: &[usize]) -> T {
+        self.as_slice()[self.shape.offset_unchecked(idx)]
+    }
+
+    /// Store `value` at a multi-index (copy-on-write if shared).
+    pub fn set(&mut self, idx: &[usize], value: T) -> Result<()> {
+        let off = self.shape.offset(idx)?;
+        self.as_mut_slice()[off] = value;
+        Ok(())
+    }
+
+    /// Reinterpret with a new shape of equal element count (used by the
+    /// translator when a with-loop result feeds an assignment of different
+    /// declared shape).
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Self> {
+        let shape = shape.into();
+        if shape.len() != self.len() {
+            return Err(MatrixError::ShapeMismatch {
+                left: self.shape.dims().to_vec(),
+                right: shape.dims().to_vec(),
+                op: "reshape",
+            });
+        }
+        Ok(Matrix {
+            shape,
+            data: self.data.clone(),
+        })
+    }
+
+    /// Apply `f` to every element, producing a matrix of the same shape.
+    pub fn map<U: Element>(&self, mut f: impl FnMut(T) -> U) -> Matrix<U> {
+        let src = self.as_slice();
+        Matrix {
+            shape: self.shape.clone(),
+            data: RcBuf::from_fn(src.len(), |i| f(src[i])),
+        }
+    }
+
+    /// Combine two equal-shaped matrices element-wise.
+    pub fn zip_with<U: Element, V: Element>(
+        &self,
+        other: &Matrix<U>,
+        op: &'static str,
+        mut f: impl FnMut(T, U) -> V,
+    ) -> Result<Matrix<V>> {
+        if self.shape != other.shape {
+            return Err(MatrixError::ShapeMismatch {
+                left: self.shape.dims().to_vec(),
+                right: other.shape.dims().to_vec(),
+                op,
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        Ok(Matrix {
+            shape: self.shape.clone(),
+            data: RcBuf::from_fn(a.len(), |i| f(a[i], b[i])),
+        })
+    }
+}
+
+impl<T: Element> PartialEq for Matrix<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Element> std::fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Matrix{} ", self.shape)?;
+        let max = 32.min(self.len());
+        write!(f, "{:?}", &self.as_slice()[..max])?;
+        if self.len() > max {
+            write!(f, " … ({} elements)", self.len())?;
+        }
+        Ok(())
+    }
+}

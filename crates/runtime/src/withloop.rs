@@ -1,0 +1,400 @@
+//! The SAC-style `with`-loop execution engines (§III-A4, §III-C).
+//!
+//! A `with`-loop
+//!
+//! ```text
+//! with ( [l0, l1] <= [i, j] < [u0, u1] )
+//!   genarray([m, n], expr)          // or: fold(op, base, expr)
+//! ```
+//!
+//! iterates a rectangular generator region. `genarray` builds a fresh
+//! matrix of the operation's shape, setting generator positions to the body
+//! value and everything else to zero; the generator region must be
+//! contained in the shape (checked at runtime, exactly as the paper
+//! specifies). `fold` combines body values with an associative operator
+//! starting from a base value.
+//!
+//! Because generator indices are unique, genarray bodies can run fully in
+//! parallel with disjoint writes; folds compute per-thread partial results
+//! that the main thread combines after the stop barrier.
+
+use cmm_forkjoin::{chunk_range, ForkJoinPool};
+use cmm_rc::RcBuf;
+
+use crate::element::{Element, Numeric};
+use crate::error::{MatrixError, Result};
+use crate::matrix::Matrix;
+use crate::shape::Shape;
+
+/// Fold operators accepted by `fold(op, base, expr)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FoldOp {
+    /// Sum (`+`), the operator used throughout the paper's examples.
+    Add,
+    /// Product (`*`).
+    Mul,
+    /// Maximum.
+    Max,
+    /// Minimum.
+    Min,
+}
+
+impl FoldOp {
+    /// Apply the operator.
+    #[inline]
+    pub fn apply<T: Numeric>(self, a: T, b: T) -> T {
+        match self {
+            FoldOp::Add => a + b,
+            FoldOp::Mul => a * b,
+            FoldOp::Max => {
+                if b > a {
+                    b
+                } else {
+                    a
+                }
+            }
+            FoldOp::Min => {
+                if b < a {
+                    b
+                } else {
+                    a
+                }
+            }
+        }
+    }
+
+    /// Identity element (used as the per-thread partial seed so the base
+    /// value is folded in exactly once).
+    #[inline]
+    pub fn identity<T: Numeric>(self) -> Option<T> {
+        match self {
+            FoldOp::Add => Some(T::zero()),
+            FoldOp::Mul => Some(T::one()),
+            // Max/Min have no generic identity for these types; partials
+            // seed from the first body value instead.
+            FoldOp::Max | FoldOp::Min => None,
+        }
+    }
+}
+
+/// Validated generator region: `lower[d] <= idx[d] < upper[d]`.
+struct Generator {
+    lower: Vec<usize>,
+    extent: Vec<usize>,
+    total: usize,
+}
+
+fn validate_generator(lower: &[i64], upper: &[i64]) -> Result<Generator> {
+    if lower.len() != upper.len()
+        || lower.iter().any(|&l| l < 0)
+        || lower.iter().zip(upper).any(|(&l, &u)| u < l)
+    {
+        return Err(MatrixError::BadGenerator {
+            lower: lower.to_vec(),
+            upper: upper.to_vec(),
+        });
+    }
+    let lo: Vec<usize> = lower.iter().map(|&l| l as usize).collect();
+    let extent: Vec<usize> = lower
+        .iter()
+        .zip(upper)
+        .map(|(&l, &u)| (u - l) as usize)
+        .collect();
+    let total = extent.iter().product();
+    Ok(Generator {
+        lower: lo,
+        extent,
+        total,
+    })
+}
+
+impl Generator {
+    /// Multi-index of the `flat`-th generator point (row-major over the
+    /// generator extents, offset by the lower bounds).
+    #[inline]
+    fn unravel(&self, mut flat: usize, out: &mut [usize]) {
+        for d in (0..self.extent.len()).rev() {
+            let n = self.extent[d];
+            out[d] = self.lower[d] + flat % n;
+            flat /= n;
+        }
+    }
+}
+
+/// Parallel `genarray` with-loop.
+///
+/// `shape` is the result shape; the generator region (`lower`..`upper`,
+/// upper exclusive) must be a subset of it and must have the same rank.
+/// Elements outside the generator are zero (`T::default()`). `body` is
+/// evaluated once per generator index, concurrently.
+pub fn genarray<T, F>(
+    pool: &ForkJoinPool,
+    shape: impl Into<Shape>,
+    lower: &[i64],
+    upper: &[i64],
+    body: F,
+) -> Result<Matrix<T>>
+where
+    T: Element,
+    F: Fn(&[usize]) -> T + Sync,
+{
+    let shape = shape.into();
+    let generator = validate_generator(lower, upper)?;
+    if generator.extent.len() != shape.rank()
+        || upper
+            .iter()
+            .zip(shape.dims())
+            .any(|(&u, &n)| u > n as i64)
+    {
+        return Err(MatrixError::GeneratorOutsideShape {
+            upper: upper.to_vec(),
+            shape: shape.dims().to_vec(),
+        });
+    }
+
+    let mut data = RcBuf::new(shape.len(), T::default());
+    {
+        let writer = data.shared_writer();
+        let shape_ref = &shape;
+        let generator_ref = &generator;
+        pool.run(|tid, nthreads| {
+            let mut idx = vec![0usize; generator_ref.extent.len()];
+            for flat in chunk_range(generator_ref.total, nthreads, tid) {
+                generator_ref.unravel(flat, &mut idx);
+                let value = body(&idx);
+                // Safety: generator indices are unique, so every offset is
+                // written by exactly one thread.
+                unsafe { writer.write(shape_ref.offset_unchecked(&idx), value) };
+            }
+        });
+    }
+    Ok(Matrix::from_parts(shape, data))
+}
+
+/// Sequential `genarray` (reference semantics for tests and the 1-thread
+/// configuration).
+pub fn genarray_seq<T, F>(
+    shape: impl Into<Shape>,
+    lower: &[i64],
+    upper: &[i64],
+    mut body: F,
+) -> Result<Matrix<T>>
+where
+    T: Element,
+    F: FnMut(&[usize]) -> T,
+{
+    let shape = shape.into();
+    let generator = validate_generator(lower, upper)?;
+    if generator.extent.len() != shape.rank()
+        || upper
+            .iter()
+            .zip(shape.dims())
+            .any(|(&u, &n)| u > n as i64)
+    {
+        return Err(MatrixError::GeneratorOutsideShape {
+            upper: upper.to_vec(),
+            shape: shape.dims().to_vec(),
+        });
+    }
+    let mut m = Matrix::init(shape.clone());
+    let dst = m.as_mut_slice();
+    let mut idx = vec![0usize; generator.extent.len()];
+    for flat in 0..generator.total {
+        generator.unravel(flat, &mut idx);
+        dst[shape.offset_unchecked(&idx)] = body(&idx);
+    }
+    Ok(m)
+}
+
+/// Parallel `fold` with-loop: combine `body(idx)` over the generator region
+/// with `op`, starting from `base`.
+///
+/// Each pool participant folds its chunk into a partial; the partials are
+/// combined with the base value after the stop barrier. `op` must be
+/// associative (all four [`FoldOp`]s are); floating-point addition is
+/// treated as associative exactly as the paper's parallel C does.
+pub fn fold<T, F>(
+    pool: &ForkJoinPool,
+    lower: &[i64],
+    upper: &[i64],
+    op: FoldOp,
+    base: T,
+    body: F,
+) -> Result<T>
+where
+    T: Numeric,
+    F: Fn(&[usize]) -> T + Sync,
+{
+    let generator = validate_generator(lower, upper)?;
+    if generator.total == 0 {
+        return Ok(base);
+    }
+    let nthreads = pool.threads();
+    let partials: Vec<parking_lot_free::SyncOnceSlot<T>> =
+        (0..nthreads).map(|_| parking_lot_free::SyncOnceSlot::new()).collect();
+    let generator_ref = &generator;
+    let partials_ref = &partials;
+    pool.run(|tid, nt| {
+        let range = chunk_range(generator_ref.total, nt, tid);
+        if range.is_empty() {
+            return;
+        }
+        let mut idx = vec![0usize; generator_ref.extent.len()];
+        let mut acc: Option<T> = op.identity();
+        for flat in range {
+            generator_ref.unravel(flat, &mut idx);
+            let v = body(&idx);
+            acc = Some(match acc {
+                Some(a) => op.apply(a, v),
+                None => v,
+            });
+        }
+        if let Some(a) = acc {
+            partials_ref[tid].set(a);
+        }
+    });
+    let mut acc = base;
+    for slot in &partials {
+        if let Some(p) = slot.take() {
+            acc = op.apply(acc, p);
+        }
+    }
+    Ok(acc)
+}
+
+/// Parallel `modarray` with-loop: a copy of `src` with the generator
+/// region replaced by `body(idx)` (SAC's third with-loop operation; the
+/// §VIII future-work construct).
+pub fn modarray<T, F>(
+    pool: &ForkJoinPool,
+    src: &Matrix<T>,
+    lower: &[i64],
+    upper: &[i64],
+    body: F,
+) -> Result<Matrix<T>>
+where
+    T: Element,
+    F: Fn(&[usize]) -> T + Sync,
+{
+    let generator = validate_generator(lower, upper)?;
+    if generator.extent.len() != src.rank()
+        || upper
+            .iter()
+            .zip(src.shape().dims())
+            .any(|(&u, &n)| u > n as i64)
+    {
+        return Err(MatrixError::GeneratorOutsideShape {
+            upper: upper.to_vec(),
+            shape: src.shape().dims().to_vec(),
+        });
+    }
+    let shape = src.shape().clone();
+    let mut data = RcBuf::from_slice(src.as_slice());
+    {
+        let writer = data.shared_writer();
+        let shape_ref = &shape;
+        let generator_ref = &generator;
+        pool.run(|tid, nthreads| {
+            let mut idx = vec![0usize; generator_ref.extent.len()];
+            for flat in chunk_range(generator_ref.total, nthreads, tid) {
+                generator_ref.unravel(flat, &mut idx);
+                let value = body(&idx);
+                // Safety: generator indices are unique per thread chunk.
+                unsafe { writer.write(shape_ref.offset_unchecked(&idx), value) };
+            }
+        });
+    }
+    Ok(Matrix::from_parts(shape, data))
+}
+
+/// Sequential `modarray` (reference semantics).
+pub fn modarray_seq<T, F>(
+    src: &Matrix<T>,
+    lower: &[i64],
+    upper: &[i64],
+    mut body: F,
+) -> Result<Matrix<T>>
+where
+    T: Element,
+    F: FnMut(&[usize]) -> T,
+{
+    let generator = validate_generator(lower, upper)?;
+    if generator.extent.len() != src.rank()
+        || upper
+            .iter()
+            .zip(src.shape().dims())
+            .any(|(&u, &n)| u > n as i64)
+    {
+        return Err(MatrixError::GeneratorOutsideShape {
+            upper: upper.to_vec(),
+            shape: src.shape().dims().to_vec(),
+        });
+    }
+    let mut out = src.clone();
+    let shape = out.shape().clone();
+    let dst = out.as_mut_slice();
+    let mut idx = vec![0usize; generator.extent.len()];
+    for flat in 0..generator.total {
+        generator.unravel(flat, &mut idx);
+        dst[shape.offset_unchecked(&idx)] = body(&idx);
+    }
+    Ok(out)
+}
+
+/// Sequential `fold` (reference semantics).
+pub fn fold_seq<T, F>(lower: &[i64], upper: &[i64], op: FoldOp, base: T, mut body: F) -> Result<T>
+where
+    T: Numeric,
+    F: FnMut(&[usize]) -> T,
+{
+    let generator = validate_generator(lower, upper)?;
+    let mut idx = vec![0usize; generator.extent.len()];
+    let mut acc = base;
+    for flat in 0..generator.total {
+        generator.unravel(flat, &mut idx);
+        acc = op.apply(acc, body(&idx));
+    }
+    Ok(acc)
+}
+
+/// Minimal internal cell for collecting per-thread fold partials without a
+/// lock in the hot path.
+mod parking_lot_free {
+    use std::cell::UnsafeCell;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Write-once slot: each pool participant writes its own slot exactly
+    /// once per region; the main thread reads after the stop barrier.
+    pub struct SyncOnceSlot<T> {
+        set: AtomicBool,
+        value: UnsafeCell<Option<T>>,
+    }
+
+    // Safety: a slot is written by one thread and read only after the pool's
+    // stop barrier establishes happens-before.
+    unsafe impl<T: Send> Sync for SyncOnceSlot<T> {}
+
+    impl<T> SyncOnceSlot<T> {
+        pub fn new() -> Self {
+            SyncOnceSlot {
+                set: AtomicBool::new(false),
+                value: UnsafeCell::new(None),
+            }
+        }
+
+        pub fn set(&self, v: T) {
+            // Safety: unique writer per slot (tid-indexed).
+            unsafe { *self.value.get() = Some(v) };
+            self.set.store(true, Ordering::Release);
+        }
+
+        pub fn take(&self) -> Option<T> {
+            if self.set.load(Ordering::Acquire) {
+                // Safety: all writers finished (stop barrier + Acquire).
+                unsafe { (*self.value.get()).take() }
+            } else {
+                None
+            }
+        }
+    }
+}

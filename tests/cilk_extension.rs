@@ -1,0 +1,149 @@
+//! The §VIII future-work Cilk extension, end to end: spawn/sync parse,
+//! pass `isComposable` (answering the paper's question — a Cilk-style
+//! runtime *can* be delivered as a pluggable extension), execute
+//! concurrently on the pool, and round-trip through gcc via the serial
+//! elision.
+
+use cmm::core::{compile_and_run_c, gcc_available, Registry};
+use cmm::eddy::programs::full_compiler;
+
+const FIB_SPAWN: &str = r#"
+int fib(int n) {
+    if (n < 2) { return n; }
+    int a = 0;
+    int b = 0;
+    spawn a = fib(n - 1);
+    spawn b = fib(n - 2);
+    sync;
+    return a + b;
+}
+int main() {
+    for (int i = 0; i < 12; i++) { printInt(fib(i)); }
+    return 0;
+}
+"#;
+
+#[test]
+fn cilk_passes_iscomposable() {
+    let registry = Registry::standard();
+    let report = registry
+        .composability_reports()
+        .into_iter()
+        .find(|r| r.extension == "ext-cilk")
+        .expect("cilk registered");
+    assert!(report.passed, "{report}");
+    assert_eq!(
+        report.marking_terminals,
+        vec!["KW_SPAWN".to_string(), "KW_SYNC".to_string()]
+    );
+}
+
+#[test]
+fn spawned_fib_is_correct_at_all_thread_counts() {
+    let compiler = full_compiler();
+    let expect = "0\n1\n1\n2\n3\n5\n8\n13\n21\n34\n55\n89\n";
+    for threads in [1, 2, 4] {
+        let r = compiler.run(FIB_SPAWN, threads).expect("runs");
+        assert_eq!(r.output, expect, "threads = {threads}");
+    }
+}
+
+#[test]
+fn spawn_with_matrix_results() {
+    let compiler = full_compiler();
+    let src = r#"
+        Matrix float <1> scaled(Matrix float <1> v, float k) {
+            return v * k;
+        }
+        int main() {
+            int n = 6;
+            Matrix float <1> v = with ([0] <= [i] < [n]) genarray([n], toFloat(i + 1));
+            Matrix float <1> a = init(Matrix float <1>, n);
+            Matrix float <1> b = init(Matrix float <1>, n);
+            spawn a = scaled(v, 10.0);
+            spawn b = scaled(v, 100.0);
+            sync;
+            printFloat(a[5]);
+            printFloat(b[0]);
+            return 0;
+        }
+    "#;
+    let r = compiler.run(src, 2).expect("runs");
+    assert_eq!(r.output, "60.000000\n100.000000\n");
+    assert_eq!(r.leaked, 0, "spawned matrix results are reference counted");
+}
+
+#[test]
+fn implicit_sync_at_function_return() {
+    // Cilk semantics: a function syncs before returning even without an
+    // explicit `sync`.
+    let compiler = full_compiler();
+    let src = r#"
+        int sq(int x) { return x * x; }
+        int helper() {
+            int a = 0;
+            spawn a = sq(7);
+            return 0;
+        }
+        int main() {
+            printInt(helper());
+            return 0;
+        }
+    "#;
+    let r = compiler.run(src, 2).expect("runs");
+    assert_eq!(r.output, "0\n");
+}
+
+#[test]
+fn spawn_semantic_errors() {
+    let compiler = full_compiler();
+    // Spawning a non-call.
+    let err = compiler
+        .frontend("int main() { int a = 0; spawn a = 1 + 2; sync; return 0; }")
+        .expect_err("rejects non-call");
+    assert!(err.to_string().contains("function call"), "{err}");
+    // Spawning a builtin.
+    let err = compiler
+        .frontend("int main() { spawn printInt(3); sync; return 0; }")
+        .expect_err("rejects builtins");
+    assert!(err.to_string().contains("user functions"), "{err}");
+    // Non-void spawn without a target.
+    let err = compiler
+        .frontend(
+            "int f() { return 1; } int main() { spawn f(); sync; return 0; }",
+        )
+        .expect_err("rejects dropped results");
+    assert!(err.to_string().contains("target"), "{err}");
+}
+
+#[test]
+fn cilk_disabled_means_spawn_is_just_an_identifier() {
+    let registry = Registry::standard();
+    let without = registry
+        .compiler(&["ext-matrix", "ext-tuples", "ext-rcptr", "ext-transform"])
+        .expect("compose");
+    // `spawn` parses as a plain identifier when the extension is off.
+    let r = without
+        .run(
+            "int main() { int spawn = 5; printInt(spawn); return 0; }",
+            1,
+        )
+        .expect("spawn usable as identifier");
+    assert_eq!(r.output, "5\n");
+    // ... and spawn statements do not parse.
+    assert!(without.frontend(FIB_SPAWN).is_err());
+}
+
+#[test]
+fn gcc_serial_elision_roundtrip() {
+    if !gcc_available() {
+        eprintln!("gcc not available; skipping");
+        return;
+    }
+    let compiler = full_compiler();
+    let interp = compiler.run(FIB_SPAWN, 2).expect("interp").output;
+    let c = compiler.compile_to_c(FIB_SPAWN).expect("emit");
+    assert!(c.contains("serial elision"), "spawns elide to plain calls");
+    let gcc = compile_and_run_c(&c, 2).expect("gcc");
+    assert_eq!(interp, gcc);
+}

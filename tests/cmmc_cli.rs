@@ -1,0 +1,82 @@
+//! Smoke tests for the `cmmc` command-line translator.
+
+use std::process::Command;
+
+fn cmmc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cmmc"))
+}
+
+fn write_program(name: &str, src: &str) -> String {
+    let path = std::env::temp_dir().join(format!("cmmc-{}-{name}", std::process::id()));
+    std::fs::write(&path, src).expect("write program");
+    path.display().to_string()
+}
+
+const PROGRAM: &str = r#"
+int main() {
+    int n = 8;
+    Matrix int <1> v = with ([0] <= [i] < [n]) genarray([n], i * i);
+    printInt(with ([0] <= [i] < [n]) fold(+, 0, v[i]));
+    return 0;
+}
+"#;
+
+#[test]
+fn run_executes_and_prints() {
+    let path = write_program("run.xc", PROGRAM);
+    let out = cmmc()
+        .args(["run", &path, "--threads", "2"])
+        .output()
+        .expect("spawn cmmc");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "140\n");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn check_reports_ok_and_errors() {
+    let good = write_program("good.xc", PROGRAM);
+    let out = cmmc().args(["check", &good]).output().expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ok (1 function)"));
+    std::fs::remove_file(good).ok();
+
+    let bad = write_program("bad.xc", "int main() { printInt(zzz); return 0; }");
+    let out = cmmc().args(["check", &bad]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("undefined variable"));
+    std::fs::remove_file(bad).ok();
+}
+
+#[test]
+fn emit_produces_c() {
+    let path = write_program("emit.xc", PROGRAM);
+    let out = cmmc().args(["emit", &path]).output().expect("spawn");
+    assert!(out.status.success());
+    let c = String::from_utf8_lossy(&out.stdout);
+    assert!(c.contains("int main(void)"));
+    assert!(c.contains("cmm_mat"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn analyses_prints_verdicts() {
+    let out = cmmc().arg("analyses").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ext-matrix") && text.contains("COMPOSABLE"));
+    assert!(text.contains("ext-tuples") && text.contains("NOT COMPOSABLE"));
+    assert!(text.contains("WELL-DEFINED"));
+}
+
+#[test]
+fn restricted_extension_set() {
+    let path = write_program("noext.xc", PROGRAM);
+    let out = cmmc()
+        .args(["run", &path, "--ext", "ext-rcptr"])
+        .output()
+        .expect("spawn");
+    // Matrix syntax must not parse without the matrix extension.
+    assert!(!out.status.success());
+    std::fs::remove_file(path).ok();
+}

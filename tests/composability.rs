@@ -1,0 +1,127 @@
+//! Experiments E12/E13 — the §VI modular analyses at the facade level:
+//! the paper's verdicts (matrix passes, tuples fails on `(`), the
+//! composition theorem, and the packaged-extension behaviour of the
+//! registry.
+
+use cmm::core::Registry;
+
+#[test]
+fn e12_paper_verdicts_reproduced() {
+    let registry = Registry::standard();
+    let reports = registry.composability_reports();
+    let get = |n: &str| reports.iter().find(|r| r.extension == n).expect("report");
+
+    // "The domain-specific matrix extension does pass this test."
+    let matrix = get("ext-matrix");
+    assert!(matrix.passed);
+    assert!(matrix.is_lalr_with_host);
+    for marking in ["KW_WITH", "KW_MATRIX", "KW_MATRIXMAP", "KW_INIT"] {
+        assert!(
+            matrix.marking_terminals.iter().any(|t| t == marking),
+            "expected marking terminal {marking}"
+        );
+    }
+
+    // "The tuples extension does not, however, since the initial symbol
+    // for tuple expressions is a left-paren."
+    let tuples = get("ext-tuples");
+    assert!(!tuples.passed);
+    assert!(tuples
+        .violations
+        .iter()
+        .any(|v| v.contains("LP") && v.contains("host terminal")));
+
+    // The rc-pointer extension passes (rc / rcAlloc marking terminals).
+    assert!(get("ext-rcptr").passed);
+}
+
+#[test]
+fn e13_all_extensions_well_defined() {
+    let registry = Registry::standard();
+    for report in registry.well_definedness_reports() {
+        assert!(report.passed, "{report}");
+    }
+}
+
+#[test]
+fn composition_theorem_holds_for_passing_extensions() {
+    // pass(E1) ∧ pass(E2) ⇒ isLALR(H ∪ E1 ∪ E2), without any
+    // whole-composition involvement from the user.
+    let registry = Registry::standard();
+    let matrix = &registry.extensions[0];
+    let rcptr = &registry.extensions[1];
+    assert!(cmm::grammar::is_composable(&registry.host, &matrix.grammar).passed);
+    assert!(cmm::grammar::is_composable(&registry.host, &rcptr.grammar).passed);
+    assert!(cmm::grammar::is_lalr(&registry.host, &[&matrix.grammar, &rcptr.grammar])
+        .expect("composes"));
+}
+
+#[test]
+fn packaged_extensions_require_their_host() {
+    let registry = Registry::standard();
+    // Tuples packaged with host: enabled only when requested, and the
+    // composition works because it is packaged, not analysis-verified.
+    let with_tuples = registry
+        .compiler(&["ext-tuples"])
+        .expect("tuples package with the host");
+    assert!(with_tuples
+        .frontend("(int, int) p() { return (1, 2); } int main() { return 0; }")
+        .is_ok());
+
+    // Without tuples, the same program fails to parse.
+    let without = registry.compiler(&[]).expect("host only");
+    assert!(without
+        .frontend("(int, int) p() { return (1, 2); } int main() { return 0; }")
+        .is_err());
+}
+
+#[test]
+fn every_composition_subset_is_lalr() {
+    // Brute-force the power set of the four extensions: every composed
+    // grammar must construct a working parser (the practical meaning of
+    // the guarantee).
+    let registry = Registry::standard();
+    let names = ["ext-matrix", "ext-tuples", "ext-rcptr", "ext-transform"];
+    for mask in 0u32..16 {
+        let enabled: Vec<&str> = names
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, n)| *n)
+            .collect();
+        let compiler = registry
+            .compiler(&enabled)
+            .unwrap_or_else(|e| panic!("composition {enabled:?} failed: {e}"));
+        assert!(
+            compiler.frontend("int main() { return 0; }").is_ok(),
+            "composition {enabled:?} cannot parse plain C"
+        );
+    }
+}
+
+#[test]
+fn independent_extensions_do_not_interfere_semantically() {
+    // A program using both composable extensions at once.
+    let registry = Registry::standard();
+    let compiler = registry
+        .compiler(&["ext-matrix", "ext-rcptr"])
+        .expect("compose");
+    let r = compiler
+        .run(
+            r#"
+            int main() {
+                int n = 6;
+                Matrix int <1> v = with ([0] <= [i] < [n]) genarray([n], i + 1);
+                rc<int> copy = rcAlloc(int, n);
+                for (int i = 0; i < n; i++) { rcSet(copy, i, v[i] * 10); }
+                printInt(rcGet(copy, 5));
+                printInt(with ([0] <= [i] < [n]) fold(*, 1, v[i]));
+                return 0;
+            }
+            "#,
+            2,
+        )
+        .expect("runs");
+    assert_eq!(r.output, "60\n720\n");
+    assert_eq!(r.leaked, 0);
+}

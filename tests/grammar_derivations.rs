@@ -1,0 +1,141 @@
+//! Differential test of the whole parsing substrate: sample random
+//! sentences *from the composed grammar itself* (expanding productions
+//! with a depth budget and sampling terminal texts from their regular
+//! expressions), then assert the context-aware scanner + LALR(1) parser
+//! accepts every one of them. Any disagreement is a bug in the table
+//! generator, the scanner, or the composition.
+
+use cmm::grammar::{ComposedGrammar, GSym, Parser};
+use cmm::lang::host_grammar;
+
+struct Sampler<'g> {
+    grammar: &'g ComposedGrammar,
+    /// Keyword texts (to keep identifier samples from colliding).
+    keywords: Vec<String>,
+    seed: u64,
+}
+
+impl Sampler<'_> {
+    fn next(&mut self) -> u64 {
+        self.seed = self
+            .seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.seed >> 33
+    }
+
+    /// Sample a text for terminal `t` that scans back to `t`: keyword
+    /// terminals yield their literal; for others, retry until the sample
+    /// collides with no keyword.
+    fn terminal_text(&mut self, t: u16) -> Option<String> {
+        let pattern = &self.grammar.patterns[t as usize];
+        for _ in 0..8 {
+            let mut seed = self.next();
+            let text = cmm::grammar::regex::sample(pattern, &mut seed);
+            if text.is_empty() {
+                continue;
+            }
+            if !self.keywords.contains(&text) || self.grammar.terminals[t as usize].precedence > 0
+            {
+                return Some(text);
+            }
+        }
+        None
+    }
+
+    /// Expand nonterminal `nt` with a depth budget, appending tokens.
+    fn expand(&mut self, nt: u16, budget: &mut i32, out: &mut Vec<String>) -> bool {
+        *budget -= 1;
+        if *budget < 0 {
+            return false;
+        }
+        // Candidate productions for this nonterminal; under low budget
+        // prefer shorter right-hand sides to force termination.
+        let mut prods: Vec<usize> = self
+            .grammar
+            .prods
+            .iter()
+            .enumerate()
+            .filter(|(_, (lhs, _))| *lhs == nt)
+            .map(|(i, _)| i)
+            .collect();
+        if prods.is_empty() {
+            return false;
+        }
+        if *budget < 24 {
+            prods.sort_by_key(|&p| self.grammar.prods[p].1.len());
+            prods.truncate(2.max(prods.len() / 4));
+        }
+        let pick = prods[(self.next() as usize) % prods.len()];
+        let rhs = self.grammar.prods[pick].1.clone();
+        for sym in rhs {
+            match sym {
+                GSym::T(t) => match self.terminal_text(t) {
+                    Some(text) => out.push(text),
+                    None => return false,
+                },
+                GSym::N(n) => {
+                    if !self.expand(n, budget, out) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[test]
+fn sampled_derivations_parse() {
+    let host = host_grammar();
+    let mx = cmm::ext_matrix::grammar();
+    let tup = cmm::ext_tuples::grammar();
+    let rc = cmm::ext_rcptr::grammar();
+    let tr = cmm::ext_transform::grammar();
+    let ck = cmm::ext_cilk::grammar();
+    let composed = ComposedGrammar::compose(&host, &[&mx, &tup, &rc, &tr, &ck]).expect("compose");
+    let keywords: Vec<String> = composed
+        .terminals
+        .iter()
+        .filter(|t| t.precedence > 0)
+        .map(|t| {
+            // Unescape the keyword pattern back to its literal text.
+            t.pattern.replace('\\', "")
+        })
+        .collect();
+    let start = composed.start;
+    let parser = {
+        let composed2 =
+            ComposedGrammar::compose(&host, &[&mx, &tup, &rc, &tr, &ck]).expect("compose");
+        Parser::new(composed2).expect("LALR")
+    };
+
+    let mut accepted = 0usize;
+    let mut attempted = 0usize;
+    for trial in 0..400u64 {
+        let mut sampler = Sampler {
+            grammar: &composed,
+            keywords: keywords.clone(),
+            seed: trial.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1),
+        };
+        let mut out = Vec::new();
+        let mut budget = 160i32;
+        if !sampler.expand(start, &mut budget, &mut out) {
+            continue; // budget exhausted: try another seed
+        }
+        attempted += 1;
+        let text = out.join(" ");
+        match parser.parse(&text) {
+            Ok(_) => accepted += 1,
+            Err(e) => panic!(
+                "grammar-derived sentence rejected by the parser:\n  {text}\n  error: {e}"
+            ),
+        }
+    }
+    assert!(
+        attempted >= 50,
+        "sampler produced too few complete derivations ({attempted})"
+    );
+    assert_eq!(accepted, attempted);
+    println!("{accepted}/{attempted} sampled derivations parsed");
+}
