@@ -108,22 +108,22 @@ fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
         Stmt::Return { value, .. } => {
             match value {
                 Some(e) => {
-                    let _ = write!(out, "return {};\n", print_expr(e));
+                    let _ = writeln!(out, "return {};", print_expr(e));
                 }
                 None => out.push_str("return;\n"),
             };
         }
         Stmt::ExprStmt { expr, .. } => {
-            let _ = write!(out, "{};\n", print_expr(expr));
+            let _ = writeln!(out, "{};", print_expr(expr));
         }
         Stmt::Nested(b) => print_block(b, level, out),
         Stmt::Spawn { target, call, .. } => {
             match target {
                 Some(t) => {
-                    let _ = write!(out, "spawn {t} = {};\n", print_expr(call));
+                    let _ = writeln!(out, "spawn {t} = {};", print_expr(call));
                 }
                 None => {
-                    let _ = write!(out, "spawn {};\n", print_expr(call));
+                    let _ = writeln!(out, "spawn {};", print_expr(call));
                 }
             };
         }

@@ -28,7 +28,7 @@ use cmm_ast::Diag;
 use cmm_grammar::{is_composable, ComposabilityReport, ComposedGrammar, GrammarFragment, Parser};
 use cmm_lang::typecheck::ExtSet;
 use cmm_lang::{build_program, check_program, host_ag, host_grammar, lower_program, LowerOptions};
-use cmm_loopir::{emit, Interp, IrProgram};
+use cmm_loopir::{emit, Interp, IrProgram, LimitKind, Limits};
 
 pub use cmm_lang::typecheck::ExtSet as EnabledExtensions;
 
@@ -214,6 +214,13 @@ pub enum CompileError {
     Lower(Diag),
     /// The interpreted program failed at runtime.
     Runtime(String),
+    /// The program exceeded a configured resource budget ([`Limits`]).
+    Limit {
+        /// Which budget was exceeded.
+        kind: LimitKind,
+        /// Human-readable diagnostic.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for CompileError {
@@ -238,6 +245,7 @@ impl std::fmt::Display for CompileError {
                 Ok(())
             }
             CompileError::Lower(d) => write!(f, "{d}"),
+            CompileError::Limit { message, .. } => write!(f, "{message}"),
         }
     }
 }
@@ -305,11 +313,28 @@ impl Compiler {
     /// Compile and execute on the interpreter with `threads` pool
     /// threads (the command-line thread-count argument of §III-C).
     pub fn run(&self, src: &str, threads: usize) -> Result<RunResult, CompileError> {
+        self.run_with_limits(src, threads, Limits::default())
+    }
+
+    /// [`Compiler::run`] under resource budgets: the interpreter meters
+    /// every statement, loop iteration, and matrix allocation against
+    /// `limits`, and an exceeded budget maps to [`CompileError::Limit`]
+    /// so callers (the `cmmc` CLI) can report it distinctly.
+    pub fn run_with_limits(
+        &self,
+        src: &str,
+        threads: usize,
+        limits: Limits,
+    ) -> Result<RunResult, CompileError> {
         let ir = self.compile(src)?;
-        let interp = Interp::new(&ir, threads);
-        interp
-            .run_main()
-            .map_err(|e| CompileError::Runtime(format!("{e}\noutput so far:\n{}", interp.output())))?;
+        let interp = Interp::new(&ir, threads).with_limits(limits);
+        interp.run_main().map_err(|e| match e.limit_kind() {
+            Some(kind) => CompileError::Limit {
+                kind,
+                message: e.to_string(),
+            },
+            None => CompileError::Runtime(e.to_string()),
+        })?;
         Ok(RunResult {
             output: interp.output(),
             allocations: interp.alloc_count(),

@@ -73,11 +73,11 @@ pub fn synthetic_ssh(p: &SshParams) -> Matrix<f32> {
                 lon0: rng.gen_range(0.0..p.lon as f32),
                 // Westward drift, like real mesoscale eddies.
                 dlat: rng.gen_range(-0.05..0.05),
-                dlon: -rng.gen_range(0.05..0.25),
+                dlon: -rng.gen_range(0.05f32..0.25),
                 t_start,
                 t_end: (t_start + lifetime).min(p.time),
-                depth: p.depth * rng.gen_range(0.6..1.4),
-                radius: p.radius * rng.gen_range(0.7..1.3),
+                depth: p.depth * rng.gen_range(0.6f32..1.4),
+                radius: p.radius * rng.gen_range(0.7f32..1.3),
             }
         })
         .collect();

@@ -16,12 +16,35 @@
 //! benchmarks one against the other; everything else in the workspace
 //! (with-loop engine, `matrixMap`, the loop-IR interpreter's `parallelize`)
 //! runs on [`ForkJoinPool`].
+//!
+//! ## Fault tolerance
+//!
+//! The pool is built to *degrade* rather than die:
+//!
+//! * a failed `thread::Builder::spawn` shrinks the pool instead of
+//!   panicking (the program runs with less parallelism and a warning);
+//! * a panicking worker body is caught, counted, and re-raised on the main
+//!   thread after the region completes — the pool itself stays usable for
+//!   subsequent regions;
+//! * the stop-barrier wait carries a **watchdog**: if workers fail to
+//!   reach the barrier within a configurable deadline, the pool reports a
+//!   diagnosable [`RegionStall`] (region id, epoch, stalled worker tids)
+//!   instead of spinning forever in silence. The default action logs the
+//!   stall once and keeps waiting with a sleeping backoff (the only sound
+//!   options while a worker may still hold the region closure are to wait
+//!   or abort; [`StallAction::Abort`] selects the latter).
+//!
+//! [`ForkJoinPool::health`] exposes all of this as a [`PoolHealth`]
+//! snapshot, and the [`faultinject`] module provokes each failure mode
+//! deterministically for the stress tests.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
+pub mod faultinject;
 mod partition;
 pub use partition::{chunk_range, chunks_of};
 
@@ -42,8 +65,16 @@ struct Shared {
     shutdown: AtomicBool,
     /// Set when any participant panicked during the current region.
     panicked: AtomicBool,
-    /// Total threads participating in a region (workers + main).
-    threads: usize,
+    /// Cumulative count of worker panics caught and recovered.
+    panics_recovered: AtomicU64,
+    /// Total threads participating in a region (workers + main). Atomic
+    /// because a failed spawn shrinks the pool after workers may already
+    /// be parked.
+    threads: AtomicUsize,
+    /// Per-worker progress: epoch of the last region worker `tid` passed
+    /// through the stop barrier for (index `tid - 1`). Read by the
+    /// watchdog to name the stalled workers.
+    done_epoch: Vec<AtomicU64>,
 }
 
 // Safety: `task` is only written by the main thread while all workers are
@@ -53,6 +84,64 @@ struct Shared {
 // under that protocol is sound.
 unsafe impl Sync for Shared {}
 unsafe impl Send for Shared {}
+
+/// What the stop-barrier watchdog does once a stall is detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallAction {
+    /// Log a one-line diagnostic, record the stall in [`PoolHealth`], and
+    /// keep waiting with a sleeping backoff (default).
+    Warn,
+    /// Log the diagnostic and abort the process. The barrier cannot be
+    /// abandoned safely — a stalled worker may still dereference the
+    /// region closure — so "give up" can only mean process exit.
+    Abort,
+}
+
+/// Diagnosable description of a stop-barrier stall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionStall {
+    /// Ordinal of the stalled region (1-based, counting every `run`).
+    pub region: u64,
+    /// Pool epoch of the stalled region.
+    pub epoch: u64,
+    /// Worker tids that had not reached the stop barrier at detection
+    /// time.
+    pub stalled_tids: Vec<usize>,
+    /// How long the barrier had been waiting when the stall was detected.
+    pub waited: Duration,
+}
+
+impl std::fmt::Display for RegionStall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "region {} (epoch {}) stalled after {:?}: workers {:?} have not reached the stop barrier",
+            self.region, self.epoch, self.waited, self.stalled_tids
+        )
+    }
+}
+
+/// Health snapshot of a [`ForkJoinPool`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolHealth {
+    /// Actual degree of parallelism (workers + main thread).
+    pub threads: usize,
+    /// Degree of parallelism originally requested.
+    pub requested_threads: usize,
+    /// Worker spawns that failed during construction (pool shrank).
+    pub spawn_failures: usize,
+    /// Parallel regions executed so far.
+    pub regions_run: u64,
+    /// Regions that ran sequentially because they were issued from inside
+    /// another region.
+    pub nested_sequential: u64,
+    /// Worker panics caught by the pool and re-raised on the main thread.
+    pub panics_recovered: u64,
+    /// Stop-barrier stalls detected by the watchdog.
+    pub stalls_detected: u64,
+    /// Most recent stall, if any.
+    pub last_stall: Option<RegionStall>,
+}
 
 /// Persistent worker pool implementing the enhanced fork-join model.
 ///
@@ -79,42 +168,84 @@ pub struct ForkJoinPool {
     busy: AtomicBool,
     regions: AtomicU64,
     nested_sequential: AtomicU64,
+    requested_threads: usize,
+    spawn_failures: usize,
+    /// Stop-barrier watchdog deadline in milliseconds (0 = disabled).
+    stall_timeout_ms: AtomicU64,
+    stall_action: AtomicU8,
+    stalls: AtomicU64,
+    last_stall: Mutex<Option<RegionStall>>,
 }
+
+/// Default stop-barrier watchdog deadline.
+pub const DEFAULT_STALL_TIMEOUT: Duration = Duration::from_secs(30);
 
 impl ForkJoinPool {
     /// Spawn a pool with `threads` total participants (minimum 1; 1 means
     /// fully sequential with zero synchronization).
+    ///
+    /// Worker-spawn failures do not panic: the pool shrinks to the workers
+    /// that did spawn, emits a one-line warning, and records the failure
+    /// in [`PoolHealth::spawn_failures`].
     pub fn new(threads: usize) -> Self {
-        let threads = threads.max(1);
+        let requested = threads.max(1);
         let shared = Arc::new(Shared {
             epoch: AtomicU64::new(0),
             remaining: AtomicUsize::new(0),
             task: UnsafeCell::new(None),
             shutdown: AtomicBool::new(false),
             panicked: AtomicBool::new(false),
-            threads,
+            panics_recovered: AtomicU64::new(0),
+            threads: AtomicUsize::new(requested),
+            done_epoch: (1..requested).map(|_| AtomicU64::new(0)).collect(),
         });
-        let handles = (1..threads)
-            .map(|tid| {
+        let mut handles = Vec::with_capacity(requested - 1);
+        let mut spawn_failures = 0usize;
+        for tid in 1..requested {
+            let spawned = if faultinject::should_fail_spawn(tid) {
+                Err(std::io::Error::other("fault injection: spawn refused"))
+            } else {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("cmm-worker-{tid}"))
                     .spawn(move || worker_loop(&shared, tid))
-                    .expect("failed to spawn pool worker")
-            })
-            .collect();
+            };
+            match spawned {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    // Worker tids must stay dense (partitioning assumes
+                    // 0..n), so a failed spawn caps the pool at the
+                    // workers already running.
+                    spawn_failures = requested - 1 - handles.len();
+                    eprintln!(
+                        "cmm-forkjoin: warning: failed to spawn worker {tid} of {}: {e}; \
+                         continuing with {} thread(s)",
+                        requested - 1,
+                        handles.len() + 1
+                    );
+                    break;
+                }
+            }
+        }
+        shared.threads.store(handles.len() + 1, Ordering::SeqCst);
         Self {
             shared,
             handles,
             busy: AtomicBool::new(false),
             regions: AtomicU64::new(0),
             nested_sequential: AtomicU64::new(0),
+            requested_threads: requested,
+            spawn_failures,
+            stall_timeout_ms: AtomicU64::new(DEFAULT_STALL_TIMEOUT.as_millis() as u64),
+            stall_action: AtomicU8::new(StallAction::Warn as u8),
+            stalls: AtomicU64::new(0),
+            last_stall: Mutex::new(None),
         }
     }
 
     /// Total degree of parallelism (workers + main thread).
     pub fn threads(&self) -> usize {
-        self.shared.threads
+        self.shared.threads.load(Ordering::Relaxed)
     }
 
     /// Number of parallel regions executed so far.
@@ -129,6 +260,33 @@ impl ForkJoinPool {
         self.nested_sequential.load(Ordering::Relaxed)
     }
 
+    /// Configure the stop-barrier watchdog deadline. `None` disables the
+    /// watchdog; the default is [`DEFAULT_STALL_TIMEOUT`].
+    pub fn set_stall_timeout(&self, timeout: Option<Duration>) {
+        let ms = timeout.map_or(0, |d| d.as_millis().max(1) as u64);
+        self.stall_timeout_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// Configure what the watchdog does on a detected stall.
+    pub fn set_stall_action(&self, action: StallAction) {
+        self.stall_action.store(action as u8, Ordering::Relaxed);
+    }
+
+    /// Health snapshot: thread counts, region/panic/stall counters, and
+    /// the most recent stall diagnostic.
+    pub fn health(&self) -> PoolHealth {
+        PoolHealth {
+            threads: self.threads(),
+            requested_threads: self.requested_threads,
+            spawn_failures: self.spawn_failures,
+            regions_run: self.regions_run(),
+            nested_sequential: self.nested_sequential_runs(),
+            panics_recovered: self.shared.panics_recovered.load(Ordering::Relaxed),
+            stalls_detected: self.stalls.load(Ordering::Relaxed),
+            last_stall: lock_ignore_poison(&self.last_stall).clone(),
+        }
+    }
+
     /// Execute one parallel region. `f(tid, nthreads)` runs once for every
     /// `tid in 0..nthreads`, concurrently; the call returns when all
     /// participants have passed the stop barrier.
@@ -136,12 +294,16 @@ impl ForkJoinPool {
     /// Nested calls (from inside a region) execute all participants
     /// sequentially on the calling thread, which preserves the semantics of
     /// disjoint work partitions.
+    ///
+    /// # Panics
+    /// Re-raises on the main thread when any worker's portion panicked
+    /// (after the region completes, so the pool stays healthy).
     pub fn run<F>(&self, f: F)
     where
         F: Fn(usize, usize) + Sync,
     {
         self.regions.fetch_add(1, Ordering::Relaxed);
-        let n = self.shared.threads;
+        let n = self.threads();
         if n == 1 {
             f(0, 1);
             return;
@@ -196,8 +358,13 @@ impl Drop for ForkJoinPool {
     }
 }
 
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Waits in the stop barrier and releases region state even when the main
-/// thread's portion of the work panics.
+/// thread's portion of the work panics. Runs the stall watchdog while
+/// waiting.
 struct RegionGuard<'a> {
     pool: &'a ForkJoinPool,
     main_panicked: bool,
@@ -205,9 +372,29 @@ struct RegionGuard<'a> {
 
 impl Drop for RegionGuard<'_> {
     fn drop(&mut self) {
-        let shared = &self.pool.shared;
+        let pool = self.pool;
+        let shared = &pool.shared;
+        let timeout_ms = pool.stall_timeout_ms.load(Ordering::Relaxed);
         let mut spins = 0u32;
+        let mut started: Option<Instant> = None;
+        let mut stalled = false;
         while shared.remaining.load(Ordering::Acquire) != 0 {
+            if stalled {
+                // Already diagnosed: wait politely instead of burning CPU.
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            if timeout_ms != 0 && spins >= 512 {
+                // Check the clock only on the slow (yielding) path; the
+                // hot path where workers finish promptly never takes a
+                // timestamp.
+                let t0 = *started.get_or_insert_with(Instant::now);
+                if t0.elapsed() >= Duration::from_millis(timeout_ms) {
+                    stalled = true;
+                    report_stall(pool, t0.elapsed());
+                    continue;
+                }
+            }
             backoff(&mut spins);
         }
         unsafe { *shared.task.get() = None };
@@ -216,7 +403,36 @@ impl Drop for RegionGuard<'_> {
             // worker flag so the next region starts clean.
             shared.panicked.store(false, Ordering::Release);
         }
-        self.pool.busy.store(false, Ordering::Release);
+        pool.busy.store(false, Ordering::Release);
+    }
+}
+
+/// Record and log a stop-barrier stall; abort if configured to.
+fn report_stall(pool: &ForkJoinPool, waited: Duration) {
+    let shared = &pool.shared;
+    let epoch = shared.epoch.load(Ordering::Acquire);
+    // Only live workers are candidates: a shrunk pool's trailing
+    // `done_epoch` slots belong to workers that never spawned.
+    let stalled_tids: Vec<usize> = shared
+        .done_epoch
+        .iter()
+        .take(pool.threads().saturating_sub(1))
+        .enumerate()
+        .filter(|(_, done)| done.load(Ordering::Acquire) < epoch)
+        .map(|(i, _)| i + 1)
+        .collect();
+    let stall = RegionStall {
+        region: pool.regions.load(Ordering::Relaxed),
+        epoch,
+        stalled_tids,
+        waited,
+    };
+    pool.stalls.fetch_add(1, Ordering::Relaxed);
+    eprintln!("cmm-forkjoin: warning: {stall}");
+    *lock_ignore_poison(&pool.last_stall) = Some(stall);
+    if pool.stall_action.load(Ordering::Relaxed) == StallAction::Abort as u8 {
+        eprintln!("cmm-forkjoin: aborting (stall action is Abort)");
+        std::process::abort();
     }
 }
 
@@ -241,12 +457,16 @@ fn worker_loop(shared: &Shared, tid: usize) {
         let task = unsafe { &*task };
         // A panicking body must still reach the stop barrier or the main
         // thread would wait forever; record it and re-raise over there.
-        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(tid, shared.threads)))
-            .is_err()
-        {
+        let body = || {
+            faultinject::on_worker_region(seen, tid);
+            task(tid, shared.threads.load(Ordering::Relaxed));
+        };
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)).is_err() {
             shared.panicked.store(true, Ordering::Release);
+            shared.panics_recovered.fetch_add(1, Ordering::Relaxed);
         }
-        // Stop barrier.
+        // Progress mark for the watchdog, then the stop barrier.
+        shared.done_epoch[tid - 1].store(seen, Ordering::Release);
         shared.remaining.fetch_sub(1, Ordering::Release);
     }
 }

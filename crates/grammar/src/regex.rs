@@ -333,7 +333,7 @@ pub fn sample(re: &Regex, seed: &mut u64) -> String {
             (0..reps).map(|_| sample(inner, seed)).collect()
         }
         Regex::Opt(inner) => {
-            if next(seed) % 2 == 0 {
+            if next(seed).is_multiple_of(2) {
                 sample(inner, seed)
             } else {
                 String::new()

@@ -56,7 +56,7 @@ fn span_of(cst: &Cst) -> Span {
 }
 
 impl Builder<'_> {
-    fn name<'c>(&self, cst: &'c Cst) -> &str {
+    fn name(&self, cst: &Cst) -> &str {
         cst.prod_name(self.grammar).unwrap_or("<leaf>")
     }
 

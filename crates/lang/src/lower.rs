@@ -773,10 +773,8 @@ impl FnLower<'_> {
                 Ok(())
             }
             (Type::Tuple(parts), RV::Tuple(vals)) => {
-                let mut idx = 0usize;
-                for (part, val) in parts.iter().zip(vals) {
+                for (idx, (part, val)) in parts.iter().zip(vals).enumerate() {
                     self.assign_components(part, &irs[idx..idx + 1], val, out)?;
-                    idx += 1;
                 }
                 Ok(())
             }

@@ -269,11 +269,8 @@ impl FnLower<'_> {
                 let value_e = self.coerce(value_e, &vty, &elem.scalar());
                 // Flat offset over the *shape*.
                 let mut off = IrExpr::var(&g.vars[0]);
-                for d in 1..rank {
-                    off = IrExpr::add(
-                        IrExpr::mul(off, IrExpr::var(&sh_vars[d])),
-                        IrExpr::var(&g.vars[d]),
-                    );
+                for (sv, gv) in sh_vars.iter().zip(&g.vars).take(rank).skip(1) {
+                    off = IrExpr::add(IrExpr::mul(off, IrExpr::var(sv)), IrExpr::var(gv));
                 }
                 body_stmts.push(self.store(elem, &result, off, value_e));
                 self.pop_scope(&mut body_stmts);
@@ -446,11 +443,8 @@ impl FnLower<'_> {
                 };
                 let value_e = self.coerce(value_e, &vty, &elem.scalar());
                 let mut off = IrExpr::var(&g.vars[0]);
-                for d in 1..rank {
-                    off = IrExpr::add(
-                        IrExpr::mul(off, IrExpr::var(&sd_vars[d])),
-                        IrExpr::var(&g.vars[d]),
-                    );
+                for (sv, gv) in sd_vars.iter().zip(&g.vars).take(rank).skip(1) {
+                    off = IrExpr::add(IrExpr::mul(off, IrExpr::var(sv)), IrExpr::var(gv));
                 }
                 body_stmts.push(self.store(elem, &result, off, value_e));
                 self.pop_scope(&mut body_stmts);

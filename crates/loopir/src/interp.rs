@@ -14,16 +14,52 @@
 
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use cmm_forkjoin::{chunk_range, ForkJoinPool};
 
 use crate::ir::{CType, Elem, ForLoop, IrBinOp, IrExpr, IrFunction, IrProgram, IrStmt};
 
+/// Which resource budget a [`InterpErrorKind::LimitExceeded`] error hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitKind {
+    /// The step (fuel) budget ran out.
+    Fuel,
+    /// Live matrix memory would exceed the byte budget.
+    Memory,
+    /// Too many matrix buffers alive at once.
+    LiveBuffers,
+    /// The wall-clock deadline passed.
+    Deadline,
+}
+
+impl std::fmt::Display for LimitKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LimitKind::Fuel => "fuel",
+            LimitKind::Memory => "memory",
+            LimitKind::LiveBuffers => "live-buffers",
+            LimitKind::Deadline => "deadline",
+        })
+    }
+}
+
+/// Classification of an interpreter error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterpErrorKind {
+    /// Ordinary runtime failure in the interpreted program.
+    Runtime,
+    /// A configured resource budget ([`Limits`]) was exceeded.
+    LimitExceeded(LimitKind),
+}
+
 /// Interpreter runtime error.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InterpError {
+    /// Error classification (runtime fault vs resource limit).
+    pub kind: InterpErrorKind,
     /// What went wrong.
     pub message: String,
 }
@@ -31,18 +67,83 @@ pub struct InterpError {
 impl InterpError {
     fn new(message: impl Into<String>) -> Self {
         InterpError {
+            kind: InterpErrorKind::Runtime,
             message: message.into(),
+        }
+    }
+
+    fn limit(kind: LimitKind, message: impl Into<String>) -> Self {
+        InterpError {
+            kind: InterpErrorKind::LimitExceeded(kind),
+            message: message.into(),
+        }
+    }
+
+    /// The limit this error reports, if it is a limit error.
+    pub fn limit_kind(&self) -> Option<LimitKind> {
+        match self.kind {
+            InterpErrorKind::LimitExceeded(k) => Some(k),
+            InterpErrorKind::Runtime => None,
         }
     }
 }
 
 impl std::fmt::Display for InterpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "runtime error: {}", self.message)
+        match self.kind {
+            InterpErrorKind::Runtime => write!(f, "runtime error: {}", self.message),
+            InterpErrorKind::LimitExceeded(k) => {
+                write!(f, "limit exceeded ({k}): {}", self.message)
+            }
+        }
     }
 }
 
 impl std::error::Error for InterpError {}
+
+/// Resource budgets enforced by the interpreter.
+///
+/// All budgets default to unlimited; a program run under `Limits::default()`
+/// behaves exactly as before. Exceeding any configured budget aborts the
+/// run with a structured [`InterpErrorKind::LimitExceeded`] error instead
+/// of hanging (infinite loops), exhausting memory (huge allocations), or
+/// leaking buffers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum interpreter steps (statements + loop iterations) before the
+    /// run is aborted. Guards against infinite loops.
+    pub fuel: Option<u64>,
+    /// Maximum bytes of matrix storage live at any point. Checked *before*
+    /// each allocation, so an oversized request is rejected rather than
+    /// attempted.
+    pub max_matrix_bytes: Option<u64>,
+    /// Maximum number of matrix buffers live at any point.
+    pub max_live_buffers: Option<u32>,
+    /// Wall-clock budget for the whole run, checked every 1024 steps.
+    pub deadline: Option<Duration>,
+}
+
+impl Limits {
+    /// No budgets (the default).
+    pub fn unlimited() -> Self {
+        Limits::default()
+    }
+
+    /// Whether any budget is configured.
+    pub fn any(&self) -> bool {
+        self.fuel.is_some()
+            || self.max_matrix_bytes.is_some()
+            || self.max_live_buffers.is_some()
+            || self.deadline.is_some()
+    }
+}
+
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panicking worker must not wedge the interpreter: the data under
+    // these locks stays consistent (single writes of plain values), so a
+    // poisoned lock is safe to re-enter.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 type IResult<T> = Result<T, InterpError>;
 
@@ -325,10 +426,12 @@ impl Env {
         self.scopes.pop();
     }
     fn declare(&mut self, name: &str, v: Value) {
-        self.scopes
-            .last_mut()
-            .expect("env has a scope")
-            .insert(name.to_string(), v);
+        if self.scopes.is_empty() {
+            self.scopes.push(HashMap::new());
+        }
+        if let Some(s) = self.scopes.last_mut() {
+            s.insert(name.to_string(), v);
+        }
     }
     fn get(&self, name: &str) -> IResult<&Value> {
         for s in self.scopes.iter().rev() {
@@ -376,18 +479,18 @@ pub struct Interp<'p> {
     output: Mutex<String>,
     allocs: AtomicU32,
     frees: AtomicU32,
+    limits: Limits,
+    /// Absolute deadline, precomputed from `limits.deadline` when the
+    /// limits are installed so the hot path compares `Instant`s only.
+    deadline_at: Option<Instant>,
+    steps: AtomicU64,
+    live_bytes: AtomicU64,
 }
 
 impl<'p> Interp<'p> {
     /// New interpreter running parallel loops on `threads` pool threads.
     pub fn new(program: &'p IrProgram, threads: usize) -> Self {
-        Interp {
-            program,
-            pool: Arc::new(ForkJoinPool::new(threads)),
-            output: Mutex::new(String::new()),
-            allocs: AtomicU32::new(0),
-            frees: AtomicU32::new(0),
-        }
+        Interp::with_pool(program, Arc::new(ForkJoinPool::new(threads)))
     }
 
     /// New interpreter sharing an existing pool.
@@ -398,7 +501,24 @@ impl<'p> Interp<'p> {
             output: Mutex::new(String::new()),
             allocs: AtomicU32::new(0),
             frees: AtomicU32::new(0),
+            limits: Limits::default(),
+            deadline_at: None,
+            steps: AtomicU64::new(0),
+            live_bytes: AtomicU64::new(0),
         }
+    }
+
+    /// Install resource budgets. The wall-clock deadline starts counting
+    /// from this call, so configure limits immediately before running.
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.deadline_at = limits.deadline.map(|d| Instant::now() + d);
+        self.limits = limits;
+        self
+    }
+
+    /// The configured resource budgets.
+    pub fn limits(&self) -> &Limits {
+        &self.limits
     }
 
     /// Run `main()` and return its value.
@@ -408,7 +528,7 @@ impl<'p> Interp<'p> {
 
     /// Captured `print_*` output so far.
     pub fn output(&self) -> String {
-        self.output.lock().expect("output lock").clone()
+        lock_ignore_poison(&self.output).clone()
     }
 
     /// Buffers allocated so far.
@@ -425,6 +545,89 @@ impl<'p> Interp<'p> {
     /// detector used by the reference-counting tests (§III-B).
     pub fn live_buffers(&self) -> u32 {
         self.alloc_count() - self.free_count()
+    }
+
+    /// Interpreter steps executed so far (statements + loop iterations).
+    pub fn steps_used(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of matrix storage currently live.
+    pub fn live_matrix_bytes(&self) -> u64 {
+        self.live_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Meter `n` interpreter steps against the fuel and deadline budgets.
+    ///
+    /// Called for every statement and every loop iteration (so even an
+    /// empty `while (1) {}` body is metered). The wall clock is only read
+    /// at 1024-step boundaries to keep the unlimited-fuel fast path cheap.
+    fn charge(&self, n: u64) -> IResult<()> {
+        let prev = self.steps.fetch_add(n, Ordering::Relaxed);
+        let now = prev.saturating_add(n);
+        if let Some(fuel) = self.limits.fuel {
+            if now > fuel {
+                return Err(InterpError::limit(
+                    LimitKind::Fuel,
+                    format!("fuel budget of {fuel} steps exhausted"),
+                ));
+            }
+        }
+        if let Some(deadline) = self.deadline_at {
+            if prev >> 10 != now >> 10 && Instant::now() >= deadline {
+                return Err(InterpError::limit(
+                    LimitKind::Deadline,
+                    format!(
+                        "wall-clock budget of {:?} exhausted after {now} steps",
+                        self.limits.deadline.unwrap_or_default()
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocate a matrix buffer, enforcing the memory budgets *before*
+    /// the allocation happens and consulting the fault-injection harness.
+    fn alloc_buffer(&self, elem: Elem, dims: Vec<usize>) -> IResult<BufHandle> {
+        let mut len: u64 = 1;
+        for &d in &dims {
+            len = len.checked_mul(d as u64).ok_or_else(|| {
+                InterpError::new(format!("matrix dimensions {dims:?} overflow"))
+            })?;
+        }
+        let bytes = len.checked_mul(4).ok_or_else(|| {
+            InterpError::new(format!("matrix dimensions {dims:?} overflow"))
+        })?;
+        if cmm_forkjoin::faultinject::should_fail_alloc() {
+            return Err(InterpError::new(format!(
+                "injected allocation failure ({bytes} bytes requested)"
+            )));
+        }
+        if let Some(max) = self.limits.max_matrix_bytes {
+            let live = self.live_bytes.load(Ordering::Relaxed);
+            if live.saturating_add(bytes) > max {
+                return Err(InterpError::limit(
+                    LimitKind::Memory,
+                    format!(
+                        "allocating {bytes} bytes (dims {dims:?}) with {live} bytes live \
+                         would exceed the {max}-byte matrix budget"
+                    ),
+                ));
+            }
+        }
+        if let Some(max) = self.limits.max_live_buffers {
+            let live = self.live_buffers();
+            if live >= max {
+                return Err(InterpError::limit(
+                    LimitKind::LiveBuffers,
+                    format!("{live} matrix buffers already live, budget is {max}"),
+                ));
+            }
+        }
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.live_bytes.fetch_add(bytes, Ordering::Relaxed);
+        Ok(BufHandle::new(elem, dims))
     }
 
     /// Call a function by name with argument values.
@@ -476,12 +679,18 @@ impl<'p> Interp<'p> {
                 for k in cmm_forkjoin::chunk_range(pending_ref.len(), nthreads, tid) {
                     let p = &pending_ref[k];
                     let r = self.call(&p.func, p.args.clone());
-                    *slots_ref[k].lock().expect("slot lock") = Some(r);
+                    *lock_ignore_poison(&slots_ref[k]) = Some(r);
                 }
             });
             slots
                 .into_iter()
-                .map(|m| m.into_inner().expect("slot lock").expect("slot filled"))
+                .map(|m| {
+                    m.into_inner()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .unwrap_or_else(|| {
+                            Err(InterpError::new("spawned task did not complete"))
+                        })
+                })
                 .collect()
         };
         for (p, r) in pending.iter().zip(results) {
@@ -511,6 +720,7 @@ impl<'p> Interp<'p> {
     }
 
     fn exec(&self, stmt: &IrStmt, env: &mut Env) -> IResult<Flow> {
+        self.charge(1)?;
         match stmt {
             IrStmt::Decl { ty, name, init } => {
                 let v = match init {
@@ -538,6 +748,9 @@ impl<'p> Interp<'p> {
             IrStmt::For(f) => self.exec_for(f, env),
             IrStmt::While { cond, body } => {
                 while self.eval(cond, env)?.as_b()? {
+                    // Per-iteration charge: an empty body must still burn
+                    // fuel or `while (1) {}` would never hit the budget.
+                    self.charge(1)?;
                     env.push();
                     let flow = self.exec_block(body, env)?;
                     env.pop();
@@ -635,24 +848,25 @@ impl<'p> Interp<'p> {
                 for k in chunk_range(total, nthreads, tid) {
                     thread_env.declare(&f.var, Value::I(lo + k as i32));
                     let r = self
-                        .exec_block(&f.body, &mut thread_env)
+                        .charge(1)
+                        .and_then(|()| self.exec_block(&f.body, &mut thread_env))
                         .and_then(|fl| self.run_pending(&mut thread_env).map(|()| fl));
                     match r {
                         Ok(Flow::Normal) => {}
                         Ok(Flow::Return(_)) => {
-                            *error.lock().expect("error lock") = Some(InterpError::new(
+                            *lock_ignore_poison(&error) = Some(InterpError::new(
                                 "return inside a parallel loop is not supported",
                             ));
                             return;
                         }
                         Err(e) => {
-                            error.lock().expect("error lock").get_or_insert(e);
+                            lock_ignore_poison(&error).get_or_insert(e);
                             return;
                         }
                     }
                 }
             });
-            if let Some(e) = error.into_inner().expect("error lock") {
+            if let Some(e) = error.into_inner().unwrap_or_else(|e| e.into_inner()) {
                 return Err(e);
             }
             Ok(Flow::Normal)
@@ -664,6 +878,7 @@ impl<'p> Interp<'p> {
             let mut flow = Flow::Normal;
             let mut i = lo;
             while i < hi {
+                self.charge(1)?;
                 env.set(&f.var, Value::I(i))?;
                 match self.exec_block(&f.body, env)? {
                     Flow::Normal => {}
@@ -760,8 +975,7 @@ impl<'p> Interp<'p> {
                     }
                 })
                 .collect::<IResult<Vec<_>>>()?;
-            self.allocs.fetch_add(1, Ordering::Relaxed);
-            return Ok(Some(Value::Buf(BufHandle::new(elem, dims))));
+            return Ok(Some(Value::Buf(self.alloc_buffer(elem, dims)?)));
         }
         if let Some(suffix) = name.strip_prefix("read_mat_") {
             let Some(elem) = elem_of(suffix) else {
@@ -771,8 +985,7 @@ impl<'p> Interp<'p> {
                 .first()
                 .ok_or_else(|| InterpError::new("read_mat: missing path"))?
                 .as_str()?;
-            self.allocs.fetch_add(1, Ordering::Relaxed);
-            return Ok(Some(Value::Buf(read_cmmx(path, elem)?)));
+            return Ok(Some(Value::Buf(self.read_cmmx(path, elem)?)));
         }
         if let Some(suffix) = name.strip_prefix("write_mat_") {
             if elem_of(suffix).is_none() {
@@ -802,8 +1015,7 @@ impl<'p> Interp<'p> {
                 return Ok(Some(Value::Buf(buf.clone())));
             }
             // Shared: copy the data, release one reference to the original.
-            self.allocs.fetch_add(1, Ordering::Relaxed);
-            let fresh = BufHandle::new(buf.elem(), buf.dims().to_vec());
+            let fresh = self.alloc_buffer(buf.elem(), buf.dims().to_vec())?;
             for i in 0..buf.len() {
                 fresh.write_bits(i, buf.read_bits(i)?)?;
             }
@@ -841,6 +1053,9 @@ impl<'p> Interp<'p> {
                 b.decr()?;
                 if b.is_freed() {
                     self.frees.fetch_add(1, Ordering::Relaxed);
+                    // Return the storage to the live-byte budget.
+                    self.live_bytes
+                        .fetch_sub(4 * b.len() as u64, Ordering::Relaxed);
                 }
                 Ok(Some(Value::Unit))
             }
@@ -874,7 +1089,66 @@ impl<'p> Interp<'p> {
     }
 
     fn print(&self, s: &str) {
-        self.output.lock().expect("output lock").push_str(s);
+        lock_ignore_poison(&self.output).push_str(s);
+    }
+
+    /// Read a CMMX container, allocating through the metered path so
+    /// file-backed matrices count against the memory budgets too.
+    fn read_cmmx(&self, path: &str, elem: Elem) -> IResult<BufHandle> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| InterpError::new(format!("readMatrix(\"{path}\"): {e}")))?;
+        let header_err =
+            || InterpError::new(format!("readMatrix(\"{path}\"): truncated header"));
+        if bytes.len() < 8 || &bytes[0..4] != b"CMMX" {
+            return Err(InterpError::new(format!(
+                "readMatrix(\"{path}\"): not a CMMX file"
+            )));
+        }
+        if bytes[4] != elem_tag(elem) {
+            return Err(InterpError::new(format!(
+                "readMatrix(\"{path}\"): element type mismatch"
+            )));
+        }
+        let rank = bytes[5] as usize;
+        let mut off = 8;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            let field: [u8; 8] = bytes
+                .get(off..off + 8)
+                .and_then(|s| s.try_into().ok())
+                .ok_or_else(header_err)?;
+            dims.push(u64::from_le_bytes(field) as usize);
+            off += 8;
+        }
+        let mut n: usize = 1;
+        for &d in &dims {
+            n = n.checked_mul(d).ok_or_else(|| {
+                InterpError::new(format!(
+                    "readMatrix(\"{path}\"): dimensions {dims:?} overflow"
+                ))
+            })?;
+        }
+        let payload = n.checked_mul(4).and_then(|p| off.checked_add(p));
+        if payload.is_none_or(|end| bytes.len() < end) {
+            return Err(InterpError::new(format!(
+                "readMatrix(\"{path}\"): truncated file"
+            )));
+        }
+        let buf = self.alloc_buffer(elem, dims)?;
+        for i in 0..n {
+            let cell: [u8; 4] = bytes[off + 4 * i..off + 4 * i + 4]
+                .try_into()
+                .map_err(|_| header_err())?;
+            let cell = u32::from_le_bytes(cell);
+            // Bool cells store 0/1 in the low byte.
+            let bits = if elem == Elem::Bool {
+                u32::from(cell & 0xff != 0)
+            } else {
+                cell
+            };
+            buf.write_bits(i, bits)?;
+        }
+        Ok(buf)
     }
 }
 
@@ -967,39 +1241,6 @@ fn elem_tag(elem: Elem) -> u8 {
         Elem::F32 => 1,
         Elem::Bool => 2,
     }
-}
-
-fn read_cmmx(path: &str, elem: Elem) -> IResult<BufHandle> {
-    let bytes = std::fs::read(path)
-        .map_err(|e| InterpError::new(format!("readMatrix(\"{path}\"): {e}")))?;
-    if bytes.len() < 8 || &bytes[0..4] != b"CMMX" {
-        return Err(InterpError::new(format!("readMatrix(\"{path}\"): not a CMMX file")));
-    }
-    if bytes[4] != elem_tag(elem) {
-        return Err(InterpError::new(format!(
-            "readMatrix(\"{path}\"): element type mismatch"
-        )));
-    }
-    let rank = bytes[5] as usize;
-    let mut off = 8;
-    let mut dims = Vec::with_capacity(rank);
-    for _ in 0..rank {
-        let d = u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"));
-        dims.push(d as usize);
-        off += 8;
-    }
-    let n: usize = dims.iter().product();
-    if bytes.len() < off + 4 * n {
-        return Err(InterpError::new(format!("readMatrix(\"{path}\"): truncated file")));
-    }
-    let buf = BufHandle::new(elem, dims);
-    for i in 0..n {
-        let cell = u32::from_le_bytes(bytes[off + 4 * i..off + 4 * i + 4].try_into().expect("4 bytes"));
-        // Bool cells store 0/1 in the low byte.
-        let bits = if elem == Elem::Bool { u32::from(cell & 0xff != 0) } else { cell };
-        buf.write_bits(i, bits)?;
-    }
-    Ok(buf)
 }
 
 fn write_cmmx(path: &str, buf: &BufHandle) -> IResult<()> {

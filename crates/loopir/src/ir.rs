@@ -166,11 +166,13 @@ impl IrExpr {
     }
 
     /// `a + b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: IrExpr, b: IrExpr) -> IrExpr {
         IrExpr::bin(IrBinOp::Add, a, b)
     }
 
     /// `a * b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(a: IrExpr, b: IrExpr) -> IrExpr {
         IrExpr::bin(IrBinOp::Mul, a, b)
     }

@@ -262,7 +262,7 @@ fn count_loops(stmts: &[IrStmt], index: &str) -> usize {
 /// Find the unique loop with the given index and replace it with the
 /// statement produced by `f`.
 fn with_unique_loop(
-    stmts: &mut Vec<IrStmt>,
+    stmts: &mut [IrStmt],
     index: &str,
     f: &mut dyn FnMut(&ForLoop) -> Result<IrStmt, TransformError>,
 ) -> Result<(), TransformError> {
@@ -281,7 +281,7 @@ fn with_unique_loop(
 }
 
 fn replace_loop(
-    stmts: &mut Vec<IrStmt>,
+    stmts: &mut [IrStmt],
     index: &str,
     f: &mut dyn FnMut(&ForLoop) -> Result<IrStmt, TransformError>,
 ) -> Result<bool, TransformError> {
@@ -449,7 +449,7 @@ fn unroll_loop(l: &ForLoop, k: i64) -> IrStmt {
 }
 
 /// Reorder a perfect loop nest to the given outermost-first order.
-fn reorder(stmts: &mut Vec<IrStmt>, order: &[String]) -> Result<(), TransformError> {
+fn reorder(stmts: &mut [IrStmt], order: &[String]) -> Result<(), TransformError> {
     let Some(first) = order.first() else {
         return Ok(());
     };

@@ -27,6 +27,29 @@ static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 static RECYCLED: AtomicU64 = AtomicU64::new(0);
 
+// Fault-injection hook for the fallible allocation path. Kept as a plain
+// fn pointer behind a flag (not a dependency on any harness crate) so test
+// code can wire in e.g. `cmm_forkjoin::faultinject::should_fail_alloc`
+// without this crate knowing about it.
+static FAULT_HOOK_SET: AtomicBool = AtomicBool::new(false);
+static FAULT_HOOK: Mutex<Option<fn() -> bool>> = Mutex::new(None);
+
+/// Install (or clear, with `None`) a hook consulted by
+/// [`try_alloc_block`]; returning `true` makes that acquisition fail as if
+/// the system were out of memory. Used by the fault-injection tests.
+pub fn set_alloc_fault_hook(hook: Option<fn() -> bool>) {
+    *FAULT_HOOK.lock().unwrap_or_else(|e| e.into_inner()) = hook;
+    FAULT_HOOK_SET.store(hook.is_some(), Ordering::SeqCst);
+}
+
+fn alloc_fault_injected() -> bool {
+    if !FAULT_HOOK_SET.load(Ordering::Relaxed) {
+        return false;
+    }
+    let hook = *FAULT_HOOK.lock().unwrap_or_else(|e| e.into_inner());
+    hook.is_some_and(|h| h())
+}
+
 static GLOBAL_FREE: [Mutex<Vec<usize>>; NUM_CLASSES] = {
     #[allow(clippy::declare_interior_mutable_const)]
     const EMPTY: Mutex<Vec<usize>> = Mutex::new(Vec::new());
@@ -69,7 +92,7 @@ pub fn pool_stats() -> PoolStats {
 /// their threads exit or on their next overflow) and zero the counters.
 pub fn reset_pool() {
     for (class, m) in GLOBAL_FREE.iter().enumerate() {
-        let mut list = m.lock().unwrap();
+        let mut list = m.lock().unwrap_or_else(|e| e.into_inner());
         for p in list.drain(..) {
             // Safety: every pointer in the list was allocated by
             // `alloc_block` with the layout of its class.
@@ -97,23 +120,46 @@ fn class_layout(class: usize) -> Layout {
 /// Allocate a block of at least `bytes` bytes, 16-byte aligned. Returns the
 /// pointer and the size class it belongs to.
 pub(crate) fn alloc_block(bytes: usize) -> (*mut u8, usize) {
+    match try_alloc_block_inner(bytes, false) {
+        Some(r) => r,
+        None => panic!("allocation of {bytes} bytes failed"),
+    }
+}
+
+/// Fallible variant of [`alloc_block`]: returns `None` if the system
+/// allocator fails or the installed fault hook fires.
+pub(crate) fn try_alloc_block(bytes: usize) -> Option<(*mut u8, usize)> {
+    try_alloc_block_inner(bytes, true)
+}
+
+fn try_alloc_block_inner(bytes: usize, faultable: bool) -> Option<(*mut u8, usize)> {
+    if faultable && alloc_fault_injected() {
+        return None;
+    }
     let class = size_class(bytes.max(1));
     if POOL_ENABLED.load(Ordering::Relaxed) {
         let cached = LOCAL_FREE
             .try_with(|local| local.borrow_mut()[class].pop())
             .ok()
             .flatten()
-            .or_else(|| GLOBAL_FREE[class].lock().unwrap().pop());
+            .or_else(|| {
+                GLOBAL_FREE[class]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .pop()
+            });
         if let Some(p) = cached {
             HITS.fetch_add(1, Ordering::Relaxed);
-            return (p as *mut u8, class);
+            return Some((p as *mut u8, class));
         }
         MISSES.fetch_add(1, Ordering::Relaxed);
     }
     // Safety: layout has nonzero size (class of bytes.max(1)).
     let p = unsafe { alloc(class_layout(class)) };
-    assert!(!p.is_null(), "allocation of {bytes} bytes failed");
-    (p, class)
+    if p.is_null() {
+        return None;
+    }
+    Some((p, class))
 }
 
 /// Return a block obtained from [`alloc_block`] with the recorded class.
@@ -138,7 +184,7 @@ pub(crate) unsafe fn free_block(ptr: *mut u8, class: usize) {
             RECYCLED.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        let mut global = GLOBAL_FREE[class].lock().unwrap();
+        let mut global = GLOBAL_FREE[class].lock().unwrap_or_else(|e| e.into_inner());
         if global.len() < GLOBAL_CACHE {
             global.push(ptr as usize);
             RECYCLED.fetch_add(1, Ordering::Relaxed);

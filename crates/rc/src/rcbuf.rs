@@ -6,7 +6,7 @@ use std::mem::{align_of, size_of};
 use std::ptr::NonNull;
 use std::sync::atomic::{fence, AtomicU32, Ordering};
 
-use crate::pool::{alloc_block, free_block};
+use crate::pool::{alloc_block, free_block, try_alloc_block};
 
 /// Header placed in front of the element data, mirroring the paper's
 /// "extra 4 bytes attached to every piece of memory" (§III-B): `refs` is the
@@ -59,6 +59,25 @@ impl<T: Copy> RcBuf<T> {
         NonNull::new(raw).expect("alloc_block returned null")
     }
 
+    /// Fallible [`RcBuf::alloc`]: `None` on allocator failure or when the
+    /// pool's fault-injection hook fires. Overflowing size requests also
+    /// report failure instead of panicking.
+    fn try_alloc(len: usize) -> Option<NonNull<u8>> {
+        let bytes = len
+            .checked_mul(size_of::<T>())
+            .and_then(|b| b.checked_add(data_offset::<T>()))?;
+        let (raw, class) = try_alloc_block(bytes)?;
+        // Safety: raw is valid for `bytes` writes and suitably aligned.
+        unsafe {
+            (raw as *mut Header).write(Header {
+                refs: AtomicU32::new(1),
+                class: class as u32,
+                len,
+            });
+        }
+        NonNull::new(raw)
+    }
+
     fn header(&self) -> &Header {
         // Safety: ptr points at an initialized Header for as long as any
         // reference (including ours) is live.
@@ -85,6 +104,39 @@ impl<T: Copy> RcBuf<T> {
             }
         }
         buf
+    }
+
+    /// Fallible [`RcBuf::new`]: `None` if the block cannot be acquired
+    /// (allocator failure or injected fault). The pool and counters are
+    /// left untouched on failure — nothing to leak or double-free.
+    pub fn try_new(len: usize, fill: T) -> Option<Self> {
+        let buf = Self {
+            ptr: Self::try_alloc(len)?,
+            _marker: PhantomData,
+        };
+        // Safety: freshly allocated, unique, len elements of capacity.
+        unsafe {
+            let p = buf.data_ptr();
+            for i in 0..len {
+                p.add(i).write(fill);
+            }
+        }
+        Some(buf)
+    }
+
+    /// Fallible [`RcBuf::from_fn`] (see [`RcBuf::try_new`]).
+    pub fn try_from_fn(len: usize, mut f: impl FnMut(usize) -> T) -> Option<Self> {
+        let buf = Self {
+            ptr: Self::try_alloc(len)?,
+            _marker: PhantomData,
+        };
+        unsafe {
+            let p = buf.data_ptr();
+            for i in 0..len {
+                p.add(i).write(f(i));
+            }
+        }
+        Some(buf)
     }
 
     /// Buffer initialized from `f(i)` for each index.

@@ -95,6 +95,12 @@ pub enum MatrixError {
         /// Value shape.
         value: Vec<usize>,
     },
+    /// Matrix storage could not be allocated (system allocator failure or
+    /// an injected fault in the resilience tests).
+    AllocFailed {
+        /// Number of elements requested.
+        elements: usize,
+    },
     /// Matrix IO failure.
     Io(String),
     /// Malformed matrix file.
@@ -139,6 +145,9 @@ impl fmt::Display for MatrixError {
                 f,
                 "indexed assignment target has shape {target:?} but value has shape {value:?}"
             ),
+            MatrixError::AllocFailed { elements } => {
+                write!(f, "failed to allocate matrix storage for {elements} elements")
+            }
             MatrixError::Io(msg) => write!(f, "matrix IO error: {msg}"),
             MatrixError::Format(msg) => write!(f, "malformed matrix file: {msg}"),
         }

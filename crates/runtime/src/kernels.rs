@@ -129,15 +129,15 @@ pub fn temporal_mean_fig11_parallel(
                 let j0 = jout * 4;
                 let mut acc = [0.0f32; 4];
                 for k in 0..p {
-                    for lane in 0..4 {
-                        acc[lane] += mat[(i * n + j0 + lane) * p + k];
+                    for (lane, a) in acc.iter_mut().enumerate() {
+                        *a += mat[(i * n + j0 + lane) * p + k];
                     }
                 }
                 let inv = 1.0 / p as f32;
-                for lane in 0..4 {
+                for (lane, &a) in acc.iter().enumerate() {
                     // Safety: rows are partitioned disjointly across tids.
                     unsafe {
-                        *means_ptr.get().add(i * n + j0 + lane) = acc[lane] * inv;
+                        *means_ptr.get().add(i * n + j0 + lane) = a * inv;
                     }
                 }
             }

@@ -40,6 +40,22 @@ impl<T: Element> Matrix<T> {
         Matrix { shape, data }
     }
 
+    /// Fallible [`Matrix::init`]: reports [`MatrixError::AllocFailed`]
+    /// instead of aborting when the buffer cannot be acquired (allocator
+    /// failure or an injected fault).
+    pub fn try_init(shape: impl Into<Shape>) -> Result<Self> {
+        Self::try_fill(shape, T::default())
+    }
+
+    /// Fallible [`Matrix::fill`] (see [`Matrix::try_init`]).
+    pub fn try_fill(shape: impl Into<Shape>, value: T) -> Result<Self> {
+        let shape = shape.into();
+        let data = RcBuf::try_new(shape.len(), value).ok_or(MatrixError::AllocFailed {
+            elements: shape.len(),
+        })?;
+        Ok(Matrix { shape, data })
+    }
+
     /// Matrix from row-major element data; the length must match the shape.
     pub fn from_vec(shape: impl Into<Shape>, data: Vec<T>) -> Result<Self> {
         let shape = shape.into();

@@ -53,7 +53,12 @@ fn main() {
             acc
         }
         let n = 400_000_000u64;
-        let t1 = time(|| drop(std::hint::black_box(spin(n, 1))), 3);
+        let t1 = time(
+            || {
+                std::hint::black_box(spin(n, 1));
+            },
+            3,
+        );
         let t2 = time(
             || {
                 std::thread::scope(|s| {

@@ -11,18 +11,60 @@
 //!   --threads N      fork-join pool size for `run` (default 2)
 //!   --no-parallel    disable automatic parallelization (§III-C)
 //!   --no-fusion      disable the §III-A4 high-level optimizations
+//!   --fuel N         abort `run` after N interpreter steps
+//!   --max-mem BYTES  cap live matrix memory (suffixes k/m/g allowed)
+//!   --deadline-ms N  wall-clock budget for `run` in milliseconds
 //! ```
+//!
+//! Exit codes: 0 success, 1 runtime error, 2 usage error, 3 unreadable
+//! or unwritable file, 4 compile error, 5 resource limit exceeded.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use cmm::core::{CompileError, Registry};
+use cmm::loopir::Limits;
+
+const EXIT_RUNTIME: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+const EXIT_FILE: u8 = 3;
+const EXIT_COMPILE: u8 = 4;
+const EXIT_LIMIT: u8 = 5;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cmmc <run|emit|check|analyses> [file.xc] [options]\n\
-         options: --ext a,b,c | --threads N | -o out.c | --no-parallel | --no-fusion"
+         options: --ext a,b,c | --threads N | -o out.c | --no-parallel | --no-fusion\n\
+         \x20        --fuel N | --max-mem BYTES[k|m|g] | --deadline-ms N"
     );
-    ExitCode::from(2)
+    ExitCode::from(EXIT_USAGE)
+}
+
+/// Parse a byte count with an optional binary k/m/g suffix ("64k", "2M").
+fn parse_bytes(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (num, shift) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 10),
+        'm' | 'M' => (&s[..s.len() - 1], 20),
+        'g' | 'G' => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    num.parse::<u64>().ok()?.checked_shl(shift)
+}
+
+/// One-line stderr diagnostic (multi-line errors are collapsed so scripts
+/// can match on a single line) plus the distinct exit code for the error
+/// class.
+fn fail(e: &CompileError) -> ExitCode {
+    let msg = e.to_string();
+    let one_line: Vec<&str> = msg.lines().map(str::trim).filter(|l| !l.is_empty()).collect();
+    eprintln!("cmmc: {}", one_line.join("; "));
+    let code = match e {
+        CompileError::Runtime(_) => EXIT_RUNTIME,
+        CompileError::Limit { .. } => EXIT_LIMIT,
+        _ => EXIT_COMPILE,
+    };
+    ExitCode::from(code)
 }
 
 fn main() -> ExitCode {
@@ -36,6 +78,7 @@ fn main() -> ExitCode {
     let mut threads = 2usize;
     let mut parallel = true;
     let mut fusion = true;
+    let mut limits = Limits::default();
     let mut exts: Vec<String> = vec![
         "ext-matrix".into(),
         "ext-tuples".into(),
@@ -51,6 +94,24 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 threads = v;
+            }
+            "--fuel" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                limits.fuel = Some(v);
+            }
+            "--max-mem" => {
+                let Some(v) = it.next().and_then(|v| parse_bytes(v)) else {
+                    return usage();
+                };
+                limits.max_matrix_bytes = Some(v);
+            }
+            "--deadline-ms" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                limits.deadline = Some(Duration::from_millis(v));
             }
             "--ext" => {
                 let Some(v) = it.next() else { return usage() };
@@ -86,26 +147,18 @@ fn main() -> ExitCode {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cmmc: cannot read {file}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_FILE);
         }
     };
 
     let ext_refs: Vec<&str> = exts.iter().map(String::as_str).collect();
     let mut compiler = match registry.compiler(&ext_refs) {
         Ok(c) => c,
-        Err(e) => {
-            eprintln!("cmmc: composition failed:\n{e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(&e),
     };
     compiler.options.parallelize = parallel;
     compiler.options.fuse_with_assign = fusion;
     compiler.options.fuse_slice_index = fusion;
-
-    let fail = |e: CompileError| -> ExitCode {
-        eprintln!("cmmc: {e}");
-        ExitCode::FAILURE
-    };
 
     match command {
         "check" => match compiler.frontend(&src) {
@@ -117,7 +170,7 @@ fn main() -> ExitCode {
                 );
                 ExitCode::SUCCESS
             }
-            Err(e) => fail(e),
+            Err(e) => fail(&e),
         },
         "emit" => match compiler.compile_to_c(&src) {
             Ok(c) => {
@@ -125,7 +178,7 @@ fn main() -> ExitCode {
                     Some(path) => {
                         if let Err(e) = std::fs::write(&path, c) {
                             eprintln!("cmmc: cannot write {path}: {e}");
-                            return ExitCode::FAILURE;
+                            return ExitCode::from(EXIT_FILE);
                         }
                         eprintln!("wrote {path} (compile with: gcc -O2 -fopenmp -msse2 {path})");
                     }
@@ -133,9 +186,9 @@ fn main() -> ExitCode {
                 }
                 ExitCode::SUCCESS
             }
-            Err(e) => fail(e),
+            Err(e) => fail(&e),
         },
-        "run" => match compiler.run(&src, threads) {
+        "run" => match compiler.run_with_limits(&src, threads, limits) {
             Ok(result) => {
                 print!("{}", result.output);
                 if result.leaked > 0 {
@@ -146,7 +199,7 @@ fn main() -> ExitCode {
                 }
                 ExitCode::SUCCESS
             }
-            Err(e) => fail(e),
+            Err(e) => fail(&e),
         },
         _ => usage(),
     }

@@ -69,6 +69,128 @@ fn analyses_prints_verdicts() {
     assert!(text.contains("WELL-DEFINED"));
 }
 
+const INFINITE_LOOP: &str = r#"
+int main() {
+    int n = 0;
+    while (1 > 0) { n = n + 1; }
+    return 0;
+}
+"#;
+
+#[test]
+fn fuel_limit_kills_infinite_loop() {
+    let path = write_program("fuel.xc", INFINITE_LOOP);
+    let out = cmmc()
+        .args(["run", &path, "--fuel", "10000"])
+        .output()
+        .expect("spawn cmmc");
+    assert_eq!(out.status.code(), Some(5), "limit errors exit with code 5");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("limit exceeded (fuel)"), "{stderr}");
+    assert!(stderr.contains("fuel budget of 10000 steps"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "no panic backtraces: {stderr}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn deadline_kills_infinite_loop() {
+    let path = write_program("deadline.xc", INFINITE_LOOP);
+    let out = cmmc()
+        .args(["run", &path, "--deadline-ms", "100"])
+        .output()
+        .expect("spawn cmmc");
+    assert_eq!(out.status.code(), Some(5));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("limit exceeded (deadline)"), "{stderr}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn max_mem_rejects_oversized_matrix() {
+    let path = write_program(
+        "bigalloc.xc",
+        r#"
+        int main() {
+            int n = 1000000;
+            Matrix int <1> v = with ([0] <= [i] < [n]) genarray([n], i);
+            printInt(v[0]);
+            return 0;
+        }
+        "#,
+    );
+    let out = cmmc()
+        .args(["run", &path, "--max-mem", "64k"])
+        .output()
+        .expect("spawn cmmc");
+    assert_eq!(out.status.code(), Some(5));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("limit exceeded (memory)"), "{stderr}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn limits_do_not_affect_well_behaved_programs() {
+    let path = write_program("limited-ok.xc", PROGRAM);
+    let out = cmmc()
+        .args(["run", &path, "--fuel", "1000000", "--max-mem", "1m", "--deadline-ms", "60000"])
+        .output()
+        .expect("spawn cmmc");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "140\n");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn runtime_error_is_one_line_with_exit_1() {
+    let path = write_program(
+        "divzero.xc",
+        "int main() { int a = 5; int b = 0; printInt(a / b); return 0; }",
+    );
+    let out = cmmc().args(["run", &path]).output().expect("spawn cmmc");
+    assert_eq!(out.status.code(), Some(1), "runtime errors exit with code 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let lines: Vec<&str> = stderr.lines().collect();
+    assert_eq!(lines.len(), 1, "one-line diagnostic, got: {stderr}");
+    assert!(lines[0].starts_with("cmmc: runtime error:"), "{stderr}");
+    assert!(lines[0].contains("division by zero"), "{stderr}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn usage_error_exits_2() {
+    let out = cmmc()
+        .args(["run", "whatever.xc", "--bogus-flag"])
+        .output()
+        .expect("spawn cmmc");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    let out = cmmc()
+        .args(["run", "whatever.xc", "--fuel", "not-a-number"])
+        .output()
+        .expect("spawn cmmc");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn unreadable_file_exits_3() {
+    let out = cmmc()
+        .args(["run", "/nonexistent/program.xc"])
+        .output()
+        .expect("spawn cmmc");
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn compile_error_exits_4() {
+    let path = write_program("typeerr.xc", "int main() { printInt(zzz); return 0; }");
+    let out = cmmc().args(["run", &path]).output().expect("spawn cmmc");
+    assert_eq!(out.status.code(), Some(4), "compile errors exit with code 4");
+    std::fs::remove_file(path).ok();
+}
+
 #[test]
 fn restricted_extension_set() {
     let path = write_program("noext.xc", PROGRAM);
