@@ -29,7 +29,7 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("emit_c_fig8_program", |b| {
         let ir = compiler.compile(&program).expect("translate");
-        b.iter(|| cmm_loopir::emit::emit_program(&ir))
+        b.iter(|| cmm_loopir::emit::emit_program(&ir).expect("emit"))
     });
     g.bench_function("run_modular_analyses", |b| {
         let registry = Registry::standard();

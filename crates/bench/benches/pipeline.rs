@@ -1,0 +1,109 @@
+//! Pipeline observability bench (PR 2): times the metered pipeline
+//! against the unmetered one — the "zero cost when disabled" claim — and
+//! seeds the perf trajectory by writing `BENCH_pipeline.json` at the
+//! workspace root with one measured run of the profile target
+//! (`examples/pipeline_profile.xc`).
+
+use std::time::Instant;
+
+use cmm_bench::config;
+use cmm_core::{Compiler, Registry};
+use cmm_loopir::Limits;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const PROGRAM: &str = include_str!("../../../examples/pipeline_profile.xc");
+const THREADS: usize = 4;
+
+fn compiler() -> Compiler {
+    Registry::standard()
+        .compiler(&["ext-matrix", "ext-tuples", "ext-rcptr", "ext-transform", "ext-cilk"])
+        .expect("compose")
+}
+
+fn median(mut v: Vec<u64>) -> u64 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+fn timed(mut f: impl FnMut()) -> u64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_nanos() as u64
+}
+
+/// One measured run of the pipeline, written as the first entry of the
+/// perf trajectory every later perf PR is judged against.
+fn write_trajectory(c: &Compiler) {
+    const REPS: usize = 9;
+    let compile_ns = median((0..REPS).map(|_| timed(|| drop(c.compile(PROGRAM).expect("compile")))).collect());
+    let compile_metered_ns = median(
+        (0..REPS)
+            .map(|_| timed(|| drop(c.compile_metered(PROGRAM).expect("compile"))))
+            .collect(),
+    );
+    let run_ns = median((0..REPS).map(|_| timed(|| drop(c.run(PROGRAM, THREADS).expect("run")))).collect());
+    let run_profiled_ns = median(
+        (0..REPS)
+            .map(|_| {
+                timed(|| drop(c.run_profiled(PROGRAM, THREADS, Limits::default()).expect("run")))
+            })
+            .collect(),
+    );
+    let (_, report) = c
+        .run_profiled(PROGRAM, THREADS, Limits::default())
+        .expect("profiled run");
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"cmm-bench-pipeline-v1\",\n");
+    out.push_str("  \"generated_by\": \"cargo bench -p cmm-bench --bench pipeline\",\n");
+    out.push_str("  \"program\": \"examples/pipeline_profile.xc\",\n");
+    out.push_str(&format!("  \"threads\": {THREADS},\n"));
+    out.push_str(&format!("  \"median_compile_nanos\": {compile_ns},\n"));
+    out.push_str(&format!(
+        "  \"median_compile_metered_nanos\": {compile_metered_ns},\n"
+    ));
+    out.push_str(&format!("  \"median_run_nanos\": {run_ns},\n"));
+    out.push_str(&format!(
+        "  \"median_run_profiled_nanos\": {run_profiled_ns},\n"
+    ));
+    // The profile of the final run, in the cmm-metrics-v1 schema.
+    out.push_str("  \"profile\": ");
+    out.push_str(report.to_json().trim_end());
+    out.push_str("\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(path, out).expect("write BENCH_pipeline.json");
+    eprintln!("wrote {path}");
+}
+
+fn bench(c: &mut Criterion) {
+    let compiler = compiler();
+    write_trajectory(&compiler);
+
+    let mut g = c.benchmark_group("pipeline");
+    g.bench_function("compile_unmetered", |b| {
+        b.iter(|| compiler.compile(PROGRAM).expect("compile"))
+    });
+    g.bench_function("compile_metered", |b| {
+        b.iter(|| compiler.compile_metered(PROGRAM).expect("compile"))
+    });
+    g.bench_function("run_threads4", |b| {
+        b.iter(|| compiler.run(PROGRAM, THREADS).expect("run"))
+    });
+    g.bench_function("run_profiled_threads4", |b| {
+        b.iter(|| {
+            compiler
+                .run_profiled(PROGRAM, THREADS, Limits::default())
+                .expect("run")
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

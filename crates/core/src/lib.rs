@@ -23,17 +23,26 @@
 //!   → lowering to parallel loop IR → C emission ([`Compiler::compile_to_c`])
 //!   or direct execution ([`Compiler::run`]).
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use cmm_ag::{analyze_fragment, AgFragment, WellDefinednessReport};
 use cmm_ast::Diag;
+use cmm_forkjoin::ForkJoinPool;
 use cmm_grammar::{is_composable, ComposabilityReport, ComposedGrammar, GrammarFragment, Parser};
-use cmm_lang::typecheck::ExtSet;
-use cmm_lang::{build_program, check_program, host_ag, host_grammar, lower_program, LowerOptions};
-use cmm_loopir::{emit, Interp, IrProgram, LimitKind, Limits};
+use cmm_lang::typecheck::{ExtSet, TypeInfo};
+use cmm_lang::{
+    build_program, check_program, fuse_slice_indices, host_ag, host_grammar, lower_program,
+    LowerOptions,
+};
+use cmm_loopir::{emit, EmitError, Interp, InterpError, IrProgram, IrStmt, LimitKind, Limits};
 
 pub use cmm_lang::typecheck::ExtSet as EnabledExtensions;
 
 mod gcc;
+mod metrics;
 pub use gcc::{compile_and_run_c, gcc_available};
+pub use metrics::{CompileMetrics, PassTiming, ProfileReport, METRICS_SCHEMA};
 
 /// One pluggable language extension: its specifications plus packaging
 /// status as determined by the modular analyses.
@@ -212,6 +221,9 @@ pub enum CompileError {
     Type(Vec<Diag>),
     /// Lowering reported an error (e.g. a §V transform naming no loop).
     Lower(Diag),
+    /// C emission rejected a structurally invalid IR program (used to be
+    /// an emitter panic).
+    Emit(EmitError),
     /// The interpreted program failed at runtime.
     Runtime(String),
     /// The program exceeded a configured resource budget ([`Limits`]).
@@ -245,6 +257,7 @@ impl std::fmt::Display for CompileError {
                 Ok(())
             }
             CompileError::Lower(d) => write!(f, "{d}"),
+            CompileError::Emit(e) => write!(f, "emit error: {e}"),
             CompileError::Limit { message, .. } => write!(f, "{message}"),
         }
     }
@@ -281,13 +294,40 @@ impl Compiler {
 
     /// Parse + build + check: the front half of the pipeline.
     pub fn frontend(&self, src: &str) -> Result<cmm_ast::Program, CompileError> {
+        self.frontend_checked(src, None).map(|(ast, _)| ast)
+    }
+
+    /// Front half of the pipeline, keeping the type information so the
+    /// back half need not re-run the checker. When `metrics` is given,
+    /// each pass is timed into it.
+    fn frontend_checked(
+        &self,
+        src: &str,
+        mut metrics: Option<&mut CompileMetrics>,
+    ) -> Result<(cmm_ast::Program, TypeInfo), CompileError> {
+        let mut timed = |name: &'static str, items: u64, unit: &'static str, t0: Instant| {
+            if let Some(m) = metrics.as_deref_mut() {
+                m.passes.push(PassTiming {
+                    name,
+                    nanos: t0.elapsed().as_nanos() as u64,
+                    items,
+                    unit,
+                });
+            }
+        };
+        let t0 = Instant::now();
         let cst = self
             .parser
             .parse(src)
             .map_err(|e| CompileError::Parse(e.to_string()))?;
+        timed("parse", src.len() as u64, "bytes", t0);
+        let t0 = Instant::now();
         let ast = build_program(self.parser.grammar(), &cst)
             .map_err(|e| CompileError::Build(e.to_string()))?;
-        let (_info, diags) = check_program(&ast, self.exts);
+        timed("build", ast.functions.len() as u64, "functions", t0);
+        let t0 = Instant::now();
+        let (info, diags) = check_program(&ast, self.exts);
+        timed("check", ast.functions.len() as u64, "functions", t0);
         let errors: Vec<Diag> = diags
             .into_iter()
             .filter(|d| d.severity == cmm_ast::Severity::Error)
@@ -295,19 +335,62 @@ impl Compiler {
         if !errors.is_empty() {
             return Err(CompileError::Type(errors));
         }
-        Ok(ast)
+        Ok((ast, info))
     }
 
     /// Full translation to the loop IR.
     pub fn compile(&self, src: &str) -> Result<IrProgram, CompileError> {
-        let ast = self.frontend(src)?;
-        let (info, _) = check_program(&ast, self.exts);
+        let (ast, info) = self.frontend_checked(src, None)?;
         lower_program(&ast, &info, &self.options).map_err(CompileError::Lower)
+    }
+
+    /// [`Compiler::compile`] with per-pass wall times and work-item
+    /// counts. The optimize pass ([`fuse_slice_indices`]) is invoked
+    /// explicitly so its cost is separable from lowering, and the C
+    /// emitter runs (output discarded) so the full pipeline of the paper
+    /// — parse through emit — is accounted.
+    pub fn compile_metered(&self, src: &str) -> Result<(IrProgram, CompileMetrics), CompileError> {
+        let mut m = CompileMetrics::default();
+        let (ast, info) = self.frontend_checked(src, Some(&mut m))?;
+        let t0 = Instant::now();
+        let (ast, fusions) = if self.options.fuse_slice_index {
+            fuse_slice_indices(&ast)
+        } else {
+            (ast, 0)
+        };
+        m.passes.push(PassTiming {
+            name: "optimize",
+            nanos: t0.elapsed().as_nanos() as u64,
+            items: fusions as u64,
+            unit: "fusions",
+        });
+        // The fusion already ran; don't let lowering repeat it.
+        let opts = LowerOptions {
+            fuse_slice_index: false,
+            ..self.options
+        };
+        let t0 = Instant::now();
+        let ir = lower_program(&ast, &info, &opts).map_err(CompileError::Lower)?;
+        m.passes.push(PassTiming {
+            name: "lower",
+            nanos: t0.elapsed().as_nanos() as u64,
+            items: ir_stmt_count(&ir),
+            unit: "stmts",
+        });
+        let t0 = Instant::now();
+        let c = emit::emit_program(&ir).map_err(CompileError::Emit)?;
+        m.passes.push(PassTiming {
+            name: "emit",
+            nanos: t0.elapsed().as_nanos() as u64,
+            items: c.len() as u64,
+            unit: "bytes",
+        });
+        Ok((ir, m))
     }
 
     /// Translate to plain parallel C — the paper's output artifact.
     pub fn compile_to_c(&self, src: &str) -> Result<String, CompileError> {
-        Ok(emit::emit_program(&self.compile(src)?))
+        emit::emit_program(&self.compile(src)?).map_err(CompileError::Emit)
     }
 
     /// Compile and execute on the interpreter with `threads` pool
@@ -328,19 +411,88 @@ impl Compiler {
     ) -> Result<RunResult, CompileError> {
         let ir = self.compile(src)?;
         let interp = Interp::new(&ir, threads).with_limits(limits);
-        interp.run_main().map_err(|e| match e.limit_kind() {
-            Some(kind) => CompileError::Limit {
-                kind,
-                message: e.to_string(),
-            },
-            None => CompileError::Runtime(e.to_string()),
-        })?;
+        interp.run_main().map_err(map_interp_error)?;
         Ok(RunResult {
             output: interp.output(),
             allocations: interp.alloc_count(),
             leaked: interp.live_buffers(),
         })
     }
+
+    /// [`Compiler::run_with_limits`] with full observability: compile
+    /// passes are timed, the fork-join pool meters its regions, the
+    /// interpreter collects an execution profile, and `cmm-rc` pool
+    /// activity is reported as a per-run delta. The metered pipeline is
+    /// the same code as the unmetered one — profiling changes what is
+    /// recorded, never what executes.
+    pub fn run_profiled(
+        &self,
+        src: &str,
+        threads: usize,
+        limits: Limits,
+    ) -> Result<(RunResult, ProfileReport), CompileError> {
+        let rc_before = cmm_rc::pool_stats();
+        let (ir, compile) = self.compile_metered(src)?;
+        let pool = Arc::new(ForkJoinPool::new(threads));
+        pool.set_metrics_enabled(true);
+        let interp = Interp::with_pool(&ir, Arc::clone(&pool))
+            .with_limits(limits)
+            .with_profiling(true);
+        let run_err = interp.run_main().map_err(map_interp_error).err();
+        let rc_after = cmm_rc::pool_stats();
+        let report = ProfileReport {
+            compile,
+            pool: Some(pool.metrics()),
+            interp: Some(interp.profile()),
+            rc: cmm_rc::PoolStats {
+                hits: rc_after.hits.saturating_sub(rc_before.hits),
+                misses: rc_after.misses.saturating_sub(rc_before.misses),
+                recycled: rc_after.recycled.saturating_sub(rc_before.recycled),
+            },
+            threads: pool.threads(),
+        };
+        match run_err {
+            Some(e) => Err(e),
+            None => Ok((
+                RunResult {
+                    output: interp.output(),
+                    allocations: interp.alloc_count(),
+                    leaked: interp.live_buffers(),
+                },
+                report,
+            )),
+        }
+    }
+}
+
+fn map_interp_error(e: InterpError) -> CompileError {
+    match e.limit_kind() {
+        Some(kind) => CompileError::Limit {
+            kind,
+            message: e.to_string(),
+        },
+        None => CompileError::Runtime(e.to_string()),
+    }
+}
+
+/// Total statement count of an IR program (all nesting levels) — the
+/// work-item metric for the lowering pass.
+fn ir_stmt_count(p: &IrProgram) -> u64 {
+    fn count(stmts: &[IrStmt]) -> u64 {
+        stmts
+            .iter()
+            .map(|s| {
+                1 + match s {
+                    IrStmt::For(f) => count(&f.body),
+                    IrStmt::While { body, .. } => count(body),
+                    IrStmt::If { then_b, else_b, .. } => count(then_b) + count(else_b),
+                    IrStmt::Block(b) => count(b),
+                    _ => 0,
+                }
+            })
+            .sum()
+    }
+    p.functions.iter().map(|f| count(&f.body)).sum()
 }
 
 #[cfg(test)]

@@ -75,6 +75,12 @@ struct Shared {
     /// through the stop barrier for (index `tid - 1`). Read by the
     /// watchdog to name the stalled workers.
     done_epoch: Vec<AtomicU64>,
+    /// Region telemetry switch. Off by default: the hot path takes no
+    /// timestamps unless a profiler asked for them.
+    metrics_enabled: AtomicBool,
+    /// Per-participant busy time in nanoseconds (index 0 = main thread,
+    /// `tid` = worker `tid`), accumulated only while metrics are enabled.
+    busy_nanos: Vec<AtomicU64>,
 }
 
 // Safety: `task` is only written by the main thread while all workers are
@@ -143,6 +149,42 @@ pub struct PoolHealth {
     pub last_stall: Option<RegionStall>,
 }
 
+/// Region telemetry snapshot, accumulated while
+/// [`ForkJoinPool::set_metrics_enabled`] is on.
+///
+/// All durations are wall-clock nanoseconds summed over the measured
+/// regions. `busy_nanos[0]` is the main thread (participant 0 of every
+/// region); `busy_nanos[tid]` is worker `tid`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolMetrics {
+    /// Regions executed while metrics were enabled.
+    pub regions_measured: u64,
+    /// Total wall time spent inside `run` (fork → all participants
+    /// through the stop barrier).
+    pub region_nanos: u64,
+    /// Time the main thread spent waiting in the stop barrier after
+    /// finishing its own partition — the join overhead the enhanced
+    /// fork-join model (§III-C) exists to minimize.
+    pub barrier_wait_nanos: u64,
+    /// Per-participant busy time (time spent executing region closures).
+    pub busy_nanos: Vec<u64>,
+}
+
+impl PoolMetrics {
+    /// Load-imbalance ratio: max participant busy time over the mean
+    /// across all participants (1.0 = perfectly balanced; an idle worker
+    /// pulls the ratio up). Returns 0.0 when nothing was measured.
+    pub fn imbalance_ratio(&self) -> f64 {
+        let max = self.busy_nanos.iter().copied().max().unwrap_or(0) as f64;
+        let sum: u64 = self.busy_nanos.iter().sum();
+        if sum == 0 || self.busy_nanos.is_empty() {
+            return 0.0;
+        }
+        let mean = sum as f64 / self.busy_nanos.len() as f64;
+        max / mean
+    }
+}
+
 /// Persistent worker pool implementing the enhanced fork-join model.
 ///
 /// `ForkJoinPool::new(n)` spawns `n - 1` workers; the main thread acts as
@@ -175,6 +217,11 @@ pub struct ForkJoinPool {
     stall_action: AtomicU8,
     stalls: AtomicU64,
     last_stall: Mutex<Option<RegionStall>>,
+    /// Telemetry accumulated while metrics are enabled (main-thread side;
+    /// per-worker busy time lives in `Shared`).
+    regions_measured: AtomicU64,
+    region_nanos: AtomicU64,
+    barrier_wait_nanos: AtomicU64,
 }
 
 /// Default stop-barrier watchdog deadline.
@@ -198,6 +245,8 @@ impl ForkJoinPool {
             panics_recovered: AtomicU64::new(0),
             threads: AtomicUsize::new(requested),
             done_epoch: (1..requested).map(|_| AtomicU64::new(0)).collect(),
+            metrics_enabled: AtomicBool::new(false),
+            busy_nanos: (0..requested).map(|_| AtomicU64::new(0)).collect(),
         });
         let mut handles = Vec::with_capacity(requested - 1);
         let mut spawn_failures = 0usize;
@@ -240,6 +289,9 @@ impl ForkJoinPool {
             stall_action: AtomicU8::new(StallAction::Warn as u8),
             stalls: AtomicU64::new(0),
             last_stall: Mutex::new(None),
+            regions_measured: AtomicU64::new(0),
+            region_nanos: AtomicU64::new(0),
+            barrier_wait_nanos: AtomicU64::new(0),
         }
     }
 
@@ -258,6 +310,46 @@ impl ForkJoinPool {
     /// as in SAC).
     pub fn nested_sequential_runs(&self) -> u64 {
         self.nested_sequential.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable region telemetry. Disabled by default: with
+    /// metrics off, `run` takes no timestamps (the overhead is a single
+    /// relaxed load per region and per worker wake-up).
+    pub fn set_metrics_enabled(&self, enabled: bool) {
+        self.shared.metrics_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether region telemetry is currently enabled.
+    pub fn metrics_enabled(&self) -> bool {
+        self.shared.metrics_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the region telemetry accumulated so far (see
+    /// [`PoolMetrics`]). Busy times are reported for live participants
+    /// only (a shrunk pool's unspawned workers are dropped).
+    pub fn metrics(&self) -> PoolMetrics {
+        PoolMetrics {
+            regions_measured: self.regions_measured.load(Ordering::Relaxed),
+            region_nanos: self.region_nanos.load(Ordering::Relaxed),
+            barrier_wait_nanos: self.barrier_wait_nanos.load(Ordering::Relaxed),
+            busy_nanos: self
+                .shared
+                .busy_nanos
+                .iter()
+                .take(self.threads())
+                .map(|n| n.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// Zero the region telemetry counters (not the health counters).
+    pub fn reset_metrics(&self) {
+        self.regions_measured.store(0, Ordering::Relaxed);
+        self.region_nanos.store(0, Ordering::Relaxed);
+        self.barrier_wait_nanos.store(0, Ordering::Relaxed);
+        for n in &self.shared.busy_nanos {
+            n.store(0, Ordering::Relaxed);
+        }
     }
 
     /// Configure the stop-barrier watchdog deadline. `None` disables the
@@ -303,9 +395,14 @@ impl ForkJoinPool {
         F: Fn(usize, usize) + Sync,
     {
         self.regions.fetch_add(1, Ordering::Relaxed);
+        // Telemetry is opt-in: the common (disabled) path costs one
+        // relaxed load and never reads the clock.
+        let metered = self.shared.metrics_enabled.load(Ordering::Relaxed);
+        let region_start = if metered { Some(Instant::now()) } else { None };
         let n = self.threads();
         if n == 1 {
             f(0, 1);
+            self.finish_region_metrics(region_start, true);
             return;
         }
         if self
@@ -318,6 +415,7 @@ impl ForkJoinPool {
             for tid in 0..n {
                 f(tid, n);
             }
+            self.finish_region_metrics(region_start, true);
             return;
         }
 
@@ -336,14 +434,34 @@ impl ForkJoinPool {
         let guard = RegionGuard {
             pool: self,
             main_panicked: true,
+            metered,
         };
         f(0, n);
+        if let Some(t0) = region_start {
+            // Main-thread busy time: fork to end of its own partition.
+            self.shared.busy_nanos[0]
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
         let mut guard = guard;
         guard.main_panicked = false;
         drop(guard);
+        self.finish_region_metrics(region_start, false);
 
         if self.shared.panicked.swap(false, Ordering::AcqRel) {
             panic!("a fork-join worker panicked during a parallel region");
+        }
+    }
+
+    /// Record a completed region's duration. `main_is_whole_region` is
+    /// true on the sequential paths (pool of one / nested), where the
+    /// main thread's busy time equals the region duration.
+    fn finish_region_metrics(&self, region_start: Option<Instant>, main_is_whole_region: bool) {
+        let Some(t0) = region_start else { return };
+        let nanos = t0.elapsed().as_nanos() as u64;
+        self.regions_measured.fetch_add(1, Ordering::Relaxed);
+        self.region_nanos.fetch_add(nanos, Ordering::Relaxed);
+        if main_is_whole_region {
+            self.shared.busy_nanos[0].fetch_add(nanos, Ordering::Relaxed);
         }
     }
 }
@@ -368,6 +486,7 @@ fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 struct RegionGuard<'a> {
     pool: &'a ForkJoinPool,
     main_panicked: bool,
+    metered: bool,
 }
 
 impl Drop for RegionGuard<'_> {
@@ -375,6 +494,7 @@ impl Drop for RegionGuard<'_> {
         let pool = self.pool;
         let shared = &pool.shared;
         let timeout_ms = pool.stall_timeout_ms.load(Ordering::Relaxed);
+        let wait_start = if self.metered { Some(Instant::now()) } else { None };
         let mut spins = 0u32;
         let mut started: Option<Instant> = None;
         let mut stalled = false;
@@ -396,6 +516,10 @@ impl Drop for RegionGuard<'_> {
                 }
             }
             backoff(&mut spins);
+        }
+        if let Some(t0) = wait_start {
+            pool.barrier_wait_nanos
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
         unsafe { *shared.task.get() = None };
         if self.main_panicked {
@@ -461,9 +585,17 @@ fn worker_loop(shared: &Shared, tid: usize) {
             faultinject::on_worker_region(seen, tid);
             task(tid, shared.threads.load(Ordering::Relaxed));
         };
+        let busy_start = if shared.metrics_enabled.load(Ordering::Relaxed) {
+            Some(Instant::now())
+        } else {
+            None
+        };
         if std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)).is_err() {
             shared.panicked.store(true, Ordering::Release);
             shared.panics_recovered.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(t0) = busy_start {
+            shared.busy_nanos[tid].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
         // Progress mark for the watchdog, then the stop barrier.
         shared.done_epoch[tid - 1].store(seen, Ordering::Release);

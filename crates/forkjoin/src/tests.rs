@@ -75,6 +75,92 @@ fn nested_run_degrades_to_sequential() {
 }
 
 #[test]
+fn metrics_disabled_records_nothing() {
+    let pool = ForkJoinPool::new(4);
+    assert!(!pool.metrics_enabled());
+    pool.run(|_, _| {});
+    let m = pool.metrics();
+    assert_eq!(m.regions_measured, 0);
+    assert_eq!(m.region_nanos, 0);
+    assert_eq!(m.barrier_wait_nanos, 0);
+    assert!(m.busy_nanos.iter().all(|&b| b == 0), "{m:?}");
+    assert_eq!(m.imbalance_ratio(), 0.0, "no data means no ratio");
+    // The health counter is independent of metering.
+    assert_eq!(pool.regions_run(), 1);
+}
+
+#[test]
+fn metrics_capture_regions_and_busy_time() {
+    let pool = ForkJoinPool::new(4);
+    pool.set_metrics_enabled(true);
+    for _ in 0..5 {
+        pool.run(|_, _| {
+            // Do a little real work so busy times are nonzero.
+            let mut acc = 0u64;
+            for i in 0..20_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            std::hint::black_box(acc);
+        });
+    }
+    let m = pool.metrics();
+    assert_eq!(m.regions_measured, 5);
+    assert_eq!(m.regions_measured, pool.regions_run());
+    assert!(m.region_nanos > 0, "{m:?}");
+    assert_eq!(m.busy_nanos.len(), 4);
+    assert!(
+        m.busy_nanos.iter().all(|&b| b > 0),
+        "every participant did work: {m:?}"
+    );
+    assert!(m.imbalance_ratio() >= 1.0, "{m:?}");
+
+    // reset_metrics zeroes telemetry but not the health counters.
+    pool.reset_metrics();
+    let m = pool.metrics();
+    assert_eq!(m.regions_measured, 0);
+    assert_eq!(m.region_nanos, 0);
+    assert!(m.busy_nanos.iter().all(|&b| b == 0));
+    assert_eq!(pool.regions_run(), 5);
+}
+
+#[test]
+fn metrics_cover_sequential_and_nested_paths() {
+    let pool = ForkJoinPool::new(2);
+    pool.set_metrics_enabled(true);
+    // Nested regions degrade to sequential but are still measured: the
+    // outer region plus one inner region per outer participant.
+    pool.run(|_, _| {
+        pool.run(|_, _| {});
+    });
+    let m = pool.metrics();
+    assert_eq!(m.regions_measured, 3, "{m:?}");
+
+    let single = ForkJoinPool::new(1);
+    single.set_metrics_enabled(true);
+    single.run(|_, _| {});
+    let m = single.metrics();
+    assert_eq!(m.regions_measured, 1);
+    assert_eq!(m.busy_nanos.len(), 1);
+}
+
+#[test]
+fn imbalance_ratio_math() {
+    let m = PoolMetrics {
+        regions_measured: 1,
+        region_nanos: 100,
+        barrier_wait_nanos: 0,
+        busy_nanos: vec![100, 50, 50],
+    };
+    // max = 100, mean = 200/3 ≈ 66.7 → ratio 1.5.
+    assert!((m.imbalance_ratio() - 1.5).abs() < 1e-9);
+    let balanced = PoolMetrics {
+        busy_nanos: vec![80, 80],
+        ..m
+    };
+    assert!((balanced.imbalance_ratio() - 1.0).abs() < 1e-9);
+}
+
+#[test]
 fn naive_run_covers_all_tids() {
     for threads in [1, 2, 3, 8] {
         let seen = Mutex::new(vec![0u32; threads]);

@@ -1087,7 +1087,7 @@ mod emission {
         let (info, diags) = check_program(&ast, ExtSet::default());
         assert!(diags.is_empty());
         let ir = lower_program(&ast, &info, &LowerOptions::default()).unwrap();
-        let c = emit_program(&ir);
+        let c = emit_program(&ir).expect("emit");
         assert!(c.contains("#pragma omp parallel for"), "parallelize i → OpenMP");
         assert!(c.contains("__m128"), "vectorize jin → SSE");
         assert!(c.contains("jout"), "split j → jout loop");

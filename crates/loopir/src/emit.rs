@@ -19,8 +19,49 @@ use std::fmt::Write;
 
 use crate::ir::{CType, Elem, ForLoop, IrBinOp, IrExpr, IrFunction, IrProgram, IrStmt};
 
+/// A structurally invalid IR program that cannot be rendered as C.
+///
+/// These used to be emitter panics; they are now detected by a validation
+/// walk before any text is produced, so a malformed program surfaces as a
+/// compile error (cmmc exit code 4) instead of aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmitError {
+    /// An `UnpackCall` statement whose callee is not a direct call
+    /// expression — there is no struct-returning call to destructure.
+    UnpackWithoutCall {
+        /// Function containing the offending statement.
+        function: String,
+    },
+    /// A tuple expression somewhere other than directly under `return`.
+    /// C has no tuple values; tuples only exist as return structs.
+    TupleOutsideReturn {
+        /// Function containing the offending expression.
+        function: String,
+    },
+}
+
+impl std::fmt::Display for EmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmitError::UnpackWithoutCall { function } => write!(
+                f,
+                "function `{function}`: tuple unpacking requires a direct call expression"
+            ),
+            EmitError::TupleOutsideReturn { function } => write!(
+                f,
+                "function `{function}`: tuple expression outside a return statement"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EmitError {}
+
 /// Emit a complete C translation unit for the program.
-pub fn emit_program(p: &IrProgram) -> String {
+pub fn emit_program(p: &IrProgram) -> Result<String, EmitError> {
+    for f in &p.functions {
+        validate_function(f)?;
+    }
     let mut out = String::new();
     out.push_str(C_RUNTIME);
     out.push('\n');
@@ -39,7 +80,79 @@ pub fn emit_program(p: &IrProgram) -> String {
         emit_function(f, &mut out);
         out.push('\n');
     }
-    out
+    Ok(out)
+}
+
+/// Reject IR shapes the emitter cannot express in C. Runs before emission
+/// so the panics in the rendering code below are unreachable.
+fn validate_function(f: &IrFunction) -> Result<(), EmitError> {
+    fn walk_expr(e: &IrExpr, fname: &str) -> Result<(), EmitError> {
+        match e {
+            IrExpr::Tuple(_) => Err(EmitError::TupleOutsideReturn {
+                function: fname.to_string(),
+            }),
+            IrExpr::Int(_) | IrExpr::Float(_) | IrExpr::Bool(_) | IrExpr::Str(_) | IrExpr::Var(_) => Ok(()),
+            IrExpr::Bin(_, a, b) => {
+                walk_expr(a, fname)?;
+                walk_expr(b, fname)
+            }
+            IrExpr::Neg(e) | IrExpr::Not(e) | IrExpr::CastInt(e) | IrExpr::CastFloat(e) => {
+                walk_expr(e, fname)
+            }
+            IrExpr::Load { buf, idx, .. } => {
+                walk_expr(buf, fname)?;
+                walk_expr(idx, fname)
+            }
+            IrExpr::Call(_, args) => args.iter().try_for_each(|a| walk_expr(a, fname)),
+        }
+    }
+
+    fn walk_stmt(s: &IrStmt, fname: &str) -> Result<(), EmitError> {
+        match s {
+            IrStmt::Decl { init, .. } => init.iter().try_for_each(|e| walk_expr(e, fname)),
+            IrStmt::Assign { value, .. } => walk_expr(value, fname),
+            IrStmt::Store { buf, idx, value, .. } => {
+                walk_expr(buf, fname)?;
+                walk_expr(idx, fname)?;
+                walk_expr(value, fname)
+            }
+            IrStmt::For(l) => {
+                walk_expr(&l.lo, fname)?;
+                walk_expr(&l.hi, fname)?;
+                l.body.iter().try_for_each(|s| walk_stmt(s, fname))
+            }
+            IrStmt::While { cond, body } => {
+                walk_expr(cond, fname)?;
+                body.iter().try_for_each(|s| walk_stmt(s, fname))
+            }
+            IrStmt::If { cond, then_b, else_b } => {
+                walk_expr(cond, fname)?;
+                then_b.iter().try_for_each(|s| walk_stmt(s, fname))?;
+                else_b.iter().try_for_each(|s| walk_stmt(s, fname))
+            }
+            IrStmt::Expr(e) => walk_expr(e, fname),
+            // A tuple directly under `return` is the one legal position:
+            // it renders as a compound literal of the return struct. Its
+            // parts must themselves be tuple-free.
+            IrStmt::Return(Some(IrExpr::Tuple(parts))) => {
+                parts.iter().try_for_each(|e| walk_expr(e, fname))
+            }
+            IrStmt::Return(e) => e.iter().try_for_each(|e| walk_expr(e, fname)),
+            IrStmt::Spawn { args, .. } => args.iter().try_for_each(|e| walk_expr(e, fname)),
+            IrStmt::Sync | IrStmt::Comment(_) => Ok(()),
+            IrStmt::UnpackCall { call, .. } => {
+                if !matches!(call, IrExpr::Call(..)) {
+                    return Err(EmitError::UnpackWithoutCall {
+                        function: fname.to_string(),
+                    });
+                }
+                walk_expr(call, fname)
+            }
+            IrStmt::Block(b) => b.iter().try_for_each(|s| walk_stmt(s, fname)),
+        }
+    }
+
+    f.body.iter().try_for_each(|s| walk_stmt(s, &f.name))
 }
 
 fn signature(f: &IrFunction) -> String {
@@ -248,7 +361,8 @@ fn emit_stmt(s: &IrStmt, level: usize, ctx: &mut EmitCtx, out: &mut String) {
         }
         IrStmt::UnpackCall { targets, call } => {
             let IrExpr::Call(fname, _) = call else {
-                panic!("UnpackCall requires a direct call expression");
+                // Rejected by validate_function before emission starts.
+                unreachable!("UnpackCall requires a direct call expression");
             };
             let tmp = ctx.fresh("tupret");
             ind(level, out);
@@ -288,7 +402,19 @@ fn expr(e: &IrExpr) -> String {
     match e {
         IrExpr::Int(v) => v.to_string(),
         IrExpr::Float(v) => {
-            if v.fract() == 0.0 && v.abs() < 1e16 {
+            // Non-finite constants (a source literal like 1e40 overflows
+            // f32 parsing to inf) have no C literal spelling; use the
+            // <math.h> macros instead of Rust's Debug text (`inff`/`NaNf`
+            // would not compile).
+            if v.is_nan() {
+                "((float)NAN)".to_string()
+            } else if v.is_infinite() {
+                if *v > 0.0 {
+                    "INFINITY".to_string()
+                } else {
+                    "(-INFINITY)".to_string()
+                }
+            } else if v.fract() == 0.0 && v.abs() < 1e16 {
                 format!("{v:.1}f")
             } else {
                 format!("{v:?}f")
@@ -313,7 +439,8 @@ fn expr(e: &IrExpr) -> String {
         }
         IrExpr::CastInt(e) => format!("((int)({}))", expr(e)),
         IrExpr::CastFloat(e) => format!("((float)({}))", expr(e)),
-        IrExpr::Tuple(_) => panic!("tuple expression outside a return statement"),
+        // Rejected by validate_function before emission starts.
+        IrExpr::Tuple(_) => unreachable!("tuple expression outside a return statement"),
     }
 }
 
@@ -569,6 +696,7 @@ const C_RUNTIME: &str = r#"/* Generated by the cmm extended-C translator. */
 #include <string.h>
 #include <stdarg.h>
 #include <stdint.h>
+#include <math.h>
 #if defined(__SSE__) || defined(_M_X64) || defined(__x86_64__)
 #include <xmmintrin.h>
 #endif

@@ -12,13 +12,13 @@
 //! like the emitted C's `printf` calls, so integration tests can diff
 //! interpreter output against a gcc-compiled run of the same program.
 
-use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use cmm_forkjoin::{chunk_range, ForkJoinPool};
+use cmm_rc::{AllocError, PoolBlock};
 
 use crate::ir::{CType, Elem, ForLoop, IrBinOp, IrExpr, IrFunction, IrProgram, IrStmt};
 
@@ -147,22 +147,19 @@ fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 type IResult<T> = Result<T, InterpError>;
 
-/// One 4-byte element cell; `UnsafeCell` so disjoint concurrent writes
-/// from parallel loops are per-cell sound.
-#[repr(transparent)]
-struct Cell4(UnsafeCell<u32>);
-
-// Safety: parallel loops generated by the translator write disjoint cells;
-// reads of cells being written concurrently do not occur in generated code.
-unsafe impl Sync for Cell4 {}
-unsafe impl Send for Cell4 {}
-
 struct BufInner {
     refs: AtomicU32,
     freed: AtomicBool,
     dims: Vec<usize>,
     elem: Elem,
-    cells: Box<[Cell4]>,
+    /// Element count (the block may be rounded up to its size class).
+    len: usize,
+    /// Backing storage: a zeroed 4-byte-per-cell block from the `cmm-rc`
+    /// size-class recycling pool, so interpreter runs exercise — and are
+    /// measured against — the same allocator as the native runtime.
+    /// Parallel loops write disjoint cells through the raw pointer, the
+    /// same discipline the generated C uses.
+    block: PoolBlock,
 }
 
 /// Handle to a reference-counted matrix buffer (the IR value of
@@ -171,20 +168,27 @@ struct BufInner {
 pub struct BufHandle(Arc<BufInner>);
 
 impl BufHandle {
-    /// Fresh zeroed buffer with the given dims; refcount 1.
+    /// Fresh zeroed buffer with the given dims; refcount 1. Panics if the
+    /// storage cannot be acquired (see [`BufHandle::try_new`]).
     pub fn new(elem: Elem, dims: Vec<usize>) -> Self {
+        BufHandle::try_new(elem, dims)
+            .unwrap_or_else(|e| panic!("interpreter matrix buffer: {e}"))
+    }
+
+    /// Fallible [`BufHandle::new`]: surfaces pool failures (oversize
+    /// request, out of memory, injected fault) as a typed error.
+    pub fn try_new(elem: Elem, dims: Vec<usize>) -> Result<Self, AllocError> {
         let len: usize = dims.iter().product();
-        let cells = (0..len)
-            .map(|_| Cell4(UnsafeCell::new(0)))
-            .collect::<Vec<_>>()
-            .into_boxed_slice();
-        BufHandle(Arc::new(BufInner {
+        let bytes = len.checked_mul(4).ok_or(AllocError::Oversize { bytes: usize::MAX })?;
+        let block = PoolBlock::try_zeroed(bytes)?;
+        Ok(BufHandle(Arc::new(BufInner {
             refs: AtomicU32::new(1),
             freed: AtomicBool::new(false),
             dims,
             elem,
-            cells,
-        }))
+            len,
+            block,
+        })))
     }
 
     /// Buffer from f32 data.
@@ -221,12 +225,12 @@ impl BufHandle {
 
     /// Element count.
     pub fn len(&self) -> usize {
-        self.0.cells.len()
+        self.0.len
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.cells.is_empty()
+        self.0.len == 0
     }
 
     /// Element type.
@@ -253,23 +257,30 @@ impl BufHandle {
         Ok(())
     }
 
+    fn cell_ptr(&self, idx: usize) -> IResult<*mut u32> {
+        if idx >= self.0.len {
+            return Err(InterpError::new(format!(
+                "index {idx} out of bounds for buffer of {}",
+                self.len()
+            )));
+        }
+        // The block is 16-byte aligned and at least 4 * len bytes.
+        Ok(unsafe { (self.0.block.as_ptr() as *mut u32).add(idx) })
+    }
+
     fn read_bits(&self, idx: usize) -> IResult<u32> {
         self.check_live()?;
-        let cell = self.0.cells.get(idx).ok_or_else(|| {
-            InterpError::new(format!("index {idx} out of bounds for buffer of {}", self.len()))
-        })?;
-        // Safety: generated code never reads a cell another thread is
-        // concurrently writing (disjoint-write discipline).
-        Ok(unsafe { *cell.0.get() })
+        let cell = self.cell_ptr(idx)?;
+        // Safety: in bounds; generated code never reads a cell another
+        // thread is concurrently writing (disjoint-write discipline).
+        Ok(unsafe { *cell })
     }
 
     fn write_bits(&self, idx: usize, bits: u32) -> IResult<()> {
         self.check_live()?;
-        let cell = self.0.cells.get(idx).ok_or_else(|| {
-            InterpError::new(format!("index {idx} out of bounds for buffer of {}", self.len()))
-        })?;
-        // Safety: disjoint-write discipline (see module docs).
-        unsafe { *cell.0.get() = bits };
+        let cell = self.cell_ptr(idx)?;
+        // Safety: in bounds; disjoint-write discipline (see module docs).
+        unsafe { *cell = bits };
         Ok(())
     }
 
@@ -471,6 +482,38 @@ enum Flow {
     Return(Value),
 }
 
+/// Per-function execution cost, collected when profiling is enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnProfile {
+    /// Function name.
+    pub name: String,
+    /// Completed calls.
+    pub calls: u64,
+    /// Interpreter steps (fuel) attributed to the function, *inclusive*
+    /// of callees — and, because steps are a process-wide counter, of any
+    /// work other threads execute while the call is on foot. Exact
+    /// exclusive attribution would need per-statement synchronization;
+    /// inclusive deltas are O(1) per call and rank hot functions just as
+    /// well.
+    pub steps: u64,
+}
+
+/// Execution profile of one interpreter run (see
+/// [`Interp::with_profiling`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InterpProfile {
+    /// Per-function cost, sorted by descending step count.
+    pub functions: Vec<FnProfile>,
+    /// Parallel loops dispatched to the fork-join pool.
+    pub par_loops: u64,
+    /// Total iterations executed by those parallel loops.
+    pub par_iters: u64,
+    /// High-water mark of live matrix bytes.
+    pub peak_live_bytes: u64,
+    /// Total interpreter steps (statements + loop iterations).
+    pub total_steps: u64,
+}
+
 /// The interpreter: an [`IrProgram`] plus a fork-join pool and captured
 /// output.
 pub struct Interp<'p> {
@@ -485,6 +528,15 @@ pub struct Interp<'p> {
     deadline_at: Option<Instant>,
     steps: AtomicU64,
     live_bytes: AtomicU64,
+    /// Profiling switch; all collection below is skipped when false so an
+    /// unprofiled run pays only this bool check.
+    profile: bool,
+    /// name → (calls, inclusive steps); Mutex is fine — touched once per
+    /// function call, not per statement.
+    fn_costs: Mutex<HashMap<String, (u64, u64)>>,
+    par_loops: AtomicU64,
+    par_iters: AtomicU64,
+    peak_live_bytes: AtomicU64,
 }
 
 impl<'p> Interp<'p> {
@@ -505,6 +557,40 @@ impl<'p> Interp<'p> {
             deadline_at: None,
             steps: AtomicU64::new(0),
             live_bytes: AtomicU64::new(0),
+            profile: false,
+            fn_costs: Mutex::new(HashMap::new()),
+            par_loops: AtomicU64::new(0),
+            par_iters: AtomicU64::new(0),
+            peak_live_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Enable execution profiling: per-function fuel, parallel-loop
+    /// dispatch counts, and the live-byte high-water mark, snapshotted
+    /// with [`Interp::profile`] after the run.
+    pub fn with_profiling(mut self, enabled: bool) -> Self {
+        self.profile = enabled;
+        self
+    }
+
+    /// Snapshot of the collected profile (empty unless
+    /// [`Interp::with_profiling`] enabled collection).
+    pub fn profile(&self) -> InterpProfile {
+        let mut functions: Vec<FnProfile> = lock_ignore_poison(&self.fn_costs)
+            .iter()
+            .map(|(name, &(calls, steps))| FnProfile {
+                name: name.clone(),
+                calls,
+                steps,
+            })
+            .collect();
+        functions.sort_by(|a, b| b.steps.cmp(&a.steps).then_with(|| a.name.cmp(&b.name)));
+        InterpProfile {
+            functions,
+            par_loops: self.par_loops.load(Ordering::Relaxed),
+            par_iters: self.par_iters.load(Ordering::Relaxed),
+            peak_live_bytes: self.peak_live_bytes.load(Ordering::Relaxed),
+            total_steps: self.steps_used(),
         }
     }
 
@@ -626,8 +712,17 @@ impl<'p> Interp<'p> {
             }
         }
         self.allocs.fetch_add(1, Ordering::Relaxed);
-        self.live_bytes.fetch_add(bytes, Ordering::Relaxed);
-        Ok(BufHandle::new(elem, dims))
+        let live_before = self.live_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if self.profile {
+            self.peak_live_bytes
+                .fetch_max(live_before.saturating_add(bytes), Ordering::Relaxed);
+        }
+        BufHandle::try_new(elem, dims).map_err(|e| {
+            // Roll the accounting back: the buffer never existed.
+            self.allocs.fetch_sub(1, Ordering::Relaxed);
+            self.live_bytes.fetch_sub(bytes, Ordering::Relaxed);
+            InterpError::new(e.to_string())
+        })
     }
 
     /// Call a function by name with argument values.
@@ -651,9 +746,21 @@ impl<'p> Interp<'p> {
         for ((pname, _), v) in f.params.iter().zip(args) {
             env.declare(pname, v);
         }
+        let steps_at_entry = if self.profile {
+            Some(self.steps.load(Ordering::Relaxed))
+        } else {
+            None
+        };
         let flow = self.exec_block(&f.body, &mut env)?;
         // Cilk semantics: a function implicitly syncs before returning.
         self.run_pending(&mut env)?;
+        if let Some(entry) = steps_at_entry {
+            let spent = self.steps.load(Ordering::Relaxed).saturating_sub(entry);
+            let mut costs = lock_ignore_poison(&self.fn_costs);
+            let slot = costs.entry(name.to_string()).or_insert((0, 0));
+            slot.0 += 1;
+            slot.1 += spent;
+        }
         match flow {
             Flow::Return(v) => Ok(v),
             Flow::Normal => Ok(Value::Unit),
@@ -840,6 +947,10 @@ impl<'p> Interp<'p> {
             // (locals declared in the body stay thread-private; buffer
             // writes go to shared storage at disjoint indices).
             let total = (hi - lo) as usize;
+            if self.profile {
+                self.par_loops.fetch_add(1, Ordering::Relaxed);
+                self.par_iters.fetch_add(total as u64, Ordering::Relaxed);
+            }
             let base_env = env.snapshot();
             let error: Mutex<Option<InterpError>> = Mutex::new(None);
             self.pool.run(|tid, nthreads| {

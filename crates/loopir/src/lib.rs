@@ -23,7 +23,11 @@ pub mod interp;
 mod ir;
 pub mod transform;
 
-pub use interp::{BufHandle, Interp, InterpError, InterpErrorKind, LimitKind, Limits, Value};
+pub use emit::EmitError;
+pub use interp::{
+    BufHandle, FnProfile, Interp, InterpError, InterpErrorKind, InterpProfile, LimitKind, Limits,
+    Value,
+};
 pub use ir::{CType, Elem, ForLoop, IrBinOp, IrExpr, IrFunction, IrProgram, IrStmt};
 pub use transform::TransformError;
 

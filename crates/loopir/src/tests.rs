@@ -843,7 +843,7 @@ mod emit_tests {
             &LoopTransform::Parallelize { index: "i".into() },
         )
         .unwrap();
-        let c = emit_program(&prog);
+        let c = emit_program(&prog).expect("emit");
         assert!(c.contains("#pragma omp parallel for"), "{c}");
     }
 
@@ -864,7 +864,7 @@ mod emit_tests {
             ],
         )
         .unwrap();
-        let c = emit_program(&prog);
+        let c = emit_program(&prog).expect("emit");
         assert!(c.contains("__m128"), "{c}");
         assert!(c.contains("_mm_add_ps") || c.contains("_mm_set_ps"), "{c}");
         assert!(c.contains("_mm_storeu_ps") || c.contains("vspill"), "{c}");
@@ -873,12 +873,147 @@ mod emit_tests {
     #[test]
     fn emitted_c_contains_runtime_and_signatures() {
         let prog = mean_program(2, 4, 2);
-        let c = emit_program(&prog);
+        let c = emit_program(&prog).expect("emit");
         assert!(c.contains("typedef struct"));
         assert!(c.contains("int main(void)"));
         assert!(c.contains("void mean(cmm_mat* mat, cmm_mat* means)"));
         assert!(c.contains("rc_decr"));
         assert!(c.contains("alloc_mat_f32(2, 2, 4)"), "rank-prefixed alloc: {c}");
+    }
+
+    fn fn_with_body(name: &str, body: Vec<IrStmt>) -> IrFunction {
+        IrFunction {
+            name: name.into(),
+            params: vec![],
+            ret: CType::Void,
+            ret_tuple: None,
+            body,
+        }
+    }
+
+    #[test]
+    fn unpack_without_call_is_a_typed_error_not_a_panic() {
+        let prog = IrProgram {
+            functions: vec![fn_with_body(
+                "main",
+                vec![
+                    IrStmt::Decl {
+                        ty: CType::Int,
+                        name: "a".into(),
+                        init: None,
+                    },
+                    IrStmt::UnpackCall {
+                        targets: vec!["a".into()],
+                        call: IrExpr::Var("x".into()),
+                    },
+                ],
+            )],
+        };
+        let err = emit_program(&prog).unwrap_err();
+        assert_eq!(
+            err,
+            crate::emit::EmitError::UnpackWithoutCall {
+                function: "main".into()
+            }
+        );
+        assert!(err.to_string().contains("main"), "{err}");
+    }
+
+    #[test]
+    fn tuple_outside_return_is_a_typed_error_not_a_panic() {
+        // A tuple as a declaration initializer has no C equivalent.
+        let prog = IrProgram {
+            functions: vec![fn_with_body(
+                "helper",
+                vec![IrStmt::Decl {
+                    ty: CType::Int,
+                    name: "t".into(),
+                    init: Some(IrExpr::Tuple(vec![IrExpr::Int(1), IrExpr::Int(2)])),
+                }],
+            )],
+        };
+        let err = emit_program(&prog).unwrap_err();
+        assert_eq!(
+            err,
+            crate::emit::EmitError::TupleOutsideReturn {
+                function: "helper".into()
+            }
+        );
+
+        // Nested tuples inside a returned tuple are equally unmappable.
+        let nested = IrProgram {
+            functions: vec![IrFunction {
+                name: "pair".into(),
+                params: vec![],
+                ret: CType::Void,
+                ret_tuple: Some(vec![CType::Int, CType::Int]),
+                body: vec![IrStmt::Return(Some(IrExpr::Tuple(vec![
+                    IrExpr::Int(1),
+                    IrExpr::Tuple(vec![IrExpr::Int(2)]),
+                ])))],
+            }],
+        };
+        assert!(matches!(
+            emit_program(&nested).unwrap_err(),
+            crate::emit::EmitError::TupleOutsideReturn { .. }
+        ));
+    }
+
+    #[test]
+    fn tuple_directly_under_return_still_emits() {
+        let prog = IrProgram {
+            functions: vec![
+                IrFunction {
+                    name: "pair".into(),
+                    params: vec![],
+                    ret: CType::Void,
+                    ret_tuple: Some(vec![CType::Int, CType::Float]),
+                    body: vec![IrStmt::Return(Some(IrExpr::Tuple(vec![
+                        IrExpr::Int(1),
+                        IrExpr::Float(2.0),
+                    ])))],
+                },
+                fn_with_body("main", vec![IrStmt::Return(None)]),
+            ],
+        };
+        let c = emit_program(&prog).expect("emit");
+        assert!(c.contains("pair"), "{c}");
+    }
+
+    #[test]
+    fn non_finite_floats_emit_valid_c_spellings() {
+        // `1e40` overflows f32 to +inf during parsing, so non-finite
+        // literals reach the emitter from real source; `{:?}` would print
+        // `inff` / `NaNf`, which C rejects.
+        let prog = IrProgram {
+            functions: vec![fn_with_body(
+                "main",
+                vec![
+                    IrStmt::Decl {
+                        ty: CType::Float,
+                        name: "p".into(),
+                        init: Some(IrExpr::Float(f32::INFINITY)),
+                    },
+                    IrStmt::Decl {
+                        ty: CType::Float,
+                        name: "q".into(),
+                        init: Some(IrExpr::Float(f32::NEG_INFINITY)),
+                    },
+                    IrStmt::Decl {
+                        ty: CType::Float,
+                        name: "r".into(),
+                        init: Some(IrExpr::Float(f32::NAN)),
+                    },
+                ],
+            )],
+        };
+        let c = emit_program(&prog).expect("emit");
+        assert!(c.contains("#include <math.h>"), "{c}");
+        assert!(c.contains("float p = INFINITY;"), "{c}");
+        assert!(c.contains("float q = (-INFINITY);"), "{c}");
+        assert!(c.contains("float r = ((float)NAN);"), "{c}");
+        assert!(!c.contains("inff"), "invalid C float literal: {c}");
+        assert!(!c.contains("NaNf"), "invalid C float literal: {c}");
     }
 }
 

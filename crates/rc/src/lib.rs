@@ -24,7 +24,10 @@
 mod pool;
 mod rcbuf;
 
-pub use pool::{pool_stats, reset_pool, set_alloc_fault_hook, set_pool_enabled, PoolStats};
+pub use pool::{
+    pool_stats, reset_pool, set_alloc_fault_hook, set_pool_enabled, AllocError, PoolBlock,
+    PoolStats, MAX_BLOCK_BYTES,
+};
 pub use rcbuf::{RcBuf, SharedWriter};
 
 #[cfg(test)]

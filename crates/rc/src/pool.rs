@@ -9,6 +9,7 @@
 
 use std::alloc::{alloc, dealloc, Layout};
 use std::cell::RefCell;
+use std::ptr::NonNull;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -16,6 +17,51 @@ use std::sync::Mutex;
 /// `1 << c` bytes). 2^31 = 2 GiB is far above any matrix this library
 /// allocates in one block.
 const NUM_CLASSES: usize = 32;
+
+/// Largest block the pool will hand out (the top size class). Requests
+/// above this are rejected with [`AllocError::Oversize`] instead of
+/// overflowing the size-class computation.
+pub const MAX_BLOCK_BYTES: usize = 1 << (NUM_CLASSES - 1);
+
+/// Typed allocation failure, replacing the panics the pool used to raise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// The request exceeds [`MAX_BLOCK_BYTES`] (or overflows the
+    /// size-class computation entirely).
+    Oversize {
+        /// Bytes requested.
+        bytes: usize,
+    },
+    /// The system allocator returned null.
+    OutOfMemory {
+        /// Bytes requested.
+        bytes: usize,
+    },
+    /// The installed [`set_alloc_fault_hook`] hook fired.
+    FaultInjected {
+        /// Bytes requested.
+        bytes: usize,
+    },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::Oversize { bytes } => write!(
+                f,
+                "allocation of {bytes} bytes exceeds the {MAX_BLOCK_BYTES}-byte pool block limit"
+            ),
+            AllocError::OutOfMemory { bytes } => {
+                write!(f, "system allocator failed for {bytes} bytes")
+            }
+            AllocError::FaultInjected { bytes } => {
+                write!(f, "injected allocation failure ({bytes} bytes requested)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
 /// Per-thread cache depth per class. Small, so memory held by idle threads
 /// stays bounded.
 const THREAD_CACHE: usize = 8;
@@ -104,10 +150,15 @@ pub fn reset_pool() {
     RECYCLED.store(0, Ordering::Relaxed);
 }
 
-/// Size class for a byte size: index of the next power of two.
+/// Size class for a byte size: index of the next power of two. `None`
+/// when the request is larger than the top class (absurd requests used to
+/// overflow `next_power_of_two` and index past the class table).
 #[inline]
-pub(crate) fn size_class(bytes: usize) -> usize {
-    bytes.next_power_of_two().trailing_zeros() as usize
+pub(crate) fn size_class(bytes: usize) -> Option<usize> {
+    if bytes > MAX_BLOCK_BYTES {
+        return None;
+    }
+    Some(bytes.next_power_of_two().trailing_zeros() as usize)
 }
 
 #[inline]
@@ -117,26 +168,17 @@ fn class_layout(class: usize) -> Layout {
     Layout::from_size_align(1 << class, 16).expect("valid class layout")
 }
 
-/// Allocate a block of at least `bytes` bytes, 16-byte aligned. Returns the
-/// pointer and the size class it belongs to.
-pub(crate) fn alloc_block(bytes: usize) -> (*mut u8, usize) {
-    match try_alloc_block_inner(bytes, false) {
-        Some(r) => r,
-        None => panic!("allocation of {bytes} bytes failed"),
+/// Allocate a block of at least `bytes` bytes, 16-byte aligned. Returns
+/// the pointer and the size class it belongs to, or a typed [`AllocError`]
+/// when the request is oversize, the system allocator fails, or the
+/// installed fault hook fires. All allocation (including the previously
+/// panicking `alloc_block` path) goes through here now; infallible public
+/// APIs panic at their own level with the typed error's message.
+pub(crate) fn try_alloc_block(bytes: usize) -> Result<(*mut u8, usize), AllocError> {
+    if alloc_fault_injected() {
+        return Err(AllocError::FaultInjected { bytes });
     }
-}
-
-/// Fallible variant of [`alloc_block`]: returns `None` if the system
-/// allocator fails or the installed fault hook fires.
-pub(crate) fn try_alloc_block(bytes: usize) -> Option<(*mut u8, usize)> {
-    try_alloc_block_inner(bytes, true)
-}
-
-fn try_alloc_block_inner(bytes: usize, faultable: bool) -> Option<(*mut u8, usize)> {
-    if faultable && alloc_fault_injected() {
-        return None;
-    }
-    let class = size_class(bytes.max(1));
+    let class = size_class(bytes.max(1)).ok_or(AllocError::Oversize { bytes })?;
     if POOL_ENABLED.load(Ordering::Relaxed) {
         let cached = LOCAL_FREE
             .try_with(|local| local.borrow_mut()[class].pop())
@@ -150,23 +192,24 @@ fn try_alloc_block_inner(bytes: usize, faultable: bool) -> Option<(*mut u8, usiz
             });
         if let Some(p) = cached {
             HITS.fetch_add(1, Ordering::Relaxed);
-            return Some((p as *mut u8, class));
+            return Ok((p as *mut u8, class));
         }
         MISSES.fetch_add(1, Ordering::Relaxed);
     }
     // Safety: layout has nonzero size (class of bytes.max(1)).
     let p = unsafe { alloc(class_layout(class)) };
     if p.is_null() {
-        return None;
+        return Err(AllocError::OutOfMemory { bytes });
     }
-    Some((p, class))
+    Ok((p, class))
 }
 
-/// Return a block obtained from [`alloc_block`] with the recorded class.
+/// Return a block obtained from [`try_alloc_block`] with the recorded
+/// class.
 ///
 /// # Safety
-/// `ptr` must come from `alloc_block` with the same `class` and must not be
-/// used afterwards.
+/// `ptr` must come from `try_alloc_block` with the same `class` and must
+/// not be used afterwards.
 pub(crate) unsafe fn free_block(ptr: *mut u8, class: usize) {
     if POOL_ENABLED.load(Ordering::Relaxed) {
         let kept = LOCAL_FREE
@@ -192,4 +235,64 @@ pub(crate) unsafe fn free_block(ptr: *mut u8, class: usize) {
         }
     }
     dealloc(ptr, class_layout(class));
+}
+
+/// An owned, zero-initialized raw block from the recycling pool: the
+/// untyped storage behind the loop-IR interpreter's matrix buffers, so
+/// interpreter runs exercise (and are measured against) the same
+/// size-class pool as the native runtime.
+///
+/// The block is 16-byte aligned and at least `bytes` long. Access is raw
+/// by design — the interpreter performs disjoint concurrent element writes
+/// from parallel loops, the same discipline the generated C uses.
+pub struct PoolBlock {
+    ptr: NonNull<u8>,
+    class: usize,
+    bytes: usize,
+}
+
+// Safety: the block is uniquely owned; concurrent access discipline is the
+// caller's (documented) responsibility, as with any raw allocation.
+unsafe impl Send for PoolBlock {}
+unsafe impl Sync for PoolBlock {}
+
+impl PoolBlock {
+    /// Acquire a zeroed block of at least `bytes` bytes.
+    pub fn try_zeroed(bytes: usize) -> Result<PoolBlock, AllocError> {
+        let (raw, class) = try_alloc_block(bytes)?;
+        // Safety: the block is at least `bytes` long and freshly owned.
+        // Recycled blocks contain stale data, so zero explicitly.
+        unsafe { std::ptr::write_bytes(raw, 0, bytes) };
+        Ok(PoolBlock {
+            ptr: NonNull::new(raw).expect("try_alloc_block returned non-null"),
+            class,
+            bytes,
+        })
+    }
+
+    /// Base pointer of the block.
+    #[inline]
+    pub fn as_ptr(&self) -> *mut u8 {
+        self.ptr.as_ptr()
+    }
+
+    /// Usable length in bytes (the requested size, not the class size).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bytes
+    }
+
+    /// Whether the block has zero usable bytes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bytes == 0
+    }
+}
+
+impl Drop for PoolBlock {
+    fn drop(&mut self) {
+        // Safety: ptr/class came from try_alloc_block and the block is
+        // uniquely owned.
+        unsafe { free_block(self.ptr.as_ptr(), self.class) };
+    }
 }

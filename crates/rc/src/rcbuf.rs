@@ -6,7 +6,7 @@ use std::mem::{align_of, size_of};
 use std::ptr::NonNull;
 use std::sync::atomic::{fence, AtomicU32, Ordering};
 
-use crate::pool::{alloc_block, free_block, try_alloc_block};
+use crate::pool::{free_block, try_alloc_block, AllocError};
 
 /// Header placed in front of the element data, mirroring the paper's
 /// "extra 4 bytes attached to every piece of memory" (§III-B): `refs` is the
@@ -45,27 +45,22 @@ unsafe impl<T: Copy + Send + Sync> Send for RcBuf<T> {}
 unsafe impl<T: Copy + Send + Sync> Sync for RcBuf<T> {}
 
 impl<T: Copy> RcBuf<T> {
+    /// Infallible allocation for the infallible constructors: panics with
+    /// the typed [`AllocError`] message. All block acquisition routes
+    /// through [`try_alloc_block`] — this is the only panic site left.
     fn alloc(len: usize) -> NonNull<u8> {
-        let bytes = data_offset::<T>() + len * size_of::<T>();
-        let (raw, class) = alloc_block(bytes);
-        // Safety: raw is valid for `bytes` writes and suitably aligned.
-        unsafe {
-            (raw as *mut Header).write(Header {
-                refs: AtomicU32::new(1),
-                class: class as u32,
-                len,
-            });
-        }
-        NonNull::new(raw).expect("alloc_block returned null")
+        Self::try_alloc(len)
+            .unwrap_or_else(|e| panic!("cmm-rc: buffer of {len} elements: {e}"))
     }
 
-    /// Fallible [`RcBuf::alloc`]: `None` on allocator failure or when the
-    /// pool's fault-injection hook fires. Overflowing size requests also
-    /// report failure instead of panicking.
-    fn try_alloc(len: usize) -> Option<NonNull<u8>> {
+    /// Fallible allocation: a typed [`AllocError`] on allocator failure,
+    /// when the pool's fault-injection hook fires, or when the request is
+    /// oversize / overflows the size computation.
+    fn try_alloc(len: usize) -> Result<NonNull<u8>, AllocError> {
         let bytes = len
             .checked_mul(size_of::<T>())
-            .and_then(|b| b.checked_add(data_offset::<T>()))?;
+            .and_then(|b| b.checked_add(data_offset::<T>()))
+            .ok_or(AllocError::Oversize { bytes: usize::MAX })?;
         let (raw, class) = try_alloc_block(bytes)?;
         // Safety: raw is valid for `bytes` writes and suitably aligned.
         unsafe {
@@ -75,7 +70,7 @@ impl<T: Copy> RcBuf<T> {
                 len,
             });
         }
-        NonNull::new(raw)
+        Ok(NonNull::new(raw).expect("try_alloc_block returned non-null"))
     }
 
     fn header(&self) -> &Header {
@@ -106,10 +101,11 @@ impl<T: Copy> RcBuf<T> {
         buf
     }
 
-    /// Fallible [`RcBuf::new`]: `None` if the block cannot be acquired
-    /// (allocator failure or injected fault). The pool and counters are
-    /// left untouched on failure — nothing to leak or double-free.
-    pub fn try_new(len: usize, fill: T) -> Option<Self> {
+    /// Fallible [`RcBuf::new`]: a typed [`AllocError`] if the block cannot
+    /// be acquired (allocator failure, injected fault, or oversize
+    /// request). The pool and counters are left untouched on failure —
+    /// nothing to leak or double-free.
+    pub fn try_new(len: usize, fill: T) -> Result<Self, AllocError> {
         let buf = Self {
             ptr: Self::try_alloc(len)?,
             _marker: PhantomData,
@@ -121,11 +117,11 @@ impl<T: Copy> RcBuf<T> {
                 p.add(i).write(fill);
             }
         }
-        Some(buf)
+        Ok(buf)
     }
 
     /// Fallible [`RcBuf::from_fn`] (see [`RcBuf::try_new`]).
-    pub fn try_from_fn(len: usize, mut f: impl FnMut(usize) -> T) -> Option<Self> {
+    pub fn try_from_fn(len: usize, mut f: impl FnMut(usize) -> T) -> Result<Self, AllocError> {
         let buf = Self {
             ptr: Self::try_alloc(len)?,
             _marker: PhantomData,
@@ -136,7 +132,7 @@ impl<T: Copy> RcBuf<T> {
                 p.add(i).write(f(i));
             }
         }
-        Some(buf)
+        Ok(buf)
     }
 
     /// Buffer initialized from `f(i)` for each index.

@@ -161,11 +161,48 @@ fn pool_disabled_goes_to_system() {
 
 #[test]
 fn size_class_rounds_to_power_of_two() {
-    assert_eq!(size_class(1), 0);
-    assert_eq!(size_class(2), 1);
-    assert_eq!(size_class(3), 2);
-    assert_eq!(size_class(1024), 10);
-    assert_eq!(size_class(1025), 11);
+    assert_eq!(size_class(1), Some(0));
+    assert_eq!(size_class(2), Some(1));
+    assert_eq!(size_class(3), Some(2));
+    assert_eq!(size_class(1024), Some(10));
+    assert_eq!(size_class(1025), Some(11));
+}
+
+#[test]
+fn oversize_requests_are_rejected_not_panicked() {
+    // At the limit: still classifiable.
+    assert_eq!(size_class(MAX_BLOCK_BYTES), Some(31));
+    // Past the limit (would previously overflow next_power_of_two or
+    // index past the class table): rejected.
+    assert_eq!(size_class(MAX_BLOCK_BYTES + 1), None);
+    assert_eq!(size_class(usize::MAX), None);
+
+    // The fallible constructors surface a typed Oversize error without
+    // touching the allocator.
+    let r = RcBuf::<u64>::try_new(usize::MAX / 2, 0);
+    assert!(matches!(r, Err(AllocError::Oversize { .. })), "{r:?}");
+    let r = RcBuf::<u8>::try_from_fn(MAX_BLOCK_BYTES * 2, |_| 0);
+    assert!(matches!(r, Err(AllocError::Oversize { .. })), "{r:?}");
+    let r = PoolBlock::try_zeroed(MAX_BLOCK_BYTES + 1);
+    assert!(matches!(r, Err(AllocError::Oversize { .. })));
+}
+
+#[test]
+fn pool_block_is_zeroed_and_recycled() {
+    reset_pool();
+    let before = pool_stats();
+    let block = PoolBlock::try_zeroed(256).expect("alloc");
+    assert_eq!(block.len(), 256);
+    assert_eq!(block.as_ptr() as usize % 16, 0, "16-byte aligned");
+    // Dirty the block, free it, and reacquire: the pool must hand the
+    // recycled block back zeroed.
+    unsafe { std::ptr::write_bytes(block.as_ptr(), 0xab, 256) };
+    drop(block);
+    let block2 = PoolBlock::try_zeroed(256).expect("alloc");
+    let data = unsafe { std::slice::from_raw_parts(block2.as_ptr(), 256) };
+    assert!(data.iter().all(|&b| b == 0), "recycled blocks must be re-zeroed");
+    let after = pool_stats();
+    assert!(after.recycled > before.recycled, "free captured by a cache");
 }
 
 #[test]

@@ -50,7 +50,7 @@ impl<T: Element> Matrix<T> {
     /// Fallible [`Matrix::fill`] (see [`Matrix::try_init`]).
     pub fn try_fill(shape: impl Into<Shape>, value: T) -> Result<Self> {
         let shape = shape.into();
-        let data = RcBuf::try_new(shape.len(), value).ok_or(MatrixError::AllocFailed {
+        let data = RcBuf::try_new(shape.len(), value).map_err(|_| MatrixError::AllocFailed {
             elements: shape.len(),
         })?;
         Ok(Matrix { shape, data })

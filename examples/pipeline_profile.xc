@@ -1,0 +1,19 @@
+// Self-contained profile target for `cmmc run --profile` and the
+// `pipeline` bench: generates its own data (no input files), runs two
+// parallel with-loops plus a scalar helper, and folds to one number so
+// the output is easy to assert on.
+float rowScore(Matrix float <2> grid, int i, int n) {
+    return with ([0] <= [j] < [n]) fold(+, 0.0, grid[i, j] * grid[i, j]);
+}
+
+int main() {
+    int m = 48;
+    int n = 64;
+    Matrix float <2> grid = with ([0, 0] <= [i, j] < [m, n])
+        genarray([m, n], toFloat(i * 31 + j * 7) * 0.125);
+    Matrix float <1> scores = with ([0] <= [i] < [m])
+        genarray([m], rowScore(grid, i, n));
+    float total = with ([0] <= [i] < [m]) fold(+, 0.0, scores[i]);
+    printFloat(total / toFloat(m * n));
+    return 0;
+}

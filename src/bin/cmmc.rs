@@ -14,6 +14,8 @@
 //!   --fuel N         abort `run` after N interpreter steps
 //!   --max-mem BYTES  cap live matrix memory (suffixes k/m/g allowed)
 //!   --deadline-ms N  wall-clock budget for `run` in milliseconds
+//!   --profile        print a pass/region/interpreter profile to stderr
+//!   --metrics-json F write the profile as JSON (schema cmm-metrics-v1) to F
 //! ```
 //!
 //! Exit codes: 0 success, 1 runtime error, 2 usage error, 3 unreadable
@@ -35,7 +37,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: cmmc <run|emit|check|analyses> [file.xc] [options]\n\
          options: --ext a,b,c | --threads N | -o out.c | --no-parallel | --no-fusion\n\
-         \x20        --fuel N | --max-mem BYTES[k|m|g] | --deadline-ms N"
+         \x20        --fuel N | --max-mem BYTES[k|m|g] | --deadline-ms N\n\
+         \x20        --profile | --metrics-json FILE"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -79,6 +82,8 @@ fn main() -> ExitCode {
     let mut parallel = true;
     let mut fusion = true;
     let mut limits = Limits::default();
+    let mut profile = false;
+    let mut metrics_json: Option<String> = None;
     let mut exts: Vec<String> = vec![
         "ext-matrix".into(),
         "ext-tuples".into(),
@@ -119,6 +124,11 @@ fn main() -> ExitCode {
                 exts.retain(|e| !e.is_empty());
             }
             "-o" => out_file = it.next().cloned(),
+            "--profile" => profile = true,
+            "--metrics-json" => {
+                let Some(v) = it.next() else { return usage() };
+                metrics_json = Some(v.clone());
+            }
             "--no-parallel" => parallel = false,
             "--no-fusion" => fusion = false,
             other if !other.starts_with('-') && file.is_none() => {
@@ -188,19 +198,46 @@ fn main() -> ExitCode {
             }
             Err(e) => fail(&e),
         },
-        "run" => match compiler.run_with_limits(&src, threads, limits) {
-            Ok(result) => {
-                print!("{}", result.output);
-                if result.leaked > 0 {
-                    eprintln!(
-                        "cmmc: warning: {} of {} buffers leaked",
-                        result.leaked, result.allocations
-                    );
+        "run" => {
+            if profile || metrics_json.is_some() {
+                match compiler.run_profiled(&src, threads, limits) {
+                    Ok((result, report)) => {
+                        print!("{}", result.output);
+                        if result.leaked > 0 {
+                            eprintln!(
+                                "cmmc: warning: {} of {} buffers leaked",
+                                result.leaked, result.allocations
+                            );
+                        }
+                        if profile {
+                            eprint!("{}", report.render_table());
+                        }
+                        if let Some(path) = metrics_json {
+                            if let Err(e) = std::fs::write(&path, report.to_json()) {
+                                eprintln!("cmmc: cannot write {path}: {e}");
+                                return ExitCode::from(EXIT_FILE);
+                            }
+                        }
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => fail(&e),
                 }
-                ExitCode::SUCCESS
+            } else {
+                match compiler.run_with_limits(&src, threads, limits) {
+                    Ok(result) => {
+                        print!("{}", result.output);
+                        if result.leaked > 0 {
+                            eprintln!(
+                                "cmmc: warning: {} of {} buffers leaked",
+                                result.leaked, result.allocations
+                            );
+                        }
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => fail(&e),
+                }
             }
-            Err(e) => fail(&e),
-        },
+        }
         _ => usage(),
     }
 }

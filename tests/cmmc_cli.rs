@@ -192,6 +192,67 @@ fn compile_error_exits_4() {
 }
 
 #[test]
+fn profile_prints_table_on_stderr_output_on_stdout() {
+    let path = write_program("profile.xc", PROGRAM);
+    let out = cmmc()
+        .args(["run", &path, "--threads", "2", "--profile"])
+        .output()
+        .expect("spawn cmmc");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // Program output stays clean on stdout; the profile goes to stderr.
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "140\n");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for section in ["compile passes", "fork-join regions", "interpreter", "rc pool"] {
+        assert!(stderr.contains(section), "missing {section} in: {stderr}");
+    }
+    assert!(stderr.contains("parse"), "{stderr}");
+    assert!(stderr.contains("barrier wait"), "{stderr}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn metrics_json_writes_schema_tagged_file() {
+    let path = write_program("mjson.xc", PROGRAM);
+    let json_path = std::env::temp_dir().join(format!("cmmc-{}-metrics.json", std::process::id()));
+    let out = cmmc()
+        .args(["run", &path, "--metrics-json", &json_path.display().to_string()])
+        .output()
+        .expect("spawn cmmc");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // --metrics-json alone keeps stderr quiet (no table).
+    assert_eq!(String::from_utf8_lossy(&out.stderr), "");
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "140\n");
+    let json = std::fs::read_to_string(&json_path).expect("metrics file written");
+    assert!(json.contains("\"schema\": \"cmm-metrics-v1\""), "{json}");
+    for key in ["\"passes\"", "\"pool\"", "\"interp\"", "\"rc\"", "\"imbalance_ratio\""] {
+        assert!(json.contains(key), "missing {key} in: {json}");
+    }
+    std::fs::remove_file(path).ok();
+    std::fs::remove_file(json_path).ok();
+}
+
+#[test]
+fn metrics_json_unwritable_path_exits_3() {
+    let path = write_program("mjson-bad.xc", PROGRAM);
+    let out = cmmc()
+        .args(["run", &path, "--metrics-json", "/nonexistent/dir/m.json"])
+        .output()
+        .expect("spawn cmmc");
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot write"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn metrics_json_without_value_is_usage_error() {
+    let out = cmmc()
+        .args(["run", "whatever.xc", "--metrics-json"])
+        .output()
+        .expect("spawn cmmc");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn restricted_extension_set() {
     let path = write_program("noext.xc", PROGRAM);
     let out = cmmc()

@@ -75,7 +75,7 @@ fn fig1_expands_to_fig3_loop_nest() {
     // `means` — the assignment re-binds the handle (§III-A4). An
     // element-wise copy would appear as a Store loop after the nest whose
     // body loads and stores the same index; instead we expect rc calls.
-    let c = cmm::loopir::emit::emit_program(&ir);
+    let c = cmm::loopir::emit::emit_program(&ir).expect("emit");
     assert!(c.contains("rc_incr"), "handle transfer, not a copy");
 }
 

@@ -86,7 +86,7 @@ fn fig9_full_recipe_produces_fig11_artifacts() {
     let jin = find_loop(&i_loop.body, "jin").expect("jin loop");
     assert!(jin.vector, "vectorize jin");
 
-    let c = emit_program(&ir);
+    let c = emit_program(&ir).expect("emit");
     assert!(c.contains("#pragma omp parallel for"), "Fig 11's parallel outer loop");
     assert!(c.contains("__m128"), "Fig 11's SSE vectors");
     assert!(

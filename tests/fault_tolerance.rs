@@ -137,7 +137,10 @@ fn injected_rc_alloc_failure_is_clean() {
     set_alloc_fault_hook(None);
 
     let a = a.expect("first allocation succeeds");
-    assert!(b.is_none(), "second allocation must fail by plan");
+    assert!(
+        matches!(b, Err(cmm::rc::AllocError::FaultInjected { .. })),
+        "second allocation must fail by plan with a typed error"
+    );
     let c = c.expect("third allocation succeeds");
     assert_eq!(faultinject::alloc_failures_injected(), 1);
 

@@ -162,6 +162,40 @@ fn transformed_loops_sse_and_openmp() {
     );
 }
 
+/// Non-finite float constants must emit as C spellings (`INFINITY` from
+/// `<math.h>`), not Rust debug literals like `inff` that gcc rejects. The
+/// 40-digit literal overflows f32 to +inf during parsing, exercising the
+/// constant path; `1.0 / 0.0` exercises the runtime path. Both print as
+/// `inf`/`-inf` identically in the interpreter and glibc printf. (NaN is
+/// deliberately not printed: Rust says `NaN`, C says `nan`.)
+#[test]
+fn non_finite_floats_compile_and_roundtrip() {
+    if !gcc_available() {
+        eprintln!("gcc not available; skipping");
+        return;
+    }
+    let src = r#"
+        int main() {
+            float huge = 10000000000000000000000000000000000000000.0;
+            printFloat(huge);
+            float q = 1.0 / 0.0;
+            printFloat(q);
+            printFloat(0.0 - q);
+            printBool(q > 1000000.0);
+            printBool(q > huge);
+            return 0;
+        }
+        "#;
+    let compiler = full_compiler();
+    let c = compiler.compile_to_c(src).expect("emit C");
+    assert!(c.contains("INFINITY"), "overflowed literal should emit as INFINITY: {c}");
+    assert!(!c.contains("inff"), "invalid C float literal: {c}");
+    let interp_out = compiler.run(src, 2).expect("interpreter run").output;
+    assert!(interp_out.contains("inf"), "{interp_out}");
+    let gcc_out = compile_and_run_c(&c, 2).expect("gcc compile+run");
+    assert_eq!(interp_out, gcc_out, "interpreter and gcc outputs differ");
+}
+
 #[test]
 fn modarray_with_loop() {
     roundtrip(

@@ -1,0 +1,153 @@
+//! Pipeline observability (PR 2): pass timings from `compile_metered`,
+//! fork-join region telemetry and rc-pool deltas from `run_profiled`, and
+//! the stable `cmm-metrics-v1` JSON layout — parsed here by hand, since
+//! the workspace has no serde and downstream tools shouldn't need one.
+
+use std::sync::Mutex;
+
+use cmm::core::{CompileMetrics, ProfileReport, METRICS_SCHEMA};
+use cmm::eddy::programs::full_compiler;
+use cmm::loopir::Limits;
+
+/// The profile target CI smokes and the `pipeline` bench measures: two
+/// parallel with-loops (genarray over `scores`, fold over `scores`) and a
+/// scalar helper called per row.
+const PROGRAM: &str = include_str!("../examples/pipeline_profile.xc");
+
+/// rc-pool counters are process-global, and cargo runs tests in this
+/// binary concurrently; serialize the ones that assert on per-run deltas.
+static RC_LOCK: Mutex<()> = Mutex::new(());
+
+fn profiled(threads: usize) -> ProfileReport {
+    let compiler = full_compiler();
+    let (result, report) = compiler
+        .run_profiled(PROGRAM, threads, Limits::default())
+        .expect("profiled run");
+    assert_eq!(result.output, "17214.904297\n");
+    report
+}
+
+#[test]
+fn pass_timings_are_ordered_and_nonzero() {
+    let compiler = full_compiler();
+    let (_, metrics) = compiler.compile_metered(PROGRAM).expect("compile");
+    let names: Vec<&str> = metrics.passes.iter().map(|p| p.name).collect();
+    assert_eq!(
+        names,
+        ["parse", "build", "check", "optimize", "lower", "emit"],
+        "passes must appear in pipeline order"
+    );
+    for p in &metrics.passes {
+        assert!(p.nanos > 0, "pass {} reported zero wall time", p.name);
+    }
+    assert_eq!(
+        metrics.total_nanos(),
+        metrics.passes.iter().map(|p| p.nanos).sum::<u64>()
+    );
+    // Item counts describe the work each pass saw.
+    assert_eq!(metrics.pass("parse").unwrap().items, PROGRAM.len() as u64);
+    assert_eq!(metrics.pass("build").unwrap().items, 2, "two functions");
+    assert!(metrics.pass("lower").unwrap().items > 0, "lowered stmts");
+    assert!(metrics.pass("emit").unwrap().items > 0, "emitted C bytes");
+}
+
+#[test]
+fn plain_compile_and_metered_compile_agree() {
+    let compiler = full_compiler();
+    let plain = compiler.compile(PROGRAM).expect("compile");
+    let (metered, _) = compiler.compile_metered(PROGRAM).expect("compile");
+    assert_eq!(plain, metered, "metering must not change the produced IR");
+}
+
+#[test]
+fn region_telemetry_matches_program_shape() {
+    let _guard = RC_LOCK.lock().unwrap();
+    let report = profiled(4);
+    let pool = report.pool.expect("pool metrics");
+    // The program runs exactly two parallel with-loops, and the pool is
+    // created fresh for the run, so regions measured == regions run == 2.
+    assert_eq!(pool.regions_measured, 2);
+    assert!(pool.region_nanos > 0);
+    assert_eq!(pool.busy_nanos.len(), 4, "one slot per participant");
+    assert!(pool.imbalance_ratio() >= 1.0);
+    assert_eq!(report.threads, 4);
+
+    let interp = report.interp.expect("interp profile");
+    assert_eq!(interp.par_loops, 2);
+    assert_eq!(interp.par_iters, 48 + 48, "48 rows per parallel loop");
+    assert!(interp.total_steps > 0);
+    // grid (48*64*4 bytes) and scores (48*4 bytes) are live together.
+    assert!(interp.peak_live_bytes >= 48 * 64 * 4);
+    let names: Vec<&str> = interp.functions.iter().map(|f| f.name.as_str()).collect();
+    assert!(names.contains(&"main") && names.contains(&"rowScore"), "{names:?}");
+    let row = interp.functions.iter().find(|f| f.name == "rowScore").unwrap();
+    assert_eq!(row.calls, 48, "one call per row");
+}
+
+#[test]
+fn rc_counters_are_per_run_deltas_not_cumulative() {
+    let _guard = RC_LOCK.lock().unwrap();
+    let first = profiled(2);
+    let second = profiled(2);
+    // Each run allocates exactly two matrix buffers (grid, scores) and
+    // frees both; a cumulative counter would report 4 on the second run.
+    assert_eq!(first.rc.hits + first.rc.misses, 2, "{:?}", first.rc);
+    assert_eq!(second.rc.hits + second.rc.misses, 2, "{:?}", second.rc);
+    assert_eq!(first.rc.recycled, 2);
+    assert_eq!(second.rc.recycled, 2);
+    // The first run warmed the size classes, so the second never mallocs.
+    assert_eq!(second.rc.misses, 0, "{:?}", second.rc);
+}
+
+/// Extract `"key": <uint>` from the hand-rolled JSON.
+fn json_u64(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\": ");
+    let at = json.find(&needle).unwrap_or_else(|| panic!("missing {key} in {json}"));
+    let rest = &json[at + needle.len()..];
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().unwrap_or_else(|_| panic!("{key} is not a uint in {json}"))
+}
+
+#[test]
+fn metrics_json_round_trips_without_serde() {
+    let _guard = RC_LOCK.lock().unwrap();
+    let report = profiled(3);
+    let json = report.to_json();
+
+    assert!(json.contains(&format!("\"schema\": \"{METRICS_SCHEMA}\"")), "{json}");
+    assert_eq!(json_u64(&json, "threads"), 3);
+    assert_eq!(json_u64(&json, "total_nanos"), report.compile.total_nanos());
+    for p in &report.compile.passes {
+        assert!(json.contains(&format!("{{\"name\": \"{}\", \"nanos\": {}", p.name, p.nanos)), "{json}");
+    }
+    let pool = report.pool.as_ref().expect("pool metrics");
+    assert_eq!(json_u64(&json, "regions"), pool.regions_measured);
+    assert_eq!(json_u64(&json, "region_nanos"), pool.region_nanos);
+    assert_eq!(json_u64(&json, "barrier_wait_nanos"), pool.barrier_wait_nanos);
+    assert!(json.contains("\"imbalance_ratio\": "), "{json}");
+    let interp = report.interp.as_ref().expect("interp profile");
+    assert_eq!(json_u64(&json, "total_steps"), interp.total_steps);
+    assert_eq!(json_u64(&json, "par_iters"), interp.par_iters);
+    assert_eq!(json_u64(&json, "peak_live_bytes"), interp.peak_live_bytes);
+    assert_eq!(json_u64(&json, "hits"), report.rc.hits);
+    assert_eq!(json_u64(&json, "misses"), report.rc.misses);
+    assert_eq!(json_u64(&json, "recycled"), report.rc.recycled);
+}
+
+#[test]
+fn render_table_mentions_every_section() {
+    let _guard = RC_LOCK.lock().unwrap();
+    let table = profiled(2).render_table();
+    for section in ["compile passes", "fork-join regions", "interpreter", "rc pool"] {
+        assert!(table.contains(section), "missing {section} in:\n{table}");
+    }
+    assert!(table.contains("fuel rowScore"), "{table}");
+    assert!(table.contains("load imbalance"), "{table}");
+}
+
+#[test]
+fn metrics_default_is_empty() {
+    let m = CompileMetrics::default();
+    assert_eq!(m.total_nanos(), 0);
+    assert!(m.pass("parse").is_none());
+}
