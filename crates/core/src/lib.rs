@@ -23,7 +23,9 @@
 //!   → lowering to parallel loop IR → C emission ([`Compiler::compile_to_c`])
 //!   or direct execution ([`Compiler::run`]).
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use cmm_ag::{analyze_fragment, AgFragment, WellDefinednessReport};
@@ -42,7 +44,70 @@ pub use cmm_lang::typecheck::ExtSet as EnabledExtensions;
 mod gcc;
 mod metrics;
 pub use gcc::{compile_and_run_c, gcc_available};
-pub use metrics::{CompileMetrics, PassTiming, ProfileReport, METRICS_SCHEMA};
+pub use metrics::{CompileMetrics, ParserCacheStats, PassTiming, ProfileReport, METRICS_SCHEMA};
+
+/// Memo of composed parsers keyed by the canonical (sorted) set of
+/// selected extension names.
+///
+/// LALR(1) table construction dominates the cost of
+/// [`Registry::compiler`]; before this cache, every construction paid it
+/// again even for a composition that had already been built in the same
+/// process (the CLI builds one compiler per invocation, but tests,
+/// benchmarks, and library users build many). [`Parser`] has no interior
+/// mutability, so a single `Arc<Parser>` is safely shared across
+/// compilers and threads. Composition failures are never cached: a
+/// failing extension set re-runs the analysis and reports fresh each
+/// time.
+struct ParserCache {
+    parsers: Mutex<HashMap<Vec<String>, Arc<Parser>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ParserCache {
+    fn new() -> ParserCache {
+        ParserCache {
+            parsers: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `key`, building and inserting on a miss. The build runs
+    /// under the map lock: concurrent requests for the same key would
+    /// otherwise duplicate the exact table construction the cache exists
+    /// to avoid.
+    fn get_or_build(
+        &self,
+        key: Vec<String>,
+        build: impl FnOnce() -> Result<Parser, CompileError>,
+    ) -> Result<Arc<Parser>, CompileError> {
+        let mut parsers = self.parsers.lock().unwrap();
+        if let Some(p) = parsers.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(p));
+        }
+        let parser = Arc::new(build()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        parsers.insert(key, Arc::clone(&parser));
+        Ok(parser)
+    }
+
+    fn stats(&self) -> ParserCacheStats {
+        ParserCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The process-wide cache shared by every [`Registry::standard`]
+/// instance. Sharing is sound because `standard()` always registers the
+/// same grammar fragments, so equal name sets imply equal compositions.
+fn shared_parser_cache() -> Arc<ParserCache> {
+    static CACHE: OnceLock<Arc<ParserCache>> = OnceLock::new();
+    Arc::clone(CACHE.get_or_init(|| Arc::new(ParserCache::new())))
+}
 
 /// One pluggable language extension: its specifications plus packaging
 /// status as determined by the modular analyses.
@@ -67,6 +132,10 @@ pub struct Registry {
     pub host_ag: AgFragment,
     /// Available extensions in registration order.
     pub extensions: Vec<Extension>,
+    /// Composed-parser memo; `standard()` registries share one
+    /// process-wide cache so repeated compiler construction for the same
+    /// extension set costs one LALR(1) table build, total.
+    parser_cache: Arc<ParserCache>,
 }
 
 impl Registry {
@@ -117,6 +186,7 @@ impl Registry {
                     ),
                 },
             ],
+            parser_cache: shared_parser_cache(),
         }
     }
 
@@ -176,18 +246,25 @@ impl Registry {
             return Err(CompileError::Composition(failing));
         }
 
-        let fragments: Vec<&GrammarFragment> = selected.iter().map(|e| &e.grammar).collect();
-        let grammar = ComposedGrammar::compose(&self.host, &fragments)
-            .map_err(|e| CompileError::Compose(e.to_string()))?;
-        let parser = Parser::new(grammar).map_err(|conflicts| {
-            CompileError::Compose(format!(
-                "composed grammar is not LALR(1): {} conflicts, first: {}",
-                conflicts.len(),
-                conflicts
-                    .first()
-                    .map(|c| c.description.clone())
-                    .unwrap_or_default()
-            ))
+        // The cache key is the *selected* set (after packaging rules),
+        // sorted so request order never splits equivalent compositions
+        // into distinct entries.
+        let mut key: Vec<String> = selected.iter().map(|e| e.name.clone()).collect();
+        key.sort();
+        let parser = self.parser_cache.get_or_build(key, || {
+            let fragments: Vec<&GrammarFragment> = selected.iter().map(|e| &e.grammar).collect();
+            let grammar = ComposedGrammar::compose(&self.host, &fragments)
+                .map_err(|e| CompileError::Compose(e.to_string()))?;
+            Parser::new(grammar).map_err(|conflicts| {
+                CompileError::Compose(format!(
+                    "composed grammar is not LALR(1): {} conflicts, first: {}",
+                    conflicts.len(),
+                    conflicts
+                        .first()
+                        .map(|c| c.description.clone())
+                        .unwrap_or_default()
+                ))
+            })
         })?;
         let exts = ExtSet {
             matrix: on("ext-matrix"),
@@ -199,6 +276,7 @@ impl Registry {
         Ok(Compiler {
             parser,
             exts,
+            cache: Arc::clone(&self.parser_cache),
             options: LowerOptions::default(),
         })
     }
@@ -267,8 +345,9 @@ impl std::error::Error for CompileError {}
 
 /// A constructed translator for one composition of extensions.
 pub struct Compiler {
-    parser: Parser,
+    parser: Arc<Parser>,
     exts: ExtSet,
+    cache: Arc<ParserCache>,
     /// Lowering options (high-level optimizations, auto-parallelization);
     /// public so experiments can toggle the ablation knobs.
     pub options: LowerOptions,
@@ -290,6 +369,12 @@ impl Compiler {
     /// The composed grammar's parser (exposed for tooling/tests).
     pub fn parser(&self) -> &Parser {
         &self.parser
+    }
+
+    /// Hit/miss counters of the composed-parser cache this compiler was
+    /// built from (process-lifetime totals).
+    pub fn parser_cache_stats(&self) -> ParserCacheStats {
+        self.cache.stats()
     }
 
     /// Parse + build + check: the front half of the pipeline.
@@ -350,7 +435,10 @@ impl Compiler {
     /// emitter runs (output discarded) so the full pipeline of the paper
     /// — parse through emit — is accounted.
     pub fn compile_metered(&self, src: &str) -> Result<(IrProgram, CompileMetrics), CompileError> {
-        let mut m = CompileMetrics::default();
+        let mut m = CompileMetrics {
+            parser_cache: self.cache.stats(),
+            ..CompileMetrics::default()
+        };
         let (ast, info) = self.frontend_checked(src, Some(&mut m))?;
         let t0 = Instant::now();
         let (ast, fusions) = if self.options.fuse_slice_index {

@@ -33,11 +33,26 @@ pub struct PassTiming {
     pub unit: &'static str,
 }
 
+/// Hit/miss counters for the composed-parser cache, sampled at metering
+/// time. These are process-lifetime totals (the cache is shared by every
+/// [`crate::Registry::standard`] instance), so a warm process shows hits
+/// accumulating while misses stay at the number of distinct extension
+/// sets composed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParserCacheStats {
+    /// Compiler constructions served from the cache.
+    pub hits: u64,
+    /// Compiler constructions that had to build LALR(1) tables.
+    pub misses: u64,
+}
+
 /// Timings for one front-to-back compilation.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CompileMetrics {
     /// Per-pass wall time and item counts, in pipeline order.
     pub passes: Vec<PassTiming>,
+    /// Composed-parser cache activity for the process as of this compile.
+    pub parser_cache: ParserCacheStats,
 }
 
 impl CompileMetrics {
@@ -145,6 +160,9 @@ impl ProfileReport {
         let _ = writeln!(out, "{:<22} {:>10}", "hits", self.rc.hits);
         let _ = writeln!(out, "{:<22} {:>10}", "misses", self.rc.misses);
         let _ = writeln!(out, "{:<22} {:>10}", "recycled", self.rc.recycled);
+        let _ = writeln!(out, "── parser cache ────────────────────────────");
+        let _ = writeln!(out, "{:<22} {:>10}", "hits", self.compile.parser_cache.hits);
+        let _ = writeln!(out, "{:<22} {:>10}", "misses", self.compile.parser_cache.misses);
         out
     }
 
@@ -206,8 +224,13 @@ impl ProfileReport {
         }
         let _ = writeln!(
             out,
-            "  \"rc\": {{\"hits\": {}, \"misses\": {}, \"recycled\": {}}}",
+            "  \"rc\": {{\"hits\": {}, \"misses\": {}, \"recycled\": {}}},",
             self.rc.hits, self.rc.misses, self.rc.recycled
+        );
+        let _ = writeln!(
+            out,
+            "  \"parser_cache\": {{\"hits\": {}, \"misses\": {}}}",
+            self.compile.parser_cache.hits, self.compile.parser_cache.misses
         );
         out.push_str("}\n");
         out

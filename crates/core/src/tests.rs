@@ -89,6 +89,56 @@ mod registry {
     }
 }
 
+mod parser_cache {
+    use super::*;
+
+    #[test]
+    fn same_set_shares_one_parser() {
+        let reg = Registry::standard();
+        let a = reg.compiler(&["ext-matrix", "ext-rcptr"]).unwrap();
+        let b = reg.compiler(&["ext-matrix", "ext-rcptr"]).unwrap();
+        assert!(std::ptr::eq(a.parser(), b.parser()));
+    }
+
+    #[test]
+    fn request_order_does_not_split_the_key() {
+        // The key is the sorted *selected* set, so permuted requests
+        // resolve to the same cached parser.
+        let reg = Registry::standard();
+        let a = reg.compiler(&["ext-rcptr", "ext-matrix"]).unwrap();
+        let b = reg.compiler(&["ext-matrix", "ext-rcptr"]).unwrap();
+        assert!(std::ptr::eq(a.parser(), b.parser()));
+    }
+
+    #[test]
+    fn packaging_rules_canonicalize_the_key() {
+        // ext-transform without ext-matrix selects no fragments at all
+        // (it is packaged with the matrix extension), so it shares the
+        // host-only parser.
+        let reg = Registry::standard();
+        let host_only = reg.compiler(&[]).unwrap();
+        let transform_alone = reg.compiler(&["ext-transform"]).unwrap();
+        assert!(std::ptr::eq(host_only.parser(), transform_alone.parser()));
+    }
+
+    #[test]
+    fn distinct_sets_get_distinct_parsers() {
+        let reg = Registry::standard();
+        let host_only = reg.compiler(&[]).unwrap();
+        let matrix = reg.compiler(&["ext-matrix"]).unwrap();
+        assert!(!std::ptr::eq(host_only.parser(), matrix.parser()));
+    }
+
+    #[test]
+    fn separate_standard_registries_share_the_cache() {
+        let a = Registry::standard().compiler(&["ext-matrix"]).unwrap();
+        let hits_before = a.parser_cache_stats().hits;
+        let b = Registry::standard().compiler(&["ext-matrix"]).unwrap();
+        assert!(std::ptr::eq(a.parser(), b.parser()));
+        assert!(b.parser_cache_stats().hits > hits_before);
+    }
+}
+
 mod pipeline {
     use super::*;
 

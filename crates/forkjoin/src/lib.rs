@@ -173,12 +173,16 @@ pub struct PoolMetrics {
 impl PoolMetrics {
     /// Load-imbalance ratio: max participant busy time over the mean
     /// across all participants (1.0 = perfectly balanced; an idle worker
-    /// pulls the ratio up). Returns 0.0 when nothing was measured.
+    /// pulls the ratio up). When nothing was measured — no participants,
+    /// or every participant idle — all participants are trivially equal,
+    /// so the ratio is 1.0, keeping "balanced" the floor of the scale
+    /// (0.0 used to leak out and read as impossibly better than
+    /// balanced).
     pub fn imbalance_ratio(&self) -> f64 {
         let max = self.busy_nanos.iter().copied().max().unwrap_or(0) as f64;
         let sum: u64 = self.busy_nanos.iter().sum();
         if sum == 0 || self.busy_nanos.is_empty() {
-            return 0.0;
+            return 1.0;
         }
         let mean = sum as f64 / self.busy_nanos.len() as f64;
         max / mean

@@ -84,7 +84,7 @@ fn metrics_disabled_records_nothing() {
     assert_eq!(m.region_nanos, 0);
     assert_eq!(m.barrier_wait_nanos, 0);
     assert!(m.busy_nanos.iter().all(|&b| b == 0), "{m:?}");
-    assert_eq!(m.imbalance_ratio(), 0.0, "no data means no ratio");
+    assert_eq!(m.imbalance_ratio(), 1.0, "no data reads as balanced");
     // The health counter is independent of metering.
     assert_eq!(pool.regions_run(), 1);
 }
@@ -155,9 +155,21 @@ fn imbalance_ratio_math() {
     assert!((m.imbalance_ratio() - 1.5).abs() < 1e-9);
     let balanced = PoolMetrics {
         busy_nanos: vec![80, 80],
-        ..m
+        ..m.clone()
     };
     assert!((balanced.imbalance_ratio() - 1.0).abs() < 1e-9);
+    // All-idle participants are trivially balanced, not "0.0 imbalanced"
+    // (which would compare as better than a perfectly balanced run).
+    let idle = PoolMetrics {
+        busy_nanos: vec![0, 0, 0],
+        ..m.clone()
+    };
+    assert_eq!(idle.imbalance_ratio(), 1.0);
+    let empty = PoolMetrics {
+        busy_nanos: vec![],
+        ..m
+    };
+    assert_eq!(empty.imbalance_ratio(), 1.0);
 }
 
 #[test]
@@ -209,6 +221,24 @@ fn chunk_range_examples() {
     assert_eq!(chunk_range(3, 4, 3), 3..3);
     assert_eq!(chunk_range(7, 2, 0), 0..4);
     assert_eq!(chunk_range(7, 2, 1), 4..7);
+}
+
+#[test]
+fn chunk_range_fewer_items_than_threads() {
+    // total < nthreads: the surplus participants must get empty ranges
+    // while the chunks still partition 0..total exactly — the interpreter
+    // leans on this for parallel loops whose trip count is below the
+    // pool width.
+    for (total, nthreads) in [(3, 4), (1, 8), (0, 4), (5, 16)] {
+        let mut next = 0;
+        for tid in 0..nthreads {
+            let r = chunk_range(total, nthreads, tid);
+            assert_eq!(r.start, next, "gap at tid {tid} of {total}/{nthreads}");
+            assert!(r.len() <= 1, "over-wide chunk {r:?} for {total}/{nthreads}");
+            next = r.end;
+        }
+        assert_eq!(next, total, "chunks must cover 0..{total}");
+    }
 }
 
 #[test]

@@ -11,8 +11,13 @@
 //! `print_*` builtins append to a captured output buffer formatted exactly
 //! like the emitted C's `printf` calls, so integration tests can diff
 //! interpreter output against a gcc-compiled run of the same program.
+//!
+//! Execution runs over the slot-resolved form produced by [`crate::resolve`]:
+//! construction resolves every variable to a frame-slot index once, so the
+//! hot path indexes a flat `Vec<Value>` per call frame instead of walking
+//! string-keyed scope maps, and parallel loops hand each participant a
+//! frame seeded with only the slots the body actually references.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -20,7 +25,8 @@ use std::time::{Duration, Instant};
 use cmm_forkjoin::{chunk_range, ForkJoinPool};
 use cmm_rc::{AllocError, PoolBlock};
 
-use crate::ir::{CType, Elem, ForLoop, IrBinOp, IrExpr, IrFunction, IrProgram, IrStmt};
+use crate::ir::{CType, Elem, IrBinOp, IrProgram};
+use crate::resolve::{resolve_program, RCallee, RExpr, RFor, RProgram, RStmt, RTarget};
 
 /// Which resource budget a [`InterpErrorKind::LimitExceeded`] error hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -414,67 +420,18 @@ impl Value {
 /// A deferred Cilk-style spawn: arguments already evaluated.
 #[derive(Clone)]
 struct Pending {
-    target: Option<String>,
+    target: Option<RTarget>,
     target_is_buf: bool,
-    func: String,
+    callee: RCallee,
     args: Vec<Value>,
 }
 
-/// Lexically scoped environment.
-#[derive(Default, Clone)]
-struct Env {
-    scopes: Vec<HashMap<String, Value>>,
-    /// Outstanding spawns of the current function (run at `sync` or the
-    /// function's implicit sync).
+/// One call frame: a flat slot array (resolution assigned every variable
+/// of the function an index below `nslots`) plus the frame's outstanding
+/// spawns (run at `sync` or the function's implicit sync).
+struct Frame {
+    slots: Vec<Value>,
     pending: Vec<Pending>,
-}
-
-impl Env {
-    fn push(&mut self) {
-        self.scopes.push(HashMap::new());
-    }
-    fn pop(&mut self) {
-        self.scopes.pop();
-    }
-    fn declare(&mut self, name: &str, v: Value) {
-        if self.scopes.is_empty() {
-            self.scopes.push(HashMap::new());
-        }
-        if let Some(s) = self.scopes.last_mut() {
-            s.insert(name.to_string(), v);
-        }
-    }
-    fn get(&self, name: &str) -> IResult<&Value> {
-        for s in self.scopes.iter().rev() {
-            if let Some(v) = s.get(name) {
-                return Ok(v);
-            }
-        }
-        Err(InterpError::new(format!("undefined variable '{name}'")))
-    }
-    fn set(&mut self, name: &str, v: Value) -> IResult<()> {
-        for s in self.scopes.iter_mut().rev() {
-            if let Some(slot) = s.get_mut(name) {
-                *slot = v;
-                return Ok(());
-            }
-        }
-        Err(InterpError::new(format!("assignment to undefined variable '{name}'")))
-    }
-    /// Flattened snapshot for parallel workers (cheap: buffers are Arcs).
-    /// Pending spawns stay with the spawning frame.
-    fn snapshot(&self) -> Env {
-        let mut flat = HashMap::new();
-        for s in &self.scopes {
-            for (k, v) in s {
-                flat.insert(k.clone(), v.clone());
-            }
-        }
-        Env {
-            scopes: vec![flat],
-            pending: Vec::new(),
-        }
-    }
 }
 
 enum Flow {
@@ -515,9 +472,11 @@ pub struct InterpProfile {
 }
 
 /// The interpreter: an [`IrProgram`] plus a fork-join pool and captured
-/// output.
+/// output. Construction runs the slot-resolution pre-pass once; every
+/// call, including re-runs, then executes the resolved form.
 pub struct Interp<'p> {
     program: &'p IrProgram,
+    resolved: RProgram,
     pool: Arc<ForkJoinPool>,
     output: Mutex<String>,
     allocs: AtomicU32,
@@ -531,9 +490,9 @@ pub struct Interp<'p> {
     /// Profiling switch; all collection below is skipped when false so an
     /// unprofiled run pays only this bool check.
     profile: bool,
-    /// name → (calls, inclusive steps); Mutex is fine — touched once per
-    /// function call, not per statement.
-    fn_costs: Mutex<HashMap<String, (u64, u64)>>,
+    /// (calls, inclusive steps) indexed by resolved function; Mutex is
+    /// fine — touched once per function call, not per statement.
+    fn_costs: Mutex<Vec<(u64, u64)>>,
     par_loops: AtomicU64,
     par_iters: AtomicU64,
     peak_live_bytes: AtomicU64,
@@ -547,8 +506,11 @@ impl<'p> Interp<'p> {
 
     /// New interpreter sharing an existing pool.
     pub fn with_pool(program: &'p IrProgram, pool: Arc<ForkJoinPool>) -> Self {
+        let resolved = resolve_program(program);
+        let nfns = resolved.functions.len();
         Interp {
             program,
+            resolved,
             pool,
             output: Mutex::new(String::new()),
             allocs: AtomicU32::new(0),
@@ -558,11 +520,16 @@ impl<'p> Interp<'p> {
             steps: AtomicU64::new(0),
             live_bytes: AtomicU64::new(0),
             profile: false,
-            fn_costs: Mutex::new(HashMap::new()),
+            fn_costs: Mutex::new(vec![(0, 0); nfns]),
             par_loops: AtomicU64::new(0),
             par_iters: AtomicU64::new(0),
             peak_live_bytes: AtomicU64::new(0),
         }
+    }
+
+    /// The source program this interpreter was built from.
+    pub fn program(&self) -> &'p IrProgram {
+        self.program
     }
 
     /// Enable execution profiling: per-function fuel, parallel-loop
@@ -578,8 +545,10 @@ impl<'p> Interp<'p> {
     pub fn profile(&self) -> InterpProfile {
         let mut functions: Vec<FnProfile> = lock_ignore_poison(&self.fn_costs)
             .iter()
-            .map(|(name, &(calls, steps))| FnProfile {
-                name: name.clone(),
+            .zip(&self.resolved.functions)
+            .filter(|(&(calls, _), _)| calls > 0)
+            .map(|(&(calls, steps), f)| FnProfile {
+                name: f.name.clone(),
                 calls,
                 steps,
             })
@@ -730,36 +699,56 @@ impl<'p> Interp<'p> {
         if let Some(v) = self.builtin(name, &args)? {
             return Ok(v);
         }
-        let f: &IrFunction = self
-            .program
-            .function(name)
-            .ok_or_else(|| InterpError::new(format!("undefined function '{name}'")))?;
-        if f.params.len() != args.len() {
+        match self.resolved.by_name.get(name) {
+            Some(&idx) => self.call_function(idx, args),
+            None => Err(InterpError::new(format!("undefined function '{name}'"))),
+        }
+    }
+
+    /// Dispatch a resolved callee: user functions by index, everything
+    /// else through the builtin table (with the lazy "undefined function"
+    /// error the name-based dispatch always had).
+    fn call_resolved(&self, callee: &RCallee, args: Vec<Value>) -> IResult<Value> {
+        match callee {
+            RCallee::User(idx) => self.call_function(*idx, args),
+            RCallee::Named(name) => match self.builtin(name, &args)? {
+                Some(v) => Ok(v),
+                None => Err(InterpError::new(format!("undefined function '{name}'"))),
+            },
+        }
+    }
+
+    /// Call a resolved user function: the frame is one flat slot vector —
+    /// parameters first, every other declaration Unit until its `Decl`
+    /// executes.
+    fn call_function(&self, idx: usize, args: Vec<Value>) -> IResult<Value> {
+        let f = &self.resolved.functions[idx];
+        if f.nparams != args.len() {
             return Err(InterpError::new(format!(
-                "function '{name}' takes {} arguments, got {}",
-                f.params.len(),
+                "function '{}' takes {} arguments, got {}",
+                f.name,
+                f.nparams,
                 args.len()
             )));
         }
-        let mut env = Env::default();
-        env.push();
-        for ((pname, _), v) in f.params.iter().zip(args) {
-            env.declare(pname, v);
-        }
+        let mut frame = Frame {
+            slots: args,
+            pending: Vec::new(),
+        };
+        frame.slots.resize(f.nslots, Value::Unit);
         let steps_at_entry = if self.profile {
             Some(self.steps.load(Ordering::Relaxed))
         } else {
             None
         };
-        let flow = self.exec_block(&f.body, &mut env)?;
+        let flow = self.exec_block(&f.body, &mut frame)?;
         // Cilk semantics: a function implicitly syncs before returning.
-        self.run_pending(&mut env)?;
+        self.run_pending(&mut frame)?;
         if let Some(entry) = steps_at_entry {
             let spent = self.steps.load(Ordering::Relaxed).saturating_sub(entry);
             let mut costs = lock_ignore_poison(&self.fn_costs);
-            let slot = costs.entry(name.to_string()).or_insert((0, 0));
-            slot.0 += 1;
-            slot.1 += spent;
+            costs[idx].0 += 1;
+            costs[idx].1 += spent;
         }
         match flow {
             Flow::Return(v) => Ok(v),
@@ -767,16 +756,28 @@ impl<'p> Interp<'p> {
         }
     }
 
+    fn set_target(&self, frame: &mut Frame, target: &RTarget, v: Value) -> IResult<()> {
+        match target {
+            RTarget::Slot(s) => {
+                frame.slots[*s as usize] = v;
+                Ok(())
+            }
+            RTarget::Undefined(name) => Err(InterpError::new(format!(
+                "assignment to undefined variable '{name}'"
+            ))),
+        }
+    }
+
     /// Execute all outstanding spawns of the frame concurrently on the
     /// fork-join pool and bind their results (the `sync` runtime).
-    fn run_pending(&self, env: &mut Env) -> IResult<()> {
-        if env.pending.is_empty() {
+    fn run_pending(&self, frame: &mut Frame) -> IResult<()> {
+        if frame.pending.is_empty() {
             return Ok(());
         }
-        let pending = std::mem::take(&mut env.pending);
+        let pending = std::mem::take(&mut frame.pending);
         let results: Vec<IResult<Value>> = if pending.len() == 1 {
             let p = &pending[0];
-            vec![self.call(&p.func, p.args.clone())]
+            vec![self.call_resolved(&p.callee, p.args.clone())]
         } else {
             let slots: Vec<Mutex<Option<IResult<Value>>>> =
                 (0..pending.len()).map(|_| Mutex::new(None)).collect();
@@ -785,7 +786,7 @@ impl<'p> Interp<'p> {
             self.pool.run(|tid, nthreads| {
                 for k in cmm_forkjoin::chunk_range(pending_ref.len(), nthreads, tid) {
                     let p = &pending_ref[k];
-                    let r = self.call(&p.func, p.args.clone());
+                    let r = self.call_resolved(&p.callee, p.args.clone());
                     *lock_ignore_poison(&slots_ref[k]) = Some(r);
                 }
             });
@@ -804,21 +805,23 @@ impl<'p> Interp<'p> {
             let v = r?;
             if let Some(target) = &p.target {
                 if p.target_is_buf {
-                    // Release the handle the variable held before.
-                    let old = env.get(target)?.clone();
-                    if matches!(old, Value::Buf(_)) {
-                        self.builtin("rc_decr", std::slice::from_ref(&old))?;
+                    if let RTarget::Slot(s) = target {
+                        // Release the handle the variable held before.
+                        let old = frame.slots[*s as usize].clone();
+                        if matches!(old, Value::Buf(_)) {
+                            self.builtin("rc_decr", std::slice::from_ref(&old))?;
+                        }
                     }
                 }
-                env.set(target, v)?;
+                self.set_target(frame, target, v)?;
             }
         }
         Ok(())
     }
 
-    fn exec_block(&self, stmts: &[IrStmt], env: &mut Env) -> IResult<Flow> {
+    fn exec_block(&self, stmts: &[RStmt], frame: &mut Frame) -> IResult<Flow> {
         for s in stmts {
-            match self.exec(s, env)? {
+            match self.exec(s, frame)? {
                 Flow::Normal => {}
                 ret => return Ok(ret),
             }
@@ -826,93 +829,87 @@ impl<'p> Interp<'p> {
         Ok(Flow::Normal)
     }
 
-    fn exec(&self, stmt: &IrStmt, env: &mut Env) -> IResult<Flow> {
+    fn exec(&self, stmt: &RStmt, frame: &mut Frame) -> IResult<Flow> {
         self.charge(1)?;
         match stmt {
-            IrStmt::Decl { ty, name, init } => {
+            RStmt::Decl { slot, ty, init } => {
                 let v = match init {
-                    Some(e) => self.eval(e, env)?,
+                    Some(e) => self.eval(e, frame)?,
                     None => default_value(*ty),
                 };
-                env.declare(name, v);
+                frame.slots[*slot as usize] = v;
                 Ok(Flow::Normal)
             }
-            IrStmt::Assign { name, value } => {
-                let v = self.eval(value, env)?;
-                env.set(name, v)?;
+            RStmt::Assign { target, value } => {
+                let v = self.eval(value, frame)?;
+                self.set_target(frame, target, v)?;
                 Ok(Flow::Normal)
             }
-            IrStmt::Store { buf, idx, value, .. } => {
-                let b = self.eval(buf, env)?;
-                let i = self.eval(idx, env)?.as_i()?;
-                let v = self.eval(value, env)?;
+            RStmt::Store { buf, idx, value } => {
+                let b = self.eval(buf, frame)?;
+                let i = self.eval(idx, frame)?.as_i()?;
+                let v = self.eval(value, frame)?;
                 if i < 0 {
                     return Err(InterpError::new(format!("negative store index {i}")));
                 }
                 b.as_buf()?.write(i as usize, &v)?;
                 Ok(Flow::Normal)
             }
-            IrStmt::For(f) => self.exec_for(f, env),
-            IrStmt::While { cond, body } => {
-                while self.eval(cond, env)?.as_b()? {
+            RStmt::For(f) => self.exec_for(f, frame),
+            RStmt::While { cond, body } => {
+                while self.eval(cond, frame)?.as_b()? {
                     // Per-iteration charge: an empty body must still burn
                     // fuel or `while (1) {}` would never hit the budget.
                     self.charge(1)?;
-                    env.push();
-                    let flow = self.exec_block(body, env)?;
-                    env.pop();
-                    if let Flow::Return(_) = flow {
-                        return Ok(flow);
+                    if let Flow::Return(v) = self.exec_block(body, frame)? {
+                        return Ok(Flow::Return(v));
                     }
                 }
                 Ok(Flow::Normal)
             }
-            IrStmt::If { cond, then_b, else_b } => {
-                let branch = if self.eval(cond, env)?.as_b()? {
+            RStmt::If { cond, then_b, else_b } => {
+                let branch = if self.eval(cond, frame)?.as_b()? {
                     then_b
                 } else {
                     else_b
                 };
-                env.push();
-                let flow = self.exec_block(branch, env)?;
-                env.pop();
-                Ok(flow)
+                self.exec_block(branch, frame)
             }
-            IrStmt::Expr(e) => {
-                self.eval(e, env)?;
+            RStmt::Expr(e) => {
+                self.eval(e, frame)?;
                 Ok(Flow::Normal)
             }
-            IrStmt::Return(e) => {
+            RStmt::Return(e) => {
                 let v = match e {
-                    Some(e) => self.eval(e, env)?,
+                    Some(e) => self.eval(e, frame)?,
                     None => Value::Unit,
                 };
                 Ok(Flow::Return(v))
             }
-            IrStmt::Spawn {
+            RStmt::Spawn {
                 target,
                 target_is_buf,
-                func,
+                callee,
                 args,
             } => {
                 let vals = args
                     .iter()
-                    .map(|a| self.eval(a, env))
+                    .map(|a| self.eval(a, frame))
                     .collect::<IResult<Vec<_>>>()?;
-                env.pending.push(Pending {
+                frame.pending.push(Pending {
                     target: target.clone(),
                     target_is_buf: *target_is_buf,
-                    func: func.clone(),
+                    callee: callee.clone(),
                     args: vals,
                 });
                 Ok(Flow::Normal)
             }
-            IrStmt::Sync => {
-                self.run_pending(env)?;
+            RStmt::Sync => {
+                self.run_pending(frame)?;
                 Ok(Flow::Normal)
             }
-            IrStmt::UnpackCall { targets, call } => {
-                let v = self.eval(call, env)?;
+            RStmt::UnpackCall { targets, call } => {
+                let v = self.eval(call, frame)?;
                 let Value::Tup(parts) = v else {
                     return Err(InterpError::new("UnpackCall on a non-tuple value"));
                 };
@@ -924,44 +921,44 @@ impl<'p> Interp<'p> {
                     )));
                 }
                 for (t, p) in targets.iter().zip(parts) {
-                    env.set(t, p)?;
+                    self.set_target(frame, t, p)?;
                 }
                 Ok(Flow::Normal)
-            }
-            IrStmt::Comment(_) => Ok(Flow::Normal),
-            IrStmt::Block(b) => {
-                env.push();
-                let flow = self.exec_block(b, env)?;
-                env.pop();
-                Ok(flow)
             }
         }
     }
 
-    fn exec_for(&self, f: &ForLoop, env: &mut Env) -> IResult<Flow> {
-        let lo = self.eval(&f.lo, env)?.as_i()?;
-        let hi = self.eval(&f.hi, env)?.as_i()?;
+    fn exec_for(&self, f: &RFor, frame: &mut Frame) -> IResult<Flow> {
+        let lo = self.eval(&f.lo, frame)?.as_i()?;
+        let hi = self.eval(&f.hi, frame)?.as_i()?;
         if f.parallel && hi > lo {
             // Enhanced fork-join execution: iterations are chunked over the
-            // persistent pool; each participant gets a snapshot environment
-            // (locals declared in the body stay thread-private; buffer
-            // writes go to shared storage at disjoint indices).
+            // persistent pool. Each participant's private frame is seeded
+            // with only the captured slots — the values the body actually
+            // reads — instead of a clone of the whole environment; locals
+            // declared in the body stay thread-private, buffer writes go
+            // to shared storage at disjoint indices.
             let total = (hi - lo) as usize;
             if self.profile {
                 self.par_loops.fetch_add(1, Ordering::Relaxed);
                 self.par_iters.fetch_add(total as u64, Ordering::Relaxed);
             }
-            let base_env = env.snapshot();
+            let mut template: Vec<Value> = vec![Value::Unit; frame.slots.len()];
+            for &s in &f.captured {
+                template[s as usize] = frame.slots[s as usize].clone();
+            }
             let error: Mutex<Option<InterpError>> = Mutex::new(None);
             self.pool.run(|tid, nthreads| {
-                let mut thread_env = base_env.clone();
-                thread_env.push();
+                let mut tf = Frame {
+                    slots: template.clone(),
+                    pending: Vec::new(),
+                };
                 for k in chunk_range(total, nthreads, tid) {
-                    thread_env.declare(&f.var, Value::I(lo + k as i32));
+                    tf.slots[f.var as usize] = Value::I(lo + k as i32);
                     let r = self
                         .charge(1)
-                        .and_then(|()| self.exec_block(&f.body, &mut thread_env))
-                        .and_then(|fl| self.run_pending(&mut thread_env).map(|()| fl));
+                        .and_then(|()| self.exec_block(&f.body, &mut tf))
+                        .and_then(|fl| self.run_pending(&mut tf).map(|()| fl));
                     match r {
                         Ok(Flow::Normal) => {}
                         Ok(Flow::Return(_)) => {
@@ -984,42 +981,38 @@ impl<'p> Interp<'p> {
         } else {
             // Sequential (vector loops execute lanes in order — identical
             // semantics to the 4-lane SSE execution).
-            env.push();
-            env.declare(&f.var, Value::I(lo));
-            let mut flow = Flow::Normal;
             let mut i = lo;
             while i < hi {
                 self.charge(1)?;
-                env.set(&f.var, Value::I(i))?;
-                match self.exec_block(&f.body, env)? {
+                frame.slots[f.var as usize] = Value::I(i);
+                match self.exec_block(&f.body, frame)? {
                     Flow::Normal => {}
-                    ret => {
-                        flow = ret;
-                        break;
-                    }
+                    ret => return Ok(ret),
                 }
                 i += 1;
             }
-            env.pop();
-            Ok(flow)
+            Ok(Flow::Normal)
         }
     }
 
-    fn eval(&self, expr: &IrExpr, env: &mut Env) -> IResult<Value> {
+    fn eval(&self, expr: &RExpr, frame: &mut Frame) -> IResult<Value> {
         match expr {
-            IrExpr::Int(v) => Ok(Value::I(*v as i32)),
-            IrExpr::Float(v) => Ok(Value::F(*v)),
-            IrExpr::Bool(v) => Ok(Value::B(*v)),
-            IrExpr::Str(s) => Ok(Value::S(s.clone())),
-            IrExpr::Var(n) => env.get(n).cloned(),
-            IrExpr::Neg(e) => match self.eval(e, env)? {
+            RExpr::Int(v) => Ok(Value::I(*v)),
+            RExpr::Float(v) => Ok(Value::F(*v)),
+            RExpr::Bool(v) => Ok(Value::B(*v)),
+            RExpr::Str(s) => Ok(Value::S(s.clone())),
+            RExpr::Slot(s) => Ok(frame.slots[*s as usize].clone()),
+            RExpr::Undefined(n) => {
+                Err(InterpError::new(format!("undefined variable '{n}'")))
+            }
+            RExpr::Neg(e) => match self.eval(e, frame)? {
                 Value::I(x) => Ok(Value::I(-x)),
                 Value::F(x) => Ok(Value::F(-x)),
                 other => Err(InterpError::new(format!("cannot negate {other:?}"))),
             },
-            IrExpr::Not(e) => Ok(Value::B(!self.eval(e, env)?.as_b()?)),
-            IrExpr::Bin(op, a, b) => {
-                let va = self.eval(a, env)?;
+            RExpr::Not(e) => Ok(Value::B(!self.eval(e, frame)?.as_b()?)),
+            RExpr::Bin(op, a, b) => {
+                let va = self.eval(a, frame)?;
                 // Short-circuit logicals.
                 if *op == IrBinOp::And && !va.as_b()? {
                     return Ok(Value::B(false));
@@ -1027,35 +1020,35 @@ impl<'p> Interp<'p> {
                 if *op == IrBinOp::Or && va.as_b()? {
                     return Ok(Value::B(true));
                 }
-                let vb = self.eval(b, env)?;
+                let vb = self.eval(b, frame)?;
                 eval_bin(*op, &va, &vb)
             }
-            IrExpr::Load { buf, idx, .. } => {
-                let b = self.eval(buf, env)?;
-                let i = self.eval(idx, env)?.as_i()?;
+            RExpr::Load { buf, idx } => {
+                let b = self.eval(buf, frame)?;
+                let i = self.eval(idx, frame)?.as_i()?;
                 if i < 0 {
                     return Err(InterpError::new(format!("negative load index {i}")));
                 }
                 b.as_buf()?.read(i as usize)
             }
-            IrExpr::Call(name, args) => {
+            RExpr::Call(callee, args) => {
                 let vals = args
                     .iter()
-                    .map(|a| self.eval(a, env))
+                    .map(|a| self.eval(a, frame))
                     .collect::<IResult<Vec<_>>>()?;
-                self.call(name, vals)
+                self.call_resolved(callee, vals)
             }
-            IrExpr::CastInt(e) => match self.eval(e, env)? {
+            RExpr::CastInt(e) => match self.eval(e, frame)? {
                 Value::I(x) => Ok(Value::I(x)),
                 Value::F(x) => Ok(Value::I(x as i32)),
                 Value::B(x) => Ok(Value::I(i32::from(x))),
                 other => Err(InterpError::new(format!("cannot cast {other:?} to int"))),
             },
-            IrExpr::CastFloat(e) => Ok(Value::F(self.eval(e, env)?.as_f()?)),
-            IrExpr::Tuple(es) => {
+            RExpr::CastFloat(e) => Ok(Value::F(self.eval(e, frame)?.as_f()?)),
+            RExpr::Tuple(es) => {
                 let vals = es
                     .iter()
-                    .map(|e| self.eval(e, env))
+                    .map(|e| self.eval(e, frame))
                     .collect::<IResult<Vec<_>>>()?;
                 Ok(Value::Tup(vals))
             }

@@ -21,6 +21,7 @@
 pub mod emit;
 pub mod interp;
 mod ir;
+mod resolve;
 pub mod transform;
 
 pub use emit::EmitError;

@@ -1,0 +1,473 @@
+//! Slot resolution: a pre-pass over [`IrProgram`] that assigns every
+//! variable a frame-slot index so the interpreter executes against flat
+//! `Vec<Value>` frames instead of a chain of string-keyed hash maps.
+//!
+//! The pass mirrors the interpreter's old dynamic scoping exactly: each
+//! lexical scope (function body, loop body, branch, block) maps names to
+//! slots, every declaration gets a fresh slot (shadowing allocates a new
+//! one), and a name that is not in scope resolves to
+//! [`RExpr::Undefined`] — the "undefined variable" error stays lazy, at
+//! the moment the statement would have executed, not at resolve time.
+//! Likewise call targets are classified once: runtime builtin names stay
+//! [`RCallee::Named`] (builtins shadow user functions, as the old
+//! name-based dispatch did), known user functions become indices, and
+//! unknown names stay `Named` so "undefined function" also surfaces only
+//! when called.
+//!
+//! Parallel loops record which slots their body actually references
+//! (`captured`), so each fork-join participant copies just those values
+//! into its private frame instead of cloning the whole environment.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::ir::{CType, IrBinOp, IrExpr, IrFunction, IrProgram, IrStmt};
+
+/// Resolved call target.
+#[derive(Debug, Clone)]
+pub(crate) enum RCallee {
+    /// Index into [`RProgram::functions`].
+    User(usize),
+    /// A runtime builtin — or an undefined name, which errors when called.
+    Named(String),
+}
+
+/// Resolved assignment target.
+#[derive(Debug, Clone)]
+pub(crate) enum RTarget {
+    /// Frame slot.
+    Slot(u32),
+    /// Name not in scope; assignment errors at execution time.
+    Undefined(String),
+}
+
+/// Resolved expression: [`IrExpr`] with variables as slots.
+#[derive(Debug, Clone)]
+pub(crate) enum RExpr {
+    Int(i32),
+    Float(f32),
+    Bool(bool),
+    Str(String),
+    /// Variable read by frame slot.
+    Slot(u32),
+    /// Name not in scope; reading errors at execution time.
+    Undefined(String),
+    Bin(IrBinOp, Box<RExpr>, Box<RExpr>),
+    Neg(Box<RExpr>),
+    Not(Box<RExpr>),
+    Load { buf: Box<RExpr>, idx: Box<RExpr> },
+    Call(RCallee, Vec<RExpr>),
+    CastInt(Box<RExpr>),
+    CastFloat(Box<RExpr>),
+    Tuple(Vec<RExpr>),
+}
+
+/// Resolved counted loop. The interpreter runs vector loops sequentially,
+/// so only the `parallel` flag survives resolution.
+#[derive(Debug, Clone)]
+pub(crate) struct RFor {
+    /// Slot of the loop index variable.
+    pub var: u32,
+    pub lo: RExpr,
+    pub hi: RExpr,
+    pub body: Vec<RStmt>,
+    pub parallel: bool,
+    /// Slots declared outside the loop that the body references — the
+    /// values each parallel participant copies into its private frame.
+    pub captured: Vec<u32>,
+}
+
+/// Resolved statement. `Comment`s are dropped and `Block`s flattened
+/// (scoping is a resolve-time concern), so execution never dispatches on
+/// either.
+#[derive(Debug, Clone)]
+pub(crate) enum RStmt {
+    Decl {
+        slot: u32,
+        ty: CType,
+        init: Option<RExpr>,
+    },
+    Assign {
+        target: RTarget,
+        value: RExpr,
+    },
+    Store {
+        buf: RExpr,
+        idx: RExpr,
+        value: RExpr,
+    },
+    For(RFor),
+    While {
+        cond: RExpr,
+        body: Vec<RStmt>,
+    },
+    If {
+        cond: RExpr,
+        then_b: Vec<RStmt>,
+        else_b: Vec<RStmt>,
+    },
+    Expr(RExpr),
+    Return(Option<RExpr>),
+    Spawn {
+        target: Option<RTarget>,
+        target_is_buf: bool,
+        callee: RCallee,
+        args: Vec<RExpr>,
+    },
+    Sync,
+    UnpackCall {
+        targets: Vec<RTarget>,
+        call: RExpr,
+    },
+}
+
+/// A resolved function: parameters occupy slots `0..nparams`, every other
+/// declaration a slot below `nslots`.
+#[derive(Debug, Clone)]
+pub(crate) struct RFunction {
+    pub name: String,
+    pub nparams: usize,
+    pub nslots: usize,
+    pub body: Vec<RStmt>,
+}
+
+/// A resolved program plus its name → index map (first definition wins,
+/// matching [`IrProgram::function`]).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RProgram {
+    pub functions: Vec<RFunction>,
+    pub by_name: HashMap<String, usize>,
+}
+
+/// Whether `name` dispatches to a runtime builtin. Must stay in sync with
+/// `Interp::builtin`: these names are claimed by the runtime before user
+/// functions are consulted.
+pub(crate) fn is_builtin_name(name: &str) -> bool {
+    for prefix in ["alloc_mat_", "read_mat_", "write_mat_", "cow_"] {
+        if let Some(suffix) = name.strip_prefix(prefix) {
+            return matches!(suffix, "f32" | "i32" | "b");
+        }
+    }
+    matches!(
+        name,
+        "dim"
+            | "len"
+            | "rank"
+            | "rc_incr"
+            | "rc_decr"
+            | "rc_count"
+            | "print_i32"
+            | "print_f32"
+            | "print_b"
+            | "print_str"
+            | "num_threads"
+            | "cmm_panic"
+    )
+}
+
+/// Resolve a whole program.
+pub(crate) fn resolve_program(program: &IrProgram) -> RProgram {
+    let mut by_name = HashMap::new();
+    for (idx, f) in program.functions.iter().enumerate() {
+        by_name.entry(f.name.clone()).or_insert(idx);
+    }
+    let functions = program
+        .functions
+        .iter()
+        .map(|f| resolve_function(f, &by_name))
+        .collect();
+    RProgram { functions, by_name }
+}
+
+struct Resolver<'a> {
+    by_name: &'a HashMap<String, usize>,
+    /// Lexical scopes, innermost last; each maps a name to its slot.
+    scopes: Vec<HashMap<String, u32>>,
+    nslots: u32,
+}
+
+fn resolve_function(f: &IrFunction, by_name: &HashMap<String, usize>) -> RFunction {
+    let mut r = Resolver {
+        by_name,
+        scopes: vec![HashMap::new()],
+        nslots: 0,
+    };
+    for (pname, _) in &f.params {
+        let slot = r.fresh(pname);
+        debug_assert!((slot as usize) < f.params.len());
+    }
+    let body = r.block(&f.body);
+    RFunction {
+        name: f.name.clone(),
+        nparams: f.params.len(),
+        nslots: r.nslots as usize,
+        body,
+    }
+}
+
+impl Resolver<'_> {
+    /// Allocate a fresh slot for a declaration in the current scope.
+    fn fresh(&mut self, name: &str) -> u32 {
+        let slot = self.nslots;
+        self.nslots += 1;
+        self.scopes
+            .last_mut()
+            .expect("at least the function scope")
+            .insert(name.to_string(), slot);
+        slot
+    }
+
+    fn lookup(&self, name: &str) -> Option<u32> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn target(&self, name: &str) -> RTarget {
+        match self.lookup(name) {
+            Some(slot) => RTarget::Slot(slot),
+            None => RTarget::Undefined(name.to_string()),
+        }
+    }
+
+    fn callee(&self, name: &str) -> RCallee {
+        if !is_builtin_name(name) {
+            if let Some(&idx) = self.by_name.get(name) {
+                return RCallee::User(idx);
+            }
+        }
+        RCallee::Named(name.to_string())
+    }
+
+    /// Resolve a statement list inside a fresh scope, flattening nested
+    /// blocks into the output.
+    fn scoped_block(&mut self, stmts: &[IrStmt]) -> Vec<RStmt> {
+        self.scopes.push(HashMap::new());
+        let out = self.block(stmts);
+        self.scopes.pop();
+        out
+    }
+
+    fn block(&mut self, stmts: &[IrStmt]) -> Vec<RStmt> {
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            self.stmt(s, &mut out);
+        }
+        out
+    }
+
+    fn stmt(&mut self, s: &IrStmt, out: &mut Vec<RStmt>) {
+        match s {
+            IrStmt::Decl { ty, name, init } => {
+                // Initializer first: `int x = x + 1` reads the outer `x`.
+                let init = init.as_ref().map(|e| self.expr(e));
+                let slot = self.fresh(name);
+                out.push(RStmt::Decl { slot, ty: *ty, init });
+            }
+            IrStmt::Assign { name, value } => out.push(RStmt::Assign {
+                target: self.target(name),
+                value: self.expr(value),
+            }),
+            IrStmt::Store { buf, idx, value, .. } => out.push(RStmt::Store {
+                buf: self.expr(buf),
+                idx: self.expr(idx),
+                value: self.expr(value),
+            }),
+            IrStmt::For(f) => {
+                let lo = self.expr(&f.lo);
+                let hi = self.expr(&f.hi);
+                // Slots below this watermark belong to enclosing scopes;
+                // any the body touches must be captured by parallel
+                // participants.
+                let outer_slots = self.nslots;
+                self.scopes.push(HashMap::new());
+                let var = self.fresh(&f.var);
+                let body = self.block(&f.body);
+                self.scopes.pop();
+                let captured = if f.parallel {
+                    let mut used = BTreeSet::new();
+                    collect_outer_slots(&body, outer_slots, &mut used);
+                    used.into_iter().collect()
+                } else {
+                    Vec::new()
+                };
+                out.push(RStmt::For(RFor {
+                    var,
+                    lo,
+                    hi,
+                    body,
+                    parallel: f.parallel,
+                    captured,
+                }));
+            }
+            IrStmt::While { cond, body } => {
+                let cond = self.expr(cond);
+                let body = self.scoped_block(body);
+                out.push(RStmt::While { cond, body });
+            }
+            IrStmt::If { cond, then_b, else_b } => {
+                let cond = self.expr(cond);
+                let then_b = self.scoped_block(then_b);
+                let else_b = self.scoped_block(else_b);
+                out.push(RStmt::If { cond, then_b, else_b });
+            }
+            IrStmt::Expr(e) => out.push(RStmt::Expr(self.expr(e))),
+            IrStmt::Return(e) => out.push(RStmt::Return(e.as_ref().map(|e| self.expr(e)))),
+            IrStmt::Spawn {
+                target,
+                target_is_buf,
+                func,
+                args,
+            } => out.push(RStmt::Spawn {
+                target: target.as_ref().map(|t| self.target(t)),
+                target_is_buf: *target_is_buf,
+                callee: self.callee(func),
+                args: args.iter().map(|a| self.expr(a)).collect(),
+            }),
+            IrStmt::Sync => out.push(RStmt::Sync),
+            IrStmt::UnpackCall { targets, call } => out.push(RStmt::UnpackCall {
+                targets: targets.iter().map(|t| self.target(t)).collect(),
+                call: self.expr(call),
+            }),
+            IrStmt::Comment(_) => {}
+            IrStmt::Block(b) => {
+                // The block boundary only matters for scoping; the
+                // statements run inline in the parent.
+                self.scopes.push(HashMap::new());
+                for s in b {
+                    self.stmt(s, out);
+                }
+                self.scopes.pop();
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &IrExpr) -> RExpr {
+        match e {
+            IrExpr::Int(v) => RExpr::Int(*v as i32),
+            IrExpr::Float(v) => RExpr::Float(*v),
+            IrExpr::Bool(v) => RExpr::Bool(*v),
+            IrExpr::Str(s) => RExpr::Str(s.clone()),
+            IrExpr::Var(n) => match self.lookup(n) {
+                Some(slot) => RExpr::Slot(slot),
+                None => RExpr::Undefined(n.clone()),
+            },
+            IrExpr::Bin(op, a, b) => {
+                RExpr::Bin(*op, Box::new(self.expr(a)), Box::new(self.expr(b)))
+            }
+            IrExpr::Neg(e) => RExpr::Neg(Box::new(self.expr(e))),
+            IrExpr::Not(e) => RExpr::Not(Box::new(self.expr(e))),
+            IrExpr::Load { buf, idx, .. } => RExpr::Load {
+                buf: Box::new(self.expr(buf)),
+                idx: Box::new(self.expr(idx)),
+            },
+            IrExpr::Call(name, args) => RExpr::Call(
+                self.callee(name),
+                args.iter().map(|a| self.expr(a)).collect(),
+            ),
+            IrExpr::CastInt(e) => RExpr::CastInt(Box::new(self.expr(e))),
+            IrExpr::CastFloat(e) => RExpr::CastFloat(Box::new(self.expr(e))),
+            IrExpr::Tuple(es) => RExpr::Tuple(es.iter().map(|e| self.expr(e)).collect()),
+        }
+    }
+}
+
+/// Collect slots `< outer` referenced anywhere in resolved statements —
+/// reads and writes both, so a participant's read-after-private-write
+/// sees the snapshot value the old whole-environment clone provided.
+fn collect_outer_slots(stmts: &[RStmt], outer: u32, used: &mut BTreeSet<u32>) {
+    let note = |slot: u32, used: &mut BTreeSet<u32>| {
+        if slot < outer {
+            used.insert(slot);
+        }
+    };
+    fn expr(e: &RExpr, outer: u32, used: &mut BTreeSet<u32>) {
+        match e {
+            RExpr::Slot(s) => {
+                if *s < outer {
+                    used.insert(*s);
+                }
+            }
+            RExpr::Int(_)
+            | RExpr::Float(_)
+            | RExpr::Bool(_)
+            | RExpr::Str(_)
+            | RExpr::Undefined(_) => {}
+            RExpr::Bin(_, a, b) => {
+                expr(a, outer, used);
+                expr(b, outer, used);
+            }
+            RExpr::Neg(e) | RExpr::Not(e) | RExpr::CastInt(e) | RExpr::CastFloat(e) => {
+                expr(e, outer, used)
+            }
+            RExpr::Load { buf, idx } => {
+                expr(buf, outer, used);
+                expr(idx, outer, used);
+            }
+            RExpr::Call(_, args) | RExpr::Tuple(args) => {
+                for a in args {
+                    expr(a, outer, used);
+                }
+            }
+        }
+    }
+    let target = |t: &RTarget, used: &mut BTreeSet<u32>| {
+        if let RTarget::Slot(s) = t {
+            if *s < outer {
+                used.insert(*s);
+            }
+        }
+    };
+    for s in stmts {
+        match s {
+            RStmt::Decl { slot, init, .. } => {
+                note(*slot, used);
+                if let Some(e) = init {
+                    expr(e, outer, used);
+                }
+            }
+            RStmt::Assign { target: t, value } => {
+                target(t, used);
+                expr(value, outer, used);
+            }
+            RStmt::Store { buf, idx, value } => {
+                expr(buf, outer, used);
+                expr(idx, outer, used);
+                expr(value, outer, used);
+            }
+            RStmt::For(f) => {
+                note(f.var, used);
+                expr(&f.lo, outer, used);
+                expr(&f.hi, outer, used);
+                collect_outer_slots(&f.body, outer, used);
+            }
+            RStmt::While { cond, body } => {
+                expr(cond, outer, used);
+                collect_outer_slots(body, outer, used);
+            }
+            RStmt::If { cond, then_b, else_b } => {
+                expr(cond, outer, used);
+                collect_outer_slots(then_b, outer, used);
+                collect_outer_slots(else_b, outer, used);
+            }
+            RStmt::Expr(e) => expr(e, outer, used),
+            RStmt::Return(e) => {
+                if let Some(e) = e {
+                    expr(e, outer, used);
+                }
+            }
+            RStmt::Spawn { target: t, args, .. } => {
+                if let Some(t) = t {
+                    target(t, used);
+                }
+                for a in args {
+                    expr(a, outer, used);
+                }
+            }
+            RStmt::Sync => {}
+            RStmt::UnpackCall { targets, call } => {
+                for t in targets {
+                    target(t, used);
+                }
+                expr(call, outer, used);
+            }
+        }
+    }
+}

@@ -141,6 +141,154 @@ fn mean_program(m: i64, n: i64, p: i64) -> IrProgram {
     }
 }
 
+/// `v[t] = 3t + 1` over `t in 0..n` — bound written as the literal or as
+/// a variable holding it — then a literal-bound readback sums every slot
+/// and prints the total. Unwritten slots read back 0, so any dropped
+/// tail iteration changes the output.
+fn tail_sum_kernel(n: i64, symbolic: bool) -> IrProgram {
+    let bound = if symbolic { v("n") } else { i(n) };
+    let body = vec![
+        IrStmt::Decl {
+            ty: CType::Int,
+            name: "n".into(),
+            init: Some(i(n)),
+        },
+        IrStmt::Decl {
+            ty: CType::Buf(Elem::I32),
+            name: "vbuf".into(),
+            init: Some(IrExpr::Call("alloc_mat_i32".into(), vec![i(n)])),
+        },
+        IrStmt::For(ForLoop {
+            var: "t".into(),
+            lo: i(0),
+            hi: bound,
+            body: vec![IrStmt::Store {
+                elem: Elem::I32,
+                buf: v("vbuf"),
+                idx: v("t"),
+                value: IrExpr::add(IrExpr::mul(v("t"), i(3)), i(1)),
+            }],
+            parallel: false,
+            vector: false,
+        }),
+        IrStmt::Decl {
+            ty: CType::Int,
+            name: "s".into(),
+            init: Some(i(0)),
+        },
+        IrStmt::For(ForLoop {
+            var: "u".into(),
+            lo: i(0),
+            hi: i(n),
+            body: vec![IrStmt::Assign {
+                name: "s".into(),
+                value: IrExpr::add(
+                    v("s"),
+                    IrExpr::Load {
+                        elem: Elem::I32,
+                        buf: Box::new(v("vbuf")),
+                        idx: Box::new(v("u")),
+                    },
+                ),
+            }],
+            parallel: false,
+            vector: false,
+        }),
+        IrStmt::Expr(IrExpr::Call("print_i32".into(), vec![v("s")])),
+    ];
+    IrProgram {
+        functions: vec![IrFunction {
+            name: "main".into(),
+            params: vec![],
+            ret: CType::Void,
+            ret_tuple: None,
+            body,
+        }],
+    }
+}
+
+/// Two-deep `x`/`y` nest storing `x*n + y` into an `m*n` buffer (bounds
+/// literal or symbolic), then a literal-bound readback prints the sum —
+/// the tile-equivalence analogue of [`tail_sum_kernel`].
+fn grid_kernel(m: i64, n: i64, symbolic: bool) -> IrProgram {
+    let (bm, bn) = if symbolic {
+        (v("m"), v("n"))
+    } else {
+        (i(m), i(n))
+    };
+    let flat = IrExpr::add(IrExpr::mul(v("x"), i(n)), v("y"));
+    let body = vec![
+        IrStmt::Decl {
+            ty: CType::Int,
+            name: "m".into(),
+            init: Some(i(m)),
+        },
+        IrStmt::Decl {
+            ty: CType::Int,
+            name: "n".into(),
+            init: Some(i(n)),
+        },
+        IrStmt::Decl {
+            ty: CType::Buf(Elem::I32),
+            name: "c".into(),
+            init: Some(IrExpr::Call("alloc_mat_i32".into(), vec![i(m), i(n)])),
+        },
+        IrStmt::For(ForLoop {
+            var: "x".into(),
+            lo: i(0),
+            hi: bm,
+            body: vec![IrStmt::For(ForLoop {
+                var: "y".into(),
+                lo: i(0),
+                hi: bn,
+                body: vec![IrStmt::Store {
+                    elem: Elem::I32,
+                    buf: v("c"),
+                    idx: flat.clone(),
+                    value: flat.clone(),
+                }],
+                parallel: false,
+                vector: false,
+            })],
+            parallel: false,
+            vector: false,
+        }),
+        IrStmt::Decl {
+            ty: CType::Int,
+            name: "s".into(),
+            init: Some(i(0)),
+        },
+        IrStmt::For(ForLoop {
+            var: "z".into(),
+            lo: i(0),
+            hi: i(m * n),
+            body: vec![IrStmt::Assign {
+                name: "s".into(),
+                value: IrExpr::add(
+                    v("s"),
+                    IrExpr::Load {
+                        elem: Elem::I32,
+                        buf: Box::new(v("c")),
+                        idx: Box::new(v("z")),
+                    },
+                ),
+            }],
+            parallel: false,
+            vector: false,
+        }),
+        IrStmt::Expr(IrExpr::Call("print_i32".into(), vec![v("s")])),
+    ];
+    IrProgram {
+        functions: vec![IrFunction {
+            name: "main".into(),
+            params: vec![],
+            ret: CType::Void,
+            ret_tuple: None,
+            body,
+        }],
+    }
+}
+
 fn run(program: &IrProgram, threads: usize) -> (Value, String) {
     let interp = Interp::new(program, threads);
     let v = interp.run_main().unwrap();
@@ -481,6 +629,69 @@ mod transform_tests {
             apply_all(&mut mean.body, recipe).unwrap_or_else(|e| panic!("recipe {ri}: {e}"));
             let (_, got) = run(&prog, 3);
             assert_eq!(got, expected, "recipe {ri} changed semantics");
+        }
+    }
+
+    #[test]
+    fn split_and_unroll_keep_tail_iterations() {
+        // Explicit corners of the tail-drop bugfix: divisible,
+        // non-divisible, extent < factor, and extent 1 — each with the
+        // loop bound written as a literal and as a symbolic variable.
+        for &(n, by) in &[(12, 4), (10, 4), (3, 4), (1, 2), (7, 3)] {
+            for symbolic in [false, true] {
+                let base = tail_sum_kernel(n, symbolic);
+                let (_, expected) = run(&base, 1);
+                let recipes = [
+                    LoopTransform::Split {
+                        index: "t".into(),
+                        by,
+                        inner: "tin".into(),
+                        outer: "tout".into(),
+                    },
+                    LoopTransform::Unroll { index: "t".into(), by },
+                ];
+                for tf in recipes {
+                    let mut prog = base.clone();
+                    apply(&mut prog.functions[0].body, &tf)
+                        .unwrap_or_else(|e| panic!("{tf:?} on n={n}: {e}"));
+                    for threads in [1, 3] {
+                        let (_, got) = run(&prog, threads);
+                        assert_eq!(
+                            got, expected,
+                            "{tf:?} dropped iterations (n={n}, by={by}, symbolic={symbolic})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_keeps_tail_iterations() {
+        // Non-divisible extents leave i- and j-tails; both must run.
+        for &(m, n, bi, bj) in &[(8, 8, 4, 2), (10, 6, 4, 4), (5, 7, 3, 5), (2, 2, 4, 4)] {
+            for symbolic in [false, true] {
+                let base = grid_kernel(m, n, symbolic);
+                let (_, expected) = run(&base, 1);
+                let mut prog = base.clone();
+                apply(
+                    &mut prog.functions[0].body,
+                    &LoopTransform::Tile {
+                        i: "x".into(),
+                        j: "y".into(),
+                        bi,
+                        bj,
+                    },
+                )
+                .unwrap_or_else(|e| panic!("tile {m}x{n} by {bi},{bj}: {e}"));
+                for threads in [1, 2] {
+                    let (_, got) = run(&prog, threads);
+                    assert_eq!(
+                        got, expected,
+                        "tile dropped iterations (m={m}, n={n}, bi={bi}, bj={bj}, symbolic={symbolic})"
+                    );
+                }
+            }
         }
     }
 }
@@ -1071,15 +1282,47 @@ proptest! {
         }]};
         let (_, expected) = run(&base, 1);
         let mut tiled = base.clone();
-        let r = apply(&mut tiled.functions[0].body, &LoopTransform::Tile {
+        apply(&mut tiled.functions[0].body, &LoopTransform::Tile {
             i: "x".into(), j: "y".into(), bi, bj,
-        });
-        // Tiling may fail for non-divisible literal splits that leave a
-        // remainder loop breaking perfect nesting — that is a correct
-        // rejection, not a soundness issue.
-        if r.is_ok() {
-            let (_, got) = run(&tiled, 2);
-            prop_assert_eq!(got, expected);
+        }).expect("tile accepts any positive factors; remainders get tail loops");
+        let (_, got) = run(&tiled, 2);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn prop_split_unroll_cover_all_iterations(
+        n in 1i64..25, by in 1i64..6, symbolic in any::<bool>(), threads in 1usize..4
+    ) {
+        // The tail-drop regression, generalized: for any extent/factor
+        // pair, divisible or not, literal or symbolic bound, every
+        // iteration of a split or unrolled loop must still execute.
+        let base = tail_sum_kernel(n, symbolic);
+        let (_, expected) = run(&base, 1);
+        let recipes = [
+            LoopTransform::Split {
+                index: "t".into(), by, inner: "tin".into(), outer: "tout".into(),
+            },
+            LoopTransform::Unroll { index: "t".into(), by },
+        ];
+        for tf in recipes {
+            let mut prog = base.clone();
+            apply(&mut prog.functions[0].body, &tf).unwrap();
+            let (_, got) = run(&prog, threads);
+            prop_assert_eq!(&got, &expected, "{:?} n={} symbolic={}", tf, n, symbolic);
         }
+    }
+
+    #[test]
+    fn prop_tile_covers_all_iterations(
+        m in 1i64..9, n in 1i64..9, bi in 1i64..5, bj in 1i64..5, symbolic in any::<bool>()
+    ) {
+        let base = grid_kernel(m, n, symbolic);
+        let (_, expected) = run(&base, 1);
+        let mut prog = base.clone();
+        apply(&mut prog.functions[0].body, &LoopTransform::Tile {
+            i: "x".into(), j: "y".into(), bi, bj,
+        }).unwrap();
+        let (_, got) = run(&prog, 2);
+        prop_assert_eq!(&got, &expected, "m={} n={} bi={} bj={} symbolic={}", m, n, bi, bj, symbolic);
     }
 }

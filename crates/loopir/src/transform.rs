@@ -198,32 +198,30 @@ pub fn apply(stmts: &mut Vec<IrStmt>, t: &LoopTransform) -> Result<(), Transform
             with_unique_loop(stmts, index, &mut |l| Ok(unroll_loop(l, *by)))
         }
         LoopTransform::Tile { i, j, bi, bj } => {
-            let (i_in, i_out) = (format!("{i}_in"), format!("{i}_out"));
-            let (j_in, j_out) = (format!("{j}_in"), format!("{j}_out"));
-            apply(
-                stmts,
-                &LoopTransform::Split {
-                    index: i.clone(),
-                    by: *bi,
-                    inner: i_in.clone(),
-                    outer: i_out.clone(),
-                },
-            )?;
-            apply(
-                stmts,
-                &LoopTransform::Split {
-                    index: j.clone(),
-                    by: *bj,
-                    inner: j_in.clone(),
-                    outer: j_out.clone(),
-                },
-            )?;
-            apply(
-                stmts,
-                &LoopTransform::Reorder {
-                    order: vec![i_out, j_out, i_in, j_in],
-                },
-            )
+            for factor in [*bi, *bj] {
+                if factor <= 0 {
+                    return Err(TransformError::BadFactor { factor });
+                }
+            }
+            let names = TileNames {
+                i_in: format!("{i}_in"),
+                i_out: format!("{i}_out"),
+                j_in: format!("{j}_in"),
+                j_out: format!("{j}_out"),
+            };
+            for name in [&names.i_in, &names.i_out, &names.j_in, &names.j_out] {
+                if count_loops(stmts, name) > 0 {
+                    return Err(TransformError::NameCollision { name: name.clone() });
+                }
+            }
+            // `j` must name exactly one loop; that it sits immediately
+            // inside `i` is checked once the `i` loop is in hand.
+            match count_loops(stmts, j) {
+                0 => return Err(TransformError::LoopNotFound { index: j.clone() }),
+                1 => {}
+                _ => return Err(TransformError::AmbiguousIndex { index: j.clone() }),
+            }
+            with_unique_loop(stmts, i, &mut |l| tile_nest(l, j, *bi, *bj, &names))
         }
     }
 }
@@ -315,20 +313,15 @@ fn replace_loop(
 ///         B(lo + xout*k + xin)
 /// ```
 ///
-/// As in the paper's example, the extent is assumed divisible by `k`
-/// ("to keep the example simple we have assumed that the dimension n is a
-/// multiple of 4"); when both bounds are integer literals the division is
-/// checked and a remainder loop is appended if needed.
+/// The paper's example assumes the extent divisible by `k` ("to keep the
+/// example simple we have assumed that the dimension n is a multiple of
+/// 4"); an implementation cannot: unless the extent is a known literal
+/// multiple of `k`, an epilogue loop
+/// `for (x = lo + ((hi-lo)/k)*k; x < hi; x++) B(x)` covers the tail — it
+/// runs zero iterations when the runtime extent happens to divide.
 fn split_loop(l: &ForLoop, k: i64, inner: &str, outer: &str) -> IrStmt {
-    let extent = match (&l.lo, &l.hi) {
-        (IrExpr::Int(a), IrExpr::Int(b)) => Some(b - a),
-        _ => None,
-    };
-    let extent_expr = if l.lo == IrExpr::Int(0) {
-        l.hi.clone()
-    } else {
-        IrExpr::bin(crate::ir::IrBinOp::Sub, l.hi.clone(), l.lo.clone())
-    };
+    let extent = literal_extent(l);
+    let extent_expr = extent_of(l);
     // x := lo + xout*k + xin  (dropping the "+ lo" when lo = 0).
     let recon = {
         let base = IrExpr::add(
@@ -353,42 +346,220 @@ fn split_loop(l: &ForLoop, k: i64, inner: &str, outer: &str) -> IrStmt {
     let outer_loop = ForLoop {
         var: outer.to_string(),
         lo: IrExpr::Int(0),
-        hi: IrExpr::bin(crate::ir::IrBinOp::Div, extent_expr, IrExpr::Int(k)),
+        hi: IrExpr::bin(crate::ir::IrBinOp::Div, extent_expr.clone(), IrExpr::Int(k)),
         body: vec![IrStmt::For(inner_loop)],
         parallel: l.parallel,
         vector: false,
     };
-    match extent {
-        Some(e) if e % k != 0 => {
-            // Literal bounds with a remainder: append an epilogue loop
-            // covering the tail with the original body.
-            let done = (e / k) * k;
-            let lo_i = match l.lo {
-                IrExpr::Int(a) => a,
-                _ => unreachable!("extent known implies literal bounds"),
-            };
-            let epilogue = ForLoop {
-                var: l.var.clone(),
-                lo: IrExpr::Int(lo_i + done),
-                hi: l.hi.clone(),
-                body: l.body.clone(),
-                parallel: false,
-                vector: false,
-            };
-            IrStmt::Block(vec![IrStmt::For(outer_loop), IrStmt::For(epilogue)])
-        }
-        _ => IrStmt::For(outer_loop),
+    if extent.is_some_and(|e| e % k == 0) {
+        return IrStmt::For(outer_loop);
     }
+    // Epilogue over the tail with the original body. With literal bounds
+    // the start folds to a constant; with symbolic bounds it stays as the
+    // expression `lo + ((hi-lo)/k)*k` and runs zero iterations when the
+    // runtime extent divides.
+    let epilogue_lo = match (extent, &l.lo) {
+        (Some(e), IrExpr::Int(a)) => IrExpr::Int(a + (e / k) * k),
+        _ => offset_from(&l.lo, full_chunks(extent_expr, k)),
+    };
+    let epilogue = ForLoop {
+        var: l.var.clone(),
+        lo: epilogue_lo,
+        hi: l.hi.clone(),
+        body: l.body.clone(),
+        parallel: false,
+        vector: false,
+    };
+    IrStmt::Block(vec![IrStmt::For(outer_loop), IrStmt::For(epilogue)])
+}
+
+/// `hi - lo` as an expression, folding away the subtraction when `lo` is
+/// the literal 0.
+fn extent_of(l: &ForLoop) -> IrExpr {
+    if l.lo == IrExpr::Int(0) {
+        l.hi.clone()
+    } else {
+        IrExpr::bin(crate::ir::IrBinOp::Sub, l.hi.clone(), l.lo.clone())
+    }
+}
+
+/// The loop extent when both bounds are integer literals.
+fn literal_extent(l: &ForLoop) -> Option<i64> {
+    match (&l.lo, &l.hi) {
+        (IrExpr::Int(a), IrExpr::Int(b)) => Some(b - a),
+        _ => None,
+    }
+}
+
+/// `(extent / k) * k` — the offset of the first iteration past the last
+/// full chunk, relative to the loop's lower bound.
+fn full_chunks(extent: IrExpr, k: i64) -> IrExpr {
+    IrExpr::mul(
+        IrExpr::bin(crate::ir::IrBinOp::Div, extent, IrExpr::Int(k)),
+        IrExpr::Int(k),
+    )
+}
+
+/// `lo + e`, dropping the addition when `lo` is the literal 0.
+fn offset_from(lo: &IrExpr, e: IrExpr) -> IrExpr {
+    if *lo == IrExpr::Int(0) {
+        e
+    } else {
+        IrExpr::add(lo.clone(), e)
+    }
+}
+
+struct TileNames {
+    i_in: String,
+    i_out: String,
+    j_in: String,
+    j_out: String,
+}
+
+/// `tile i, j by bi, bj` — the paper's "two splits and a reorder",
+/// constructed directly so tail handling composes: splitting each index
+/// separately would leave the `i` split's epilogue nested around the `j`
+/// loop and the nest no longer perfect for the reorder. Instead the main
+/// 4-deep nest walks the full `bi`×`bj` tiles, a column-tail nest covers
+/// the leftover `j` range of the fully tiled rows, and a row-tail nest
+/// covers the leftover `i` range over the full `j` range. Tails whose
+/// literal extent is a known multiple of the factor are omitted, so the
+/// divisible literal case stays the bare reordered nest.
+fn tile_nest(
+    li: &ForLoop,
+    j: &str,
+    bi: i64,
+    bj: i64,
+    names: &TileNames,
+) -> Result<IrStmt, TransformError> {
+    // The `i` loop must immediately contain exactly the `j` loop
+    // (comments allowed around it).
+    let inner: Vec<&IrStmt> = li
+        .body
+        .iter()
+        .filter(|s| !matches!(s, IrStmt::Comment(_)))
+        .collect();
+    let lj = match inner.as_slice() {
+        [IrStmt::For(f)] if f.var == j => (*f).clone(),
+        _ => {
+            return Err(TransformError::NotPerfectlyNested {
+                detail: format!("loop '{}' does not immediately contain loop '{j}'", li.var),
+            })
+        }
+    };
+    // The reorder moves the `j_out` loop above `i_in`; the `j` bounds must
+    // not depend on `i`.
+    if lj.lo.uses_var(&li.var) || lj.hi.uses_var(&li.var) {
+        return Err(TransformError::BoundDependency {
+            index: j.to_string(),
+            depends_on: li.var.clone(),
+        });
+    }
+
+    let (ei, ej) = (extent_of(li), extent_of(&lj));
+    // i := lo_i + i_out*bi + i_in, j := lo_j + j_out*bj + j_in.
+    let recon_i = offset_from(
+        &li.lo,
+        IrExpr::add(
+            IrExpr::mul(IrExpr::var(&names.i_out), IrExpr::Int(bi)),
+            IrExpr::var(&names.i_in),
+        ),
+    );
+    let recon_j = offset_from(
+        &lj.lo,
+        IrExpr::add(
+            IrExpr::mul(IrExpr::var(&names.j_out), IrExpr::Int(bj)),
+            IrExpr::var(&names.j_in),
+        ),
+    );
+    let tile_body: Vec<IrStmt> = lj
+        .body
+        .iter()
+        .map(|s| s.substitute(&li.var, &recon_i).substitute(&lj.var, &recon_j))
+        .collect();
+
+    let j_in_loop = ForLoop {
+        var: names.j_in.clone(),
+        lo: IrExpr::Int(0),
+        hi: IrExpr::Int(bj),
+        body: tile_body,
+        parallel: false,
+        vector: false,
+    };
+    let i_in_loop = ForLoop {
+        var: names.i_in.clone(),
+        lo: IrExpr::Int(0),
+        hi: IrExpr::Int(bi),
+        body: vec![IrStmt::For(j_in_loop)],
+        parallel: false,
+        vector: false,
+    };
+    let j_out_loop = ForLoop {
+        var: names.j_out.clone(),
+        lo: IrExpr::Int(0),
+        hi: IrExpr::bin(crate::ir::IrBinOp::Div, ej.clone(), IrExpr::Int(bj)),
+        body: vec![IrStmt::For(i_in_loop)],
+        parallel: lj.parallel,
+        vector: false,
+    };
+    let i_out_loop = ForLoop {
+        var: names.i_out.clone(),
+        lo: IrExpr::Int(0),
+        hi: IrExpr::bin(crate::ir::IrBinOp::Div, ei.clone(), IrExpr::Int(bi)),
+        body: vec![IrStmt::For(j_out_loop)],
+        parallel: li.parallel,
+        vector: false,
+    };
+
+    let divisible_i = literal_extent(li).is_some_and(|e| e % bi == 0);
+    let divisible_j = literal_extent(&lj).is_some_and(|e| e % bj == 0);
+    let mut result = vec![IrStmt::For(i_out_loop)];
+    if !divisible_j {
+        // Leftover columns of the fully tiled rows:
+        //   for (i = lo_i; i < lo_i + (Ei/bi)*bi; i++)
+        //     for (j = lo_j + (Ej/bj)*bj; j < hi_j; j++) B(i, j)
+        let j_tail = ForLoop {
+            var: lj.var.clone(),
+            lo: offset_from(&lj.lo, full_chunks(ej, bj)),
+            hi: lj.hi.clone(),
+            body: lj.body.clone(),
+            parallel: false,
+            vector: false,
+        };
+        let i_full = ForLoop {
+            var: li.var.clone(),
+            lo: li.lo.clone(),
+            hi: offset_from(&li.lo, full_chunks(ei.clone(), bi)),
+            body: vec![IrStmt::For(j_tail)],
+            parallel: false,
+            vector: false,
+        };
+        result.push(IrStmt::For(i_full));
+    }
+    if !divisible_i {
+        // Leftover rows over the full original `j` range:
+        //   for (i = lo_i + (Ei/bi)*bi; i < hi_i; i++) original body
+        let i_tail = ForLoop {
+            var: li.var.clone(),
+            lo: offset_from(&li.lo, full_chunks(ei, bi)),
+            hi: li.hi.clone(),
+            body: li.body.clone(),
+            parallel: false,
+            vector: false,
+        };
+        result.push(IrStmt::For(i_tail));
+    }
+    Ok(if result.len() == 1 {
+        result.pop().expect("single nest")
+    } else {
+        IrStmt::Block(result)
+    })
 }
 
 /// `unroll x by k`: replicate the body `k` times per iteration.
 fn unroll_loop(l: &ForLoop, k: i64) -> IrStmt {
     let uvar = format!("{}_u", l.var);
-    let extent_expr = if l.lo == IrExpr::Int(0) {
-        l.hi.clone()
-    } else {
-        IrExpr::bin(crate::ir::IrBinOp::Sub, l.hi.clone(), l.lo.clone())
-    };
+    let extent_expr = extent_of(l);
     let mut body = Vec::new();
     for lane in 0..k {
         // x := lo + x_u*k + lane
@@ -413,38 +584,19 @@ fn unroll_loop(l: &ForLoop, k: i64) -> IrStmt {
         parallel: l.parallel,
         vector: false,
     };
-    // Remainder loop for non-divisible extents (always emitted for unroll
-    // unless the extent is a literal multiple of k — unlike split, unroll
-    // has no paper example to stay textually faithful to).
-    let needs_remainder = match (&l.lo, &l.hi) {
-        (IrExpr::Int(a), IrExpr::Int(b)) => (b - a) % k != 0,
-        _ => true,
-    };
-    if needs_remainder {
-        let done = IrExpr::mul(
-            IrExpr::bin(crate::ir::IrBinOp::Div, if l.lo == IrExpr::Int(0) {
-                l.hi.clone()
-            } else {
-                IrExpr::bin(crate::ir::IrBinOp::Sub, l.hi.clone(), l.lo.clone())
-            }, IrExpr::Int(k)),
-            IrExpr::Int(k),
-        );
-        let rem_lo = if l.lo == IrExpr::Int(0) {
-            done
-        } else {
-            IrExpr::add(l.lo.clone(), done)
-        };
+    // Remainder loop unless the extent is a literal multiple of k.
+    if literal_extent(l).is_some_and(|e| e % k == 0) {
+        IrStmt::For(main)
+    } else {
         let epilogue = ForLoop {
             var: l.var.clone(),
-            lo: rem_lo,
+            lo: offset_from(&l.lo, full_chunks(extent_of(l), k)),
             hi: l.hi.clone(),
             body: l.body.clone(),
             parallel: false,
             vector: false,
         };
         IrStmt::Block(vec![IrStmt::For(main), IrStmt::For(epilogue)])
-    } else {
-        IrStmt::For(main)
     }
 }
 

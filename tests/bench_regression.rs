@@ -1,0 +1,57 @@
+//! Perf regression gate over the checked-in trajectory: the interpreter
+//! wall time on the profile target must stay within 2× of the
+//! `current.median_run_nanos` recorded in `BENCH_pipeline.json`.
+//!
+//! `#[ignore]`d by default — wall-clock assertions are meaningless in
+//! debug builds and noisy on loaded dev machines. CI runs it in release
+//! with `cargo test --release -q --test bench_regression -- --ignored`;
+//! the 2× headroom absorbs runner jitter while still catching a real
+//! hot-path regression (the slot-resolved interpreter exists precisely
+//! to keep this number down).
+
+use std::time::Instant;
+
+use cmm::eddy::programs::full_compiler;
+
+const PROGRAM: &str = include_str!("../examples/pipeline_profile.xc");
+const TRAJECTORY: &str = include_str!("../BENCH_pipeline.json");
+const THREADS: usize = 4;
+
+/// `current.median_run_nanos` from the hand-rolled trajectory JSON.
+fn checked_in_run_nanos() -> u64 {
+    let current = &TRAJECTORY[TRAJECTORY
+        .find("\"current\"")
+        .expect("BENCH_pipeline.json has a current block")..];
+    let key = "\"median_run_nanos\": ";
+    let at = current.find(key).expect("current.median_run_nanos");
+    let digits: String = current[at + key.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().expect("median_run_nanos is a uint")
+}
+
+#[test]
+#[ignore = "wall-clock gate; CI runs it in release with -- --ignored"]
+fn interp_wall_time_within_2x_of_trajectory() {
+    let reference = checked_in_run_nanos();
+    assert!(reference > 0, "empty trajectory reference");
+    let compiler = full_compiler();
+    let expected_out = compiler.run(PROGRAM, THREADS).expect("warmup run").output;
+    assert_eq!(expected_out, "17214.904297\n", "profile target output drifted");
+    let mut samples: Vec<u64> = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            compiler.run(PROGRAM, THREADS).expect("run");
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    assert!(
+        median <= reference * 2,
+        "interp wall time regressed: median {median}ns > 2x checked-in {reference}ns \
+         (samples: {samples:?}); if intentional, regenerate the trajectory with \
+         `cargo bench -p cmm-bench --bench pipeline`"
+    );
+}

@@ -5,7 +5,7 @@
 
 use cmm::eddy::programs::full_compiler;
 use cmm::loopir::emit::emit_program;
-use cmm::loopir::{ForLoop, IrStmt};
+use cmm::loopir::{ForLoop, IrExpr, IrStmt};
 
 fn fig9(transform: &str) -> String {
     format!(
@@ -68,11 +68,49 @@ fn split_produces_fig10_structure() {
     let i_loop = find_loop(&main.body, "i").expect("i loop");
     let jout = find_loop(&i_loop.body, "jout").expect("jout under i");
     let jin = find_loop(&jout.body, "jin").expect("jin under jout");
-    assert_eq!(jin.lo, cmm::loopir::IrExpr::Int(0));
-    assert_eq!(jin.hi, cmm::loopir::IrExpr::Int(4));
-    assert!(find_loop(&main.body, "j").is_none(), "original j loop replaced");
+    assert_eq!(jin.lo, IrExpr::Int(0));
+    assert_eq!(jin.hi, IrExpr::Int(4));
+    // n is a runtime variable, so the compiler cannot prove the extent
+    // divides 4: the split keeps a sequential epilogue over the original
+    // index starting at (n/4)*4 (zero iterations here, since n = 8).
+    let epi = find_loop(&main.body, "j").expect("symbolic split keeps a tail epilogue");
+    let lo_shape = format!("{:?}", epi.lo);
+    assert!(
+        lo_shape.contains("Div") && lo_shape.contains("Int(4)"),
+        "epilogue resumes after the last full chunk of 4: {lo_shape}"
+    );
+    assert!(
+        matches!(epi.hi, IrExpr::Var(_)),
+        "epilogue runs to the original (hoisted) upper bound: {:?}",
+        epi.hi
+    );
+    assert!(!epi.parallel);
     // §V: user-directed transformation suppresses auto-parallelization.
     assert!(!i_loop.parallel);
+}
+
+#[test]
+fn split_symbolic_nondivisible_executes_every_iteration() {
+    // The headline bugfix: with symbolic bounds and an extent that does
+    // not divide the factor, the pre-fix split silently dropped the tail
+    // iterations (rows 8 and 9 here stayed zero). The fold sums every
+    // element, so a dropped tail is visible in the output.
+    let compiler = full_compiler();
+    let src = r#"
+int main() {
+    int n = 10;
+    Matrix int <1> v = init(Matrix int <1>, n);
+    v = with ([0] <= [x] < [n]) genarray([n], x + 1)
+        transform split x by 4, xin, xout;
+    int s = with ([0] <= [x] < [n]) fold(+, 0, v[x]);
+    printInt(s);
+    return 0;
+}
+"#;
+    for threads in [1, 3] {
+        let r = compiler.run(src, threads).expect("run");
+        assert_eq!(r.output, "55\n", "1+2+...+10, tail included");
+    }
 }
 
 #[test]

@@ -132,13 +132,43 @@ fn metrics_json_round_trips_without_serde() {
     assert_eq!(json_u64(&json, "hits"), report.rc.hits);
     assert_eq!(json_u64(&json, "misses"), report.rc.misses);
     assert_eq!(json_u64(&json, "recycled"), report.rc.recycled);
+    // Parser-cache counters ride last; scope the search so the rc-pool
+    // "hits"/"misses" keys above don't shadow them.
+    let pc = &json[json.find("\"parser_cache\"").expect("parser_cache key")..];
+    assert_eq!(json_u64(pc, "hits"), report.compile.parser_cache.hits);
+    assert_eq!(json_u64(pc, "misses"), report.compile.parser_cache.misses);
+}
+
+#[test]
+fn parser_cache_amortizes_repeat_compositions() {
+    // Two compilers over the same extension set: the second construction
+    // must be served from the composed-parser cache. Counters are
+    // process-global and other tests in this binary construct compilers
+    // concurrently, so assert monotonic deltas plus pointer identity
+    // rather than exact counts.
+    let a = full_compiler();
+    let (_, first) = a.compile_metered(PROGRAM).expect("compile");
+    let b = full_compiler();
+    let (_, second) = b.compile_metered(PROGRAM).expect("compile");
+    assert!(
+        std::ptr::eq(a.parser(), b.parser()),
+        "same extension set must share one cached parser"
+    );
+    assert!(
+        second.parser_cache.hits > first.parser_cache.hits,
+        "second construction must hit: {:?} then {:?}",
+        first.parser_cache,
+        second.parser_cache
+    );
+    assert!(second.parser_cache.misses >= first.parser_cache.misses);
+    assert!(first.parser_cache.misses >= 1, "someone built the tables once");
 }
 
 #[test]
 fn render_table_mentions_every_section() {
     let _guard = RC_LOCK.lock().unwrap();
     let table = profiled(2).render_table();
-    for section in ["compile passes", "fork-join regions", "interpreter", "rc pool"] {
+    for section in ["compile passes", "fork-join regions", "interpreter", "rc pool", "parser cache"] {
         assert!(table.contains(section), "missing {section} in:\n{table}");
     }
     assert!(table.contains("fuel rowScore"), "{table}");
