@@ -145,6 +145,17 @@ fn print_transform(t: &TransformSpec) -> String {
         TransformSpec::Interchange { a, b } => format!("interchange {a}, {b}"),
         TransformSpec::Unroll { index, by } => format!("unroll {index} by {by}"),
         TransformSpec::Tile { i, j, bi, bj } => format!("tile {i}, {j} by {bi}, {bj}"),
+        TransformSpec::Schedule { index, kind, chunk } => {
+            let kind = match kind {
+                ScheduleKind::Static => "static",
+                ScheduleKind::Dynamic => "dynamic",
+                ScheduleKind::Guided => "guided",
+            };
+            match chunk {
+                Some(c) => format!("schedule {index} {kind}, {c}"),
+                None => format!("schedule {index} {kind}"),
+            }
+        }
     }
 }
 

@@ -564,6 +564,32 @@ pub enum TransformSpec {
         /// Tile size for `j`.
         bj: i64,
     },
+    /// `schedule i dynamic, 16` — parallelize loop `index` and pin its
+    /// self-scheduling policy (static / dynamic / guided), overriding the
+    /// process default from `cmmc run --schedule`.
+    Schedule {
+        /// Loop index to parallelize and schedule.
+        index: String,
+        /// Scheduling policy.
+        kind: ScheduleKind,
+        /// Chunk size: iterations per claim for `dynamic`, minimum claim
+        /// for `guided`; `None` picks the backend default. Always `None`
+        /// for `static` (the grammar has no chunk form for it).
+        chunk: Option<i64>,
+    },
+}
+
+/// Surface scheduling policy of a `schedule(...)` directive. Mirrors
+/// `cmm_forkjoin::Schedule` without the chunk payloads so `cmm-ast` stays
+/// free of runtime dependencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleKind {
+    /// One contiguous chunk per participant.
+    Static,
+    /// Fixed-size chunks claimed on demand.
+    Dynamic,
+    /// Exponentially decreasing chunks.
+    Guided,
 }
 
 impl TransformSpec {
@@ -574,7 +600,8 @@ impl TransformSpec {
             TransformSpec::Split { index, .. }
             | TransformSpec::Vectorize { index }
             | TransformSpec::Parallelize { index }
-            | TransformSpec::Unroll { index, .. } => vec![index],
+            | TransformSpec::Unroll { index, .. }
+            | TransformSpec::Schedule { index, .. } => vec![index],
             TransformSpec::Reorder { order } => order.iter().map(|s| s.as_str()).collect(),
             TransformSpec::Interchange { a, b } => vec![a, b],
             TransformSpec::Tile { i, j, .. } => vec![i, j],

@@ -26,6 +26,17 @@ fn timed(mut f: impl FnMut()) -> u64 {
     t0.elapsed().as_nanos() as u64
 }
 
+/// Per-iteration time over a batch of `n` calls. Single-shot samples of a
+/// ~100µs operation on a small shared host are dominated by scheduler
+/// noise; batching amortizes it the way criterion does.
+fn timed_batch(n: u32, mut f: impl FnMut()) -> u64 {
+    let t0 = Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    (t0.elapsed().as_nanos() / n as u128) as u64
+}
+
 /// Refresh the perf trajectory: the `baseline` block is the run recorded
 /// when the trajectory was seeded (PR 2, commit f4ab982, pre
 /// slot-resolved interpreter and parser cache) and never changes;
@@ -33,7 +44,10 @@ fn timed(mut f: impl FnMut()) -> u64 {
 /// shows the trajectory moving. Returns the compiler it built so the
 /// cold parser construction below is the process's first.
 fn write_trajectory() -> Compiler {
-    const REPS: usize = 9;
+    // 25 reps (median) with a warm-up: on a small/shared host the
+    // run-to-run spread of a 9-rep cold median was ±40 %, which is what
+    // previously made `current` look like a large compile regression.
+    const REPS: usize = 25;
     let registry = Registry::standard();
     // First construction of this extension set in the process: pays the
     // LALR(1) table build (a parser-cache miss)...
@@ -47,10 +61,17 @@ fn write_trajectory() -> Compiler {
     let c = registry.compiler(EXTENSIONS).expect("compose");
     let cache = c.parser_cache_stats();
 
-    let compile_ns = median((0..REPS).map(|_| timed(|| drop(c.compile(PROGRAM).expect("compile")))).collect());
+    for _ in 0..5 {
+        c.compile(PROGRAM).expect("compile"); // warm-up
+    }
+    let compile_ns = median(
+        (0..REPS)
+            .map(|_| timed_batch(20, || drop(c.compile(PROGRAM).expect("compile"))))
+            .collect(),
+    );
     let compile_metered_ns = median(
         (0..REPS)
-            .map(|_| timed(|| drop(c.compile_metered(PROGRAM).expect("compile"))))
+            .map(|_| timed_batch(20, || drop(c.compile_metered(PROGRAM).expect("compile"))))
             .collect(),
     );
     let run_ns = median((0..REPS).map(|_| timed(|| drop(c.run(PROGRAM, THREADS).expect("run")))).collect());

@@ -1,0 +1,167 @@
+//! Loop-schedule bench (PR 4): runs the triangular-workload profile
+//! target (`examples/imbalanced.xc`) under static / dynamic / guided
+//! self-scheduling and writes `BENCH_schedule.json` at the workspace
+//! root.
+//!
+//! Two views are recorded, because wall time on a starved host lies:
+//!
+//! * **measured** — real `run_profiled_scheduled` executions at 4 pool
+//!   threads: median region time and load-imbalance ratio per schedule,
+//!   plus `host_cpus` so a reader can judge how much the numbers mean
+//!   (on a 1-CPU container the threads time-share a core and dynamic
+//!   scheduling cannot win wall time, only flatten the chunk counts).
+//! * **modeled** — a deterministic makespan model that drives the real
+//!   [`cmm_forkjoin::next_chunk`] claim protocol with a virtual clock:
+//!   the participant with the lowest accumulated cost claims the next
+//!   chunk, which is exactly how greedy self-scheduling behaves when
+//!   every participant has its own core. Chunk cost is the triangular
+//!   row cost of `imbalanced.xc` (row i costs i + 1). This is
+//!   host-independent and is the number the ≥20 % acceptance bar reads.
+
+use std::sync::atomic::AtomicUsize;
+
+use cmm_bench::config;
+use cmm_core::{Compiler, Registry};
+use cmm_forkjoin::{next_chunk, Schedule};
+use cmm_loopir::Limits;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const PROGRAM: &str = include_str!("../../../examples/imbalanced.xc");
+const THREADS: usize = 4;
+const ROWS: usize = 48;
+const EXTENSIONS: &[&str] = &["ext-matrix", "ext-tuples", "ext-rcptr", "ext-transform", "ext-cilk"];
+
+const SCHEDULES: &[(&str, Schedule)] = &[
+    ("static", Schedule::Static),
+    ("dynamic:1", Schedule::Dynamic { chunk: 1 }),
+    ("dynamic:4", Schedule::Dynamic { chunk: 4 }),
+    ("guided", Schedule::Guided { min_chunk: 1 }),
+];
+
+fn median(mut v: Vec<u64>) -> u64 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+/// Greedy self-scheduling makespan under the real claim protocol: the
+/// participant with the least accumulated virtual time claims next (on
+/// real hardware the first participant to finish its chunk is the first
+/// back at the counter). Returns (makespan, ideal, per-participant).
+fn modeled_makespan(schedule: Schedule) -> (u64, u64, Vec<u64>) {
+    // Row i of imbalanced.xc folds (i + 1) * 160 elements.
+    let cost = |row: usize| (row + 1) as u64;
+    let total: u64 = (0..ROWS).map(cost).sum();
+    let counter = AtomicUsize::new(0);
+    let mut vt = vec![0u64; THREADS];
+    loop {
+        let who = (0..THREADS).min_by_key(|&t| vt[t]).unwrap();
+        match next_chunk(&counter, ROWS, THREADS, schedule) {
+            Some(range) => vt[who] += range.map(cost).sum::<u64>(),
+            None => break,
+        }
+    }
+    let makespan = *vt.iter().max().unwrap();
+    (makespan, total.div_ceil(THREADS as u64), vt)
+}
+
+struct Measured {
+    region_nanos: u64,
+    imbalance: f64,
+    chunks_issued: u64,
+}
+
+fn measure(c: &Compiler, schedule: Schedule) -> Measured {
+    const REPS: usize = 5;
+    let mut regions = Vec::new();
+    let mut imb = Vec::new();
+    let mut chunks = 0;
+    for _ in 0..REPS {
+        let (_, report) = c
+            .run_profiled_scheduled(PROGRAM, THREADS, Limits::default(), schedule)
+            .expect("profiled run");
+        let pool = report.pool.expect("pool metrics");
+        regions.push(pool.region_nanos);
+        imb.push(pool.imbalance_ratio());
+        chunks = pool.chunks_issued;
+    }
+    imb.sort_by(|a, b| a.total_cmp(b));
+    Measured {
+        region_nanos: median(regions),
+        imbalance: imb[imb.len() / 2],
+        chunks_issued: chunks,
+    }
+}
+
+fn write_trajectory() -> Compiler {
+    let registry = Registry::standard();
+    let c = registry.compiler(EXTENSIONS).expect("compose");
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"cmm-bench-schedule-v1\",\n");
+    out.push_str("  \"generated_by\": \"cargo bench -p cmm-bench --bench schedule\",\n");
+    out.push_str("  \"program\": \"examples/imbalanced.xc\",\n");
+    out.push_str(&format!("  \"threads\": {THREADS},\n"));
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    ));
+
+    out.push_str("  \"modeled\": {\n");
+    out.push_str("    \"note\": \"greedy virtual-time makespan over the real next_chunk protocol; cost(row i) = i + 1\",\n");
+    let (static_span, ideal, _) = modeled_makespan(Schedule::Static);
+    for (i, (name, schedule)) in SCHEDULES.iter().enumerate() {
+        let (span, _, vt) = modeled_makespan(*schedule);
+        let vs_static = 100.0 * (static_span as f64 - span as f64) / static_span as f64;
+        let comma = if i + 1 < SCHEDULES.len() { "," } else { "" };
+        let per: Vec<String> = vt.iter().map(|v| v.to_string()).collect();
+        out.push_str(&format!(
+            "    \"{name}\": {{\"makespan\": {span}, \"ideal\": {ideal}, \"improvement_vs_static_pct\": {vs_static:.1}, \"per_participant\": [{}]}}{comma}\n",
+            per.join(", ")
+        ));
+    }
+    out.push_str("  },\n");
+
+    out.push_str("  \"measured\": {\n");
+    for (i, (name, schedule)) in SCHEDULES.iter().enumerate() {
+        let m = measure(&c, *schedule);
+        let comma = if i + 1 < SCHEDULES.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    \"{name}\": {{\"median_region_nanos\": {}, \"imbalance_ratio\": {:.3}, \"chunks_issued\": {}}}{comma}\n",
+            m.region_nanos, m.imbalance, m.chunks_issued
+        ));
+    }
+    out.push_str("  }\n");
+    out.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_schedule.json");
+    std::fs::write(path, out).expect("write BENCH_schedule.json");
+    eprintln!("wrote {path}");
+    c
+}
+
+fn bench(c: &mut Criterion) {
+    let compiler = write_trajectory();
+
+    let mut g = c.benchmark_group("schedule");
+    for (name, schedule) in SCHEDULES {
+        g.bench_function(format!("run_{name}"), |b| {
+            b.iter(|| {
+                compiler
+                    .run_with_schedule(PROGRAM, THREADS, Limits::default(), *schedule)
+                    .expect("run")
+            })
+        });
+    }
+    g.bench_function("makespan_model", |b| {
+        b.iter(|| modeled_makespan(Schedule::Guided { min_chunk: 1 }))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

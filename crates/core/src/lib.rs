@@ -30,11 +30,11 @@ use std::time::Instant;
 
 use cmm_ag::{analyze_fragment, AgFragment, WellDefinednessReport};
 use cmm_ast::Diag;
-use cmm_forkjoin::ForkJoinPool;
+use cmm_forkjoin::{ForkJoinPool, Schedule};
 use cmm_grammar::{is_composable, ComposabilityReport, ComposedGrammar, GrammarFragment, Parser};
 use cmm_lang::typecheck::{ExtSet, TypeInfo};
 use cmm_lang::{
-    build_program, check_program, fuse_slice_indices, host_ag, host_grammar, lower_program,
+    build_program, check_program, fuse_slice_indices, has_fusable_slice_index, host_ag, host_grammar, lower_program,
     LowerOptions,
 };
 use cmm_loopir::{emit, EmitError, Interp, InterpError, IrProgram, IrStmt, LimitKind, Limits};
@@ -441,7 +441,7 @@ impl Compiler {
         };
         let (ast, info) = self.frontend_checked(src, Some(&mut m))?;
         let t0 = Instant::now();
-        let (ast, fusions) = if self.options.fuse_slice_index {
+        let (ast, fusions) = if self.options.fuse_slice_index && has_fusable_slice_index(&ast) {
             fuse_slice_indices(&ast)
         } else {
             (ast, 0)
@@ -497,8 +497,25 @@ impl Compiler {
         threads: usize,
         limits: Limits,
     ) -> Result<RunResult, CompileError> {
+        self.run_with_schedule(src, threads, limits, Schedule::Static)
+    }
+
+    /// [`Compiler::run_with_limits`] with an explicit process-default
+    /// loop schedule (the `cmmc run --schedule` argument). Parallel loops
+    /// without a per-loop `schedule(...)` directive self-schedule under
+    /// `schedule`; `Schedule::Static` reproduces the classic one-chunk-
+    /// per-participant partition.
+    pub fn run_with_schedule(
+        &self,
+        src: &str,
+        threads: usize,
+        limits: Limits,
+        schedule: Schedule,
+    ) -> Result<RunResult, CompileError> {
         let ir = self.compile(src)?;
-        let interp = Interp::new(&ir, threads).with_limits(limits);
+        let interp = Interp::new(&ir, threads)
+            .with_schedule(schedule)
+            .with_limits(limits);
         interp.run_main().map_err(map_interp_error)?;
         Ok(RunResult {
             output: interp.output(),
@@ -519,11 +536,25 @@ impl Compiler {
         threads: usize,
         limits: Limits,
     ) -> Result<(RunResult, ProfileReport), CompileError> {
+        self.run_profiled_scheduled(src, threads, limits, Schedule::Static)
+    }
+
+    /// [`Compiler::run_profiled`] with an explicit process-default loop
+    /// schedule; the report's pool section then includes the chunk-claim
+    /// telemetry (`chunks_issued` / `chunks_taken`) of the self-scheduler.
+    pub fn run_profiled_scheduled(
+        &self,
+        src: &str,
+        threads: usize,
+        limits: Limits,
+        schedule: Schedule,
+    ) -> Result<(RunResult, ProfileReport), CompileError> {
         let rc_before = cmm_rc::pool_stats();
         let (ir, compile) = self.compile_metered(src)?;
         let pool = Arc::new(ForkJoinPool::new(threads));
         pool.set_metrics_enabled(true);
         let interp = Interp::with_pool(&ir, Arc::clone(&pool))
+            .with_schedule(schedule)
             .with_limits(limits)
             .with_profiling(true);
         let run_err = interp.run_main().map_err(map_interp_error).err();

@@ -136,6 +136,17 @@ impl ProfileReport {
                 "load imbalance",
                 pool.imbalance_ratio()
             );
+            if pool.chunks_issued > 0 {
+                let _ = writeln!(out, "{:<22} {:>10}", "chunks issued", pool.chunks_issued);
+                for (tid, &taken) in pool.chunks_taken.iter().enumerate() {
+                    let who = if tid == 0 {
+                        "chunks[main]".to_string()
+                    } else {
+                        format!("chunks[w{tid}]")
+                    };
+                    let _ = writeln!(out, "{who:<22} {taken:>10}");
+                }
+            }
         }
         if let Some(interp) = &self.interp {
             let _ = writeln!(out, "── interpreter ─────────────────────────────");
@@ -195,6 +206,10 @@ impl ProfileReport {
                 let _ = writeln!(out, "    \"barrier_wait_nanos\": {},", pool.barrier_wait_nanos);
                 let busy: Vec<String> = pool.busy_nanos.iter().map(|b| b.to_string()).collect();
                 let _ = writeln!(out, "    \"busy_nanos\": [{}],", busy.join(", "));
+                let _ = writeln!(out, "    \"chunks_issued\": {},", pool.chunks_issued);
+                let taken: Vec<String> =
+                    pool.chunks_taken.iter().map(|c| c.to_string()).collect();
+                let _ = writeln!(out, "    \"chunks_taken\": [{}],", taken.join(", "));
                 let _ = writeln!(out, "    \"imbalance_ratio\": {:.6}", pool.imbalance_ratio());
                 out.push_str("  },\n");
             }

@@ -55,6 +55,10 @@ pub fn grammar() -> GrammarFragment {
         .terminal(Terminal::keyword("KW_INTERCHANGE", "interchange"))
         .terminal(Terminal::keyword("KW_UNROLL", "unroll"))
         .terminal(Terminal::keyword("KW_TILE", "tile"))
+        .terminal(Terminal::keyword("KW_SCHEDULE", "schedule"))
+        .terminal(Terminal::keyword("KW_STATIC", "static"))
+        .terminal(Terminal::keyword("KW_DYNAMIC", "dynamic"))
+        .terminal(Terminal::keyword("KW_GUIDED", "guided"))
         .terminal(Terminal::new("DOT", r"\."))
         // assignment with transform clause (Fig 9)
         .production(
@@ -117,6 +121,44 @@ pub fn grammar() -> GrammarFragment {
                 t("INT_LIT"),
             ],
         )
+        // schedule i dynamic, 16  /  schedule i guided  /  schedule i static
+        .production(
+            "t_schedule_static",
+            "Transform",
+            vec![t("KW_SCHEDULE"), t("ID"), t("KW_STATIC")],
+        )
+        .production(
+            "t_schedule_dynamic",
+            "Transform",
+            vec![t("KW_SCHEDULE"), t("ID"), t("KW_DYNAMIC")],
+        )
+        .production(
+            "t_schedule_dynamic_chunk",
+            "Transform",
+            vec![
+                t("KW_SCHEDULE"),
+                t("ID"),
+                t("KW_DYNAMIC"),
+                t("COMMA"),
+                t("INT_LIT"),
+            ],
+        )
+        .production(
+            "t_schedule_guided",
+            "Transform",
+            vec![t("KW_SCHEDULE"), t("ID"), t("KW_GUIDED")],
+        )
+        .production(
+            "t_schedule_guided_chunk",
+            "Transform",
+            vec![
+                t("KW_SCHEDULE"),
+                t("ID"),
+                t("KW_GUIDED"),
+                t("COMMA"),
+                t("INT_LIT"),
+            ],
+        )
         .production("idlist_one", "IdListT", vec![t("ID")])
         .production(
             "idlist_more",
@@ -146,6 +188,11 @@ pub fn ag() -> AgFragment {
         ("t_interchange", "Transform", vec![]),
         ("t_unroll", "Transform", vec![]),
         ("t_tile", "Transform", vec![]),
+        ("t_schedule_static", "Transform", vec![]),
+        ("t_schedule_dynamic", "Transform", vec![]),
+        ("t_schedule_dynamic_chunk", "Transform", vec![]),
+        ("t_schedule_guided", "Transform", vec![]),
+        ("t_schedule_guided_chunk", "Transform", vec![]),
         ("idlist_one", "IdListT", vec![]),
         ("idlist_more", "IdListT", vec![]),
     ] {
@@ -183,6 +230,11 @@ mod tests {
             "t_interchange",
             "t_unroll",
             "t_tile",
+            "t_schedule_static",
+            "t_schedule_dynamic",
+            "t_schedule_dynamic_chunk",
+            "t_schedule_guided",
+            "t_schedule_guided_chunk",
         ] {
             assert!(g.productions.iter().any(|p| p.name == d), "{d}");
         }

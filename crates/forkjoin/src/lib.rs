@@ -46,7 +46,9 @@ use std::time::{Duration, Instant};
 
 pub mod faultinject;
 mod partition;
+pub mod schedule;
 pub use partition::{chunk_range, chunks_of};
+pub use schedule::{next_chunk, ParseScheduleError, Schedule};
 
 /// Type-erased reference to the closure of the current parallel region.
 /// Stored as a raw wide pointer; the epoch protocol orders the store before
@@ -81,6 +83,10 @@ struct Shared {
     /// Per-participant busy time in nanoseconds (index 0 = main thread,
     /// `tid` = worker `tid`), accumulated only while metrics are enabled.
     busy_nanos: Vec<AtomicU64>,
+    /// Per-participant chunk claims made through the self-scheduler
+    /// ([`ForkJoinPool::run_scheduled`]), accumulated only while metrics
+    /// are enabled. Same indexing as `busy_nanos`.
+    chunks_taken: Vec<AtomicU64>,
 }
 
 // Safety: `task` is only written by the main thread while all workers are
@@ -168,6 +174,14 @@ pub struct PoolMetrics {
     pub barrier_wait_nanos: u64,
     /// Per-participant busy time (time spent executing region closures).
     pub busy_nanos: Vec<u64>,
+    /// Chunks claimed through the self-scheduler across all measured
+    /// regions ([`ForkJoinPool::run_scheduled`]); 0 when every region
+    /// used the plain static `run` path.
+    pub chunks_issued: u64,
+    /// Per-participant claim counts (same indexing as `busy_nanos`). The
+    /// spread across participants shows whether dynamic/guided
+    /// scheduling actually redistributed work.
+    pub chunks_taken: Vec<u64>,
 }
 
 impl PoolMetrics {
@@ -226,6 +240,7 @@ pub struct ForkJoinPool {
     regions_measured: AtomicU64,
     region_nanos: AtomicU64,
     barrier_wait_nanos: AtomicU64,
+    chunks_issued: AtomicU64,
 }
 
 /// Default stop-barrier watchdog deadline.
@@ -251,6 +266,7 @@ impl ForkJoinPool {
             done_epoch: (1..requested).map(|_| AtomicU64::new(0)).collect(),
             metrics_enabled: AtomicBool::new(false),
             busy_nanos: (0..requested).map(|_| AtomicU64::new(0)).collect(),
+            chunks_taken: (0..requested).map(|_| AtomicU64::new(0)).collect(),
         });
         let mut handles = Vec::with_capacity(requested - 1);
         let mut spawn_failures = 0usize;
@@ -296,6 +312,7 @@ impl ForkJoinPool {
             regions_measured: AtomicU64::new(0),
             region_nanos: AtomicU64::new(0),
             barrier_wait_nanos: AtomicU64::new(0),
+            chunks_issued: AtomicU64::new(0),
         }
     }
 
@@ -343,6 +360,25 @@ impl ForkJoinPool {
                 .take(self.threads())
                 .map(|n| n.load(Ordering::Relaxed))
                 .collect(),
+            chunks_issued: self.chunks_issued.load(Ordering::Relaxed),
+            chunks_taken: self
+                .shared
+                .chunks_taken
+                .iter()
+                .take(self.threads())
+                .map(|n| n.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// Count one self-scheduler claim by participant `tid`. Telemetry
+    /// only — called by [`ForkJoinPool::run_scheduled`] and by consumers
+    /// that drive [`next_chunk`] themselves (the loop-IR interpreter),
+    /// when metrics are enabled.
+    pub fn record_chunk(&self, tid: usize) {
+        self.chunks_issued.fetch_add(1, Ordering::Relaxed);
+        if let Some(n) = self.shared.chunks_taken.get(tid) {
+            n.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -351,7 +387,11 @@ impl ForkJoinPool {
         self.regions_measured.store(0, Ordering::Relaxed);
         self.region_nanos.store(0, Ordering::Relaxed);
         self.barrier_wait_nanos.store(0, Ordering::Relaxed);
+        self.chunks_issued.store(0, Ordering::Relaxed);
         for n in &self.shared.busy_nanos {
+            n.store(0, Ordering::Relaxed);
+        }
+        for n in &self.shared.chunks_taken {
             n.store(0, Ordering::Relaxed);
         }
     }

@@ -1,0 +1,332 @@
+//! OpenMP-style loop self-scheduling over the enhanced fork-join pool.
+//!
+//! [`ForkJoinPool::run`] hands each participant a fixed `(tid, nthreads)`
+//! pair and leaves partitioning to the caller, which every consumer in the
+//! workspace does statically with [`crate::chunk_range`]. That is optimal
+//! for uniform bodies but serializes imbalanced ones behind the slowest
+//! chunk — the `imbalance_ratio` telemetry exists precisely to show this.
+//!
+//! This module adds the standard fix: a shared monotone counter from which
+//! participants *claim* chunks until the iteration space is drained.
+//! [`Schedule`] selects the claim policy (static / dynamic / guided, the
+//! OpenMP triple), [`next_chunk`] implements one claim, and
+//! [`ForkJoinPool::run_scheduled`] runs a whole region on top of the
+//! existing pool protocol so the nested-sequential fallback, the stall
+//! watchdog, and fault injection all compose unchanged.
+//!
+//! ## Memory ordering
+//!
+//! The counter is only a work-distribution device: claims use a single
+//! `fetch_add(chunk, Relaxed)` (over-claims past `total` are harmless —
+//! the claimer sees an empty range and stops). Happens-before between the
+//! loop body's writes and the caller's reads after the region is provided
+//! entirely by the pool's epoch/stop-barrier handshake, not by this
+//! counter, so Relaxed is sufficient and keeps the claim path to one
+//! uncontended-to-lightly-contended RMW per chunk.
+
+use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::ForkJoinPool;
+
+/// Loop-scheduling policy for one parallel region (the OpenMP triple).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Schedule {
+    /// One contiguous chunk of `ceil(total / nthreads)` iterations per
+    /// claim. With every participant claiming exactly once this matches
+    /// the old `chunk_range` partition (to within one iteration of
+    /// rounding) while still letting a finished participant steal the
+    /// slice of a worker that never spawned.
+    #[default]
+    Static,
+    /// Fixed-size chunks of `chunk` iterations, claimed on demand.
+    /// Smallest chunks → best balance, most counter traffic.
+    Dynamic {
+        /// Iterations per claim (≥ 1).
+        chunk: usize,
+    },
+    /// Exponentially decreasing chunks: each claim takes
+    /// `max(remaining / nthreads, min_chunk)` iterations. Front-loads big
+    /// cheap claims, back-fills with small ones — the usual compromise
+    /// between `Static`'s low overhead and `Dynamic`'s balance.
+    Guided {
+        /// Lower bound on the claim size (≥ 1).
+        min_chunk: usize,
+    },
+}
+
+/// Default chunk size for `dynamic` when none is given (OpenMP uses 1;
+/// we pick a slightly coarser default because the interpreter's
+/// per-iteration cost is tiny relative to a counter RMW).
+pub const DEFAULT_DYNAMIC_CHUNK: usize = 1;
+
+/// Default minimum chunk for `guided` when none is given.
+pub const DEFAULT_GUIDED_MIN_CHUNK: usize = 1;
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Schedule::Static => write!(f, "static"),
+            Schedule::Dynamic { chunk } => write!(f, "dynamic:{chunk}"),
+            Schedule::Guided { min_chunk } => write!(f, "guided:{min_chunk}"),
+        }
+    }
+}
+
+/// Error returned by [`Schedule::from_str`] for an unrecognized spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScheduleError(pub String);
+
+impl std::fmt::Display for ParseScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid schedule '{}': expected static, dynamic[:N], or guided[:N] with N >= 1",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseScheduleError {}
+
+impl FromStr for Schedule {
+    type Err = ParseScheduleError;
+
+    /// Parse `static`, `dynamic`, `dynamic:N`, `guided`, or `guided:N`
+    /// (the `cmmc run --schedule=` spelling).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (kind, arg) = match s.split_once(':') {
+            Some((k, a)) => (k, Some(a)),
+            None => (s, None),
+        };
+        let parse_arg = |default: usize| -> Result<usize, ParseScheduleError> {
+            match arg {
+                None => Ok(default),
+                Some(a) => match a.parse::<usize>() {
+                    Ok(n) if n >= 1 => Ok(n),
+                    _ => Err(ParseScheduleError(s.to_string())),
+                },
+            }
+        };
+        match kind {
+            "static" if arg.is_none() => Ok(Schedule::Static),
+            "dynamic" => Ok(Schedule::Dynamic {
+                chunk: parse_arg(DEFAULT_DYNAMIC_CHUNK)?,
+            }),
+            "guided" => Ok(Schedule::Guided {
+                min_chunk: parse_arg(DEFAULT_GUIDED_MIN_CHUNK)?,
+            }),
+            _ => Err(ParseScheduleError(s.to_string())),
+        }
+    }
+}
+
+impl Schedule {
+    /// Size of the next claim for this policy given how many iterations
+    /// remain unclaimed. Always ≥ 1 when `remaining > 0`.
+    #[inline]
+    fn claim_size(self, remaining: usize, total: usize, nthreads: usize) -> usize {
+        match self {
+            Schedule::Static => total.div_ceil(nthreads.max(1)).max(1),
+            Schedule::Dynamic { chunk } => chunk.max(1),
+            Schedule::Guided { min_chunk } => {
+                (remaining / nthreads.max(1)).max(min_chunk.max(1))
+            }
+        }
+    }
+}
+
+/// Claim the next chunk of `0..total` from the shared `counter` under
+/// `schedule`, or `None` when the iteration space is drained.
+///
+/// The counter must start at 0 for the region and is advanced with a
+/// single relaxed `fetch_add` per claim; see the module docs for why
+/// relaxed ordering is sufficient.
+#[inline]
+pub fn next_chunk(
+    counter: &AtomicUsize,
+    total: usize,
+    nthreads: usize,
+    schedule: Schedule,
+) -> Option<std::ops::Range<usize>> {
+    // Guided reads the counter once to size its claim; a stale read only
+    // affects the *size* of the claim, never its position (the fetch_add
+    // is what actually reserves iterations), so this is benign.
+    let observed = match schedule {
+        Schedule::Guided { .. } => counter.load(Ordering::Relaxed),
+        _ => 0,
+    };
+    if observed >= total {
+        return None;
+    }
+    let size = schedule.claim_size(total - observed, total, nthreads);
+    let start = counter.fetch_add(size, Ordering::Relaxed);
+    if start >= total {
+        return None;
+    }
+    Some(start..(start + size).min(total))
+}
+
+impl ForkJoinPool {
+    /// Execute `0..total` as one self-scheduled parallel region: every
+    /// participant repeatedly claims a chunk per `schedule` and calls
+    /// `f(tid, range)` on it until the space is drained.
+    ///
+    /// Built on [`ForkJoinPool::run`], so the whole existing protocol
+    /// applies: a pool of one or a nested region drains the counter on
+    /// the calling thread (same results, no concurrency), worker panics
+    /// are re-raised after the region, and the stop-barrier watchdog
+    /// covers a participant stuck inside a claim.
+    ///
+    /// When region telemetry is enabled ([`Self::set_metrics_enabled`]),
+    /// each claim bumps the region's `chunks_issued` and the claimer's
+    /// `chunks_taken[tid]` (see [`crate::PoolMetrics`]).
+    pub fn run_scheduled<F>(&self, total: usize, schedule: Schedule, f: F)
+    where
+        F: Fn(usize, std::ops::Range<usize>) + Sync,
+    {
+        if total == 0 {
+            return;
+        }
+        let counter = AtomicUsize::new(0);
+        let metered = self.metrics_enabled();
+        self.run(|tid, nthreads| {
+            while let Some(range) = next_chunk(&counter, total, nthreads, schedule) {
+                if metered {
+                    self.record_chunk(tid);
+                }
+                f(tid, range);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    fn drain(total: usize, nthreads: usize, schedule: Schedule) -> Vec<std::ops::Range<usize>> {
+        let counter = AtomicUsize::new(0);
+        let mut out = Vec::new();
+        while let Some(r) = next_chunk(&counter, total, nthreads, schedule) {
+            out.push(r);
+        }
+        out
+    }
+
+    #[test]
+    fn parse_specs() {
+        assert_eq!("static".parse::<Schedule>(), Ok(Schedule::Static));
+        assert_eq!(
+            "dynamic".parse::<Schedule>(),
+            Ok(Schedule::Dynamic { chunk: DEFAULT_DYNAMIC_CHUNK })
+        );
+        assert_eq!(
+            "dynamic:16".parse::<Schedule>(),
+            Ok(Schedule::Dynamic { chunk: 16 })
+        );
+        assert_eq!(
+            "guided:4".parse::<Schedule>(),
+            Ok(Schedule::Guided { min_chunk: 4 })
+        );
+        assert!("static:2".parse::<Schedule>().is_err());
+        assert!("dynamic:0".parse::<Schedule>().is_err());
+        assert!("fair".parse::<Schedule>().is_err());
+        assert!("dynamic:x".parse::<Schedule>().is_err());
+    }
+
+    #[test]
+    fn chunks_cover_exactly_once() {
+        for &total in &[0usize, 1, 7, 64, 1000] {
+            for &nthreads in &[1usize, 3, 4, 8] {
+                for schedule in [
+                    Schedule::Static,
+                    Schedule::Dynamic { chunk: 1 },
+                    Schedule::Dynamic { chunk: 5 },
+                    Schedule::Guided { min_chunk: 1 },
+                    Schedule::Guided { min_chunk: 3 },
+                ] {
+                    let chunks = drain(total, nthreads, schedule);
+                    let mut seen = vec![false; total];
+                    for r in &chunks {
+                        assert!(!r.is_empty(), "{schedule} issued empty chunk {r:?}");
+                        for i in r.clone() {
+                            assert!(!seen[i], "{schedule} covered {i} twice");
+                            seen[i] = true;
+                        }
+                    }
+                    assert!(seen.iter().all(|&s| s), "{schedule} missed iterations");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn guided_chunks_decrease_to_min() {
+        let chunks = drain(1024, 4, Schedule::Guided { min_chunk: 2 });
+        let sizes: Vec<usize> = chunks.iter().map(|r| r.len()).collect();
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(*sizes.last().unwrap() <= 2 || sizes.len() == 1, true);
+        assert_eq!(sizes[0], 256);
+    }
+
+    #[test]
+    fn run_scheduled_visits_every_index_once() {
+        let pool = ForkJoinPool::new(4);
+        for schedule in [
+            Schedule::Static,
+            Schedule::Dynamic { chunk: 3 },
+            Schedule::Guided { min_chunk: 1 },
+        ] {
+            let hit: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+            pool.run_scheduled(hit.len(), schedule, |_tid, range| {
+                for i in range {
+                    hit[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            for (i, h) in hit.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "{schedule} index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_scheduled_zero_total_is_noop() {
+        let pool = ForkJoinPool::new(2);
+        pool.run_scheduled(0, Schedule::Dynamic { chunk: 1 }, |_, _| {
+            panic!("body must not run for an empty space")
+        });
+    }
+
+    #[test]
+    fn run_scheduled_nested_falls_back_sequential() {
+        let pool = ForkJoinPool::new(4);
+        let seen = Mutex::new(HashSet::new());
+        pool.run(|tid, _| {
+            if tid == 0 {
+                // Nested scheduled region: drained entirely on this thread.
+                pool.run_scheduled(10, Schedule::Dynamic { chunk: 2 }, |_, r| {
+                    let mut s = seen.lock().unwrap();
+                    for i in r {
+                        assert!(s.insert(i));
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.into_inner().unwrap().len(), 10);
+        assert!(pool.nested_sequential_runs() >= 1);
+    }
+
+    #[test]
+    fn run_scheduled_records_chunk_metrics() {
+        let pool = ForkJoinPool::new(2);
+        pool.set_metrics_enabled(true);
+        pool.run_scheduled(16, Schedule::Dynamic { chunk: 4 }, |_, _| {});
+        let m = pool.metrics();
+        assert_eq!(m.chunks_issued, 4);
+        assert_eq!(m.chunks_taken.iter().sum::<u64>(), 4);
+        assert_eq!(m.chunks_taken.len(), 2);
+    }
+}

@@ -150,6 +150,8 @@ fn imbalance_ratio_math() {
         region_nanos: 100,
         barrier_wait_nanos: 0,
         busy_nanos: vec![100, 50, 50],
+        chunks_issued: 0,
+        chunks_taken: vec![0, 0, 0],
     };
     // max = 100, mean = 200/3 ≈ 66.7 → ratio 1.5.
     assert!((m.imbalance_ratio() - 1.5).abs() < 1e-9);

@@ -8,7 +8,7 @@
 use crate::dfa::Dfa;
 use crate::grammar::ComposedGrammar;
 use crate::lalr::{Action, Tables};
-use crate::scanner::{ScanError, Scanner, Token};
+use crate::scanner::{ScanCache, ScanError, Scanner, Token};
 
 /// Concrete syntax tree.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,6 +112,9 @@ pub struct Parser {
     dfa: Dfa,
     /// Per-state valid-terminal membership, precomputed for the scanner.
     valid: Vec<Vec<bool>>,
+    /// Grammar-derived scanner state (layout table, interned spellings),
+    /// built once so per-parse scanner setup is allocation-free.
+    scan_cache: ScanCache,
 }
 
 impl Parser {
@@ -133,11 +136,13 @@ impl Parser {
                 row
             })
             .collect();
+        let scan_cache = ScanCache::new(&grammar);
         Ok(Parser {
             grammar,
             tables,
             dfa,
             valid,
+            scan_cache,
         })
     }
 
@@ -153,16 +158,20 @@ impl Parser {
 
     /// Parse a full source string to a CST.
     pub fn parse(&self, src: &str) -> Result<Cst, ParseError> {
-        let mut scanner = Scanner::new(&self.grammar, &self.dfa, src);
-        let mut states: Vec<u32> = vec![0];
-        let mut nodes: Vec<Cst> = Vec::new();
+        let mut scanner = Scanner::new(&self.grammar, &self.dfa, &self.scan_cache, src);
+        // Token and stack-depth counts scale with source length; size the
+        // stacks once so a typical parse never reallocates them.
+        let cap = 16 + src.len() / 8;
+        let mut states: Vec<u32> = Vec::with_capacity(cap);
+        states.push(0);
+        let mut nodes: Vec<Cst> = Vec::with_capacity(cap);
         let mut lookahead: Option<Token> = None;
 
         loop {
             let state = *states.last().expect("state stack never empty");
             if lookahead.is_none() {
                 let row = &self.valid[state as usize];
-                lookahead = Some(scanner.next_token(&|t| row[t as usize])?);
+                lookahead = Some(scanner.next_token(|t| row[t as usize])?);
             }
             let tok = lookahead.as_ref().expect("lookahead present");
             match self.tables.action(state, tok.terminal) {
@@ -196,7 +205,7 @@ impl Parser {
                         .map(|t| self.grammar.terminals[t as usize].name.clone())
                         .collect();
                     return Err(ParseError::Unexpected {
-                        found: tok.text.clone(),
+                        found: tok.text.to_string(),
                         terminal: self.grammar.terminals[tok.terminal as usize].name.clone(),
                         line: tok.line,
                         col: tok.col,

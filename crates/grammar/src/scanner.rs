@@ -13,22 +13,82 @@
 //! highest [`crate::grammar::Terminal::precedence`] wins (keywords beat
 //! identifiers).
 
+use std::sync::Arc;
+
 use crate::dfa::{Dfa, DEAD};
 use crate::grammar::{ComposedGrammar, EOF};
+use crate::regex::Regex;
 
-/// A scanned token.
+/// A scanned token. `text` is shared (`Arc<str>`): fixed-spelling
+/// terminals (keywords, punctuation) all reference one interned copy, so
+/// scanning them never allocates.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     /// Terminal id.
     pub terminal: u16,
     /// Matched text.
-    pub text: String,
+    pub text: Arc<str>,
     /// Byte offset in the source.
     pub offset: usize,
     /// 1-based line.
     pub line: u32,
     /// 1-based column.
     pub col: u32,
+}
+
+/// Per-grammar scanner state that is independent of the source being
+/// scanned: the layout-terminal membership table and the interned text of
+/// every fixed-spelling terminal. Built once (e.g. by
+/// [`crate::Parser::new`]) and shared by every scan, so per-parse setup
+/// allocates nothing.
+pub struct ScanCache {
+    /// `ignore[t]` = terminal `t` is layout (whitespace, comments).
+    ignore: Vec<bool>,
+    /// Interned spelling for terminals whose pattern matches exactly one
+    /// string; `None` for variable-text terminals (identifiers, literals).
+    fixed: Vec<Option<Arc<str>>>,
+    /// Interned empty text for the EOF token.
+    empty: Arc<str>,
+}
+
+impl ScanCache {
+    /// Build the cache for a composed grammar.
+    pub fn new(grammar: &ComposedGrammar) -> Self {
+        ScanCache {
+            ignore: grammar.terminals.iter().map(|t| t.ignore).collect(),
+            fixed: grammar.patterns.iter().map(literal_spelling).collect(),
+            empty: Arc::from(""),
+        }
+    }
+}
+
+/// The unique string a pattern matches, if it is a fixed spelling (a
+/// sequence of single-byte classes, like every keyword and punctuation
+/// terminal). Anything with alternation, repetition, or multi-byte
+/// classes returns `None`.
+fn literal_spelling(r: &Regex) -> Option<Arc<str>> {
+    fn walk(r: &Regex, out: &mut Vec<u8>) -> bool {
+        match r {
+            Regex::Empty => true,
+            Regex::Class(set) => {
+                let mut bytes = set.iter();
+                match (bytes.next(), bytes.next()) {
+                    (Some(b), None) => {
+                        out.push(b);
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            Regex::Seq(parts) => parts.iter().all(|p| walk(p, out)),
+            _ => false,
+        }
+    }
+    let mut bytes = Vec::new();
+    if !walk(r, &mut bytes) || bytes.is_empty() {
+        return None;
+    }
+    String::from_utf8(bytes).ok().map(Arc::from)
 }
 
 /// Scanner failure: no valid terminal matches at the position.
@@ -62,27 +122,31 @@ impl std::error::Error for ScanError {}
 pub struct Scanner<'g, 's> {
     grammar: &'g ComposedGrammar,
     dfa: &'g Dfa,
+    cache: &'g ScanCache,
     src: &'s [u8],
     pos: usize,
     line: u32,
     col: u32,
-    /// DFA terminal ids are offset by one relative to grammar terminal ids
-    /// (the DFA is built without the EOF slot).
-    ignore: Vec<bool>,
 }
 
 impl<'g, 's> Scanner<'g, 's> {
     /// New scanner at the start of `src`. `dfa` must be built from
-    /// `grammar.patterns[1..]` (everything but EOF).
-    pub fn new(grammar: &'g ComposedGrammar, dfa: &'g Dfa, src: &'s str) -> Self {
+    /// `grammar.patterns[1..]` (everything but EOF) and `cache` from the
+    /// same grammar.
+    pub fn new(
+        grammar: &'g ComposedGrammar,
+        dfa: &'g Dfa,
+        cache: &'g ScanCache,
+        src: &'s str,
+    ) -> Self {
         Scanner {
             grammar,
             dfa,
+            cache,
             src: src.as_bytes(),
             pos: 0,
             line: 1,
             col: 1,
-            ignore: grammar.terminals.iter().map(|t| t.ignore).collect(),
         }
     }
 
@@ -105,12 +169,12 @@ impl<'g, 's> Scanner<'g, 's> {
 
     /// Scan the next token, considering only `valid(t)` terminals (plus
     /// layout). EOF (id 0) is produced at end of input.
-    pub fn next_token(&mut self, valid: &dyn Fn(u16) -> bool) -> Result<Token, ScanError> {
+    pub fn next_token<F: Fn(u16) -> bool>(&mut self, valid: F) -> Result<Token, ScanError> {
         loop {
             if self.pos >= self.src.len() {
                 return Ok(Token {
                     terminal: EOF,
-                    text: String::new(),
+                    text: self.cache.empty.clone(),
                     offset: self.pos,
                     line: self.line,
                     col: self.col,
@@ -131,7 +195,7 @@ impl<'g, 's> Scanner<'g, 's> {
                 let mut candidate: Option<u16> = None;
                 for &dfa_tid in self.dfa.accepts(state) {
                     let tid = dfa_tid + 1; // grammar id (EOF offset)
-                    if self.ignore[tid as usize] || valid(tid) {
+                    if self.cache.ignore[tid as usize] || valid(tid) {
                         candidate = Some(match candidate {
                             None => tid,
                             Some(prev) => {
@@ -163,17 +227,24 @@ impl<'g, 's> Scanner<'g, 's> {
                         .collect(),
                 });
             };
+            if self.cache.ignore[tid as usize] {
+                self.advance(mlen);
+                continue; // layout: skip and rescan (no text allocation)
+            }
+            let text = match &self.cache.fixed[tid as usize] {
+                Some(interned) => interned.clone(),
+                None => Arc::from(
+                    String::from_utf8_lossy(&self.src[self.pos..self.pos + mlen]).as_ref(),
+                ),
+            };
             let token = Token {
                 terminal: tid,
-                text: String::from_utf8_lossy(&self.src[self.pos..self.pos + mlen]).into_owned(),
+                text,
                 offset: self.pos,
                 line: self.line,
                 col: self.col,
             };
             self.advance(mlen);
-            if self.ignore[tid as usize] {
-                continue; // layout: skip and rescan
-            }
             return Ok(token);
         }
     }

@@ -110,7 +110,7 @@ impl Builder<'_> {
         let body = self.block(self.child(cst, 5)?)?;
         Ok(Function {
             ret,
-            name: name_tok.text.clone(),
+            name: name_tok.text.to_string(),
             params,
             body,
             span: token_span(name_tok),
@@ -138,7 +138,7 @@ impl Builder<'_> {
             }
             "param" => {
                 let ty = self.ty(self.child(cst, 0)?)?;
-                let name = self.tok(cst, 1)?.text.clone();
+                let name = self.tok(cst, 1)?.text.to_string();
                 out.push(Param { ty, name });
                 Ok(())
             }
@@ -236,13 +236,13 @@ impl Builder<'_> {
         match self.name(cst) {
             "stmt_decl" => Ok(Stmt::Decl {
                 ty: self.ty(self.child(cst, 0)?)?,
-                name: self.tok(cst, 1)?.text.clone(),
+                name: self.tok(cst, 1)?.text.to_string(),
                 init: None,
                 span,
             }),
             "stmt_decl_init" => Ok(Stmt::Decl {
                 ty: self.ty(self.child(cst, 0)?)?,
-                name: self.tok(cst, 1)?.text.clone(),
+                name: self.tok(cst, 1)?.text.to_string(),
                 init: Some(self.expr(self.child(cst, 3)?)?),
                 span,
             }),
@@ -340,7 +340,7 @@ impl Builder<'_> {
         match self.name(cst) {
             "forinit_decl" => Ok(Stmt::Decl {
                 ty: self.ty(self.child(cst, 0)?)?,
-                name: self.tok(cst, 1)?.text.clone(),
+                name: self.tok(cst, 1)?.text.to_string(),
                 init: Some(self.expr(self.child(cst, 3)?)?),
                 span,
             }),
@@ -453,16 +453,16 @@ impl Builder<'_> {
         match self.name(cst) {
             // split ID by INT , ID , ID
             "t_split" => Ok(TransformSpec::Split {
-                index: self.tok(cst, 1)?.text.clone(),
+                index: self.tok(cst, 1)?.text.to_string(),
                 by: self.parse_factor(self.tok(cst, 3)?)?,
-                inner: self.tok(cst, 5)?.text.clone(),
-                outer: self.tok(cst, 7)?.text.clone(),
+                inner: self.tok(cst, 5)?.text.to_string(),
+                outer: self.tok(cst, 7)?.text.to_string(),
             }),
             "t_vectorize" => Ok(TransformSpec::Vectorize {
-                index: self.tok(cst, 1)?.text.clone(),
+                index: self.tok(cst, 1)?.text.to_string(),
             }),
             "t_parallelize" => Ok(TransformSpec::Parallelize {
-                index: self.tok(cst, 1)?.text.clone(),
+                index: self.tok(cst, 1)?.text.to_string(),
             }),
             "t_reorder" => {
                 let mut order = Vec::new();
@@ -470,18 +470,44 @@ impl Builder<'_> {
                 Ok(TransformSpec::Reorder { order })
             }
             "t_interchange" => Ok(TransformSpec::Interchange {
-                a: self.tok(cst, 1)?.text.clone(),
-                b: self.tok(cst, 3)?.text.clone(),
+                a: self.tok(cst, 1)?.text.to_string(),
+                b: self.tok(cst, 3)?.text.to_string(),
             }),
             "t_unroll" => Ok(TransformSpec::Unroll {
-                index: self.tok(cst, 1)?.text.clone(),
+                index: self.tok(cst, 1)?.text.to_string(),
                 by: self.parse_factor(self.tok(cst, 3)?)?,
             }),
             "t_tile" => Ok(TransformSpec::Tile {
-                i: self.tok(cst, 1)?.text.clone(),
-                j: self.tok(cst, 3)?.text.clone(),
+                i: self.tok(cst, 1)?.text.to_string(),
+                j: self.tok(cst, 3)?.text.to_string(),
                 bi: self.parse_factor(self.tok(cst, 5)?)?,
                 bj: self.parse_factor(self.tok(cst, 7)?)?,
+            }),
+            // schedule ID static|dynamic|guided [, INT]
+            "t_schedule_static" => Ok(TransformSpec::Schedule {
+                index: self.tok(cst, 1)?.text.to_string(),
+                kind: ScheduleKind::Static,
+                chunk: None,
+            }),
+            "t_schedule_dynamic" => Ok(TransformSpec::Schedule {
+                index: self.tok(cst, 1)?.text.to_string(),
+                kind: ScheduleKind::Dynamic,
+                chunk: None,
+            }),
+            "t_schedule_dynamic_chunk" => Ok(TransformSpec::Schedule {
+                index: self.tok(cst, 1)?.text.to_string(),
+                kind: ScheduleKind::Dynamic,
+                chunk: Some(self.parse_factor(self.tok(cst, 4)?)?),
+            }),
+            "t_schedule_guided" => Ok(TransformSpec::Schedule {
+                index: self.tok(cst, 1)?.text.to_string(),
+                kind: ScheduleKind::Guided,
+                chunk: None,
+            }),
+            "t_schedule_guided_chunk" => Ok(TransformSpec::Schedule {
+                index: self.tok(cst, 1)?.text.to_string(),
+                kind: ScheduleKind::Guided,
+                chunk: Some(self.parse_factor(self.tok(cst, 4)?)?),
             }),
             other => err(span, format!("unexpected transform production '{other}'")),
         }
@@ -490,12 +516,12 @@ impl Builder<'_> {
     fn collect_ids(&self, cst: &Cst, out: &mut Vec<String>) -> BResult<()> {
         match self.name(cst) {
             "idlist_one" => {
-                out.push(self.tok(cst, 0)?.text.clone());
+                out.push(self.tok(cst, 0)?.text.to_string());
                 Ok(())
             }
             "idlist_more" => {
                 self.collect_ids(self.child(cst, 0)?, out)?;
-                out.push(self.tok(cst, 2)?.text.clone());
+                out.push(self.tok(cst, 2)?.text.to_string());
                 Ok(())
             }
             other => err(span_of(cst), format!("unexpected id-list production '{other}'")),
@@ -567,7 +593,7 @@ impl Builder<'_> {
             "prim_false" => Ok(Expr::BoolLit(false, span)),
             "prim_var" => {
                 let t = self.tok(cst, 0)?;
-                Ok(Expr::Var(t.text.clone(), token_span(t)))
+                Ok(Expr::Var(t.text.to_string(), token_span(t)))
             }
             "prim_paren" => self.expr(self.child(cst, 1)?),
             "prim_call" => {
@@ -575,7 +601,7 @@ impl Builder<'_> {
                 let mut args = Vec::new();
                 self.collect_args(self.child(cst, 2)?, &mut args)?;
                 Ok(Expr::Call {
-                    name: t.text.clone(),
+                    name: t.text.to_string(),
                     args,
                     span: token_span(t),
                 })
@@ -595,7 +621,7 @@ impl Builder<'_> {
             "prim_with" => self.with_expr(cst),
             // [ext-matrix] matrixMap.
             "prim_matrixmap" => {
-                let func = self.tok(cst, 2)?.text.clone();
+                let func = self.tok(cst, 2)?.text.to_string();
                 let matrix = self.expr(self.child(cst, 4)?)?;
                 let dim_exprs = self.bracketed(self.child(cst, 6)?)?;
                 let mut dims = Vec::with_capacity(dim_exprs.len());

@@ -23,7 +23,7 @@ pub mod typecheck;
 pub use builder::{build_program, BuildError};
 pub use grammar::{host_ag, host_grammar};
 pub use lower::{lower_program, LowerOptions};
-pub use optimize::fuse_slice_indices;
+pub use optimize::{fuse_slice_indices, has_fusable_slice_index};
 pub use typecheck::{check_program, ExtSet, FuncSig, TypeInfo};
 
 #[cfg(test)]

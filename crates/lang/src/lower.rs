@@ -58,7 +58,7 @@ pub fn lower_program(
     opts: &LowerOptions,
 ) -> Result<IrProgram, Diag> {
     let optimized;
-    let prog = if opts.fuse_slice_index {
+    let prog = if opts.fuse_slice_index && crate::optimize::has_fusable_slice_index(prog) {
         let (p, _count) = crate::optimize::fuse_slice_indices(prog);
         optimized = p;
         &optimized
@@ -580,6 +580,7 @@ impl FnLower<'_> {
                                 )],
                                 parallel: false,
                                 vector: false,
+                                schedule: None,
                             }));
                         }
                     }
@@ -745,6 +746,7 @@ impl FnLower<'_> {
                         )],
                         parallel: false,
                         vector: false,
+                        schedule: None,
                     }));
                     out.push(IrStmt::Expr(IrExpr::Call(
                         "rc_decr".into(),
@@ -996,6 +998,7 @@ impl FnLower<'_> {
                     body: vec![st],
                     parallel: false,
                     vector: false,
+                    schedule: None,
                 }));
                 Ok(RV::Mat {
                     var: result,
@@ -1038,6 +1041,7 @@ impl FnLower<'_> {
                     body: vec![st],
                     parallel: false,
                     vector: false,
+                    schedule: None,
                 }));
                 Ok(RV::Mat {
                     var: result,
@@ -1083,6 +1087,7 @@ impl FnLower<'_> {
             body: vec![st],
             parallel: false,
             vector: false,
+            schedule: None,
         }));
         RV::Mat {
             var,
@@ -1164,6 +1169,7 @@ impl FnLower<'_> {
                     body: vec![st],
                     parallel: false,
                     vector: false,
+                    schedule: None,
                 }));
                 Ok(RV::Mat {
                     var: result,
@@ -1233,6 +1239,7 @@ impl FnLower<'_> {
             body: vec![st],
             parallel: false,
             vector: false,
+            schedule: None,
         }));
         Ok(RV::Mat {
             var: result,
@@ -1281,6 +1288,7 @@ impl FnLower<'_> {
             }],
             parallel: false,
             vector: false,
+            schedule: None,
         });
         let store = self.store(
             elem,
@@ -1311,6 +1319,7 @@ impl FnLower<'_> {
             ],
             parallel: false,
             vector: false,
+            schedule: None,
         });
         out.push(IrStmt::For(ForLoop {
             var: i,
@@ -1319,6 +1328,7 @@ impl FnLower<'_> {
             body: vec![body_j],
             parallel: self.opts.parallelize,
             vector: false,
+            schedule: None,
         }));
         Ok(RV::Mat {
             var: result,
@@ -1382,6 +1392,27 @@ fn convert_transform(t: &TransformSpec) -> LoopTransform {
             bi: *bi,
             bj: *bj,
         },
+        TransformSpec::Schedule { index, kind, chunk } => {
+            // A non-positive chunk maps to 0, which `apply` rejects as
+            // BadFactor — the same diagnostic path as split/unroll/tile.
+            let chunk_of = |default: usize| match chunk {
+                Some(c) => (*c).max(0) as usize,
+                None => default,
+            };
+            let schedule = match kind {
+                cmm_ast::ScheduleKind::Static => cmm_loopir::Schedule::Static,
+                cmm_ast::ScheduleKind::Dynamic => cmm_loopir::Schedule::Dynamic {
+                    chunk: chunk_of(cmm_loopir::DEFAULT_DYNAMIC_CHUNK),
+                },
+                cmm_ast::ScheduleKind::Guided => cmm_loopir::Schedule::Guided {
+                    min_chunk: chunk_of(cmm_loopir::DEFAULT_GUIDED_MIN_CHUNK),
+                },
+            };
+            LoopTransform::Schedule {
+                index: index.clone(),
+                schedule,
+            }
+        }
     }
 }
 

@@ -286,6 +286,7 @@ impl FnLower<'_> {
                         body: nest,
                         parallel: d == 0 && self.opts.parallelize,
                         vector: false,
+                        schedule: None,
                     })];
                 }
                 out.extend(nest);
@@ -370,6 +371,7 @@ impl FnLower<'_> {
                         body: nest,
                         parallel: false,
                         vector: false,
+                        schedule: None,
                     })];
                 }
                 out.extend(nest);
@@ -428,6 +430,7 @@ impl FnLower<'_> {
                     body: vec![copy],
                     parallel: false,
                     vector: false,
+                    schedule: None,
                 }));
 
                 // Overwrite the generator region.
@@ -458,6 +461,7 @@ impl FnLower<'_> {
                         body: nest,
                         parallel: d == 0 && self.opts.parallelize,
                         vector: false,
+                        schedule: None,
                     })];
                 }
                 out.extend(nest);
@@ -563,6 +567,7 @@ impl FnLower<'_> {
                 body: gather,
                 parallel: false,
                 vector: false,
+                schedule: None,
             })];
         }
         // Scatter loop nest over mapped dims.
@@ -585,6 +590,7 @@ impl FnLower<'_> {
                 body: scatter,
                 parallel: false,
                 vector: false,
+                schedule: None,
             })];
         }
 
@@ -630,6 +636,7 @@ impl FnLower<'_> {
                 body: nest,
                 parallel: pos == 0 && self.opts.parallelize,
                 vector: false,
+                schedule: None,
             })];
         }
 
@@ -718,6 +725,7 @@ impl FnLower<'_> {
                             }],
                             parallel: false,
                             vector: false,
+                            schedule: None,
                         }));
                         // table
                         let table =
@@ -752,6 +760,7 @@ impl FnLower<'_> {
                             body: vec![fill],
                             parallel: false,
                             vector: false,
+                            schedule: None,
                         }));
                         sels.push(DimSel::Table { table, size: count });
                     } else {
@@ -897,6 +906,7 @@ impl FnLower<'_> {
                 body: nest,
                 parallel: false,
                 vector: false,
+                schedule: None,
             })];
         }
         out.extend(nest);
@@ -1028,6 +1038,7 @@ impl FnLower<'_> {
                 body: nest,
                 parallel: false,
                 vector: false,
+                schedule: None,
             })];
         }
         out.extend(nest);

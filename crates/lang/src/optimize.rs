@@ -318,3 +318,98 @@ fn map_children(e: &Expr, count: &mut usize) -> Expr {
         simple => simple.clone(),
     }
 }
+
+/// Whether the program contains any nested-index expression
+/// (`expr[...][...]`) the fusion could touch. [`fuse_slice_indices`]
+/// rebuilds (deep-clones) the entire AST even when it fuses nothing, so
+/// callers use this cheap read-only scan to skip the rebuild for the
+/// common program with no fusable site. Over-approximates (a nested index
+/// that turns out unmergeable still reports `true`); that only costs the
+/// rebuild, never a missed fusion.
+pub fn has_fusable_slice_index(prog: &Program) -> bool {
+    prog.functions.iter().any(|f| scan_block(&f.body))
+}
+
+fn scan_block(b: &Block) -> bool {
+    b.stmts.iter().any(scan_stmt)
+}
+
+fn scan_stmt(s: &Stmt) -> bool {
+    match s {
+        Stmt::Decl { init, .. } => init.as_ref().is_some_and(scan_expr),
+        Stmt::Assign { target, value, .. } => {
+            let in_target = match target {
+                LValue::Index { indices, .. } => indices.iter().any(scan_index),
+                LValue::Var(..) | LValue::Tuple(..) => false,
+            };
+            in_target || scan_expr(value)
+        }
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            ..
+        } => {
+            scan_expr(cond)
+                || scan_block(then_blk)
+                || else_blk.as_ref().is_some_and(scan_block)
+        }
+        Stmt::While { cond, body, .. } => scan_expr(cond) || scan_block(body),
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => scan_stmt(init) || scan_expr(cond) || scan_stmt(step) || scan_block(body),
+        Stmt::Return { value, .. } => value.as_ref().is_some_and(scan_expr),
+        Stmt::ExprStmt { expr, .. } => scan_expr(expr),
+        Stmt::Nested(b) => scan_block(b),
+        Stmt::Spawn { call, .. } => scan_expr(call),
+        Stmt::Sync { .. } => false,
+    }
+}
+
+fn scan_index(ix: &IndexExpr) -> bool {
+    match ix {
+        IndexExpr::At(e) => scan_expr(e),
+        IndexExpr::Range(a, b) => scan_expr(a) || scan_expr(b),
+        IndexExpr::All => false,
+    }
+}
+
+fn scan_expr(e: &Expr) -> bool {
+    match e {
+        Expr::IntLit(..)
+        | Expr::FloatLit(..)
+        | Expr::BoolLit(..)
+        | Expr::StrLit(..)
+        | Expr::Var(..)
+        | Expr::End(..) => false,
+        Expr::Unary { operand, .. } => scan_expr(operand),
+        Expr::Binary { left, right, .. } => scan_expr(left) || scan_expr(right),
+        Expr::Call { args, .. } => args.iter().any(scan_expr),
+        Expr::Cast { expr, .. } => scan_expr(expr),
+        Expr::Index { base, indices, .. } => {
+            matches!(&**base, Expr::Index { .. })
+                || scan_expr(base)
+                || indices.iter().any(scan_index)
+        }
+        Expr::RangeVec { lo, hi, .. } => scan_expr(lo) || scan_expr(hi),
+        Expr::Tuple(parts, _) => parts.iter().any(scan_expr),
+        Expr::With { generator, op, .. } => {
+            generator.lower.iter().any(scan_expr)
+                || generator.upper.iter().any(scan_expr)
+                || match op {
+                    WithOp::Genarray { shape, body } => {
+                        shape.iter().any(scan_expr) || scan_expr(body)
+                    }
+                    WithOp::Fold { base, body, .. } => scan_expr(base) || scan_expr(body),
+                    WithOp::Modarray { src, body } => scan_expr(src) || scan_expr(body),
+                }
+        }
+        Expr::MatrixMap { matrix, .. } => scan_expr(matrix),
+        Expr::Init { dims, .. } => dims.iter().any(scan_expr),
+        Expr::RcAlloc { len, .. } => scan_expr(len),
+    }
+}

@@ -260,6 +260,9 @@ fn emit_stmt(s: &IrStmt, level: usize, ctx: &mut EmitCtx, out: &mut String) {
             );
         }
         IrStmt::For(f) if f.vector => emit_vector_loop(f, level, ctx, out),
+        IrStmt::For(f) if f.parallel && f.schedule.is_some() => {
+            emit_scheduled_loop(f, level, ctx, out);
+        }
         IrStmt::For(f) => {
             if f.parallel {
                 ind(level, out);
@@ -451,6 +454,63 @@ fn expr(e: &IrExpr) -> String {
 /// and stores with unit stride in the lane variable use
 /// `_mm_loadu_ps`/`_mm_storeu_ps`, anything else gathers/scatters lanes
 /// explicitly (the "many new variables" of Fig 11).
+/// Emit a parallel loop with a pinned self-scheduling policy as an OpenMP
+/// parallel *region* (not `parallel for`): every thread claims chunks from
+/// a shared C11 atomic counter via the `cmm_sched_next` runtime helper, the
+/// same chunk-claim protocol the interpreter uses. Without OpenMP the
+/// region is a single thread that drains every chunk — same results,
+/// sequential schedule — so emitted programs stay correct under a plain
+/// `gcc` with no `-fopenmp`.
+fn emit_scheduled_loop(f: &ForLoop, level: usize, ctx: &mut EmitCtx, out: &mut String) {
+    let schedule = f.schedule.expect("caller checked schedule.is_some()");
+    let (kind, chunk) = match schedule {
+        cmm_forkjoin::Schedule::Static => (0, 1usize),
+        cmm_forkjoin::Schedule::Dynamic { chunk } => (1, chunk),
+        cmm_forkjoin::Schedule::Guided { min_chunk } => (2, min_chunk),
+    };
+    let ctr = ctx.fresh("cmm_sched_ctr");
+    let lo_v = ctx.fresh("cmm_sched_lo");
+    let total_v = ctx.fresh("cmm_sched_total");
+    let c_lo = ctx.fresh("cmm_chunk_lo");
+    let c_hi = ctx.fresh("cmm_chunk_hi");
+    let k = ctx.fresh("cmm_k");
+    ind(level, out);
+    out.push_str("{\n");
+    ind(level + 1, out);
+    let _ = writeln!(out, "cmm_atomic_long {ctr} = 0;");
+    ind(level + 1, out);
+    let _ = writeln!(out, "long {lo_v} = (long)({});", expr(&f.lo));
+    ind(level + 1, out);
+    let _ = writeln!(out, "long {total_v} = (long)({}) - {lo_v};", expr(&f.hi));
+    ind(level + 1, out);
+    out.push_str("#pragma omp parallel\n");
+    ind(level + 1, out);
+    out.push_str("{\n");
+    ind(level + 2, out);
+    let _ = writeln!(out, "long {c_lo}, {c_hi};");
+    ind(level + 2, out);
+    let _ = writeln!(
+        out,
+        "while (cmm_sched_next(&{ctr}, {total_v}, cmm_sched_threads(), {kind}, {chunk}, \
+         &{c_lo}, &{c_hi})) {{"
+    );
+    ind(level + 3, out);
+    let _ = writeln!(out, "for (long {k} = {c_lo}; {k} < {c_hi}; {k}++) {{");
+    ind(level + 4, out);
+    let _ = writeln!(out, "int {v} = (int)({lo_v} + {k});", v = f.var);
+    for s in &f.body {
+        emit_stmt(s, level + 4, ctx, out);
+    }
+    ind(level + 3, out);
+    out.push_str("}\n");
+    ind(level + 2, out);
+    out.push_str("}\n");
+    ind(level + 1, out);
+    out.push_str("}\n");
+    ind(level, out);
+    out.push_str("}\n");
+}
+
 fn emit_vector_loop(f: &ForLoop, level: usize, ctx: &mut EmitCtx, out: &mut String) {
     ind(level, out);
     let _ = writeln!(out, "/* vectorized loop over {} (4 x f32 SSE lanes) */", f.var);
@@ -700,6 +760,62 @@ const C_RUNTIME: &str = r#"/* Generated by the cmm extended-C translator. */
 #if defined(__SSE__) || defined(_M_X64) || defined(__x86_64__)
 #include <xmmintrin.h>
 #endif
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+#if !defined(__STDC_NO_ATOMICS__)
+#include <stdatomic.h>
+typedef atomic_long cmm_atomic_long;
+#define cmm_atomic_fetch_add(p, v) atomic_fetch_add_explicit((p), (v), memory_order_relaxed)
+#define cmm_atomic_load(p) atomic_load_explicit((p), memory_order_relaxed)
+#else
+/* No C11 atomics implies no OpenMP threads here either; plain longs are
+ * fine for the single-threaded drain. */
+typedef long cmm_atomic_long;
+static long cmm_atomic_fetch_add(long *p, long v) { long old = *p; *p += v; return old; }
+#define cmm_atomic_load(p) (*(p))
+#endif
+
+/* Threads sharing the self-scheduling counter of the enclosing parallel
+ * region (1 without OpenMP: one thread drains all chunks). */
+static int cmm_sched_threads(void) {
+#ifdef _OPENMP
+    return omp_get_num_threads();
+#else
+    return 1;
+#endif
+}
+
+/* Claim the next chunk of 0..total from the region's shared counter.
+ * kind: 0 = static (one ceil(total/nthreads) chunk per claim),
+ *       1 = dynamic (fixed `chunk` iterations per claim),
+ *       2 = guided  (max(remaining/nthreads, chunk) per claim).
+ * Stores [*lo, *hi) and returns 1, or returns 0 when drained. Relaxed
+ * ordering suffices: the counter only distributes work; the OpenMP
+ * region's implicit barrier provides the happens-before for the loop
+ * body's effects. */
+static int cmm_sched_next(cmm_atomic_long *counter, long total, int nthreads,
+                          int kind, long chunk, long *lo, long *hi) {
+    long size;
+    if (nthreads < 1) nthreads = 1;
+    if (chunk < 1) chunk = 1;
+    if (kind == 2) {
+        long observed = cmm_atomic_load(counter);
+        if (observed >= total) return 0;
+        size = (total - observed) / nthreads;
+        if (size < chunk) size = chunk;
+    } else if (kind == 1) {
+        size = chunk;
+    } else {
+        size = (total + nthreads - 1) / nthreads;
+        if (size < 1) size = 1;
+    }
+    long start = cmm_atomic_fetch_add(counter, size);
+    if (start >= total) return 0;
+    *lo = start;
+    *hi = start + size < total ? start + size : total;
+    return 1;
+}
 
 typedef struct {
     int refs;               /* the 4-byte reference count header */

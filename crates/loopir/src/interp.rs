@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use cmm_forkjoin::{chunk_range, ForkJoinPool};
+use cmm_forkjoin::{next_chunk, ForkJoinPool, Schedule};
 use cmm_rc::{AllocError, PoolBlock};
 
 use crate::ir::{CType, Elem, IrBinOp, IrProgram};
@@ -367,12 +367,14 @@ pub enum Value {
     F(f32),
     /// `bool`.
     B(bool),
-    /// String (file names).
-    S(String),
+    /// String (file names). `Arc<str>` so slot reads and literal
+    /// evaluation in hot loops bump a refcount instead of allocating.
+    S(Arc<str>),
     /// Matrix buffer handle.
     Buf(BufHandle),
-    /// Tuple of values (multi-value returns).
-    Tup(Vec<Value>),
+    /// Tuple of values (multi-value returns). `Arc<[Value]>` for the same
+    /// reason as `S`: cloning out of a slot is a refcount, not a deep copy.
+    Tup(Arc<[Value]>),
     /// No value.
     Unit,
 }
@@ -496,6 +498,9 @@ pub struct Interp<'p> {
     par_loops: AtomicU64,
     par_iters: AtomicU64,
     peak_live_bytes: AtomicU64,
+    /// Process-default scheduling policy for parallel loops that don't
+    /// pin one with a `schedule(...)` directive (`cmmc run --schedule`).
+    schedule: Schedule,
 }
 
 impl<'p> Interp<'p> {
@@ -524,7 +529,16 @@ impl<'p> Interp<'p> {
             par_loops: AtomicU64::new(0),
             par_iters: AtomicU64::new(0),
             peak_live_bytes: AtomicU64::new(0),
+            schedule: Schedule::Static,
         }
+    }
+
+    /// Set the default self-scheduling policy for parallel loops (the
+    /// `--schedule` process default). A per-loop `schedule(...)` directive
+    /// overrides this.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
     }
 
     /// The source program this interpreter was built from.
@@ -920,8 +934,8 @@ impl<'p> Interp<'p> {
                         parts.len()
                     )));
                 }
-                for (t, p) in targets.iter().zip(parts) {
-                    self.set_target(frame, t, p)?;
+                for (t, p) in targets.iter().zip(parts.iter()) {
+                    self.set_target(frame, t, p.clone())?;
                 }
                 Ok(Flow::Normal)
             }
@@ -948,28 +962,50 @@ impl<'p> Interp<'p> {
                 template[s as usize] = frame.slots[s as usize].clone();
             }
             let error: Mutex<Option<InterpError>> = Mutex::new(None);
+            // Self-scheduled execution: participants claim chunks from a
+            // shared counter instead of receiving one static slice each,
+            // so an imbalanced body (triangular loop, data-dependent
+            // work) no longer serializes behind the slowest participant.
+            // The per-loop directive wins over the process default; the
+            // default `Static` claims one `ceil(total/n)` chunk per
+            // participant, matching the old `chunk_range` partition.
+            let schedule = f.schedule.unwrap_or(self.schedule);
+            let counter = std::sync::atomic::AtomicUsize::new(0);
+            let metered = self.pool.metrics_enabled();
             self.pool.run(|tid, nthreads| {
                 let mut tf = Frame {
                     slots: template.clone(),
                     pending: Vec::new(),
                 };
-                for k in chunk_range(total, nthreads, tid) {
-                    tf.slots[f.var as usize] = Value::I(lo + k as i32);
-                    let r = self
-                        .charge(1)
-                        .and_then(|()| self.exec_block(&f.body, &mut tf))
-                        .and_then(|fl| self.run_pending(&mut tf).map(|()| fl));
-                    match r {
-                        Ok(Flow::Normal) => {}
-                        Ok(Flow::Return(_)) => {
-                            *lock_ignore_poison(&error) = Some(InterpError::new(
-                                "return inside a parallel loop is not supported",
-                            ));
-                            return;
-                        }
-                        Err(e) => {
-                            lock_ignore_poison(&error).get_or_insert(e);
-                            return;
+                'claims: while let Some(range) =
+                    next_chunk(&counter, total, nthreads, schedule)
+                {
+                    if metered {
+                        self.pool.record_chunk(tid);
+                    }
+                    // A failure elsewhere makes further chunks pointless;
+                    // drain the counter cheaply instead of executing them.
+                    if lock_ignore_poison(&error).is_some() {
+                        return;
+                    }
+                    for k in range {
+                        tf.slots[f.var as usize] = Value::I(lo + k as i32);
+                        let r = self
+                            .charge(1)
+                            .and_then(|()| self.exec_block(&f.body, &mut tf))
+                            .and_then(|fl| self.run_pending(&mut tf).map(|()| fl));
+                        match r {
+                            Ok(Flow::Normal) => {}
+                            Ok(Flow::Return(_)) => {
+                                *lock_ignore_poison(&error) = Some(InterpError::new(
+                                    "return inside a parallel loop is not supported",
+                                ));
+                                break 'claims;
+                            }
+                            Err(e) => {
+                                lock_ignore_poison(&error).get_or_insert(e);
+                                break 'claims;
+                            }
                         }
                     }
                 }
@@ -1050,7 +1086,7 @@ impl<'p> Interp<'p> {
                     .iter()
                     .map(|e| self.eval(e, frame))
                     .collect::<IResult<Vec<_>>>()?;
-                Ok(Value::Tup(vals))
+                Ok(Value::Tup(vals.into()))
             }
         }
     }

@@ -248,6 +248,11 @@ pub struct ForLoop {
     pub parallel: bool,
     /// Execute with 4-lane vectors (SSE in C).
     pub vector: bool,
+    /// Self-scheduling policy for a parallel loop. `None` defers to the
+    /// process default (interpreter: [`crate::Interp`]'s configured
+    /// schedule; emitted C: plain `#pragma omp parallel for`). Only
+    /// meaningful when `parallel` is set.
+    pub schedule: Option<cmm_forkjoin::Schedule>,
 }
 
 /// IR statements.
@@ -368,6 +373,7 @@ impl IrStmt {
                         body: f.body.clone(),
                         parallel: f.parallel,
                         vector: f.vector,
+                        schedule: f.schedule,
                     })
                 } else {
                     IrStmt::For(ForLoop {
@@ -377,6 +383,7 @@ impl IrStmt {
                         body: sub_body(&f.body),
                         parallel: f.parallel,
                         vector: f.vector,
+                        schedule: f.schedule,
                     })
                 }
             }

@@ -29,6 +29,7 @@ pub use interp::{
     BufHandle, FnProfile, Interp, InterpError, InterpErrorKind, InterpProfile, LimitKind, Limits,
     Value,
 };
+pub use cmm_forkjoin::{Schedule, schedule::DEFAULT_DYNAMIC_CHUNK, schedule::DEFAULT_GUIDED_MIN_CHUNK};
 pub use ir::{CType, Elem, ForLoop, IrBinOp, IrExpr, IrFunction, IrProgram, IrStmt};
 pub use transform::TransformError;
 

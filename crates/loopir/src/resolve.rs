@@ -46,7 +46,9 @@ pub(crate) enum RExpr {
     Int(i32),
     Float(f32),
     Bool(bool),
-    Str(String),
+    /// String literal, interned once at resolve time so evaluation clones
+    /// a refcount instead of the bytes.
+    Str(std::sync::Arc<str>),
     /// Variable read by frame slot.
     Slot(u32),
     /// Name not in scope; reading errors at execution time.
@@ -71,6 +73,9 @@ pub(crate) struct RFor {
     pub hi: RExpr,
     pub body: Vec<RStmt>,
     pub parallel: bool,
+    /// Per-loop self-scheduling policy; `None` defers to the
+    /// interpreter's process default.
+    pub schedule: Option<cmm_forkjoin::Schedule>,
     /// Slots declared outside the loop that the body references — the
     /// values each parallel participant copies into its private frame.
     pub captured: Vec<u32>,
@@ -294,6 +299,7 @@ impl Resolver<'_> {
                     hi,
                     body,
                     parallel: f.parallel,
+                    schedule: f.schedule,
                     captured,
                 }));
             }
@@ -344,7 +350,7 @@ impl Resolver<'_> {
             IrExpr::Int(v) => RExpr::Int(*v as i32),
             IrExpr::Float(v) => RExpr::Float(*v),
             IrExpr::Bool(v) => RExpr::Bool(*v),
-            IrExpr::Str(s) => RExpr::Str(s.clone()),
+            IrExpr::Str(s) => RExpr::Str(s.as_str().into()),
             IrExpr::Var(n) => match self.lookup(n) {
                 Some(slot) => RExpr::Slot(slot),
                 None => RExpr::Undefined(n.clone()),

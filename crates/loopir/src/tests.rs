@@ -44,6 +44,7 @@ fn mean_function(m: i64, n: i64, p: i64) -> IrFunction {
             init: Some(IrExpr::Float(0.0)),
         },
         IrStmt::For(ForLoop {
+            schedule: None,
             var: "k".into(),
             lo: i(0),
             hi: i(p),
@@ -59,10 +60,12 @@ fn mean_function(m: i64, n: i64, p: i64) -> IrFunction {
         },
     ];
     let nest = IrStmt::For(ForLoop {
+        schedule: None,
         var: "i".into(),
         lo: i(0),
         hi: i(m),
         body: vec![IrStmt::For(ForLoop {
+            schedule: None,
             var: "j".into(),
             lo: i(0),
             hi: i(n),
@@ -88,6 +91,7 @@ fn mean_function(m: i64, n: i64, p: i64) -> IrFunction {
 /// Program that fills a cube, runs `mean`, and prints every mean.
 fn mean_program(m: i64, n: i64, p: i64) -> IrProgram {
     let fill = IrStmt::For(ForLoop {
+        schedule: None,
         var: "x".into(),
         lo: i(0),
         hi: i(m * n * p),
@@ -101,6 +105,7 @@ fn mean_program(m: i64, n: i64, p: i64) -> IrProgram {
         vector: false,
     });
     let print = IrStmt::For(ForLoop {
+        schedule: None,
         var: "y".into(),
         lo: i(0),
         hi: i(m * n),
@@ -159,6 +164,7 @@ fn tail_sum_kernel(n: i64, symbolic: bool) -> IrProgram {
             init: Some(IrExpr::Call("alloc_mat_i32".into(), vec![i(n)])),
         },
         IrStmt::For(ForLoop {
+            schedule: None,
             var: "t".into(),
             lo: i(0),
             hi: bound,
@@ -177,6 +183,7 @@ fn tail_sum_kernel(n: i64, symbolic: bool) -> IrProgram {
             init: Some(i(0)),
         },
         IrStmt::For(ForLoop {
+            schedule: None,
             var: "u".into(),
             lo: i(0),
             hi: i(n),
@@ -234,10 +241,12 @@ fn grid_kernel(m: i64, n: i64, symbolic: bool) -> IrProgram {
             init: Some(IrExpr::Call("alloc_mat_i32".into(), vec![i(m), i(n)])),
         },
         IrStmt::For(ForLoop {
+            schedule: None,
             var: "x".into(),
             lo: i(0),
             hi: bm,
             body: vec![IrStmt::For(ForLoop {
+                schedule: None,
                 var: "y".into(),
                 lo: i(0),
                 hi: bn,
@@ -259,6 +268,7 @@ fn grid_kernel(m: i64, n: i64, symbolic: bool) -> IrProgram {
             init: Some(i(0)),
         },
         IrStmt::For(ForLoop {
+            schedule: None,
             var: "z".into(),
             lo: i(0),
             hi: i(m * n),
@@ -311,6 +321,7 @@ mod ir_tests {
         // for (j ...) { body uses j } — substituting j outside must not
         // touch the shadowed body.
         let inner = IrStmt::For(ForLoop {
+            schedule: None,
             var: "j".into(),
             lo: i(0),
             hi: v("j"), // bound sees outer j
@@ -414,6 +425,7 @@ mod transform_tests {
     #[test]
     fn split_nondivisible_literal_gets_remainder_loop() {
         let mut stmts = vec![IrStmt::For(ForLoop {
+            schedule: None,
             var: "x".into(),
             lo: i(0),
             hi: i(10),
@@ -545,10 +557,12 @@ mod transform_tests {
     fn tile_is_two_splits_and_reorder() {
         // Perfect 2-deep nest.
         let mut stmts = vec![IrStmt::For(ForLoop {
+            schedule: None,
             var: "x".into(),
             lo: i(0),
             hi: i(8),
             body: vec![IrStmt::For(ForLoop {
+                schedule: None,
                 var: "y".into(),
                 lo: i(0),
                 hi: i(8),
@@ -884,6 +898,7 @@ mod interp_tests {
                     init: Some(IrExpr::Call("alloc_mat_i32".into(), vec![i(1000)])),
                 },
                 IrStmt::For(ForLoop {
+                    schedule: None,
                     var: "x".into(),
                     lo: i(0),
                     hi: i(1000),
@@ -907,6 +922,49 @@ mod interp_tests {
             ]);
             let (_, out) = run(&prog, threads);
             assert_eq!(out, "2997\n", "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn return_in_scheduled_parallel_loop_is_typed_error() {
+        // Regression: the chunk-claim loop must surface `Flow::Return`
+        // from a worker as the typed "return inside a parallel loop"
+        // error under every scheduling policy — not execute the return,
+        // and (the failure mode this guards) not leave other participants
+        // draining the shared counter forever. A body returning from one
+        // mid-range iteration exercises the early-exit path of the claim
+        // loop rather than the first claim.
+        let schedules = [
+            Schedule::Static,
+            Schedule::Dynamic { chunk: 1 },
+            Schedule::Dynamic { chunk: 3 },
+            Schedule::Guided { min_chunk: 2 },
+        ];
+        for process_default in schedules {
+            for per_loop in [None, Some(Schedule::Dynamic { chunk: 2 })] {
+                for threads in [1, 4] {
+                    let prog = simple_main(vec![IrStmt::For(ForLoop {
+                        var: "x".into(),
+                        lo: i(0),
+                        hi: i(64),
+                        body: vec![IrStmt::If {
+                            cond: IrExpr::bin(B::Eq, v("x"), i(37)),
+                            then_b: vec![IrStmt::Return(None)],
+                            else_b: vec![],
+                        }],
+                        parallel: true,
+                        vector: false,
+                        schedule: per_loop,
+                    })]);
+                    let interp = Interp::new(&prog, threads).with_schedule(process_default);
+                    let err = interp.run_main().expect_err("return must not succeed");
+                    assert!(
+                        err.message.contains("return inside a parallel loop is not supported"),
+                        "schedule {process_default:?}/{per_loop:?}, threads {threads}: {}",
+                        err.message
+                    );
+                }
+            }
         }
     }
 
@@ -1256,8 +1314,10 @@ proptest! {
                 init: Some(IrExpr::Call("alloc_mat_i32".into(), vec![i(8), i(8)])),
             },
             IrStmt::For(ForLoop {
+                schedule: None,
                 var: "x".into(), lo: i(0), hi: i(8),
                 body: vec![IrStmt::For(ForLoop {
+                    schedule: None,
                     var: "y".into(), lo: i(0), hi: i(8),
                     body: vec![IrStmt::Store {
                         elem: Elem::I32,
@@ -1270,6 +1330,7 @@ proptest! {
                 parallel: false, vector: false,
             }),
             IrStmt::For(ForLoop {
+                schedule: None,
                 var: "z".into(), lo: i(0), hi: i(64),
                 body: vec![IrStmt::Expr(IrExpr::Call("print_i32".into(), vec![
                     IrExpr::Load { elem: Elem::I32, buf: Box::new(v("c")), idx: Box::new(v("z")) },

@@ -68,6 +68,15 @@ pub enum LoopTransform {
         /// Tile size for `j`.
         bj: i64,
     },
+    /// `schedule index static|dynamic|guided[, chunk]` — parallelize the
+    /// loop (like [`LoopTransform::Parallelize`]) and pin its
+    /// self-scheduling policy, overriding the process default.
+    Schedule {
+        /// Loop index.
+        index: String,
+        /// The scheduling policy to pin.
+        schedule: cmm_forkjoin::Schedule,
+    },
 }
 
 /// Transformation failure — the §V semantic checks.
@@ -187,6 +196,22 @@ pub fn apply(stmts: &mut Vec<IrStmt>, t: &LoopTransform) -> Result<(), Transform
             v.parallel = true;
             Ok(IrStmt::For(v))
         }),
+        LoopTransform::Schedule { index, schedule } => {
+            let chunk = match schedule {
+                cmm_forkjoin::Schedule::Static => 1,
+                cmm_forkjoin::Schedule::Dynamic { chunk } => *chunk,
+                cmm_forkjoin::Schedule::Guided { min_chunk } => *min_chunk,
+            };
+            if chunk == 0 {
+                return Err(TransformError::BadFactor { factor: 0 });
+            }
+            with_unique_loop(stmts, index, &mut |l| {
+                let mut v = l.clone();
+                v.parallel = true;
+                v.schedule = Some(*schedule);
+                Ok(IrStmt::For(v))
+            })
+        }
         LoopTransform::Interchange { a, b } => {
             apply(stmts, &LoopTransform::Reorder { order: vec![b.clone(), a.clone()] })
         }
@@ -342,6 +367,7 @@ fn split_loop(l: &ForLoop, k: i64, inner: &str, outer: &str) -> IrStmt {
         body: new_body,
         parallel: false,
         vector: false,
+        schedule: None,
     };
     let outer_loop = ForLoop {
         var: outer.to_string(),
@@ -350,6 +376,7 @@ fn split_loop(l: &ForLoop, k: i64, inner: &str, outer: &str) -> IrStmt {
         body: vec![IrStmt::For(inner_loop)],
         parallel: l.parallel,
         vector: false,
+        schedule: l.schedule,
     };
     if extent.is_some_and(|e| e % k == 0) {
         return IrStmt::For(outer_loop);
@@ -369,6 +396,7 @@ fn split_loop(l: &ForLoop, k: i64, inner: &str, outer: &str) -> IrStmt {
         body: l.body.clone(),
         parallel: false,
         vector: false,
+        schedule: None,
     };
     IrStmt::Block(vec![IrStmt::For(outer_loop), IrStmt::For(epilogue)])
 }
@@ -485,6 +513,7 @@ fn tile_nest(
         body: tile_body,
         parallel: false,
         vector: false,
+        schedule: None,
     };
     let i_in_loop = ForLoop {
         var: names.i_in.clone(),
@@ -493,6 +522,7 @@ fn tile_nest(
         body: vec![IrStmt::For(j_in_loop)],
         parallel: false,
         vector: false,
+        schedule: None,
     };
     let j_out_loop = ForLoop {
         var: names.j_out.clone(),
@@ -501,6 +531,7 @@ fn tile_nest(
         body: vec![IrStmt::For(i_in_loop)],
         parallel: lj.parallel,
         vector: false,
+        schedule: lj.schedule,
     };
     let i_out_loop = ForLoop {
         var: names.i_out.clone(),
@@ -509,6 +540,7 @@ fn tile_nest(
         body: vec![IrStmt::For(j_out_loop)],
         parallel: li.parallel,
         vector: false,
+        schedule: li.schedule,
     };
 
     let divisible_i = literal_extent(li).is_some_and(|e| e % bi == 0);
@@ -525,6 +557,7 @@ fn tile_nest(
             body: lj.body.clone(),
             parallel: false,
             vector: false,
+            schedule: None,
         };
         let i_full = ForLoop {
             var: li.var.clone(),
@@ -533,6 +566,7 @@ fn tile_nest(
             body: vec![IrStmt::For(j_tail)],
             parallel: false,
             vector: false,
+            schedule: None,
         };
         result.push(IrStmt::For(i_full));
     }
@@ -546,6 +580,7 @@ fn tile_nest(
             body: li.body.clone(),
             parallel: false,
             vector: false,
+            schedule: None,
         };
         result.push(IrStmt::For(i_tail));
     }
@@ -583,6 +618,7 @@ fn unroll_loop(l: &ForLoop, k: i64) -> IrStmt {
         body,
         parallel: l.parallel,
         vector: false,
+        schedule: l.schedule,
     };
     // Remainder loop unless the extent is a literal multiple of k.
     if literal_extent(l).is_some_and(|e| e % k == 0) {
@@ -595,6 +631,7 @@ fn unroll_loop(l: &ForLoop, k: i64) -> IrStmt {
             body: l.body.clone(),
             parallel: false,
             vector: false,
+            schedule: None,
         };
         IrStmt::Block(vec![IrStmt::For(main), IrStmt::For(epilogue)])
     }
@@ -682,6 +719,7 @@ fn reorder(stmts: &mut [IrStmt], order: &[String]) -> Result<(), TransformError>
                 body,
                 parallel: f.parallel,
                 vector: f.vector,
+                schedule: f.schedule,
             })];
         }
         Ok(body.pop().expect("nest rebuilt"))

@@ -1,0 +1,23 @@
+// Deliberately imbalanced profile target for `cmmc run --schedule=...`
+// and the `schedule` bench: the fold for row i walks (i + 1) * 160
+// elements, so work grows linearly down the rows (a triangular
+// workload). A static partition hands whoever draws the last rows the
+// heavy tail; dynamic/guided self-scheduling lets early finishers
+// steal it, which shows up in `--profile` as a lower load-imbalance
+// ratio and a flatter chunks-taken distribution.
+float rowWork(Matrix float <2> grid, int i) {
+    return with ([0] <= [j] < [(i + 1) * 160])
+        fold(+, 0.0, grid[i, j / 160] * 0.5);
+}
+
+int main() {
+    int m = 48;
+    int n = 64;
+    Matrix float <2> grid = with ([0, 0] <= [i, j] < [m, n])
+        genarray([m, n], toFloat(i + j) * 0.25);
+    Matrix float <1> work = with ([0] <= [i] < [m])
+        genarray([m], rowWork(grid, i));
+    float total = with ([0] <= [i] < [m]) fold(+, 0.0, work[i]);
+    printFloat(total / toFloat(m));
+    return 0;
+}

@@ -14,6 +14,8 @@
 //!   --fuel N         abort `run` after N interpreter steps
 //!   --max-mem BYTES  cap live matrix memory (suffixes k/m/g allowed)
 //!   --deadline-ms N  wall-clock budget for `run` in milliseconds
+//!   --schedule S     default loop schedule for `run`:
+//!                    static | dynamic[:CHUNK] | guided[:MIN_CHUNK]
 //!   --profile        print a pass/region/interpreter profile to stderr
 //!   --metrics-json F write the profile as JSON (schema cmm-metrics-v1) to F
 //! ```
@@ -25,7 +27,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use cmm::core::{CompileError, Registry};
-use cmm::loopir::Limits;
+use cmm::loopir::{Limits, Schedule};
 
 const EXIT_RUNTIME: u8 = 1;
 const EXIT_USAGE: u8 = 2;
@@ -38,6 +40,7 @@ fn usage() -> ExitCode {
         "usage: cmmc <run|emit|check|analyses> [file.xc] [options]\n\
          options: --ext a,b,c | --threads N | -o out.c | --no-parallel | --no-fusion\n\
          \x20        --fuel N | --max-mem BYTES[k|m|g] | --deadline-ms N\n\
+         \x20        --schedule static|dynamic[:N]|guided[:N]\n\
          \x20        --profile | --metrics-json FILE"
     );
     ExitCode::from(EXIT_USAGE)
@@ -83,6 +86,7 @@ fn main() -> ExitCode {
     let mut fusion = true;
     let mut limits = Limits::default();
     let mut profile = false;
+    let mut schedule = Schedule::Static;
     let mut metrics_json: Option<String> = None;
     let mut exts: Vec<String> = vec![
         "ext-matrix".into(),
@@ -117,6 +121,16 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 limits.deadline = Some(Duration::from_millis(v));
+            }
+            "--schedule" => {
+                let Some(v) = it.next() else { return usage() };
+                schedule = match v.parse() {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("cmmc: {e}");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                };
             }
             "--ext" => {
                 let Some(v) = it.next() else { return usage() };
@@ -200,7 +214,7 @@ fn main() -> ExitCode {
         },
         "run" => {
             if profile || metrics_json.is_some() {
-                match compiler.run_profiled(&src, threads, limits) {
+                match compiler.run_profiled_scheduled(&src, threads, limits, schedule) {
                     Ok((result, report)) => {
                         print!("{}", result.output);
                         if result.leaked > 0 {
@@ -223,7 +237,7 @@ fn main() -> ExitCode {
                     Err(e) => fail(&e),
                 }
             } else {
-                match compiler.run_with_limits(&src, threads, limits) {
+                match compiler.run_with_schedule(&src, threads, limits, schedule) {
                     Ok(result) => {
                         print!("{}", result.output);
                         if result.leaked > 0 {

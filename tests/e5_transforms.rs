@@ -192,6 +192,72 @@ int main() {
 }
 
 #[test]
+fn schedule_directive_parallelizes_and_pins_policy() {
+    // `schedule i dynamic, 2` both parallelizes the loop (like
+    // `parallelize i`) and pins its self-scheduling policy on the IR.
+    let compiler = full_compiler();
+    let src = fig9("\n        transform schedule i dynamic, 2");
+    let ir = compiler.compile(&src).expect("translate");
+    let main = ir.function("main").expect("main");
+    let i_loop = find_loop(&main.body, "i").expect("i loop");
+    assert!(i_loop.parallel, "schedule implies parallel");
+    assert_eq!(
+        i_loop.schedule,
+        Some(cmm::loopir::Schedule::Dynamic { chunk: 2 })
+    );
+
+    // The emitted C self-schedules through the runtime helper instead of
+    // a static `omp parallel for`.
+    let c = emit_program(&ir).expect("emit");
+    assert!(c.contains("cmm_sched_next"), "self-scheduling helper used");
+    assert!(c.contains("#pragma omp parallel"), "still an OpenMP region");
+}
+
+#[test]
+fn schedule_variants_run_identically() {
+    let compiler = full_compiler();
+    let mut outputs = Vec::new();
+    for directive in [
+        "",
+        "\n        transform schedule x static",
+        "\n        transform schedule x dynamic",
+        "\n        transform schedule x dynamic, 3",
+        "\n        transform schedule x guided",
+        "\n        transform schedule x guided, 2",
+    ] {
+        let src = format!(
+            r#"
+int main() {{
+    int n = 23;
+    Matrix int <1> v = init(Matrix int <1>, n);
+    v = with ([0] <= [x] < [n]) genarray([n], x * x){directive};
+    int s = with ([0] <= [x] < [n]) fold(+, 0, v[x]);
+    printInt(s);
+    return 0;
+}}
+"#
+        );
+        for threads in [1, 4] {
+            let r = compiler.run(&src, threads).expect("run");
+            outputs.push(r.output);
+        }
+    }
+    let expected = (0..23).map(|x| x * x).sum::<i64>();
+    for o in &outputs {
+        assert_eq!(o, &format!("{expected}\n"));
+    }
+}
+
+#[test]
+fn schedule_rejects_zero_chunk() {
+    let compiler = full_compiler();
+    let err = compiler
+        .compile(&fig9("\n        transform schedule i dynamic, 0"))
+        .expect_err("must reject");
+    assert!(err.to_string().contains("positive"), "{err}");
+}
+
+#[test]
 fn vectorize_requires_a_width_4_loop() {
     let compiler = full_compiler();
     // j runs 0..8 — not directly vectorizable; the §V semantic check

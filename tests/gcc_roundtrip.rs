@@ -231,3 +231,28 @@ fn tiled_loops() {
         "#,
     );
 }
+
+#[test]
+fn scheduled_loops_self_schedule_in_c() {
+    // The schedule directive must survive the trip to C: the emitted
+    // program claims chunks through `cmm_sched_next` (C11 atomics inside
+    // an `omp parallel` region) and computes the same answer as the
+    // interpreter. Also correct when gcc runs it without OpenMP threads:
+    // a single thread just drains every chunk.
+    roundtrip(
+        r#"
+        int main() {
+            int n = 23;
+            Matrix int <1> v = init(Matrix int <1>, n);
+            v = with ([0] <= [x] < [n]) genarray([n], x * x)
+                transform schedule x dynamic, 3;
+            Matrix int <1> w = init(Matrix int <1>, n);
+            w = with ([0] <= [x] < [n]) genarray([n], x + 1)
+                transform schedule x guided;
+            int s = with ([0] <= [x] < [n]) fold(+, 0, v[x] + w[x]);
+            printInt(s);
+            return 0;
+        }
+        "#,
+    );
+}

@@ -1,0 +1,178 @@
+//! Property-based schedule-equivalence tests: a parallel loop must
+//! compute the same result under every scheduling policy — static,
+//! dynamic with any chunk size, guided — as the sequential single-thread
+//! execution, because schedules only repartition *which participant runs
+//! which iterations*, never the iteration space itself. Folds lower
+//! sequentially, so even float programs must agree bitwise.
+//!
+//! A second family re-checks equivalence under deterministic fault
+//! injection (a refused worker spawn shrinks the pool), pinning down
+//! that the chunk-claim protocol keys off the *live* participant count
+//! and drops no iterations when the pool comes up short.
+
+use cmm::core::Compiler;
+use cmm::eddy::programs::full_compiler;
+use cmm::forkjoin::faultinject::{self, FaultPlan};
+use cmm::forkjoin::Schedule;
+use cmm::loopir::Limits;
+use proptest::prelude::*;
+
+fn run_sched(c: &Compiler, src: &str, threads: usize, schedule: Schedule) -> (String, u32) {
+    let r = c
+        .run_with_schedule(src, threads, Limits::default(), schedule)
+        .expect("program runs");
+    (r.output, r.leaked)
+}
+
+/// Every policy the self-scheduler supports, with the chunk parameter
+/// swept over `chunk`.
+fn all_schedules(chunk: usize) -> Vec<Schedule> {
+    vec![
+        Schedule::Static,
+        Schedule::Dynamic { chunk },
+        Schedule::Guided { min_chunk: chunk },
+    ]
+}
+
+/// Data-dependent imbalanced program: row i does `v[i] % 7 + 7` units of
+/// inner work, so chunks are genuinely uneven and a scheduling bug that
+/// skips or duplicates iterations shows up in the printed sum.
+fn imbalanced_program(vals: &[i64]) -> String {
+    let n = vals.len();
+    let assigns: String = vals
+        .iter()
+        .enumerate()
+        .map(|(i, v)| format!("v[{i}] = {v};\n"))
+        .collect();
+    format!(
+        r#"
+        int rowWork(Matrix int <1> v, int i) {{
+            int w = v[i] - (v[i] / 7) * 7 + 7;
+            return with ([0] <= [j] < [w]) fold(+, 0, v[i] + j);
+        }}
+        int main() {{
+            Matrix int <1> v = init(Matrix int <1>, {n});
+            {assigns}
+            Matrix int <1> work = with ([0] <= [i] < [{n}])
+                genarray([{n}], rowWork(v, i));
+            printInt(with ([0] <= [i] < [{n}]) fold(+, 0, work[i]));
+            return 0;
+        }}
+        "#
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_schedules_match_sequential(
+        vals in proptest::collection::vec(0i64..50, 1..24),
+        threads in 2usize..5,
+        chunk in 1usize..9,
+    ) {
+        let c = full_compiler();
+        let src = imbalanced_program(&vals);
+        let (seq, seq_leaked) = run_sched(&c, &src, 1, Schedule::Static);
+        prop_assert_eq!(seq_leaked, 0);
+        for schedule in all_schedules(chunk) {
+            let (out, leaked) = run_sched(&c, &src, threads, schedule);
+            prop_assert_eq!(leaked, 0, "leak under {:?}", schedule);
+            prop_assert_eq!(&out, &seq, "output diverged under {:?}", schedule);
+        }
+    }
+
+    #[test]
+    fn prop_float_schedules_bitwise_identical(
+        n in 1usize..32,
+        threads in 2usize..5,
+        chunk in 1usize..9,
+    ) {
+        // Folds lower sequentially (only genarray loops parallelize, and
+        // they write disjoint elements), so float output must be bitwise
+        // identical across schedules — not merely close.
+        let c = full_compiler();
+        let src = format!(
+            r#"
+            int main() {{
+                Matrix float <1> v = with ([0] <= [i] < [{n}])
+                    genarray([{n}], toFloat(i) * 0.3 + 1.0 / toFloat(i + 1));
+                printFloat(with ([0] <= [i] < [{n}]) fold(+, 0.0, v[i]));
+                return 0;
+            }}
+            "#
+        );
+        let (seq, _) = run_sched(&c, &src, 1, Schedule::Static);
+        for schedule in all_schedules(chunk) {
+            let (out, leaked) = run_sched(&c, &src, threads, schedule);
+            prop_assert_eq!(leaked, 0);
+            prop_assert_eq!(&out, &seq, "float drift under {:?}", schedule);
+        }
+    }
+
+    #[test]
+    fn prop_per_loop_directive_matches_sequential(
+        vals in proptest::collection::vec(0i64..40, 2..16),
+        threads in 2usize..5,
+        chunk in 1usize..7,
+    ) {
+        // The per-loop `schedule` transform directive pins the policy on
+        // one loop; results must still match the plain sequential run.
+        let c = full_compiler();
+        let n = vals.len();
+        let assigns: String = vals
+            .iter()
+            .enumerate()
+            .map(|(i, v)| format!("v[{i}] = {v};\n"))
+            .collect();
+        let plain = format!(
+            r#"
+            int main() {{
+                Matrix int <1> v = init(Matrix int <1>, {n});
+                {assigns}
+                Matrix int <1> w = init(Matrix int <1>, {n});
+                w = with ([0] <= [x] < [{n}])
+                    genarray([{n}], v[x] * 3 + x){{}};
+                printInt(with ([0] <= [x] < [{n}]) fold(+, 0, w[x]));
+                return 0;
+            }}
+            "#
+        );
+        let (seq, _) = run_sched(&c, &plain.replace("{}", ""), 1, Schedule::Static);
+        for directive in [
+            format!("\n    transform schedule x dynamic, {chunk}"),
+            format!("\n    transform schedule x guided, {chunk}"),
+            "\n    transform schedule x static".to_string(),
+        ] {
+            let src = plain.replace("{}", &directive);
+            let (out, leaked) = run_sched(&c, &src, threads, Schedule::Static);
+            prop_assert_eq!(leaked, 0);
+            prop_assert_eq!(&out, &seq, "directive {} diverged", directive.trim());
+        }
+    }
+
+    #[test]
+    fn prop_schedules_match_under_fault_injection(
+        vals in proptest::collection::vec(0i64..50, 1..16),
+        chunk in 1usize..9,
+    ) {
+        // A refused spawn shrinks the pool (requested 4, got 2): every
+        // schedule must still cover the full iteration space through the
+        // shared-counter claim loop. The guard serializes against other
+        // fault tests so the injected plan stays deterministic.
+        let c = full_compiler();
+        let src = imbalanced_program(&vals);
+        let seq = {
+            let _guard = faultinject::install(FaultPlan::new());
+            let (seq, leaked) = run_sched(&c, &src, 1, Schedule::Static);
+            prop_assert_eq!(leaked, 0);
+            seq
+        };
+        for schedule in all_schedules(chunk) {
+            let _guard = faultinject::install(FaultPlan::new().fail_spawn(2));
+            let (out, leaked) = run_sched(&c, &src, 4, schedule);
+            prop_assert_eq!(leaked, 0, "leak under {:?} with shrunk pool", schedule);
+            prop_assert_eq!(&out, &seq, "shrunk-pool divergence under {:?}", schedule);
+        }
+    }
+}
