@@ -8,6 +8,7 @@
 //! grammar-fragment / AG-spec / registry level (see DESIGN.md), and a
 //! construct whose extension is not enabled cannot be parsed or checked.
 
+pub mod builder;
 mod diag;
 pub mod display;
 mod types;

@@ -19,11 +19,39 @@ pub fn gcc_available() -> bool {
         .unwrap_or(false)
 }
 
+/// [`gcc_available`], but when gcc is absent prints one
+/// `SKIP: gcc not found (<context>)` line to stderr so CI logs show
+/// exactly which oracle or test was skipped rather than silently
+/// passing. `context` names the caller (e.g. a test function or the
+/// fuzz gcc oracle).
+pub fn gcc_available_or_skip(context: &str) -> bool {
+    let ok = gcc_available();
+    if !ok {
+        eprintln!("SKIP: gcc not found ({context})");
+    }
+    ok
+}
+
 /// Compile `c_source` with gcc and run it, returning its stdout.
 ///
 /// `threads` sets `OMP_NUM_THREADS` for the run. Returns an error string
-/// describing compilation or execution failure.
+/// describing compilation or execution failure. The compiled binary gets
+/// a generous wall-clock allowance; use
+/// [`compile_and_run_c_with_timeout`] to pick it explicitly.
 pub fn compile_and_run_c(c_source: &str, threads: usize) -> Result<String, String> {
+    compile_and_run_c_with_timeout(c_source, threads, std::time::Duration::from_secs(120))
+}
+
+/// [`compile_and_run_c`] with an explicit wall-clock budget for the
+/// *compiled binary's* run (compilation itself is not budgeted). A
+/// binary still running at the deadline is killed and reported as an
+/// error — callers feeding machine-generated programs (the fuzz
+/// minimizer) must not hang on a candidate that loops forever.
+pub fn compile_and_run_c_with_timeout(
+    c_source: &str,
+    threads: usize,
+    timeout: std::time::Duration,
+) -> Result<String, String> {
     let dir = std::env::temp_dir();
     let tag = format!(
         "cmmc-{}-{:x}",
@@ -32,7 +60,15 @@ pub fn compile_and_run_c(c_source: &str, threads: usize) -> Result<String, Strin
     );
     let c_path: PathBuf = dir.join(format!("{tag}.c"));
     let bin_path: PathBuf = dir.join(tag.clone());
+    let out_path: PathBuf = dir.join(format!("{tag}.out"));
+    let err_path: PathBuf = dir.join(format!("{tag}.err"));
     std::fs::write(&c_path, c_source).map_err(|e| format!("write: {e}"))?;
+    let cleanup = || {
+        std::fs::remove_file(&c_path).ok();
+        std::fs::remove_file(&bin_path).ok();
+        std::fs::remove_file(&out_path).ok();
+        std::fs::remove_file(&err_path).ok();
+    };
 
     let compile = Command::new("gcc")
         .args(["-O2", "-fopenmp", "-msse2", "-o"])
@@ -43,19 +79,44 @@ pub fn compile_and_run_c(c_source: &str, threads: usize) -> Result<String, Strin
         .map_err(|e| format!("gcc spawn: {e}"))?;
     if !compile.status.success() {
         let err = String::from_utf8_lossy(&compile.stderr).into_owned();
-        std::fs::remove_file(&c_path).ok();
+        cleanup();
         return Err(format!("gcc failed:\n{err}"));
     }
 
-    let run = Command::new(&bin_path)
+    // Redirect to files and poll: reading pipes from a killed child is a
+    // deadlock trap, files are not.
+    let out_file = std::fs::File::create(&out_path).map_err(|e| format!("out: {e}"))?;
+    let err_file = std::fs::File::create(&err_path).map_err(|e| format!("err: {e}"))?;
+    let mut child = Command::new(&bin_path)
         .env("OMP_NUM_THREADS", threads.to_string())
-        .output()
+        .stdout(out_file)
+        .stderr(err_file)
+        .spawn()
         .map_err(|e| format!("run: {e}"))?;
-    let stdout = String::from_utf8_lossy(&run.stdout).into_owned();
-    let status = run.status;
-    let stderr = String::from_utf8_lossy(&run.stderr).into_owned();
-    std::fs::remove_file(&c_path).ok();
-    std::fs::remove_file(&bin_path).ok();
+    let started = std::time::Instant::now();
+    let status = loop {
+        match child.try_wait() {
+            Ok(Some(status)) => break status,
+            Ok(None) => {
+                if started.elapsed() >= timeout {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    cleanup();
+                    return Err(format!(
+                        "binary timed out after {timeout:?} (killed)"
+                    ));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Err(e) => {
+                cleanup();
+                return Err(format!("wait: {e}"));
+            }
+        }
+    };
+    let stdout = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let stderr = std::fs::read_to_string(&err_path).unwrap_or_default();
+    cleanup();
     if !status.success() {
         return Err(format!("binary exited with {status}: {stderr}"));
     }

@@ -43,7 +43,9 @@ pub use cmm_lang::typecheck::ExtSet as EnabledExtensions;
 
 mod gcc;
 mod metrics;
-pub use gcc::{compile_and_run_c, gcc_available};
+pub use gcc::{
+    compile_and_run_c, compile_and_run_c_with_timeout, gcc_available, gcc_available_or_skip,
+};
 pub use metrics::{CompileMetrics, ParserCacheStats, PassTiming, ProfileReport, METRICS_SCHEMA};
 
 /// Memo of composed parsers keyed by the canonical (sorted) set of

@@ -192,6 +192,58 @@ mod score_tests {
     }
 }
 
+/// Exact-value pins on a tiny hand-built SSH grid. Unlike the
+/// `synthetic_ssh`-based tests above, every input here is an exactly
+/// representable f32 and all the Fig 8 arithmetic is exact, so the
+/// expected score cube is asserted bitwise — any change to the trough
+/// walk, the peak-to-peak line, or the overwrite-at-shared-endpoint
+/// behaviour shows up as a precise diff, not a tolerance failure.
+mod fixture_grid_tests {
+    use super::*;
+
+    /// Point A: climb, one symmetric trough, fall.
+    /// `[0,2,1,0,1,2,0]` — trim climbs to index 1; trough `[2,1,0,1,2]`
+    /// over 1..=5 scores 4 (flat line at 2); the final descent `[2,0]`
+    /// is a degenerate trough with area 0 that overwrites index 5.
+    const TS_A: [f32; 7] = [0.0, 2.0, 1.0, 0.0, 1.0, 2.0, 0.0];
+    const SCORES_A: [f32; 7] = [0.0, 4.0, 4.0, 4.0, 4.0, 0.0, 0.0];
+
+    /// Point B: a sawtooth of three identical V troughs `[4,0,4]`, each
+    /// scoring (4-4)+(4-0)+(4-4) = 4; shared endpoints are overwritten
+    /// with the same value, so the whole series pins at 4.
+    const TS_B: [f32; 7] = [4.0, 0.0, 4.0, 0.0, 4.0, 0.0, 4.0];
+    const SCORES_B: [f32; 7] = [4.0; 7];
+
+    #[test]
+    fn score_ts_pins_exact_values_on_fixture_series() {
+        assert_eq!(score_ts(&TS_A), SCORES_A.to_vec());
+        assert_eq!(score_ts(&TS_B), SCORES_B.to_vec());
+    }
+
+    #[test]
+    fn score_ts_short_and_flat_series_pin_to_zero() {
+        assert_eq!(score_ts(&[]), Vec::<f32>::new());
+        assert_eq!(score_ts(&[1.0, 2.0]), vec![0.0, 0.0]);
+        assert_eq!(score_ts(&[1.0, 1.0, 1.0, 1.0]), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn score_all_pins_exact_values_on_fixture_grid() {
+        // 1 × 2 × 7 cube: point (0,0) carries TS_A, point (0,1) TS_B
+        // (time is the last, contiguous axis).
+        let mut data = TS_A.to_vec();
+        data.extend_from_slice(&TS_B);
+        let cube = Matrix::from_vec([1usize, 2, 7], data).unwrap();
+        let pool = ForkJoinPool::new(2);
+        let scores = score_all(&pool, &cube).unwrap();
+        assert_eq!(scores.shape().dims(), &[1, 2, 7]);
+        let a = scores.index_get(&[Ix::At(0), Ix::At(0), Ix::All]).unwrap();
+        let b = scores.index_get(&[Ix::At(0), Ix::At(1), Ix::All]).unwrap();
+        assert_eq!(a.as_slice(), &SCORES_A);
+        assert_eq!(b.as_slice(), &SCORES_B);
+    }
+}
+
 mod conncomp_tests {
     use super::*;
 

@@ -1,0 +1,17 @@
+//! Print the generated program for one fuzz case, for reproducing a
+//! campaign finding by hand:
+//!
+//! ```text
+//! cargo run -p cmm-fuzz --example gencase -- <seed> <case>
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: gencase <seed> <case>");
+        std::process::exit(2);
+    }
+    let seed: u64 = args[1].parse().expect("seed must be a u64");
+    let case: u32 = args[2].parse().expect("case must be a u32");
+    print!("{}", cmm_fuzz::generate_source(seed, case));
+}

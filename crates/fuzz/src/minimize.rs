@@ -1,0 +1,257 @@
+//! Delta-minimization of failing programs.
+//!
+//! Works at the AST level (re-derived through the real frontend, so the
+//! reducer can never produce syntactically invalid candidates) with
+//! three removal passes, greedily iterated to a fixpoint:
+//!
+//! 1. drop a whole non-`main` function,
+//! 2. drop one statement (with its entire subtree) anywhere in any
+//!    block,
+//! 3. drop one `transform` directive from an assignment.
+//!
+//! A candidate is kept only if it still fails the *same class* of check
+//! (same oracle, or still a baseline failure), so the reproducer that
+//! lands in `tests/corpus/` demonstrates the original bug, not a new
+//! one introduced by the reduction.
+
+use crate::oracle::{Failure, Harness, OracleKind, LIMIT_EXCEEDED_MARKER};
+use cmm_ast::{Block, Program, Stmt};
+
+/// Cap on candidate re-checks per minimization (each one may involve a
+/// gcc compile).
+const MAX_EVALS: u32 = 200;
+
+/// Wall-clock budget per minimization. Candidate checks that reach the
+/// gcc oracle cost whole seconds on a slow machine, so the eval cap
+/// alone can stretch into many minutes; past the deadline the reducer
+/// returns its best-so-far (which still fails the original check).
+const MAX_WALL: std::time::Duration = std::time::Duration::from_secs(60);
+
+/// Shrink `src` while it keeps failing like `original`. Returns the
+/// minimized source (at worst, `src` unchanged).
+pub fn minimize(h: &Harness, src: &str, oracles: &[OracleKind], original: &Failure) -> String {
+    // Re-check only the failing oracle where possible — candidates are
+    // evaluated many times and the other oracles' verdicts don't gate
+    // the reduction.
+    let focus: Vec<OracleKind> = match original.oracle {
+        Some(k) => vec![k],
+        None => oracles.to_vec(),
+    };
+    let Ok(ast) = h.compiler().frontend(src) else {
+        // Baseline failures can be syntax-stage: nothing to reduce on.
+        return src.to_string();
+    };
+
+    let mut current = ast;
+    let mut evals = 0u32;
+    let deadline = std::time::Instant::now() + MAX_WALL;
+    let still_fails = |p: &Program, evals: &mut u32| -> bool {
+        if *evals >= MAX_EVALS || std::time::Instant::now() >= deadline {
+            return false;
+        }
+        *evals += 1;
+        let text = cmm_ast::display::print_program(p);
+        // Bounded check: a structural mutation can make a terminating
+        // program loop forever (drop the `i = i + 1` of a while loop),
+        // and an unmetered candidate run would hang the whole campaign.
+        // A candidate that fails by exhausting the bound diverges — it
+        // does not demonstrate the original bug, so reject it (keeping
+        // it would plant a non-terminating program in the corpus).
+        match h.check_bounded(&text, &focus) {
+            Ok(_) => false,
+            Err(f) => f.same_class(original) && !f.detail.contains(LIMIT_EXCEEDED_MARKER),
+        }
+    };
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: whole functions.
+        for i in 0..current.functions.len() {
+            if current.functions[i].name == "main" {
+                continue;
+            }
+            let mut cand = current.clone();
+            cand.functions.remove(i);
+            if still_fails(&cand, &mut evals) {
+                current = cand;
+                improved = true;
+                break;
+            }
+        }
+        if improved {
+            continue;
+        }
+
+        // Pass 2: single statements (any block, subtree included). One
+        // linear sweep per round: after a successful removal the same
+        // index now names the next statement, so stay put instead of
+        // restarting from the top (which would square the eval count).
+        let mut k = 0usize;
+        while k < count_stmts(&current) {
+            let cand = remove_nth_stmt(&current, k);
+            if still_fails(&cand, &mut evals) {
+                current = cand;
+                improved = true;
+            } else {
+                k += 1;
+            }
+        }
+        if improved {
+            continue;
+        }
+
+        // Pass 3: individual transform directives.
+        let dirs = count_directives(&current);
+        for k in 0..dirs {
+            let cand = remove_nth_directive(&current, k);
+            if still_fails(&cand, &mut evals) {
+                current = cand;
+                improved = true;
+                break;
+            }
+        }
+
+        if !improved || evals >= MAX_EVALS {
+            break;
+        }
+    }
+    cmm_ast::display::print_program(&current)
+}
+
+fn walk_blocks(b: &mut Block, f: &mut impl FnMut(&mut Block)) {
+    f(b);
+    for s in &mut b.stmts {
+        match s {
+            Stmt::If { then_blk, else_blk, .. } => {
+                walk_blocks(then_blk, f);
+                if let Some(e) = else_blk {
+                    walk_blocks(e, f);
+                }
+            }
+            Stmt::While { body, .. } | Stmt::For { body, .. } => walk_blocks(body, f),
+            Stmt::Nested(inner) => walk_blocks(inner, f),
+            _ => {}
+        }
+    }
+}
+
+fn for_each_block(p: &mut Program, f: &mut impl FnMut(&mut Block)) {
+    for func in &mut p.functions {
+        walk_blocks(&mut func.body, f);
+    }
+}
+
+fn count_stmts(p: &Program) -> usize {
+    let mut p = p.clone();
+    let mut n = 0usize;
+    for_each_block(&mut p, &mut |b| n += b.stmts.len());
+    n
+}
+
+/// Clone with the `k`-th statement (pre-order over blocks) removed.
+fn remove_nth_stmt(p: &Program, k: usize) -> Program {
+    let mut out = p.clone();
+    let mut seen = 0usize;
+    let mut done = false;
+    for_each_block(&mut out, &mut |b| {
+        if done {
+            return;
+        }
+        if k < seen + b.stmts.len() {
+            b.stmts.remove(k - seen);
+            done = true;
+        } else {
+            seen += b.stmts.len();
+        }
+    });
+    out
+}
+
+fn count_directives(p: &Program) -> usize {
+    let mut p = p.clone();
+    let mut n = 0usize;
+    for_each_block(&mut p, &mut |b| {
+        for s in &b.stmts {
+            if let Stmt::Assign { transforms, .. } = s {
+                n += transforms.len();
+            }
+        }
+    });
+    n
+}
+
+/// Clone with the `k`-th transform directive removed.
+fn remove_nth_directive(p: &Program, k: usize) -> Program {
+    let mut out = p.clone();
+    let mut seen = 0usize;
+    let mut done = false;
+    for_each_block(&mut out, &mut |b| {
+        if done {
+            return;
+        }
+        for s in &mut b.stmts {
+            if let Stmt::Assign { transforms, .. } = s {
+                if k < seen + transforms.len() {
+                    transforms.remove(k - seen);
+                    done = true;
+                    return;
+                }
+                seen += transforms.len();
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(h: &Harness, src: &str) -> Program {
+        h.compiler().frontend(src).expect("parses")
+    }
+
+    #[test]
+    fn stmt_removal_enumerates_every_block() {
+        let h = Harness::new().expect("harness");
+        let p = parse(
+            &h,
+            r#"
+            int main() {
+                int a = 1;
+                if (a > 0) { printInt(a); } else { printInt(0 - a); }
+                for (int i = 0; i < 3; i++) { printInt(i); }
+                return 0;
+            }
+            "#,
+        );
+        // main's 4 + then 1 + else 1 + for-body 1 = 7 removable slots.
+        assert_eq!(count_stmts(&p), 7);
+        // Removing the decl (slot 0) drops just that statement.
+        assert_eq!(count_stmts(&remove_nth_stmt(&p, 0)), 6);
+        // Removing the `if` (slot 1) drops its whole subtree too.
+        assert_eq!(count_stmts(&remove_nth_stmt(&p, 1)), 4);
+    }
+
+    #[test]
+    fn directive_removal_targets_single_transforms() {
+        let h = Harness::new().expect("harness");
+        let p = parse(
+            &h,
+            r#"
+            int main() {
+                int n = 8;
+                Matrix int <1> v = init(Matrix int <1>, n);
+                v = with ([0] <= [x] < [n]) genarray([n], x)
+                    transform split x by 2, xin, xout. parallelize xout;
+                printInt(with ([0] <= [x] < [n]) fold(+, 0, v[x]));
+                return 0;
+            }
+            "#,
+        );
+        assert_eq!(count_directives(&p), 2);
+        let one = remove_nth_directive(&p, 1);
+        assert_eq!(count_directives(&one), 1);
+    }
+}

@@ -1,0 +1,385 @@
+//! The four differential oracles and the harness that runs them.
+//!
+//! Baseline: the optimized pipeline (default [`LowerOptions`])
+//! interpreted with 2 pool threads under the static schedule. Each
+//! oracle re-executes the same program down a different path and
+//! requires bitwise-identical output:
+//!
+//! 1. **transform** — `transform` directives stripped from the AST,
+//!    compiled with every high-level optimization off, run
+//!    single-threaded: the untransformed reference semantics.
+//! 2. **schedule** — every schedule policy (static / dynamic / guided)
+//!    at 1, 2, and 4 threads.
+//! 3. **limits** — a metered run under generous [`Limits`] budgets:
+//!    metering must never change what executes.
+//! 4. **gcc** — the emitted C compiled with gcc and executed, when a C
+//!    toolchain is present (skipped, not failed, otherwise).
+
+use cmm_ast::{Block, Program, Stmt};
+use cmm_core::{
+    CompileError, Compiler, Registry, compile_and_run_c_with_timeout, gcc_available_or_skip,
+};
+use cmm_lang::LowerOptions;
+use cmm_loopir::{Limits, Schedule, snapshot};
+use std::time::Duration;
+
+/// The differential oracles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleKind {
+    /// Optimized/transformed vs. untransformed interpretation.
+    Transform,
+    /// Sequential vs. every schedule policy × thread count.
+    Schedule,
+    /// Metered (generous [`Limits`]) vs. unmetered run.
+    Limits,
+    /// Interpreter vs. gcc-compiled emitted C.
+    Gcc,
+}
+
+/// All four oracles, in check order.
+pub const ALL_ORACLES: [OracleKind; 4] =
+    [OracleKind::Transform, OracleKind::Schedule, OracleKind::Limits, OracleKind::Gcc];
+
+impl OracleKind {
+    /// CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleKind::Transform => "transform",
+            OracleKind::Schedule => "schedule",
+            OracleKind::Limits => "limits",
+            OracleKind::Gcc => "gcc",
+        }
+    }
+
+    /// Parse a CLI oracle name.
+    pub fn parse(s: &str) -> Option<OracleKind> {
+        ALL_ORACLES.into_iter().find(|o| o.name() == s)
+    }
+}
+
+/// A differential disagreement (or a failure to compile/run at all).
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The oracle that disagreed; `None` when the program failed to
+    /// compile or run on the baseline path.
+    pub oracle: Option<OracleKind>,
+    /// Human-readable description, including both outputs on mismatch.
+    pub detail: String,
+}
+
+impl Failure {
+    /// Whether `other` is the same class of failure (used by the
+    /// minimizer to accept a reduction only if it preserves the bug).
+    pub fn same_class(&self, other: &Failure) -> bool {
+        self.oracle == other.oracle
+    }
+}
+
+/// Per-oracle executed-check counters for one [`Harness::check`] call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckCounts {
+    /// Transform-oracle comparisons run.
+    pub transform: u64,
+    /// Schedule-oracle comparisons run (policy × thread-count pairs).
+    pub schedule: u64,
+    /// Limits-oracle comparisons run.
+    pub limits: u64,
+    /// Gcc-oracle comparisons run (0 when gcc is absent).
+    pub gcc: u64,
+}
+
+impl CheckCounts {
+    /// Accumulate another count set.
+    pub fn add(&mut self, o: &CheckCounts) {
+        self.transform += o.transform;
+        self.schedule += o.schedule;
+        self.limits += o.limits;
+        self.gcc += o.gcc;
+    }
+}
+
+/// Generous budgets for the limits oracle: far above anything a
+/// generated case needs, so an exceeded budget is a metering bug.
+fn generous_limits() -> Limits {
+    Limits {
+        fuel: Some(50_000_000),
+        max_matrix_bytes: Some(64 << 20),
+        max_live_buffers: Some(4096),
+        deadline: Some(Duration::from_secs(60)),
+    }
+}
+
+/// Budgets for [`Harness::check_bounded`]: still far above what any
+/// generated program uses, but finite on every interpreted path. The
+/// minimizer mutates programs structurally, and deleting (say) a loop
+/// counter increment turns a terminating loop into an infinite one — an
+/// unmetered candidate run would then spin forever.
+fn bounded_limits() -> Limits {
+    Limits {
+        fuel: Some(20_000_000),
+        max_matrix_bytes: Some(64 << 20),
+        max_live_buffers: Some(4096),
+        deadline: Some(Duration::from_secs(10)),
+    }
+}
+
+/// Wall-clock allowance for a gcc-compiled candidate binary in bounded
+/// mode (generated programs finish in milliseconds).
+const BOUNDED_GCC_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// Marker every interpreter budget-exceeded error carries (see
+/// `InterpErrorKind::LimitExceeded` formatting). [`minimize`] uses it to
+/// tell "this candidate diverges" apart from "this candidate still
+/// shows the original bug".
+///
+/// [`minimize`]: crate::minimize::minimize
+pub const LIMIT_EXCEEDED_MARKER: &str = "limit exceeded (";
+
+/// Remove every `transform` clause from the program, recursively.
+pub fn strip_transforms(prog: &Program) -> Program {
+    fn strip_block(b: &mut Block) {
+        for s in &mut b.stmts {
+            match s {
+                Stmt::Assign { transforms, .. } => transforms.clear(),
+                Stmt::If { then_blk, else_blk, .. } => {
+                    strip_block(then_blk);
+                    if let Some(e) = else_blk {
+                        strip_block(e);
+                    }
+                }
+                Stmt::While { body, .. } | Stmt::For { body, .. } => strip_block(body),
+                Stmt::Nested(b) => strip_block(b),
+                _ => {}
+            }
+        }
+    }
+    let mut out = prog.clone();
+    for f in &mut out.functions {
+        strip_block(&mut f.body);
+    }
+    out
+}
+
+/// Two compilers over the full extension set — the optimized default
+/// pipeline and an everything-off reference — plus gcc availability.
+pub struct Harness {
+    opt: Compiler,
+    plain: Compiler,
+    gcc: bool,
+}
+
+/// The full extension set the fuzzer exercises.
+pub const FULL_EXTENSIONS: [&str; 5] =
+    ["ext-matrix", "ext-tuples", "ext-rcptr", "ext-transform", "ext-cilk"];
+
+impl Harness {
+    /// Build the two pipelines. Probes for gcc once (printing a `SKIP`
+    /// line if absent, so logs show which oracles actually ran).
+    pub fn new() -> Result<Harness, CompileError> {
+        let registry = Registry::standard();
+        let opt = registry.compiler(&FULL_EXTENSIONS)?;
+        let mut plain = registry.compiler(&FULL_EXTENSIONS)?;
+        plain.options = LowerOptions {
+            parallelize: false,
+            fuse_with_assign: false,
+            fuse_slice_index: false,
+        };
+        Ok(Harness {
+            opt,
+            plain,
+            gcc: gcc_available_or_skip("fuzz gcc oracle"),
+        })
+    }
+
+    /// Whether the gcc oracle will run.
+    pub fn gcc_available(&self) -> bool {
+        self.gcc
+    }
+
+    /// The optimized-pipeline compiler (used by the minimizer to
+    /// re-derive ASTs from reproducer sources).
+    pub fn compiler(&self) -> &Compiler {
+        &self.opt
+    }
+
+    /// Run `src` through the requested oracles. `Ok` carries how many
+    /// comparisons ran; `Err` carries the first disagreement.
+    ///
+    /// Every interpreted path is unmetered: `src` is trusted to
+    /// terminate (the generator only builds terminating programs).
+    pub fn check(&self, src: &str, oracles: &[OracleKind]) -> Result<CheckCounts, Failure> {
+        self.check_inner(src, oracles, false)
+    }
+
+    /// [`Harness::check`], but with every execution path under a finite
+    /// budget ([`bounded_limits`], plus a kill-timeout on the compiled
+    /// binary). For untrusted sources — the minimizer's structurally
+    /// mutated candidates, which may no longer terminate.
+    pub fn check_bounded(&self, src: &str, oracles: &[OracleKind]) -> Result<CheckCounts, Failure> {
+        self.check_inner(src, oracles, true)
+    }
+
+    fn check_inner(
+        &self,
+        src: &str,
+        oracles: &[OracleKind],
+        bounded: bool,
+    ) -> Result<CheckCounts, Failure> {
+        let progress = std::env::var_os("CMM_FUZZ_PROGRESS").is_some();
+        let mut counts = CheckCounts::default();
+        if progress {
+            eprintln!("  check: baseline");
+        }
+        let base = if bounded {
+            self.opt.run_with_limits(src, 2, bounded_limits())
+        } else {
+            self.opt.run(src, 2)
+        }
+        .map_err(|e| Failure {
+            oracle: None,
+            detail: format!("baseline compile/run failed: {e}"),
+        })?;
+
+        for &oracle in oracles {
+            if progress {
+                eprintln!("  check: oracle {}", oracle.name());
+            }
+            match oracle {
+                OracleKind::Transform => {
+                    self.check_transform(src, &base.output, base.leaked, bounded)?;
+                    counts.transform += 1;
+                }
+                OracleKind::Schedule => {
+                    counts.schedule += self.check_schedule(src, &base.output, bounded)?;
+                }
+                OracleKind::Limits => {
+                    self.check_limits(src, &base.output)?;
+                    counts.limits += 1;
+                }
+                OracleKind::Gcc => {
+                    if self.gcc {
+                        self.check_gcc(src, &base.output, bounded)?;
+                        counts.gcc += 1;
+                    }
+                }
+            }
+        }
+        Ok(counts)
+    }
+
+    fn check_transform(
+        &self,
+        src: &str,
+        expected: &str,
+        leaked: u32,
+        bounded: bool,
+    ) -> Result<(), Failure> {
+        let fail = |detail: String| Failure { oracle: Some(OracleKind::Transform), detail };
+        if leaked != 0 {
+            return Err(fail(format!(
+                "optimized run leaked {leaked} buffer(s); inserted reference counting must free everything"
+            )));
+        }
+        let ast = self.opt.frontend(src).map_err(|e| {
+            fail(format!("frontend failed while deriving the untransformed reference: {e}"))
+        })?;
+        let stripped = strip_transforms(&ast);
+        let plain_src = cmm_ast::display::print_program(&stripped);
+        let reference = if bounded {
+            self.plain.run_with_limits(&plain_src, 1, bounded_limits())
+        } else {
+            self.plain.run(&plain_src, 1)
+        }
+        .map_err(|e| fail(format!("untransformed reference failed to run: {e}")))?;
+        if reference.output != expected {
+            // Show what the optimizing pipeline actually changed.
+            let ir_note = match (self.opt.compile(src), self.plain.compile(&plain_src)) {
+                (Ok(opt_ir), Ok(plain_ir)) => snapshot::diff(&plain_ir, &opt_ir)
+                    .unwrap_or_else(|| "IR identical (divergence is runtime-side)".to_string()),
+                _ => String::new(),
+            };
+            return Err(fail(format!(
+                "optimized/transformed output differs from untransformed reference\n\
+                 --- reference (plain, 1 thread)\n{}\n--- optimized (2 threads)\n{}\n{ir_note}",
+                reference.output, expected
+            )));
+        }
+        Ok(())
+    }
+
+    fn check_schedule(&self, src: &str, expected: &str, bounded: bool) -> Result<u64, Failure> {
+        let mut ran = 0u64;
+        let policies = [
+            Schedule::Static,
+            Schedule::Dynamic { chunk: 2 },
+            Schedule::Guided { min_chunk: 1 },
+        ];
+        let limits = if bounded { bounded_limits() } else { Limits::default() };
+        let progress = std::env::var_os("CMM_FUZZ_PROGRESS").is_some();
+        for policy in policies {
+            for threads in [1usize, 2, 4] {
+                if progress {
+                    eprintln!("    schedule: {policy:?} x {threads}");
+                }
+                let r = self
+                    .opt
+                    .run_with_schedule(src, threads, limits.clone(), policy)
+                    .map_err(|e| Failure {
+                        oracle: Some(OracleKind::Schedule),
+                        detail: format!("run failed under {policy:?} × {threads} threads: {e}"),
+                    })?;
+                if r.output != expected {
+                    return Err(Failure {
+                        oracle: Some(OracleKind::Schedule),
+                        detail: format!(
+                            "output under {policy:?} × {threads} threads differs from baseline\n\
+                             --- baseline\n{expected}\n--- {policy:?} × {threads}\n{}",
+                            r.output
+                        ),
+                    });
+                }
+                ran += 1;
+            }
+        }
+        Ok(ran)
+    }
+
+    fn check_limits(&self, src: &str, expected: &str) -> Result<(), Failure> {
+        let r = self
+            .opt
+            .run_with_limits(src, 2, generous_limits())
+            .map_err(|e| Failure {
+                oracle: Some(OracleKind::Limits),
+                detail: format!("metered run failed under generous budgets: {e}"),
+            })?;
+        if r.output != expected {
+            return Err(Failure {
+                oracle: Some(OracleKind::Limits),
+                detail: format!(
+                    "metered output differs from unmetered baseline\n\
+                     --- unmetered\n{expected}\n--- metered\n{}",
+                    r.output
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_gcc(&self, src: &str, expected: &str, bounded: bool) -> Result<(), Failure> {
+        let fail = |detail: String| Failure { oracle: Some(OracleKind::Gcc), detail };
+        let c = self
+            .opt
+            .compile_to_c(src)
+            .map_err(|e| fail(format!("C emission failed: {e}")))?;
+        let timeout = if bounded { BOUNDED_GCC_TIMEOUT } else { Duration::from_secs(120) };
+        let out = compile_and_run_c_with_timeout(&c, 2, timeout)
+            .map_err(|e| fail(format!("gcc oracle: {e}")))?;
+        if out != expected {
+            return Err(fail(format!(
+                "gcc-compiled output differs from interpreter\n\
+                 --- interpreter\n{expected}\n--- gcc\n{out}"
+            )));
+        }
+        Ok(())
+    }
+}

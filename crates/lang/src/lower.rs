@@ -158,7 +158,10 @@ type LResult<T> = Result<T, Diag>;
 impl FnLower<'_> {
     fn fresh(&mut self, prefix: &str) -> String {
         *self.tmp += 1;
-        format!("__{prefix}{}", *self.tmp)
+        // The separator keeps the scheme injective: the id is the digits
+        // after the last `_`, so a user variable named `v5` (id 5) can
+        // never mangle to the same name as a temp `v` (id 55).
+        format!("__{prefix}_{}", *self.tmp)
     }
 
     fn bug(&self, span: Span, msg: impl Into<String>) -> Diag {

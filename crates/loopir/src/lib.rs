@@ -22,6 +22,7 @@ pub mod emit;
 pub mod interp;
 mod ir;
 mod resolve;
+pub mod snapshot;
 pub mod transform;
 
 pub use emit::EmitError;

@@ -5,6 +5,9 @@
 //! cmmc emit program.xc [-o out.c]           # translate to plain parallel C
 //! cmmc check program.xc                     # parse + semantic analysis only
 //! cmmc analyses                             # print the §VI analysis verdicts
+//! cmmc fuzz [--seed N] [--cases K]          # differential fuzzing campaign
+//!           [--oracle transform|schedule|limits|gcc]...
+//!           [--corpus-dir DIR]              # reproducer dir (default tests/corpus)
 //!
 //! options:
 //!   --ext a,b,c      extensions to compose (default: all five)
@@ -37,13 +40,90 @@ const EXIT_LIMIT: u8 = 5;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cmmc <run|emit|check|analyses> [file.xc] [options]\n\
+        "usage: cmmc <run|emit|check|analyses|fuzz> [file.xc] [options]\n\
          options: --ext a,b,c | --threads N | -o out.c | --no-parallel | --no-fusion\n\
          \x20        --fuel N | --max-mem BYTES[k|m|g] | --deadline-ms N\n\
          \x20        --schedule static|dynamic[:N]|guided[:N]\n\
-         \x20        --profile | --metrics-json FILE"
+         \x20        --profile | --metrics-json FILE\n\
+         fuzz:    --seed N | --cases K | --oracle transform|schedule|limits|gcc\n\
+         \x20        --corpus-dir DIR"
     );
     ExitCode::from(EXIT_USAGE)
+}
+
+/// `cmmc fuzz`: run a differential fuzzing campaign and report findings.
+fn fuzz_command(args: &[String]) -> ExitCode {
+    use cmm::fuzz::{FuzzConfig, OracleKind, fuzz};
+
+    let mut cfg = FuzzConfig::new(42, 100);
+    cfg.corpus_dir = Some("tests/corpus".into());
+    let mut oracles: Vec<OracleKind> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                cfg.seed = v;
+            }
+            "--cases" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                cfg.cases = v;
+            }
+            "--oracle" => {
+                let Some(v) = it.next() else { return usage() };
+                let Some(kind) = OracleKind::parse(v) else {
+                    eprintln!("cmmc: unknown oracle '{v}' (transform|schedule|limits|gcc)");
+                    return ExitCode::from(EXIT_USAGE);
+                };
+                if !oracles.contains(&kind) {
+                    oracles.push(kind);
+                }
+            }
+            "--corpus-dir" => {
+                let Some(v) = it.next() else { return usage() };
+                cfg.corpus_dir = Some(v.into());
+            }
+            _ => return usage(),
+        }
+    }
+    if !oracles.is_empty() {
+        cfg.oracles = oracles;
+    }
+
+    let outcome = match fuzz(&cfg) {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+    let names: Vec<&str> = cfg.oracles.iter().map(|o| o.name()).collect();
+    println!(
+        "fuzz: seed {} · {} case(s) · oracles [{}] · comparisons: \
+         transform {}, schedule {}, limits {}, gcc {}",
+        cfg.seed,
+        outcome.cases,
+        names.join(", "),
+        outcome.counts.transform,
+        outcome.counts.schedule,
+        outcome.counts.limits,
+        outcome.counts.gcc,
+    );
+    if outcome.findings.is_empty() {
+        println!("fuzz: clean — no differential disagreements");
+        return ExitCode::SUCCESS;
+    }
+    for f in &outcome.findings {
+        let oracle = f.failure.oracle.map(|o| o.name()).unwrap_or("baseline");
+        eprintln!("\nfuzz: FINDING case {} [{oracle}]: {}", f.case_index, f.failure.detail);
+        match &f.corpus_path {
+            Some(p) => eprintln!("fuzz: minimized reproducer written to {}", p.display()),
+            None => eprintln!("fuzz: minimized reproducer:\n{}", f.minimized),
+        }
+    }
+    eprintln!("\nfuzz: {} finding(s)", outcome.findings.len());
+    ExitCode::from(EXIT_RUNTIME)
 }
 
 /// Parse a byte count with an optional binary k/m/g suffix ("64k", "2M").
@@ -78,6 +158,9 @@ fn main() -> ExitCode {
     let Some(command) = args.first().map(String::as_str) else {
         return usage();
     };
+    if command == "fuzz" {
+        return fuzz_command(&args[1..]);
+    }
 
     let mut file: Option<String> = None;
     let mut out_file: Option<String> = None;

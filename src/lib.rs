@@ -44,6 +44,7 @@
 //! | [`loopir`] | `cmm-loopir` | loop IR, §V transformations, C emitter, interpreter |
 //! | [`runtime`] | `cmm-runtime` | `Matrix<T>`, with-loop engines, `matrixMap`, IO |
 //! | [`forkjoin`] | `cmm-forkjoin` | SAC-style persistent thread pool |
+//! | [`fuzz`] | `cmm-fuzz` | differential fuzzing: generator, oracles, minimizer |
 //! | [`rc`] | `cmm-rc` | refcounted buffers, pool allocator |
 //! | [`eddy`] | `cmm-eddy` | the §IV ocean-eddy application |
 //! | extensions | `cmm-ext-*` | grammar + AG specification fragments |
@@ -58,6 +59,7 @@ pub use cmm_ext_rcptr as ext_rcptr;
 pub use cmm_ext_transform as ext_transform;
 pub use cmm_ext_tuples as ext_tuples;
 pub use cmm_forkjoin as forkjoin;
+pub use cmm_fuzz as fuzz;
 pub use cmm_grammar as grammar;
 pub use cmm_lang as lang;
 pub use cmm_loopir as loopir;

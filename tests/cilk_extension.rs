@@ -4,7 +4,7 @@
 //! concurrently on the pool, and round-trip through gcc via the serial
 //! elision.
 
-use cmm::core::{compile_and_run_c, gcc_available, Registry};
+use cmm::core::{compile_and_run_c, gcc_available_or_skip, Registry};
 use cmm::eddy::programs::full_compiler;
 
 const FIB_SPAWN: &str = r#"
@@ -136,8 +136,7 @@ fn cilk_disabled_means_spawn_is_just_an_identifier() {
 
 #[test]
 fn gcc_serial_elision_roundtrip() {
-    if !gcc_available() {
-        eprintln!("gcc not available; skipping");
+    if !gcc_available_or_skip("gcc_serial_elision_roundtrip") {
         return;
     }
     let compiler = full_compiler();

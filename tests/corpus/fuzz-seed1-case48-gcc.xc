@@ -1,0 +1,36 @@
+// cmm-fuzz reproducer: seed 1, case 48, oracle gcc
+// gcc oracle: gcc failed:
+// /tmp/cmmc-27641-560ca6bf.c: In function 'main':
+// /tmp/cmmc-27641-560ca6bf.c:363:26: error: invalid type argument of '->' (have 'int')
+//   363 |         int __v55 = __v55->data.i[k26];
+//       |                          ^~
+
+int main() {
+    int a1 = -(6);
+    float x3 = -(0.75);
+    int n4 = 8;
+    Matrix int <1> v5 = with ([0] <= [i6] < [n4]) genarray([n4], (((2 - -(5)) % 7) % 97));
+    int w7 = 0;
+    while ((w7 < 6)) {
+        w7 = (w7 + 1);
+    }
+    int n8 = 5;
+    Matrix int <2> m9 = init(Matrix int <2>, n8, n8);
+    m9 = with ([0, 0] <= [i10, j11] < [n8, n8]) genarray([n8, n8], (i10 % 97));
+    Matrix int <1> v14 = with ([0] <= [i15] < [n8]) genarray([n8], ((-(4) * 2) % 97));
+    rc<float> buf16 = rcAlloc(float, 7);
+    for (int ri17 = 0; (ri17 < 7); ri17 = (ri17 + 1)) {
+    }
+    bool p18 = ((x3 / 8.0) <= toFloat((n8 % 11)));
+    int w19 = 0;
+    while ((w19 < 3)) {
+        w19 = (w19 + 1);
+    }
+    Matrix int <1> v20 = with ([0] <= [i21] < [n8]) genarray([n8], (((-(4) - w7) + (i21 + n4)) % 97));
+    bool p22 = ((w7 + n4) <= (a1 + -(1)));
+    for (int t23 = 0; (t23 < 3); t23 = (t23 + 1)) {
+    }
+    int s25 = with ([0] <= [k24] < [5]) fold(+, 0, v20[k24]);
+    int s27 = with ([0] <= [k26] < [8]) fold(max, 0, v5[k26]);
+}
+

@@ -1,0 +1,20 @@
+// Corpus seed (not a fuzzer finding): the paper's Fig 9 shape — a
+// mean-over-depth stencil with the §V split/vectorize/parallelize
+// directives — made observable so every differential oracle has output
+// to compare.
+int main() {
+    int m = 4;
+    int n = 8;
+    int p = 5;
+    Matrix float <3> mat = with ([0, 0, 0] <= [i, j, k] < [m, n, p])
+        genarray([m, n, p], toFloat((i + j) * 2 + k) / 4.0);
+    Matrix float <2> means = init(Matrix float <2>, m, n);
+    means = with ([0, 0] <= [i, j] < [m, n])
+        genarray([m, n],
+            with ([0] <= [k] < [p]) fold(+, 0.0, mat[i, j, k]) / toFloat(p))
+        transform split j by 4, jin, jout. vectorize jin. parallelize i;
+    printFloat(with ([0, 0] <= [a, b] < [m, n]) fold(+, 0.0, means[a, b]));
+    printFloat(with ([0, 0] <= [a, b] < [m, n]) fold(max, 0.0, means[a, b]));
+    printFloat(means[2, 3]);
+    return 0;
+}

@@ -1,0 +1,21 @@
+// Corpus seed (not a fuzzer finding): per-loop schedule directives
+// (static / dynamic / guided) and tile, cross-checked against every
+// runtime schedule policy and thread count by the schedule oracle.
+int main() {
+    int n = 8;
+    Matrix int <1> v = init(Matrix int <1>, n);
+    v = with ([0] <= [x] < [n]) genarray([n], (x * 7 + 3) % 97)
+        transform schedule x dynamic, 2;
+    Matrix float <2> grid = init(Matrix float <2>, n, n);
+    grid = with ([0, 0] <= [i, j] < [n, n])
+        genarray([n, n], toFloat(i * 3 - j) * 0.25)
+        transform tile i, j by 4, 4. parallelize i_out;
+    Matrix float <2> sm = init(Matrix float <2>, n, n);
+    sm = with ([0, 0] <= [p, q] < [n, n])
+        genarray([n, n], grid[p, q] + 1.5)
+        transform schedule p guided;
+    printInt(with ([0] <= [x] < [n]) fold(+, 0, v[x]));
+    printFloat(with ([0, 0] <= [a, b] < [n, n]) fold(+, 0.0, grid[a, b]));
+    printFloat(with ([0, 0] <= [a, b] < [n, n]) fold(min, 0.0, sm[a, b]));
+    return 0;
+}

@@ -4,12 +4,11 @@
 //! matrixMap, all indexing modes, tuples, rc pointers, and the §V
 //! transformations (OpenMP + SSE paths).
 
-use cmm::core::{compile_and_run_c, gcc_available};
+use cmm::core::{compile_and_run_c, gcc_available_or_skip};
 use cmm::eddy::programs::full_compiler;
 
 fn roundtrip(src: &str) {
-    if !gcc_available() {
-        eprintln!("gcc not available; skipping");
+    if !gcc_available_or_skip("gcc_roundtrip") {
         return;
     }
     let compiler = full_compiler();
@@ -170,8 +169,7 @@ fn transformed_loops_sse_and_openmp() {
 /// deliberately not printed: Rust says `NaN`, C says `nan`.)
 #[test]
 fn non_finite_floats_compile_and_roundtrip() {
-    if !gcc_available() {
-        eprintln!("gcc not available; skipping");
+    if !gcc_available_or_skip("non_finite_floats_compile_and_roundtrip") {
         return;
     }
     let src = r#"

@@ -8,8 +8,13 @@
 //!
 //! Differences from real proptest: sampling is plain seeded pseudo-random
 //! (SplitMix64 keyed by the test's module path and name, so runs are
-//! reproducible), and failing cases are reported with their inputs but not
-//! shrunk.
+//! reproducible), and shrinking is deterministic and greedy rather than
+//! tree-structured: integer-range strategies propose binary-search
+//! candidates toward the range start ([`strategy::Strategy::shrink`]),
+//! and the [`proptest!`] macro re-runs a failing case over those
+//! candidates one argument at a time until no candidate still fails.
+//! Strategies without a shrinker (floats, vectors) report the sampled
+//! input unshrunk, exactly as before.
 
 pub mod test_runner {
     /// Test-case failure: `Fail` aborts the test, `Reject` (from
@@ -62,6 +67,16 @@ pub mod test_runner {
             TestRng { state }
         }
 
+        /// Rng seeded by a caller-chosen number (external harnesses such
+        /// as `cmm-fuzz` key their streams by an explicit `--seed`).
+        pub fn with_seed(seed: u64) -> Self {
+            // One SplitMix64 scramble so nearby seeds diverge immediately.
+            let mut z = seed.wrapping_add(0x9e3779b97f4a7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            TestRng { state: z ^ (z >> 31) }
+        }
+
         /// Next 64 pseudo-random bits.
         pub fn next_u64(&mut self) -> u64 {
             self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
@@ -81,13 +96,23 @@ pub mod test_runner {
 pub mod strategy {
     use crate::test_runner::TestRng;
 
-    /// A value generator. Unlike real proptest there is no shrinking: a
-    /// strategy is just a sampling function.
+    /// A value generator: a sampling function plus an optional shrinker.
     pub trait Strategy {
         /// Type of generated values.
         type Value;
         /// Draw one value.
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+        /// Propose strictly simpler candidates for a failing `value`, in
+        /// decreasing order of aggressiveness. The default is no
+        /// shrinking. Candidates need not fail; the caller re-runs the
+        /// property and keeps a candidate only if it still fails, then
+        /// asks for this value's candidates again — so a binary-search
+        /// sequence (range start, then successive midpoints) converges to
+        /// a local minimum in O(log width) re-runs.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
     }
 
     macro_rules! int_range_strategy {
@@ -100,6 +125,25 @@ pub mod strategy {
                     assert!(lo < hi, "empty range strategy {lo}..{hi}");
                     let width = (hi - lo) as u128;
                     (lo + (u128::from(rng.next_u64()) % width) as i128) as $t
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let lo = self.start as i128;
+                    let v = *value as i128;
+                    if v <= lo {
+                        return Vec::new();
+                    }
+                    // Most aggressive first (the range start), then the
+                    // midpoint, then one step down; the caller's re-shrink
+                    // loop turns this into a deterministic binary search.
+                    let mut out = vec![lo];
+                    let mid = lo + (v - lo) / 2;
+                    if mid != lo && mid != v {
+                        out.push(mid);
+                    }
+                    if v - 1 != lo && v - 1 != mid {
+                        out.push(v - 1);
+                    }
+                    out.into_iter().map(|c| c as $t).collect()
                 }
             }
         )*};
@@ -118,6 +162,43 @@ pub mod strategy {
         )*};
     }
     float_range_strategy!(f32, f64);
+
+    /// A tuple of strategy references, used by the [`crate::proptest!`]
+    /// macro to pin the type of a test-case closure: closure parameter
+    /// types cannot be inferred from later calls, so
+    /// [`constrain_case`] unifies the closure's single tuple parameter
+    /// with the strategies' value types up front.
+    pub trait StrategyTuple {
+        /// The tuple of value types the strategies produce.
+        type Values;
+    }
+
+    macro_rules! strategy_tuple {
+        ($($s:ident),*) => {
+            impl<$($s: Strategy),*> StrategyTuple for ($(&$s,)*) {
+                type Values = ($($s::Value,)*);
+            }
+        };
+    }
+    strategy_tuple!();
+    strategy_tuple!(S1);
+    strategy_tuple!(S1, S2);
+    strategy_tuple!(S1, S2, S3);
+    strategy_tuple!(S1, S2, S3, S4);
+    strategy_tuple!(S1, S2, S3, S4, S5);
+    strategy_tuple!(S1, S2, S3, S4, S5, S6);
+    strategy_tuple!(S1, S2, S3, S4, S5, S6, S7);
+    strategy_tuple!(S1, S2, S3, S4, S5, S6, S7, S8);
+
+    /// Identity function whose bounds force `f`'s parameter to be the
+    /// strategies' value tuple (see [`StrategyTuple`]).
+    pub fn constrain_case<S, F>(_strategies: &S, f: F) -> F
+    where
+        S: StrategyTuple,
+        F: FnMut(S::Values) -> Result<(), crate::test_runner::TestCaseError>,
+    {
+        f
+    }
 }
 
 pub mod arbitrary {
@@ -238,6 +319,9 @@ pub mod prelude {
 
 /// Define property tests. Each `fn name(arg in strategy, ...) { body }`
 /// becomes a `#[test]` running the body over `cases` sampled inputs.
+/// Argument values must be `Clone + Debug`. On failure the inputs are
+/// shrunk (greedily, one argument at a time, via
+/// [`strategy::Strategy::shrink`]) before being reported.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -263,29 +347,105 @@ macro_rules! __proptest_items {
             let mut rng = $crate::test_runner::TestRng::deterministic(
                 concat!(module_path!(), "::", stringify!($name)),
             );
+            // The closure takes a single tuple argument whose type is
+            // pinned to the strategies' value types by `constrain_case`
+            // (closure parameter types cannot be inferred from later
+            // calls). Inputs must be `Clone` (each run consumes a copy).
+            let __strats = ($(&($strat),)*);
+            #[allow(unused_variables, unused_mut)]
+            let mut __case = $crate::strategy::constrain_case(&__strats, |($($arg,)*)| {
+                $body
+                ::std::result::Result::Ok(())
+            });
             let mut accepted: u32 = 0;
             let mut attempts: u32 = 0;
             let max_attempts = config.cases.saturating_mul(10).max(1);
             while accepted < config.cases && attempts < max_attempts {
                 attempts += 1;
-                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
-                let __inputs: ::std::string::String = [
-                    $(format!("{} = {:?}", stringify!($arg), &$arg)),*
-                ].join(", ");
-                let mut __case = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
-                    $body
-                    ::std::result::Result::Ok(())
-                };
-                match __case() {
+                $(
+                    #[allow(unused_mut)]
+                    let mut $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                )*
+                match __case(($(::std::clone::Clone::clone(&$arg),)*)) {
                     ::std::result::Result::Ok(()) => accepted += 1,
                     ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
                     ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
-                        panic!("property failed: {}\n  inputs: {}", msg, __inputs);
+                        // Greedy deterministic shrink: per argument, keep
+                        // the most aggressive candidate that still fails,
+                        // re-shrinking from the kept value, until no
+                        // argument improves (or the evaluation budget is
+                        // spent). The per-argument loops are generated by
+                        // the `__shrink_args!` muncher because a macro
+                        // cannot expand the full argument list inside a
+                        // repetition over that same list.
+                        let mut __msg = msg;
+                        let mut __steps: u32 = 0;
+                        let mut __evals: u32 = 0;
+                        let mut __improved = true;
+                        #[allow(clippy::never_loop)]
+                        while __improved && __evals < 512 {
+                            __improved = false;
+                            $crate::__shrink_args! {
+                                state (__case, __msg, __steps, __evals, __improved);
+                                all [$($arg,)*];
+                                todo [$($arg in ($strat),)*]
+                            }
+                        }
+                        let __inputs: ::std::string::String = [
+                            $(format!("{} = {:?}", stringify!($arg), &$arg)),*
+                        ].join(", ");
+                        panic!(
+                            "property failed: {}\n  inputs (after {} shrink steps): {}",
+                            __msg, __steps, __inputs
+                        );
                     }
                 }
             }
         }
         $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// One greedy shrink pass over the argument list: peels one
+/// `(arg in (strategy))` pair per recursion step; `all` carries every
+/// argument name so the re-run can pass the complete input tuple.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __shrink_args {
+    (state ($case:ident, $msg:ident, $steps:ident, $evals:ident, $improved:ident);
+     all [$($all:ident,)*];
+     todo []) => {};
+    (state ($case:ident, $msg:ident, $steps:ident, $evals:ident, $improved:ident);
+     all [$($all:ident,)*];
+     todo [$first:ident in ($fstrat:expr), $($rest:tt)*]) => {
+        loop {
+            let mut __stepped = false;
+            for __cand in $crate::strategy::Strategy::shrink(&($fstrat), &$first) {
+                if $evals >= 512 {
+                    break;
+                }
+                $evals += 1;
+                let __saved = ::std::mem::replace(&mut $first, __cand);
+                match $case(($(::std::clone::Clone::clone(&$all),)*)) {
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__m)) => {
+                        $msg = __m;
+                        $steps += 1;
+                        __stepped = true;
+                        $improved = true;
+                        break;
+                    }
+                    _ => $first = __saved,
+                }
+            }
+            if !__stepped {
+                break;
+            }
+        }
+        $crate::__shrink_args! {
+            state ($case, $msg, $steps, $evals, $improved);
+            all [$($all,)*];
+            todo [$($rest)*]
+        }
     };
 }
 
@@ -348,4 +508,53 @@ macro_rules! prop_assume {
             ));
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn int_shrink_candidates_move_toward_range_start() {
+        let s = 0i64..100;
+        assert_eq!(s.shrink(&0), Vec::<i64>::new());
+        assert_eq!(s.shrink(&1), vec![0]);
+        assert_eq!(s.shrink(&80), vec![0, 40, 79]);
+        let offset = 10i64..100;
+        assert_eq!(offset.shrink(&11), vec![10]);
+        assert_eq!(offset.shrink(&50), vec![10, 30, 49]);
+    }
+
+    #[test]
+    fn unsigned_shrink_does_not_underflow() {
+        let s = 0u8..200;
+        assert_eq!(s.shrink(&200), vec![0, 100, 199]);
+        assert_eq!(s.shrink(&0), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn greedy_shrink_reaches_smallest_failing_input() {
+        crate::proptest! {
+            fn prop(v in 0i64..1000) {
+                crate::prop_assert!(v < 17, "too big: {}", v);
+            }
+        }
+        let err = std::panic::catch_unwind(prop).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("v = 17"), "shrink should reach the boundary: {msg}");
+    }
+
+    #[test]
+    fn shrink_is_deterministic_across_runs() {
+        crate::proptest! {
+            fn prop(a in 0i64..100, b in 0i64..100) {
+                crate::prop_assert!(a + b < 30, "sum too big");
+            }
+        }
+        let grab = || {
+            let err = std::panic::catch_unwind(prop).unwrap_err();
+            err.downcast_ref::<String>().expect("string panic payload").clone()
+        };
+        assert_eq!(grab(), grab());
+    }
 }
