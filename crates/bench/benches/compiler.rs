@@ -1,5 +1,5 @@
 //! Translator-side costs: composing the language (running `isComposable`
-//! + building the LALR tables and scanner DFA, the paper's
+//! and building the LALR tables and scanner DFA, the paper's
 //! "compiler-generating tools") and translating the Fig 8 application
 //! through the full pipeline. Not a paper experiment per se, but the cost
 //! the paper's workflow pays per composition — "the cost of the

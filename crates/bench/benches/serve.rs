@@ -1,0 +1,228 @@
+//! `cmmc serve` load bench (PR 6): an in-process daemon under a
+//! concurrent mixed good/hostile workload, with fault injection live so
+//! the panic-isolation path is on the measured hot path. Writes
+//! `BENCH_serve.json` at the workspace root.
+//!
+//! The configuration is deliberately undersized (`max_in_flight` below
+//! the client count) so admission control actually sheds under the
+//! burst and the bench measures the full protocol: clients retry
+//! `overloaded` (code 6, the only retryable code) and every request is
+//! eventually answered with its typed result. Reported latency is the
+//! final successful attempt, so shed-and-retry cost shows up in the
+//! tail percentiles rather than being laundered out.
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use cmm_bench::config;
+use cmm_forkjoin::faultinject::{self, FaultPlan};
+use cmm_serve::json::{self, Json};
+use cmm_serve::{start, ServeConfig, ServeStats, ServerHandle, STATS_SCHEMA};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 40;
+const WORKERS: usize = 4;
+/// Below `CLIENTS`, so a synchronized burst must shed.
+const MAX_IN_FLIGHT: usize = 6;
+
+/// Request classes, cycled per client. Hostile classes must come back
+/// as typed errors; `threads: 1` on the non-panic classes keeps their
+/// sessions out of the injected region fault's blast radius.
+fn request_line(id: &str, class: usize, value: i64) -> String {
+    match class {
+        // Well-behaved scalar arithmetic.
+        0 => format!(
+            r#"{{"id": "{id}", "cmd": "run", "threads": 1, "src": "int main() {{ int x = {value}; printInt(x * 2 + 1); return 0; }}"}}"#
+        ),
+        // Well-behaved matrix with-loop.
+        1 => format!(
+            r#"{{"id": "{id}", "cmd": "run", "threads": 1, "src": "int main() {{ int n = 64; Matrix int <1> v = with ([0] <= [i] < [n]) genarray([n], i); printInt(v[63]); return 0; }}"}}"#
+        ),
+        // Hostile: fuel bomb under a small budget → code 5.
+        2 => format!(
+            r#"{{"id": "{id}", "cmd": "run", "threads": 1, "fuel": 20000, "src": "int main() {{ int n = 0; while (1 > 0) {{ n = n + 1; }} return 0; }}"}}"#
+        ),
+        // Hostile: parallel region whose worker 1 is scheduled to panic
+        // at epoch 1 → code 7, isolated.
+        _ => format!(
+            r#"{{"id": "{id}", "cmd": "run", "threads": 2, "src": "int f(int x) {{ return x * 2; }} int main() {{ int a = 0; int b = 0; spawn a = f(10); spawn b = f(11); sync; printInt(a + b); return 0; }}"}}"#
+        ),
+    }
+}
+
+/// Expected terminal response code per class.
+const EXPECTED: [u64; 4] = [0, 0, 5, 7];
+
+struct LoadResult {
+    elapsed: Duration,
+    /// Latency of each request's final (non-overloaded) attempt, micros.
+    latencies_us: Vec<u64>,
+    retries: u64,
+    stats: ServeStats,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn run_load(handle: &ServerHandle) -> (Vec<u64>, u64, Duration) {
+    let addr = handle.local_addr();
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut writer = stream;
+                let mut latencies = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                let mut retries = 0u64;
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let class = i % 4;
+                    let line = request_line(&format!("c{c}-r{i}"), class, (c * 100 + i) as i64);
+                    loop {
+                        let t = Instant::now();
+                        writeln!(writer, "{line}").expect("send");
+                        let mut resp = String::new();
+                        reader.read_line(&mut resp).expect("recv");
+                        let v = json::parse(&resp).expect("response JSON");
+                        let code = v.get("code").and_then(Json::as_u64).expect("code");
+                        if code == 6 {
+                            // Shed by admission control: the one retryable
+                            // code. Back off briefly and resend.
+                            retries += 1;
+                            std::thread::sleep(Duration::from_millis(2));
+                            continue;
+                        }
+                        assert_eq!(
+                            code, EXPECTED[class],
+                            "class {class} must terminate with its typed code: {resp}"
+                        );
+                        latencies.push(t.elapsed().as_micros() as u64);
+                        break;
+                    }
+                }
+                (latencies, retries)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut retries = 0;
+    for cl in clients {
+        let (l, r) = cl.join().expect("client");
+        latencies.extend(l);
+        retries += r;
+    }
+    (latencies, retries, t0.elapsed())
+}
+
+fn run_bench() -> LoadResult {
+    // Fault injection live for the whole bench: every session pool's
+    // first parallel region loses worker 1 to an injected panic.
+    let _guard = faultinject::install(FaultPlan::new().panic_at(1, 1));
+    let cfg = ServeConfig {
+        workers: WORKERS,
+        max_in_flight: MAX_IN_FLIGHT,
+        queue_deadline: Duration::from_secs(60),
+        drain_deadline: Duration::from_secs(10),
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg).expect("start server");
+    let (mut latencies_us, retries, elapsed) = run_load(&handle);
+    let report = handle.shutdown();
+    assert!(report.clean, "bench server must drain cleanly");
+    latencies_us.sort_unstable();
+    LoadResult {
+        elapsed,
+        latencies_us,
+        retries,
+        stats: report.stats,
+    }
+}
+
+fn write_report(r: &LoadResult) {
+    let total = (CLIENTS * REQUESTS_PER_CLIENT) as u64;
+    let throughput = total as f64 / r.elapsed.as_secs_f64();
+    let l = &r.latencies_us;
+    let codes: Vec<String> = r.stats.codes.iter().map(u64::to_string).collect();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"cmm-bench-serve-v1\",\n");
+    out.push_str("  \"generated_by\": \"cargo bench -p cmm-bench --bench serve\",\n");
+    out.push_str(&format!("  \"stats_schema\": \"{STATS_SCHEMA}\",\n"));
+    out.push_str(&format!(
+        "  \"workload\": {{\"clients\": {CLIENTS}, \"requests_per_client\": {REQUESTS_PER_CLIENT}, \"mix\": \"scalar / matrix / fuel-bomb / worker-panic, round-robin\"}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"server\": {{\"workers\": {WORKERS}, \"max_in_flight\": {MAX_IN_FLIGHT}, \"fault_injection\": \"panic_at(epoch 1, worker 1)\"}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    ));
+    out.push_str(&format!("  \"throughput_rps\": {throughput:.1},\n"));
+    out.push_str(&format!(
+        "  \"latency_us\": {{\"p50\": {}, \"p99\": {}, \"max\": {}}},\n",
+        percentile(l, 0.50),
+        percentile(l, 0.99),
+        l[l.len() - 1]
+    ));
+    out.push_str(&format!("  \"shed\": {},\n", r.stats.shed()));
+    out.push_str(&format!("  \"retries\": {},\n", r.retries));
+    out.push_str(&format!(
+        "  \"panics_isolated\": {},\n",
+        r.stats.panics_isolated()
+    ));
+    out.push_str(&format!(
+        "  \"degraded_sessions\": {},\n",
+        r.stats.degraded_sessions
+    ));
+    out.push_str(&format!("  \"codes\": [{}]\n", codes.join(", ")));
+    out.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, out).expect("write BENCH_serve.json");
+    eprintln!("wrote {path}");
+}
+
+fn bench(c: &mut Criterion) {
+    let result = run_bench();
+    write_report(&result);
+
+    // Criterion view: single-request round trip against a quiet daemon
+    // (protocol + dispatch overhead, no contention).
+    let handle = start(ServeConfig::default()).expect("start server");
+    let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut g = c.benchmark_group("serve");
+    g.bench_function("roundtrip_ping", |b| {
+        b.iter(|| {
+            writeln!(writer, r#"{{"id": 1, "cmd": "ping"}}"#).expect("send");
+            let mut resp = String::new();
+            reader.read_line(&mut resp).expect("recv");
+            resp
+        })
+    });
+    g.bench_function("roundtrip_run_scalar", |b| {
+        let line = request_line("bench", 0, 21);
+        b.iter(|| {
+            writeln!(writer, "{line}").expect("send");
+            let mut resp = String::new();
+            reader.read_line(&mut resp).expect("recv");
+            resp
+        })
+    });
+    g.finish();
+    drop(reader);
+    handle.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

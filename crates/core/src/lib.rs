@@ -23,9 +23,7 @@
 //!   → lowering to parallel loop IR → C emission ([`Compiler::compile_to_c`])
 //!   or direct execution ([`Compiler::run`]).
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use cmm_ag::{analyze_fragment, AgFragment, WellDefinednessReport};
@@ -41,6 +39,7 @@ use cmm_loopir::{emit, EmitError, Interp, InterpError, IrProgram, IrStmt, LimitK
 
 pub use cmm_lang::typecheck::ExtSet as EnabledExtensions;
 
+mod cache;
 mod gcc;
 mod metrics;
 pub use gcc::{
@@ -55,60 +54,32 @@ pub use metrics::{CompileMetrics, ParserCacheStats, PassTiming, ProfileReport, M
 /// [`Registry::compiler`]; before this cache, every construction paid it
 /// again even for a composition that had already been built in the same
 /// process (the CLI builds one compiler per invocation, but tests,
-/// benchmarks, and library users build many). [`Parser`] has no interior
-/// mutability, so a single `Arc<Parser>` is safely shared across
+/// benchmarks, and a `cmmc serve` daemon build many). [`Parser`] has no
+/// interior mutability, so a single `Arc<Parser>` is safely shared across
 /// compilers and threads. Composition failures are never cached: a
 /// failing extension set re-runs the analysis and reports fresh each
 /// time.
-struct ParserCache {
-    parsers: Mutex<HashMap<Vec<String>, Arc<Parser>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-}
+///
+/// The cache is **bounded** ([`DEFAULT_PARSER_CACHE_CAPACITY`] entries,
+/// LRU eviction): unbounded growth over distinct extension sets would be
+/// a slow memory leak in a long-running daemon. Evictions are counted in
+/// [`ParserCacheStats::evictions`].
+type ParserCache = cache::LruCache<Arc<Parser>>;
 
-impl ParserCache {
-    fn new() -> ParserCache {
-        ParserCache {
-            parsers: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
-    }
-
-    /// Look up `key`, building and inserting on a miss. The build runs
-    /// under the map lock: concurrent requests for the same key would
-    /// otherwise duplicate the exact table construction the cache exists
-    /// to avoid.
-    fn get_or_build(
-        &self,
-        key: Vec<String>,
-        build: impl FnOnce() -> Result<Parser, CompileError>,
-    ) -> Result<Arc<Parser>, CompileError> {
-        let mut parsers = self.parsers.lock().unwrap();
-        if let Some(p) = parsers.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(p));
-        }
-        let parser = Arc::new(build()?);
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        parsers.insert(key, Arc::clone(&parser));
-        Ok(parser)
-    }
-
-    fn stats(&self) -> ParserCacheStats {
-        ParserCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-        }
-    }
-}
+/// Maximum compositions retained by the process-global parser cache.
+/// There are only 2^5 possible extension subsets, but each resident
+/// entry pins a full LALR(1) table, so the bound is kept below the
+/// worst case; the LRU policy keeps every *hot* composition resident.
+pub const DEFAULT_PARSER_CACHE_CAPACITY: usize = 16;
 
 /// The process-wide cache shared by every [`Registry::standard`]
 /// instance. Sharing is sound because `standard()` always registers the
 /// same grammar fragments, so equal name sets imply equal compositions.
 fn shared_parser_cache() -> Arc<ParserCache> {
     static CACHE: OnceLock<Arc<ParserCache>> = OnceLock::new();
-    Arc::clone(CACHE.get_or_init(|| Arc::new(ParserCache::new())))
+    Arc::clone(
+        CACHE.get_or_init(|| Arc::new(ParserCache::with_capacity(DEFAULT_PARSER_CACHE_CAPACITY))),
+    )
 }
 
 /// One pluggable language extension: its specifications plus packaging
@@ -257,7 +228,7 @@ impl Registry {
             let fragments: Vec<&GrammarFragment> = selected.iter().map(|e| &e.grammar).collect();
             let grammar = ComposedGrammar::compose(&self.host, &fragments)
                 .map_err(|e| CompileError::Compose(e.to_string()))?;
-            Parser::new(grammar).map_err(|conflicts| {
+            Parser::new(grammar).map(Arc::new).map_err(|conflicts| {
                 CompileError::Compose(format!(
                     "composed grammar is not LALR(1): {} conflicts, first: {}",
                     conflicts.len(),
@@ -306,6 +277,11 @@ pub enum CompileError {
     Emit(EmitError),
     /// The interpreted program failed at runtime.
     Runtime(String),
+    /// A fork-join worker panicked while executing the program's parallel
+    /// region. The pool (and the process) recovered; only this run's
+    /// result is lost. Distinct from [`CompileError::Runtime`] so session
+    /// hosts (`cmmc serve`) can report tenant-fault isolation to clients.
+    Panic(String),
     /// The program exceeded a configured resource budget ([`Limits`]).
     Limit {
         /// Which budget was exceeded.
@@ -330,6 +306,7 @@ impl std::fmt::Display for CompileError {
             CompileError::Parse(m) | CompileError::Build(m) | CompileError::Runtime(m) => {
                 write!(f, "{m}")
             }
+            CompileError::Panic(m) => write!(f, "worker panic: {m}"),
             CompileError::Type(diags) => {
                 for d in diags {
                     writeln!(f, "{d}")?;
@@ -354,6 +331,17 @@ pub struct Compiler {
     /// public so experiments can toggle the ablation knobs.
     pub options: LowerOptions,
 }
+
+// `cmmc serve` hands compilers and registries to concurrent session
+// workers; the whole compile surface must stay `Send + Sync`-clean (the
+// parser is immutable behind an `Arc`, the cache is internally locked).
+// A compile-time assertion catches any future interior-mutability slip.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Compiler>();
+    assert_send_sync::<Registry>();
+    assert_send_sync::<CompileError>();
+};
 
 /// Result of running a program through the interpreter.
 #[derive(Debug)]
@@ -526,6 +514,30 @@ impl Compiler {
         })
     }
 
+    /// [`Compiler::run_with_schedule`] on a caller-supplied pool. This is
+    /// the `cmmc serve` execution path: the daemon creates one pool per
+    /// session so it can inspect pool health afterwards (degraded spawn
+    /// counts, recovered panics) and so one tenant's pool state never
+    /// leaks into another's run.
+    pub fn run_on_pool(
+        &self,
+        src: &str,
+        pool: Arc<ForkJoinPool>,
+        limits: Limits,
+        schedule: Schedule,
+    ) -> Result<RunResult, CompileError> {
+        let ir = self.compile(src)?;
+        let interp = Interp::with_pool(&ir, pool)
+            .with_schedule(schedule)
+            .with_limits(limits);
+        interp.run_main().map_err(map_interp_error)?;
+        Ok(RunResult {
+            output: interp.output(),
+            allocations: interp.alloc_count(),
+            leaked: interp.live_buffers(),
+        })
+    }
+
     /// [`Compiler::run_with_limits`] with full observability: compile
     /// passes are timed, the fork-join pool meters its regions, the
     /// interpreter collects an execution profile, and `cmm-rc` pool
@@ -587,12 +599,13 @@ impl Compiler {
 }
 
 fn map_interp_error(e: InterpError) -> CompileError {
-    match e.limit_kind() {
-        Some(kind) => CompileError::Limit {
+    match e.kind {
+        cmm_loopir::InterpErrorKind::LimitExceeded(kind) => CompileError::Limit {
             kind,
             message: e.to_string(),
         },
-        None => CompileError::Runtime(e.to_string()),
+        cmm_loopir::InterpErrorKind::WorkerPanic => CompileError::Panic(e.message),
+        cmm_loopir::InterpErrorKind::Runtime => CompileError::Runtime(e.to_string()),
     }
 }
 

@@ -44,6 +44,11 @@ pub struct ParserCacheStats {
     pub hits: u64,
     /// Compiler constructions that had to build LALR(1) tables.
     pub misses: u64,
+    /// Compositions evicted by the LRU bound
+    /// ([`crate::DEFAULT_PARSER_CACHE_CAPACITY`]); nonzero eviction churn
+    /// on a daemon means the working set of extension sets exceeds the
+    /// cache capacity.
+    pub evictions: u64,
 }
 
 /// Timings for one front-to-back compilation.
@@ -174,6 +179,11 @@ impl ProfileReport {
         let _ = writeln!(out, "── parser cache ────────────────────────────");
         let _ = writeln!(out, "{:<22} {:>10}", "hits", self.compile.parser_cache.hits);
         let _ = writeln!(out, "{:<22} {:>10}", "misses", self.compile.parser_cache.misses);
+        let _ = writeln!(
+            out,
+            "{:<22} {:>10}",
+            "evictions", self.compile.parser_cache.evictions
+        );
         out
     }
 
@@ -244,8 +254,10 @@ impl ProfileReport {
         );
         let _ = writeln!(
             out,
-            "  \"parser_cache\": {{\"hits\": {}, \"misses\": {}}}",
-            self.compile.parser_cache.hits, self.compile.parser_cache.misses
+            "  \"parser_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}}",
+            self.compile.parser_cache.hits,
+            self.compile.parser_cache.misses,
+            self.compile.parser_cache.evictions
         );
         out.push_str("}\n");
         out

@@ -97,6 +97,39 @@ struct Shared {
 unsafe impl Sync for Shared {}
 unsafe impl Send for Shared {}
 
+/// Typed error for a parallel region in which one or more workers
+/// panicked.
+///
+/// The pool always recovers — every panicking worker is caught by its
+/// `catch_unwind`, reaches the stop barrier, and parks for the next
+/// region — so the only question is how the fault is *reported*.
+/// [`ForkJoinPool::run`] re-raises it as a panic on the main thread
+/// (historic behavior, right for tests and ad-hoc tools);
+/// [`ForkJoinPool::try_run`] returns this value instead, which is what
+/// long-running hosts (the interpreter under `cmmc serve`) need: one
+/// tenant's panic becomes that tenant's error, not a process-level
+/// unwind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionPanic {
+    /// Worker panics caught during the failed region (≥ 1).
+    pub workers: u64,
+    /// Pool epoch of the region, for correlation with fault-injection
+    /// schedules and stall diagnostics.
+    pub epoch: u64,
+}
+
+impl std::fmt::Display for RegionPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} worker(s) panicked during parallel region (epoch {}); pool recovered",
+            self.workers, self.epoch
+        )
+    }
+}
+
+impl std::error::Error for RegionPanic {}
+
 /// What the stop-barrier watchdog does once a stall is detected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StallAction {
@@ -433,8 +466,29 @@ impl ForkJoinPool {
     ///
     /// # Panics
     /// Re-raises on the main thread when any worker's portion panicked
-    /// (after the region completes, so the pool stays healthy).
+    /// (after the region completes, so the pool stays healthy). Hosts
+    /// that must not unwind use [`ForkJoinPool::try_run`] instead.
     pub fn run<F>(&self, f: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        if let Err(e) = self.try_run(f) {
+            panic!("a fork-join worker panicked during a parallel region ({e})");
+        }
+    }
+
+    /// [`ForkJoinPool::run`] that reports worker panics as a typed
+    /// [`RegionPanic`] instead of re-raising them on the main thread.
+    ///
+    /// The region always completes the full stop-barrier protocol first
+    /// (every worker — panicked or not — reaches the barrier before this
+    /// returns), so on `Err` the pool is already healthy and immediately
+    /// reusable; only the *result* of this one region is lost. A panic on
+    /// the calling thread's own partition still unwinds out of this call
+    /// — that is an ordinary caller panic, not a worker fault — but the
+    /// drop guard releases the region first, so even then the pool
+    /// survives.
+    pub fn try_run<F>(&self, f: F) -> Result<(), RegionPanic>
     where
         F: Fn(usize, usize) + Sync,
     {
@@ -447,7 +501,7 @@ impl ForkJoinPool {
         if n == 1 {
             f(0, 1);
             self.finish_region_metrics(region_start, true);
-            return;
+            return Ok(());
         }
         if self
             .busy
@@ -460,8 +514,9 @@ impl ForkJoinPool {
                 f(tid, n);
             }
             self.finish_region_metrics(region_start, true);
-            return;
+            return Ok(());
         }
+        let panics_before = self.shared.panics_recovered.load(Ordering::Relaxed);
 
         let wide: *const (dyn Fn(usize, usize) + Sync + '_) = &f;
         // Erase the lifetime: the stop barrier below keeps the borrow
@@ -492,8 +547,21 @@ impl ForkJoinPool {
         self.finish_region_metrics(region_start, false);
 
         if self.shared.panicked.swap(false, Ordering::AcqRel) {
-            panic!("a fork-join worker panicked during a parallel region");
+            // Every worker is already through the stop barrier (the guard
+            // waited for them), so the count below is this region's final
+            // tally.
+            let workers = self
+                .shared
+                .panics_recovered
+                .load(Ordering::Relaxed)
+                .saturating_sub(panics_before)
+                .max(1);
+            return Err(RegionPanic {
+                workers,
+                epoch: self.shared.epoch.load(Ordering::Relaxed),
+            });
         }
+        Ok(())
     }
 
     /// Record a completed region's duration. `main_is_whole_region` is

@@ -185,19 +185,41 @@ impl ForkJoinPool {
     where
         F: Fn(usize, std::ops::Range<usize>) + Sync,
     {
+        if let Err(e) = self.try_run_scheduled(total, schedule, f) {
+            panic!("a fork-join worker panicked during a parallel region ({e})");
+        }
+    }
+
+    /// [`ForkJoinPool::run_scheduled`] that reports worker panics as a
+    /// typed [`crate::RegionPanic`] instead of re-raising.
+    ///
+    /// A panic inside one claimed chunk is caught by that worker's
+    /// `catch_unwind`; the worker still reaches the stop barrier (the
+    /// epoch is released, never hung), the other participants keep
+    /// draining the claim counter, and the caller gets `Err` once the
+    /// whole region has completed.
+    pub fn try_run_scheduled<F>(
+        &self,
+        total: usize,
+        schedule: Schedule,
+        f: F,
+    ) -> Result<(), crate::RegionPanic>
+    where
+        F: Fn(usize, std::ops::Range<usize>) + Sync,
+    {
         if total == 0 {
-            return;
+            return Ok(());
         }
         let counter = AtomicUsize::new(0);
         let metered = self.metrics_enabled();
-        self.run(|tid, nthreads| {
+        self.try_run(|tid, nthreads| {
             while let Some(range) = next_chunk(&counter, total, nthreads, schedule) {
                 if metered {
                     self.record_chunk(tid);
                 }
                 f(tid, range);
             }
-        });
+        })
     }
 }
 
@@ -268,7 +290,7 @@ mod tests {
         let chunks = drain(1024, 4, Schedule::Guided { min_chunk: 2 });
         let sizes: Vec<usize> = chunks.iter().map(|r| r.len()).collect();
         assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
-        assert_eq!(*sizes.last().unwrap() <= 2 || sizes.len() == 1, true);
+        assert!(*sizes.last().unwrap() <= 2 || sizes.len() == 1);
         assert_eq!(sizes[0], 256);
     }
 

@@ -278,3 +278,82 @@ proptest! {
         prop_assert_eq!(total.into_inner(), (1..=n as u64).sum::<u64>());
     }
 }
+
+#[test]
+fn try_run_surfaces_worker_panic_as_typed_error() {
+    let _guard = faultinject::install(faultinject::FaultPlan::new().panic_at(1, 1));
+    let pool = ForkJoinPool::new(3);
+    let done = [(); 3].map(|_| AtomicUsize::new(0));
+    let err = pool
+        .try_run(|tid, _| {
+            done[tid].fetch_add(1, Ordering::Relaxed);
+        })
+        .expect_err("injected worker panic must surface as RegionPanic");
+    assert_eq!(err.workers, 1);
+    assert_eq!(err.epoch, 1);
+    // The panicked worker (tid 1) never ran its partition, but the others
+    // did, and the stop barrier was fully released: the pool is healthy
+    // and the next region runs all partitions.
+    assert_eq!(done[0].load(Ordering::Relaxed), 1);
+    assert_eq!(done[2].load(Ordering::Relaxed), 1);
+    assert_eq!(pool.health().panics_recovered, 1);
+    drop(_guard);
+    let again = [(); 3].map(|_| AtomicUsize::new(0));
+    pool.try_run(|tid, _| {
+        again[tid].fetch_add(1, Ordering::Relaxed);
+    })
+    .expect("pool must be reusable after a recovered panic");
+    for a in &again {
+        assert_eq!(a.load(Ordering::Relaxed), 1);
+    }
+}
+
+#[test]
+fn try_run_scheduled_panicked_chunk_releases_barrier() {
+    // A panic inside a *scheduled chunk* must neither abort the process
+    // nor hang the epoch: the worker's catch_unwind still reaches the
+    // stop barrier and the caller gets a typed region error while the
+    // remaining participants drain the claim counter.
+    let _guard = faultinject::install(faultinject::FaultPlan::new().panic_at(1, 1));
+    let pool = ForkJoinPool::new(3);
+    let visited = AtomicUsize::new(0);
+    let err = pool
+        .try_run_scheduled(64, Schedule::Dynamic { chunk: 4 }, |_, range| {
+            visited.fetch_add(range.len(), Ordering::Relaxed);
+        })
+        .expect_err("injected chunk panic must surface as RegionPanic");
+    assert_eq!(err.workers, 1);
+    // The surviving participants drained every remaining chunk (only the
+    // panicking worker's zero claims are missing — it panicked at region
+    // entry before claiming).
+    assert_eq!(visited.load(Ordering::Relaxed), 64);
+    assert_eq!(pool.health().panics_recovered, 1);
+    drop(_guard);
+    let clean = AtomicUsize::new(0);
+    pool.try_run_scheduled(32, Schedule::Guided { min_chunk: 1 }, |_, range| {
+        clean.fetch_add(range.len(), Ordering::Relaxed);
+    })
+    .expect("scheduled regions must work after recovery");
+    assert_eq!(clean.load(Ordering::Relaxed), 32);
+}
+
+#[test]
+fn run_still_panics_for_compat() {
+    let _guard = faultinject::install(faultinject::FaultPlan::new().panic_at(1, 1));
+    let pool = ForkJoinPool::new(2);
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.run(|_, _| {});
+    }));
+    assert!(r.is_err(), "run() keeps the re-raise contract");
+    assert_eq!(pool.health().panics_recovered, 1);
+}
+
+#[test]
+fn multi_worker_panic_counts_workers() {
+    let _guard =
+        faultinject::install(faultinject::FaultPlan::new().panic_at(1, 1).panic_at(1, 2));
+    let pool = ForkJoinPool::new(4);
+    let err = pool.try_run(|_, _| {}).expect_err("two injected panics");
+    assert_eq!(err.workers, 2);
+    assert_eq!(pool.health().panics_recovered, 2);
+}

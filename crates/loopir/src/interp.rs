@@ -59,6 +59,12 @@ pub enum InterpErrorKind {
     Runtime,
     /// A configured resource budget ([`Limits`]) was exceeded.
     LimitExceeded(LimitKind),
+    /// A fork-join pool worker panicked while executing part of a
+    /// parallel region of this program. The pool recovered (the panic is
+    /// fully contained to this run), but the region's results are
+    /// unusable — session hosts report this distinctly so clients can
+    /// tell a tenant fault from an ordinary program error.
+    WorkerPanic,
 }
 
 /// Interpreter runtime error.
@@ -85,11 +91,18 @@ impl InterpError {
         }
     }
 
+    fn worker_panic(p: &cmm_forkjoin::RegionPanic) -> Self {
+        InterpError {
+            kind: InterpErrorKind::WorkerPanic,
+            message: p.to_string(),
+        }
+    }
+
     /// The limit this error reports, if it is a limit error.
     pub fn limit_kind(&self) -> Option<LimitKind> {
         match self.kind {
             InterpErrorKind::LimitExceeded(k) => Some(k),
-            InterpErrorKind::Runtime => None,
+            InterpErrorKind::Runtime | InterpErrorKind::WorkerPanic => None,
         }
     }
 }
@@ -101,6 +114,7 @@ impl std::fmt::Display for InterpError {
             InterpErrorKind::LimitExceeded(k) => {
                 write!(f, "limit exceeded ({k}): {}", self.message)
             }
+            InterpErrorKind::WorkerPanic => write!(f, "worker panic: {}", self.message),
         }
     }
 }
@@ -797,13 +811,18 @@ impl<'p> Interp<'p> {
                 (0..pending.len()).map(|_| Mutex::new(None)).collect();
             let pending_ref = &pending;
             let slots_ref = &slots;
-            self.pool.run(|tid, nthreads| {
-                for k in cmm_forkjoin::chunk_range(pending_ref.len(), nthreads, tid) {
-                    let p = &pending_ref[k];
-                    let r = self.call_resolved(&p.callee, p.args.clone());
-                    *lock_ignore_poison(&slots_ref[k]) = Some(r);
-                }
-            });
+            // A worker panic is a typed error for *this run*, not a
+            // process-level unwind: long-running hosts (cmmc serve) must
+            // outlive any one session's fault.
+            self.pool
+                .try_run(|tid, nthreads| {
+                    for k in cmm_forkjoin::chunk_range(pending_ref.len(), nthreads, tid) {
+                        let p = &pending_ref[k];
+                        let r = self.call_resolved(&p.callee, p.args.clone());
+                        *lock_ignore_poison(&slots_ref[k]) = Some(r);
+                    }
+                })
+                .map_err(|p| InterpError::worker_panic(&p))?;
             slots
                 .into_iter()
                 .map(|m| {
@@ -972,7 +991,7 @@ impl<'p> Interp<'p> {
             let schedule = f.schedule.unwrap_or(self.schedule);
             let counter = std::sync::atomic::AtomicUsize::new(0);
             let metered = self.pool.metrics_enabled();
-            self.pool.run(|tid, nthreads| {
+            let region = self.pool.try_run(|tid, nthreads| {
                 let mut tf = Frame {
                     slots: template.clone(),
                     pending: Vec::new(),
@@ -1010,9 +1029,13 @@ impl<'p> Interp<'p> {
                     }
                 }
             });
+            // A user-level error beats the region-panic report: the panic
+            // may be a secondary casualty of the same fault, and the
+            // user-level message names the actual program misbehavior.
             if let Some(e) = error.into_inner().unwrap_or_else(|e| e.into_inner()) {
                 return Err(e);
             }
+            region.map_err(|p| InterpError::worker_panic(&p))?;
             Ok(Flow::Normal)
         } else {
             // Sequential (vector loops execute lanes in order — identical

@@ -1,0 +1,715 @@
+//! `cmmc serve`: a crash-isolated, multi-tenant compile-and-execute
+//! daemon for the cmm toolchain.
+//!
+//! The daemon listens on TCP (and optionally a unix socket) for
+//! newline-delimited JSON requests (see [`protocol`]), compiles and runs
+//! programs for many concurrent clients, and holds three properties that
+//! a batch CLI never has to think about:
+//!
+//! * **Session isolation.** Every request executes on a bounded worker
+//!   pool under `catch_unwind`, with its own fresh [`ForkJoinPool`] and
+//!   its own [`Limits`]. A hostile program — fuel bomb, allocation bomb,
+//!   worker panic — costs exactly one typed error response to its own
+//!   client; the daemon and every other tenant keep running.
+//! * **Admission control.** A configurable max-in-flight cap bounds the
+//!   number of admitted requests, and jobs that wait in the queue past a
+//!   deadline are shed. Both shed paths answer with the distinct
+//!   retryable `overloaded` code instead of silently queueing forever.
+//! * **Graceful drain.** On SIGTERM/ctrl-c (see [`signal`]) or
+//!   [`ServerHandle::shutdown`], listeners stop accepting, in-flight
+//!   sessions run to completion under a drain deadline, and the final
+//!   statistics snapshot is reported.
+//!
+//! The request deadline propagates into the interpreter's wall-clock
+//! budget: `deadline = min(request deadline_ms, server cap)`, measured
+//! from execution start (queue wait is reported separately in
+//! `metrics.queue_ms`). Fuel and matrix-memory budgets are likewise
+//! capped server-side, so no request can exceed the operator's ceiling
+//! by simply not asking for a limit.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use cmm_core::{CompileError, Registry};
+use cmm_forkjoin::ForkJoinPool;
+use cmm_loopir::Limits;
+
+pub mod json;
+pub mod protocol;
+pub mod signal;
+
+pub use protocol::{classify, Cmd, Request, RespCode, RespMetrics, Response};
+
+#[cfg(test)]
+mod tests;
+
+/// Stats JSON schema tag emitted by [`ServeStats::to_json`].
+pub const STATS_SCHEMA: &str = "cmm-serve-stats-v1";
+
+/// Daemon configuration. [`ServeConfig::default`] is sized for a small
+/// shared box: 4 workers, 16 admitted requests, 2 s queue deadline,
+/// 10 s hard per-request deadline, 5 s drain window.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP listen address, e.g. `127.0.0.1:7878` (port 0 picks a free
+    /// port; see [`ServerHandle::local_addr`]).
+    pub tcp: String,
+    /// Optional unix-socket path to listen on as well (stale socket
+    /// files are removed on bind; the file is removed again on drain).
+    pub unix: Option<PathBuf>,
+    /// Session worker threads: the bound on concurrently *executing*
+    /// requests.
+    pub workers: usize,
+    /// Admission cap: queued + executing requests above this are shed
+    /// immediately with `overloaded`.
+    pub max_in_flight: usize,
+    /// Jobs that wait in the queue longer than this are shed with
+    /// `overloaded` instead of running late.
+    pub queue_deadline: Duration,
+    /// How long [`ServerHandle::shutdown`] waits for in-flight sessions
+    /// before giving up on a clean drain.
+    pub drain_deadline: Duration,
+    /// Hard cap on the per-request interpreter deadline; requests asking
+    /// for more (or for nothing) get this.
+    pub max_deadline: Duration,
+    /// Hard cap on per-request interpreter fuel.
+    pub max_fuel: u64,
+    /// Hard cap on per-request live matrix bytes.
+    pub max_matrix_bytes: u64,
+    /// Fork-join threads per session when the request doesn't choose.
+    pub session_threads: usize,
+    /// Cap on per-session fork-join threads (requests are clamped).
+    pub max_session_threads: usize,
+    /// Maximum accepted request-line length in bytes; longer lines are
+    /// rejected and the connection closed (framing is lost).
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            tcp: "127.0.0.1:0".to_string(),
+            unix: None,
+            workers: 4,
+            max_in_flight: 16,
+            queue_deadline: Duration::from_secs(2),
+            drain_deadline: Duration::from_secs(5),
+            max_deadline: Duration::from_secs(10),
+            max_fuel: 50_000_000,
+            max_matrix_bytes: 256 << 20,
+            session_threads: 2,
+            max_session_threads: 8,
+            max_request_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Point-in-time daemon statistics (see [`ServerHandle::stats`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Connections accepted (TCP + unix).
+    pub connections: u64,
+    /// Request lines received (including malformed ones).
+    pub requests: u64,
+    /// Requests currently admitted (queued + executing).
+    pub in_flight: usize,
+    /// Whether the daemon is draining.
+    pub draining: bool,
+    /// Responses sent, indexed by wire code 0..=7.
+    pub codes: [u64; 8],
+    /// Sessions that ran with fewer pool threads than requested because
+    /// worker spawn failed (the run still completed).
+    pub degraded_sessions: u64,
+}
+
+impl ServeStats {
+    /// Successful responses.
+    pub fn ok(&self) -> u64 {
+        self.codes[RespCode::Ok as usize]
+    }
+
+    /// Requests shed by admission control (cap or queue deadline).
+    pub fn shed(&self) -> u64 {
+        self.codes[RespCode::Overloaded as usize]
+    }
+
+    /// Sessions that panicked and were isolated (the `panic` responses).
+    pub fn panics_isolated(&self) -> u64 {
+        self.codes[RespCode::Panic as usize]
+    }
+
+    /// Render as JSON (the `stats` command payload and what `cmmc serve`
+    /// prints after draining).
+    pub fn to_json(&self) -> String {
+        let code_name = [
+            "ok",
+            "runtime",
+            "bad_request",
+            "io",
+            "compile",
+            "limit",
+            "overloaded",
+            "panic",
+        ];
+        let codes: Vec<String> = code_name
+            .iter()
+            .zip(self.codes.iter())
+            .map(|(name, n)| format!("\"{name}\": {n}"))
+            .collect();
+        format!(
+            "{{\"schema\": \"{STATS_SCHEMA}\", \"connections\": {}, \"requests\": {}, \
+             \"in_flight\": {}, \"draining\": {}, \"codes\": {{{}}}, \"shed\": {}, \
+             \"panics_isolated\": {}, \"degraded_sessions\": {}}}",
+            self.connections,
+            self.requests,
+            self.in_flight,
+            self.draining,
+            codes.join(", "),
+            self.shed(),
+            self.panics_isolated(),
+            self.degraded_sessions
+        )
+    }
+}
+
+/// Outcome of [`ServerHandle::shutdown`].
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// True when every in-flight session completed within the drain
+    /// deadline; false means a session was still running when the
+    /// deadline expired (its worker thread is abandoned).
+    pub clean: bool,
+    /// How long the drain took.
+    pub waited: Duration,
+    /// Final statistics snapshot.
+    pub stats: ServeStats,
+}
+
+/// Counters shared by listeners, connection threads, and workers.
+struct Shared {
+    cfg: ServeConfig,
+    draining: AtomicBool,
+    /// Admitted requests: queued + executing. Incremented at admission,
+    /// decremented when the worker finishes (or sheds) the job.
+    in_flight: AtomicUsize,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    codes: [AtomicU64; 8],
+    degraded_sessions: AtomicU64,
+}
+
+impl Shared {
+    fn new(cfg: ServeConfig) -> Shared {
+        Shared {
+            cfg,
+            draining: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            codes: Default::default(),
+            degraded_sessions: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, code: RespCode) {
+        self.codes[code as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ServeStats {
+        let mut codes = [0u64; 8];
+        for (dst, src) in codes.iter_mut().zip(self.codes.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        ServeStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::SeqCst),
+            draining: self.draining.load(Ordering::SeqCst),
+            codes,
+            degraded_sessions: self.degraded_sessions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One admitted request travelling from a connection thread to a worker.
+struct Job {
+    req: Request,
+    enqueued: Instant,
+    reply: Sender<Response>,
+}
+
+enum WorkItem {
+    Job(Box<Job>),
+    /// Poison pill: the receiving worker exits.
+    Stop,
+}
+
+/// A running daemon. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown`] (or let the process exit).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    unix_path: Option<PathBuf>,
+    jobs: Sender<WorkItem>,
+    listeners: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound TCP address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.snapshot()
+    }
+
+    /// Stop accepting, drain in-flight sessions under the drain
+    /// deadline, stop the workers, and report.
+    pub fn shutdown(self) -> DrainReport {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Wake the accept loops so they observe the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(path) = &self.unix_path {
+            let _ = UnixStream::connect(path);
+        }
+        for h in self.listeners {
+            let _ = h.join();
+        }
+        let t0 = Instant::now();
+        let mut clean = true;
+        while self.shared.in_flight.load(Ordering::SeqCst) > 0 {
+            if t0.elapsed() > self.shared.cfg.drain_deadline {
+                clean = false;
+                break;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        for _ in 0..self.workers.len() {
+            let _ = self.jobs.send(WorkItem::Stop);
+        }
+        if clean {
+            // Every worker is idle (in_flight hit 0), so each exits on
+            // its pill; a dirty drain may have a wedged worker, which we
+            // abandon rather than hang the shutdown.
+            for h in self.workers {
+                let _ = h.join();
+            }
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+        DrainReport {
+            clean,
+            waited: t0.elapsed(),
+            stats: self.shared.snapshot(),
+        }
+    }
+}
+
+/// Bind the listeners, start the worker pool, and return the handle.
+pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
+    let tcp = TcpListener::bind(&cfg.tcp)?;
+    let local_addr = tcp.local_addr()?;
+    let unix = match &cfg.unix {
+        Some(path) => {
+            // A stale socket file from a previous run blocks bind.
+            let _ = std::fs::remove_file(path);
+            Some(UnixListener::bind(path)?)
+        }
+        None => None,
+    };
+    let unix_path = cfg.unix.clone();
+    let shared = Arc::new(Shared::new(cfg));
+
+    let (jobs_tx, jobs_rx) = mpsc::channel::<WorkItem>();
+    let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+    let workers: Vec<JoinHandle<()>> = (0..shared.cfg.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&jobs_rx);
+            thread::Builder::new()
+                .name(format!("cmm-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared, &rx))
+                .expect("spawn serve worker")
+        })
+        .collect();
+
+    let mut listeners = Vec::new();
+    {
+        let shared = Arc::clone(&shared);
+        let jobs = jobs_tx.clone();
+        listeners.push(
+            thread::Builder::new()
+                .name("cmm-serve-tcp".to_string())
+                .spawn(move || {
+                    for conn in tcp.incoming() {
+                        if shared.draining.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if let Ok(stream) = conn {
+                            let shared = Arc::clone(&shared);
+                            let jobs = jobs.clone();
+                            thread::spawn(move || {
+                                let _ = stream.set_nodelay(true);
+                                if let Ok(reader) = stream.try_clone() {
+                                    handle_conn(BufReader::new(reader), stream, &shared, &jobs);
+                                }
+                            });
+                        }
+                    }
+                })
+                .expect("spawn tcp listener"),
+        );
+    }
+    if let Some(listener) = unix {
+        let shared = Arc::clone(&shared);
+        let jobs = jobs_tx.clone();
+        listeners.push(
+            thread::Builder::new()
+                .name("cmm-serve-unix".to_string())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if shared.draining.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if let Ok(stream) = conn {
+                            let shared = Arc::clone(&shared);
+                            let jobs = jobs.clone();
+                            thread::spawn(move || {
+                                if let Ok(reader) = stream.try_clone() {
+                                    handle_conn(BufReader::new(reader), stream, &shared, &jobs);
+                                }
+                            });
+                        }
+                    }
+                })
+                .expect("spawn unix listener"),
+        );
+    }
+
+    Ok(ServerHandle {
+        shared,
+        local_addr,
+        unix_path,
+        jobs: jobs_tx,
+        listeners,
+        workers,
+    })
+}
+
+enum LineRead {
+    Eof,
+    Line(String),
+    TooLong,
+    BadUtf8,
+}
+
+/// Read one `\n`-terminated line, refusing to buffer more than `max`
+/// bytes — a client streaming an endless newline-free payload costs the
+/// daemon at most `max` bytes, not unbounded memory.
+fn read_bounded_line<R: BufRead>(r: &mut R, max: usize) -> io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = r.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                match String::from_utf8(buf) {
+                    Ok(s) => LineRead::Line(s),
+                    Err(_) => LineRead::BadUtf8,
+                }
+            });
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            buf.extend_from_slice(&chunk[..pos]);
+            r.consume(pos + 1);
+            if buf.len() > max {
+                return Ok(LineRead::TooLong);
+            }
+            return Ok(match String::from_utf8(buf) {
+                Ok(s) => LineRead::Line(s),
+                Err(_) => LineRead::BadUtf8,
+            });
+        }
+        let len = chunk.len();
+        buf.extend_from_slice(chunk);
+        r.consume(len);
+        if buf.len() > max {
+            return Ok(LineRead::TooLong);
+        }
+    }
+}
+
+/// Serve one connection: requests in, responses out, strictly in order.
+/// Concurrency comes from multiple connections, each on its own thread;
+/// the worker pool bounds how many of their requests execute at once.
+fn handle_conn<R: BufRead, W: Write>(
+    mut reader: R,
+    mut writer: W,
+    shared: &Arc<Shared>,
+    jobs: &Sender<WorkItem>,
+) {
+    shared.connections.fetch_add(1, Ordering::Relaxed);
+    loop {
+        let line = match read_bounded_line(&mut reader, shared.cfg.max_request_bytes) {
+            Err(_) | Ok(LineRead::Eof) => break,
+            Ok(LineRead::TooLong) => {
+                let resp = Response::err(
+                    "?",
+                    RespCode::BadRequest,
+                    format!(
+                        "request line exceeds {} bytes; closing connection",
+                        shared.cfg.max_request_bytes
+                    ),
+                );
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                shared.record(resp.code);
+                let _ = writeln!(writer, "{}", resp.to_line());
+                break;
+            }
+            Ok(LineRead::BadUtf8) => {
+                let resp = Response::err("?", RespCode::BadRequest, "request is not valid UTF-8");
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                shared.record(resp.code);
+                let _ = writeln!(writer, "{}", resp.to_line());
+                break;
+            }
+            Ok(LineRead::Line(l)) => l,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let resp = handle_line(&line, shared, jobs);
+        shared.record(resp.code);
+        if writeln!(writer, "{}", resp.to_line()).is_err() || writer.flush().is_err() {
+            break;
+        }
+    }
+}
+
+/// Parse, admit, dispatch, and wait for one request.
+fn handle_line(line: &str, shared: &Arc<Shared>, jobs: &Sender<WorkItem>) -> Response {
+    let req = match Request::parse(line) {
+        Ok(req) => req,
+        Err((id, msg)) => {
+            return Response::err(id.as_deref().unwrap_or("?"), RespCode::BadRequest, msg)
+        }
+    };
+
+    // Control-plane commands bypass admission: they must answer even
+    // (especially) when the daemon is saturated or draining.
+    match req.cmd {
+        Cmd::Ping => return Response::ok(&req.id, Some("pong".to_string()), None),
+        Cmd::Stats => {
+            let mut resp = Response::ok(&req.id, None, None);
+            resp.stats_json = Some(shared.snapshot().to_json());
+            return resp;
+        }
+        Cmd::Run | Cmd::Compile | Cmd::Check => {}
+    }
+
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::err(
+            &req.id,
+            RespCode::Overloaded,
+            "server is draining; retry against another instance",
+        );
+    }
+    // Admission: reserve a slot or shed. fetch_add-then-check keeps the
+    // cap exact under contention (losers release their reservation).
+    let admitted = shared.in_flight.fetch_add(1, Ordering::SeqCst);
+    if admitted >= shared.cfg.max_in_flight {
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        return Response::err(
+            &req.id,
+            RespCode::Overloaded,
+            format!(
+                "admission cap reached ({} in flight); retry with backoff",
+                shared.cfg.max_in_flight
+            ),
+        );
+    }
+
+    let id = req.id.clone();
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = WorkItem::Job(Box::new(Job {
+        req,
+        enqueued: Instant::now(),
+        reply: reply_tx,
+    }));
+    if jobs.send(job).is_err() {
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        return Response::err(&id, RespCode::Io, "worker pool is gone (server stopping)");
+    }
+    match reply_rx.recv() {
+        Ok(resp) => resp,
+        // The worker died without replying — catch_unwind makes this
+        // near-impossible, but a typed answer beats a hung client.
+        Err(_) => Response::err(&id, RespCode::Io, "session worker disappeared"),
+    }
+}
+
+/// Session worker: pull jobs, shed stale ones, execute the rest inside
+/// `catch_unwind`. One `Registry` per worker amortizes registry setup;
+/// parsers are shared further via the process-global composed-parser
+/// cache, so concurrent workers composing the same extension set pay
+/// for one LALR(1) table build total.
+fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<WorkItem>>>) {
+    let registry = Registry::standard();
+    loop {
+        // Hold the lock only for the dequeue, never during execution.
+        let item = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => break,
+        };
+        let job = match item {
+            Ok(WorkItem::Job(job)) => job,
+            Ok(WorkItem::Stop) | Err(_) => break,
+        };
+        let queued = job.enqueued.elapsed();
+        let resp = if queued > shared.cfg.queue_deadline {
+            Response::err(
+                &job.req.id,
+                RespCode::Overloaded,
+                format!(
+                    "shed after {}ms in queue (queue deadline {}ms); retry with backoff",
+                    queued.as_millis(),
+                    shared.cfg.queue_deadline.as_millis()
+                ),
+            )
+        } else {
+            execute(&registry, shared, &job.req, queued)
+        };
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        // A vanished client (closed connection) is not a worker error.
+        let _ = job.reply.send(resp);
+    }
+}
+
+/// Run one admitted request with last-ditch panic isolation. The normal
+/// worker-panic path is already typed ([`CompileError::Panic`] via the
+/// pool's `try_run`); this `catch_unwind` additionally contains panics
+/// from the compiler itself or interpreter bugs, so no tenant program
+/// can take the worker thread down.
+fn execute(registry: &Registry, shared: &Arc<Shared>, req: &Request, queued: Duration) -> Response {
+    let start = Instant::now();
+    let mut resp = match catch_unwind(AssertUnwindSafe(|| run_request(registry, shared, req))) {
+        Ok(resp) => resp,
+        Err(payload) => Response::err(
+            &req.id,
+            RespCode::Panic,
+            format!(
+                "session panicked: {}; session isolated, daemon unaffected",
+                panic_message(payload.as_ref())
+            ),
+        ),
+    };
+    let m = resp.metrics.get_or_insert_with(RespMetrics::default);
+    m.elapsed_ms = start.elapsed().as_millis() as u64;
+    m.queue_ms = queued.as_millis() as u64;
+    resp
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
+}
+
+/// Every extension the standard registry can compose (the default when a
+/// request names no `ext` set).
+const ALL_EXTENSIONS: [&str; 5] = [
+    "ext-matrix",
+    "ext-rcptr",
+    "ext-cilk",
+    "ext-tuples",
+    "ext-transform",
+];
+
+fn run_request(registry: &Registry, shared: &Arc<Shared>, req: &Request) -> Response {
+    let cfg = &shared.cfg;
+    let enabled: Vec<&str> = match &req.ext {
+        Some(names) => names.iter().map(String::as_str).collect(),
+        None => ALL_EXTENSIONS.to_vec(),
+    };
+    let compiler = match registry.compiler(&enabled) {
+        Ok(c) => c,
+        Err(e) => return compile_error_response(&req.id, &e),
+    };
+
+    // Server-side ceilings: a request may tighten any budget but never
+    // loosen past the operator's cap, and every budget is always set.
+    let limits = Limits {
+        fuel: Some(req.fuel.unwrap_or(cfg.max_fuel).min(cfg.max_fuel)),
+        max_matrix_bytes: Some(
+            req.max_mem
+                .unwrap_or(cfg.max_matrix_bytes)
+                .min(cfg.max_matrix_bytes),
+        ),
+        max_live_buffers: None,
+        deadline: Some(req.deadline.unwrap_or(cfg.max_deadline).min(cfg.max_deadline)),
+    };
+
+    match req.cmd {
+        Cmd::Check => match compiler.compile(&req.src) {
+            Ok(_) => Response::ok(&req.id, None, None),
+            Err(e) => compile_error_response(&req.id, &e),
+        },
+        Cmd::Compile => match compiler.compile_to_c(&req.src) {
+            Ok(c) => Response::ok(&req.id, Some(c), None),
+            Err(e) => compile_error_response(&req.id, &e),
+        },
+        Cmd::Run => {
+            let requested = req
+                .threads
+                .unwrap_or(cfg.session_threads)
+                .clamp(1, cfg.max_session_threads.max(1));
+            let pool = Arc::new(ForkJoinPool::new(requested));
+            // Spawn refusal degrades to fewer threads (possibly fully
+            // sequential); the run proceeds and the shortfall is
+            // surfaced per-request and in the daemon stats.
+            let degraded = pool.threads() < requested;
+            if degraded {
+                shared.degraded_sessions.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut metrics = RespMetrics {
+                threads: pool.threads(),
+                degraded,
+                ..RespMetrics::default()
+            };
+            let schedule = req.schedule.unwrap_or_default();
+            match compiler.run_on_pool(&req.src, pool, limits, schedule) {
+                Ok(result) => {
+                    metrics.allocations = result.allocations;
+                    metrics.leaked = result.leaked;
+                    Response::ok(&req.id, Some(result.output), Some(metrics))
+                }
+                Err(e) => {
+                    let mut resp = compile_error_response(&req.id, &e);
+                    resp.metrics = Some(metrics);
+                    resp
+                }
+            }
+        }
+        Cmd::Ping | Cmd::Stats => unreachable!("handled before admission"),
+    }
+}
+
+fn compile_error_response(id: &str, e: &CompileError) -> Response {
+    Response::err(id, classify(e), e.to_string())
+}

@@ -1,0 +1,69 @@
+//! SIGTERM / SIGINT → a drain flag, with no libc dependency.
+//!
+//! The workspace vendors no FFI crates, and the only syscall the daemon
+//! needs is `signal(2)`, so it is declared directly. The handler does
+//! the one thing that is async-signal-safe in Rust: a relaxed store to a
+//! static atomic. The serve loop polls [`termination_requested`] and
+//! performs the actual drain on a normal thread.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATION: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGTERM or SIGINT has been delivered since [`install`].
+pub fn termination_requested() -> bool {
+    TERMINATION.load(Ordering::SeqCst)
+}
+
+/// Test hook: simulate signal delivery / reset between runs.
+pub fn set_termination_requested(v: bool) {
+    TERMINATION.store(v, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+extern "C" fn on_termination(_signum: i32) {
+    TERMINATION.store(true, Ordering::SeqCst);
+}
+
+/// Route SIGTERM and SIGINT to the termination flag. Idempotent.
+#[cfg(unix)]
+pub fn install() {
+    // Values are stable across every unix the toolchain targets.
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(SIGINT, on_termination as *const () as usize);
+        signal(SIGTERM, on_termination as *const () as usize);
+    }
+}
+
+/// Non-unix: signals are not wired; only ctrl-c via the runtime default.
+#[cfg(not(unix))]
+pub fn install() {}
+
+/// Restore SIGPIPE's default disposition (the Rust runtime ignores it),
+/// so a one-shot CLI command writing into a closed pipe — `cmmc
+/// analyses | head` — dies quietly like any Unix filter instead of
+/// panicking with a backtrace on `println!`.
+///
+/// Never call this in the daemon: with SIGPIPE ignored, a client that
+/// resets its connection mid-response surfaces as a plain `io::Error`
+/// on write; with the default disposition it would kill the process.
+#[cfg(unix)]
+pub fn sigpipe_default() {
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+/// Non-unix: no SIGPIPE to speak of.
+#[cfg(not(unix))]
+pub fn sigpipe_default() {}

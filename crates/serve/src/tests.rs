@@ -1,0 +1,378 @@
+//! Serve-crate tests: protocol parsing, code mapping, and in-process
+//! end-to-end runs over real TCP and unix sockets.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::json::{self, Json};
+use crate::protocol::{classify, Cmd, Request, RespCode, Response};
+use crate::{start, ServeConfig};
+
+// ───────────────────────── protocol unit tests ─────────────────────────
+
+#[test]
+fn request_parses_all_fields() {
+    let req = Request::parse(
+        r#"{"id": "abc", "cmd": "run", "src": "int main() { return 0; }",
+            "ext": ["ext-matrix"], "threads": 3, "fuel": 500,
+            "max_mem": 4096, "deadline_ms": 250, "schedule": "dynamic:8"}"#,
+    )
+    .unwrap();
+    assert_eq!(req.id, "abc");
+    assert_eq!(req.cmd, Cmd::Run);
+    assert_eq!(req.ext.as_deref(), Some(&["ext-matrix".to_string()][..]));
+    assert_eq!(req.threads, Some(3));
+    assert_eq!(req.fuel, Some(500));
+    assert_eq!(req.max_mem, Some(4096));
+    assert_eq!(req.deadline, Some(Duration::from_millis(250)));
+    assert!(req.schedule.is_some());
+}
+
+#[test]
+fn request_numeric_id_echoes_as_integer() {
+    let req = Request::parse(r#"{"id": 7, "cmd": "ping"}"#).unwrap();
+    assert_eq!(req.id, "7");
+}
+
+#[test]
+fn request_rejections_keep_the_id_when_recoverable() {
+    // id present → returned so the error response still correlates.
+    let (id, msg) = Request::parse(r#"{"id": "x", "cmd": "explode"}"#).unwrap_err();
+    assert_eq!(id.as_deref(), Some("x"));
+    assert!(msg.contains("unknown cmd"), "{msg}");
+
+    let (id, _) = Request::parse(r#"{"id": "y", "cmd": "run"}"#).unwrap_err();
+    assert_eq!(id.as_deref(), Some("y"), "missing src should keep id");
+
+    // No id at all → None.
+    let (id, msg) = Request::parse(r#"{"cmd": "ping"}"#).unwrap_err();
+    assert!(id.is_none());
+    assert!(msg.contains("'id'"), "{msg}");
+
+    // Not JSON.
+    assert!(Request::parse("run it please").is_err());
+}
+
+#[test]
+fn response_codes_mirror_cli_exit_codes() {
+    use cmm_core::CompileError;
+    // The CLI maps runtime→1, usage→2, io→3, compile→4, limit→5; the
+    // serve codes must line up so clients can share handling.
+    assert_eq!(classify(&CompileError::Runtime("x".into())) as u8, 1);
+    assert_eq!(classify(&CompileError::UnknownExtension("x".into())) as u8, 2);
+    assert_eq!(classify(&CompileError::Parse("x".into())) as u8, 4);
+    assert_eq!(classify(&CompileError::Compose("x".into())) as u8, 4);
+    assert_eq!(
+        classify(&CompileError::Limit {
+            kind: cmm_loopir::LimitKind::Fuel,
+            message: "x".into()
+        }) as u8,
+        5
+    );
+    assert_eq!(classify(&CompileError::Panic("x".into())) as u8, 7);
+    // Only overloaded is retryable.
+    for code in [
+        RespCode::Ok,
+        RespCode::Runtime,
+        RespCode::BadRequest,
+        RespCode::Io,
+        RespCode::Compile,
+        RespCode::Limit,
+        RespCode::Panic,
+    ] {
+        assert!(!code.retryable(), "{code:?} must not be retryable");
+    }
+    assert!(RespCode::Overloaded.retryable());
+}
+
+#[test]
+fn response_line_is_valid_json_with_stable_fields() {
+    let mut resp = Response::ok("r1", Some("4\n2\n".to_string()), None);
+    resp.metrics = Some(crate::RespMetrics {
+        elapsed_ms: 12,
+        queue_ms: 3,
+        threads: 2,
+        degraded: true,
+        allocations: 5,
+        leaked: 0,
+    });
+    let v = json::parse(&resp.to_line()).expect("response must be valid JSON");
+    assert_eq!(v.get("id").unwrap().as_str(), Some("r1"));
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(v.get("code").unwrap().as_u64(), Some(0));
+    assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(v.get("retryable").unwrap().as_bool(), Some(false));
+    assert_eq!(v.get("output").unwrap().as_str(), Some("4\n2\n"));
+    let m = v.get("metrics").unwrap();
+    assert_eq!(m.get("threads").unwrap().as_u64(), Some(2));
+    assert_eq!(m.get("degraded").unwrap().as_bool(), Some(true));
+
+    let err = Response::err("r2", RespCode::Overloaded, "busy \"now\"\n");
+    let v = json::parse(&err.to_line()).unwrap();
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+    assert_eq!(v.get("code").unwrap().as_u64(), Some(6));
+    assert_eq!(v.get("retryable").unwrap().as_bool(), Some(true));
+    assert_eq!(v.get("error").unwrap().as_str(), Some("busy \"now\"\n"));
+}
+
+// ───────────────────────── end-to-end over TCP ─────────────────────────
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { reader, writer: stream }
+    }
+
+    fn roundtrip(&mut self, req: &str) -> Json {
+        writeln!(self.writer, "{req}").expect("send");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("recv");
+        json::parse(&line).unwrap_or_else(|e| panic!("bad response JSON ({e}): {line}"))
+    }
+}
+
+fn code(v: &Json) -> u64 {
+    v.get("code").and_then(Json::as_u64).expect("code field")
+}
+
+#[test]
+fn serves_run_compile_check_ping_stats_over_tcp() {
+    let handle = start(ServeConfig::default()).expect("start");
+    let mut c = Client::connect(handle.local_addr());
+
+    let v = c.roundtrip(r#"{"id": "p", "cmd": "ping"}"#);
+    assert_eq!(code(&v), 0);
+    assert_eq!(v.get("output").unwrap().as_str(), Some("pong"));
+
+    let v = c.roundtrip(
+        r#"{"id": "r", "cmd": "run", "src": "int main() { printInt(6 * 7); return 0; }"}"#,
+    );
+    assert_eq!(code(&v), 0, "{v:?}");
+    assert_eq!(v.get("output").unwrap().as_str(), Some("42\n"));
+    let m = v.get("metrics").expect("run metrics");
+    assert_eq!(m.get("degraded").unwrap().as_bool(), Some(false));
+    assert!(m.get("threads").unwrap().as_u64().unwrap() >= 1);
+
+    let v = c.roundtrip(
+        r#"{"id": "c", "cmd": "compile", "src": "int main() { return 0; }", "ext": []}"#,
+    );
+    assert_eq!(code(&v), 0);
+    let c_src = v.get("output").unwrap().as_str().unwrap();
+    assert!(c_src.contains("int main"), "emitted C: {c_src}");
+
+    let v = c.roundtrip(r#"{"id": "k", "cmd": "check", "src": "int main() { return 0; }"}"#);
+    assert_eq!(code(&v), 0);
+
+    // Compile-class failure → code 4, not a dropped connection.
+    let v = c.roundtrip(r#"{"id": "bad", "cmd": "check", "src": "int main( {"}"#);
+    assert_eq!(code(&v), 4, "{v:?}");
+    assert_eq!(v.get("retryable").unwrap().as_bool(), Some(false));
+
+    // Unknown extension is the client's mistake → bad_request.
+    let v = c.roundtrip(
+        r#"{"id": "ux", "cmd": "check", "src": "int main() { return 0; }", "ext": ["ext-nope"]}"#,
+    );
+    assert_eq!(code(&v), 2, "{v:?}");
+
+    // Fuel bomb → limit, the daemon answers and survives.
+    let v = c.roundtrip(
+        r#"{"id": "fb", "cmd": "run", "src": "int main() { int n = 0; while (1 > 0) { n = n + 1; } return 0; }", "fuel": 10000}"#,
+    );
+    assert_eq!(code(&v), 5, "{v:?}");
+
+    let v = c.roundtrip(r#"{"id": "s", "cmd": "stats"}"#);
+    assert_eq!(code(&v), 0);
+    let stats = v.get("stats").expect("stats payload");
+    assert_eq!(
+        stats.get("schema").unwrap().as_str(),
+        Some(crate::STATS_SCHEMA)
+    );
+    assert!(stats.get("requests").unwrap().as_u64().unwrap() >= 7);
+    assert_eq!(stats.get("codes").unwrap().get("limit").unwrap().as_u64(), Some(1));
+
+    let report = handle.shutdown();
+    assert!(report.clean, "drain should be clean with no work in flight");
+    assert_eq!(report.stats.codes[4], 1, "one compile error");
+    assert_eq!(report.stats.codes[2], 1, "one bad request");
+}
+
+#[test]
+fn malformed_lines_get_bad_request_and_keep_the_connection() {
+    let handle = start(ServeConfig::default()).expect("start");
+    let mut c = Client::connect(handle.local_addr());
+
+    let v = c.roundtrip(r#"{"id": "m1", "cmd":"#);
+    assert_eq!(code(&v), 2);
+    let v = c.roundtrip(r#"{"cmd": "ping"}"#);
+    assert_eq!(code(&v), 2, "missing id is a bad request");
+    // The connection is still usable afterwards.
+    let v = c.roundtrip(r#"{"id": "m3", "cmd": "ping"}"#);
+    assert_eq!(code(&v), 0);
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_request_line_is_rejected() {
+    let cfg = ServeConfig {
+        max_request_bytes: 256,
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg).expect("start");
+    let mut c = Client::connect(handle.local_addr());
+    let huge = format!(
+        r#"{{"id": "big", "cmd": "check", "src": "{}"}}"#,
+        "x".repeat(1024)
+    );
+    let v = c.roundtrip(&huge);
+    assert_eq!(code(&v), 2, "{v:?}");
+    assert!(v.get("error").unwrap().as_str().unwrap().contains("exceeds"));
+    handle.shutdown();
+}
+
+#[test]
+fn admission_cap_sheds_with_retryable_overloaded() {
+    // Cap of zero: every data-plane request is shed, deterministically.
+    let cfg = ServeConfig {
+        max_in_flight: 0,
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg).expect("start");
+    let mut c = Client::connect(handle.local_addr());
+    let v = c.roundtrip(r#"{"id": "r", "cmd": "run", "src": "int main() { return 0; }"}"#);
+    assert_eq!(code(&v), 6, "{v:?}");
+    assert_eq!(v.get("retryable").unwrap().as_bool(), Some(true));
+    // Control plane still answers under full shed.
+    let v = c.roundtrip(r#"{"id": "p", "cmd": "ping"}"#);
+    assert_eq!(code(&v), 0);
+    let report = handle.shutdown();
+    assert_eq!(report.stats.shed(), 1);
+}
+
+#[test]
+fn queue_deadline_sheds_stale_jobs() {
+    // A zero queue deadline means every job is stale by the time a
+    // worker picks it up — again deterministic, no timing races.
+    let cfg = ServeConfig {
+        queue_deadline: Duration::ZERO,
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg).expect("start");
+    let mut c = Client::connect(handle.local_addr());
+    let v = c.roundtrip(r#"{"id": "r", "cmd": "run", "src": "int main() { return 0; }"}"#);
+    assert_eq!(code(&v), 6, "{v:?}");
+    assert!(v.get("error").unwrap().as_str().unwrap().contains("queue deadline"));
+    let report = handle.shutdown();
+    assert_eq!(report.stats.shed(), 1);
+    assert_eq!(report.stats.in_flight, 0, "shed jobs must release their slot");
+}
+
+#[test]
+fn draining_server_sheds_new_requests() {
+    let handle = start(ServeConfig::default()).expect("start");
+    let addr = handle.local_addr();
+    let mut c = Client::connect(addr);
+    // Establish the connection's server thread first (otherwise the
+    // accept loop might see the drain flag before accepting us at all).
+    let v = c.roundtrip(r#"{"id": "p", "cmd": "ping"}"#);
+    assert_eq!(code(&v), 0);
+    // Flip the drain flag directly (what SIGTERM does via the CLI loop).
+    handle.shared.draining.store(true, std::sync::atomic::Ordering::SeqCst);
+    let v = c.roundtrip(r#"{"id": "r", "cmd": "run", "src": "int main() { return 0; }"}"#);
+    assert_eq!(code(&v), 6);
+    assert!(v.get("error").unwrap().as_str().unwrap().contains("draining"));
+    let report = handle.shutdown();
+    assert!(report.clean);
+}
+
+#[test]
+fn serves_over_unix_socket_and_cleans_up_the_file() {
+    let path = std::env::temp_dir().join(format!(
+        "cmm-serve-test-{}.sock",
+        std::process::id()
+    ));
+    let cfg = ServeConfig {
+        unix: Some(path.clone()),
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg).expect("start");
+    let stream = std::os::unix::net::UnixStream::connect(&path).expect("unix connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    writeln!(
+        writer,
+        r#"{{"id": "u", "cmd": "run", "src": "int main() {{ printInt(7); return 0; }}"}}"#
+    )
+    .unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let v = json::parse(&line).unwrap();
+    assert_eq!(code(&v), 0, "{line}");
+    assert_eq!(v.get("output").unwrap().as_str(), Some("7\n"));
+    handle.shutdown();
+    assert!(!path.exists(), "socket file must be removed on drain");
+}
+
+#[test]
+fn concurrent_clients_each_get_their_own_answers() {
+    let handle = start(ServeConfig::default()).expect("start");
+    let addr = handle.local_addr();
+    let threads: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                for round in 0..5 {
+                    let expect = i * 100 + round;
+                    let v = c.roundtrip(&format!(
+                        r#"{{"id": "t{i}-{round}", "cmd": "run", "src": "int main() {{ printInt({expect}); return 0; }}"}}"#
+                    ));
+                    assert_eq!(code(&v), 0, "{v:?}");
+                    assert_eq!(
+                        v.get("output").unwrap().as_str(),
+                        Some(format!("{expect}\n").as_str())
+                    );
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    let report = handle.shutdown();
+    assert!(report.clean);
+    assert_eq!(report.stats.ok(), 20);
+    assert_eq!(report.stats.connections, 4);
+}
+
+#[test]
+fn limits_are_capped_server_side() {
+    // The request asks for far more fuel than the server allows; the cap
+    // must win and the fuel bomb must still die with a limit error.
+    let cfg = ServeConfig {
+        max_fuel: 5_000,
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg).expect("start");
+    let mut c = Client::connect(handle.local_addr());
+    let v = c.roundtrip(
+        r#"{"id": "greedy", "cmd": "run", "src": "int main() { int n = 0; while (1 > 0) { n = n + 1; } return 0; }", "fuel": 999999999999}"#,
+    );
+    assert_eq!(code(&v), 5, "{v:?}");
+    handle.shutdown();
+}
+
+#[test]
+fn signal_flag_roundtrip() {
+    crate::signal::set_termination_requested(false);
+    assert!(!crate::signal::termination_requested());
+    crate::signal::install();
+    crate::signal::set_termination_requested(true);
+    assert!(crate::signal::termination_requested());
+    crate::signal::set_termination_requested(false);
+}

@@ -8,6 +8,10 @@
 //! cmmc fuzz [--seed N] [--cases K]          # differential fuzzing campaign
 //!           [--oracle transform|schedule|limits|gcc]...
 //!           [--corpus-dir DIR]              # reproducer dir (default tests/corpus)
+//! cmmc serve ADDR                           # multi-tenant compile/run daemon
+//!           [--unix PATH] [--workers N] [--max-in-flight N]
+//!           [--queue-deadline-ms N] [--drain-deadline-ms N]
+//!           [--max-deadline-ms N] [--session-threads N]
 //!
 //! options:
 //!   --ext a,b,c      extensions to compose (default: all five)
@@ -40,15 +44,107 @@ const EXIT_LIMIT: u8 = 5;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cmmc <run|emit|check|analyses|fuzz> [file.xc] [options]\n\
+        "usage: cmmc <run|emit|check|analyses|fuzz|serve> [file.xc|addr] [options]\n\
          options: --ext a,b,c | --threads N | -o out.c | --no-parallel | --no-fusion\n\
          \x20        --fuel N | --max-mem BYTES[k|m|g] | --deadline-ms N\n\
          \x20        --schedule static|dynamic[:N]|guided[:N]\n\
          \x20        --profile | --metrics-json FILE\n\
          fuzz:    --seed N | --cases K | --oracle transform|schedule|limits|gcc\n\
-         \x20        --corpus-dir DIR"
+         \x20        --corpus-dir DIR\n\
+         serve:   --unix PATH | --workers N | --max-in-flight N\n\
+         \x20        --queue-deadline-ms N | --drain-deadline-ms N\n\
+         \x20        --max-deadline-ms N | --session-threads N"
     );
     ExitCode::from(EXIT_USAGE)
+}
+
+/// `cmmc serve ADDR`: run the crash-isolated multi-tenant daemon until
+/// SIGTERM/SIGINT, then drain and print the final stats as JSON.
+fn serve_command(args: &[String]) -> ExitCode {
+    use cmm::serve::{signal, start, ServeConfig};
+
+    let mut cfg = ServeConfig::default();
+    let mut addr: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--unix" => {
+                let Some(v) = it.next() else { return usage() };
+                cfg.unix = Some(v.into());
+            }
+            "--workers" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()).filter(|&v| v > 0) else {
+                    return usage();
+                };
+                cfg.workers = v;
+            }
+            "--max-in-flight" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                cfg.max_in_flight = v;
+            }
+            "--session-threads" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()).filter(|&v| v > 0) else {
+                    return usage();
+                };
+                cfg.session_threads = v;
+            }
+            "--queue-deadline-ms" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                cfg.queue_deadline = Duration::from_millis(v);
+            }
+            "--drain-deadline-ms" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                cfg.drain_deadline = Duration::from_millis(v);
+            }
+            "--max-deadline-ms" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                cfg.max_deadline = Duration::from_millis(v);
+            }
+            other if !other.starts_with('-') && addr.is_none() => {
+                addr = Some(other.to_string());
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("cmmc serve: missing listen address (e.g. 127.0.0.1:7878)");
+        return usage();
+    };
+    cfg.tcp = addr;
+
+    signal::install();
+    let handle = match start(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cmmc serve: cannot bind: {e}");
+            return ExitCode::from(EXIT_FILE);
+        }
+    };
+    eprintln!("cmmc serve: listening on {}", handle.local_addr());
+    while !signal::termination_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("cmmc serve: termination requested; draining");
+    let report = handle.shutdown();
+    eprintln!(
+        "cmmc serve: drained {} in {}ms",
+        if report.clean { "cleanly" } else { "UNCLEANLY (session abandoned)" },
+        report.waited.as_millis()
+    );
+    println!("{}", report.stats.to_json());
+    if report.clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_RUNTIME)
+    }
 }
 
 /// `cmmc fuzz`: run a differential fuzzing campaign and report findings.
@@ -146,7 +242,9 @@ fn fail(e: &CompileError) -> ExitCode {
     let one_line: Vec<&str> = msg.lines().map(str::trim).filter(|l| !l.is_empty()).collect();
     eprintln!("cmmc: {}", one_line.join("; "));
     let code = match e {
-        CompileError::Runtime(_) => EXIT_RUNTIME,
+        // A worker panic is a runtime-class failure at the CLI (the serve
+        // protocol reports it distinctly; exit codes stay stable).
+        CompileError::Runtime(_) | CompileError::Panic(_) => EXIT_RUNTIME,
         CompileError::Limit { .. } => EXIT_LIMIT,
         _ => EXIT_COMPILE,
     };
@@ -161,6 +259,14 @@ fn main() -> ExitCode {
     if command == "fuzz" {
         return fuzz_command(&args[1..]);
     }
+    if command == "serve" {
+        return serve_command(&args[1..]);
+    }
+    // One-shot commands behave like Unix filters: a closed stdout pipe
+    // (`cmmc analyses | head`) ends the process, it doesn't panic. The
+    // daemon path above must keep SIGPIPE ignored — for it, a client
+    // resetting a connection mid-write is an io::Error, not a signal.
+    cmm::serve::signal::sigpipe_default();
 
     let mut file: Option<String> = None;
     let mut out_file: Option<String> = None;

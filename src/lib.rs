@@ -44,6 +44,7 @@
 //! | [`loopir`] | `cmm-loopir` | loop IR, §V transformations, C emitter, interpreter |
 //! | [`runtime`] | `cmm-runtime` | `Matrix<T>`, with-loop engines, `matrixMap`, IO |
 //! | [`forkjoin`] | `cmm-forkjoin` | SAC-style persistent thread pool |
+//! | [`serve`] | `cmm-serve` | crash-isolated multi-tenant compile/run daemon |
 //! | [`fuzz`] | `cmm-fuzz` | differential fuzzing: generator, oracles, minimizer |
 //! | [`rc`] | `cmm-rc` | refcounted buffers, pool allocator |
 //! | [`eddy`] | `cmm-eddy` | the §IV ocean-eddy application |
@@ -65,3 +66,4 @@ pub use cmm_lang as lang;
 pub use cmm_loopir as loopir;
 pub use cmm_rc as rc;
 pub use cmm_runtime as runtime;
+pub use cmm_serve as serve;

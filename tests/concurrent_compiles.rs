@@ -1,0 +1,189 @@
+//! Concurrent-compile coverage for the process-global composed-parser
+//! cache.
+//!
+//! `cmmc serve` builds one [`Compiler`] per request on whatever worker
+//! thread picks the job up, so the cache behind [`Registry::compiler`]
+//! is hammered from many threads with *different* extension sets at
+//! once. Two properties must hold under that interleaving:
+//!
+//! 1. the cache never corrupts: every compiler built concurrently
+//!    accepts exactly the syntax its own extension set enables and
+//!    rejects the rest (no tenant ever observes another tenant's
+//!    parser);
+//! 2. sharing is by *composition identity*: equal extension sets get
+//!    the pointer-identical cached parser, different sets never do.
+
+use std::sync::{Arc, Barrier, Mutex, MutexGuard};
+
+use cmm::core::{CompileError, Compiler, Registry};
+use proptest::prelude::*;
+
+/// The composed-parser cache is process-global and this binary's tests
+/// run concurrently: the race test deliberately churns the LRU, which
+/// would evict entries out from under the pointer-identity assertions.
+/// Serialize the tests against each other (each still races internally
+/// as much as it likes).
+static CACHE_OWNER: Mutex<()> = Mutex::new(());
+
+fn own_cache() -> MutexGuard<'static, ()> {
+    CACHE_OWNER.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Compiles under any extension set.
+const PLAIN: &str = "int main() { printInt(7); return 0; }";
+
+/// Requires ext-matrix (with-loop + Matrix type syntax).
+const MATRIX: &str = "int main() { int n = 4; \
+     Matrix int <1> v = with ([0] <= [i] < [n]) genarray([n], i); \
+     printInt(v[0]); return 0; }";
+
+/// Requires ext-cilk (spawn/sync statements).
+const CILK: &str = "int f(int x) { return x + 1; } \
+     int main() { int a = 0; spawn a = f(6); sync; printInt(a); return 0; }";
+
+/// All independently selectable extensions, in bitmask order.
+const EXTS: [&str; 5] = [
+    "ext-matrix",
+    "ext-rcptr",
+    "ext-cilk",
+    "ext-tuples",
+    "ext-transform",
+];
+
+fn ext_set(mask: u8) -> Vec<&'static str> {
+    EXTS.iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, e)| *e)
+        .collect()
+}
+
+/// The composition the registry actually selects for `mask`:
+/// ext-transform is packaged with ext-matrix and silently dropped
+/// without it, so two masks differing only in a dropped transform bit
+/// are the *same* composition.
+fn effective_mask(mask: u8) -> u8 {
+    if mask & 1 == 0 {
+        mask & !(1 << 4)
+    } else {
+        mask
+    }
+}
+
+fn assert_isolated(compiler: &Compiler, mask: u8) {
+    assert!(
+        compiler.frontend(PLAIN).is_ok(),
+        "host syntax must compile under mask {mask:#07b}"
+    );
+    let has = |bit: usize| mask & (1 << bit) != 0;
+    for (src, bit, what) in [(MATRIX, 0, "matrix"), (CILK, 2, "cilk")] {
+        let r = compiler.frontend(src);
+        if has(bit) {
+            assert!(
+                r.is_ok(),
+                "{what} syntax must compile with {} enabled (mask {mask:#07b}): {:?}",
+                EXTS[bit],
+                r.err()
+            );
+        } else {
+            assert!(
+                matches!(r, Err(CompileError::Parse(_))),
+                "{what} syntax must be a parse error without {} (mask {mask:#07b}): {:?}",
+                EXTS[bit],
+                r.map(|_| ())
+            );
+        }
+    }
+}
+
+/// 8 threads race the shared parser cache with per-thread extension
+/// sets, repeatedly rebuilding compilers while the LRU (capacity 16,
+/// far below 8 × distinct-sets pressure once other tests have warmed
+/// it) concurrently hits, misses, and evicts. Every compiler must
+/// behave exactly per its own set.
+#[test]
+fn parser_cache_race_keeps_sessions_isolated() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 30;
+    let _cache = own_cache();
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                // Thread-specific mask sequence: walks all 32 subsets,
+                // offset so threads collide on some keys and diverge on
+                // others in every round.
+                let registry = Registry::standard();
+                barrier.wait();
+                for round in 0..ROUNDS {
+                    let mask = ((t * 7 + round * 3) % 32) as u8;
+                    let compiler = registry
+                        .compiler(&ext_set(mask))
+                        .unwrap_or_else(|e| panic!("compose mask {mask:#07b}: {e}"));
+                    assert_isolated(&compiler, mask);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no racing thread may die");
+    }
+}
+
+/// Two compilers for the same set share the cached parser by pointer;
+/// the cache key is canonical, so request order must not matter.
+#[test]
+fn equal_extension_sets_share_the_cached_parser() {
+    let _cache = own_cache();
+    let registry = Registry::standard();
+    let a = registry.compiler(&["ext-matrix", "ext-cilk"]).unwrap();
+    let b = registry.compiler(&["ext-cilk", "ext-matrix"]).unwrap();
+    assert!(
+        std::ptr::eq(a.parser(), b.parser()),
+        "equal sets must share one parser regardless of request order"
+    );
+    let c = registry.compiler(&["ext-cilk"]).unwrap();
+    assert!(
+        !std::ptr::eq(a.parser(), c.parser()),
+        "different compositions must never share a parser"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Interleaved sessions with random extension sets: each session's
+    /// compiler accepts exactly its own syntax, and parser sharing
+    /// matches composition equality — equal effective sets are
+    /// pointer-identical, different ones are distinct objects.
+    #[test]
+    fn prop_interleaved_sessions_never_observe_foreign_parsers(
+        masks in proptest::collection::vec(0u8..32, 2..10),
+    ) {
+        let _cache = own_cache();
+        let registry = Registry::standard();
+        // Interleave: build all compilers first (filling/evicting cache
+        // entries in mask order), then validate all — so each check runs
+        // after every other session has touched the cache.
+        let compilers: Vec<(u8, Compiler)> = masks
+            .iter()
+            .map(|&mask| (mask, registry.compiler(&ext_set(mask)).unwrap()))
+            .collect();
+        for (mask, compiler) in &compilers {
+            assert_isolated(compiler, *mask);
+        }
+        for (i, (ma, ca)) in compilers.iter().enumerate() {
+            for (mb, cb) in compilers.iter().skip(i + 1) {
+                let same = std::ptr::eq(ca.parser(), cb.parser());
+                prop_assert_eq!(
+                    same,
+                    effective_mask(*ma) == effective_mask(*mb),
+                    "masks {:#07b} vs {:#07b}: sharing must equal composition equality",
+                    ma,
+                    mb
+                );
+            }
+        }
+    }
+}

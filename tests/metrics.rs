@@ -137,6 +137,7 @@ fn metrics_json_round_trips_without_serde() {
     let pc = &json[json.find("\"parser_cache\"").expect("parser_cache key")..];
     assert_eq!(json_u64(pc, "hits"), report.compile.parser_cache.hits);
     assert_eq!(json_u64(pc, "misses"), report.compile.parser_cache.misses);
+    assert_eq!(json_u64(pc, "evictions"), report.compile.parser_cache.evictions);
 }
 
 #[test]

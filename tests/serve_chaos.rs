@@ -1,0 +1,208 @@
+//! Chaos test for `cmmc serve`: the PR 1 fault-injection harness wired
+//! into the daemon.
+//!
+//! With faults injected at every layer at once — worker panics in
+//! parallel regions, allocation failures, worker-spawn refusal — a
+//! 4-client × 50-request mixed workload of well-behaved and hostile
+//! programs must satisfy the isolation contract:
+//!
+//! * every hostile request is answered with its *typed* error code on
+//!   its own connection (panic → 7, fuel bomb → 5, injected allocation
+//!   failure → 1, compile error → 4);
+//! * every well-behaved request still gets its exact output — including
+//!   the ones whose sessions lost a worker to spawn refusal, which
+//!   degrade to fewer threads and say so in their metrics;
+//! * the daemon itself never crashes: it answers a ping after the storm
+//!   and drains cleanly on shutdown.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use cmm::forkjoin::faultinject::{self, FaultPlan};
+use cmm::serve::json::{self, Json};
+use cmm::serve::{start, ServeConfig};
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 50;
+
+/// Well-behaved program: pure scalar arithmetic. No matrix allocations
+/// (immune to injected allocation failures) and no parallel regions
+/// (immune to injected worker panics); asking for 3 threads makes its
+/// session hit the injected spawn refusal of worker 2, exercising the
+/// sequential-fallback path while the answer must stay exact.
+fn good_request(id: &str, value: i64) -> String {
+    format!(
+        r#"{{"id": "{id}", "cmd": "run", "threads": 3, "src": "int main() {{ int x = {value}; printInt(x * 2 + 1); return 0; }}"}}"#
+    )
+}
+
+/// Fuel bomb: infinite loop under a small fuel budget → code 5 (limit).
+fn fuel_bomb_request(id: &str) -> String {
+    format!(
+        r#"{{"id": "{id}", "cmd": "run", "threads": 1, "fuel": 20000, "src": "int main() {{ int n = 0; while (1 > 0) {{ n = n + 1; }} return 0; }}"}}"#
+    )
+}
+
+/// Malformed program → code 4 (compile).
+fn compile_error_request(id: &str) -> String {
+    format!(r#"{{"id": "{id}", "cmd": "run", "src": "int main( {{ return 0; }}"}}"#)
+}
+
+/// Panic class: two cilk spawns of a scalar helper force a parallel
+/// region on a 2-thread pool, whose worker 1 is scheduled to panic at
+/// region epoch 1 (every session pool's first region). No matrix
+/// allocations, so the allocation-failure schedule cannot fire first.
+fn panic_request(id: &str) -> String {
+    format!(
+        r#"{{"id": "{id}", "cmd": "run", "threads": 2, "src": "int f(int x) {{ return x * 2; }} int main() {{ int a = 0; int b = 0; spawn a = f(10); spawn b = f(11); sync; printInt(a + b); return 0; }}"}}"#
+    )
+}
+
+/// OOM class: allocates a matrix while every fallible allocation is
+/// scheduled to fail → code 1 (runtime, "injected allocation failure").
+fn oom_request(id: &str) -> String {
+    format!(
+        r#"{{"id": "{id}", "cmd": "run", "threads": 1, "src": "int main() {{ int n = 8; Matrix int <1> v = with ([0] <= [i] < [n]) genarray([n], i); printInt(v[0]); return 0; }}"}}"#
+    )
+}
+
+fn code(v: &Json) -> u64 {
+    v.get("code").and_then(Json::as_u64).expect("code field")
+}
+
+#[test]
+fn chaos_mixed_workload_under_full_fault_injection() {
+    // Every fault class at once:
+    // * worker 1 panics in every session pool's first parallel region;
+    // * every fallible allocation fails (the schedule lists far more
+    //   indices than the workload can reach);
+    // * spawning worker 2 fails, so any session asking for 3+ threads
+    //   runs degraded.
+    let mut plan = FaultPlan::new().panic_at(1, 1).fail_spawn(2);
+    plan.alloc_failures = (1..=50_000).collect();
+    let _guard = faultinject::install(plan);
+
+    let cfg = ServeConfig {
+        workers: 4,
+        // Admission shedding is tested separately; the chaos contract is
+        // that every request gets its *typed* answer, so the cap must
+        // not bite here.
+        max_in_flight: 256,
+        queue_deadline: Duration::from_secs(60),
+        drain_deadline: Duration::from_secs(10),
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg).expect("start server");
+    let addr = handle.local_addr();
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut writer = stream;
+                // Per-class response tallies: [good, fuel, compile, panic, oom]
+                let mut seen = [0u32; 5];
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let id = format!("c{c}-r{i}");
+                    let class = i % 5;
+                    let line = match class {
+                        0 => good_request(&id, (c * 100 + i) as i64),
+                        1 => fuel_bomb_request(&id),
+                        2 => compile_error_request(&id),
+                        3 => panic_request(&id),
+                        _ => oom_request(&id),
+                    };
+                    writeln!(writer, "{line}").expect("send");
+                    let mut resp = String::new();
+                    reader.read_line(&mut resp).expect("recv");
+                    let v = json::parse(&resp)
+                        .unwrap_or_else(|e| panic!("bad response JSON ({e}): {resp}"));
+                    assert_eq!(
+                        v.get("id").unwrap().as_str(),
+                        Some(id.as_str()),
+                        "responses must stay in order per connection"
+                    );
+                    match class {
+                        0 => {
+                            // Well-behaved: exact output, degraded session
+                            // (requested 3 threads, spawn of worker 2 refused).
+                            assert_eq!(code(&v), 0, "good request failed: {resp}");
+                            let expect = format!("{}\n", (c * 100 + i) * 2 + 1);
+                            assert_eq!(
+                                v.get("output").unwrap().as_str(),
+                                Some(expect.as_str()),
+                                "{resp}"
+                            );
+                            let m = v.get("metrics").expect("metrics");
+                            assert_eq!(
+                                m.get("degraded").unwrap().as_bool(),
+                                Some(true),
+                                "3-thread session must report spawn degradation: {resp}"
+                            );
+                            assert_eq!(m.get("threads").unwrap().as_u64(), Some(2));
+                        }
+                        1 => {
+                            assert_eq!(code(&v), 5, "fuel bomb must hit the limit: {resp}");
+                            assert_eq!(v.get("retryable").unwrap().as_bool(), Some(false));
+                        }
+                        2 => {
+                            assert_eq!(code(&v), 4, "compile error: {resp}");
+                        }
+                        3 => {
+                            assert_eq!(code(&v), 7, "worker panic must be typed: {resp}");
+                            let err = v.get("error").unwrap().as_str().unwrap();
+                            assert!(err.contains("panic"), "{resp}");
+                        }
+                        _ => {
+                            assert_eq!(code(&v), 1, "injected alloc failure: {resp}");
+                            let err = v.get("error").unwrap().as_str().unwrap();
+                            assert!(err.contains("allocation failure"), "{resp}");
+                        }
+                    }
+                    seen[class] += 1;
+                }
+                seen
+            })
+        })
+        .collect();
+
+    let mut totals = [0u32; 5];
+    for c in clients {
+        let seen = c.join().expect("client thread must not die");
+        for (t, s) in totals.iter_mut().zip(seen) {
+            *t += s;
+        }
+    }
+    assert_eq!(totals, [40, 40, 40, 40, 40]);
+
+    // The daemon survived the storm: control plane still answers.
+    {
+        let stream = TcpStream::connect(addr).expect("post-storm connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        writeln!(writer, r#"{{"id": "alive", "cmd": "ping"}}"#).unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(code(&v), 0, "daemon must answer ping after chaos: {resp}");
+    }
+
+    let report = handle.shutdown();
+    assert!(report.clean, "drain must be clean after the storm");
+    let stats = report.stats;
+    assert_eq!(stats.ok(), 40 + 1, "40 good runs + 1 ping");
+    assert_eq!(stats.panics_isolated(), 40, "one isolation per panic request");
+    assert_eq!(stats.codes[5], 40, "fuel bombs");
+    assert_eq!(stats.codes[4], 40, "compile errors");
+    assert_eq!(stats.codes[1], 40, "injected allocation failures");
+    assert_eq!(stats.shed(), 0, "nothing may be shed under this config");
+    assert_eq!(stats.degraded_sessions, 40, "every 3-thread session degraded");
+    assert_eq!(stats.requests, 201);
+    assert_eq!(stats.in_flight, 0);
+
+    // Injection bookkeeping agrees with the protocol-level tallies.
+    assert_eq!(faultinject::panics_injected(), 40);
+    assert!(faultinject::alloc_failures_injected() >= 40);
+}
