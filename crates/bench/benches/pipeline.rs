@@ -8,7 +8,7 @@ use std::time::Instant;
 
 use cmm_bench::config;
 use cmm_core::{Compiler, Registry};
-use cmm_loopir::Limits;
+use cmm_loopir::{Interp, Limits, Tier};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 const PROGRAM: &str = include_str!("../../../examples/pipeline_profile.xc");
@@ -58,7 +58,7 @@ fn write_trajectory() -> Compiler {
             .map(|_| timed(|| drop(registry.compiler(EXTENSIONS).expect("compose"))))
             .collect(),
     );
-    let c = registry.compiler(EXTENSIONS).expect("compose");
+    let mut c = registry.compiler(EXTENSIONS).expect("compose");
     let cache = c.parser_cache_stats();
 
     for _ in 0..5 {
@@ -74,7 +74,42 @@ fn write_trajectory() -> Compiler {
             .map(|_| timed_batch(20, || drop(c.compile_metered(PROGRAM).expect("compile"))))
             .collect(),
     );
-    let run_ns = median((0..REPS).map(|_| timed(|| drop(c.run(PROGRAM, THREADS).expect("run")))).collect());
+
+    // Per-tier medians (schema v3): end-to-end `run` (compile + execute)
+    // and execute-only on a reused interpreter — the compile-once/
+    // execute-many split a `cmmc serve` session sees.
+    let mut tier_runs = [0u64; 2];
+    let mut tier_execs = [0u64; 2];
+    for (slot, tier) in [(0, Tier::Vm), (1, Tier::Tree)] {
+        c.tier = tier;
+        for _ in 0..3 {
+            c.run(PROGRAM, THREADS).expect("warmup");
+        }
+        tier_runs[slot] = median(
+            (0..REPS)
+                .map(|_| timed(|| drop(c.run(PROGRAM, THREADS).expect("run"))))
+                .collect(),
+        );
+        let ir = c.compile(PROGRAM).expect("compile");
+        let interp = Interp::new(&ir, THREADS).with_tier(tier);
+        interp.run_main().expect("warmup");
+        interp.take_output();
+        tier_execs[slot] = median(
+            (0..REPS)
+                .map(|_| {
+                    timed(|| {
+                        interp.run_main().expect("run");
+                        drop(interp.take_output());
+                    })
+                })
+                .collect(),
+        );
+    }
+    c.tier = Tier::default();
+    let [run_vm_ns, run_tree_ns] = tier_runs;
+    let [exec_vm_ns, exec_tree_ns] = tier_execs;
+    let run_ns = run_vm_ns; // headline number = the default (VM) tier
+
     let run_profiled_ns = median(
         (0..REPS)
             .map(|_| {
@@ -88,7 +123,7 @@ fn write_trajectory() -> Compiler {
 
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"cmm-bench-pipeline-v2\",\n");
+    out.push_str("  \"schema\": \"cmm-bench-pipeline-v3\",\n");
     out.push_str("  \"generated_by\": \"cargo bench -p cmm-bench --bench pipeline\",\n");
     out.push_str("  \"program\": \"examples/pipeline_profile.xc\",\n");
     out.push_str(&format!("  \"threads\": {THREADS},\n"));
@@ -106,7 +141,23 @@ fn write_trajectory() -> Compiler {
     ));
     out.push_str(&format!("    \"median_run_nanos\": {run_ns},\n"));
     out.push_str(&format!(
-        "    \"median_run_profiled_nanos\": {run_profiled_ns}\n"
+        "    \"median_run_profiled_nanos\": {run_profiled_ns},\n"
+    ));
+    out.push_str("    \"tiers\": {\n");
+    out.push_str(&format!(
+        "      \"vm\": {{\"median_run_nanos\": {run_vm_ns}, \"median_exec_nanos\": {exec_vm_ns}}},\n"
+    ));
+    out.push_str(&format!(
+        "      \"tree\": {{\"median_run_nanos\": {run_tree_ns}, \"median_exec_nanos\": {exec_tree_ns}}}\n"
+    ));
+    out.push_str("    },\n");
+    out.push_str(&format!(
+        "    \"exec_speedup_vm_over_tree\": {:.2},\n",
+        exec_tree_ns as f64 / exec_vm_ns.max(1) as f64
+    ));
+    out.push_str(&format!(
+        "    \"run_speedup_vm_over_tree\": {:.2}\n",
+        run_tree_ns as f64 / run_vm_ns.max(1) as f64
     ));
     out.push_str("  },\n");
     out.push_str("  \"parser_cache\": {\n");
@@ -146,6 +197,11 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("run_threads4", |b| {
         b.iter(|| compiler.run(PROGRAM, THREADS).expect("run"))
+    });
+    g.bench_function("run_tree_threads4", |b| {
+        let mut tree = Registry::standard().compiler(EXTENSIONS).expect("compose");
+        tree.tier = Tier::Tree;
+        b.iter(|| tree.run(PROGRAM, THREADS).expect("run"))
     });
     g.bench_function("run_profiled_threads4", |b| {
         b.iter(|| {

@@ -35,7 +35,7 @@ use cmm_lang::{
     build_program, check_program, fuse_slice_indices, has_fusable_slice_index, host_ag, host_grammar, lower_program,
     LowerOptions,
 };
-use cmm_loopir::{emit, EmitError, Interp, InterpError, IrProgram, IrStmt, LimitKind, Limits};
+use cmm_loopir::{emit, EmitError, Interp, InterpError, IrProgram, IrStmt, LimitKind, Limits, Tier};
 
 pub use cmm_lang::typecheck::ExtSet as EnabledExtensions;
 
@@ -251,6 +251,7 @@ impl Registry {
             exts,
             cache: Arc::clone(&self.parser_cache),
             options: LowerOptions::default(),
+            tier: Tier::default(),
         })
     }
 }
@@ -330,6 +331,12 @@ pub struct Compiler {
     /// Lowering options (high-level optimizations, auto-parallelization);
     /// public so experiments can toggle the ablation knobs.
     pub options: LowerOptions,
+    /// Execution tier for `run*` (the `cmmc run --tier` argument).
+    /// Defaults to the bytecode VM; the tree-walker remains available as
+    /// the reference oracle. A program the VM lowering cannot express
+    /// falls back to the tree-walker silently — semantics are identical
+    /// by construction, the tiers differ only in speed.
+    pub tier: Tier,
 }
 
 // `cmmc serve` hands compilers and registries to concurrent session
@@ -505,7 +512,8 @@ impl Compiler {
         let ir = self.compile(src)?;
         let interp = Interp::new(&ir, threads)
             .with_schedule(schedule)
-            .with_limits(limits);
+            .with_limits(limits)
+            .with_tier(self.tier);
         interp.run_main().map_err(map_interp_error)?;
         Ok(RunResult {
             output: interp.output(),
@@ -529,7 +537,8 @@ impl Compiler {
         let ir = self.compile(src)?;
         let interp = Interp::with_pool(&ir, pool)
             .with_schedule(schedule)
-            .with_limits(limits);
+            .with_limits(limits)
+            .with_tier(self.tier);
         interp.run_main().map_err(map_interp_error)?;
         Ok(RunResult {
             output: interp.output(),
@@ -570,11 +579,13 @@ impl Compiler {
         let interp = Interp::with_pool(&ir, Arc::clone(&pool))
             .with_schedule(schedule)
             .with_limits(limits)
-            .with_profiling(true);
+            .with_profiling(true)
+            .with_tier(self.tier);
         let run_err = interp.run_main().map_err(map_interp_error).err();
         let rc_after = cmm_rc::pool_stats();
         let report = ProfileReport {
             compile,
+            tier: interp.effective_tier(),
             pool: Some(pool.metrics()),
             interp: Some(interp.profile()),
             rc: cmm_rc::PoolStats {

@@ -14,7 +14,7 @@
 use std::fmt::Write as _;
 
 use cmm_forkjoin::PoolMetrics;
-use cmm_loopir::InterpProfile;
+use cmm_loopir::{InterpProfile, Tier};
 use cmm_rc::PoolStats;
 
 /// JSON schema tag emitted by [`ProfileReport::to_json`].
@@ -87,6 +87,9 @@ pub struct ProfileReport {
     pub rc: PoolStats,
     /// Pool threads the run used.
     pub threads: usize,
+    /// Execution tier that actually ran (`vm` unless the program fell
+    /// back to the tree-walker or the tree tier was requested).
+    pub tier: Tier,
 }
 
 fn fmt_nanos(n: u64) -> String {
@@ -154,7 +157,7 @@ impl ProfileReport {
             }
         }
         if let Some(interp) = &self.interp {
-            let _ = writeln!(out, "── interpreter ─────────────────────────────");
+            let _ = writeln!(out, "── interpreter ({} tier) ───────────────────", self.tier);
             let _ = writeln!(out, "{:<22} {:>10}", "total steps", interp.total_steps);
             let _ = writeln!(out, "{:<22} {:>10}", "parallel loops", interp.par_loops);
             let _ = writeln!(out, "{:<22} {:>10}", "parallel iterations", interp.par_iters);
@@ -194,6 +197,7 @@ impl ProfileReport {
         out.push_str("{\n");
         let _ = writeln!(out, "  \"schema\": \"{METRICS_SCHEMA}\",");
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"tier\": \"{}\",", self.tier);
         out.push_str("  \"passes\": [\n");
         for (i, p) in self.compile.passes.iter().enumerate() {
             let comma = if i + 1 < self.compile.passes.len() { "," } else { "" };

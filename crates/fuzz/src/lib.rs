@@ -8,10 +8,10 @@
 //!   over the whole composed surface (scalars, matrices with
 //!   `with`-loops / `matrixMap` / slices, tuples, rc-pointers,
 //!   `spawn`/`sync`, and every `transform` directive);
-//! * [`oracle`] cross-checks each program down four independent paths
+//! * [`oracle`] cross-checks each program down five independent paths
 //!   (untransformed reference, every schedule policy × thread count,
-//!   metered execution, gcc-compiled emitted C) and requires bitwise
-//!   identical output;
+//!   metered execution, tree-walker vs bytecode-VM tier, gcc-compiled
+//!   emitted C) and requires bitwise identical output;
 //! * [`minimize`] delta-reduces any disagreement to a small reproducer,
 //!   which [`fuzz`] writes into a corpus directory replayed by
 //!   `tests/corpus_regressions.rs` on every `cargo test`.
@@ -36,7 +36,7 @@ pub struct FuzzConfig {
     pub seed: u64,
     /// Number of generated programs to check.
     pub cases: u32,
-    /// Oracles to run (default: all four).
+    /// Oracles to run (default: all five).
     pub oracles: Vec<OracleKind>,
     /// Where to write minimized reproducers (`tests/corpus/` in the
     /// repo); `None` disables corpus writing.
@@ -183,6 +183,7 @@ mod tests {
         assert_eq!(outcome.counts.transform, 25);
         assert_eq!(outcome.counts.schedule, 25 * 9);
         assert_eq!(outcome.counts.limits, 25);
+        assert_eq!(outcome.counts.vm, 25);
     }
 
     /// Distinct seeds explore distinct programs (weak but cheap

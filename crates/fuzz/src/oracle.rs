@@ -1,9 +1,10 @@
-//! The four differential oracles and the harness that runs them.
+//! The five differential oracles and the harness that runs them.
 //!
 //! Baseline: the optimized pipeline (default [`LowerOptions`])
-//! interpreted with 2 pool threads under the static schedule. Each
-//! oracle re-executes the same program down a different path and
-//! requires bitwise-identical output:
+//! interpreted with 2 pool threads under the static schedule on the
+//! default execution tier (the bytecode VM). Each oracle re-executes
+//! the same program down a different path and requires bitwise-identical
+//! output:
 //!
 //! 1. **transform** — `transform` directives stripped from the AST,
 //!    compiled with every high-level optimization off, run
@@ -12,7 +13,10 @@
 //!    at 1, 2, and 4 threads.
 //! 3. **limits** — a metered run under generous [`Limits`] budgets:
 //!    metering must never change what executes.
-//! 4. **gcc** — the emitted C compiled with gcc and executed, when a C
+//! 4. **vm** — the tree-walking interpreter re-runs the program as the
+//!    reference oracle for the bytecode VM baseline: identical output,
+//!    allocation/leak counts, and compiled IR are required.
+//! 5. **gcc** — the emitted C compiled with gcc and executed, when a C
 //!    toolchain is present (skipped, not failed, otherwise).
 
 use cmm_ast::{Block, Program, Stmt};
@@ -20,7 +24,7 @@ use cmm_core::{
     CompileError, Compiler, Registry, compile_and_run_c_with_timeout, gcc_available_or_skip,
 };
 use cmm_lang::LowerOptions;
-use cmm_loopir::{Limits, Schedule, snapshot};
+use cmm_loopir::{Limits, Schedule, Tier, snapshot};
 use std::time::Duration;
 
 /// The differential oracles.
@@ -32,13 +36,20 @@ pub enum OracleKind {
     Schedule,
     /// Metered (generous [`Limits`]) vs. unmetered run.
     Limits,
+    /// Bytecode-VM baseline vs. the tree-walking reference interpreter.
+    Vm,
     /// Interpreter vs. gcc-compiled emitted C.
     Gcc,
 }
 
-/// All four oracles, in check order.
-pub const ALL_ORACLES: [OracleKind; 4] =
-    [OracleKind::Transform, OracleKind::Schedule, OracleKind::Limits, OracleKind::Gcc];
+/// All five oracles, in check order (gcc last — it is the slowest).
+pub const ALL_ORACLES: [OracleKind; 5] = [
+    OracleKind::Transform,
+    OracleKind::Schedule,
+    OracleKind::Limits,
+    OracleKind::Vm,
+    OracleKind::Gcc,
+];
 
 impl OracleKind {
     /// CLI / report name.
@@ -47,6 +58,7 @@ impl OracleKind {
             OracleKind::Transform => "transform",
             OracleKind::Schedule => "schedule",
             OracleKind::Limits => "limits",
+            OracleKind::Vm => "vm",
             OracleKind::Gcc => "gcc",
         }
     }
@@ -84,6 +96,8 @@ pub struct CheckCounts {
     pub schedule: u64,
     /// Limits-oracle comparisons run.
     pub limits: u64,
+    /// Vm-oracle comparisons run (tree-walker reference re-runs).
+    pub vm: u64,
     /// Gcc-oracle comparisons run (0 when gcc is absent).
     pub gcc: u64,
 }
@@ -94,6 +108,7 @@ impl CheckCounts {
         self.transform += o.transform;
         self.schedule += o.schedule;
         self.limits += o.limits;
+        self.vm += o.vm;
         self.gcc += o.gcc;
     }
 }
@@ -165,6 +180,10 @@ pub fn strip_transforms(prog: &Program) -> Program {
 pub struct Harness {
     opt: Compiler,
     plain: Compiler,
+    /// The optimized pipeline pinned to the tree-walking tier: the
+    /// reference interpretation the vm oracle compares the bytecode
+    /// baseline against.
+    tree: Compiler,
     gcc: bool,
 }
 
@@ -184,9 +203,12 @@ impl Harness {
             fuse_with_assign: false,
             fuse_slice_index: false,
         };
+        let mut tree = registry.compiler(&FULL_EXTENSIONS)?;
+        tree.tier = Tier::Tree;
         Ok(Harness {
             opt,
             plain,
+            tree,
             gcc: gcc_available_or_skip("fuzz gcc oracle"),
         })
     }
@@ -255,6 +277,10 @@ impl Harness {
                 OracleKind::Limits => {
                     self.check_limits(src, &base.output)?;
                     counts.limits += 1;
+                }
+                OracleKind::Vm => {
+                    self.check_vm(src, &base, bounded)?;
+                    counts.vm += 1;
                 }
                 OracleKind::Gcc => {
                     if self.gcc {
@@ -361,6 +387,43 @@ impl Harness {
                     r.output
                 ),
             });
+        }
+        Ok(())
+    }
+
+    /// Re-run under the tree-walking reference tier and require bitwise
+    /// agreement with the bytecode-VM baseline: same output, same
+    /// allocation and leak counts, and the identical compiled IR (tier
+    /// selection must never perturb compilation).
+    fn check_vm(
+        &self,
+        src: &str,
+        base: &cmm_core::RunResult,
+        bounded: bool,
+    ) -> Result<(), Failure> {
+        let fail = |detail: String| Failure { oracle: Some(OracleKind::Vm), detail };
+        let limits = if bounded { bounded_limits() } else { Limits::default() };
+        let reference = self
+            .tree
+            .run_with_limits(src, 2, limits)
+            .map_err(|e| fail(format!("tree-walker reference failed where the VM succeeded: {e}")))?;
+        if reference.output != base.output {
+            let ir_note = match (self.opt.compile(src), self.tree.compile(src)) {
+                (Ok(vm_ir), Ok(tree_ir)) => snapshot::diff(&tree_ir, &vm_ir)
+                    .unwrap_or_else(|| "IR identical (divergence is tier-side)".to_string()),
+                _ => String::new(),
+            };
+            return Err(fail(format!(
+                "bytecode VM output differs from tree-walker reference\n\
+                 --- tree-walker\n{}\n--- vm\n{}\n{ir_note}",
+                reference.output, base.output
+            )));
+        }
+        if (reference.allocations, reference.leaked) != (base.allocations, base.leaked) {
+            return Err(fail(format!(
+                "buffer accounting differs between tiers: tree {}/{} alloc/leaked, vm {}/{}",
+                reference.allocations, reference.leaked, base.allocations, base.leaked
+            )));
         }
         Ok(())
     }

@@ -896,6 +896,7 @@ static cmm_mat* cmm_read_mat(const char *path, int tag) {
         fprintf(stderr, "readMatrix(%s): bad header\n", path); exit(1);
     }
     int rank = head[5];
+    if (rank == 0) { fprintf(stderr, "readMatrix(%s): invalid header: rank 0\n", path); exit(1); }
     cmm_mat *m = (cmm_mat*)malloc(sizeof(cmm_mat));
     m->refs = 1; m->rank = rank; m->len = 1; m->tag = tag;
     for (int d = 0; d < rank; d++) {
@@ -916,6 +917,11 @@ static cmm_mat* cmm_read_mat(const char *path, int tag) {
                           | ((uint32_t)c4[2] << 16) | ((uint32_t)c4[3] << 24);
             memcpy(&m->data.i[i], &bits, 4);
         }
+    }
+    /* Exact-length contract (matches the Rust-side parser): the container
+     * ends at the last payload cell; trailing bytes are a malformed file. */
+    if (fgetc(fp) != EOF) {
+        fprintf(stderr, "readMatrix(%s): trailing byte(s) after the payload\n", path); exit(1);
     }
     fclose(fp);
     return m;

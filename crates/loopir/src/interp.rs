@@ -25,8 +25,46 @@ use std::time::{Duration, Instant};
 use cmm_forkjoin::{next_chunk, ForkJoinPool, Schedule};
 use cmm_rc::{AllocError, PoolBlock};
 
+use crate::cmmx;
 use crate::ir::{CType, Elem, IrBinOp, IrProgram};
 use crate::resolve::{resolve_program, RCallee, RExpr, RFor, RProgram, RStmt, RTarget};
+
+/// Which execution tier runs the resolved program.
+///
+/// Both tiers share one semantic substrate — values, buffers, builtins,
+/// limits, spawns, fork-join parallel regions — so they produce bitwise
+/// identical output and identical error messages; the fuzzer's `vm`
+/// oracle holds them to that. The tree-walker is the reference
+/// implementation; the VM is the fast path (`Tier::default()`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tier {
+    /// Tree-walking reference interpreter over the resolved statements.
+    Tree,
+    /// Register-based bytecode VM ([`crate::vm`]).
+    #[default]
+    Vm,
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Tier::Tree => "tree",
+            Tier::Vm => "vm",
+        })
+    }
+}
+
+impl std::str::FromStr for Tier {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "tree" => Ok(Tier::Tree),
+            "vm" => Ok(Tier::Vm),
+            other => Err(format!("unknown tier '{other}' (expected vm or tree)")),
+        }
+    }
+}
 
 /// Which resource budget a [`InterpErrorKind::LimitExceeded`] error hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,7 +115,7 @@ pub struct InterpError {
 }
 
 impl InterpError {
-    fn new(message: impl Into<String>) -> Self {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
         InterpError {
             kind: InterpErrorKind::Runtime,
             message: message.into(),
@@ -91,7 +129,7 @@ impl InterpError {
         }
     }
 
-    fn worker_panic(p: &cmm_forkjoin::RegionPanic) -> Self {
+    pub(crate) fn worker_panic(p: &cmm_forkjoin::RegionPanic) -> Self {
         InterpError {
             kind: InterpErrorKind::WorkerPanic,
             message: p.to_string(),
@@ -158,14 +196,14 @@ impl Limits {
     }
 }
 
-fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     // A panicking worker must not wedge the interpreter: the data under
     // these locks stays consistent (single writes of plain values), so a
     // poisoned lock is safe to re-enter.
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-type IResult<T> = Result<T, InterpError>;
+pub(crate) type IResult<T> = Result<T, InterpError>;
 
 struct BufInner {
     refs: AtomicU32,
@@ -268,7 +306,7 @@ impl BufHandle {
         self.0.freed.load(Ordering::Acquire)
     }
 
-    fn check_live(&self) -> IResult<()> {
+    pub(crate) fn check_live(&self) -> IResult<()> {
         if self.is_freed() {
             return Err(InterpError::new(
                 "use after free: matrix accessed after its reference count reached zero",
@@ -394,7 +432,7 @@ pub enum Value {
 }
 
 impl Value {
-    fn as_i(&self) -> IResult<i32> {
+    pub(crate) fn as_i(&self) -> IResult<i32> {
         match self {
             Value::I(x) => Ok(*x),
             Value::B(b) => Ok(i32::from(*b)),
@@ -402,7 +440,7 @@ impl Value {
         }
     }
 
-    fn as_f(&self) -> IResult<f32> {
+    pub(crate) fn as_f(&self) -> IResult<f32> {
         match self {
             Value::F(x) => Ok(*x),
             Value::I(x) => Ok(*x as f32),
@@ -410,7 +448,7 @@ impl Value {
         }
     }
 
-    fn as_b(&self) -> IResult<bool> {
+    pub(crate) fn as_b(&self) -> IResult<bool> {
         match self {
             Value::B(x) => Ok(*x),
             Value::I(x) => Ok(*x != 0),
@@ -418,14 +456,14 @@ impl Value {
         }
     }
 
-    fn as_buf(&self) -> IResult<&BufHandle> {
+    pub(crate) fn as_buf(&self) -> IResult<&BufHandle> {
         match self {
             Value::Buf(b) => Ok(b),
             other => Err(InterpError::new(format!("expected matrix, got {other:?}"))),
         }
     }
 
-    fn as_str(&self) -> IResult<&str> {
+    pub(crate) fn as_str(&self) -> IResult<&str> {
         match self {
             Value::S(s) => Ok(s),
             other => Err(InterpError::new(format!("expected string, got {other:?}"))),
@@ -435,19 +473,20 @@ impl Value {
 
 /// A deferred Cilk-style spawn: arguments already evaluated.
 #[derive(Clone)]
-struct Pending {
-    target: Option<RTarget>,
-    target_is_buf: bool,
-    callee: RCallee,
-    args: Vec<Value>,
+pub(crate) struct Pending {
+    pub(crate) target: Option<RTarget>,
+    pub(crate) target_is_buf: bool,
+    pub(crate) callee: RCallee,
+    pub(crate) args: Vec<Value>,
 }
 
 /// One call frame: a flat slot array (resolution assigned every variable
-/// of the function an index below `nslots`) plus the frame's outstanding
-/// spawns (run at `sync` or the function's implicit sync).
-struct Frame {
-    slots: Vec<Value>,
-    pending: Vec<Pending>,
+/// of the function an index below `nslots`; the VM tier extends it with
+/// temporary registers) plus the frame's outstanding spawns (run at
+/// `sync` or the function's implicit sync).
+pub(crate) struct Frame {
+    pub(crate) slots: Vec<Value>,
+    pub(crate) pending: Vec<Pending>,
 }
 
 enum Flow {
@@ -492,8 +531,15 @@ pub struct InterpProfile {
 /// call, including re-runs, then executes the resolved form.
 pub struct Interp<'p> {
     program: &'p IrProgram,
-    resolved: RProgram,
-    pool: Arc<ForkJoinPool>,
+    pub(crate) resolved: RProgram,
+    /// Bytecode form, compiled by [`Interp::with_tier`]`(Tier::Vm)`.
+    /// When present, every function call dispatches through the VM; the
+    /// tree-walker remains the reference tier (and the fallback if
+    /// lowering hits a [`crate::vm::VmLimit`]).
+    vm: Option<crate::vm::VmProgram>,
+    /// Requested tier (the effective tier also needs `vm` to be Some).
+    tier: Tier,
+    pub(crate) pool: Arc<ForkJoinPool>,
     output: Mutex<String>,
     allocs: AtomicU32,
     frees: AtomicU32,
@@ -501,20 +547,20 @@ pub struct Interp<'p> {
     /// Absolute deadline, precomputed from `limits.deadline` when the
     /// limits are installed so the hot path compares `Instant`s only.
     deadline_at: Option<Instant>,
-    steps: AtomicU64,
+    pub(crate) steps: AtomicU64,
     live_bytes: AtomicU64,
     /// Profiling switch; all collection below is skipped when false so an
     /// unprofiled run pays only this bool check.
-    profile: bool,
+    pub(crate) profile: bool,
     /// (calls, inclusive steps) indexed by resolved function; Mutex is
     /// fine — touched once per function call, not per statement.
-    fn_costs: Mutex<Vec<(u64, u64)>>,
-    par_loops: AtomicU64,
-    par_iters: AtomicU64,
+    pub(crate) fn_costs: Mutex<Vec<(u64, u64)>>,
+    pub(crate) par_loops: AtomicU64,
+    pub(crate) par_iters: AtomicU64,
     peak_live_bytes: AtomicU64,
     /// Process-default scheduling policy for parallel loops that don't
     /// pin one with a `schedule(...)` directive (`cmmc run --schedule`).
-    schedule: Schedule,
+    pub(crate) schedule: Schedule,
 }
 
 impl<'p> Interp<'p> {
@@ -530,6 +576,8 @@ impl<'p> Interp<'p> {
         Interp {
             program,
             resolved,
+            vm: None,
+            tier: Tier::Tree,
             pool,
             output: Mutex::new(String::new()),
             allocs: AtomicU32::new(0),
@@ -553,6 +601,36 @@ impl<'p> Interp<'p> {
     pub fn with_schedule(mut self, schedule: Schedule) -> Self {
         self.schedule = schedule;
         self
+    }
+
+    /// Select the execution tier. `Tier::Vm` lowers the resolved program
+    /// to bytecode once (compile-once / execute-many: re-runs and every
+    /// call share the compiled [`crate::vm::VmProgram`]); if lowering is
+    /// not possible (register/table overflow on a pathological program)
+    /// the interpreter silently keeps the tree-walking tier — check
+    /// [`Interp::effective_tier`] when it matters.
+    pub fn with_tier(mut self, tier: Tier) -> Self {
+        self.tier = tier;
+        self.vm = match tier {
+            Tier::Vm => crate::vm::compile(&self.resolved).ok(),
+            Tier::Tree => None,
+        };
+        self
+    }
+
+    /// The tier requested via [`Interp::with_tier`] (`Tree` by default).
+    pub fn tier(&self) -> Tier {
+        self.tier
+    }
+
+    /// The tier actually executing: `Vm` only when bytecode lowering
+    /// succeeded.
+    pub fn effective_tier(&self) -> Tier {
+        if self.vm.is_some() {
+            Tier::Vm
+        } else {
+            Tier::Tree
+        }
     }
 
     /// The source program this interpreter was built from.
@@ -614,6 +692,13 @@ impl<'p> Interp<'p> {
         lock_ignore_poison(&self.output).clone()
     }
 
+    /// Drain the captured output, leaving the buffer empty — the
+    /// execute-many companion to [`Interp::run_main`]: re-running against
+    /// the same compiled program starts from a clean capture.
+    pub fn take_output(&self) -> String {
+        std::mem::take(&mut *lock_ignore_poison(&self.output))
+    }
+
     /// Buffers allocated so far.
     pub fn alloc_count(&self) -> u32 {
         self.allocs.load(Ordering::Relaxed)
@@ -640,12 +725,24 @@ impl<'p> Interp<'p> {
         self.live_bytes.load(Ordering::Relaxed)
     }
 
+    /// Whether the VM dispatch loop may batch step charges in a local
+    /// counter and flush them on frame exit. Sound only when nothing can
+    /// observe an intermediate count: no fuel budget (every charge must
+    /// check the running total), no deadline (checked at 1024-step
+    /// boundaries of the shared counter), and no profiling (per-function
+    /// attribution snapshots the counter around calls). Totals are
+    /// unchanged either way — `steps_used()` reads the same number.
+    pub(crate) fn fast_meter(&self) -> bool {
+        self.limits.fuel.is_none() && self.deadline_at.is_none() && !self.profile
+    }
+
     /// Meter `n` interpreter steps against the fuel and deadline budgets.
     ///
     /// Called for every statement and every loop iteration (so even an
     /// empty `while (1) {}` body is metered). The wall clock is only read
     /// at 1024-step boundaries to keep the unlimited-fuel fast path cheap.
-    fn charge(&self, n: u64) -> IResult<()> {
+    /// The VM tier charges the same totals in per-block batches.
+    pub(crate) fn charge(&self, n: u64) -> IResult<()> {
         let prev = self.steps.fetch_add(n, Ordering::Relaxed);
         let now = prev.saturating_add(n);
         if let Some(fuel) = self.limits.fuel {
@@ -748,8 +845,13 @@ impl<'p> Interp<'p> {
 
     /// Call a resolved user function: the frame is one flat slot vector —
     /// parameters first, every other declaration Unit until its `Decl`
-    /// executes.
-    fn call_function(&self, idx: usize, args: Vec<Value>) -> IResult<Value> {
+    /// executes. Dispatches to the bytecode tier when one is attached, so
+    /// both tiers share this single entry point (and with it `run_main`,
+    /// spawns, and recursive calls).
+    pub(crate) fn call_function(&self, idx: usize, args: Vec<Value>) -> IResult<Value> {
+        if let Some(vm) = &self.vm {
+            return crate::vm::call_function(self, vm, idx, args);
+        }
         let f = &self.resolved.functions[idx];
         if f.nparams != args.len() {
             return Err(InterpError::new(format!(
@@ -784,7 +886,7 @@ impl<'p> Interp<'p> {
         }
     }
 
-    fn set_target(&self, frame: &mut Frame, target: &RTarget, v: Value) -> IResult<()> {
+    pub(crate) fn set_target(&self, frame: &mut Frame, target: &RTarget, v: Value) -> IResult<()> {
         match target {
             RTarget::Slot(s) => {
                 frame.slots[*s as usize] = v;
@@ -798,7 +900,7 @@ impl<'p> Interp<'p> {
 
     /// Execute all outstanding spawns of the frame concurrently on the
     /// fork-join pool and bind their results (the `sync` runtime).
-    fn run_pending(&self, frame: &mut Frame) -> IResult<()> {
+    pub(crate) fn run_pending(&self, frame: &mut Frame) -> IResult<()> {
         if frame.pending.is_empty() {
             return Ok(());
         }
@@ -971,7 +1073,10 @@ impl<'p> Interp<'p> {
             // reads — instead of a clone of the whole environment; locals
             // declared in the body stay thread-private, buffer writes go
             // to shared storage at disjoint indices.
-            let total = (hi - lo) as usize;
+            // `hi > lo`, so the wrapped difference is the exact count (an
+            // i32 range never exceeds 2^32 - 1 iterations); `hi - lo`
+            // itself can overflow i32 for bounds straddling zero.
+            let total = hi.wrapping_sub(lo) as u32 as usize;
             if self.profile {
                 self.par_loops.fetch_add(1, Ordering::Relaxed);
                 self.par_iters.fetch_add(total as u64, Ordering::Relaxed);
@@ -1008,7 +1113,9 @@ impl<'p> Interp<'p> {
                         return;
                     }
                     for k in range {
-                        tf.slots[f.var as usize] = Value::I(lo + k as i32);
+                        // Wrapping, like scalar binops: bounds near
+                        // i32::MAX must not panic in debug builds.
+                        tf.slots[f.var as usize] = Value::I(lo.wrapping_add(k as i32));
                         let r = self
                             .charge(1)
                             .and_then(|()| self.exec_block(&f.body, &mut tf))
@@ -1048,7 +1155,7 @@ impl<'p> Interp<'p> {
                     Flow::Normal => {}
                     ret => return Ok(ret),
                 }
-                i += 1;
+                i = i.wrapping_add(1);
             }
             Ok(Flow::Normal)
         }
@@ -1115,8 +1222,9 @@ impl<'p> Interp<'p> {
     }
 
     /// Runtime builtins (the functions the emitted C runtime also
-    /// provides). Returns `None` if `name` is not a builtin.
-    fn builtin(&self, name: &str, args: &[Value]) -> IResult<Option<Value>> {
+    /// provides). Returns `None` if `name` is not a builtin. Shared
+    /// verbatim by both execution tiers.
+    pub(crate) fn builtin(&self, name: &str, args: &[Value]) -> IResult<Option<Value>> {
         let elem_of = |suffix: &str| match suffix {
             "f32" => Some(Elem::F32),
             "i32" => Some(Elem::I32),
@@ -1257,65 +1365,26 @@ impl<'p> Interp<'p> {
 
     /// Read a CMMX container, allocating through the metered path so
     /// file-backed matrices count against the memory budgets too.
+    ///
+    /// Validation is the shared exact-length [`crate::cmmx`] parser —
+    /// the one implementation both execution tiers dispatch to (through
+    /// the `read_mat_*` builtins) — so trailing garbage, zero-rank
+    /// headers, and truncated dimension tables are typed errors, not
+    /// silently accepted input.
     fn read_cmmx(&self, path: &str, elem: Elem) -> IResult<BufHandle> {
         let bytes = std::fs::read(path)
             .map_err(|e| InterpError::new(format!("readMatrix(\"{path}\"): {e}")))?;
-        let header_err =
-            || InterpError::new(format!("readMatrix(\"{path}\"): truncated header"));
-        if bytes.len() < 8 || &bytes[0..4] != b"CMMX" {
-            return Err(InterpError::new(format!(
-                "readMatrix(\"{path}\"): not a CMMX file"
-            )));
-        }
-        if bytes[4] != elem_tag(elem) {
-            return Err(InterpError::new(format!(
-                "readMatrix(\"{path}\"): element type mismatch"
-            )));
-        }
-        let rank = bytes[5] as usize;
-        let mut off = 8;
-        let mut dims = Vec::with_capacity(rank);
-        for _ in 0..rank {
-            let field: [u8; 8] = bytes
-                .get(off..off + 8)
-                .and_then(|s| s.try_into().ok())
-                .ok_or_else(header_err)?;
-            dims.push(u64::from_le_bytes(field) as usize);
-            off += 8;
-        }
-        let mut n: usize = 1;
-        for &d in &dims {
-            n = n.checked_mul(d).ok_or_else(|| {
-                InterpError::new(format!(
-                    "readMatrix(\"{path}\"): dimensions {dims:?} overflow"
-                ))
-            })?;
-        }
-        let payload = n.checked_mul(4).and_then(|p| off.checked_add(p));
-        if payload.is_none_or(|end| bytes.len() < end) {
-            return Err(InterpError::new(format!(
-                "readMatrix(\"{path}\"): truncated file"
-            )));
-        }
-        let buf = self.alloc_buffer(elem, dims)?;
-        for i in 0..n {
-            let cell: [u8; 4] = bytes[off + 4 * i..off + 4 * i + 4]
-                .try_into()
-                .map_err(|_| header_err())?;
-            let cell = u32::from_le_bytes(cell);
-            // Bool cells store 0/1 in the low byte.
-            let bits = if elem == Elem::Bool {
-                u32::from(cell & 0xff != 0)
-            } else {
-                cell
-            };
-            buf.write_bits(i, bits)?;
+        let header = cmmx::parse(&bytes, elem)
+            .map_err(|e| InterpError::new(format!("readMatrix(\"{path}\"): {e}")))?;
+        let buf = self.alloc_buffer(elem, header.dims.clone())?;
+        for i in 0..header.len {
+            buf.write_bits(i, cmmx::cell_bits(&bytes, &header, elem, i))?;
         }
         Ok(buf)
     }
 }
 
-fn default_value(ty: CType) -> Value {
+pub(crate) fn default_value(ty: CType) -> Value {
     match ty {
         CType::Int => Value::I(0),
         CType::Float => Value::F(0.0),
@@ -1324,7 +1393,7 @@ fn default_value(ty: CType) -> Value {
     }
 }
 
-fn eval_bin(op: IrBinOp, a: &Value, b: &Value) -> IResult<Value> {
+pub(crate) fn eval_bin(op: IrBinOp, a: &Value, b: &Value) -> IResult<Value> {
     use IrBinOp::*;
     // Numeric promotion: float if either side is float.
     let float = matches!(a, Value::F(_)) || matches!(b, Value::F(_));
@@ -1398,19 +1467,11 @@ fn eval_bin(op: IrBinOp, a: &Value, b: &Value) -> IResult<Value> {
 
 // --- CMMX file IO (same container format as cmm-runtime::io) -----------
 
-fn elem_tag(elem: Elem) -> u8 {
-    match elem {
-        Elem::I32 => 0,
-        Elem::F32 => 1,
-        Elem::Bool => 2,
-    }
-}
-
 fn write_cmmx(path: &str, buf: &BufHandle) -> IResult<()> {
     buf.check_live()?;
     let mut out = Vec::with_capacity(8 + 8 * buf.dims().len() + 4 * buf.len());
     out.extend_from_slice(b"CMMX");
-    out.push(elem_tag(buf.elem()));
+    out.push(cmmx::elem_tag(buf.elem()));
     out.push(buf.dims().len() as u8);
     out.extend_from_slice(&[0, 0]);
     for &d in buf.dims() {

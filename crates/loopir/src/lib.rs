@@ -18,17 +18,20 @@
 //!   Rust on top of `cmm-forkjoin`, so every compiled program can also be
 //!   run and measured without a C toolchain.
 
+pub mod cmmx;
 pub mod emit;
 pub mod interp;
 mod ir;
 mod resolve;
 pub mod snapshot;
 pub mod transform;
+mod vm;
 
+pub use cmmx::CmmxError;
 pub use emit::EmitError;
 pub use interp::{
     BufHandle, FnProfile, Interp, InterpError, InterpErrorKind, InterpProfile, LimitKind, Limits,
-    Value,
+    Tier, Value,
 };
 pub use cmm_forkjoin::{Schedule, schedule::DEFAULT_DYNAMIC_CHUNK, schedule::DEFAULT_GUIDED_MIN_CHUNK};
 pub use ir::{CType, Elem, ForLoop, IrBinOp, IrExpr, IrFunction, IrProgram, IrStmt};

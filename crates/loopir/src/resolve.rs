@@ -23,7 +23,7 @@ use std::collections::{BTreeSet, HashMap};
 use crate::ir::{CType, IrBinOp, IrExpr, IrFunction, IrProgram, IrStmt};
 
 /// Resolved call target.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) enum RCallee {
     /// Index into [`RProgram::functions`].
     User(usize),
@@ -41,7 +41,10 @@ pub(crate) enum RTarget {
 }
 
 /// Resolved expression: [`IrExpr`] with variables as slots.
-#[derive(Debug, Clone)]
+/// `PartialEq` is structural (float literals compare by IEEE equality, so
+/// a NaN literal never equals itself — that only makes the VM's
+/// common-subexpression check conservatively skip it).
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) enum RExpr {
     Int(i32),
     Float(f32),

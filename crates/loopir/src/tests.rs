@@ -1387,3 +1387,534 @@ proptest! {
         prop_assert_eq!(&got, &expected, "m={} n={} bi={} bj={} symbolic={}", m, n, bi, bj, symbolic);
     }
 }
+
+mod vm_tests {
+    use super::*;
+
+    /// Run under one tier; panics if the VM silently fell back to the
+    /// tree-walker (a lowering gap is a bug, not a shrug).
+    fn run_tier(program: &IrProgram, threads: usize, tier: Tier) -> (String, String, u64) {
+        let interp = Interp::new(program, threads).with_tier(tier);
+        assert_eq!(interp.effective_tier(), tier, "tier fell back silently");
+        let v = interp.run_main().unwrap_or_else(|e| panic!("{tier}: {e}"));
+        (format!("{v:?}"), interp.output(), interp.steps_used())
+    }
+
+    /// Both tiers must produce bitwise-identical output, return value,
+    /// and — the accounting-equivalence contract — step totals.
+    fn assert_tiers_agree(program: &IrProgram, threads: usize) -> u64 {
+        let (vt, ot, st) = run_tier(program, threads, Tier::Tree);
+        let (vv, ov, sv) = run_tier(program, threads, Tier::Vm);
+        assert_eq!(ov, ot, "output differs between tiers");
+        assert_eq!(vv, vt, "return value differs between tiers");
+        assert_eq!(sv, st, "step accounting differs between tiers");
+        st
+    }
+
+    /// Both tiers must fail with the same typed error and the same
+    /// output produced before the failure.
+    fn assert_error_parity(program: &IrProgram, threads: usize) -> InterpError {
+        let it = Interp::new(program, threads).with_tier(Tier::Tree);
+        let et = it.run_main().unwrap_err();
+        let iv = Interp::new(program, threads).with_tier(Tier::Vm);
+        assert_eq!(iv.effective_tier(), Tier::Vm, "tier fell back silently");
+        let ev = iv.run_main().unwrap_err();
+        assert_eq!(ev, et, "error differs between tiers");
+        assert_eq!(iv.output(), it.output(), "pre-error output differs");
+        et
+    }
+
+    fn main_with(body: Vec<IrStmt>) -> IrProgram {
+        IrProgram {
+            functions: vec![IrFunction {
+                name: "main".into(),
+                params: vec![],
+                ret: CType::Void,
+                ret_tuple: None,
+                body,
+            }],
+        }
+    }
+
+    fn fuel(f: u64) -> Limits {
+        Limits {
+            fuel: Some(f),
+            ..Limits::default()
+        }
+    }
+
+    #[test]
+    fn vm_matches_tree_on_corpus_kernels() {
+        for threads in [1, 4] {
+            assert_tiers_agree(&mean_program(3, 4, 5), threads);
+            assert_tiers_agree(&tail_sum_kernel(17, false), threads);
+            assert_tiers_agree(&tail_sum_kernel(17, true), threads);
+            assert_tiers_agree(&grid_kernel(5, 7, false), threads);
+            assert_tiers_agree(&grid_kernel(5, 7, true), threads);
+        }
+    }
+
+    #[test]
+    fn vm_matches_tree_on_control_flow_and_casts() {
+        // while / if-else / rem / casts / unary ops / short-circuit.
+        let prog = main_with(vec![
+            IrStmt::Decl { ty: CType::Int, name: "s".into(), init: Some(i(0)) },
+            IrStmt::Decl { ty: CType::Int, name: "n".into(), init: Some(i(0)) },
+            IrStmt::While {
+                cond: IrExpr::bin(B::Lt, v("n"), i(12)),
+                body: vec![
+                    IrStmt::If {
+                        cond: IrExpr::bin(
+                            B::And,
+                            IrExpr::bin(B::Eq, IrExpr::bin(B::Rem, v("n"), i(2)), i(0)),
+                            IrExpr::bin(
+                                B::Or,
+                                IrExpr::bin(B::Gt, v("n"), i(5)),
+                                IrExpr::Not(Box::new(IrExpr::bin(B::Ge, v("n"), i(3)))),
+                            ),
+                        ),
+                        then_b: vec![IrStmt::Assign {
+                            name: "s".into(),
+                            value: IrExpr::add(v("s"), v("n")),
+                        }],
+                        else_b: vec![IrStmt::Assign {
+                            name: "s".into(),
+                            value: IrExpr::bin(B::Sub, v("s"), i(1)),
+                        }],
+                    },
+                    IrStmt::Assign { name: "n".into(), value: IrExpr::add(v("n"), i(1)) },
+                ],
+            },
+            IrStmt::Expr(IrExpr::Call("print_i32".into(), vec![v("s")])),
+            IrStmt::Expr(IrExpr::Call(
+                "print_f32".into(),
+                vec![IrExpr::CastFloat(Box::new(IrExpr::Neg(Box::new(v("s")))))],
+            )),
+            IrStmt::Expr(IrExpr::Call(
+                "print_i32".into(),
+                vec![IrExpr::CastInt(Box::new(IrExpr::Float(-7.9)))],
+            )),
+        ]);
+        assert_tiers_agree(&prog, 1);
+    }
+
+    #[test]
+    fn vm_matches_tree_on_parallel_schedules() {
+        let schedules = [
+            Schedule::Static,
+            Schedule::Dynamic { chunk: 1 },
+            Schedule::Dynamic { chunk: 7 },
+            Schedule::Guided { min_chunk: 2 },
+        ];
+        for process_default in schedules {
+            for per_loop in [None, Some(Schedule::Dynamic { chunk: 3 })] {
+                for threads in [1, 4] {
+                    let prog = main_with(vec![
+                        IrStmt::Decl {
+                            ty: CType::Buf(Elem::I32),
+                            name: "m".into(),
+                            init: Some(IrExpr::Call("alloc_mat_i32".into(), vec![i(500)])),
+                        },
+                        IrStmt::For(ForLoop {
+                            schedule: per_loop,
+                            var: "x".into(),
+                            lo: i(0),
+                            hi: i(500),
+                            body: vec![IrStmt::Store {
+                                elem: Elem::I32,
+                                buf: v("m"),
+                                idx: v("x"),
+                                value: IrExpr::mul(v("x"), i(3)),
+                            }],
+                            parallel: true,
+                            vector: false,
+                        }),
+                        IrStmt::Decl { ty: CType::Int, name: "s".into(), init: Some(i(0)) },
+                        IrStmt::For(ForLoop {
+                            schedule: None,
+                            var: "y".into(),
+                            lo: i(0),
+                            hi: i(500),
+                            body: vec![IrStmt::Assign {
+                                name: "s".into(),
+                                value: IrExpr::add(
+                                    v("s"),
+                                    IrExpr::Load {
+                                        elem: Elem::I32,
+                                        buf: Box::new(v("m")),
+                                        idx: Box::new(v("y")),
+                                    },
+                                ),
+                            }],
+                            parallel: false,
+                            vector: false,
+                        }),
+                        IrStmt::Expr(IrExpr::Call("print_i32".into(), vec![v("s")])),
+                    ]);
+                    let st = {
+                        let it = Interp::new(&prog, threads)
+                            .with_schedule(process_default)
+                            .with_tier(Tier::Tree);
+                        it.run_main().unwrap();
+                        assert_eq!(it.output(), "374250\n");
+                        it.steps_used()
+                    };
+                    let iv = Interp::new(&prog, threads)
+                        .with_schedule(process_default)
+                        .with_tier(Tier::Vm);
+                    assert_eq!(iv.effective_tier(), Tier::Vm);
+                    iv.run_main().unwrap();
+                    assert_eq!(iv.output(), "374250\n", "{process_default:?}/{per_loop:?}");
+                    assert_eq!(iv.steps_used(), st, "{process_default:?}/{per_loop:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vm_matches_tree_on_spawn_sync_and_tuples() {
+        let square = IrFunction {
+            name: "square".into(),
+            params: vec![("x".into(), CType::Int)],
+            ret: CType::Int,
+            ret_tuple: None,
+            body: vec![IrStmt::Return(Some(IrExpr::mul(v("x"), v("x"))))],
+        };
+        let divmod = IrFunction {
+            name: "divmod".into(),
+            params: vec![("a".into(), CType::Int), ("b".into(), CType::Int)],
+            ret: CType::Void,
+            ret_tuple: Some(vec![CType::Int, CType::Int]),
+            body: vec![IrStmt::Return(Some(IrExpr::Tuple(vec![
+                IrExpr::bin(B::Div, v("a"), v("b")),
+                IrExpr::bin(B::Rem, v("a"), v("b")),
+            ])))],
+        };
+        let main = IrFunction {
+            name: "main".into(),
+            params: vec![],
+            ret: CType::Void,
+            ret_tuple: None,
+            body: vec![
+                IrStmt::Decl { ty: CType::Int, name: "a".into(), init: Some(i(0)) },
+                IrStmt::Decl { ty: CType::Int, name: "b".into(), init: Some(i(0)) },
+                IrStmt::Spawn {
+                    target: Some("a".into()),
+                    target_is_buf: false,
+                    func: "square".into(),
+                    args: vec![i(7)],
+                },
+                IrStmt::Spawn {
+                    target: Some("b".into()),
+                    target_is_buf: false,
+                    func: "square".into(),
+                    args: vec![i(9)],
+                },
+                IrStmt::Sync,
+                IrStmt::Expr(IrExpr::Call(
+                    "print_i32".into(),
+                    vec![IrExpr::add(v("a"), v("b"))],
+                )),
+                IrStmt::Decl { ty: CType::Int, name: "q".into(), init: None },
+                IrStmt::Decl { ty: CType::Int, name: "r".into(), init: None },
+                IrStmt::UnpackCall {
+                    targets: vec!["q".into(), "r".into()],
+                    call: IrExpr::Call("divmod".into(), vec![i(17), i(5)]),
+                },
+                IrStmt::Expr(IrExpr::Call("print_i32".into(), vec![v("q")])),
+                IrStmt::Expr(IrExpr::Call("print_i32".into(), vec![v("r")])),
+            ],
+        };
+        let prog = IrProgram { functions: vec![main, square, divmod] };
+        for threads in [1, 3] {
+            assert_tiers_agree(&prog, threads);
+        }
+        let (_, out, _) = run_tier(&prog, 2, Tier::Vm);
+        assert_eq!(out, "130\n3\n2\n");
+    }
+
+    #[test]
+    fn fuel_boundary_pins_identical_step_totals() {
+        for (name, prog, threads) in [
+            ("mean", mean_program(2, 3, 4), 1),
+            ("tail_sum", tail_sum_kernel(9, false), 1),
+            ("grid", grid_kernel(4, 4, true), 1),
+        ] {
+            let steps = assert_tiers_agree(&prog, threads);
+            for tier in [Tier::Tree, Tier::Vm] {
+                let ok = Interp::new(&prog, threads).with_tier(tier).with_limits(fuel(steps));
+                ok.run_main()
+                    .unwrap_or_else(|e| panic!("{name}/{tier}: fuel == {steps} must succeed: {e}"));
+                assert_eq!(ok.steps_used(), steps, "{name}/{tier}");
+                let tight = Interp::new(&prog, threads).with_tier(tier).with_limits(fuel(steps - 1));
+                let err = tight.run_main().unwrap_err();
+                assert_eq!(
+                    err.limit_kind(),
+                    Some(LimitKind::Fuel),
+                    "{name}/{tier}: fuel == {} must hit the fuel limit, got {err}",
+                    steps - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fuel_sweep_agrees_at_every_budget() {
+        // Every budget below the exact step total must fail under both
+        // tiers, and the exact total must succeed under both: the
+        // LimitExceeded *boundary* is tier-invariant even though the VM
+        // charges per block rather than per node.
+        let prog = tail_sum_kernel(4, false);
+        let steps = assert_tiers_agree(&prog, 1);
+        for f in 1..=steps {
+            let rt = Interp::new(&prog, 1).with_tier(Tier::Tree).with_limits(fuel(f)).run_main();
+            let rv = Interp::new(&prog, 1).with_tier(Tier::Vm).with_limits(fuel(f)).run_main();
+            assert_eq!(rt.is_ok(), rv.is_ok(), "fuel {f}/{steps}");
+            if let (Err(et), Err(ev)) = (&rt, &rv) {
+                assert_eq!(et.limit_kind(), ev.limit_kind(), "fuel {f}/{steps}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_i32_range_loop_hits_fuel_instead_of_overflowing() {
+        // Regression: the iteration count was computed as `(hi - lo) as
+        // usize`, which overflows i32 (debug-build panic) for the full
+        // i32 range; indices were built with unchecked `lo + k`. Both
+        // now wrap, matching emitted-C arithmetic, so a full-range loop
+        // simply burns fuel until the budget stops it — in both tiers.
+        for parallel in [false, true] {
+            for tier in [Tier::Tree, Tier::Vm] {
+                let prog = main_with(vec![
+                    IrStmt::Decl { ty: CType::Int, name: "s".into(), init: Some(i(0)) },
+                    IrStmt::For(ForLoop {
+                        schedule: None,
+                        var: "x".into(),
+                        lo: i(i64::from(i32::MIN)),
+                        hi: i(i64::from(i32::MAX)),
+                        body: vec![IrStmt::Assign {
+                            name: "s".into(),
+                            value: IrExpr::add(v("s"), i(1)),
+                        }],
+                        parallel,
+                        vector: false,
+                    }),
+                ]);
+                let interp = Interp::new(&prog, 2).with_tier(tier).with_limits(fuel(10_000));
+                let err = interp.run_main().unwrap_err();
+                assert_eq!(
+                    err.limit_kind(),
+                    Some(LimitKind::Fuel),
+                    "{tier} parallel={parallel}: {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn near_max_loop_indices_match_between_tiers() {
+        // Index construction near i32::MAX must produce the same values
+        // in both tiers (wrapping `lo + k`), sequential and parallel.
+        for parallel in [false, true] {
+            let prog = main_with(vec![IrStmt::For(ForLoop {
+                schedule: None,
+                var: "x".into(),
+                lo: i(i64::from(i32::MAX) - 5),
+                hi: i(i64::from(i32::MAX)),
+                body: vec![IrStmt::Expr(IrExpr::Call("print_i32".into(), vec![v("x")]))],
+                parallel,
+                vector: false,
+            })]);
+            let steps = assert_tiers_agree(&prog, 1);
+            assert!(steps > 0);
+            let (_, out, _) = run_tier(&prog, 1, Tier::Vm);
+            assert_eq!(out, "2147483642\n2147483643\n2147483644\n2147483645\n2147483646\n");
+        }
+    }
+
+    #[test]
+    fn runtime_errors_identical_between_tiers() {
+        // Division by zero, mid-program.
+        let div0 = main_with(vec![
+            IrStmt::Expr(IrExpr::Call("print_i32".into(), vec![i(1)])),
+            IrStmt::Expr(IrExpr::bin(B::Div, i(1), i(0))),
+        ]);
+        assert!(assert_error_parity(&div0, 1).message.contains("division by zero"));
+
+        // Negative and out-of-bounds indices.
+        let neg = main_with(vec![
+            IrStmt::Decl {
+                ty: CType::Buf(Elem::I32),
+                name: "m".into(),
+                init: Some(IrExpr::Call("alloc_mat_i32".into(), vec![i(2)])),
+            },
+            IrStmt::Store { elem: Elem::I32, buf: v("m"), idx: i(-1), value: i(0) },
+        ]);
+        assert!(assert_error_parity(&neg, 1).message.contains("negative store index"));
+        let oob = main_with(vec![
+            IrStmt::Decl {
+                ty: CType::Buf(Elem::I32),
+                name: "m".into(),
+                init: Some(IrExpr::Call("alloc_mat_i32".into(), vec![i(2)])),
+            },
+            IrStmt::Expr(IrExpr::Load {
+                elem: Elem::I32,
+                buf: Box::new(v("m")),
+                idx: Box::new(i(5)),
+            }),
+        ]);
+        assert!(assert_error_parity(&oob, 1).message.contains("out of bounds"));
+
+        // Name-resolution failures.
+        let undef_var = main_with(vec![IrStmt::Expr(IrExpr::Var("nope".into()))]);
+        assert!(assert_error_parity(&undef_var, 1).message.contains("undefined variable"));
+        let undef_fn = main_with(vec![IrStmt::Expr(IrExpr::Call("nope".into(), vec![]))]);
+        assert!(assert_error_parity(&undef_fn, 1).message.contains("undefined function"));
+
+        // Arity mismatch against a user function.
+        let mut arity = main_with(vec![IrStmt::Expr(IrExpr::Call("square".into(), vec![]))]);
+        arity.functions.push(IrFunction {
+            name: "square".into(),
+            params: vec![("x".into(), CType::Int)],
+            ret: CType::Int,
+            ret_tuple: None,
+            body: vec![IrStmt::Return(Some(v("x")))],
+        });
+        assert!(assert_error_parity(&arity, 1).message.contains("takes 1 arguments, got 0"));
+
+        // Use after free, with output produced before the fault.
+        let uaf = main_with(vec![
+            IrStmt::Decl {
+                ty: CType::Buf(Elem::F32),
+                name: "m".into(),
+                init: Some(IrExpr::Call("alloc_mat_f32".into(), vec![i(4)])),
+            },
+            IrStmt::Expr(IrExpr::Call("print_i32".into(), vec![IrExpr::Call("rc_count".into(), vec![v("m")])])),
+            IrStmt::Expr(IrExpr::Call("rc_decr".into(), vec![v("m")])),
+            IrStmt::Expr(IrExpr::Load {
+                elem: Elem::F32,
+                buf: Box::new(v("m")),
+                idx: Box::new(i(0)),
+            }),
+        ]);
+        assert!(assert_error_parity(&uaf, 1).message.contains("use after free"));
+
+        // Return from inside a parallel region.
+        let ret_par = main_with(vec![IrStmt::For(ForLoop {
+            schedule: None,
+            var: "x".into(),
+            lo: i(0),
+            hi: i(8),
+            body: vec![IrStmt::Return(None)],
+            parallel: true,
+            vector: false,
+        })]);
+        assert!(assert_error_parity(&ret_par, 1)
+            .message
+            .contains("return inside a parallel loop is not supported"));
+    }
+
+    // ---- CMMX container validation, against both tiers ----
+
+    fn cmmx_bytes(tag: u8, rank: u8, dims: &[u64], cells: &[u32]) -> Vec<u8> {
+        let mut b = b"CMMX".to_vec();
+        b.push(tag);
+        b.push(rank);
+        b.extend([0, 0]);
+        for d in dims {
+            b.extend(d.to_le_bytes());
+        }
+        for c in cells {
+            b.extend(c.to_le_bytes());
+        }
+        b
+    }
+
+    fn read_i32_prog(path: &str) -> IrProgram {
+        main_with(vec![
+            IrStmt::Decl {
+                ty: CType::Buf(Elem::I32),
+                name: "m".into(),
+                init: Some(IrExpr::Call(
+                    "read_mat_i32".into(),
+                    vec![IrExpr::Str(path.into())],
+                )),
+            },
+            IrStmt::Expr(IrExpr::Call(
+                "print_i32".into(),
+                vec![IrExpr::Call("len".into(), vec![v("m")])],
+            )),
+            IrStmt::Expr(IrExpr::Call(
+                "print_i32".into(),
+                vec![IrExpr::Load {
+                    elem: Elem::I32,
+                    buf: Box::new(v("m")),
+                    idx: Box::new(i(0)),
+                }],
+            )),
+        ])
+    }
+
+    fn assert_cmmx_rejected(name: &str, bytes: &[u8], want: &str) {
+        let path = std::env::temp_dir().join(format!(
+            "cmm-vmtest-{}-{name}.cmmx",
+            std::process::id()
+        ));
+        std::fs::write(&path, bytes).unwrap();
+        let prog = read_i32_prog(path.to_str().unwrap());
+        let err = assert_error_parity(&prog, 1);
+        assert!(
+            err.message.contains("readMatrix(") && err.message.contains(want),
+            "{name}: {}",
+            err.message
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn cmmx_valid_container_reads_in_both_tiers() {
+        let path = std::env::temp_dir().join(format!("cmm-vmtest-{}-ok.cmmx", std::process::id()));
+        std::fs::write(&path, cmmx_bytes(0, 1, &[3], &[41, 42, 43])).unwrap();
+        let prog = read_i32_prog(path.to_str().unwrap());
+        assert_tiers_agree(&prog, 1);
+        let (_, out, _) = run_tier(&prog, 1, Tier::Vm);
+        assert_eq!(out, "3\n41\n");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn cmmx_malformed_containers_rejected_by_both_tiers() {
+        assert_cmmx_rejected("badmagic", b"CMMY\x00\x01\x00\x00", "not a CMMX file");
+        assert_cmmx_rejected("short", b"CMMX", "not a CMMX file");
+        assert_cmmx_rejected(
+            "elemtag",
+            &cmmx_bytes(1, 1, &[1], &[0]),
+            "element type mismatch",
+        );
+        assert_cmmx_rejected("zerorank", &cmmx_bytes(0, 0, &[], &[]), "rank 0");
+        // Rank 255 declared on a file that ends at the 8-byte header.
+        assert_cmmx_rejected("rank255", &cmmx_bytes(0, 255, &[], &[]), "truncated header");
+        // Rank 2 with only one dimension recorded.
+        assert_cmmx_rejected(
+            "truncdims",
+            &cmmx_bytes(0, 2, &[3], &[]),
+            "truncated header",
+        );
+        // Payload shorter than the dimensions require.
+        assert_cmmx_rejected(
+            "truncpayload",
+            &cmmx_bytes(0, 1, &[3], &[1, 2]),
+            "truncated file",
+        );
+        // One byte of trailing garbage after a valid payload.
+        let mut trailing = cmmx_bytes(0, 1, &[2], &[1, 2]);
+        trailing.push(0xEE);
+        assert_cmmx_rejected("trailing", &trailing, "trailing byte(s)");
+        // Dimension product overflowing usize.
+        assert_cmmx_rejected(
+            "overflow",
+            &cmmx_bytes(0, 2, &[u64::MAX / 2, 8], &[]),
+            "overflow",
+        );
+    }
+}

@@ -1,0 +1,1271 @@
+//! Register-based bytecode VM: the second execution tier.
+//!
+//! The slot-resolved form ([`crate::resolve`]) is lowered once per
+//! function into a flat [`Instr`] stream over a register file that
+//! extends the frame's slot array (slots `0..nslots` keep their resolved
+//! indices; expression temporaries live above them). Execution is a tight
+//! `match` loop over the compact enum — no tree pointers, no recursive
+//! `eval` frames — while every *semantic* operation (binops, buffer
+//! access, builtins, spawns, parallel regions, limits) calls the exact
+//! same `Interp` runtime the tree-walker uses, so outputs, error
+//! messages, telemetry, and resource accounting are identical by
+//! construction.
+//!
+//! ## Block metering
+//!
+//! The tree-walker charges one fuel step per statement, at the top of
+//! each statement. The VM coalesces those per-node checks into one
+//! [`Instr::Charge`] per *straight-line statement group*: a maximal run
+//! of statements that cannot alter control flow (decl/assign/store/expr/
+//! spawn/sync/unpack), plus the single following control statement
+//! (`if`/`for`/`while`/`return`), whose own step is unconditional the
+//! moment the group is entered. Loop back-edges re-charge per iteration
+//! ([`Instr::ForHead`] fuses the iteration step with the body's leading
+//! group). Because every charged statement is *reached* whenever its
+//! group is entered, cumulative totals match the tree-walker exactly on
+//! every run that completes or stops at a limit — the same fuel value
+//! exhausts both tiers at the same boundary (pinned by test). The one
+//! visible skew: a run that dies on a *runtime* error mid-group has
+//! already charged the rest of its group, so under a fuel budget tighter
+//! than the error point plus that remainder the VM reports fuel
+//! exhaustion where the tree-walker reports the runtime error.
+//!
+//! ## Parallel regions
+//!
+//! `ParFor` mirrors the tree-walker's fork-join execution: participants
+//! claim chunks from a shared counter under the loop's schedule, each
+//! running the loop body's bytecode against a private frame seeded with
+//! the captured slots. `PoolMetrics` chunk accounting and the profiling
+//! counters are fed identically.
+//!
+//! ## Compile-once / execute-many
+//!
+//! [`compile`] produces a [`VmProgram`] — pure data, no interpreter
+//! state. `Interp::with_tier(Tier::Vm)` attaches one to an interpreter;
+//! frames (execution contexts) are a `Vec<Value>` each, so re-running
+//! `main` or serving many calls re-uses the compiled program with only
+//! per-call frame allocation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use cmm_forkjoin::{next_chunk, Schedule};
+
+use crate::interp::{
+    default_value, eval_bin, lock_ignore_poison, Frame, IResult, Interp, InterpError, Pending,
+    Value,
+};
+use crate::ir::IrBinOp;
+use crate::resolve::{RCallee, RExpr, RFor, RFunction, RProgram, RStmt, RTarget};
+
+/// Why a program cannot be lowered to bytecode (the interpreter falls
+/// back to the tree-walking tier when compilation reports one of these).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmLimit(pub &'static str);
+
+impl std::fmt::Display for VmLimit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vm lowering limit: {}", self.0)
+    }
+}
+
+/// One bytecode instruction. Registers are `u16` indices into the
+/// frame's register file; jump targets are absolute `u32` offsets into
+/// the owning code stream.
+#[derive(Debug, Clone)]
+pub(crate) enum Instr {
+    /// Meter `n` fuel steps (a straight-line statement group).
+    Charge(u32),
+    /// `dst = consts[k]`.
+    Const { dst: u16, k: u16 },
+    /// `dst = src`.
+    Copy { dst: u16, src: u16 },
+    /// `dst = a <op> b` (shared [`eval_bin`] semantics; int/int fast path
+    /// inline).
+    Bin { op: IrBinOp, dst: u16, a: u16, b: u16 },
+    /// `dst = -src` (int or float).
+    Neg { dst: u16, src: u16 },
+    /// `dst = !src` (bool coercion as the tree-walker's `as_b`).
+    Not { dst: u16, src: u16 },
+    /// `dst = src` coerced to int (`as_i`), for index/bound positions.
+    AsInt { dst: u16, src: u16 },
+    /// `dst = (int) src`.
+    CastInt { dst: u16, src: u16 },
+    /// `dst = (float) src`.
+    CastFloat { dst: u16, src: u16 },
+    /// `dst = buf[idx]` (idx already `AsInt`-ed).
+    Load { dst: u16, buf: u16, idx: u16 },
+    /// `buf[idx] = val` (idx already `AsInt`-ed).
+    Store { buf: u16, idx: u16, val: u16 },
+    /// Unconditional jump.
+    Jump { to: u32 },
+    /// Jump when `cond` coerces to false.
+    JumpIfFalse { cond: u16, to: u32 },
+    /// Jump when `cond` coerces to true.
+    JumpIfTrue { cond: u16, to: u32 },
+    /// Sequential loop head: exit when `counter >= hi`, else charge
+    /// `charge` steps (iteration + fused body group) and set `var`.
+    ForHead { counter: u16, hi: u16, var: u16, charge: u32, exit: u32 },
+    /// Sequential loop back-edge: wrapping-increment `counter`, jump to
+    /// the matching [`Instr::ForHead`].
+    ForNext { counter: u16, head: u32 },
+    /// `dst = functions[func](regs[base..base+n])`.
+    CallUser { dst: u16, func: u16, base: u16, n: u16 },
+    /// `dst = dimSize(regs[buf], regs[d])`. Lowered subscript arithmetic
+    /// calls `dim` per element access, so it gets a dedicated instruction
+    /// reading its operands in place — no argument copies (each would
+    /// bump the buffer's `Arc`), no name dispatch. Semantics are
+    /// identical to the `dim` builtin.
+    Dim { dst: u16, buf: u16, d: u16 },
+    /// `dst = builtin names[name](regs[base..base+n])`; undefined-function
+    /// error if the name is not a builtin.
+    CallNamed { dst: u16, name: u16, base: u16, n: u16 },
+    /// `dst = (regs[base], .., regs[base+n-1])`.
+    Tuple { dst: u16, base: u16, n: u16 },
+    /// Unpack the tuple in `src` into `unpacks[id]` targets.
+    Unpack { id: u16, src: u16 },
+    /// Queue `spawns[id]` with args `regs[base..base+n]` on the frame.
+    Spawn { id: u16, base: u16 },
+    /// Run the frame's pending spawns (the `sync` runtime).
+    Sync,
+    /// Execute `parfors[id]` on the fork-join pool.
+    ParFor { id: u16 },
+    /// Raise the prebuilt runtime error `msgs[msg]` (undefined
+    /// variable/assignment — resolution keeps these lazy).
+    Fail { msg: u16 },
+    /// Return `regs[src]`.
+    Ret { src: u16 },
+    /// Return unit.
+    RetUnit,
+}
+
+/// A lowered parallel loop: bound registers, the chunk body's bytecode,
+/// and everything `Interp::exec_for` needed from the resolved form.
+#[derive(Debug, Clone)]
+pub(crate) struct ParForData {
+    pub var: u16,
+    /// Register holding the already-coerced lower bound.
+    pub lo: u16,
+    /// Register holding the already-coerced upper bound.
+    pub hi: u16,
+    /// Per-iteration bytecode (leading `Charge` carries the iteration
+    /// step fused with the body's first group).
+    pub body: Vec<Instr>,
+    pub captured: Vec<u16>,
+    pub schedule: Option<Schedule>,
+}
+
+/// A deferred spawn site (arguments are read from registers at the
+/// `Spawn` instruction; the rest is fixed at compile time).
+#[derive(Debug, Clone)]
+pub(crate) struct SpawnData {
+    pub target: Option<RTarget>,
+    pub target_is_buf: bool,
+    pub callee: RCallee,
+    pub n: u16,
+}
+
+/// One function's compiled form. (Arity lives on the resolved function;
+/// `call_function` checks it there so the error message is shared.)
+#[derive(Debug, Clone)]
+pub(crate) struct VmFunction {
+    /// Register-file size: `nslots` resolved slots plus temporaries.
+    pub nregs: usize,
+    pub code: Vec<Instr>,
+    pub consts: Vec<Value>,
+    /// Builtin / undefined callee names for `CallNamed`.
+    pub names: Vec<String>,
+    /// Prebuilt error messages for `Fail`.
+    pub msgs: Vec<String>,
+    /// Target lists for `Unpack`.
+    pub unpacks: Vec<Vec<RTarget>>,
+    pub spawns: Vec<SpawnData>,
+    pub parfors: Vec<ParForData>,
+}
+
+/// A compiled program: pure data, shareable across runs.
+#[derive(Debug, Clone)]
+pub(crate) struct VmProgram {
+    pub funcs: Vec<VmFunction>,
+}
+
+/// Lower a resolved program to bytecode.
+pub(crate) fn compile(p: &RProgram) -> Result<VmProgram, VmLimit> {
+    let funcs = p
+        .functions
+        .iter()
+        .map(compile_function)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(VmProgram { funcs })
+}
+
+// --- lowering -----------------------------------------------------------
+
+struct FnCompiler {
+    code: Vec<Instr>,
+    consts: Vec<Value>,
+    names: Vec<String>,
+    msgs: Vec<String>,
+    unpacks: Vec<Vec<RTarget>>,
+    spawns: Vec<SpawnData>,
+    parfors: Vec<ParForData>,
+    /// Next free register (watermark allocator: statements reset it,
+    /// loop bounds hold theirs across the body).
+    temp: usize,
+    max_reg: usize,
+    /// Charges may only fuse into an instruction emitted after the most
+    /// recent label (a fused charge before a jump target would be skipped
+    /// by the jump).
+    fuse_barrier: usize,
+}
+
+fn compile_function(f: &RFunction) -> Result<VmFunction, VmLimit> {
+    if f.nslots > u16::MAX as usize {
+        return Err(VmLimit("too many frame slots"));
+    }
+    let mut c = FnCompiler {
+        code: Vec::new(),
+        consts: Vec::new(),
+        names: Vec::new(),
+        msgs: Vec::new(),
+        unpacks: Vec::new(),
+        spawns: Vec::new(),
+        parfors: Vec::new(),
+        temp: f.nslots,
+        max_reg: f.nslots,
+        fuse_barrier: 0,
+    };
+    c.compile_block(&f.body)?;
+    let vf = VmFunction {
+        nregs: c.max_reg,
+        code: c.code,
+        consts: c.consts,
+        names: c.names,
+        msgs: c.msgs,
+        unpacks: c.unpacks,
+        spawns: c.spawns,
+        parfors: c.parfors,
+    };
+    vf.validate()?;
+    Ok(vf)
+}
+
+impl VmFunction {
+    /// Bytecode well-formedness check, run once per function at compile
+    /// time: every register operand of every instruction (main stream and
+    /// each parallel-loop body) addresses a slot below `nregs`, every
+    /// table id is in range, and every jump target stays inside its
+    /// stream. `Frame::slots` is always exactly `nregs` long
+    /// (`call_function` resizes, `run_parfor` builds templates of that
+    /// length), so a validated function's dispatch loop may use unchecked
+    /// register access. A violation here is a lowering bug; surfacing it
+    /// as a `VmLimit` makes the interpreter fall back to the tree tier
+    /// instead of panicking (or worse).
+    fn validate(&self) -> Result<(), VmLimit> {
+        const BAD: VmLimit = VmLimit("lowering produced out-of-range bytecode operands");
+        let reg = |r: u16| {
+            if (r as usize) < self.nregs {
+                Ok(())
+            } else {
+                Err(BAD)
+            }
+        };
+        let span = |base: u16, n: u16| {
+            if base as usize + n as usize <= self.nregs {
+                Ok(())
+            } else {
+                Err(BAD)
+            }
+        };
+        let id = |i: u16, len: usize| if (i as usize) < len { Ok(()) } else { Err(BAD) };
+        let streams = std::iter::once(&self.code).chain(self.parfors.iter().map(|p| &p.body));
+        for code in streams {
+            let jump = |to: u32| {
+                if to as usize <= code.len() {
+                    Ok(())
+                } else {
+                    Err(BAD)
+                }
+            };
+            for instr in code {
+                match instr {
+                    Instr::Charge(_) | Instr::Sync | Instr::RetUnit => {}
+                    Instr::Const { dst, k } => {
+                        reg(*dst)?;
+                        id(*k, self.consts.len())?;
+                    }
+                    Instr::Copy { dst, src }
+                    | Instr::Neg { dst, src }
+                    | Instr::Not { dst, src }
+                    | Instr::AsInt { dst, src }
+                    | Instr::CastInt { dst, src }
+                    | Instr::CastFloat { dst, src } => {
+                        reg(*dst)?;
+                        reg(*src)?;
+                    }
+                    Instr::Bin { dst, a, b, .. } => {
+                        reg(*dst)?;
+                        reg(*a)?;
+                        reg(*b)?;
+                    }
+                    Instr::Load { dst, buf, idx } => {
+                        reg(*dst)?;
+                        reg(*buf)?;
+                        reg(*idx)?;
+                    }
+                    Instr::Store { buf, idx, val } => {
+                        reg(*buf)?;
+                        reg(*idx)?;
+                        reg(*val)?;
+                    }
+                    Instr::Dim { dst, buf, d } => {
+                        reg(*dst)?;
+                        reg(*buf)?;
+                        reg(*d)?;
+                    }
+                    Instr::Jump { to } => jump(*to)?,
+                    Instr::JumpIfFalse { cond, to } | Instr::JumpIfTrue { cond, to } => {
+                        reg(*cond)?;
+                        jump(*to)?;
+                    }
+                    Instr::ForHead { counter, hi, var, exit, .. } => {
+                        reg(*counter)?;
+                        reg(*hi)?;
+                        reg(*var)?;
+                        jump(*exit)?;
+                    }
+                    Instr::ForNext { counter, head } => {
+                        reg(*counter)?;
+                        jump(*head)?;
+                    }
+                    Instr::CallUser { dst, base, n, .. } => {
+                        reg(*dst)?;
+                        span(*base, *n)?;
+                    }
+                    Instr::CallNamed { dst, name, base, n } => {
+                        reg(*dst)?;
+                        id(*name, self.names.len())?;
+                        span(*base, *n)?;
+                    }
+                    Instr::Tuple { dst, base, n } => {
+                        reg(*dst)?;
+                        span(*base, *n)?;
+                    }
+                    Instr::Unpack { id: u, src } => {
+                        id(*u, self.unpacks.len())?;
+                        reg(*src)?;
+                    }
+                    Instr::Spawn { id: s, base } => {
+                        id(*s, self.spawns.len())?;
+                        span(*base, self.spawns[*s as usize].n)?;
+                    }
+                    Instr::ParFor { id: p } => id(*p, self.parfors.len())?,
+                    Instr::Fail { msg } => id(*msg, self.msgs.len())?,
+                    Instr::Ret { src } => reg(*src)?,
+                }
+            }
+        }
+        for pf in &self.parfors {
+            reg(pf.var)?;
+            reg(pf.lo)?;
+            reg(pf.hi)?;
+            for &s in &pf.captured {
+                reg(s)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Statements that cannot alter control flow: their fuel step may be
+/// charged with the rest of the group's.
+fn is_simple(s: &RStmt) -> bool {
+    matches!(
+        s,
+        RStmt::Decl { .. }
+            | RStmt::Assign { .. }
+            | RStmt::Store { .. }
+            | RStmt::Expr(_)
+            | RStmt::Spawn { .. }
+            | RStmt::Sync
+            | RStmt::UnpackCall { .. }
+    )
+}
+
+impl FnCompiler {
+    fn emit(&mut self, i: Instr) -> usize {
+        self.code.push(i);
+        self.code.len() - 1
+    }
+
+    /// Emit a fuel charge, fusing with an immediately preceding `Charge`
+    /// or `ForHead` when no label sits between them.
+    fn emit_charge(&mut self, n: u32) {
+        if n == 0 {
+            return;
+        }
+        if self.code.len() > self.fuse_barrier {
+            match self.code.last_mut() {
+                Some(Instr::Charge(m)) => {
+                    *m += n;
+                    return;
+                }
+                Some(Instr::ForHead { charge, .. }) => {
+                    *charge += n;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        self.code.push(Instr::Charge(n));
+    }
+
+    fn mark_label(&mut self) -> u32 {
+        self.fuse_barrier = self.code.len();
+        self.code.len() as u32
+    }
+
+    fn patch_to_here(&mut self, at: usize) {
+        let here = self.code.len() as u32;
+        match &mut self.code[at] {
+            Instr::Jump { to }
+            | Instr::JumpIfFalse { to, .. }
+            | Instr::JumpIfTrue { to, .. } => *to = here,
+            Instr::ForHead { exit, .. } => *exit = here,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+        self.fuse_barrier = self.code.len();
+    }
+
+    fn alloc_temp(&mut self) -> Result<u16, VmLimit> {
+        if self.temp >= u16::MAX as usize {
+            return Err(VmLimit("register file overflow"));
+        }
+        let r = self.temp as u16;
+        self.temp += 1;
+        if self.temp > self.max_reg {
+            self.max_reg = self.temp;
+        }
+        Ok(r)
+    }
+
+    fn dst(&mut self, hint: Option<u16>) -> Result<u16, VmLimit> {
+        match hint {
+            Some(d) => Ok(d),
+            None => self.alloc_temp(),
+        }
+    }
+
+    fn konst(&mut self, v: Value) -> Result<u16, VmLimit> {
+        if self.consts.len() >= u16::MAX as usize {
+            return Err(VmLimit("constant pool overflow"));
+        }
+        self.consts.push(v);
+        Ok((self.consts.len() - 1) as u16)
+    }
+
+    fn name_id(&mut self, name: &str) -> Result<u16, VmLimit> {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return Ok(i as u16);
+        }
+        if self.names.len() >= u16::MAX as usize {
+            return Err(VmLimit("name table overflow"));
+        }
+        self.names.push(name.to_string());
+        Ok((self.names.len() - 1) as u16)
+    }
+
+    fn msg_id(&mut self, msg: String) -> Result<u16, VmLimit> {
+        if self.msgs.len() >= u16::MAX as usize {
+            return Err(VmLimit("message table overflow"));
+        }
+        self.msgs.push(msg);
+        Ok((self.msgs.len() - 1) as u16)
+    }
+
+    /// Coerce a register to int in a fresh temp (never in place: the
+    /// source may be a live user slot).
+    fn as_int(&mut self, src: u16) -> Result<u16, VmLimit> {
+        let t = self.alloc_temp()?;
+        self.emit(Instr::AsInt { dst: t, src });
+        Ok(t)
+    }
+
+    fn compile_block(&mut self, stmts: &[RStmt]) -> Result<(), VmLimit> {
+        let mut i = 0;
+        while i < stmts.len() {
+            let mut j = i;
+            while j < stmts.len() && is_simple(&stmts[j]) {
+                j += 1;
+            }
+            let with_compound = j < stmts.len();
+            self.emit_charge((j - i + usize::from(with_compound)) as u32);
+            for s in &stmts[i..j] {
+                let save = self.temp;
+                self.simple_stmt(s)?;
+                self.temp = save;
+            }
+            if with_compound {
+                let save = self.temp;
+                self.compound_stmt(&stmts[j])?;
+                self.temp = save;
+            }
+            i = j + usize::from(with_compound);
+        }
+        Ok(())
+    }
+
+    fn simple_stmt(&mut self, s: &RStmt) -> Result<(), VmLimit> {
+        match s {
+            RStmt::Decl { slot, ty, init } => {
+                let dst = *slot as u16;
+                match init {
+                    Some(e) => {
+                        self.expr(e, Some(dst))?;
+                    }
+                    None => {
+                        let k = self.konst(default_value(*ty))?;
+                        self.emit(Instr::Const { dst, k });
+                    }
+                }
+            }
+            RStmt::Assign { target, value } => match target {
+                RTarget::Slot(s) => {
+                    self.expr(value, Some(*s as u16))?;
+                }
+                RTarget::Undefined(name) => {
+                    // The tree-walker evaluates the value first, then
+                    // errors assigning it; keep that order.
+                    self.expr(value, None)?;
+                    let m = self
+                        .msg_id(format!("assignment to undefined variable '{name}'"))?;
+                    self.emit(Instr::Fail { msg: m });
+                }
+            },
+            RStmt::Store { buf, idx, value } => {
+                let b = self.expr(buf, None)?;
+                let i0 = self.expr(idx, None)?;
+                let ii = self.as_int(i0)?;
+                let v = self.expr(value, None)?;
+                self.emit(Instr::Store { buf: b, idx: ii, val: v });
+            }
+            RStmt::Expr(e) => {
+                self.expr(e, None)?;
+            }
+            RStmt::Spawn {
+                target,
+                target_is_buf,
+                callee,
+                args,
+            } => {
+                let (base, n) = self.eval_args(args)?;
+                if self.spawns.len() >= u16::MAX as usize {
+                    return Err(VmLimit("spawn table overflow"));
+                }
+                let id = self.spawns.len() as u16;
+                self.spawns.push(SpawnData {
+                    target: target.clone(),
+                    target_is_buf: *target_is_buf,
+                    callee: callee.clone(),
+                    n,
+                });
+                self.emit(Instr::Spawn { id, base });
+            }
+            RStmt::Sync => {
+                self.emit(Instr::Sync);
+            }
+            RStmt::UnpackCall { targets, call } => {
+                let src = self.expr(call, None)?;
+                if self.unpacks.len() >= u16::MAX as usize {
+                    return Err(VmLimit("unpack table overflow"));
+                }
+                let id = self.unpacks.len() as u16;
+                self.unpacks.push(targets.clone());
+                self.emit(Instr::Unpack { id, src });
+            }
+            other => unreachable!("compound statement in simple group: {other:?}"),
+        }
+        Ok(())
+    }
+
+    fn compound_stmt(&mut self, s: &RStmt) -> Result<(), VmLimit> {
+        match s {
+            RStmt::If { cond, then_b, else_b } => {
+                let c = self.expr(cond, None)?;
+                let jf = self.emit(Instr::JumpIfFalse { cond: c, to: 0 });
+                self.compile_block(then_b)?;
+                if else_b.is_empty() {
+                    self.patch_to_here(jf);
+                } else {
+                    let je = self.emit(Instr::Jump { to: 0 });
+                    self.patch_to_here(jf);
+                    self.compile_block(else_b)?;
+                    self.patch_to_here(je);
+                }
+            }
+            RStmt::While { cond, body } => {
+                let head = self.mark_label();
+                let c = self.expr(cond, None)?;
+                let jf = self.emit(Instr::JumpIfFalse { cond: c, to: 0 });
+                // Per-iteration step (fuses with the body's first group).
+                self.emit_charge(1);
+                self.compile_block(body)?;
+                self.emit(Instr::Jump { to: head });
+                self.patch_to_here(jf);
+            }
+            RStmt::For(f) if f.parallel => self.parallel_for(f)?,
+            RStmt::For(f) => {
+                let l0 = self.expr(&f.lo, None)?;
+                let counter = self.as_int(l0)?;
+                let h0 = self.expr(&f.hi, None)?;
+                let hi = self.as_int(h0)?;
+                let head = self.mark_label() as usize;
+                self.emit(Instr::ForHead {
+                    counter,
+                    hi,
+                    var: f.var as u16,
+                    charge: 1,
+                    exit: 0,
+                });
+                self.compile_block(&f.body)?;
+                self.emit(Instr::ForNext { counter, head: head as u32 });
+                self.patch_to_here(head);
+            }
+            RStmt::Return(e) => match e {
+                Some(e) => {
+                    let r = self.expr(e, None)?;
+                    self.emit(Instr::Ret { src: r });
+                }
+                None => {
+                    self.emit(Instr::RetUnit);
+                }
+            },
+            other => unreachable!("simple statement compiled as compound: {other:?}"),
+        }
+        Ok(())
+    }
+
+    fn parallel_for(&mut self, f: &RFor) -> Result<(), VmLimit> {
+        // Bounds evaluate (and coerce) in the caller's frame, in the
+        // tree-walker's order: lo, then hi.
+        let l0 = self.expr(&f.lo, None)?;
+        let lo = self.as_int(l0)?;
+        let h0 = self.expr(&f.hi, None)?;
+        let hi = self.as_int(h0)?;
+        let mut captured = Vec::with_capacity(f.captured.len());
+        for &s in &f.captured {
+            if s > u16::MAX as u32 {
+                return Err(VmLimit("captured slot out of range"));
+            }
+            captured.push(s as u16);
+        }
+        // The chunk body is its own code stream; temps it allocates live
+        // above the current watermark in the same register file.
+        let saved_code = std::mem::take(&mut self.code);
+        let saved_barrier = self.fuse_barrier;
+        self.fuse_barrier = 0;
+        // Per-iteration step (fuses with the body's first group), exactly
+        // the tree-walker's `charge(1)` before each iteration body.
+        self.emit_charge(1);
+        self.compile_block(&f.body)?;
+        let body = std::mem::replace(&mut self.code, saved_code);
+        self.fuse_barrier = saved_barrier;
+        if self.parfors.len() >= u16::MAX as usize {
+            return Err(VmLimit("parallel-loop table overflow"));
+        }
+        let id = self.parfors.len() as u16;
+        self.parfors.push(ParForData {
+            var: f.var as u16,
+            lo,
+            hi,
+            body,
+            captured,
+            schedule: f.schedule,
+        });
+        self.emit(Instr::ParFor { id });
+        Ok(())
+    }
+
+    /// Evaluate `args` into consecutive registers, returning the base.
+    fn eval_args(&mut self, args: &[RExpr]) -> Result<(u16, u16), VmLimit> {
+        if args.len() > u16::MAX as usize {
+            return Err(VmLimit("too many call arguments"));
+        }
+        let base = self.temp;
+        for _ in args {
+            self.alloc_temp()?;
+        }
+        for (i, a) in args.iter().enumerate() {
+            let save = self.temp;
+            self.expr(a, Some((base + i) as u16))?;
+            self.temp = save;
+        }
+        Ok((base as u16, args.len() as u16))
+    }
+
+    /// Lower an expression; the result lands in `hint` when given (the
+    /// write is always the lowered code's final instruction, so writing
+    /// directly into a user slot is safe), else in a slot/temp register.
+    fn expr(&mut self, e: &RExpr, hint: Option<u16>) -> Result<u16, VmLimit> {
+        match e {
+            RExpr::Int(v) => self.load_const(Value::I(*v), hint),
+            RExpr::Float(v) => self.load_const(Value::F(*v), hint),
+            RExpr::Bool(v) => self.load_const(Value::B(*v), hint),
+            RExpr::Str(s) => self.load_const(Value::S(s.clone()), hint),
+            RExpr::Slot(s) => {
+                let src = *s as u16;
+                match hint {
+                    Some(d) => {
+                        self.emit(Instr::Copy { dst: d, src });
+                        Ok(d)
+                    }
+                    None => Ok(src),
+                }
+            }
+            RExpr::Undefined(n) => {
+                let m = self.msg_id(format!("undefined variable '{n}'"))?;
+                self.emit(Instr::Fail { msg: m });
+                // Unreachable at runtime; parents still need a register.
+                self.dst(hint)
+            }
+            RExpr::Neg(e) => {
+                let dst = self.dst(hint)?;
+                let save = self.temp;
+                let src = self.expr(e, None)?;
+                self.emit(Instr::Neg { dst, src });
+                self.temp = save;
+                Ok(dst)
+            }
+            RExpr::Not(e) => {
+                let dst = self.dst(hint)?;
+                let save = self.temp;
+                let src = self.expr(e, None)?;
+                self.emit(Instr::Not { dst, src });
+                self.temp = save;
+                Ok(dst)
+            }
+            RExpr::Bin(op, a, b) if matches!(op, IrBinOp::And | IrBinOp::Or) => {
+                // Short-circuit logicals compile to branches; the
+                // fall-through side re-checks both operands through the
+                // shared eval_bin, matching tree-walker coercion errors.
+                let dst = self.dst(hint)?;
+                let save = self.temp;
+                let ra = self.expr(a, None)?;
+                let jshort = if *op == IrBinOp::And {
+                    self.emit(Instr::JumpIfFalse { cond: ra, to: 0 })
+                } else {
+                    self.emit(Instr::JumpIfTrue { cond: ra, to: 0 })
+                };
+                let rb = self.expr(b, None)?;
+                self.emit(Instr::Bin { op: *op, dst, a: ra, b: rb });
+                let jend = self.emit(Instr::Jump { to: 0 });
+                self.patch_to_here(jshort);
+                let k = self.konst(Value::B(*op == IrBinOp::Or))?;
+                self.emit(Instr::Const { dst, k });
+                self.patch_to_here(jend);
+                self.temp = save;
+                Ok(dst)
+            }
+            RExpr::Bin(op, a, b) => {
+                let dst = self.dst(hint)?;
+                let save = self.temp;
+                let ra = self.expr(a, None)?;
+                // `x[e] op x[e]` (e.g. squaring an element) re-evaluates
+                // the whole subscript chain; share the first result when
+                // the operand is structurally identical and pure. A pure
+                // expression that succeeded once cannot fail or differ on
+                // an immediate re-evaluation, so this is unobservable.
+                let rb = if a == b && is_pure(a) {
+                    ra
+                } else {
+                    self.expr(b, None)?
+                };
+                self.emit(Instr::Bin { op: *op, dst, a: ra, b: rb });
+                self.temp = save;
+                Ok(dst)
+            }
+            RExpr::Load { buf, idx } => {
+                let dst = self.dst(hint)?;
+                let save = self.temp;
+                let b = self.expr(buf, None)?;
+                let i0 = self.expr(idx, None)?;
+                let ii = self.as_int(i0)?;
+                self.emit(Instr::Load { dst, buf: b, idx: ii });
+                self.temp = save;
+                Ok(dst)
+            }
+            RExpr::Call(callee, args) => {
+                if let RCallee::Named(name) = callee {
+                    if name == "dim" && args.len() == 2 {
+                        let dst = self.dst(hint)?;
+                        let save = self.temp;
+                        let buf = self.expr(&args[0], None)?;
+                        let d = self.expr(&args[1], None)?;
+                        self.emit(Instr::Dim { dst, buf, d });
+                        self.temp = save;
+                        return Ok(dst);
+                    }
+                }
+                let dst = self.dst(hint)?;
+                let save = self.temp;
+                let (base, n) = self.eval_args(args)?;
+                match callee {
+                    RCallee::User(idx) => {
+                        if *idx > u16::MAX as usize {
+                            return Err(VmLimit("function index out of range"));
+                        }
+                        self.emit(Instr::CallUser {
+                            dst,
+                            func: *idx as u16,
+                            base,
+                            n,
+                        });
+                    }
+                    RCallee::Named(name) => {
+                        let name = self.name_id(name)?;
+                        self.emit(Instr::CallNamed { dst, name, base, n });
+                    }
+                }
+                self.temp = save;
+                Ok(dst)
+            }
+            RExpr::CastInt(e) => {
+                let dst = self.dst(hint)?;
+                let save = self.temp;
+                let src = self.expr(e, None)?;
+                self.emit(Instr::CastInt { dst, src });
+                self.temp = save;
+                Ok(dst)
+            }
+            RExpr::CastFloat(e) => {
+                let dst = self.dst(hint)?;
+                let save = self.temp;
+                let src = self.expr(e, None)?;
+                self.emit(Instr::CastFloat { dst, src });
+                self.temp = save;
+                Ok(dst)
+            }
+            RExpr::Tuple(es) => {
+                let dst = self.dst(hint)?;
+                let save = self.temp;
+                let (base, n) = self.eval_args(es)?;
+                self.emit(Instr::Tuple { dst, base, n });
+                self.temp = save;
+                Ok(dst)
+            }
+        }
+    }
+
+    fn load_const(&mut self, v: Value, hint: Option<u16>) -> Result<u16, VmLimit> {
+        let dst = self.dst(hint)?;
+        let k = self.konst(v)?;
+        self.emit(Instr::Const { dst, k });
+        Ok(dst)
+    }
+}
+
+/// Whether evaluating `e` twice in a row is guaranteed indistinguishable
+/// from evaluating it once: no side effects, no fuel charges, and any
+/// failure (bad index, freed buffer, type error) reproduces identically
+/// because nothing between the two evaluations can change frame or heap
+/// state. User calls execute statements (side effects + fuel); named
+/// calls are only pure for the read-only shape builtins.
+fn is_pure(e: &RExpr) -> bool {
+    match e {
+        RExpr::Int(_) | RExpr::Float(_) | RExpr::Bool(_) | RExpr::Str(_) | RExpr::Slot(_) => true,
+        RExpr::Undefined(_) => false,
+        RExpr::Bin(_, a, b) => is_pure(a) && is_pure(b),
+        RExpr::Neg(a) | RExpr::Not(a) | RExpr::CastInt(a) | RExpr::CastFloat(a) => is_pure(a),
+        RExpr::Load { buf, idx } => is_pure(buf) && is_pure(idx),
+        RExpr::Call(RCallee::Named(name), args) => {
+            matches!(name.as_str(), "dim" | "len" | "rank") && args.iter().all(is_pure)
+        }
+        RExpr::Call(RCallee::User(_), _) => false,
+        RExpr::Tuple(es) => es.iter().all(is_pure),
+    }
+}
+
+// --- dispatch -----------------------------------------------------------
+
+/// Call a compiled function: the VM-tier counterpart of
+/// `Interp::call_function` (same arity error, same implicit sync, same
+/// profiling attribution).
+pub(crate) fn call_function(
+    interp: &Interp<'_>,
+    vm: &VmProgram,
+    idx: usize,
+    mut args: Vec<Value>,
+) -> IResult<Value> {
+    let rf = &interp.resolved.functions[idx];
+    if rf.nparams != args.len() {
+        return Err(InterpError::new(format!(
+            "function '{}' takes {} arguments, got {}",
+            rf.name,
+            rf.nparams,
+            args.len()
+        )));
+    }
+    let f = &vm.funcs[idx];
+    args.resize(f.nregs, Value::Unit);
+    let mut frame = Frame {
+        slots: args,
+        pending: Vec::new(),
+    };
+    let steps_at_entry = if interp.profile {
+        Some(interp.steps.load(Ordering::Relaxed))
+    } else {
+        None
+    };
+    let ret = exec(interp, vm, f, &f.code, &mut frame)?;
+    // Cilk semantics: a function implicitly syncs before returning.
+    interp.run_pending(&mut frame)?;
+    if let Some(entry) = steps_at_entry {
+        let spent = interp.steps.load(Ordering::Relaxed).saturating_sub(entry);
+        let mut costs = lock_ignore_poison(&interp.fn_costs);
+        costs[idx].0 += 1;
+        costs[idx].1 += spent;
+    }
+    Ok(ret.unwrap_or(Value::Unit))
+}
+
+/// Dispatch entry point: picks the metering specialization. When nothing
+/// can observe an intermediate step count (`Interp::fast_meter`), charges
+/// accumulate in a stack-local counter and hit the shared atomic once per
+/// frame instead of once per statement group — the totals are identical.
+fn exec(
+    interp: &Interp<'_>,
+    vm: &VmProgram,
+    f: &VmFunction,
+    code: &[Instr],
+    frame: &mut Frame,
+) -> IResult<Option<Value>> {
+    if interp.fast_meter() {
+        let mut local = 0u64;
+        let r = exec_impl::<true>(interp, vm, f, code, frame, &mut local);
+        if local > 0 {
+            interp.steps.fetch_add(local, Ordering::Relaxed);
+        }
+        r
+    } else {
+        exec_impl::<false>(interp, vm, f, code, frame, &mut 0)
+    }
+}
+
+/// The dispatch loop. Returns `Some(value)` when a `Ret` executed,
+/// `None` when control fell off the end of the stream (function bodies
+/// without a trailing return; every completed parallel-loop iteration).
+/// With `BATCH`, step charges go to `local` (the caller flushes them to
+/// the shared counter — see [`exec`] and `run_parfor`).
+fn exec_impl<const BATCH: bool>(
+    interp: &Interp<'_>,
+    vm: &VmProgram,
+    f: &VmFunction,
+    code: &[Instr],
+    frame: &mut Frame,
+    local: &mut u64,
+) -> IResult<Option<Value>> {
+    // SAFETY (for every `reg!`/`set!` below): `VmFunction::validate`
+    // bounds-checked every register operand against `nregs` when the
+    // bytecode was compiled, and `frame.slots.len() == f.nregs` at every
+    // exec entry (`call_function` resizes the argument vector,
+    // `run_parfor` builds its templates at exactly `nregs`).
+    macro_rules! reg {
+        ($r:expr) => {
+            unsafe { frame.slots.get_unchecked(*$r as usize) }
+        };
+    }
+    macro_rules! set {
+        ($r:expr, $v:expr) => {{
+            let v = $v;
+            unsafe { *frame.slots.get_unchecked_mut(*$r as usize) = v };
+        }};
+    }
+    let mut pc = 0usize;
+    while let Some(instr) = code.get(pc) {
+        pc += 1;
+        match instr {
+            Instr::Charge(n) => {
+                if BATCH {
+                    *local += *n as u64;
+                } else {
+                    interp.charge(*n as u64)?;
+                }
+            }
+            Instr::Const { dst, k } => {
+                // `k` validated against `consts` like registers are.
+                set!(dst, unsafe { f.consts.get_unchecked(*k as usize) }.clone());
+            }
+            Instr::Copy { dst, src } => {
+                set!(dst, reg!(src).clone());
+            }
+            Instr::Bin { op, dst, a, b } => {
+                let av = reg!(a);
+                let bv = reg!(b);
+                // Int/int fast path: identical wrapping semantics to
+                // eval_bin, without the promotion checks.
+                let r = if let (Value::I(x), Value::I(y)) = (av, bv) {
+                    match op {
+                        IrBinOp::Add => Value::I(x.wrapping_add(*y)),
+                        IrBinOp::Sub => Value::I(x.wrapping_sub(*y)),
+                        IrBinOp::Mul => Value::I(x.wrapping_mul(*y)),
+                        IrBinOp::Div if *y != 0 => Value::I(x / y),
+                        IrBinOp::Rem if *y != 0 => Value::I(x % y),
+                        IrBinOp::Lt => Value::B(x < y),
+                        IrBinOp::Le => Value::B(x <= y),
+                        IrBinOp::Gt => Value::B(x > y),
+                        IrBinOp::Ge => Value::B(x >= y),
+                        IrBinOp::Eq => Value::B(x == y),
+                        IrBinOp::Ne => Value::B(x != y),
+                        _ => eval_bin(*op, av, bv)?,
+                    }
+                } else {
+                    eval_bin(*op, av, bv)?
+                };
+                set!(dst, r);
+            }
+            Instr::Neg { dst, src } => {
+                let r = match reg!(src) {
+                    Value::I(x) => Value::I(-x),
+                    Value::F(x) => Value::F(-x),
+                    other => {
+                        return Err(InterpError::new(format!("cannot negate {other:?}")))
+                    }
+                };
+                set!(dst, r);
+            }
+            Instr::Not { dst, src } => {
+                let b = reg!(src).as_b()?;
+                set!(dst, Value::B(!b));
+            }
+            Instr::AsInt { dst, src } => {
+                let i = reg!(src).as_i()?;
+                set!(dst, Value::I(i));
+            }
+            Instr::CastInt { dst, src } => {
+                let r = match reg!(src) {
+                    Value::I(x) => Value::I(*x),
+                    Value::F(x) => Value::I(*x as i32),
+                    Value::B(x) => Value::I(i32::from(*x)),
+                    other => {
+                        return Err(InterpError::new(format!(
+                            "cannot cast {other:?} to int"
+                        )))
+                    }
+                };
+                set!(dst, r);
+            }
+            Instr::CastFloat { dst, src } => {
+                let x = reg!(src).as_f()?;
+                set!(dst, Value::F(x));
+            }
+            Instr::Load { dst, buf, idx } => {
+                let i = reg!(idx).as_i()?;
+                if i < 0 {
+                    return Err(InterpError::new(format!("negative load index {i}")));
+                }
+                let v = reg!(buf).as_buf()?.read(i as usize)?;
+                set!(dst, v);
+            }
+            Instr::Store { buf, idx, val } => {
+                let i = reg!(idx).as_i()?;
+                if i < 0 {
+                    return Err(InterpError::new(format!("negative store index {i}")));
+                }
+                reg!(buf).as_buf()?.write(i as usize, reg!(val))?;
+            }
+            Instr::Jump { to } => pc = *to as usize,
+            Instr::JumpIfFalse { cond, to } => {
+                if !reg!(cond).as_b()? {
+                    pc = *to as usize;
+                }
+            }
+            Instr::JumpIfTrue { cond, to } => {
+                if reg!(cond).as_b()? {
+                    pc = *to as usize;
+                }
+            }
+            Instr::ForHead {
+                counter,
+                hi,
+                var,
+                charge,
+                exit,
+            } => {
+                let c = reg!(counter).as_i()?;
+                if c >= reg!(hi).as_i()? {
+                    pc = *exit as usize;
+                } else {
+                    if BATCH {
+                        *local += *charge as u64;
+                    } else {
+                        interp.charge(*charge as u64)?;
+                    }
+                    set!(var, Value::I(c));
+                }
+            }
+            Instr::ForNext { counter, head } => {
+                let c = reg!(counter).as_i()?;
+                // Wrapping, matching scalar binops and the emitted C.
+                set!(counter, Value::I(c.wrapping_add(1)));
+                pc = *head as usize;
+            }
+            Instr::CallUser { dst, func, base, n } => {
+                let lo = *base as usize;
+                let args = frame.slots[lo..lo + *n as usize].to_vec();
+                let v = interp.call_function(*func as usize, args)?;
+                frame.slots[*dst as usize] = v;
+            }
+            Instr::Dim { dst, buf, d } => {
+                // Mirrors the `dim` builtin exactly: same check order,
+                // same error text, negative `d` wraps to out-of-range.
+                let b = frame.slots[*buf as usize].as_buf()?;
+                b.check_live()?;
+                let d = frame.slots[*d as usize].as_i()?;
+                let dim = b.dims().get(d as usize).copied().ok_or_else(|| {
+                    InterpError::new(format!("dim {d} out of range"))
+                })?;
+                frame.slots[*dst as usize] = Value::I(dim as i32);
+            }
+            Instr::CallNamed { dst, name, base, n } => {
+                let nm = &f.names[*name as usize];
+                let lo = *base as usize;
+                let v = match interp.builtin(nm, &frame.slots[lo..lo + *n as usize])? {
+                    Some(v) => v,
+                    None => {
+                        return Err(InterpError::new(format!(
+                            "undefined function '{nm}'"
+                        )))
+                    }
+                };
+                frame.slots[*dst as usize] = v;
+            }
+            Instr::Tuple { dst, base, n } => {
+                let lo = *base as usize;
+                let vals: Vec<Value> = frame.slots[lo..lo + *n as usize].to_vec();
+                frame.slots[*dst as usize] = Value::Tup(vals.into());
+            }
+            Instr::Unpack { id, src } => {
+                let v = frame.slots[*src as usize].clone();
+                let Value::Tup(parts) = v else {
+                    return Err(InterpError::new("UnpackCall on a non-tuple value"));
+                };
+                let targets = &f.unpacks[*id as usize];
+                if parts.len() != targets.len() {
+                    return Err(InterpError::new(format!(
+                        "tuple arity mismatch: {} targets, {} values",
+                        targets.len(),
+                        parts.len()
+                    )));
+                }
+                for (t, p) in targets.iter().zip(parts.iter()) {
+                    interp.set_target(frame, t, p.clone())?;
+                }
+            }
+            Instr::Spawn { id, base } => {
+                let sd = &f.spawns[*id as usize];
+                let lo = *base as usize;
+                let args = frame.slots[lo..lo + sd.n as usize].to_vec();
+                frame.pending.push(Pending {
+                    target: sd.target.clone(),
+                    target_is_buf: sd.target_is_buf,
+                    callee: sd.callee.clone(),
+                    args,
+                });
+            }
+            Instr::Sync => interp.run_pending(frame)?,
+            Instr::ParFor { id } => {
+                let pf = &f.parfors[*id as usize];
+                let lo = frame.slots[pf.lo as usize].as_i()?;
+                let hi = frame.slots[pf.hi as usize].as_i()?;
+                if hi > lo {
+                    run_parfor(interp, vm, f, pf, frame, lo, hi)?;
+                }
+            }
+            Instr::Fail { msg } => {
+                return Err(InterpError::new(f.msgs[*msg as usize].clone()))
+            }
+            Instr::Ret { src } => return Ok(Some(frame.slots[*src as usize].clone())),
+            Instr::RetUnit => return Ok(Some(Value::Unit)),
+        }
+    }
+    Ok(None)
+}
+
+/// Fork-join execution of a parallel loop's bytecode body — the VM-tier
+/// mirror of `Interp::exec_for`'s parallel branch: same chunk-claim
+/// protocol, same captured-slot templates, same telemetry, same error
+/// precedence (user-level error beats region panic).
+fn run_parfor(
+    interp: &Interp<'_>,
+    vm: &VmProgram,
+    f: &VmFunction,
+    pf: &ParForData,
+    frame: &Frame,
+    lo: i32,
+    hi: i32,
+) -> IResult<()> {
+    // `hi > lo`, so the wrapped difference is the exact count (an i32
+    // range never exceeds 2^32 - 1 iterations).
+    let total = hi.wrapping_sub(lo) as u32 as usize;
+    if interp.profile {
+        interp.par_loops.fetch_add(1, Ordering::Relaxed);
+        interp.par_iters.fetch_add(total as u64, Ordering::Relaxed);
+    }
+    let mut template: Vec<Value> = vec![Value::Unit; f.nregs];
+    for &s in &pf.captured {
+        template[s as usize] = frame.slots[s as usize].clone();
+    }
+    let error: Mutex<Option<InterpError>> = Mutex::new(None);
+    let schedule = pf.schedule.unwrap_or(interp.schedule);
+    let counter = AtomicUsize::new(0);
+    let metered = interp.pool.metrics_enabled();
+    let fast = interp.fast_meter();
+    let region = interp.pool.try_run(|tid, nthreads| {
+        let mut tf = Frame {
+            slots: template.clone(),
+            pending: Vec::new(),
+        };
+        // Per-participant charge batch: one shared-counter RMW per worker
+        // instead of one per iteration (the counter is otherwise a
+        // contended cache line across the region).
+        let mut local = 0u64;
+        'claims: while let Some(range) = next_chunk(&counter, total, nthreads, schedule) {
+            if metered {
+                interp.pool.record_chunk(tid);
+            }
+            if lock_ignore_poison(&error).is_some() {
+                break 'claims;
+            }
+            for k in range {
+                tf.slots[pf.var as usize] = Value::I(lo.wrapping_add(k as i32));
+                let r = if fast {
+                    exec_impl::<true>(interp, vm, f, &pf.body, &mut tf, &mut local)
+                } else {
+                    exec_impl::<false>(interp, vm, f, &pf.body, &mut tf, &mut 0)
+                }
+                .and_then(|fl| interp.run_pending(&mut tf).map(|()| fl));
+                match r {
+                    Ok(None) => {}
+                    Ok(Some(_)) => {
+                        *lock_ignore_poison(&error) = Some(InterpError::new(
+                            "return inside a parallel loop is not supported",
+                        ));
+                        break 'claims;
+                    }
+                    Err(e) => {
+                        lock_ignore_poison(&error).get_or_insert(e);
+                        break 'claims;
+                    }
+                }
+            }
+        }
+        if local > 0 {
+            interp.steps.fetch_add(local, Ordering::Relaxed);
+        }
+    });
+    if let Some(e) = error.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        return Err(e);
+    }
+    region.map_err(|p| InterpError::worker_panic(&p))?;
+    Ok(())
+}

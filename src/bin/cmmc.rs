@@ -6,7 +6,7 @@
 //! cmmc check program.xc                     # parse + semantic analysis only
 //! cmmc analyses                             # print the §VI analysis verdicts
 //! cmmc fuzz [--seed N] [--cases K]          # differential fuzzing campaign
-//!           [--oracle transform|schedule|limits|gcc]...
+//!           [--oracle transform|schedule|limits|vm|gcc]...
 //!           [--corpus-dir DIR]              # reproducer dir (default tests/corpus)
 //! cmmc serve ADDR                           # multi-tenant compile/run daemon
 //!           [--unix PATH] [--workers N] [--max-in-flight N]
@@ -23,6 +23,8 @@
 //!   --deadline-ms N  wall-clock budget for `run` in milliseconds
 //!   --schedule S     default loop schedule for `run`:
 //!                    static | dynamic[:CHUNK] | guided[:MIN_CHUNK]
+//!   --tier T         execution tier for `run`: vm (default, bytecode)
+//!                    or tree (reference tree-walking interpreter)
 //!   --profile        print a pass/region/interpreter profile to stderr
 //!   --metrics-json F write the profile as JSON (schema cmm-metrics-v1) to F
 //! ```
@@ -34,7 +36,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use cmm::core::{CompileError, Registry};
-use cmm::loopir::{Limits, Schedule};
+use cmm::loopir::{Limits, Schedule, Tier};
 
 const EXIT_RUNTIME: u8 = 1;
 const EXIT_USAGE: u8 = 2;
@@ -47,9 +49,9 @@ fn usage() -> ExitCode {
         "usage: cmmc <run|emit|check|analyses|fuzz|serve> [file.xc|addr] [options]\n\
          options: --ext a,b,c | --threads N | -o out.c | --no-parallel | --no-fusion\n\
          \x20        --fuel N | --max-mem BYTES[k|m|g] | --deadline-ms N\n\
-         \x20        --schedule static|dynamic[:N]|guided[:N]\n\
+         \x20        --schedule static|dynamic[:N]|guided[:N] | --tier vm|tree\n\
          \x20        --profile | --metrics-json FILE\n\
-         fuzz:    --seed N | --cases K | --oracle transform|schedule|limits|gcc\n\
+         fuzz:    --seed N | --cases K | --oracle transform|schedule|limits|gcc|vm\n\
          \x20        --corpus-dir DIR\n\
          serve:   --unix PATH | --workers N | --max-in-flight N\n\
          \x20        --queue-deadline-ms N | --drain-deadline-ms N\n\
@@ -172,7 +174,7 @@ fn fuzz_command(args: &[String]) -> ExitCode {
             "--oracle" => {
                 let Some(v) = it.next() else { return usage() };
                 let Some(kind) = OracleKind::parse(v) else {
-                    eprintln!("cmmc: unknown oracle '{v}' (transform|schedule|limits|gcc)");
+                    eprintln!("cmmc: unknown oracle '{v}' (transform|schedule|limits|vm|gcc)");
                     return ExitCode::from(EXIT_USAGE);
                 };
                 if !oracles.contains(&kind) {
@@ -197,13 +199,14 @@ fn fuzz_command(args: &[String]) -> ExitCode {
     let names: Vec<&str> = cfg.oracles.iter().map(|o| o.name()).collect();
     println!(
         "fuzz: seed {} · {} case(s) · oracles [{}] · comparisons: \
-         transform {}, schedule {}, limits {}, gcc {}",
+         transform {}, schedule {}, limits {}, vm {}, gcc {}",
         cfg.seed,
         outcome.cases,
         names.join(", "),
         outcome.counts.transform,
         outcome.counts.schedule,
         outcome.counts.limits,
+        outcome.counts.vm,
         outcome.counts.gcc,
     );
     if outcome.findings.is_empty() {
@@ -276,6 +279,7 @@ fn main() -> ExitCode {
     let mut limits = Limits::default();
     let mut profile = false;
     let mut schedule = Schedule::Static;
+    let mut tier = Tier::default();
     let mut metrics_json: Option<String> = None;
     let mut exts: Vec<String> = vec![
         "ext-matrix".into(),
@@ -315,6 +319,16 @@ fn main() -> ExitCode {
                 let Some(v) = it.next() else { return usage() };
                 schedule = match v.parse() {
                     Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("cmmc: {e}");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                };
+            }
+            "--tier" => {
+                let Some(v) = it.next() else { return usage() };
+                tier = match v.parse() {
+                    Ok(t) => t,
                     Err(e) => {
                         eprintln!("cmmc: {e}");
                         return ExitCode::from(EXIT_USAGE);
@@ -372,6 +386,7 @@ fn main() -> ExitCode {
     compiler.options.parallelize = parallel;
     compiler.options.fuse_with_assign = fusion;
     compiler.options.fuse_slice_index = fusion;
+    compiler.tier = tier;
 
     match command {
         "check" => match compiler.frontend(&src) {

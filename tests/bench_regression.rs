@@ -1,44 +1,48 @@
 //! Perf regression gate over the checked-in trajectory: the interpreter
-//! wall time on the profile target must stay within 2× of the
-//! `current.median_run_nanos` recorded in `BENCH_pipeline.json`.
+//! wall time on the profile target must stay within 2× of the medians
+//! recorded in `BENCH_pipeline.json` — for *both* execution tiers. The
+//! default (bytecode VM) tier gates via `current.median_run_nanos`; the
+//! tree-walking reference tier gates via
+//! `current.tiers.tree.median_run_nanos`, so neither tier can silently
+//! regress while the other keeps the headline number green.
 //!
 //! `#[ignore]`d by default — wall-clock assertions are meaningless in
 //! debug builds and noisy on loaded dev machines. CI runs it in release
 //! with `cargo test --release -q --test bench_regression -- --ignored`;
 //! the 2× headroom absorbs runner jitter while still catching a real
-//! hot-path regression (the slot-resolved interpreter exists precisely
-//! to keep this number down).
+//! hot-path regression (the bytecode VM exists precisely to keep these
+//! numbers down).
 
 use std::time::Instant;
 
 use cmm::eddy::programs::full_compiler;
+use cmm::loopir::Tier;
 
 const PROGRAM: &str = include_str!("../examples/pipeline_profile.xc");
 const TRAJECTORY: &str = include_str!("../BENCH_pipeline.json");
 const THREADS: usize = 4;
 
-/// `current.median_run_nanos` from the hand-rolled trajectory JSON.
-fn checked_in_run_nanos() -> u64 {
-    let current = &TRAJECTORY[TRAJECTORY
-        .find("\"current\"")
-        .expect("BENCH_pipeline.json has a current block")..];
-    let key = "\"median_run_nanos\": ";
-    let at = current.find(key).expect("current.median_run_nanos");
-    let digits: String = current[at + key.len()..]
+/// First `"<key>": <uint>` after `anchor` in the hand-rolled trajectory
+/// JSON.
+fn trajectory_nanos(anchor: &str, key: &str) -> u64 {
+    let tail = &TRAJECTORY[TRAJECTORY
+        .find(anchor)
+        .unwrap_or_else(|| panic!("BENCH_pipeline.json has a {anchor} block"))..];
+    let key = format!("\"{key}\": ");
+    let at = tail.find(&key).unwrap_or_else(|| panic!("{anchor}…{key} missing"));
+    let digits: String = tail[at + key.len()..]
         .chars()
         .take_while(|c| c.is_ascii_digit())
         .collect();
-    digits.parse().expect("median_run_nanos is a uint")
+    digits.parse().expect("median nanos is a uint")
 }
 
-#[test]
-#[ignore = "wall-clock gate; CI runs it in release with -- --ignored"]
-fn interp_wall_time_within_2x_of_trajectory() {
-    let reference = checked_in_run_nanos();
-    assert!(reference > 0, "empty trajectory reference");
-    let compiler = full_compiler();
+fn gate_tier(tier: Tier, reference: u64) {
+    assert!(reference > 0, "empty trajectory reference for {tier}");
+    let mut compiler = full_compiler();
+    compiler.tier = tier;
     let expected_out = compiler.run(PROGRAM, THREADS).expect("warmup run").output;
-    assert_eq!(expected_out, "17214.904297\n", "profile target output drifted");
+    assert_eq!(expected_out, "17214.904297\n", "profile target output drifted ({tier})");
     let mut samples: Vec<u64> = (0..5)
         .map(|_| {
             let t0 = Instant::now();
@@ -50,8 +54,20 @@ fn interp_wall_time_within_2x_of_trajectory() {
     let median = samples[samples.len() / 2];
     assert!(
         median <= reference * 2,
-        "interp wall time regressed: median {median}ns > 2x checked-in {reference}ns \
+        "{tier} tier wall time regressed: median {median}ns > 2x checked-in {reference}ns \
          (samples: {samples:?}); if intentional, regenerate the trajectory with \
          `cargo bench -p cmm-bench --bench pipeline`"
     );
+}
+
+#[test]
+#[ignore = "wall-clock gate; CI runs it in release with -- --ignored"]
+fn vm_wall_time_within_2x_of_trajectory() {
+    gate_tier(Tier::Vm, trajectory_nanos("\"current\"", "median_run_nanos"));
+}
+
+#[test]
+#[ignore = "wall-clock gate; CI runs it in release with -- --ignored"]
+fn tree_wall_time_within_2x_of_trajectory() {
+    gate_tier(Tier::Tree, trajectory_nanos("\"tree\"", "median_run_nanos"));
 }

@@ -2,12 +2,14 @@
 //!
 //! `tests/corpus/` holds hand-written seed programs plus every
 //! minimized reproducer `cmmc fuzz` has ever written. Each file is run
-//! through the full four-oracle differential harness on every
+//! through the full five-oracle differential harness on every
 //! `cargo test`, so a once-found compiler bug can never silently
 //! return, and the seeds keep the paper's showcase shapes (Fig 9
 //! split/vectorize, per-loop schedules, tiling) continuously
 //! cross-checked against the untransformed reference, every schedule
-//! policy, metered execution, and gcc-compiled emitted C.
+//! policy, metered execution, both execution tiers (the bytecode-VM
+//! baseline and the tree-walker reference via the `vm` oracle), and
+//! gcc-compiled emitted C.
 
 use cmm::fuzz::{ALL_ORACLES, Harness};
 

@@ -230,6 +230,29 @@ fn tiled_loops() {
     );
 }
 
+/// Regression for the loop-index overflow fix: indices near `i32::MAX`
+/// are built with wrapping arithmetic in the interpreter (both tiers),
+/// matching the emitted C exactly. Before the fix, the unchecked
+/// `lo + k` / `hi - lo` index construction panicked in debug builds
+/// instead of agreeing with the compiled program.
+#[test]
+fn near_i32_max_loop_bounds_match_emitted_c() {
+    roundtrip(
+        r#"
+        int main() {
+            int sum = 0;
+            for (int i = 2147483641; i < 2147483646; i++) {
+                printInt(i);
+                printInt(i - 2147483000);
+                sum = sum + (i - 2147483640);
+            }
+            printInt(sum);
+            return 0;
+        }
+        "#,
+    );
+}
+
 #[test]
 fn scheduled_loops_self_schedule_in_c() {
     // The schedule directive must survive the trip to C: the emitted
