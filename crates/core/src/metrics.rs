@@ -9,7 +9,10 @@
 //!
 //! The JSON schema is hand-rolled (no serde in this workspace) and
 //! versioned via the top-level `"schema": "cmm-metrics-v1"` tag; tools
-//! consuming `cmmc run --metrics-json` should check it.
+//! consuming `cmmc run --metrics-json` should check it. The tag moves
+//! only when existing keys change meaning or shape; purely additive
+//! keys (the pool block's per-worker `steals` / `steal_failures`,
+//! added with the work-stealing scheduler) keep the tag.
 
 use std::fmt::Write as _;
 
@@ -155,6 +158,20 @@ impl ProfileReport {
                     let _ = writeln!(out, "{who:<22} {taken:>10}");
                 }
             }
+            let stolen: u64 = pool.steals.iter().sum();
+            let missed: u64 = pool.steal_failures.iter().sum();
+            if stolen > 0 || missed > 0 {
+                let _ = writeln!(out, "{:<22} {:>10}", "steals", stolen);
+                for (tid, &s) in pool.steals.iter().enumerate() {
+                    let who = if tid == 0 {
+                        "steals[main]".to_string()
+                    } else {
+                        format!("steals[w{tid}]")
+                    };
+                    let _ = writeln!(out, "{who:<22} {s:>10}");
+                }
+                let _ = writeln!(out, "{:<22} {:>10}", "steal failures", missed);
+            }
         }
         if let Some(interp) = &self.interp {
             let _ = writeln!(out, "── interpreter ({} tier) ───────────────────", self.tier);
@@ -224,6 +241,11 @@ impl ProfileReport {
                 let taken: Vec<String> =
                     pool.chunks_taken.iter().map(|c| c.to_string()).collect();
                 let _ = writeln!(out, "    \"chunks_taken\": [{}],", taken.join(", "));
+                let steals: Vec<String> = pool.steals.iter().map(|s| s.to_string()).collect();
+                let _ = writeln!(out, "    \"steals\": [{}],", steals.join(", "));
+                let fails: Vec<String> =
+                    pool.steal_failures.iter().map(|s| s.to_string()).collect();
+                let _ = writeln!(out, "    \"steal_failures\": [{}],", fails.join(", "));
                 let _ = writeln!(out, "    \"imbalance_ratio\": {:.6}", pool.imbalance_ratio());
                 out.push_str("  },\n");
             }

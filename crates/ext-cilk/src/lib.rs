@@ -20,11 +20,16 @@
 //! **Runtime model.** Arguments are evaluated at the spawn point (as in
 //! Cilk); the calls themselves are deferred and executed concurrently on
 //! the persistent fork-join pool at the next `sync` (functions sync
-//! implicitly before returning, as in Cilk). This batch-at-sync schedule
-//! is a legal schedule of the corresponding Cilk program; programs whose
-//! spawned children race with the continuation are indeterminate in Cilk
-//! too. Emitted C uses the *serial elision* (each spawn becomes a plain
-//! call), Cilk's defining property.
+//! implicitly before returning, as in Cilk). The batch is distributed
+//! through the pool's per-worker work-stealing deques, so a `sync`
+//! reached *inside* a parallel region (a spawned function that itself
+//! spawns) pushes its children onto the current worker's deque and they
+//! run in parallel — nested spawn no longer degrades to a sequential
+//! drain. This batch-at-sync schedule is a legal schedule of the
+//! corresponding Cilk program; programs whose spawned children race with
+//! the continuation are indeterminate in Cilk too. Emitted C uses the
+//! *serial elision* (each spawn becomes a plain call), Cilk's defining
+//! property.
 
 use cmm_ag::AgFragment;
 use cmm_grammar::{GrammarFragment, Sym, Terminal};

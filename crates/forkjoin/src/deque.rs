@@ -1,0 +1,421 @@
+//! Chase–Lev work-stealing deques: the claim substrate behind
+//! [`crate::ForkJoinPool::run_scheduled`] and nested `spawn`/`sync`.
+//!
+//! Every pool participant owns one [`WorkDeque`]. The owner pushes and
+//! pops at the *bottom* (LIFO, cache-warm); thieves steal from the *top*
+//! (FIFO, the oldest and therefore largest unsplit work). Items are
+//! [`Task`]s: either a `Chunk` of the active scheduled region's iteration
+//! space, or an erased `Job` pointer pair for a nested region batch.
+//!
+//! ## Memory ordering (owner/thief protocol)
+//!
+//! The implementation follows the C11 formulation of Chase–Lev by Lê,
+//! Pop, Cohen and Nardelli ("Correct and Efficient Work-Stealing for Weak
+//! Memory Models", PPoPP'13):
+//!
+//! * `push` writes the slot, then publishes it with a `Release` fence
+//!   before the relaxed `bottom` store — a thief that observes the new
+//!   `bottom` (via its `Acquire` load) also observes the slot words.
+//! * `pop` decrements `bottom`, then a `SeqCst` fence orders that store
+//!   against its subsequent `top` load; thieves issue the symmetric
+//!   `SeqCst` fence between their `top` load and `bottom` load. This pair
+//!   is what makes the "last element" race between the owner and a thief
+//!   resolve to exactly one winner (the CAS on `top`).
+//! * `steal` reads the slot *before* the `SeqCst` CAS on `top`, so the
+//!   read may race with an owner overwriting the slot for a wrapped-around
+//!   index. That is why slots are arrays of `AtomicUsize` words rather
+//!   than plain memory: the racy read is defined behavior (it may yield a
+//!   torn mix of two tasks), and the algorithm guarantees the CAS fails in
+//!   exactly the executions where the read could have torn — the value is
+//!   then discarded without being decoded.
+//!
+//! ## Buffer growth and reclamation
+//!
+//! The circular buffer doubles when full. Thieves may still hold a stale
+//! buffer pointer mid-`steal`, so retired buffers are kept alive (never
+//! freed, merely parked) until the deque itself drops. Stale reads out of
+//! a retired buffer are sound: live indices `[top, bottom)` keep their
+//! values in the old buffer, and any torn read is discarded by the CAS
+//! rule above.
+
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Pads and aligns a value to a 64-byte cache line, so adjacent array
+/// elements (per-worker counters, deque `top`/`bottom` pairs) never share
+/// a line and cannot false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T>(pub T);
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+/// One unit of claimable work in a deque.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Task {
+    /// A contiguous slice of the active scheduled region's iteration
+    /// space. Executed through the region's chunk descriptor (see
+    /// `Shared::region_exec`), which re-splits it into schedule-sized
+    /// bites.
+    Chunk { start: usize, end: usize },
+    /// An erased nested-region job: `exec(data, executor_tid)`. `data`
+    /// points into the submitting participant's stack frame, which is
+    /// kept alive by the batch's completion latch.
+    Job {
+        data: *const (),
+        exec: unsafe fn(*const (), usize),
+    },
+}
+
+const TAG_CHUNK: usize = 0;
+const TAG_JOB: usize = 1;
+
+impl Task {
+    #[inline]
+    fn encode(self) -> [usize; 3] {
+        match self {
+            Task::Chunk { start, end } => [TAG_CHUNK, start, end],
+            Task::Job { data, exec } => [TAG_JOB, data as usize, exec as usize],
+        }
+    }
+
+    /// Decode slot words back into a task. Only called on words that the
+    /// `top` CAS proved un-torn (or that the owner read race-free).
+    #[inline]
+    fn decode(words: [usize; 3]) -> Self {
+        match words[0] {
+            TAG_CHUNK => Task::Chunk { start: words[1], end: words[2] },
+            TAG_JOB => Task::Job {
+                data: words[1] as *const (),
+                // Safety: the word was produced by `encode` from a real
+                // fn pointer of this exact signature.
+                exec: unsafe {
+                    std::mem::transmute::<usize, unsafe fn(*const (), usize)>(words[2])
+                },
+            },
+            tag => unreachable!("corrupt deque slot tag {tag}"),
+        }
+    }
+}
+
+/// A deque slot: three atomic words (tag + two payload words). Atomic so
+/// the thief's pre-CAS read of a concurrently overwritten slot is defined
+/// behavior instead of a data race; see the module docs.
+#[derive(Default)]
+struct Slot([AtomicUsize; 3]);
+
+struct Buffer {
+    /// `capacity - 1`; capacity is always a power of two so indexing is a
+    /// mask instead of a modulo.
+    mask: usize,
+    slots: Box<[Slot]>,
+}
+
+impl Buffer {
+    fn new(capacity: usize) -> Self {
+        debug_assert!(capacity.is_power_of_two());
+        Buffer {
+            mask: capacity - 1,
+            slots: (0..capacity).map(|_| Slot::default()).collect(),
+        }
+    }
+
+    #[inline]
+    fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    #[inline]
+    fn read(&self, index: isize) -> [usize; 3] {
+        let s = &self.slots[index as usize & self.mask];
+        [
+            s.0[0].load(Ordering::Relaxed),
+            s.0[1].load(Ordering::Relaxed),
+            s.0[2].load(Ordering::Relaxed),
+        ]
+    }
+
+    #[inline]
+    fn write(&self, index: isize, words: [usize; 3]) {
+        let s = &self.slots[index as usize & self.mask];
+        s.0[0].store(words[0], Ordering::Relaxed);
+        s.0[1].store(words[1], Ordering::Relaxed);
+        s.0[2].store(words[2], Ordering::Relaxed);
+    }
+}
+
+/// Result of a steal attempt.
+#[derive(Debug)]
+pub(crate) enum Steal {
+    /// The victim's deque was observed empty.
+    Empty,
+    /// Lost a race (another thief or the owner took the element); the
+    /// deque may still hold work — retry or move to the next victim.
+    Retry,
+    /// Got one.
+    Success(Task),
+}
+
+/// A Chase–Lev work-stealing deque of [`Task`]s.
+///
+/// Ownership discipline: `push` and `pop` are *owner* operations — at any
+/// instant at most one thread may use them. During a region that thread
+/// is participant `tid`; between regions (all workers parked at the spin
+/// lock) the main thread temporarily owns every deque and seeds them. The
+/// pool's epoch/stop-barrier handshake provides the happens-before edges
+/// between those ownership transfers. `steal` is safe from any thread at
+/// any time.
+pub(crate) struct WorkDeque {
+    top: CachePadded<AtomicIsize>,
+    bottom: CachePadded<AtomicIsize>,
+    active: AtomicPtr<Buffer>,
+    /// Every buffer ever allocated, the active one included. Retired
+    /// buffers stay here (alive but unused) so a thief holding a stale
+    /// pointer never dereferences freed memory. The boxing is what makes
+    /// that guarantee: `active` holds raw pointers into these
+    /// allocations, which must not move when the Vec itself reallocates
+    /// on `grow`.
+    #[allow(clippy::vec_box)]
+    buffers: Mutex<Vec<Box<Buffer>>>,
+}
+
+// Safety: the raw buffer pointer always refers to a `Buffer` owned by
+// `self.buffers`, which lives as long as the deque; all slot access is
+// through atomics; the owner-operation discipline is documented above and
+// enforced by the pool's region protocol.
+unsafe impl Send for WorkDeque {}
+unsafe impl Sync for WorkDeque {}
+
+const INITIAL_CAPACITY: usize = 16;
+
+impl WorkDeque {
+    pub fn new() -> Self {
+        let mut buffers = vec![Box::new(Buffer::new(INITIAL_CAPACITY))];
+        let active = AtomicPtr::new(std::ptr::from_mut::<Buffer>(buffers[0].as_mut()));
+        WorkDeque {
+            top: CachePadded(AtomicIsize::new(0)),
+            bottom: CachePadded(AtomicIsize::new(0)),
+            active,
+            buffers: Mutex::new(buffers),
+        }
+    }
+
+    /// Owner: push a task at the bottom.
+    pub fn push(&self, task: Task) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        let mut buf = self.active.load(Ordering::Relaxed);
+        if b - t >= unsafe { (*buf).capacity() } as isize {
+            buf = self.grow(t, b);
+        }
+        unsafe { (*buf).write(b, task.encode()) };
+        fence(Ordering::Release);
+        self.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    /// Owner: pop the most recently pushed task (LIFO).
+    pub fn pop(&self) -> Option<Task> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        let buf = self.active.load(Ordering::Relaxed);
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let words = unsafe { (*buf).read(b) };
+            if t == b {
+                // Last element: race a concurrent thief for it via `top`.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                if !won {
+                    return None;
+                }
+            }
+            Some(Task::decode(words))
+        } else {
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Any thread: steal the oldest task (FIFO).
+    pub fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let buf = self.active.load(Ordering::Acquire);
+        // This read may tear against an owner overwrite of a wrapped
+        // index; the CAS below fails in exactly those executions, so the
+        // possibly-torn words are never decoded.
+        let words = unsafe { (*buf).read(t) };
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return Steal::Retry;
+        }
+        Steal::Success(Task::decode(words))
+    }
+
+    /// Owner (slow path of `push`): double the buffer, copying the live
+    /// range `[t, b)`, and retire the old one.
+    #[cold]
+    fn grow(&self, t: isize, b: isize) -> *mut Buffer {
+        let mut buffers = self.buffers.lock().unwrap_or_else(|e| e.into_inner());
+        let old = self.active.load(Ordering::Relaxed);
+        let new = Box::new(Buffer::new(unsafe { (*old).capacity() } * 2));
+        for i in t..b {
+            new.write(i, unsafe { (*old).read(i) });
+        }
+        buffers.push(new);
+        let ptr = std::ptr::from_mut::<Buffer>(buffers.last_mut().expect("just pushed").as_mut());
+        // Release-publish the copied slots with the new pointer; a
+        // thief's Acquire load of `active` sees them.
+        self.active.store(ptr, Ordering::Release);
+        ptr
+    }
+}
+
+/// Tiny deterministic xorshift64* for victim selection. Seeded from the
+/// thief's tid so steal order is reproducible under a fixed interleaving
+/// yet different per participant.
+pub(crate) struct VictimRng(u64);
+
+impl VictimRng {
+    pub fn new(tid: usize) -> Self {
+        VictimRng((tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    #[inline]
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn chunk(i: usize) -> Task {
+        Task::Chunk { start: i, end: i + 1 }
+    }
+
+    fn task_id(t: &Task) -> usize {
+        match t {
+            Task::Chunk { start, .. } => *start,
+            Task::Job { .. } => panic!("unexpected job"),
+        }
+    }
+
+    #[test]
+    fn lifo_pop_fifo_steal() {
+        let d = WorkDeque::new();
+        for i in 0..4 {
+            d.push(chunk(i));
+        }
+        // Owner pops newest first.
+        assert_eq!(task_id(&d.pop().unwrap()), 3);
+        // Thief steals oldest first.
+        match d.steal() {
+            Steal::Success(t) => assert_eq!(task_id(&t), 0),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(task_id(&d.pop().unwrap()), 2);
+        assert_eq!(task_id(&d.pop().unwrap()), 1);
+        assert!(d.pop().is_none());
+        assert!(matches!(d.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let d = WorkDeque::new();
+        let n = INITIAL_CAPACITY * 8 + 3;
+        for i in 0..n {
+            d.push(chunk(i));
+        }
+        for i in (0..n).rev() {
+            assert_eq!(task_id(&d.pop().unwrap()), i);
+        }
+        assert!(d.pop().is_none());
+    }
+
+    #[test]
+    fn empty_pop_restores_bottom() {
+        let d = WorkDeque::new();
+        assert!(d.pop().is_none());
+        assert!(d.pop().is_none());
+        d.push(chunk(7));
+        assert_eq!(task_id(&d.pop().unwrap()), 7);
+    }
+
+    #[test]
+    fn concurrent_owner_and_thieves_account_exactly_once() {
+        // Owner interleaves pushes and pops while three thieves steal;
+        // every task must be executed exactly once across all four.
+        const PER_ROUND: usize = 64;
+        const ROUNDS: usize = 50;
+        let d = WorkDeque::new();
+        let seen: Vec<AtomicU64> = (0..PER_ROUND * ROUNDS).map(|_| AtomicU64::new(0)).collect();
+        let stop = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| loop {
+                    match d.steal() {
+                        Steal::Success(t) => {
+                            seen[task_id(&t)].fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if stop.load(Ordering::Acquire) == 1 {
+                                return;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+            for round in 0..ROUNDS {
+                for i in 0..PER_ROUND {
+                    d.push(chunk(round * PER_ROUND + i));
+                }
+                for _ in 0..PER_ROUND / 2 {
+                    if let Some(t) = d.pop() {
+                        seen[task_id(&t)].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            while let Some(t) = d.pop() {
+                seen[task_id(&t)].fetch_add(1, Ordering::Relaxed);
+            }
+            stop.store(1, Ordering::Release);
+        });
+        // Everything the owner drained plus everything stolen covers each
+        // task exactly once.
+        let mut missing = 0usize;
+        for (i, s) in seen.iter().enumerate() {
+            let n = s.load(Ordering::Relaxed);
+            assert!(n <= 1, "task {i} executed {n} times");
+            if n == 0 {
+                missing += 1;
+            }
+        }
+        assert_eq!(missing, 0, "{missing} tasks lost");
+    }
+}

@@ -17,6 +17,19 @@
 //! (with-loop engine, `matrixMap`, the loop-IR interpreter's `parallelize`)
 //! runs on [`ForkJoinPool`].
 //!
+//! ## Work distribution
+//!
+//! Inside a region, work moves through per-participant Chase–Lev deques
+//! ([`deque`]): scheduled loops seed one chunk per participant, owners
+//! take schedule-sized bites off their own chunk (pushing the stealable
+//! tail back), and a participant whose deque runs dry steals from a
+//! random victim. Nested regions — cilk `spawn`/`sync` from inside a
+//! parallel loop, or a scheduled loop inside a scheduled loop — push job
+//! batches onto the *current worker's* deque and help-join, so they run
+//! in parallel instead of serializing. The PR 4 shared-counter protocol
+//! is retained behind [`ClaimProtocol::SharedCounter`] as a differential
+//! baseline for the fuzzer and the schedule benchmark.
+//!
 //! ## Fault tolerance
 //!
 //! The pool is built to *degrade* rather than die:
@@ -38,17 +51,23 @@
 //! snapshot, and the [`faultinject`] module provokes each failure mode
 //! deterministically for the stress tests.
 
-use std::cell::UnsafeCell;
+use std::cell::{Cell, UnsafeCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+pub(crate) mod deque;
 pub mod faultinject;
 mod partition;
 pub mod schedule;
+pub mod tile;
+pub use deque::CachePadded;
 pub use partition::{chunk_range, chunks_of};
 pub use schedule::{next_chunk, ParseScheduleError, Schedule};
+pub use tile::{cache_geometry, CacheGeometry, TilePolicy, DEFAULT_GEOMETRY};
+
+use deque::{Steal, Task, VictimRng, WorkDeque};
 
 /// Type-erased reference to the closure of the current parallel region.
 /// Stored as a raw wide pointer; the epoch protocol orders the store before
@@ -56,9 +75,23 @@ pub use schedule::{next_chunk, ParseScheduleError, Schedule};
 /// before `run` returns (so the borrow never escapes the region).
 type TaskPtr = *const (dyn Fn(usize, usize) + Sync);
 
-struct Shared {
+/// Type-erased executor for `Task::Chunk` deque entries: points at the
+/// active scheduled region's state (`data`) and its monomorphized
+/// chunk-runner. Installed before the epoch flip of a scheduled region
+/// and read by whichever participant ends up holding a chunk — the
+/// region's own drain loop, a nested help-join loop, or a scavenging
+/// participant. A stale descriptor after a region is harmless: chunk
+/// tasks cannot outlive their region (the deques drain before the stop
+/// barrier), so a stale pointer is never dereferenced.
+#[derive(Clone, Copy)]
+pub(crate) struct RegionExec {
+    pub data: *const (),
+    pub run: unsafe fn(*const (), usize, usize, usize),
+}
+
+pub(crate) struct Shared {
     /// The spin-lock "condition": workers spin until it changes.
-    epoch: AtomicU64,
+    pub epoch: AtomicU64,
     /// Stop barrier: number of workers still executing the current region.
     remaining: AtomicUsize,
     /// Current region's closure; valid only between the epoch flip and the
@@ -66,36 +99,173 @@ struct Shared {
     task: UnsafeCell<Option<TaskPtr>>,
     shutdown: AtomicBool,
     /// Set when any participant panicked during the current region.
-    panicked: AtomicBool,
+    pub panicked: AtomicBool,
     /// Cumulative count of worker panics caught and recovered.
-    panics_recovered: AtomicU64,
+    pub panics_recovered: AtomicU64,
     /// Total threads participating in a region (workers + main). Atomic
     /// because a failed spawn shrinks the pool after workers may already
     /// be parked.
     threads: AtomicUsize,
     /// Per-worker progress: epoch of the last region worker `tid` passed
     /// through the stop barrier for (index `tid - 1`). Read by the
-    /// watchdog to name the stalled workers.
-    done_epoch: Vec<AtomicU64>,
+    /// watchdog to name the stalled workers. Cache-padded so one worker's
+    /// progress store never invalidates a neighbor's line.
+    done_epoch: Vec<CachePadded<AtomicU64>>,
     /// Region telemetry switch. Off by default: the hot path takes no
     /// timestamps unless a profiler asked for them.
     metrics_enabled: AtomicBool,
     /// Per-participant busy time in nanoseconds (index 0 = main thread,
     /// `tid` = worker `tid`), accumulated only while metrics are enabled.
-    busy_nanos: Vec<AtomicU64>,
+    /// Cache-padded: these are written on every region by every
+    /// participant, and packing them into shared lines was measurable
+    /// false sharing.
+    busy_nanos: Vec<CachePadded<AtomicU64>>,
     /// Per-participant chunk claims made through the self-scheduler
     /// ([`ForkJoinPool::run_scheduled`]), accumulated only while metrics
-    /// are enabled. Same indexing as `busy_nanos`.
-    chunks_taken: Vec<AtomicU64>,
+    /// are enabled. Same indexing and padding rationale as `busy_nanos`.
+    chunks_taken: Vec<CachePadded<AtomicU64>>,
+    /// Per-participant work-stealing deques (index = tid). Owned by
+    /// participant `tid` during a region; owned by the main thread (for
+    /// seeding) between regions.
+    pub deques: Vec<WorkDeque>,
+    /// Per-participant successful steals. Always recorded (a steal is
+    /// already a slow path), zeroed by [`ForkJoinPool::reset_metrics`].
+    steals: Vec<CachePadded<AtomicU64>>,
+    /// Per-participant failed steal attempts (lost CAS races).
+    steal_failures: Vec<CachePadded<AtomicU64>>,
+    /// Chunk-execution descriptor of the active scheduled region; see
+    /// [`RegionExec`]. Written only by the region submitter while it
+    /// holds the `busy` flag, before the epoch flip publishes it.
+    pub region_exec: UnsafeCell<Option<RegionExec>>,
 }
 
-// Safety: `task` is only written by the main thread while all workers are
-// parked (remaining == 0 and epoch unchanged), and only read by workers
-// after the Release/Acquire epoch handshake. The raw pointer it holds
-// refers to a `Sync` closure, so sharing/moving the cell across threads
-// under that protocol is sound.
+// Safety: `task` and `region_exec` are only written by the region
+// submitter while all workers are parked (remaining == 0 and epoch
+// unchanged), and only read by participants after the Release/Acquire
+// epoch handshake. The raw pointers they hold refer to `Sync` state kept
+// alive by the stop barrier, so sharing the cells across threads under
+// that protocol is sound.
 unsafe impl Sync for Shared {}
 unsafe impl Send for Shared {}
+
+thread_local! {
+    /// Identity of the pool region this thread is currently executing:
+    /// `(Shared address, tid)`. Lets a nested `run`/`run_scheduled` on
+    /// the *same* pool detect that it is a participant and push jobs onto
+    /// its own deque instead of serializing.
+    static WORKER_CTX: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+/// The tid under which the current thread participates in an active
+/// region of `shared`'s pool, if any.
+pub(crate) fn current_region_tid(shared: &Shared) -> Option<usize> {
+    let key = std::ptr::from_ref(shared) as usize;
+    WORKER_CTX.with(|c| match c.get() {
+        Some((p, tid)) if p == key => Some(tid),
+        _ => None,
+    })
+}
+
+/// Installs the worker context for the duration of a region body,
+/// restoring the previous value (panic-safe) on drop.
+pub(crate) struct CtxGuard {
+    prev: Option<(usize, usize)>,
+}
+
+impl CtxGuard {
+    pub fn install(shared: &Shared, tid: usize) -> Self {
+        let key = std::ptr::from_ref(shared) as usize;
+        CtxGuard { prev: WORKER_CTX.with(|c| c.replace(Some((key, tid)))) }
+    }
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        WORKER_CTX.with(|c| c.set(prev));
+    }
+}
+
+/// Execute one deque task as participant `tid`: chunks go through the
+/// active scheduled region's descriptor, jobs through their own erased
+/// entry point. Neither unwinds: both executors catch panics internally
+/// and record them on the region/batch they belong to.
+pub(crate) fn execute_task(shared: &Shared, tid: usize, task: Task) {
+    match task {
+        Task::Chunk { start, end } => {
+            let exec = unsafe { *shared.region_exec.get() }
+                .expect("chunk task outside a scheduled region");
+            unsafe { (exec.run)(exec.data, tid, start, end) };
+        }
+        Task::Job { data, exec } => unsafe { exec(data, tid) },
+    }
+}
+
+/// One pass over all victims' deques in random rotation.
+pub(crate) enum Sweep {
+    /// Stole a task.
+    Task(Task),
+    /// Every deque looked empty but at least one steal lost a race — work
+    /// may remain, sweep again.
+    Contended,
+    /// Every victim's deque was observed empty with no races.
+    Empty,
+}
+
+pub(crate) fn steal_sweep(
+    shared: &Shared,
+    tid: usize,
+    nthreads: usize,
+    rng: &mut VictimRng,
+) -> Sweep {
+    let offset = rng.next() as usize;
+    let mut contended = false;
+    for k in 0..nthreads {
+        let victim = (offset + k) % nthreads;
+        if victim == tid {
+            continue;
+        }
+        match shared.deques[victim].steal() {
+            Steal::Success(task) => {
+                shared.steals[tid].fetch_add(1, Ordering::Relaxed);
+                return Sweep::Task(task);
+            }
+            Steal::Retry => {
+                contended = true;
+                shared.steal_failures[tid].fetch_add(1, Ordering::Relaxed);
+            }
+            Steal::Empty => {}
+        }
+    }
+    if contended {
+        Sweep::Contended
+    } else {
+        Sweep::Empty
+    }
+}
+
+/// Drain own deque LIFO, then steal FIFO from random victims, until a
+/// full sweep finds every deque empty. Because a chunk's stealable tail
+/// is pushed back *before* its bite executes, and nested jobs are joined
+/// by their submitter, "all deques empty" means no further work can
+/// appear for this region except from still-running participants' own
+/// nested batches — which their submitters self-execute. This is both the
+/// body of a scheduled region and the pre-barrier scavenge of a plain
+/// region (helping nested batches pushed by other participants).
+pub(crate) fn drain_tasks(shared: &Shared, tid: usize, nthreads: usize) {
+    let own = &shared.deques[tid];
+    let mut rng = VictimRng::new(tid);
+    loop {
+        while let Some(task) = own.pop() {
+            execute_task(shared, tid, task);
+        }
+        match steal_sweep(shared, tid, nthreads, &mut rng) {
+            Sweep::Task(task) => execute_task(shared, tid, task),
+            Sweep::Contended => std::hint::spin_loop(),
+            Sweep::Empty => break,
+        }
+    }
+}
 
 /// Typed error for a parallel region in which one or more workers
 /// panicked.
@@ -111,7 +281,7 @@ unsafe impl Send for Shared {}
 /// unwind.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegionPanic {
-    /// Worker panics caught during the failed region (≥ 1).
+    /// Panics caught during the failed region (≥ 1).
     pub workers: u64,
     /// Pool epoch of the region, for correlation with fault-injection
     /// schedules and stall diagnostics.
@@ -129,6 +299,20 @@ impl std::fmt::Display for RegionPanic {
 }
 
 impl std::error::Error for RegionPanic {}
+
+/// Which chunk-claim protocol scheduled regions use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClaimProtocol {
+    /// Per-participant Chase–Lev deques with LIFO-local execution and
+    /// FIFO stealing (default). Nested regions push onto the current
+    /// worker's deque and run in parallel.
+    #[default]
+    Deque,
+    /// The PR 4 shared atomic claim counter ([`next_chunk`]). Nested
+    /// regions serialize, as they did then. Retained as a differential
+    /// baseline for the fuzzer's schedule oracle and the benchmark.
+    SharedCounter,
+}
 
 /// What the stop-barrier watchdog does once a stall is detected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -177,9 +361,14 @@ pub struct PoolHealth {
     pub spawn_failures: usize,
     /// Parallel regions executed so far.
     pub regions_run: u64,
-    /// Regions that ran sequentially because they were issued from inside
-    /// another region.
+    /// Regions that ran sequentially because they were issued while
+    /// another region was active *and* the caller was not a participant
+    /// of it (a foreign thread racing the pool), or because the pool runs
+    /// the legacy [`ClaimProtocol::SharedCounter`].
     pub nested_sequential: u64,
+    /// Nested regions executed in parallel through the submitting
+    /// participant's deque (spawn/sync batches, nested scheduled loops).
+    pub nested_parallel: u64,
     /// Worker panics caught by the pool and re-raised on the main thread.
     pub panics_recovered: u64,
     /// Stop-barrier stalls detected by the watchdog.
@@ -215,6 +404,13 @@ pub struct PoolMetrics {
     /// spread across participants shows whether dynamic/guided
     /// scheduling actually redistributed work.
     pub chunks_taken: Vec<u64>,
+    /// Per-participant successful steals from other participants'
+    /// deques. Nonzero steals are work redistribution the shared counter
+    /// could only express as claim-count spread.
+    pub steals: Vec<u64>,
+    /// Per-participant steal attempts that lost a CAS race (contention
+    /// indicator; the thief moves to the next victim and retries).
+    pub steal_failures: Vec<u64>,
 }
 
 impl PoolMetrics {
@@ -255,12 +451,14 @@ impl PoolMetrics {
 /// assert_eq!(sum.into_inner(), (0..100).sum());
 /// ```
 pub struct ForkJoinPool {
-    shared: Arc<Shared>,
+    pub(crate) shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
-    /// Guards against nested `run` calls from inside a region.
+    /// Guards against concurrent root regions; a nested call from a
+    /// participant of the active region bypasses it via [`WORKER_CTX`].
     busy: AtomicBool,
-    regions: AtomicU64,
-    nested_sequential: AtomicU64,
+    pub(crate) regions: AtomicU64,
+    pub(crate) nested_sequential: AtomicU64,
+    pub(crate) nested_parallel: AtomicU64,
     requested_threads: usize,
     spawn_failures: usize,
     /// Stop-barrier watchdog deadline in milliseconds (0 = disabled).
@@ -274,6 +472,9 @@ pub struct ForkJoinPool {
     region_nanos: AtomicU64,
     barrier_wait_nanos: AtomicU64,
     chunks_issued: AtomicU64,
+    claim_protocol: AtomicU8,
+    /// Cache-derived tile sizes, selected once at construction.
+    tile: TilePolicy,
 }
 
 /// Default stop-barrier watchdog deadline.
@@ -296,10 +497,14 @@ impl ForkJoinPool {
             panicked: AtomicBool::new(false),
             panics_recovered: AtomicU64::new(0),
             threads: AtomicUsize::new(requested),
-            done_epoch: (1..requested).map(|_| AtomicU64::new(0)).collect(),
+            done_epoch: (1..requested).map(|_| CachePadded(AtomicU64::new(0))).collect(),
             metrics_enabled: AtomicBool::new(false),
-            busy_nanos: (0..requested).map(|_| AtomicU64::new(0)).collect(),
-            chunks_taken: (0..requested).map(|_| AtomicU64::new(0)).collect(),
+            busy_nanos: (0..requested).map(|_| CachePadded(AtomicU64::new(0))).collect(),
+            chunks_taken: (0..requested).map(|_| CachePadded(AtomicU64::new(0))).collect(),
+            deques: (0..requested).map(|_| WorkDeque::new()).collect(),
+            steals: (0..requested).map(|_| CachePadded(AtomicU64::new(0))).collect(),
+            steal_failures: (0..requested).map(|_| CachePadded(AtomicU64::new(0))).collect(),
+            region_exec: UnsafeCell::new(None),
         });
         let mut handles = Vec::with_capacity(requested - 1);
         let mut spawn_failures = 0usize;
@@ -336,6 +541,7 @@ impl ForkJoinPool {
             busy: AtomicBool::new(false),
             regions: AtomicU64::new(0),
             nested_sequential: AtomicU64::new(0),
+            nested_parallel: AtomicU64::new(0),
             requested_threads: requested,
             spawn_failures,
             stall_timeout_ms: AtomicU64::new(DEFAULT_STALL_TIMEOUT.as_millis() as u64),
@@ -346,6 +552,8 @@ impl ForkJoinPool {
             region_nanos: AtomicU64::new(0),
             barrier_wait_nanos: AtomicU64::new(0),
             chunks_issued: AtomicU64::new(0),
+            claim_protocol: AtomicU8::new(ClaimProtocol::Deque as u8),
+            tile: TilePolicy::from_geometry(cache_geometry()),
         }
     }
 
@@ -359,11 +567,40 @@ impl ForkJoinPool {
         self.regions.load(Ordering::Relaxed)
     }
 
-    /// Number of regions that ran sequentially because they were issued
-    /// from inside another region (nested parallelism degrades gracefully,
-    /// as in SAC).
+    /// Number of regions that ran sequentially because the pool was busy
+    /// and the caller was not a participant of the active region (or the
+    /// legacy [`ClaimProtocol::SharedCounter`] is selected, under which
+    /// every nested region serializes).
     pub fn nested_sequential_runs(&self) -> u64 {
         self.nested_sequential.load(Ordering::Relaxed)
+    }
+
+    /// Number of nested regions executed in parallel via the submitting
+    /// participant's deque.
+    pub fn nested_parallel_runs(&self) -> u64 {
+        self.nested_parallel.load(Ordering::Relaxed)
+    }
+
+    /// Select the chunk-claim protocol for scheduled regions (default
+    /// [`ClaimProtocol::Deque`]). The fuzzer's schedule oracle flips this
+    /// to cross-check the two implementations against each other.
+    pub fn set_claim_protocol(&self, protocol: ClaimProtocol) {
+        self.claim_protocol.store(protocol as u8, Ordering::Relaxed);
+    }
+
+    /// The chunk-claim protocol currently in force.
+    pub fn claim_protocol(&self) -> ClaimProtocol {
+        if self.claim_protocol.load(Ordering::Relaxed) == ClaimProtocol::SharedCounter as u8 {
+            ClaimProtocol::SharedCounter
+        } else {
+            ClaimProtocol::Deque
+        }
+    }
+
+    /// Cache-derived tile policy selected at pool construction: blocked
+    /// matmul tile edges and the static-schedule claim grain.
+    pub fn tile_policy(&self) -> TilePolicy {
+        self.tile
     }
 
     /// Enable or disable region telemetry. Disabled by default: with
@@ -382,32 +619,25 @@ impl ForkJoinPool {
     /// [`PoolMetrics`]). Busy times are reported for live participants
     /// only (a shrunk pool's unspawned workers are dropped).
     pub fn metrics(&self) -> PoolMetrics {
+        let live = self.threads();
+        let snap = |v: &Vec<CachePadded<AtomicU64>>| -> Vec<u64> {
+            v.iter().take(live).map(|n| n.load(Ordering::Relaxed)).collect()
+        };
         PoolMetrics {
             regions_measured: self.regions_measured.load(Ordering::Relaxed),
             region_nanos: self.region_nanos.load(Ordering::Relaxed),
             barrier_wait_nanos: self.barrier_wait_nanos.load(Ordering::Relaxed),
-            busy_nanos: self
-                .shared
-                .busy_nanos
-                .iter()
-                .take(self.threads())
-                .map(|n| n.load(Ordering::Relaxed))
-                .collect(),
+            busy_nanos: snap(&self.shared.busy_nanos),
             chunks_issued: self.chunks_issued.load(Ordering::Relaxed),
-            chunks_taken: self
-                .shared
-                .chunks_taken
-                .iter()
-                .take(self.threads())
-                .map(|n| n.load(Ordering::Relaxed))
-                .collect(),
+            chunks_taken: snap(&self.shared.chunks_taken),
+            steals: snap(&self.shared.steals),
+            steal_failures: snap(&self.shared.steal_failures),
         }
     }
 
     /// Count one self-scheduler claim by participant `tid`. Telemetry
-    /// only — called by [`ForkJoinPool::run_scheduled`] and by consumers
-    /// that drive [`next_chunk`] themselves (the loop-IR interpreter),
-    /// when metrics are enabled.
+    /// only — called once per executed bite by the deque drain loop (and
+    /// by the legacy counter path per claim), when metrics are enabled.
     pub fn record_chunk(&self, tid: usize) {
         self.chunks_issued.fetch_add(1, Ordering::Relaxed);
         if let Some(n) = self.shared.chunks_taken.get(tid) {
@@ -421,11 +651,15 @@ impl ForkJoinPool {
         self.region_nanos.store(0, Ordering::Relaxed);
         self.barrier_wait_nanos.store(0, Ordering::Relaxed);
         self.chunks_issued.store(0, Ordering::Relaxed);
-        for n in &self.shared.busy_nanos {
-            n.store(0, Ordering::Relaxed);
-        }
-        for n in &self.shared.chunks_taken {
-            n.store(0, Ordering::Relaxed);
+        for v in [
+            &self.shared.busy_nanos,
+            &self.shared.chunks_taken,
+            &self.shared.steals,
+            &self.shared.steal_failures,
+        ] {
+            for n in v.iter() {
+                n.store(0, Ordering::Relaxed);
+            }
         }
     }
 
@@ -450,6 +684,7 @@ impl ForkJoinPool {
             spawn_failures: self.spawn_failures,
             regions_run: self.regions_run(),
             nested_sequential: self.nested_sequential_runs(),
+            nested_parallel: self.nested_parallel_runs(),
             panics_recovered: self.shared.panics_recovered.load(Ordering::Relaxed),
             stalls_detected: self.stalls.load(Ordering::Relaxed),
             last_stall: lock_ignore_poison(&self.last_stall).clone(),
@@ -460,9 +695,11 @@ impl ForkJoinPool {
     /// `tid in 0..nthreads`, concurrently; the call returns when all
     /// participants have passed the stop barrier.
     ///
-    /// Nested calls (from inside a region) execute all participants
-    /// sequentially on the calling thread, which preserves the semantics of
-    /// disjoint work partitions.
+    /// A nested call from a participant of the active region pushes the
+    /// partitions onto that participant's deque as stealable jobs and
+    /// help-joins them (parallel nested execution); a call from a foreign
+    /// thread while the pool is busy runs all partitions sequentially on
+    /// the calling thread.
     ///
     /// # Panics
     /// Re-raises on the main thread when any worker's portion panicked
@@ -492,23 +729,27 @@ impl ForkJoinPool {
     where
         F: Fn(usize, usize) + Sync,
     {
+        let n = self.threads();
+        if n > 1 && self.claim_protocol() == ClaimProtocol::Deque {
+            if let Some(tid) = current_region_tid(&self.shared) {
+                // Nested region from a participant: run the partitions as
+                // stealable jobs on this participant's deque.
+                return self.run_nested_region(tid, n, &f);
+            }
+        }
         self.regions.fetch_add(1, Ordering::Relaxed);
         // Telemetry is opt-in: the common (disabled) path costs one
         // relaxed load and never reads the clock.
         let metered = self.shared.metrics_enabled.load(Ordering::Relaxed);
         let region_start = if metered { Some(Instant::now()) } else { None };
-        let n = self.threads();
         if n == 1 {
             f(0, 1);
             self.finish_region_metrics(region_start, true);
             return Ok(());
         }
-        if self
-            .busy
-            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
-            .is_err()
-        {
-            // Nested region: run every partition on this thread.
+        if !self.acquire_busy() {
+            // The pool is running someone else's region and we are not a
+            // participant of it: run every partition on this thread.
             self.nested_sequential.fetch_add(1, Ordering::Relaxed);
             for tid in 0..n {
                 f(tid, n);
@@ -516,6 +757,29 @@ impl ForkJoinPool {
             self.finish_region_metrics(region_start, true);
             return Ok(());
         }
+        self.run_region_locked(f, n, metered, region_start)
+    }
+
+    /// Try to claim root-region ownership.
+    pub(crate) fn acquire_busy(&self) -> bool {
+        self.busy
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Execute a root region's fork/join protocol. Caller holds `busy`
+    /// (released by the drop guard) and has already published any
+    /// region-exec descriptor and deque seeds.
+    pub(crate) fn run_region_locked<F>(
+        &self,
+        f: F,
+        n: usize,
+        metered: bool,
+        region_start: Option<Instant>,
+    ) -> Result<(), RegionPanic>
+    where
+        F: Fn(usize, usize) + Sync,
+    {
         let panics_before = self.shared.panics_recovered.load(Ordering::Relaxed);
 
         let wide: *const (dyn Fn(usize, usize) + Sync + '_) = &f;
@@ -535,9 +799,17 @@ impl ForkJoinPool {
             main_panicked: true,
             metered,
         };
-        f(0, n);
+        {
+            let _ctx = CtxGuard::install(&self.shared, 0);
+            f(0, n);
+            // Scavenge before waiting in the barrier: nested batches
+            // pushed by still-running workers become parallel instead of
+            // burning the main thread on a pure spin wait.
+            drain_tasks(&self.shared, 0, n);
+        }
         if let Some(t0) = region_start {
-            // Main-thread busy time: fork to end of its own partition.
+            // Main-thread busy time: fork to end of its own partition
+            // (plus whatever it scavenged).
             self.shared.busy_nanos[0]
                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
@@ -564,10 +836,34 @@ impl ForkJoinPool {
         Ok(())
     }
 
+    /// Nested plain region from participant `tid`: cover every virtual
+    /// tid `0..n` as stealable jobs (see [`ForkJoinPool::nested_batch`]).
+    fn run_nested_region<F>(&self, tid: usize, n: usize, f: &F) -> Result<(), RegionPanic>
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        self.regions.fetch_add(1, Ordering::Relaxed);
+        self.nested_parallel.fetch_add(1, Ordering::Relaxed);
+        let metered = self.metrics_enabled();
+        let region_start = if metered { Some(Instant::now()) } else { None };
+        let body = |_etid: usize, range: std::ops::Range<usize>| {
+            for virtual_tid in range {
+                f(virtual_tid, n);
+            }
+        };
+        let result = self.nested_batch(tid, n, n, Schedule::Dynamic { chunk: 1 }, &body, false);
+        self.finish_nested_metrics(region_start);
+        result
+    }
+
     /// Record a completed region's duration. `main_is_whole_region` is
-    /// true on the sequential paths (pool of one / nested), where the
+    /// true on the sequential paths (pool of one / fallback), where the
     /// main thread's busy time equals the region duration.
-    fn finish_region_metrics(&self, region_start: Option<Instant>, main_is_whole_region: bool) {
+    pub(crate) fn finish_region_metrics(
+        &self,
+        region_start: Option<Instant>,
+        main_is_whole_region: bool,
+    ) {
         let Some(t0) = region_start else { return };
         let nanos = t0.elapsed().as_nanos() as u64;
         self.regions_measured.fetch_add(1, Ordering::Relaxed);
@@ -575,6 +871,16 @@ impl ForkJoinPool {
         if main_is_whole_region {
             self.shared.busy_nanos[0].fetch_add(nanos, Ordering::Relaxed);
         }
+    }
+
+    /// Record a completed nested region's duration. Participant busy time
+    /// is already covered by the executors' own region windows, so only
+    /// the region count and duration are added.
+    pub(crate) fn finish_nested_metrics(&self, region_start: Option<Instant>) {
+        let Some(t0) = region_start else { return };
+        self.regions_measured.fetch_add(1, Ordering::Relaxed);
+        self.region_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 }
 
@@ -691,20 +997,31 @@ fn worker_loop(shared: &Shared, tid: usize) {
         // region because `run` blocks on the stop barrier.
         let task = unsafe { (*shared.task.get()).expect("epoch flipped without a task") };
         let task = unsafe { &*task };
+        let nthreads = shared.threads.load(Ordering::Relaxed);
         // A panicking body must still reach the stop barrier or the main
         // thread would wait forever; record it and re-raise over there.
         let body = || {
             faultinject::on_worker_region(seen, tid);
-            task(tid, shared.threads.load(Ordering::Relaxed));
+            task(tid, nthreads);
         };
         let busy_start = if shared.metrics_enabled.load(Ordering::Relaxed) {
             Some(Instant::now())
         } else {
             None
         };
-        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)).is_err() {
-            shared.panicked.store(true, Ordering::Release);
-            shared.panics_recovered.fetch_add(1, Ordering::Relaxed);
+        {
+            // The context makes nested pool calls from inside the body
+            // (and from scavenged tasks) participant-aware.
+            let _ctx = CtxGuard::install(shared, tid);
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)).is_err() {
+                shared.panicked.store(true, Ordering::Release);
+                shared.panics_recovered.fetch_add(1, Ordering::Relaxed);
+            }
+            // Scavenge before parking: pick up split chunk tails and
+            // nested job batches other participants are still producing.
+            // Task executors catch their own panics, so this never
+            // unwinds past the barrier below.
+            drain_tasks(shared, tid, nthreads);
         }
         if let Some(t0) = busy_start {
             shared.busy_nanos[tid].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -719,7 +1036,7 @@ fn worker_loop(shared: &Shared, tid: usize) {
 /// work arrives immediately, the case the enhanced model optimizes for),
 /// then yield so oversubscribed configurations still make progress.
 #[inline]
-fn backoff(spins: &mut u32) {
+pub(crate) fn backoff(spins: &mut u32) {
     if *spins < 512 {
         std::hint::spin_loop();
         *spins += 1;

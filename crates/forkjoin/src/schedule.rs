@@ -6,58 +6,70 @@
 //! for uniform bodies but serializes imbalanced ones behind the slowest
 //! chunk — the `imbalance_ratio` telemetry exists precisely to show this.
 //!
-//! This module adds the standard fix: a shared monotone counter from which
-//! participants *claim* chunks until the iteration space is drained.
 //! [`Schedule`] selects the claim policy (static / dynamic / guided, the
-//! OpenMP triple), [`next_chunk`] implements one claim, and
-//! [`ForkJoinPool::run_scheduled`] runs a whole region on top of the
-//! existing pool protocol so the nested-sequential fallback, the stall
-//! watchdog, and fault injection all compose unchanged.
+//! OpenMP triple). Under the default [`crate::ClaimProtocol::Deque`], a
+//! scheduled region seeds each participant's Chase–Lev deque with that
+//! participant's static partition; owners repeatedly take a
+//! schedule-sized *bite* off their chunk, pushing the stealable remainder
+//! back **before** executing the bite, and participants whose deques run
+//! dry steal chunks from random victims. The schedule thus decides only
+//! the splitting granularity — load redistribution is the thief's job,
+//! which removes the PR 4 shared counter from the hot path entirely.
 //!
-//! ## Memory ordering
+//! The legacy counter protocol ([`next_chunk`], selected via
+//! [`crate::ClaimProtocol::SharedCounter`]) is retained as a differential
+//! baseline: the fuzzer's schedule oracle runs every program under both
+//! protocols and compares results.
 //!
-//! The counter is only a work-distribution device: claims use a single
-//! `fetch_add(chunk, Relaxed)` (over-claims past `total` are harmless —
-//! the claimer sees an empty range and stops). Happens-before between the
-//! loop body's writes and the caller's reads after the region is provided
-//! entirely by the pool's epoch/stop-barrier handshake, not by this
-//! counter, so Relaxed is sufficient and keeps the claim path to one
-//! uncontended-to-lightly-contended RMW per chunk.
+//! ## Memory ordering (counter protocol)
+//!
+//! The counter is only a work-distribution device: happens-before between
+//! the loop body's writes and the caller's reads after the region is
+//! provided entirely by the pool's epoch/stop-barrier handshake, so all
+//! counter operations are `Relaxed`. Claims reserve iterations with a CAS
+//! loop that clamps each claim to the remaining space, so the counter
+//! never advances past `total` and `chunks_issued` can never count
+//! phantom claims (an earlier `fetch_add` formulation let every late
+//! claimer push the counter arbitrarily far past the end).
 
 use std::str::FromStr;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
-use crate::ForkJoinPool;
+use crate::deque::{Task, VictimRng};
+use crate::{
+    backoff, chunk_range, current_region_tid, drain_tasks, execute_task, steal_sweep,
+    ClaimProtocol, ForkJoinPool, RegionExec, RegionPanic, Sweep,
+};
 
 /// Loop-scheduling policy for one parallel region (the OpenMP triple).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Schedule {
-    /// One contiguous chunk of `ceil(total / nthreads)` iterations per
-    /// claim. With every participant claiming exactly once this matches
-    /// the old `chunk_range` partition (to within one iteration of
-    /// rounding) while still letting a finished participant steal the
-    /// slice of a worker that never spawned.
+    /// One bite of up to [`crate::TilePolicy::static_grain`] iterations at
+    /// a time. For loops that fit in a single grain this is exactly the
+    /// classic one-chunk-per-participant partition; larger loops are
+    /// split into cache-sized bites whose tails remain stealable.
     #[default]
     Static,
-    /// Fixed-size chunks of `chunk` iterations, claimed on demand.
-    /// Smallest chunks → best balance, most counter traffic.
+    /// Fixed-size bites of `chunk` iterations. Smallest bites → best
+    /// balance, most splitting traffic.
     Dynamic {
-        /// Iterations per claim (≥ 1).
+        /// Iterations per bite (≥ 1).
         chunk: usize,
     },
-    /// Exponentially decreasing chunks: each claim takes
-    /// `max(remaining / nthreads, min_chunk)` iterations. Front-loads big
-    /// cheap claims, back-fills with small ones — the usual compromise
+    /// Exponentially decreasing bites: each take is
+    /// `max(remaining_in_chunk / nthreads, min_chunk)`. Front-loads big
+    /// cheap bites, back-fills with small ones — the usual compromise
     /// between `Static`'s low overhead and `Dynamic`'s balance.
     Guided {
-        /// Lower bound on the claim size (≥ 1).
+        /// Lower bound on the bite size (≥ 1).
         min_chunk: usize,
     },
 }
 
 /// Default chunk size for `dynamic` when none is given (OpenMP uses 1;
 /// we pick a slightly coarser default because the interpreter's
-/// per-iteration cost is tiny relative to a counter RMW).
+/// per-iteration cost is tiny relative to a claim).
 pub const DEFAULT_DYNAMIC_CHUNK: usize = 1;
 
 /// Default minimum chunk for `guided` when none is given.
@@ -123,7 +135,8 @@ impl FromStr for Schedule {
 
 impl Schedule {
     /// Size of the next claim for this policy given how many iterations
-    /// remain unclaimed. Always ≥ 1 when `remaining > 0`.
+    /// remain unclaimed. Always ≥ 1 when `remaining > 0`. Used by the
+    /// legacy counter protocol.
     #[inline]
     fn claim_size(self, remaining: usize, total: usize, nthreads: usize) -> usize {
         match self {
@@ -136,12 +149,36 @@ impl Schedule {
     }
 }
 
+/// Size of the bite an owner takes off the front of a chunk of `len`
+/// iterations under `schedule`. `static_grain` is the pool's cache-derived
+/// cap on static bites ([`crate::TilePolicy::static_grain`]): a static
+/// chunk no larger than one grain executes whole (the classic partition),
+/// a larger one is split so its tail stays stealable and its write set
+/// stays cache-sized.
+#[inline]
+pub(crate) fn bite_size(
+    schedule: Schedule,
+    len: usize,
+    nthreads: usize,
+    static_grain: usize,
+) -> usize {
+    match schedule {
+        Schedule::Static => len.min(static_grain.max(1)),
+        Schedule::Dynamic { chunk } => chunk.max(1).min(len),
+        Schedule::Guided { min_chunk } => {
+            (len / nthreads.max(1)).max(min_chunk.max(1)).min(len)
+        }
+    }
+}
+
 /// Claim the next chunk of `0..total` from the shared `counter` under
 /// `schedule`, or `None` when the iteration space is drained.
 ///
-/// The counter must start at 0 for the region and is advanced with a
-/// single relaxed `fetch_add` per claim; see the module docs for why
-/// relaxed ordering is sufficient.
+/// The counter must start at 0 for the region. Claims are reserved with a
+/// relaxed CAS loop that clamps every claim to the remaining iterations,
+/// so the counter never advances past `total`: a drained claim does not
+/// move the counter, and telemetry built on claim counts cannot observe
+/// phantom claims. See the module docs for why relaxed ordering suffices.
 #[inline]
 pub fn next_chunk(
     counter: &AtomicUsize,
@@ -149,38 +186,84 @@ pub fn next_chunk(
     nthreads: usize,
     schedule: Schedule,
 ) -> Option<std::ops::Range<usize>> {
-    // Guided reads the counter once to size its claim; a stale read only
-    // affects the *size* of the claim, never its position (the fetch_add
-    // is what actually reserves iterations), so this is benign.
-    let observed = match schedule {
-        Schedule::Guided { .. } => counter.load(Ordering::Relaxed),
-        _ => 0,
-    };
-    if observed >= total {
-        return None;
+    let mut cur = counter.load(Ordering::Relaxed);
+    loop {
+        if cur >= total {
+            return None;
+        }
+        let size = schedule
+            .claim_size(total - cur, total, nthreads)
+            .min(total - cur);
+        match counter.compare_exchange_weak(cur, cur + size, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return Some(cur..cur + size),
+            Err(actual) => cur = actual,
+        }
     }
-    let size = schedule.claim_size(total - observed, total, nthreads);
-    let start = counter.fetch_add(size, Ordering::Relaxed);
-    if start >= total {
-        return None;
+}
+
+/// State of one active deque-scheduled region, type-erased into
+/// `Shared::region_exec` so any participant holding a `Task::Chunk` —
+/// the drain loop, a nested help-join, a scavenger — can execute it.
+struct ScheduledRegion<'a, F> {
+    pool: &'a ForkJoinPool,
+    nthreads: usize,
+    schedule: Schedule,
+    grain: usize,
+    metered: bool,
+    f: &'a F,
+}
+
+impl<F> ScheduledRegion<'_, F>
+where
+    F: Fn(usize, std::ops::Range<usize>) + Sync,
+{
+    /// Execute one deque chunk as participant `tid`: bite off the front,
+    /// push the remainder back *first* (so it is stealable while the bite
+    /// runs), then run the bite. Panics in the body are caught here —
+    /// recorded on the region, never unwound into a deque drain loop — so
+    /// deques always drain completely even for a panicking region.
+    fn execute_chunk(&self, tid: usize, start: usize, end: usize) {
+        let len = end - start;
+        let bite = bite_size(self.schedule, len, self.nthreads, self.grain);
+        if bite < len {
+            self.pool.shared.deques[tid].push(Task::Chunk { start: start + bite, end });
+        }
+        if self.metered {
+            self.pool.record_chunk(tid);
+        }
+        let body = || (self.f)(tid, start..start + bite);
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)).is_err() {
+            self.pool.shared.panicked.store(true, Ordering::Release);
+            self.pool.shared.panics_recovered.fetch_add(1, Ordering::Relaxed);
+        }
     }
-    Some(start..(start + size).min(total))
+
+    unsafe fn run_erased(data: *const (), tid: usize, start: usize, end: usize) {
+        let region = unsafe { &*data.cast::<Self>() };
+        region.execute_chunk(tid, start, end);
+    }
 }
 
 impl ForkJoinPool {
-    /// Execute `0..total` as one self-scheduled parallel region: every
-    /// participant repeatedly claims a chunk per `schedule` and calls
-    /// `f(tid, range)` on it until the space is drained.
+    /// Execute `0..total` as one self-scheduled parallel region: the
+    /// iteration space is partitioned across the participants' deques,
+    /// each participant takes schedule-sized bites off its own chunk and
+    /// calls `f(tid, range)` on them, and finished participants steal
+    /// from the others until the space is drained.
     ///
-    /// Built on [`ForkJoinPool::run`], so the whole existing protocol
-    /// applies: a pool of one or a nested region drains the counter on
-    /// the calling thread (same results, no concurrency), worker panics
-    /// are re-raised after the region, and the stop-barrier watchdog
-    /// covers a participant stuck inside a claim.
+    /// The whole existing protocol applies: a pool of one (or a foreign
+    /// thread hitting a busy pool) drains the space on the calling thread
+    /// with the same bite structure, worker panics are re-raised after
+    /// the region, and the stop-barrier watchdog covers a participant
+    /// stuck inside a bite. A *nested* call from a participant of the
+    /// active region runs in parallel through that participant's deque
+    /// (see [`ForkJoinPool::nested_batch`]).
     ///
     /// When region telemetry is enabled ([`Self::set_metrics_enabled`]),
-    /// each claim bumps the region's `chunks_issued` and the claimer's
-    /// `chunks_taken[tid]` (see [`crate::PoolMetrics`]).
+    /// each executed bite bumps the region's `chunks_issued` and the
+    /// executor's `chunks_taken[tid]`; steals are counted always (see
+    /// [`crate::PoolMetrics`]).
     pub fn run_scheduled<F>(&self, total: usize, schedule: Schedule, f: F)
     where
         F: Fn(usize, std::ops::Range<usize>) + Sync,
@@ -193,23 +276,103 @@ impl ForkJoinPool {
     /// [`ForkJoinPool::run_scheduled`] that reports worker panics as a
     /// typed [`crate::RegionPanic`] instead of re-raising.
     ///
-    /// A panic inside one claimed chunk is caught by that worker's
-    /// `catch_unwind`; the worker still reaches the stop barrier (the
-    /// epoch is released, never hung), the other participants keep
-    /// draining the claim counter, and the caller gets `Err` once the
-    /// whole region has completed.
+    /// A panic inside one bite is caught where it ran; the region keeps
+    /// draining (work stealing redistributes the dead participant's
+    /// remaining chunks), and the caller gets `Err` once the whole region
+    /// has completed.
     pub fn try_run_scheduled<F>(
         &self,
         total: usize,
         schedule: Schedule,
         f: F,
-    ) -> Result<(), crate::RegionPanic>
+    ) -> Result<(), RegionPanic>
     where
         F: Fn(usize, std::ops::Range<usize>) + Sync,
     {
         if total == 0 {
             return Ok(());
         }
+        if self.claim_protocol() == ClaimProtocol::SharedCounter {
+            return self.try_run_scheduled_counter(total, schedule, f);
+        }
+        let n = self.threads();
+        let grain = self.tile_policy().static_grain;
+        if n > 1 {
+            if let Some(tid) = current_region_tid(&self.shared) {
+                // Nested scheduled region from a participant: run it as a
+                // stealable job batch on this participant's deque.
+                self.regions.fetch_add(1, Ordering::Relaxed);
+                self.nested_parallel.fetch_add(1, Ordering::Relaxed);
+                let metered = self.metrics_enabled();
+                let region_start = if metered { Some(Instant::now()) } else { None };
+                let result = self.nested_batch(tid, n, total, schedule, &f, metered);
+                self.finish_nested_metrics(region_start);
+                return result;
+            }
+        }
+        self.regions.fetch_add(1, Ordering::Relaxed);
+        let metered = self.metrics_enabled();
+        let region_start = if metered { Some(Instant::now()) } else { None };
+        if n == 1 {
+            self.run_bites_sequential(total, schedule, 1, metered, &f, grain);
+            self.finish_region_metrics(region_start, true);
+            return Ok(());
+        }
+        if !self.acquire_busy() {
+            // Foreign thread racing an active region: same sequential
+            // fallback the plain `run` path takes.
+            self.nested_sequential.fetch_add(1, Ordering::Relaxed);
+            self.run_bites_sequential(total, schedule, n, metered, &f, grain);
+            self.finish_region_metrics(region_start, true);
+            return Ok(());
+        }
+        // We own the pool and every worker is parked, so the main thread
+        // owns all deques: seed one chunk per participant from the static
+        // partition. Owners bite off schedule-sized pieces, pushing each
+        // stealable tail back before running the bite.
+        for tid in 0..n {
+            let r = chunk_range(total, n, tid);
+            if !r.is_empty() {
+                self.shared.deques[tid].push(Task::Chunk { start: r.start, end: r.end });
+            }
+        }
+        let region = ScheduledRegion {
+            pool: self,
+            nthreads: n,
+            schedule,
+            grain,
+            metered,
+            f: &f,
+        };
+        // Publish the chunk executor before the epoch flip (inside
+        // `run_region_locked`) releases the workers; the flip's Release
+        // ordering makes it visible to their Acquire epoch loads.
+        unsafe {
+            *self.shared.region_exec.get() = Some(RegionExec {
+                data: std::ptr::from_ref(&region).cast::<()>(),
+                run: ScheduledRegion::<F>::run_erased,
+            });
+        }
+        self.run_region_locked(
+            |tid, nthreads| drain_tasks(&self.shared, tid, nthreads),
+            n,
+            metered,
+            region_start,
+        )
+    }
+
+    /// The PR 4 shared-counter claim loop, kept verbatim behind
+    /// [`ClaimProtocol::SharedCounter`] as the fuzzer's differential
+    /// baseline. Nested regions serialize here exactly as they did then.
+    fn try_run_scheduled_counter<F>(
+        &self,
+        total: usize,
+        schedule: Schedule,
+        f: F,
+    ) -> Result<(), RegionPanic>
+    where
+        F: Fn(usize, std::ops::Range<usize>) + Sync,
+    {
         let counter = AtomicUsize::new(0);
         let metered = self.metrics_enabled();
         self.try_run(|tid, nthreads| {
@@ -220,6 +383,153 @@ impl ForkJoinPool {
                 f(tid, range);
             }
         })
+    }
+
+    /// Sequential fallback with the same bite structure (and therefore the
+    /// same telemetry shape) as the parallel path: each virtual tid's
+    /// partition is drained in schedule-sized bites on the calling thread.
+    fn run_bites_sequential<F>(
+        &self,
+        total: usize,
+        schedule: Schedule,
+        nthreads: usize,
+        metered: bool,
+        f: &F,
+        grain: usize,
+    ) where
+        F: Fn(usize, std::ops::Range<usize>) + Sync,
+    {
+        for tid in 0..nthreads {
+            let r = chunk_range(total, nthreads, tid);
+            let mut start = r.start;
+            while start < r.end {
+                let bite = bite_size(schedule, r.end - start, nthreads, grain);
+                if metered {
+                    self.record_chunk(tid);
+                }
+                f(tid, start..start + bite);
+                start += bite;
+            }
+        }
+    }
+
+    /// Run `0..total` as a batch of stealable jobs submitted from inside
+    /// an active region by participant `tid` — the nested-parallelism
+    /// path for both nested scheduled loops and cilk `spawn`/`sync`.
+    ///
+    /// The batch is pushed onto the submitter's own deque, where region
+    /// peers scavenge it; the submitter *help-joins*: it pops its own
+    /// deque (jobs first — they sit above any outer-region chunk tail),
+    /// steals from peers when empty, and spins down only when the batch's
+    /// completion latch reaches zero. Every job runs under its own
+    /// `catch_unwind` and decrements the latch as its very last access,
+    /// so the job structs (on this stack frame) never dangle and a stuck
+    /// thief is the only way to wait here — which the stop-barrier
+    /// watchdog then attributes to that thief's tid.
+    pub(crate) fn nested_batch<F>(
+        &self,
+        tid: usize,
+        nthreads: usize,
+        total: usize,
+        schedule: Schedule,
+        f: &F,
+        count_chunks: bool,
+    ) -> Result<(), RegionPanic>
+    where
+        F: Fn(usize, std::ops::Range<usize>) + Sync,
+    {
+        if total == 0 {
+            return Ok(());
+        }
+        struct NestedJob<'a, F> {
+            f: &'a F,
+            start: usize,
+            end: usize,
+            latch: &'a AtomicUsize,
+            panics: &'a AtomicU64,
+            pool: &'a ForkJoinPool,
+            count_chunks: bool,
+        }
+        unsafe fn exec_job<F>(data: *const (), etid: usize)
+        where
+            F: Fn(usize, std::ops::Range<usize>) + Sync,
+        {
+            let job = unsafe { &*data.cast::<NestedJob<'_, F>>() };
+            if job.count_chunks {
+                job.pool.record_chunk(etid);
+            }
+            let body = || (job.f)(etid, job.start..job.end);
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)).is_err() {
+                job.panics.fetch_add(1, Ordering::Relaxed);
+                job.pool.shared.panics_recovered.fetch_add(1, Ordering::Relaxed);
+            }
+            // Release-decrement is the last access to the job struct: it
+            // pairs with the submitter's Acquire latch load, after which
+            // the submitter may pop the batch off its stack.
+            job.latch.fetch_sub(1, Ordering::Release);
+        }
+
+        let shared = &self.shared;
+        // Bound the batch to a few jobs per participant; the schedule's
+        // chunk size acts as a floor so `dynamic:64` never produces jobs
+        // finer than its outer-loop granularity.
+        let max_jobs = 4 * nthreads.max(1);
+        let sched_min = match schedule {
+            Schedule::Static => total.div_ceil(nthreads.max(1)),
+            Schedule::Dynamic { chunk } => chunk,
+            Schedule::Guided { min_chunk } => min_chunk,
+        };
+        let per_job = sched_min.max(1).max(total.div_ceil(max_jobs));
+        let count = total.div_ceil(per_job);
+        let latch = AtomicUsize::new(count);
+        let panics = AtomicU64::new(0);
+        let jobs: Vec<NestedJob<'_, F>> = (0..count)
+            .map(|k| NestedJob {
+                f,
+                start: k * per_job,
+                end: ((k + 1) * per_job).min(total),
+                latch: &latch,
+                panics: &panics,
+                pool: self,
+                count_chunks,
+            })
+            .collect();
+        let own = &shared.deques[tid];
+        // Reverse push so the submitter's LIFO pops walk the space in
+        // ascending order while thieves take the tail.
+        for job in jobs.iter().rev() {
+            own.push(Task::Job {
+                data: std::ptr::from_ref(job).cast::<()>(),
+                exec: exec_job::<F>,
+            });
+        }
+        let mut rng = VictimRng::new(tid.wrapping_add(nthreads));
+        let mut spins = 0u32;
+        while latch.load(Ordering::Acquire) != 0 {
+            if let Some(task) = own.pop() {
+                // Usually one of our jobs; may also be an outer-region
+                // chunk tail that was beneath the batch — executing it
+                // while we wait is productive either way.
+                execute_task(shared, tid, task);
+                spins = 0;
+                continue;
+            }
+            match steal_sweep(shared, tid, nthreads, &mut rng) {
+                Sweep::Task(task) => {
+                    execute_task(shared, tid, task);
+                    spins = 0;
+                }
+                Sweep::Contended | Sweep::Empty => backoff(&mut spins),
+            }
+        }
+        let p = panics.load(Ordering::Relaxed);
+        if p > 0 {
+            return Err(RegionPanic {
+                workers: p,
+                epoch: shared.epoch.load(Ordering::Relaxed),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -295,8 +605,52 @@ mod tests {
     }
 
     #[test]
+    fn counter_never_advances_past_total() {
+        // Regression for the phantom-claim bug: concurrent late claimers
+        // used to fetch_add past `total`, so the counter's final value
+        // depended on how many participants raced the drained space.
+        for schedule in [
+            Schedule::Static,
+            Schedule::Dynamic { chunk: 7 },
+            Schedule::Guided { min_chunk: 2 },
+        ] {
+            let counter = AtomicUsize::new(0);
+            let total = 100;
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| while next_chunk(&counter, total, 4, schedule).is_some() {});
+                }
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), total, "{schedule}");
+            assert!(next_chunk(&counter, total, 4, schedule).is_none());
+            assert_eq!(counter.load(Ordering::Relaxed), total, "{schedule} after drain");
+        }
+    }
+
+    #[test]
     fn run_scheduled_visits_every_index_once() {
         let pool = ForkJoinPool::new(4);
+        for schedule in [
+            Schedule::Static,
+            Schedule::Dynamic { chunk: 3 },
+            Schedule::Guided { min_chunk: 1 },
+        ] {
+            let hit: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+            pool.run_scheduled(hit.len(), schedule, |_tid, range| {
+                for i in range {
+                    hit[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            for (i, h) in hit.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "{schedule} index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_scheduled_counter_protocol_visits_every_index_once() {
+        let pool = ForkJoinPool::new(4);
+        pool.set_claim_protocol(ClaimProtocol::SharedCounter);
         for schedule in [
             Schedule::Static,
             Schedule::Dynamic { chunk: 3 },
@@ -323,12 +677,14 @@ mod tests {
     }
 
     #[test]
-    fn run_scheduled_nested_falls_back_sequential() {
+    fn run_scheduled_nested_runs_in_parallel() {
+        // A nested scheduled region from a participant goes through the
+        // deque batch path — counted as nested_parallel, never as the
+        // sequential fallback.
         let pool = ForkJoinPool::new(4);
         let seen = Mutex::new(HashSet::new());
         pool.run(|tid, _| {
             if tid == 0 {
-                // Nested scheduled region: drained entirely on this thread.
                 pool.run_scheduled(10, Schedule::Dynamic { chunk: 2 }, |_, r| {
                     let mut s = seen.lock().unwrap();
                     for i in r {
@@ -338,7 +694,23 @@ mod tests {
             }
         });
         assert_eq!(seen.into_inner().unwrap().len(), 10);
-        assert!(pool.nested_sequential_runs() >= 1);
+        assert_eq!(pool.nested_sequential_runs(), 0);
+        assert!(pool.nested_parallel_runs() >= 1);
+    }
+
+    #[test]
+    fn deeply_nested_scheduled_regions_complete() {
+        let pool = ForkJoinPool::new(4);
+        let count = AtomicUsize::new(0);
+        pool.run_scheduled(8, Schedule::Dynamic { chunk: 1 }, |_, outer| {
+            for _ in outer {
+                pool.run_scheduled(8, Schedule::Dynamic { chunk: 1 }, |_, inner| {
+                    count.fetch_add(inner.len(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(count.into_inner(), 64);
+        assert_eq!(pool.nested_sequential_runs(), 0);
     }
 
     #[test]
@@ -350,5 +722,33 @@ mod tests {
         assert_eq!(m.chunks_issued, 4);
         assert_eq!(m.chunks_taken.iter().sum::<u64>(), 4);
         assert_eq!(m.chunks_taken.len(), 2);
+        assert_eq!(m.steals.len(), 2);
+        assert_eq!(m.steal_failures.len(), 2);
+    }
+
+    #[test]
+    fn protocols_agree_on_coverage_and_chunk_totals() {
+        // Differential check mirroring the fuzzer's schedule oracle: both
+        // protocols must visit every index exactly once for the same
+        // (total, schedule) inputs.
+        for schedule in [
+            Schedule::Static,
+            Schedule::Dynamic { chunk: 4 },
+            Schedule::Guided { min_chunk: 2 },
+        ] {
+            let mut sums = Vec::new();
+            for protocol in [ClaimProtocol::Deque, ClaimProtocol::SharedCounter] {
+                let pool = ForkJoinPool::new(3);
+                pool.set_claim_protocol(protocol);
+                let hit: Vec<AtomicUsize> = (0..193).map(|_| AtomicUsize::new(0)).collect();
+                pool.run_scheduled(hit.len(), schedule, |_tid, range| {
+                    for i in range {
+                        hit[i].fetch_add(i + 1, Ordering::Relaxed);
+                    }
+                });
+                sums.push(hit.iter().map(|h| h.load(Ordering::Relaxed)).sum::<usize>());
+            }
+            assert_eq!(sums[0], sums[1], "{schedule}");
+        }
     }
 }

@@ -60,7 +60,7 @@ fn pool_reuses_same_workers() {
 }
 
 #[test]
-fn nested_run_degrades_to_sequential() {
+fn nested_run_executes_in_parallel_not_sequential() {
     let pool = ForkJoinPool::new(2);
     let count = AtomicUsize::new(0);
     pool.run(|_, _| {
@@ -69,9 +69,66 @@ fn nested_run_degrades_to_sequential() {
             count.fetch_add(1, Ordering::Relaxed);
         });
     });
-    // Two outer participants each ran the inner region over 2 tids.
+    // Two outer participants each ran the inner region over 2 virtual
+    // tids — through their deques as stealable jobs, never the
+    // sequential fallback.
     assert_eq!(count.load(Ordering::Relaxed), 4);
-    assert_eq!(pool.nested_sequential_runs(), 2);
+    assert_eq!(pool.nested_sequential_runs(), 0);
+    assert_eq!(pool.nested_parallel_runs(), 2);
+}
+
+#[test]
+fn foreign_thread_on_busy_pool_degrades_to_sequential() {
+    // A thread that is NOT a participant of the active region still gets
+    // the sequential fallback: it cannot push to anyone's deque.
+    let pool = std::sync::Arc::new(ForkJoinPool::new(2));
+    let gate = std::sync::Barrier::new(2);
+    let count = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let p = std::sync::Arc::clone(&pool);
+        let gate = &gate;
+        let count = &count;
+        s.spawn(move || {
+            gate.wait(); // pool is busy with the outer region now
+            p.run(|_, n| {
+                assert_eq!(n, 2);
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            gate.wait(); // let the outer region finish
+        });
+        pool.run(|tid, _| {
+            if tid == 0 {
+                gate.wait();
+                gate.wait();
+            }
+        });
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 2);
+    assert_eq!(pool.nested_sequential_runs(), 1);
+}
+
+#[test]
+fn imbalanced_scheduled_region_records_steals() {
+    // tid 0 creeps through its partition; the other participants finish
+    // theirs and must steal tid 0's pushed-back tail.
+    let pool = ForkJoinPool::new(4);
+    pool.set_metrics_enabled(true);
+    let visited = AtomicUsize::new(0);
+    pool.run_scheduled(64, Schedule::Dynamic { chunk: 1 }, |_, range| {
+        for i in range {
+            if i < 16 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            visited.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    assert_eq!(visited.into_inner(), 64);
+    let m = pool.metrics();
+    assert_eq!(m.steals.len(), 4);
+    assert!(
+        m.steals.iter().sum::<u64>() > 0,
+        "slow partition's tail was never stolen: {m:?}"
+    );
 }
 
 #[test]
@@ -127,8 +184,8 @@ fn metrics_capture_regions_and_busy_time() {
 fn metrics_cover_sequential_and_nested_paths() {
     let pool = ForkJoinPool::new(2);
     pool.set_metrics_enabled(true);
-    // Nested regions degrade to sequential but are still measured: the
-    // outer region plus one inner region per outer participant.
+    // Nested regions run as deque job batches but are still measured:
+    // the outer region plus one inner region per outer participant.
     pool.run(|_, _| {
         pool.run(|_, _| {});
     });
@@ -152,6 +209,8 @@ fn imbalance_ratio_math() {
         busy_nanos: vec![100, 50, 50],
         chunks_issued: 0,
         chunks_taken: vec![0, 0, 0],
+        steals: vec![0, 0, 0],
+        steal_failures: vec![0, 0, 0],
     };
     // max = 100, mean = 200/3 ≈ 66.7 → ratio 1.5.
     assert!((m.imbalance_ratio() - 1.5).abs() < 1e-9);

@@ -468,6 +468,13 @@ fn emit_scheduled_loop(f: &ForLoop, level: usize, ctx: &mut EmitCtx, out: &mut S
         cmm_forkjoin::Schedule::Dynamic { chunk } => (1, chunk),
         cmm_forkjoin::Schedule::Guided { min_chunk } => (2, min_chunk),
     };
+    // Cache-derived cap on static claims (half the emitting host's L2 in
+    // iterations): instead of one ceil(total/nthreads) slab per thread, a
+    // static schedule over a huge range is claimed in L2-sized bites, the
+    // same grain the in-process pool uses, so late-finishing threads can
+    // pick up the tail.
+    let grain = cmm_forkjoin::TilePolicy::from_geometry(cmm_forkjoin::cache_geometry())
+        .static_grain;
     let ctr = ctx.fresh("cmm_sched_ctr");
     let lo_v = ctx.fresh("cmm_sched_lo");
     let total_v = ctx.fresh("cmm_sched_total");
@@ -492,7 +499,7 @@ fn emit_scheduled_loop(f: &ForLoop, level: usize, ctx: &mut EmitCtx, out: &mut S
     let _ = writeln!(
         out,
         "while (cmm_sched_next(&{ctr}, {total_v}, cmm_sched_threads(), {kind}, {chunk}, \
-         &{c_lo}, &{c_hi})) {{"
+         {grain}, &{c_lo}, &{c_hi})) {{"
     );
     ind(level + 3, out);
     let _ = writeln!(out, "for (long {k} = {c_lo}; {k} < {c_hi}; {k}++) {{");
@@ -766,14 +773,18 @@ const C_RUNTIME: &str = r#"/* Generated by the cmm extended-C translator. */
 #if !defined(__STDC_NO_ATOMICS__)
 #include <stdatomic.h>
 typedef atomic_long cmm_atomic_long;
-#define cmm_atomic_fetch_add(p, v) atomic_fetch_add_explicit((p), (v), memory_order_relaxed)
 #define cmm_atomic_load(p) atomic_load_explicit((p), memory_order_relaxed)
+#define cmm_atomic_cas(p, e, v) \
+    atomic_compare_exchange_weak_explicit((p), (e), (v), memory_order_relaxed, memory_order_relaxed)
 #else
 /* No C11 atomics implies no OpenMP threads here either; plain longs are
  * fine for the single-threaded drain. */
 typedef long cmm_atomic_long;
-static long cmm_atomic_fetch_add(long *p, long v) { long old = *p; *p += v; return old; }
 #define cmm_atomic_load(p) (*(p))
+static int cmm_atomic_cas(long *p, long *e, long v) {
+    if (*p == *e) { *p = v; return 1; }
+    *e = *p; return 0;
+}
 #endif
 
 /* Threads sharing the self-scheduling counter of the enclosing parallel
@@ -787,34 +798,45 @@ static int cmm_sched_threads(void) {
 }
 
 /* Claim the next chunk of 0..total from the region's shared counter.
- * kind: 0 = static (one ceil(total/nthreads) chunk per claim),
+ * kind: 0 = static (ceil(total/nthreads) per claim, capped at `grain`
+ *                   iterations so huge ranges are claimed in cache-sized
+ *                   bites rather than one slab per thread),
  *       1 = dynamic (fixed `chunk` iterations per claim),
  *       2 = guided  (max(remaining/nthreads, chunk) per claim).
- * Stores [*lo, *hi) and returns 1, or returns 0 when drained. Relaxed
+ * Stores [*lo, *hi) and returns 1, or returns 0 when drained. The claim
+ * is a CAS loop that clamps the advance to `total - cur`, so the counter
+ * never moves past `total` — a drained region leaves the counter exactly
+ * at total instead of arbitrarily beyond it (late claimants racing a
+ * fetch_add used to push it total + nthreads*size high). Relaxed
  * ordering suffices: the counter only distributes work; the OpenMP
  * region's implicit barrier provides the happens-before for the loop
  * body's effects. */
 static int cmm_sched_next(cmm_atomic_long *counter, long total, int nthreads,
-                          int kind, long chunk, long *lo, long *hi) {
-    long size;
+                          int kind, long chunk, long grain, long *lo, long *hi) {
     if (nthreads < 1) nthreads = 1;
     if (chunk < 1) chunk = 1;
-    if (kind == 2) {
-        long observed = cmm_atomic_load(counter);
-        if (observed >= total) return 0;
-        size = (total - observed) / nthreads;
-        if (size < chunk) size = chunk;
-    } else if (kind == 1) {
-        size = chunk;
-    } else {
-        size = (total + nthreads - 1) / nthreads;
-        if (size < 1) size = 1;
+    if (grain < 1) grain = 1;
+    long cur = cmm_atomic_load(counter);
+    for (;;) {
+        if (cur >= total) return 0;
+        long size;
+        if (kind == 2) {
+            size = (total - cur) / nthreads;
+            if (size < chunk) size = chunk;
+        } else if (kind == 1) {
+            size = chunk;
+        } else {
+            size = (total + nthreads - 1) / nthreads;
+            if (size < 1) size = 1;
+            if (size > grain) size = grain;
+        }
+        if (size > total - cur) size = total - cur;
+        if (cmm_atomic_cas(counter, &cur, cur + size)) {
+            *lo = cur;
+            *hi = cur + size;
+            return 1;
+        }
     }
-    long start = cmm_atomic_fetch_add(counter, size);
-    if (start >= total) return 0;
-    *lo = start;
-    *hi = start + size < total ? start + size : total;
-    return 1;
 }
 
 typedef struct {

@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use cmm_forkjoin::{next_chunk, ForkJoinPool, Schedule};
+use cmm_forkjoin::{ForkJoinPool, Schedule};
 use cmm_rc::{AllocError, PoolBlock};
 
 use crate::cmmx;
@@ -916,14 +916,24 @@ impl<'p> Interp<'p> {
             // A worker panic is a typed error for *this run*, not a
             // process-level unwind: long-running hosts (cmmc serve) must
             // outlive any one session's fault.
+            //
+            // One dynamic claim per spawned call: from the top level this
+            // is an ordinary scheduled region; from inside a parallel
+            // region (nested spawn/sync) the calls become stealable jobs
+            // on the current participant's deque and execute in parallel
+            // with the rest of the region instead of serializing.
             self.pool
-                .try_run(|tid, nthreads| {
-                    for k in cmm_forkjoin::chunk_range(pending_ref.len(), nthreads, tid) {
-                        let p = &pending_ref[k];
-                        let r = self.call_resolved(&p.callee, p.args.clone());
-                        *lock_ignore_poison(&slots_ref[k]) = Some(r);
-                    }
-                })
+                .try_run_scheduled(
+                    pending.len(),
+                    Schedule::Dynamic { chunk: 1 },
+                    |_tid, range| {
+                        for k in range {
+                            let p = &pending_ref[k];
+                            let r = self.call_resolved(&p.callee, p.args.clone());
+                            *lock_ignore_poison(&slots_ref[k]) = Some(r);
+                        }
+                    },
+                )
                 .map_err(|p| InterpError::worker_panic(&p))?;
             slots
                 .into_iter()
@@ -1086,55 +1096,54 @@ impl<'p> Interp<'p> {
                 template[s as usize] = frame.slots[s as usize].clone();
             }
             let error: Mutex<Option<InterpError>> = Mutex::new(None);
-            // Self-scheduled execution: participants claim chunks from a
-            // shared counter instead of receiving one static slice each,
-            // so an imbalanced body (triangular loop, data-dependent
-            // work) no longer serializes behind the slowest participant.
-            // The per-loop directive wins over the process default; the
-            // default `Static` claims one `ceil(total/n)` chunk per
-            // participant, matching the old `chunk_range` partition.
+            // Self-scheduled execution over the pool's work-stealing
+            // deques: each participant starts on its static partition and
+            // takes schedule-sized bites off it, pushing the stealable
+            // tail back, so an imbalanced body (triangular loop,
+            // data-dependent work) rebalances through stealing instead of
+            // serializing behind the slowest participant. The per-loop
+            // directive wins over the process default.
             let schedule = f.schedule.unwrap_or(self.schedule);
-            let counter = std::sync::atomic::AtomicUsize::new(0);
-            let metered = self.pool.metrics_enabled();
-            let region = self.pool.try_run(|tid, nthreads| {
-                let mut tf = Frame {
+            // Per-participant interpreter frames, reused across the
+            // participant's bites. Taken out of the slot (not held locked)
+            // during execution: a body that spawns nested work can land
+            // this participant back inside another bite of this same loop
+            // re-entrantly, which then just builds a fresh frame.
+            let frames: Vec<Mutex<Option<Frame>>> =
+                (0..self.pool.threads()).map(|_| Mutex::new(None)).collect();
+            let region = self.pool.try_run_scheduled(total, schedule, |tid, range| {
+                // A failure elsewhere makes further bites pointless; skip
+                // them cheaply while the region drains.
+                if lock_ignore_poison(&error).is_some() {
+                    return;
+                }
+                let mut tf = lock_ignore_poison(&frames[tid]).take().unwrap_or_else(|| Frame {
                     slots: template.clone(),
                     pending: Vec::new(),
-                };
-                'claims: while let Some(range) =
-                    next_chunk(&counter, total, nthreads, schedule)
-                {
-                    if metered {
-                        self.pool.record_chunk(tid);
-                    }
-                    // A failure elsewhere makes further chunks pointless;
-                    // drain the counter cheaply instead of executing them.
-                    if lock_ignore_poison(&error).is_some() {
-                        return;
-                    }
-                    for k in range {
-                        // Wrapping, like scalar binops: bounds near
-                        // i32::MAX must not panic in debug builds.
-                        tf.slots[f.var as usize] = Value::I(lo.wrapping_add(k as i32));
-                        let r = self
-                            .charge(1)
-                            .and_then(|()| self.exec_block(&f.body, &mut tf))
-                            .and_then(|fl| self.run_pending(&mut tf).map(|()| fl));
-                        match r {
-                            Ok(Flow::Normal) => {}
-                            Ok(Flow::Return(_)) => {
-                                *lock_ignore_poison(&error) = Some(InterpError::new(
-                                    "return inside a parallel loop is not supported",
-                                ));
-                                break 'claims;
-                            }
-                            Err(e) => {
-                                lock_ignore_poison(&error).get_or_insert(e);
-                                break 'claims;
-                            }
+                });
+                for k in range {
+                    // Wrapping, like scalar binops: bounds near
+                    // i32::MAX must not panic in debug builds.
+                    tf.slots[f.var as usize] = Value::I(lo.wrapping_add(k as i32));
+                    let r = self
+                        .charge(1)
+                        .and_then(|()| self.exec_block(&f.body, &mut tf))
+                        .and_then(|fl| self.run_pending(&mut tf).map(|()| fl));
+                    match r {
+                        Ok(Flow::Normal) => {}
+                        Ok(Flow::Return(_)) => {
+                            *lock_ignore_poison(&error) = Some(InterpError::new(
+                                "return inside a parallel loop is not supported",
+                            ));
+                            break;
+                        }
+                        Err(e) => {
+                            lock_ignore_poison(&error).get_or_insert(e);
+                            break;
                         }
                     }
                 }
+                *lock_ignore_poison(&frames[tid]) = Some(tf);
             });
             // A user-level error beats the region-panic report: the panic
             // may be a secondary casualty of the same fault, and the

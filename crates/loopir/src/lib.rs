@@ -33,7 +33,10 @@ pub use interp::{
     BufHandle, FnProfile, Interp, InterpError, InterpErrorKind, InterpProfile, LimitKind, Limits,
     Tier, Value,
 };
-pub use cmm_forkjoin::{Schedule, schedule::DEFAULT_DYNAMIC_CHUNK, schedule::DEFAULT_GUIDED_MIN_CHUNK};
+pub use cmm_forkjoin::{
+    schedule::DEFAULT_DYNAMIC_CHUNK, schedule::DEFAULT_GUIDED_MIN_CHUNK, ClaimProtocol,
+    ForkJoinPool, Schedule,
+};
 pub use ir::{CType, Elem, ForLoop, IrBinOp, IrExpr, IrFunction, IrProgram, IrStmt};
 pub use transform::TransformError;
 

@@ -46,10 +46,10 @@
 //! `main` or serving many calls re-uses the compiled program with only
 //! per-call frame allocation.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Mutex;
 
-use cmm_forkjoin::{next_chunk, Schedule};
+use cmm_forkjoin::Schedule;
 
 use crate::interp::{
     default_value, eval_bin, lock_ignore_poison, Frame, IResult, Interp, InterpError, Pending,
@@ -1192,9 +1192,9 @@ fn exec_impl<const BATCH: bool>(
 }
 
 /// Fork-join execution of a parallel loop's bytecode body — the VM-tier
-/// mirror of `Interp::exec_for`'s parallel branch: same chunk-claim
-/// protocol, same captured-slot templates, same telemetry, same error
-/// precedence (user-level error beats region panic).
+/// mirror of `Interp::exec_for`'s parallel branch: same work-stealing
+/// bite protocol, same captured-slot templates, same telemetry, same
+/// error precedence (user-level error beats region panic).
 fn run_parfor(
     interp: &Interp<'_>,
     vm: &VmProgram,
@@ -1217,51 +1217,51 @@ fn run_parfor(
     }
     let error: Mutex<Option<InterpError>> = Mutex::new(None);
     let schedule = pf.schedule.unwrap_or(interp.schedule);
-    let counter = AtomicUsize::new(0);
-    let metered = interp.pool.metrics_enabled();
     let fast = interp.fast_meter();
-    let region = interp.pool.try_run(|tid, nthreads| {
-        let mut tf = Frame {
+    // Per-participant register frames, reused across bites. Taken out of
+    // the slot (not held locked) during execution: a body that spawns
+    // nested work can land the participant back inside another bite of
+    // this same loop re-entrantly, which then builds a fresh frame.
+    let frames: Vec<Mutex<Option<Frame>>> =
+        (0..interp.pool.threads()).map(|_| Mutex::new(None)).collect();
+    let region = interp.pool.try_run_scheduled(total, schedule, |tid, range| {
+        if lock_ignore_poison(&error).is_some() {
+            return;
+        }
+        let mut tf = lock_ignore_poison(&frames[tid]).take().unwrap_or_else(|| Frame {
             slots: template.clone(),
             pending: Vec::new(),
-        };
-        // Per-participant charge batch: one shared-counter RMW per worker
-        // instead of one per iteration (the counter is otherwise a
-        // contended cache line across the region).
+        });
+        // Per-bite charge batch: one shared-counter RMW per bite instead
+        // of one per iteration (the counter is otherwise a contended
+        // cache line across the region).
         let mut local = 0u64;
-        'claims: while let Some(range) = next_chunk(&counter, total, nthreads, schedule) {
-            if metered {
-                interp.pool.record_chunk(tid);
+        for k in range {
+            tf.slots[pf.var as usize] = Value::I(lo.wrapping_add(k as i32));
+            let r = if fast {
+                exec_impl::<true>(interp, vm, f, &pf.body, &mut tf, &mut local)
+            } else {
+                exec_impl::<false>(interp, vm, f, &pf.body, &mut tf, &mut 0)
             }
-            if lock_ignore_poison(&error).is_some() {
-                break 'claims;
-            }
-            for k in range {
-                tf.slots[pf.var as usize] = Value::I(lo.wrapping_add(k as i32));
-                let r = if fast {
-                    exec_impl::<true>(interp, vm, f, &pf.body, &mut tf, &mut local)
-                } else {
-                    exec_impl::<false>(interp, vm, f, &pf.body, &mut tf, &mut 0)
+            .and_then(|fl| interp.run_pending(&mut tf).map(|()| fl));
+            match r {
+                Ok(None) => {}
+                Ok(Some(_)) => {
+                    *lock_ignore_poison(&error) = Some(InterpError::new(
+                        "return inside a parallel loop is not supported",
+                    ));
+                    break;
                 }
-                .and_then(|fl| interp.run_pending(&mut tf).map(|()| fl));
-                match r {
-                    Ok(None) => {}
-                    Ok(Some(_)) => {
-                        *lock_ignore_poison(&error) = Some(InterpError::new(
-                            "return inside a parallel loop is not supported",
-                        ));
-                        break 'claims;
-                    }
-                    Err(e) => {
-                        lock_ignore_poison(&error).get_or_insert(e);
-                        break 'claims;
-                    }
+                Err(e) => {
+                    lock_ignore_poison(&error).get_or_insert(e);
+                    break;
                 }
             }
         }
         if local > 0 {
             interp.steps.fetch_add(local, Ordering::Relaxed);
         }
+        *lock_ignore_poison(&frames[tid]) = Some(tf);
     });
     if let Some(e) = error.into_inner().unwrap_or_else(|e| e.into_inner()) {
         return Err(e);

@@ -225,8 +225,16 @@ impl<T: Copy> RcBuf<T> {
 
 impl<T: Copy> Clone for RcBuf<T> {
     fn clone(&self) -> Self {
-        // Relaxed is sufficient for an increment from an existing reference
-        // (Rust Atomics and Locks, ch. 6).
+        // Ordering audit (pinned — do not weaken/strengthen without
+        // revisiting the drop path below as a pair):
+        //
+        // `Relaxed` is sufficient here because a clone can only be
+        // executed by a thread that already owns a live reference, and
+        // whatever handed that reference across threads (channel, mutex,
+        // the fork-join region barrier) already ordered the buffer's
+        // contents before this increment. The increment itself carries no
+        // data; it only needs atomicity. (Rust Atomics and Locks, ch. 6;
+        // same scheme as `std::sync::Arc`.)
         let old = self.header().refs.fetch_add(1, Ordering::Relaxed);
         assert!(old < u32::MAX, "reference count overflow");
         Self {
@@ -238,6 +246,16 @@ impl<T: Copy> Clone for RcBuf<T> {
 
 impl<T: Copy> Drop for RcBuf<T> {
     fn drop(&mut self) {
+        // Ordering audit (pinned, pairs with the Relaxed clone above):
+        //
+        // The decrement must be `Release` so every preceding use of the
+        // buffer by *this* thread is ordered before the count reaches
+        // zero, and the deallocating thread must perform an `Acquire`
+        // fence after observing zero so all those Released uses
+        // happen-before `free_block`. Weakening either side lets a
+        // non-final drop's earlier reads/writes race with the free;
+        // `fetch_sub(AcqRel)` would also be correct but pays the acquire
+        // on every non-final drop instead of only the last one.
         if self.header().refs.fetch_sub(1, Ordering::Release) == 1 {
             fence(Ordering::Acquire);
             let class = self.header().class as usize;

@@ -13,7 +13,7 @@
 //! `m × n × p` sea-surface-height cube (`means[i,j] = Σ_k mat[i,j,k] / p`),
 //! or a dense matrix product for the tiling sweep.
 
-use cmm_forkjoin::{chunk_range, ForkJoinPool};
+use cmm_forkjoin::{chunk_range, ForkJoinPool, Schedule};
 
 /// Fig 3 — the loop nest produced by the untransformed with-loops: two
 /// outer loops and an inner accumulation, writing `means` directly (the
@@ -233,6 +233,58 @@ pub fn matmul_parallel(
                     // Safety: row i belongs to exactly one tid.
                     unsafe {
                         *c_ptr.get().add(i * n + j) += aik * b[kk * n + j];
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Cache-blocked parallel matrix product: row *tiles* are self-scheduled
+/// over the pool (stolen when a participant runs dry), and each tile is
+/// computed k0/j0-blocked with the pool's cache-derived tile edge
+/// ([`cmm_forkjoin::TilePolicy::matmul_tile`]) so A/B/C panels fit in L1d
+/// together. Per output element the k accumulation still ascends from
+/// zero (k0 blocks ascend, inner kk ascends), so the result is bitwise
+/// identical to [`matmul_naive`] and [`matmul_parallel`] regardless of
+/// tile size, thread count, or schedule.
+pub fn matmul_parallel_blocked(
+    pool: &ForkJoinPool,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+    c.fill(0.0);
+    let t = pool.tile_policy().matmul_tile(std::mem::size_of::<f32>());
+    let row_tiles = m.div_ceil(t.max(1));
+    let c_ptr = SendPtr(c.as_mut_ptr());
+    pool.run_scheduled(row_tiles, Schedule::Dynamic { chunk: 1 }, |_tid, tiles| {
+        for tile in tiles {
+            let i0 = tile * t;
+            let imax = (i0 + t).min(m);
+            for k0 in (0..k).step_by(t) {
+                let kmax = (k0 + t).min(k);
+                for j0 in (0..n).step_by(t) {
+                    let jmax = (j0 + t).min(n);
+                    for i in i0..imax {
+                        for kk in k0..kmax {
+                            let aik = a[i * k + kk];
+                            // Safety: row tile `tile` is claimed by exactly
+                            // one participant, so rows [i0, imax) have one
+                            // writer.
+                            unsafe {
+                                let crow = c_ptr.get().add(i * n);
+                                for j in j0..jmax {
+                                    *crow.add(j) += aik * b[kk * n + j];
+                                }
+                            }
+                        }
                     }
                 }
             }

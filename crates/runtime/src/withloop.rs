@@ -18,7 +18,7 @@
 //! parallel with disjoint writes; folds compute per-thread partial results
 //! that the main thread combines after the stop barrier.
 
-use cmm_forkjoin::{chunk_range, ForkJoinPool};
+use cmm_forkjoin::{chunk_range, ForkJoinPool, Schedule};
 use cmm_rc::RcBuf;
 
 use crate::element::{Element, Numeric};
@@ -157,13 +157,19 @@ where
         let writer = data.shared_writer();
         let shape_ref = &shape;
         let generator_ref = &generator;
-        pool.run(|tid, nthreads| {
+        // Self-scheduled under the default static policy: each participant
+        // starts on its classic partition but large regions split into
+        // cache-sized bites whose tails are stealable, so an imbalanced
+        // body (or a shrunk pool) rebalances instead of serializing behind
+        // the slowest chunk. Writes stay disjoint — every generator index
+        // is claimed exactly once.
+        pool.run_scheduled(generator.total, Schedule::Static, |_tid, range| {
             let mut idx = vec![0usize; generator_ref.extent.len()];
-            for flat in chunk_range(generator_ref.total, nthreads, tid) {
+            for flat in range {
                 generator_ref.unravel(flat, &mut idx);
                 let value = body(&idx);
                 // Safety: generator indices are unique, so every offset is
-                // written by exactly one thread.
+                // written by exactly one participant.
                 unsafe { writer.write(shape_ref.offset_unchecked(&idx), value) };
             }
         });
@@ -213,6 +219,13 @@ where
 /// combined with the base value after the stop barrier. `op` must be
 /// associative (all four [`FoldOp`]s are); floating-point addition is
 /// treated as associative exactly as the paper's parallel C does.
+///
+/// Folds deliberately stay on the *static* `chunk_range` partition rather
+/// than the work-stealing scheduler: with fixed per-tid chunks the
+/// partial-combination order is a function of the thread count alone, so
+/// a given pool width always produces the same floating-point result.
+/// Under stealing, which participant computes which indices would vary
+/// run to run and so would the rounding.
 pub fn fold<T, F>(
     pool: &ForkJoinPool,
     lower: &[i64],
@@ -294,12 +307,13 @@ where
         let writer = data.shared_writer();
         let shape_ref = &shape;
         let generator_ref = &generator;
-        pool.run(|tid, nthreads| {
+        // Same self-scheduled split/steal structure as `genarray`.
+        pool.run_scheduled(generator.total, Schedule::Static, |_tid, range| {
             let mut idx = vec![0usize; generator_ref.extent.len()];
-            for flat in chunk_range(generator_ref.total, nthreads, tid) {
+            for flat in range {
                 generator_ref.unravel(flat, &mut idx);
                 let value = body(&idx);
-                // Safety: generator indices are unique per thread chunk.
+                // Safety: generator indices are claimed exactly once.
                 unsafe { writer.write(shape_ref.offset_unchecked(&idx), value) };
             }
         });

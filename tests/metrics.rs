@@ -124,6 +124,11 @@ fn metrics_json_round_trips_without_serde() {
     assert_eq!(json_u64(&json, "regions"), pool.regions_measured);
     assert_eq!(json_u64(&json, "region_nanos"), pool.region_nanos);
     assert_eq!(json_u64(&json, "barrier_wait_nanos"), pool.barrier_wait_nanos);
+    // Steal telemetry: one array entry per participant, mirroring
+    // PoolMetrics (additive keys under the v1 schema tag).
+    let steals: Vec<String> = pool.steals.iter().map(|s| s.to_string()).collect();
+    assert!(json.contains(&format!("\"steals\": [{}]", steals.join(", "))), "{json}");
+    assert!(json.contains("\"steal_failures\": ["), "{json}");
     assert!(json.contains("\"imbalance_ratio\": "), "{json}");
     let interp = report.interp.as_ref().expect("interp profile");
     assert_eq!(json_u64(&json, "total_steps"), interp.total_steps);

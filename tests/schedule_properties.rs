@@ -13,8 +13,9 @@
 use cmm::core::Compiler;
 use cmm::eddy::programs::full_compiler;
 use cmm::forkjoin::faultinject::{self, FaultPlan};
-use cmm::forkjoin::Schedule;
+use cmm::forkjoin::{ForkJoinPool, Schedule};
 use cmm::loopir::Limits;
+use cmm::runtime::kernels::{matmul_naive, matmul_parallel, matmul_parallel_blocked, matmul_tiled};
 use proptest::prelude::*;
 
 fn run_sched(c: &Compiler, src: &str, threads: usize, schedule: Schedule) -> (String, u32) {
@@ -148,6 +149,86 @@ proptest! {
             let (out, leaked) = run_sched(&c, &src, threads, Schedule::Static);
             prop_assert_eq!(leaked, 0);
             prop_assert_eq!(&out, &seq, "directive {} diverged", directive.trim());
+        }
+    }
+
+    #[test]
+    fn prop_blocked_matmul_bitwise_identical_to_naive(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        tile in 1usize..12,
+        threads in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        // Cache blocking and work stealing only reorder *which* (i0, k0,
+        // j0) block is computed when; per output element the k
+        // accumulation always ascends from zero, so every variant —
+        // sequential tiled at any tile size, row-parallel, and the
+        // blocked self-scheduled kernel under stealing — must be bitwise
+        // identical to the naive triple loop, not merely close.
+        let mut state = seed | 1;
+        let mut next = || {
+            // xorshift64*: deterministic, no external RNG dependency.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f32 / 65536.0 - 128.0
+        };
+        let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+        let mut want = vec![0.0f32; m * n];
+        matmul_naive(&a, &b, &mut want, m, k, n);
+        let bits = |c: &[f32]| c.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+
+        let mut tiled = vec![0.0f32; m * n];
+        matmul_tiled(&a, &b, &mut tiled, m, k, n, tile);
+        prop_assert_eq!(bits(&tiled), bits(&want), "tiled t={} drifted", tile);
+
+        let pool = ForkJoinPool::new(threads);
+        let mut par = vec![0.0f32; m * n];
+        matmul_parallel(&pool, &a, &b, &mut par, m, k, n);
+        prop_assert_eq!(bits(&par), bits(&want), "row-parallel drifted");
+
+        let mut blocked = vec![0.0f32; m * n];
+        matmul_parallel_blocked(&pool, &a, &b, &mut blocked, m, k, n);
+        prop_assert_eq!(bits(&blocked), bits(&want), "blocked stolen kernel drifted");
+    }
+
+    #[test]
+    fn prop_nested_spawn_matches_sequential_reference(
+        depth in 3u32..11,
+        threads in 2usize..5,
+    ) {
+        // Recursive spawn: fib(n) spawns fib(n-1)/fib(n-2), whose syncs
+        // fire *inside* the outer parallel region. Under the deque
+        // substrate those children are pushed onto the current worker's
+        // deque and stolen — the result must still equal the 1-thread
+        // reference for every depth and pool width.
+        let c = full_compiler();
+        let src = format!(
+            r#"
+            int fib(int n) {{
+                if (n < 2) {{ return n; }}
+                int a = 0;
+                int b = 0;
+                spawn a = fib(n - 1);
+                spawn b = fib(n - 2);
+                sync;
+                return a + b;
+            }}
+            int main() {{
+                printInt(fib({depth}));
+                return 0;
+            }}
+            "#
+        );
+        let (seq, seq_leaked) = run_sched(&c, &src, 1, Schedule::Static);
+        prop_assert_eq!(seq_leaked, 0);
+        for schedule in all_schedules(2) {
+            let (out, leaked) = run_sched(&c, &src, threads, schedule);
+            prop_assert_eq!(leaked, 0, "leak under {:?}", schedule);
+            prop_assert_eq!(&out, &seq, "nested spawn diverged under {:?}", schedule);
         }
     }
 
