@@ -1,11 +1,23 @@
-//! `cmmc serve` load bench (PR 6): an in-process daemon under a
-//! concurrent mixed good/hostile workload, with fault injection live so
-//! the panic-isolation path is on the measured hot path. Writes
-//! `BENCH_serve.json` at the workspace root.
+//! `cmmc serve` load bench: an in-process daemon under a concurrent
+//! mixed good/hostile workload, with fault injection live so the
+//! panic-isolation path is on the measured hot path. Writes
+//! `BENCH_serve.json` (schema v2) at the workspace root.
 //!
-//! The configuration is deliberately undersized (`max_in_flight` below
-//! the client count) so admission control actually sheds under the
-//! burst and the bench measures the full protocol: clients retry
+//! The v2 report adds three blocks on top of the v1 load run:
+//!
+//! * `pool_cache` — hit/miss/eviction counters from the persistent
+//!   session-pool cache, plus the measured hit rate under load;
+//! * `quiet_roundtrip_us` — single-connection scalar round-trip
+//!   percentiles against an idle daemon (protocol + dispatch + pool
+//!   checkout, no contention): the number the regression gate in
+//!   `tests/bench_regression.rs` compares against;
+//! * `idle_scaling` — 64 idle connections plus 4 active clients against
+//!   the event-loop front end, with the process thread count sampled
+//!   before and after: idle connections must cost ~zero threads.
+//!
+//! The load configuration is deliberately undersized (`max_in_flight`
+//! below the client count) so admission control actually sheds under
+//! the burst and the bench measures the full protocol: clients retry
 //! `overloaded` (code 6, the only retryable code) and every request is
 //! eventually answered with its typed result. Reported latency is the
 //! final successful attempt, so shed-and-retry cost shows up in the
@@ -18,7 +30,7 @@ use std::time::{Duration, Instant};
 use cmm_bench::config;
 use cmm_forkjoin::faultinject::{self, FaultPlan};
 use cmm_serve::json::{self, Json};
-use cmm_serve::{start, ServeConfig, ServeStats, ServerHandle, STATS_SCHEMA};
+use cmm_serve::{start, PoolCacheStats, ServeConfig, ServeStats, ServerHandle, STATS_SCHEMA};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 const CLIENTS: usize = 8;
@@ -26,15 +38,24 @@ const REQUESTS_PER_CLIENT: usize = 40;
 const WORKERS: usize = 4;
 /// Below `CLIENTS`, so a synchronized burst must shed.
 const MAX_IN_FLIGHT: usize = 6;
+/// Quiet-daemon roundtrip samples (regression-gate baseline).
+const QUIET_SAMPLES: usize = 200;
+/// Idle-scaling shape: many open-but-quiet connections, few active.
+const IDLE_CONNS: usize = 64;
+const ACTIVE_CLIENTS: usize = 4;
+const ACTIVE_REQUESTS: usize = 25;
 
 /// Request classes, cycled per client. Hostile classes must come back
-/// as typed errors; `threads: 1` on the non-panic classes keeps their
-/// sessions out of the injected region fault's blast radius.
+/// as typed errors. Class 0 omits `threads` so it runs at the server's
+/// default session width and exercises the pool cache's hot path;
+/// `threads: 1` on the other non-panic classes keeps their sessions out
+/// of the injected region fault's blast radius (and fills the 1-thread
+/// cache shelf).
 fn request_line(id: &str, class: usize, value: i64) -> String {
     match class {
-        // Well-behaved scalar arithmetic.
+        // Well-behaved scalar arithmetic at the default session width.
         0 => format!(
-            r#"{{"id": "{id}", "cmd": "run", "threads": 1, "src": "int main() {{ int x = {value}; printInt(x * 2 + 1); return 0; }}"}}"#
+            r#"{{"id": "{id}", "cmd": "run", "src": "int main() {{ int x = {value}; printInt(x * 2 + 1); return 0; }}"}}"#
         ),
         // Well-behaved matrix with-loop.
         1 => format!(
@@ -45,7 +66,9 @@ fn request_line(id: &str, class: usize, value: i64) -> String {
             r#"{{"id": "{id}", "cmd": "run", "threads": 1, "fuel": 20000, "src": "int main() {{ int n = 0; while (1 > 0) {{ n = n + 1; }} return 0; }}"}}"#
         ),
         // Hostile: parallel region whose worker 1 is scheduled to panic
-        // at epoch 1 → code 7, isolated.
+        // at epoch 1 → code 7, isolated. Cached 2-thread pools only ever
+        // come from region-free sessions (epoch still 0), so the panic
+        // stays deterministic under pool reuse.
         _ => format!(
             r#"{{"id": "{id}", "cmd": "run", "threads": 2, "src": "int f(int x) {{ return x * 2; }} int main() {{ int a = 0; int b = 0; spawn a = f(10); spawn b = f(11); sync; printInt(a + b); return 0; }}"}}"#
         ),
@@ -63,9 +86,39 @@ struct LoadResult {
     stats: ServeStats,
 }
 
+struct IdleScaling {
+    threads_before: u64,
+    threads_idle: u64,
+    server_threads: u64,
+    open_connections: u64,
+}
+
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
     sorted[idx]
+}
+
+/// Send one request line in a single `write` call. Two small writes
+/// (line, then the newline) would let the client's Nagle algorithm hold
+/// the newline until the server ACKs the first segment — a ~40ms
+/// delayed-ACK stall per roundtrip that has nothing to do with the
+/// server. One segment carries the whole line, so nothing waits.
+fn send_line(writer: &mut TcpStream, line: &str) {
+    let mut buf = Vec::with_capacity(line.len() + 1);
+    buf.extend_from_slice(line.as_bytes());
+    buf.push(b'\n');
+    writer.write_all(&buf).expect("send");
+}
+
+/// `Threads:` line of `/proc/self/status` — the whole process, bench
+/// harness included; only deltas are meaningful.
+fn proc_threads() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .unwrap_or_default()
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
 }
 
 fn run_load(handle: &ServerHandle) -> (Vec<u64>, u64, Duration) {
@@ -84,7 +137,7 @@ fn run_load(handle: &ServerHandle) -> (Vec<u64>, u64, Duration) {
                     let line = request_line(&format!("c{c}-r{i}"), class, (c * 100 + i) as i64);
                     loop {
                         let t = Instant::now();
-                        writeln!(writer, "{line}").expect("send");
+                        send_line(&mut writer, &line);
                         let mut resp = String::new();
                         reader.read_line(&mut resp).expect("recv");
                         let v = json::parse(&resp).expect("response JSON");
@@ -142,14 +195,111 @@ fn run_bench() -> LoadResult {
     }
 }
 
-fn write_report(r: &LoadResult) {
+/// Single-connection scalar roundtrips against an idle default-config
+/// daemon: the regression-gate baseline.
+fn run_quiet() -> Vec<u64> {
+    let handle = start(ServeConfig::default()).expect("start server");
+    let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut latencies = Vec::with_capacity(QUIET_SAMPLES);
+    for i in 0..QUIET_SAMPLES {
+        let line = request_line("quiet", 0, i as i64);
+        let t = Instant::now();
+        send_line(&mut writer, &line);
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("recv");
+        let v = json::parse(&resp).expect("response JSON");
+        assert_eq!(v.get("code").and_then(Json::as_u64), Some(0), "{resp}");
+        latencies.push(t.elapsed().as_micros() as u64);
+    }
+    handle.shutdown();
+    latencies.sort_unstable();
+    latencies
+}
+
+/// 64 idle connections + 4 active clients: the event loop must serve
+/// them all with the same fixed thread count (workers + event thread),
+/// so the process thread delta with 64 extra sockets open stays ~0.
+fn run_idle_scaling() -> IdleScaling {
+    let handle = start(ServeConfig::default()).expect("start server");
+    let addr = handle.local_addr();
+    let threads_before = proc_threads();
+
+    // Open the idle flock; one ping each proves the server accepted and
+    // serviced the connection before it went quiet.
+    let idlers: Vec<_> = (0..IDLE_CONNS)
+        .map(|i| {
+            let stream = TcpStream::connect(addr).expect("idle connect");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut writer = stream;
+            send_line(&mut writer, &format!(r#"{{"id": "idle{i}", "cmd": "ping"}}"#));
+            let mut resp = String::new();
+            reader.read_line(&mut resp).expect("recv");
+            assert!(resp.contains("pong"), "{resp}");
+            (reader, writer)
+        })
+        .collect();
+
+    // Active traffic while the flock stays open.
+    let actives: Vec<_> = (0..ACTIVE_CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut writer = stream;
+                for i in 0..ACTIVE_REQUESTS {
+                    let line = request_line(&format!("a{c}-{i}"), 0, (c * 10 + i) as i64);
+                    send_line(&mut writer, &line);
+                    let mut resp = String::new();
+                    reader.read_line(&mut resp).expect("recv");
+                    let v = json::parse(&resp).expect("response JSON");
+                    assert_eq!(v.get("code").and_then(Json::as_u64), Some(0), "{resp}");
+                }
+            })
+        })
+        .collect();
+    for a in actives {
+        a.join().expect("active client");
+    }
+
+    // Sample with the 64 idle connections still open and no bench client
+    // threads alive: any delta vs. `threads_before` is the server's.
+    let threads_idle = proc_threads();
+    let (server_threads, open_connections) = {
+        let stream = TcpStream::connect(addr).expect("stats connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        send_line(&mut writer, r#"{"id": "s", "cmd": "stats"}"#);
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("recv");
+        let v = json::parse(&resp).expect("stats JSON");
+        let stats = v.get("stats").expect("stats payload");
+        (
+            stats.get("server_threads").and_then(Json::as_u64).expect("server_threads"),
+            stats.get("open_connections").and_then(Json::as_u64).expect("open_connections"),
+        )
+    };
+    drop(idlers);
+    handle.shutdown();
+    IdleScaling {
+        threads_before,
+        threads_idle,
+        server_threads,
+        open_connections,
+    }
+}
+
+fn write_report(r: &LoadResult, quiet: &[u64], idle: &IdleScaling) {
     let total = (CLIENTS * REQUESTS_PER_CLIENT) as u64;
     let throughput = total as f64 / r.elapsed.as_secs_f64();
     let l = &r.latencies_us;
     let codes: Vec<String> = r.stats.codes.iter().map(u64::to_string).collect();
+    let pc: &PoolCacheStats = &r.stats.pool_cache;
+    let hit_rate = pc.hits as f64 / (pc.hits + pc.misses).max(1) as f64;
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"cmm-bench-serve-v1\",\n");
+    out.push_str("  \"schema\": \"cmm-bench-serve-v2\",\n");
     out.push_str("  \"generated_by\": \"cargo bench -p cmm-bench --bench serve\",\n");
     out.push_str(&format!("  \"stats_schema\": \"{STATS_SCHEMA}\",\n"));
     out.push_str(&format!(
@@ -168,6 +318,20 @@ fn write_report(r: &LoadResult) {
         percentile(l, 0.50),
         percentile(l, 0.99),
         l[l.len() - 1]
+    ));
+    out.push_str(&format!(
+        "  \"pool_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.3}}},\n",
+        pc.hits, pc.misses, pc.evictions, hit_rate
+    ));
+    out.push_str(&format!(
+        "  \"quiet_roundtrip_us\": {{\"samples\": {}, \"run_scalar_p50\": {}, \"run_scalar_p99\": {}}},\n",
+        quiet.len(),
+        percentile(quiet, 0.50),
+        percentile(quiet, 0.99)
+    ));
+    out.push_str(&format!(
+        "  \"idle_scaling\": {{\"idle_connections\": {IDLE_CONNS}, \"active_clients\": {ACTIVE_CLIENTS}, \"threads_before\": {}, \"threads_with_idle_conns\": {}, \"server_threads\": {}, \"open_connections\": {}}},\n",
+        idle.threads_before, idle.threads_idle, idle.server_threads, idle.open_connections
     ));
     out.push_str(&format!("  \"shed\": {},\n", r.stats.shed()));
     out.push_str(&format!("  \"retries\": {},\n", r.retries));
@@ -189,7 +353,9 @@ fn write_report(r: &LoadResult) {
 
 fn bench(c: &mut Criterion) {
     let result = run_bench();
-    write_report(&result);
+    let quiet = run_quiet();
+    let idle = run_idle_scaling();
+    write_report(&result, &quiet, &idle);
 
     // Criterion view: single-request round trip against a quiet daemon
     // (protocol + dispatch overhead, no contention).
@@ -200,7 +366,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("serve");
     g.bench_function("roundtrip_ping", |b| {
         b.iter(|| {
-            writeln!(writer, r#"{{"id": 1, "cmd": "ping"}}"#).expect("send");
+            send_line(&mut writer, r#"{"id": 1, "cmd": "ping"}"#);
             let mut resp = String::new();
             reader.read_line(&mut resp).expect("recv");
             resp
@@ -209,7 +375,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("roundtrip_run_scalar", |b| {
         let line = request_line("bench", 0, 21);
         b.iter(|| {
-            writeln!(writer, "{line}").expect("send");
+            send_line(&mut writer, &line);
             let mut resp = String::new();
             reader.read_line(&mut resp).expect("recv");
             resp

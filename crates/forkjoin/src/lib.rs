@@ -882,6 +882,51 @@ impl ForkJoinPool {
         self.region_nanos
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
+
+    /// Whether the pool is *quiescent*: no region in flight, every worker
+    /// parked past the stop barrier, and no unconsumed worker-panic flag.
+    /// This is the epoch/stop-barrier handshake read from the outside —
+    /// after any `run`/`try_run` variant returns, the barrier guarantees
+    /// all of these hold on the calling thread.
+    pub fn quiescent(&self) -> bool {
+        self.shared.remaining.load(Ordering::Acquire) == 0
+            && !self.busy.load(Ordering::Acquire)
+            && !self.shared.panicked.load(Ordering::Acquire)
+    }
+
+    /// Whether the pool carries permanent damage that makes it unfit to
+    /// hand to a new session: a failed worker spawn (fewer threads than
+    /// requested), any recovered worker panic, or a detected stop-barrier
+    /// stall. Tainted pools should be dropped, never recycled — a panic
+    /// may have left user state (not pool state) inconsistent, and a
+    /// shrunk or stalled pool would silently under-serve its next owner.
+    pub fn tainted(&self) -> bool {
+        self.spawn_failures > 0
+            || self.threads() < self.requested_threads
+            || self.shared.panics_recovered.load(Ordering::Relaxed) > 0
+            || self.stalls.load(Ordering::Relaxed) > 0
+    }
+
+    /// Reset the pool for reuse by a new, unrelated session (the
+    /// `cmmc serve` pool-cache checkin gate). Returns `false` — leaving
+    /// the pool untouched — unless the pool is [`quiescent`] and not
+    /// [`tainted`]; on `true` all region telemetry is zeroed and metrics
+    /// collection is switched off, so the next session observes a pool
+    /// indistinguishable from a fresh one (health lifetime counters such
+    /// as `regions_run` keep accumulating; they are diagnostics, not
+    /// session state).
+    ///
+    /// [`quiescent`]: ForkJoinPool::quiescent
+    /// [`tainted`]: ForkJoinPool::tainted
+    pub fn reset_for_reuse(&self) -> bool {
+        if !self.quiescent() || self.tainted() {
+            return false;
+        }
+        self.set_metrics_enabled(false);
+        self.reset_metrics();
+        self.set_claim_protocol(ClaimProtocol::Deque);
+        true
+    }
 }
 
 impl Drop for ForkJoinPool {

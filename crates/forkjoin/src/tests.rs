@@ -416,3 +416,59 @@ fn multi_worker_panic_counts_workers() {
     assert_eq!(err.workers, 2);
     assert_eq!(pool.health().panics_recovered, 2);
 }
+
+// ───────────────────── pool reuse / reset API ─────────────────────
+
+#[test]
+fn quiescent_pool_resets_for_reuse() {
+    let pool = ForkJoinPool::new(3);
+    pool.set_metrics_enabled(true);
+    let sum = AtomicUsize::new(0);
+    pool.run(|tid, _| {
+        sum.fetch_add(tid + 1, Ordering::Relaxed);
+    });
+    assert_eq!(sum.load(Ordering::Relaxed), 6);
+    assert!(pool.quiescent(), "stop barrier passed, pool must be quiescent");
+    assert!(!pool.tainted());
+    assert!(pool.metrics().regions_measured > 0);
+    assert!(pool.reset_for_reuse());
+    // Reuse-ready means a fresh-looking pool: telemetry zeroed, metrics
+    // collection off, full thread count intact.
+    assert!(!pool.metrics_enabled());
+    assert_eq!(pool.metrics().regions_measured, 0);
+    assert_eq!(pool.metrics().chunks_issued, 0);
+    assert_eq!(pool.threads(), 3);
+    // And it still executes regions correctly afterwards.
+    let again = AtomicUsize::new(0);
+    pool.run(|tid, _| {
+        again.fetch_add(tid + 1, Ordering::Relaxed);
+    });
+    assert_eq!(again.load(Ordering::Relaxed), 6);
+}
+
+#[test]
+fn panicked_pool_is_tainted_and_refuses_reuse() {
+    let _guard = faultinject::install(faultinject::FaultPlan::new().panic_at(1, 1));
+    let pool = ForkJoinPool::new(2);
+    let err = pool.try_run(|_, _| {}).expect_err("injected panic");
+    assert!(err.workers >= 1);
+    // The pool recovered (quiescent) but is permanently panic-tainted.
+    assert!(pool.quiescent(), "try_run completes the barrier protocol");
+    assert!(pool.tainted(), "a recovered panic must taint the pool");
+    assert!(!pool.reset_for_reuse(), "tainted pools must never be recycled");
+}
+
+#[test]
+fn spawn_degraded_pool_is_tainted() {
+    let _guard = faultinject::install(faultinject::FaultPlan::new().fail_spawn(2));
+    let pool = ForkJoinPool::new(4);
+    assert!(pool.threads() < 4, "spawn refusal must shrink the pool");
+    assert!(pool.tainted(), "a shrunk pool must not be recycled");
+    assert!(!pool.reset_for_reuse());
+    // It still runs (degraded), it just can't be cached.
+    let n = AtomicUsize::new(0);
+    pool.run(|_, _| {
+        n.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(n.load(Ordering::Relaxed), pool.threads());
+}

@@ -3,18 +3,30 @@
 //!
 //! The daemon listens on TCP (and optionally a unix socket) for
 //! newline-delimited JSON requests (see [`protocol`]), compiles and runs
-//! programs for many concurrent clients, and holds three properties that
+//! programs for many concurrent clients, and holds four properties that
 //! a batch CLI never has to think about:
 //!
+//! * **Connection multiplexing.** All connections — TCP and unix — are
+//!   served by one readiness-polling event thread (see [`poll`] and the
+//!   internal event loop): an idle connection costs a file descriptor
+//!   and a few hundred bytes of buffer, not an OS thread. Only the
+//!   bounded worker pool runs sessions, so the daemon's thread count is
+//!   O(workers), not O(connections). `ping` and `stats` are answered
+//!   inline on the event thread and never touch the workers.
 //! * **Session isolation.** Every request executes on a bounded worker
-//!   pool under `catch_unwind`, with its own fresh [`ForkJoinPool`] and
-//!   its own [`Limits`]. A hostile program — fuel bomb, allocation bomb,
+//!   pool under `catch_unwind`, with its own [`ForkJoinPool`] and its
+//!   own [`Limits`]. A hostile program — fuel bomb, allocation bomb,
 //!   worker panic — costs exactly one typed error response to its own
-//!   client; the daemon and every other tenant keep running.
-//! * **Admission control.** A configurable max-in-flight cap bounds the
-//!   number of admitted requests, and jobs that wait in the queue past a
-//!   deadline are shed. Both shed paths answer with the distinct
-//!   retryable `overloaded` code instead of silently queueing forever.
+//!   client; the daemon and every other tenant keep running. Session
+//!   pools come from a persistent [`PoolCache`]: healthy pools are
+//!   recycled across sessions (skipping per-session pool construction),
+//!   while degraded or panic-tainted pools are dropped, never reused.
+//! * **Admission control.** A global max-in-flight cap plus per-tenant
+//!   quotas bound admitted requests, jobs that wait in the queue past a
+//!   deadline are shed, and dispatch is FIFO per tenant with round-robin
+//!   across tenants (see [`sched`]). Every shed path answers with the
+//!   distinct retryable `overloaded` code instead of silently queueing
+//!   forever.
 //! * **Graceful drain.** On SIGTERM/ctrl-c (see [`signal`]) or
 //!   [`ServerHandle::shutdown`], listeners stop accepting, in-flight
 //!   sessions run to completion under a drain deadline, and the final
@@ -26,32 +38,45 @@
 //! `metrics.queue_ms`). Fuel and matrix-memory budgets are likewise
 //! capped server-side, so no request can exceed the operator's ceiling
 //! by simply not asking for a limit.
+//!
+//! Long outputs can be streamed: a request with `"stream": true` gets a
+//! header line plus bounded data frames instead of one giant response
+//! line, so the per-connection write buffer stays O(chunk) (see
+//! [`protocol`] for the framing).
 
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use cmm_core::{CompileError, Registry};
-use cmm_forkjoin::ForkJoinPool;
 use cmm_loopir::Limits;
 
+mod event;
 pub mod json;
+pub mod poll;
+pub mod poolcache;
 pub mod protocol;
+pub mod sched;
 pub mod signal;
 
+pub use poolcache::{PoolCache, PoolCacheStats};
 pub use protocol::{classify, Cmd, Request, RespCode, RespMetrics, Response};
+
+use sched::{TenantGate, TenantScheduler};
 
 #[cfg(test)]
 mod tests;
 
-/// Stats JSON schema tag emitted by [`ServeStats::to_json`].
+/// Stats JSON schema tag emitted by [`ServeStats::to_json`]. The event
+/// loop, pool cache and tenant fields extend v1 additively, so the tag
+/// is unchanged: every v1 field is still present with v1 semantics.
 pub const STATS_SCHEMA: &str = "cmm-serve-stats-v1";
 
 /// Daemon configuration. [`ServeConfig::default`] is sized for a small
@@ -71,6 +96,10 @@ pub struct ServeConfig {
     /// Admission cap: queued + executing requests above this are shed
     /// immediately with `overloaded`.
     pub max_in_flight: usize,
+    /// Per-tenant in-flight quota, checked after the global cap. `None`
+    /// falls back to `max_in_flight` — i.e. no extra restriction beyond
+    /// the global cap, preserving pre-tenant behavior.
+    pub tenant_quota: Option<usize>,
     /// Jobs that wait in the queue longer than this are shed with
     /// `overloaded` instead of running late.
     pub queue_deadline: Duration,
@@ -91,6 +120,12 @@ pub struct ServeConfig {
     /// Maximum accepted request-line length in bytes; longer lines are
     /// rejected and the connection closed (framing is lost).
     pub max_request_bytes: usize,
+    /// Cap on idle session pools kept in the [`PoolCache`] across all
+    /// thread counts.
+    pub max_cached_pools: usize,
+    /// Data-frame payload size for streamed responses, in bytes (frames
+    /// snap to UTF-8 character boundaries).
+    pub stream_chunk_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -100,6 +135,7 @@ impl Default for ServeConfig {
             unix: None,
             workers: 4,
             max_in_flight: 16,
+            tenant_quota: None,
             queue_deadline: Duration::from_secs(2),
             drain_deadline: Duration::from_secs(5),
             max_deadline: Duration::from_secs(10),
@@ -108,7 +144,17 @@ impl Default for ServeConfig {
             session_threads: 2,
             max_session_threads: 8,
             max_request_bytes: 1 << 20,
+            max_cached_pools: 8,
+            stream_chunk_bytes: 64 << 10,
         }
+    }
+}
+
+impl ServeConfig {
+    /// The per-tenant quota actually enforced (`tenant_quota` or the
+    /// global cap when unset).
+    pub fn effective_tenant_quota(&self) -> usize {
+        self.tenant_quota.unwrap_or(self.max_in_flight)
     }
 }
 
@@ -128,6 +174,17 @@ pub struct ServeStats {
     /// Sessions that ran with fewer pool threads than requested because
     /// worker spawn failed (the run still completed).
     pub degraded_sessions: u64,
+    /// Threads the daemon itself runs: the event thread plus the session
+    /// workers. Independent of how many connections are open.
+    pub server_threads: usize,
+    /// Connections currently open (gauge).
+    pub open_connections: usize,
+    /// Responses delivered as chunked streams.
+    pub streamed: u64,
+    /// Tenants with at least one request in flight (gauge).
+    pub active_tenants: usize,
+    /// Session pool cache counters.
+    pub pool_cache: PoolCacheStats,
 }
 
 impl ServeStats {
@@ -136,7 +193,8 @@ impl ServeStats {
         self.codes[RespCode::Ok as usize]
     }
 
-    /// Requests shed by admission control (cap or queue deadline).
+    /// Requests shed by admission control (cap, tenant quota, or queue
+    /// deadline).
     pub fn shed(&self) -> u64 {
         self.codes[RespCode::Overloaded as usize]
     }
@@ -167,7 +225,10 @@ impl ServeStats {
         format!(
             "{{\"schema\": \"{STATS_SCHEMA}\", \"connections\": {}, \"requests\": {}, \
              \"in_flight\": {}, \"draining\": {}, \"codes\": {{{}}}, \"shed\": {}, \
-             \"panics_isolated\": {}, \"degraded_sessions\": {}}}",
+             \"panics_isolated\": {}, \"degraded_sessions\": {}, \"server_threads\": {}, \
+             \"open_connections\": {}, \"streamed\": {}, \"active_tenants\": {}, \
+             \"pool_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+             \"cached\": {}, \"construct_ns\": {}}}}}",
             self.connections,
             self.requests,
             self.in_flight,
@@ -175,7 +236,16 @@ impl ServeStats {
             codes.join(", "),
             self.shed(),
             self.panics_isolated(),
-            self.degraded_sessions
+            self.degraded_sessions,
+            self.server_threads,
+            self.open_connections,
+            self.streamed,
+            self.active_tenants,
+            self.pool_cache.hits,
+            self.pool_cache.misses,
+            self.pool_cache.evictions,
+            self.pool_cache.cached,
+            self.pool_cache.construct_nanos,
         )
     }
 }
@@ -193,37 +263,62 @@ pub struct DrainReport {
     pub stats: ServeStats,
 }
 
-/// Counters shared by listeners, connection threads, and workers.
-struct Shared {
-    cfg: ServeConfig,
-    draining: AtomicBool,
+/// State shared by the event thread and the session workers.
+pub(crate) struct Shared {
+    pub(crate) cfg: ServeConfig,
+    pub(crate) draining: AtomicBool,
+    /// Set (after draining) to make the event thread exit.
+    pub(crate) stop: AtomicBool,
     /// Admitted requests: queued + executing. Incremented at admission,
     /// decremented when the worker finishes (or sheds) the job.
-    in_flight: AtomicUsize,
-    connections: AtomicU64,
-    requests: AtomicU64,
-    codes: [AtomicU64; 8],
-    degraded_sessions: AtomicU64,
+    pub(crate) in_flight: AtomicUsize,
+    pub(crate) connections: AtomicU64,
+    pub(crate) open_connections: AtomicUsize,
+    pub(crate) requests: AtomicU64,
+    pub(crate) codes: [AtomicU64; 8],
+    pub(crate) degraded_sessions: AtomicU64,
+    pub(crate) streamed: AtomicU64,
+    pub(crate) pool_cache: PoolCache,
+    pub(crate) gate: TenantGate,
+    pub(crate) scheduler: TenantScheduler<Job>,
+    /// Write end of the event thread's wake pipe: workers nudge the
+    /// poll loop after queueing a completion.
+    wake_tx: UnixStream,
 }
 
 impl Shared {
-    fn new(cfg: ServeConfig) -> Shared {
+    fn new(cfg: ServeConfig, wake_tx: UnixStream) -> Shared {
+        let max_cached = cfg.max_cached_pools;
         Shared {
             cfg,
             draining: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
             connections: AtomicU64::new(0),
+            open_connections: AtomicUsize::new(0),
             requests: AtomicU64::new(0),
             codes: Default::default(),
             degraded_sessions: AtomicU64::new(0),
+            streamed: AtomicU64::new(0),
+            pool_cache: PoolCache::new(max_cached),
+            gate: TenantGate::new(),
+            scheduler: TenantScheduler::new(),
+            wake_tx,
         }
     }
 
-    fn record(&self, code: RespCode) {
+    pub(crate) fn record(&self, code: RespCode) {
         self.codes[code as usize].fetch_add(1, Ordering::Relaxed);
     }
 
-    fn snapshot(&self) -> ServeStats {
+    /// Nudge the event thread out of `poll`. A full pipe buffer means a
+    /// wake-up is already pending, so EAGAIN is success.
+    pub(crate) fn wake(&self) {
+        use std::io::Write;
+        let _ = (&self.wake_tx).write(&[1]);
+    }
+
+    pub(crate) fn snapshot(&self) -> ServeStats {
         let mut codes = [0u64; 8];
         for (dst, src) in codes.iter_mut().zip(self.codes.iter()) {
             *dst = src.load(Ordering::Relaxed);
@@ -235,31 +330,38 @@ impl Shared {
             draining: self.draining.load(Ordering::SeqCst),
             codes,
             degraded_sessions: self.degraded_sessions.load(Ordering::Relaxed),
+            server_threads: self.cfg.workers.max(1) + 1,
+            open_connections: self.open_connections.load(Ordering::Relaxed),
+            streamed: self.streamed.load(Ordering::Relaxed),
+            active_tenants: self.gate.active_tenants(),
+            pool_cache: self.pool_cache.stats(),
         }
     }
 }
 
-/// One admitted request travelling from a connection thread to a worker.
-struct Job {
-    req: Request,
-    enqueued: Instant,
-    reply: Sender<Response>,
+/// One admitted request travelling from the event thread to a worker.
+pub(crate) struct Job {
+    pub(crate) req: Request,
+    pub(crate) enqueued: Instant,
+    /// Connection token (slot index + generation) for response routing.
+    pub(crate) token: u64,
 }
 
-enum WorkItem {
-    Job(Box<Job>),
-    /// Poison pill: the receiving worker exits.
-    Stop,
+/// A finished request travelling from a worker back to the event thread.
+pub(crate) struct Completion {
+    pub(crate) token: u64,
+    /// Whether the request asked for chunked streaming.
+    pub(crate) stream: bool,
+    pub(crate) resp: Response,
 }
 
 /// A running daemon. Dropping the handle does **not** stop the server;
 /// call [`ServerHandle::shutdown`] (or let the process exit).
 pub struct ServerHandle {
-    shared: Arc<Shared>,
+    pub(crate) shared: Arc<Shared>,
     local_addr: SocketAddr,
     unix_path: Option<PathBuf>,
-    jobs: Sender<WorkItem>,
-    listeners: Vec<JoinHandle<()>>,
+    event: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -275,17 +377,10 @@ impl ServerHandle {
     }
 
     /// Stop accepting, drain in-flight sessions under the drain
-    /// deadline, stop the workers, and report.
-    pub fn shutdown(self) -> DrainReport {
+    /// deadline, stop the workers, stop the event thread, and report.
+    pub fn shutdown(mut self) -> DrainReport {
         self.shared.draining.store(true, Ordering::SeqCst);
-        // Wake the accept loops so they observe the flag.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(path) = &self.unix_path {
-            let _ = UnixStream::connect(path);
-        }
-        for h in self.listeners {
-            let _ = h.join();
-        }
+        self.shared.wake();
         let t0 = Instant::now();
         let mut clean = true;
         while self.shared.in_flight.load(Ordering::SeqCst) > 0 {
@@ -295,17 +390,24 @@ impl ServerHandle {
             }
             thread::sleep(Duration::from_millis(2));
         }
-        for _ in 0..self.workers.len() {
-            let _ = self.jobs.send(WorkItem::Stop);
-        }
+        self.shared.scheduler.stop();
         if clean {
-            // Every worker is idle (in_flight hit 0), so each exits on
-            // its pill; a dirty drain may have a wedged worker, which we
-            // abandon rather than hang the shutdown.
-            for h in self.workers {
+            // Every worker is idle (in_flight hit 0), so each exits once
+            // the scheduler reports stopped; a dirty drain may have a
+            // wedged worker, which we abandon rather than hang the
+            // shutdown.
+            for h in self.workers.drain(..) {
                 let _ = h.join();
             }
         }
+        // Workers are done (or abandoned): every completion they will
+        // ever send is queued. Tell the event thread to flush and exit.
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.wake();
+        if let Some(h) = self.event.take() {
+            let _ = h.join();
+        }
+        self.shared.pool_cache.clear();
         if let Some(path) = &self.unix_path {
             let _ = std::fs::remove_file(path);
         }
@@ -317,7 +419,8 @@ impl ServerHandle {
     }
 }
 
-/// Bind the listeners, start the worker pool, and return the handle.
+/// Bind the listeners, start the worker pool and the event thread, and
+/// return the handle.
 pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
     let tcp = TcpListener::bind(&cfg.tcp)?;
     let local_addr = tcp.local_addr()?;
@@ -330,255 +433,51 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
         None => None,
     };
     let unix_path = cfg.unix.clone();
-    let shared = Arc::new(Shared::new(cfg));
+    // Dependency-free self-pipe: workers write a byte to wake the event
+    // thread out of poll(2) when a completion is ready.
+    let (wake_rx, wake_tx) = UnixStream::pair()?;
+    wake_tx.set_nonblocking(true)?;
+    let shared = Arc::new(Shared::new(cfg, wake_tx));
 
-    let (jobs_tx, jobs_rx) = mpsc::channel::<WorkItem>();
-    let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+    let (completions_tx, completions_rx) = mpsc::channel::<Completion>();
     let workers: Vec<JoinHandle<()>> = (0..shared.cfg.workers.max(1))
         .map(|i| {
             let shared = Arc::clone(&shared);
-            let rx = Arc::clone(&jobs_rx);
+            let tx = completions_tx.clone();
             thread::Builder::new()
                 .name(format!("cmm-serve-worker-{i}"))
-                .spawn(move || worker_loop(&shared, &rx))
+                .spawn(move || worker_loop(&shared, &tx))
                 .expect("spawn serve worker")
         })
         .collect();
+    drop(completions_tx);
 
-    let mut listeners = Vec::new();
-    {
+    let event = {
         let shared = Arc::clone(&shared);
-        let jobs = jobs_tx.clone();
-        listeners.push(
-            thread::Builder::new()
-                .name("cmm-serve-tcp".to_string())
-                .spawn(move || {
-                    for conn in tcp.incoming() {
-                        if shared.draining.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        if let Ok(stream) = conn {
-                            let shared = Arc::clone(&shared);
-                            let jobs = jobs.clone();
-                            thread::spawn(move || {
-                                let _ = stream.set_nodelay(true);
-                                if let Ok(reader) = stream.try_clone() {
-                                    handle_conn(BufReader::new(reader), stream, &shared, &jobs);
-                                }
-                            });
-                        }
-                    }
-                })
-                .expect("spawn tcp listener"),
-        );
-    }
-    if let Some(listener) = unix {
-        let shared = Arc::clone(&shared);
-        let jobs = jobs_tx.clone();
-        listeners.push(
-            thread::Builder::new()
-                .name("cmm-serve-unix".to_string())
-                .spawn(move || {
-                    for conn in listener.incoming() {
-                        if shared.draining.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        if let Ok(stream) = conn {
-                            let shared = Arc::clone(&shared);
-                            let jobs = jobs.clone();
-                            thread::spawn(move || {
-                                if let Ok(reader) = stream.try_clone() {
-                                    handle_conn(BufReader::new(reader), stream, &shared, &jobs);
-                                }
-                            });
-                        }
-                    }
-                })
-                .expect("spawn unix listener"),
-        );
-    }
+        thread::Builder::new()
+            .name("cmm-serve-event".to_string())
+            .spawn(move || event::event_loop(shared, tcp, unix, wake_rx, completions_rx))
+            .expect("spawn serve event loop")
+    };
 
     Ok(ServerHandle {
         shared,
         local_addr,
         unix_path,
-        jobs: jobs_tx,
-        listeners,
+        event: Some(event),
         workers,
     })
 }
 
-enum LineRead {
-    Eof,
-    Line(String),
-    TooLong,
-    BadUtf8,
-}
-
-/// Read one `\n`-terminated line, refusing to buffer more than `max`
-/// bytes — a client streaming an endless newline-free payload costs the
-/// daemon at most `max` bytes, not unbounded memory.
-fn read_bounded_line<R: BufRead>(r: &mut R, max: usize) -> io::Result<LineRead> {
-    let mut buf: Vec<u8> = Vec::new();
-    loop {
-        let chunk = r.fill_buf()?;
-        if chunk.is_empty() {
-            return Ok(if buf.is_empty() {
-                LineRead::Eof
-            } else {
-                match String::from_utf8(buf) {
-                    Ok(s) => LineRead::Line(s),
-                    Err(_) => LineRead::BadUtf8,
-                }
-            });
-        }
-        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
-            buf.extend_from_slice(&chunk[..pos]);
-            r.consume(pos + 1);
-            if buf.len() > max {
-                return Ok(LineRead::TooLong);
-            }
-            return Ok(match String::from_utf8(buf) {
-                Ok(s) => LineRead::Line(s),
-                Err(_) => LineRead::BadUtf8,
-            });
-        }
-        let len = chunk.len();
-        buf.extend_from_slice(chunk);
-        r.consume(len);
-        if buf.len() > max {
-            return Ok(LineRead::TooLong);
-        }
-    }
-}
-
-/// Serve one connection: requests in, responses out, strictly in order.
-/// Concurrency comes from multiple connections, each on its own thread;
-/// the worker pool bounds how many of their requests execute at once.
-fn handle_conn<R: BufRead, W: Write>(
-    mut reader: R,
-    mut writer: W,
-    shared: &Arc<Shared>,
-    jobs: &Sender<WorkItem>,
-) {
-    shared.connections.fetch_add(1, Ordering::Relaxed);
-    loop {
-        let line = match read_bounded_line(&mut reader, shared.cfg.max_request_bytes) {
-            Err(_) | Ok(LineRead::Eof) => break,
-            Ok(LineRead::TooLong) => {
-                let resp = Response::err(
-                    "?",
-                    RespCode::BadRequest,
-                    format!(
-                        "request line exceeds {} bytes; closing connection",
-                        shared.cfg.max_request_bytes
-                    ),
-                );
-                shared.requests.fetch_add(1, Ordering::Relaxed);
-                shared.record(resp.code);
-                let _ = writeln!(writer, "{}", resp.to_line());
-                break;
-            }
-            Ok(LineRead::BadUtf8) => {
-                let resp = Response::err("?", RespCode::BadRequest, "request is not valid UTF-8");
-                shared.requests.fetch_add(1, Ordering::Relaxed);
-                shared.record(resp.code);
-                let _ = writeln!(writer, "{}", resp.to_line());
-                break;
-            }
-            Ok(LineRead::Line(l)) => l,
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        shared.requests.fetch_add(1, Ordering::Relaxed);
-        let resp = handle_line(&line, shared, jobs);
-        shared.record(resp.code);
-        if writeln!(writer, "{}", resp.to_line()).is_err() || writer.flush().is_err() {
-            break;
-        }
-    }
-}
-
-/// Parse, admit, dispatch, and wait for one request.
-fn handle_line(line: &str, shared: &Arc<Shared>, jobs: &Sender<WorkItem>) -> Response {
-    let req = match Request::parse(line) {
-        Ok(req) => req,
-        Err((id, msg)) => {
-            return Response::err(id.as_deref().unwrap_or("?"), RespCode::BadRequest, msg)
-        }
-    };
-
-    // Control-plane commands bypass admission: they must answer even
-    // (especially) when the daemon is saturated or draining.
-    match req.cmd {
-        Cmd::Ping => return Response::ok(&req.id, Some("pong".to_string()), None),
-        Cmd::Stats => {
-            let mut resp = Response::ok(&req.id, None, None);
-            resp.stats_json = Some(shared.snapshot().to_json());
-            return resp;
-        }
-        Cmd::Run | Cmd::Compile | Cmd::Check => {}
-    }
-
-    if shared.draining.load(Ordering::SeqCst) {
-        return Response::err(
-            &req.id,
-            RespCode::Overloaded,
-            "server is draining; retry against another instance",
-        );
-    }
-    // Admission: reserve a slot or shed. fetch_add-then-check keeps the
-    // cap exact under contention (losers release their reservation).
-    let admitted = shared.in_flight.fetch_add(1, Ordering::SeqCst);
-    if admitted >= shared.cfg.max_in_flight {
-        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-        return Response::err(
-            &req.id,
-            RespCode::Overloaded,
-            format!(
-                "admission cap reached ({} in flight); retry with backoff",
-                shared.cfg.max_in_flight
-            ),
-        );
-    }
-
-    let id = req.id.clone();
-    let (reply_tx, reply_rx) = mpsc::channel();
-    let job = WorkItem::Job(Box::new(Job {
-        req,
-        enqueued: Instant::now(),
-        reply: reply_tx,
-    }));
-    if jobs.send(job).is_err() {
-        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-        return Response::err(&id, RespCode::Io, "worker pool is gone (server stopping)");
-    }
-    match reply_rx.recv() {
-        Ok(resp) => resp,
-        // The worker died without replying — catch_unwind makes this
-        // near-impossible, but a typed answer beats a hung client.
-        Err(_) => Response::err(&id, RespCode::Io, "session worker disappeared"),
-    }
-}
-
-/// Session worker: pull jobs, shed stale ones, execute the rest inside
-/// `catch_unwind`. One `Registry` per worker amortizes registry setup;
+/// Session worker: pull jobs in tenant-fair order, shed stale ones,
+/// execute the rest inside `catch_unwind`, and hand the response back to
+/// the event thread. One `Registry` per worker amortizes registry setup;
 /// parsers are shared further via the process-global composed-parser
 /// cache, so concurrent workers composing the same extension set pay
 /// for one LALR(1) table build total.
-fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<WorkItem>>>) {
+fn worker_loop(shared: &Arc<Shared>, completions: &Sender<Completion>) {
     let registry = Registry::standard();
-    loop {
-        // Hold the lock only for the dequeue, never during execution.
-        let item = match rx.lock() {
-            Ok(guard) => guard.recv(),
-            Err(_) => break,
-        };
-        let job = match item {
-            Ok(WorkItem::Job(job)) => job,
-            Ok(WorkItem::Stop) | Err(_) => break,
-        };
+    while let Some(job) = shared.scheduler.pop() {
         let queued = job.enqueued.elapsed();
         let resp = if queued > shared.cfg.queue_deadline {
             Response::err(
@@ -594,8 +493,15 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<WorkItem>>>) {
             execute(&registry, shared, &job.req, queued)
         };
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-        // A vanished client (closed connection) is not a worker error.
-        let _ = job.reply.send(resp);
+        shared.gate.release(&job.req.tenant);
+        // A vanished client (closed connection) is not a worker error;
+        // the event thread still records the response code.
+        let _ = completions.send(Completion {
+            token: job.token,
+            stream: job.req.stream,
+            resp,
+        });
+        shared.wake();
     }
 }
 
@@ -603,7 +509,9 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<WorkItem>>>) {
 /// worker-panic path is already typed ([`CompileError::Panic`] via the
 /// pool's `try_run`); this `catch_unwind` additionally contains panics
 /// from the compiler itself or interpreter bugs, so no tenant program
-/// can take the worker thread down.
+/// can take the worker thread down. An unwind also drops the session's
+/// pool before it can reach the cache checkin, so a panicked pool is
+/// never recycled.
 fn execute(registry: &Registry, shared: &Arc<Shared>, req: &Request, queued: Duration) -> Response {
     let start = Instant::now();
     let mut resp = match catch_unwind(AssertUnwindSafe(|| run_request(registry, shared, req))) {
@@ -679,7 +587,10 @@ fn run_request(registry: &Registry, shared: &Arc<Shared>, req: &Request) -> Resp
                 .threads
                 .unwrap_or(cfg.session_threads)
                 .clamp(1, cfg.max_session_threads.max(1));
-            let pool = Arc::new(ForkJoinPool::new(requested));
+            // Checkout from the persistent cache: a hit skips pool
+            // construction entirely (the former per-session hot-path
+            // cost); a miss constructs and reports the nanos it took.
+            let (pool, pool_hit, pool_construct_ns) = shared.pool_cache.checkout(requested);
             // Spawn refusal degrades to fewer threads (possibly fully
             // sequential); the run proceeds and the shortfall is
             // surfaced per-request and in the daemon stats.
@@ -690,10 +601,16 @@ fn run_request(registry: &Registry, shared: &Arc<Shared>, req: &Request) -> Resp
             let mut metrics = RespMetrics {
                 threads: pool.threads(),
                 degraded,
+                pool_hit,
+                pool_construct_ns,
                 ..RespMetrics::default()
             };
             let schedule = req.schedule.unwrap_or_default();
-            match compiler.run_on_pool(&req.src, pool, limits, schedule) {
+            let result = compiler.run_on_pool(&req.src, Arc::clone(&pool), limits, schedule);
+            // Offer the pool back; the cache's health gate drops it if
+            // this session degraded, panicked, or stalled it.
+            shared.pool_cache.checkin(requested, pool);
+            match result {
                 Ok(result) => {
                     metrics.allocations = result.allocations;
                     metrics.leaked = result.leaked;
@@ -706,7 +623,7 @@ fn run_request(registry: &Registry, shared: &Arc<Shared>, req: &Request) -> Resp
                 }
             }
         }
-        Cmd::Ping | Cmd::Stats => unreachable!("handled before admission"),
+        Cmd::Ping | Cmd::Stats => unreachable!("handled inline on the event thread"),
     }
 }
 

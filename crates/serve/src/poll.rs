@@ -1,0 +1,124 @@
+//! A dependency-free `poll(2)` wrapper: the readiness primitive under
+//! the `cmm-serve` event loop.
+//!
+//! The workspace vendors no FFI crates (the same policy as [`crate::signal`]),
+//! and readiness polling needs exactly one syscall beyond what `std`
+//! exposes, so `poll` is declared directly. Everything else — putting
+//! sockets into non-blocking mode, accepting, reading, writing — goes
+//! through `std`'s own `set_nonblocking` and `Read`/`Write`, which keeps
+//! the unsafe surface to this one call.
+//!
+//! `struct pollfd`'s layout (`int fd; short events; short revents;`) and
+//! the `POLLIN`/`POLLOUT`/... constants are identical across the unixes
+//! the toolchain targets, and `nfds_t` is register-sized or smaller
+//! everywhere, so a `usize` count is ABI-compatible for any set that
+//! fits in memory.
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// Readable data (or a pending connection on a listener).
+pub const POLLIN: i16 = 0x001;
+/// Writable without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// The fd was not open (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of a `poll(2)` set; field order and sizes match the C ABI.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    pub fd: RawFd,
+    pub events: i16,
+    pub revents: i16,
+}
+
+impl PollFd {
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd { fd, events, revents: 0 }
+    }
+
+    /// Any of the readiness-or-trouble bits: data to read, room to
+    /// write, or an error/hangup the owner must observe via read().
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: usize, timeout: i32) -> i32;
+}
+
+/// Wait until at least one fd in `fds` is ready, `timeout_ms` elapses
+/// (`-1` = forever), or a signal interrupts the wait. Returns the number
+/// of ready entries; `EINTR` is reported as `Ok(0)` — the caller's loop
+/// re-checks its flags and polls again, which is exactly what a signal
+/// delivery (SIGTERM → drain flag) needs.
+pub fn wait(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    for f in fds.iter_mut() {
+        f.revents = 0;
+    }
+    // Safety: `fds` is a live, exclusively borrowed slice of repr(C)
+    // pollfd entries; the kernel writes only the `revents` fields.
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len(), timeout_ms) };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(rc as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn poll_reports_readable_after_write() {
+        let (mut a, b) = UnixStream::pair().expect("socketpair");
+        b.set_nonblocking(true).unwrap();
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        // Nothing written yet: a zero timeout returns no ready fds.
+        assert_eq!(wait(&mut fds, 0).unwrap(), 0);
+        assert!(!fds[0].readable());
+        a.write_all(b"x").unwrap();
+        assert_eq!(wait(&mut fds, 1000).unwrap(), 1);
+        assert!(fds[0].readable());
+        let mut buf = [0u8; 4];
+        let mut b = b;
+        assert_eq!(b.read(&mut buf).unwrap(), 1);
+        assert_eq!(&buf[..1], b"x");
+    }
+
+    #[test]
+    fn poll_reports_writable_socket() {
+        let (a, _b) = UnixStream::pair().expect("socketpair");
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLOUT)];
+        assert_eq!(wait(&mut fds, 1000).unwrap(), 1);
+        assert!(fds[0].writable());
+    }
+
+    #[test]
+    fn poll_reports_hangup_as_readable() {
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        drop(b);
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        assert_eq!(wait(&mut fds, 1000).unwrap(), 1);
+        // The owner sees the hangup as read-readiness and learns the
+        // truth from read() returning 0.
+        assert!(fds[0].readable());
+    }
+}

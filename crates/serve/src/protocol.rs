@@ -18,6 +18,23 @@
 //!
 //! Only `overloaded` is retryable: every other class is deterministic for
 //! the same request, so clients should back off and retry *only* on 6.
+//! `overloaded` covers the drain flag, the global in-flight cap, the
+//! per-tenant quota, and the queue deadline — all transient, all safe to
+//! retry with backoff.
+//!
+//! Two optional request fields extend the v1 protocol additively:
+//!
+//! * `"tenant"` — a tenant id string used for per-tenant admission
+//!   quotas and fair scheduling. Absent means the shared `"default"`
+//!   bucket.
+//! * `"stream": true` — ask for chunked response streaming. Instead of
+//!   one line embedding the whole `output`, the server sends a *header*
+//!   line (the normal response object with `"stream": true`,
+//!   `"output_bytes"` and `"chunks"` but no `"output"`), then `chunks`
+//!   *data frames* `{"id", "seq", "data", "last"}` in order, `seq`
+//!   counting from 0 and `last: true` on the final frame. Error
+//!   responses never stream; a `"stream": true` request that fails gets
+//!   the ordinary single-line error.
 
 use std::time::Duration;
 
@@ -130,7 +147,15 @@ pub struct Request {
     pub deadline: Option<Duration>,
     /// Default loop schedule for `run` (same syntax as `cmmc --schedule`).
     pub schedule: Option<Schedule>,
+    /// Tenant id for per-tenant quotas and fair scheduling (`"default"`
+    /// when the request names none).
+    pub tenant: String,
+    /// Whether the client asked for chunked response streaming.
+    pub stream: bool,
 }
+
+/// Tenant bucket used when a request carries no `tenant` field.
+pub const DEFAULT_TENANT: &str = "default";
 
 impl Request {
     /// Parse one request line. Errors are client-facing `bad_request`
@@ -216,6 +241,19 @@ impl Request {
             Some(_) => return Err(fail("field 'schedule' must be a string".into())),
         };
 
+        let tenant = match v.get("tenant") {
+            None | Some(Json::Null) => DEFAULT_TENANT.to_string(),
+            Some(Json::Str(s)) if s.is_empty() => DEFAULT_TENANT.to_string(),
+            Some(Json::Str(s)) => s.clone(),
+            Some(_) => return Err(fail("field 'tenant' must be a string".into())),
+        };
+
+        let stream = match v.get("stream") {
+            None | Some(Json::Null) => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err(fail("field 'stream' must be a boolean".into())),
+        };
+
         Ok(Request {
             id,
             cmd,
@@ -226,6 +264,8 @@ impl Request {
             max_mem,
             deadline,
             schedule,
+            tenant,
+            stream,
         })
     }
 }
@@ -246,6 +286,12 @@ pub struct RespMetrics {
     pub allocations: u32,
     /// Buffers still live at program exit (run only; 0 = clean).
     pub leaked: u32,
+    /// True when the session's pool came from the persistent pool cache
+    /// (run only; a hit skips pool construction entirely).
+    pub pool_hit: bool,
+    /// Nanoseconds spent constructing this session's pool (0 on a cache
+    /// hit).
+    pub pool_construct_ns: u64,
 }
 
 /// A protocol response, serialized with [`Response::to_line`].
@@ -292,6 +338,30 @@ impl Response {
 
     /// Serialize as one protocol line (no trailing newline).
     pub fn to_line(&self) -> String {
+        self.render(None)
+    }
+
+    /// Serialize as a streaming *header* line: the normal response
+    /// object with `"stream": true`, the total `output_bytes` and the
+    /// `chunks` count — but without the `output` itself, which follows
+    /// as data frames (see [`Response::stream_frame`]).
+    pub fn to_stream_header(&self, output_bytes: usize, chunks: usize) -> String {
+        self.render(Some((output_bytes, chunks)))
+    }
+
+    /// Serialize one streaming *data frame* (no trailing newline):
+    /// `{"id", "seq", "data", "last"}`. Frames carry consecutive `seq`
+    /// values from 0; `last: true` marks the final frame of the
+    /// response.
+    pub fn stream_frame(id: &str, seq: usize, data: &str, last: bool) -> String {
+        format!(
+            "{{\"id\": {}, \"seq\": {seq}, \"data\": {}, \"last\": {last}}}",
+            json::quote(id),
+            json::quote(data)
+        )
+    }
+
+    fn render(&self, stream: Option<(usize, usize)>) -> String {
         let mut out = String::with_capacity(128);
         out.push_str("{\"id\": ");
         out.push_str(&json::quote(&self.id));
@@ -302,9 +372,18 @@ impl Response {
             self.code.status(),
             self.code.retryable()
         ));
-        if let Some(output) = &self.output {
-            out.push_str(", \"output\": ");
-            out.push_str(&json::quote(output));
+        match stream {
+            Some((output_bytes, chunks)) => {
+                out.push_str(&format!(
+                    ", \"stream\": true, \"output_bytes\": {output_bytes}, \"chunks\": {chunks}"
+                ));
+            }
+            None => {
+                if let Some(output) = &self.output {
+                    out.push_str(", \"output\": ");
+                    out.push_str(&json::quote(output));
+                }
+            }
         }
         if let Some(error) = &self.error {
             out.push_str(", \"error\": ");
@@ -313,8 +392,16 @@ impl Response {
         if let Some(m) = &self.metrics {
             out.push_str(&format!(
                 ", \"metrics\": {{\"elapsed_ms\": {}, \"queue_ms\": {}, \"threads\": {}, \
-                 \"degraded\": {}, \"allocations\": {}, \"leaked\": {}}}",
-                m.elapsed_ms, m.queue_ms, m.threads, m.degraded, m.allocations, m.leaked
+                 \"degraded\": {}, \"allocations\": {}, \"leaked\": {}, \"pool_hit\": {}, \
+                 \"pool_construct_ns\": {}}}",
+                m.elapsed_ms,
+                m.queue_ms,
+                m.threads,
+                m.degraded,
+                m.allocations,
+                m.leaked,
+                m.pool_hit,
+                m.pool_construct_ns
             ));
         }
         if let Some(stats) = &self.stats_json {

@@ -96,6 +96,8 @@ fn response_line_is_valid_json_with_stable_fields() {
         degraded: true,
         allocations: 5,
         leaked: 0,
+        pool_hit: false,
+        pool_construct_ns: 0,
     });
     let v = json::parse(&resp.to_line()).expect("response must be valid JSON");
     assert_eq!(v.get("id").unwrap().as_str(), Some("r1"));
@@ -130,11 +132,21 @@ impl Client {
         Client { reader, writer: stream }
     }
 
-    fn roundtrip(&mut self, req: &str) -> Json {
-        writeln!(self.writer, "{req}").expect("send");
+    fn send(&mut self, req: &str) {
+        // Single write per line: two small writes (line then newline)
+        // would trip the client-side Nagle + delayed-ACK stall.
+        self.writer.write_all(format!("{req}\n").as_bytes()).expect("send");
+    }
+
+    fn recv(&mut self) -> Json {
         let mut line = String::new();
         self.reader.read_line(&mut line).expect("recv");
         json::parse(&line).unwrap_or_else(|e| panic!("bad response JSON ({e}): {line}"))
+    }
+
+    fn roundtrip(&mut self, req: &str) -> Json {
+        self.send(req);
+        self.recv()
     }
 }
 
@@ -365,6 +377,194 @@ fn limits_are_capped_server_side() {
     );
     assert_eq!(code(&v), 5, "{v:?}");
     handle.shutdown();
+}
+
+#[test]
+fn streaming_chunks_long_output_and_errors_never_stream() {
+    // One-byte chunks make the frame count exact: "42\n" → 3 frames.
+    let cfg = ServeConfig {
+        stream_chunk_bytes: 1,
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg).expect("start");
+    let mut c = Client::connect(handle.local_addr());
+
+    c.send(
+        r#"{"id": "st", "cmd": "run", "stream": true, "src": "int main() { printInt(42); return 0; }"}"#,
+    );
+    let header = c.recv();
+    assert_eq!(code(&header), 0, "{header:?}");
+    assert_eq!(header.get("stream").unwrap().as_bool(), Some(true));
+    assert_eq!(header.get("output_bytes").unwrap().as_u64(), Some(3));
+    assert_eq!(header.get("chunks").unwrap().as_u64(), Some(3));
+    assert!(header.get("output").is_none(), "streamed header carries no inline output");
+    assert!(header.get("metrics").is_some(), "metrics ride on the header");
+
+    let mut reassembled = String::new();
+    for seq in 0..3u64 {
+        let frame = c.recv();
+        assert_eq!(frame.get("id").unwrap().as_str(), Some("st"));
+        assert_eq!(frame.get("seq").unwrap().as_u64(), Some(seq));
+        assert_eq!(frame.get("last").unwrap().as_bool(), Some(seq == 2));
+        reassembled.push_str(frame.get("data").unwrap().as_str().unwrap());
+    }
+    assert_eq!(reassembled, "42\n");
+
+    // Errors answer as a single plain response even when the client
+    // asked to stream.
+    let v = c.roundtrip(r#"{"id": "se", "cmd": "check", "stream": true, "src": "int main( {"}"#);
+    assert_eq!(code(&v), 4, "{v:?}");
+    assert!(v.get("stream").is_none());
+
+    // The connection still serves plain requests after a stream.
+    let v = c.roundtrip(r#"{"id": "p", "cmd": "ping"}"#);
+    assert_eq!(code(&v), 0);
+
+    let v = c.roundtrip(r#"{"id": "s", "cmd": "stats"}"#);
+    let stats = v.get("stats").expect("stats payload");
+    assert_eq!(stats.get("streamed").unwrap().as_u64(), Some(1));
+
+    let report = handle.shutdown();
+    assert!(report.clean);
+    assert_eq!(report.stats.streamed, 1);
+}
+
+#[test]
+fn tenant_quota_sheds_with_retryable_overloaded() {
+    // A zero per-tenant quota sheds every data-plane request while the
+    // global cap alone would have admitted it — the message names the
+    // tenant so clients can tell which cap they hit.
+    let cfg = ServeConfig {
+        tenant_quota: Some(0),
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg).expect("start");
+    let mut c = Client::connect(handle.local_addr());
+    let v = c.roundtrip(
+        r#"{"id": "r", "cmd": "run", "tenant": "acme", "src": "int main() { return 0; }"}"#,
+    );
+    assert_eq!(code(&v), 6, "{v:?}");
+    assert_eq!(v.get("retryable").unwrap().as_bool(), Some(true));
+    let msg = v.get("error").unwrap().as_str().unwrap();
+    assert!(msg.contains("tenant 'acme'") && msg.contains("quota"), "{msg}");
+    // Control plane is not subject to tenant quotas.
+    let v = c.roundtrip(r#"{"id": "p", "cmd": "ping"}"#);
+    assert_eq!(code(&v), 0);
+    let report = handle.shutdown();
+    assert_eq!(report.stats.shed(), 1);
+    assert_eq!(report.stats.in_flight, 0, "tenant shed must release the global slot");
+}
+
+#[test]
+fn ping_and_stats_answer_inline_while_workers_are_saturated() {
+    // One worker, and a session that holds it for its full wall-clock
+    // deadline. The control plane must keep answering from the event
+    // thread — it never queues behind the busy worker.
+    let cfg = ServeConfig {
+        workers: 1,
+        max_fuel: u64::MAX,
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg).expect("start");
+    let addr = handle.local_addr();
+    let mut bomber = Client::connect(addr);
+    bomber.send(
+        r#"{"id": "bomb", "cmd": "run", "src": "int main() { int n = 0; while (1 > 0) { n = n + 1; } return 0; }", "deadline_ms": 1500}"#,
+    );
+
+    let mut probe = Client::connect(addr);
+    // Wait until the bomb is observably in flight…
+    let t0 = std::time::Instant::now();
+    loop {
+        let v = probe.roundtrip(r#"{"id": "s", "cmd": "stats"}"#);
+        let in_flight = v
+            .get("stats")
+            .and_then(|s| s.get("in_flight"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        if in_flight >= 1 {
+            break;
+        }
+        assert!(t0.elapsed() < Duration::from_secs(10), "bomb never became in-flight");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // …then ping must answer promptly while the only worker is pinned.
+    let t1 = std::time::Instant::now();
+    let v = probe.roundtrip(r#"{"id": "p", "cmd": "ping"}"#);
+    assert_eq!(code(&v), 0);
+    assert!(
+        t1.elapsed() < Duration::from_millis(1000),
+        "ping took {:?} — it queued behind the busy worker",
+        t1.elapsed()
+    );
+
+    let v = bomber.recv();
+    assert_eq!(code(&v), 5, "deadline kills the bomb with a limit error: {v:?}");
+    let report = handle.shutdown();
+    assert!(report.clean);
+}
+
+#[test]
+fn pool_cache_reuses_pools_across_sessions_on_one_connection() {
+    let handle = start(ServeConfig::default()).expect("start");
+    let mut c = Client::connect(handle.local_addr());
+
+    // First session at the default thread count constructs its pool…
+    let v = c.roundtrip(r#"{"id": "a", "cmd": "run", "src": "int main() { printInt(1); return 0; }"}"#);
+    assert_eq!(code(&v), 0, "{v:?}");
+    let m = v.get("metrics").expect("metrics");
+    assert_eq!(m.get("pool_hit").unwrap().as_bool(), Some(false));
+    assert!(m.get("pool_construct_ns").unwrap().as_u64().unwrap() > 0);
+
+    // …and the second reuses it from the cache.
+    let v = c.roundtrip(r#"{"id": "b", "cmd": "run", "src": "int main() { printInt(2); return 0; }"}"#);
+    assert_eq!(code(&v), 0, "{v:?}");
+    let m = v.get("metrics").expect("metrics");
+    assert_eq!(m.get("pool_hit").unwrap().as_bool(), Some(true), "{v:?}");
+    assert_eq!(m.get("pool_construct_ns").unwrap().as_u64(), Some(0));
+
+    let v = c.roundtrip(r#"{"id": "s", "cmd": "stats"}"#);
+    let pc = v.get("stats").unwrap().get("pool_cache").expect("pool_cache stats");
+    assert!(pc.get("hits").unwrap().as_u64().unwrap() >= 1);
+    assert_eq!(pc.get("misses").unwrap().as_u64(), Some(1));
+    handle.shutdown();
+}
+
+#[test]
+fn pool_cache_survives_concurrent_mixed_thread_counts() {
+    let handle = start(ServeConfig::default()).expect("start");
+    let addr = handle.local_addr();
+    let threads: Vec<_> = (0..4)
+        .map(|i: usize| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                for round in 0..8 {
+                    let session_threads = (i + round) % 3 + 1;
+                    let expect = i * 100 + round;
+                    let v = c.roundtrip(&format!(
+                        r#"{{"id": "m{i}-{round}", "cmd": "run", "threads": {session_threads}, "src": "int main() {{ printInt({expect}); return 0; }}"}}"#
+                    ));
+                    assert_eq!(code(&v), 0, "{v:?}");
+                    assert_eq!(
+                        v.get("output").unwrap().as_str(),
+                        Some(format!("{expect}\n").as_str())
+                    );
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    let report = handle.shutdown();
+    assert_eq!(report.stats.ok(), 32);
+    let pc = report.stats.pool_cache;
+    assert_eq!(pc.hits + pc.misses, 32, "every session checks the cache: {pc:?}");
+    assert!(pc.hits >= 1, "sequential same-key sessions must hit: {pc:?}");
+    assert!(
+        pc.cached <= ServeConfig::default().max_cached_pools,
+        "cache respects its capacity: {pc:?}"
+    );
 }
 
 #[test]

@@ -55,7 +55,9 @@ fn usage() -> ExitCode {
          \x20        --corpus-dir DIR\n\
          serve:   --unix PATH | --workers N | --max-in-flight N\n\
          \x20        --queue-deadline-ms N | --drain-deadline-ms N\n\
-         \x20        --max-deadline-ms N | --session-threads N"
+         \x20        --max-deadline-ms N | --session-threads N\n\
+         \x20        --tenant-quota N | --max-cached-pools N\n\
+         \x20        --stream-chunk-bytes N"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -109,6 +111,24 @@ fn serve_command(args: &[String]) -> ExitCode {
                     return usage();
                 };
                 cfg.max_deadline = Duration::from_millis(v);
+            }
+            "--tenant-quota" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                cfg.tenant_quota = Some(v);
+            }
+            "--max-cached-pools" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                cfg.max_cached_pools = v;
+            }
+            "--stream-chunk-bytes" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()).filter(|&v| v > 0) else {
+                    return usage();
+                };
+                cfg.stream_chunk_bytes = v;
             }
             other if !other.starts_with('-') && addr.is_none() => {
                 addr = Some(other.to_string());

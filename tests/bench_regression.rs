@@ -19,6 +19,14 @@
 //! counter, and the recorded cache-blocked matmul median must beat the
 //! naive one. These parse the committed artifact, so they run on every
 //! `cargo test` — regenerating a worse artifact fails the build.
+//!
+//! A third family gates `BENCH_serve.json` (schema v2) the same two
+//! ways: artifact tests on every `cargo test` (the event-loop front end
+//! must record a non-trivial pool-cache hit rate and O(workers) thread
+//! scaling under 64 idle connections), plus an `#[ignore]`d wall-clock
+//! gate that replays quiet scalar roundtrips against an in-process
+//! daemon and fails if the measured p50 regresses past 2× the
+//! checked-in `quiet_roundtrip_us.run_scalar_p50`.
 
 use std::time::Instant;
 
@@ -28,6 +36,7 @@ use cmm::loopir::Tier;
 const PROGRAM: &str = include_str!("../examples/pipeline_profile.xc");
 const TRAJECTORY: &str = include_str!("../BENCH_pipeline.json");
 const SCHEDULE_TRAJECTORY: &str = include_str!("../BENCH_schedule.json");
+const SERVE_TRAJECTORY: &str = include_str!("../BENCH_serve.json");
 const THREADS: usize = 4;
 
 /// First `"<key>": <uint>` after `anchor` in the hand-rolled trajectory
@@ -148,4 +157,102 @@ fn blocked_matmul_beats_naive_in_artifact() {
          (naive {naive}ns vs blocked {blocked}ns); regenerate with \
          `cargo bench -p cmm-bench --bench schedule`"
     );
+}
+
+/// First `"<key>": <uint>` after `block` in BENCH_serve.json.
+fn serve_u64(block: &str, key: &str) -> u64 {
+    let tail = if block.is_empty() {
+        SERVE_TRAJECTORY
+    } else {
+        let at = SERVE_TRAJECTORY
+            .find(&format!("\"{block}\""))
+            .unwrap_or_else(|| panic!("BENCH_serve.json has a {block} block"));
+        &SERVE_TRAJECTORY[at..]
+    };
+    let key = format!("\"{key}\": ");
+    let at = tail.find(&key).unwrap_or_else(|| panic!("{block}.{key} missing"));
+    let digits: String = tail[at + key.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().unwrap_or_else(|_| panic!("{block}.{key} is not a uint"))
+}
+
+#[test]
+fn serve_artifact_is_v2_with_cache_hits() {
+    assert!(
+        SERVE_TRAJECTORY.contains("\"schema\": \"cmm-bench-serve-v2\""),
+        "BENCH_serve.json schema tag; regenerate with `cargo bench -p cmm-bench --bench serve`"
+    );
+    assert!(
+        serve_u64("pool_cache", "hits") > 0,
+        "the load bench mixes repeat thread counts, so the recorded pool cache \
+         must show hits; regenerate with `cargo bench -p cmm-bench --bench serve`"
+    );
+}
+
+#[test]
+fn serve_artifact_shows_idle_connections_cost_no_threads() {
+    let idle_conns = serve_u64("idle_scaling", "idle_connections");
+    let before = serve_u64("idle_scaling", "threads_before");
+    let with_idle = serve_u64("idle_scaling", "threads_with_idle_conns");
+    let server_threads = serve_u64("idle_scaling", "server_threads");
+    assert!(idle_conns >= 64, "the idle flock must be non-trivial: {idle_conns}");
+    assert!(
+        server_threads <= 8,
+        "the event-loop daemon serves with O(workers) threads, not O(connections): \
+         server_threads {server_threads}"
+    );
+    // The thread-per-connection front end would add ~1 thread per open
+    // connection; the event loop must stay essentially flat.
+    let delta = with_idle.saturating_sub(before);
+    assert!(
+        delta <= idle_conns / 4,
+        "process thread count grew by {delta} with {idle_conns} idle connections open \
+         (before {before}, with {with_idle}); idle connections must not cost threads"
+    );
+}
+
+#[test]
+#[ignore = "wall-clock gate; CI runs it in release with -- --ignored"]
+fn serve_quiet_roundtrip_within_2x_of_trajectory() {
+    use std::io::{BufRead, BufReader, Write as _};
+
+    let reference = serve_u64("quiet_roundtrip_us", "run_scalar_p50");
+    assert!(reference > 0, "empty quiet-roundtrip reference");
+    let handle = cmm::serve::start(cmm::serve::ServeConfig::default()).expect("start server");
+    let stream = std::net::TcpStream::connect(handle.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut samples: Vec<u64> = (0..30)
+        .map(|i| {
+            let line = format!(
+                r#"{{"id": "g{i}", "cmd": "run", "src": "int main() {{ int x = {i}; printInt(x * 2 + 1); return 0; }}"}}"#
+            );
+            let t0 = Instant::now();
+            // One write per line: two small writes would trip the
+            // client-side Nagle + delayed-ACK stall and measure the TCP
+            // stack instead of the server.
+            writer
+                .write_all(format!("{line}\n").as_bytes())
+                .expect("send");
+            let mut resp = String::new();
+            reader.read_line(&mut resp).expect("recv");
+            assert!(resp.contains("\"code\": 0"), "{resp}");
+            t0.elapsed().as_micros() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    // 2× the checked-in p50 with a 10ms floor: the floor absorbs loaded
+    // 1-CPU runners without masking a regression back toward the old
+    // thread-per-connection + fresh-pool-per-session latency (~60ms).
+    let budget = (reference * 2).max(10_000);
+    assert!(
+        median <= budget,
+        "quiet serve roundtrip regressed: median {median}us > max(2x checked-in {reference}us, 10ms) \
+         (samples: {samples:?}); if intentional, regenerate with \
+         `cargo bench -p cmm-bench --bench serve`"
+    );
+    handle.shutdown();
 }

@@ -114,7 +114,9 @@ fn chaos_mixed_workload_under_full_fault_injection() {
                         3 => panic_request(&id),
                         _ => oom_request(&id),
                     };
-                    writeln!(writer, "{line}").expect("send");
+                    // Single write per line: two small writes would trip
+                    // the client-side Nagle + delayed-ACK stall.
+                    writer.write_all(format!("{line}\n").as_bytes()).expect("send");
                     let mut resp = String::new();
                     reader.read_line(&mut resp).expect("recv");
                     let v = json::parse(&resp)
@@ -142,6 +144,14 @@ fn chaos_mixed_workload_under_full_fault_injection() {
                                 "3-thread session must report spawn degradation: {resp}"
                             );
                             assert_eq!(m.get("threads").unwrap().as_u64(), Some(2));
+                            // A degraded pool is tainted and must never
+                            // be recycled, so no good-class session can
+                            // ever be served from the pool cache.
+                            assert_eq!(
+                                m.get("pool_hit").unwrap().as_bool(),
+                                Some(false),
+                                "degraded pools must not come from the cache: {resp}"
+                            );
                         }
                         1 => {
                             assert_eq!(code(&v), 5, "fuel bomb must hit the limit: {resp}");
@@ -201,6 +211,18 @@ fn chaos_mixed_workload_under_full_fault_injection() {
     assert_eq!(stats.degraded_sessions, 40, "every 3-thread session degraded");
     assert_eq!(stats.requests, 201);
     assert_eq!(stats.in_flight, 0);
+
+    // Pool-cache health gate under chaos: every tainted pool is dropped,
+    // never recycled. The 40 spawn-degraded sessions and the 40
+    // panic-tainted sessions each try to check their pool back in and
+    // must be refused (counted as evictions); the good class always
+    // misses (no clean 3-thread pool ever exists to reuse); and the
+    // clean 1-thread classes do recycle pools, so hits are non-zero.
+    let pc = stats.pool_cache;
+    assert!(pc.evictions >= 80, "tainted checkins must be refused: {pc:?}");
+    assert!(pc.misses >= 40, "degraded class can never hit: {pc:?}");
+    assert!(pc.hits >= 1, "clean sessions must recycle pools: {pc:?}");
+    assert_eq!(pc.hits + pc.misses, 200, "every run session checks the cache: {pc:?}");
 
     // Injection bookkeeping agrees with the protocol-level tallies.
     assert_eq!(faultinject::panics_injected(), 40);
