@@ -131,7 +131,10 @@ fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
     }
 }
 
-fn print_transform(t: &TransformSpec) -> String {
+/// Render one `transform` directive in surface syntax (public for the
+/// `cmm-tune` report, which names candidates exactly as a programmer
+/// would write them).
+pub fn print_transform(t: &TransformSpec) -> String {
     match t {
         TransformSpec::Split {
             index,

@@ -25,12 +25,9 @@
 //! square product, where the L1-sized tiles must win regardless of how
 //! many cores the host really has (blocking pays off per-core).
 
-use std::collections::VecDeque;
-use std::sync::atomic::AtomicUsize;
-
 use cmm_bench::config;
 use cmm_core::{Compiler, Registry};
-use cmm_forkjoin::{chunk_range, next_chunk, ForkJoinPool, Schedule};
+use cmm_forkjoin::{counter_makespan, deque_makespan, ForkJoinPool, Schedule};
 use cmm_loopir::Limits;
 use cmm_runtime::kernels::{matmul_naive, matmul_parallel_blocked};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -52,78 +49,32 @@ fn median(mut v: Vec<u64>) -> u64 {
     v[v.len() / 2]
 }
 
-/// Greedy self-scheduling makespan under the real claim protocol: the
-/// participant with the least accumulated virtual time claims next (on
-/// real hardware the first participant to finish its chunk is the first
-/// back at the counter). Returns (makespan, ideal, per-participant).
+/// Row i of imbalanced.xc folds (i + 1) * 160 elements, so the cost
+/// vector fed to the `cmm_forkjoin::makespan` models is triangular.
+fn row_costs() -> Vec<u64> {
+    (0..ROWS).map(|row| (row + 1) as u64).collect()
+}
+
+/// Greedy self-scheduling makespan under the real shared-counter claim
+/// protocol — see [`cmm_forkjoin::counter_makespan`] (extracted from
+/// this bench into the library for the `cmm-tune` cost model).
+/// Returns (makespan, ideal, per-participant).
 fn modeled_makespan(schedule: Schedule) -> (u64, u64, Vec<u64>) {
-    // Row i of imbalanced.xc folds (i + 1) * 160 elements.
-    let cost = |row: usize| (row + 1) as u64;
-    let total: u64 = (0..ROWS).map(cost).sum();
-    let counter = AtomicUsize::new(0);
-    let mut vt = vec![0u64; THREADS];
-    loop {
-        let who = (0..THREADS).min_by_key(|&t| vt[t]).unwrap();
-        match next_chunk(&counter, ROWS, THREADS, schedule) {
-            Some(range) => vt[who] += range.map(cost).sum::<u64>(),
-            None => break,
-        }
-    }
-    let makespan = *vt.iter().max().unwrap();
-    (makespan, total.div_ceil(THREADS as u64), vt)
+    let m = counter_makespan(&row_costs(), schedule, THREADS);
+    (m.makespan, m.ideal, m.per_participant)
 }
 
 /// The same greedy virtual-time model driven by the *deque* protocol
-/// (the pool's default since the work-stealing rewrite): each
-/// participant is seeded with its `chunk_range` partition, executes its
-/// own deque LIFO in schedule-sized bites (the tail is pushed back
-/// before the bite runs, so it stays stealable), and when empty steals
-/// the oldest chunk from the richest victim. Host-independent, like
+/// (the pool's default since the work-stealing rewrite) — see
+/// [`cmm_forkjoin::deque_makespan`]. Host-independent, like
 /// [`modeled_makespan`]; the pair shows stealing never loses to the
-/// shared counter on this workload.
+/// shared counter on this workload. STATIC_GRAIN matches
+/// `TilePolicy::from_geometry` on the 256K-L2 default; only its being
+/// larger than ROWS matters here (static seeds never split).
 fn modeled_makespan_deque(schedule: Schedule) -> (u64, u64, Vec<u64>) {
-    // Matches TilePolicy::from_geometry on the 256K-L2 default; only its
-    // being larger than ROWS matters here (static seeds never split).
     const STATIC_GRAIN: usize = 2048;
-    let cost = |row: usize| (row + 1) as u64;
-    let total: u64 = (0..ROWS).map(cost).sum();
-    let weight =
-        |d: &VecDeque<(usize, usize)>| d.iter().map(|&(s, e)| (s..e).map(cost).sum::<u64>()).sum::<u64>();
-    let mut deques: Vec<VecDeque<(usize, usize)>> = (0..THREADS)
-        .map(|t| {
-            let r = chunk_range(ROWS, THREADS, t);
-            let mut d = VecDeque::new();
-            if !r.is_empty() {
-                d.push_back((r.start, r.end));
-            }
-            d
-        })
-        .collect();
-    let mut vt = vec![0u64; THREADS];
-    loop {
-        // Every unclaimed row lives in some deque (tails are pushed back
-        // eagerly), so all-empty means the region is drained.
-        let who = (0..THREADS).min_by_key(|&t| vt[t]).expect("participants");
-        let chunk = deques[who].pop_back().or_else(|| {
-            (0..THREADS)
-                .filter(|&v| !deques[v].is_empty())
-                .max_by_key(|&v| weight(&deques[v]))
-                .and_then(|v| deques[v].pop_front())
-        });
-        let Some((start, end)) = chunk else { break };
-        let len = end - start;
-        let bite = match schedule {
-            Schedule::Static => len.min(STATIC_GRAIN),
-            Schedule::Dynamic { chunk } => chunk.max(1).min(len),
-            Schedule::Guided { min_chunk } => (len / THREADS).max(min_chunk).max(1).min(len),
-        };
-        if start + bite < end {
-            deques[who].push_back((start + bite, end));
-        }
-        vt[who] += (start..start + bite).map(cost).sum::<u64>();
-    }
-    let makespan = *vt.iter().max().unwrap();
-    (makespan, total.div_ceil(THREADS as u64), vt)
+    let m = deque_makespan(&row_costs(), schedule, THREADS, STATIC_GRAIN);
+    (m.makespan, m.ideal, m.per_participant)
 }
 
 struct Measured {

@@ -1,0 +1,121 @@
+//! Autotuner bench (ROADMAP item 2): runs `cmm_tune::tune` on both
+//! checked-in profile targets and writes `BENCH_tune.json` at the
+//! workspace root.
+//!
+//! The headline numbers are *modeled* and host-independent — baseline
+//! vs tuned virtual-cost (probe fuel + deque-makespan model, default
+//! cache geometry), the winning directives per site, and whether the
+//! jointly tuned program verified — so the artifact gates in
+//! `tests/bench_regression.rs` can run on every `cargo test`. Wall
+//! time of the tune call itself is recorded as `median_tune_nanos`
+//! for trend-watching only.
+
+use cmm_bench::config;
+use cmm_tune::{tune, CandidateStatus, TuneConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const SEED: u64 = 42;
+const THREADS: usize = 4;
+
+const PROGRAMS: &[(&str, &str)] = &[
+    ("imbalanced.xc", include_str!("../../../examples/imbalanced.xc")),
+    ("pipeline_profile.xc", include_str!("../../../examples/pipeline_profile.xc")),
+];
+
+fn cfg_for(name: &str) -> TuneConfig {
+    TuneConfig { seed: SEED, threads: THREADS, program: name.into(), ..TuneConfig::default() }
+}
+
+fn median(mut v: Vec<u64>) -> u64 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_trajectory() {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"cmm-bench-tune-v1\",\n");
+    out.push_str("  \"generated_by\": \"cargo bench -p cmm-bench --bench tune\",\n");
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str(&format!("  \"threads\": {THREADS},\n"));
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    ));
+    out.push_str("  \"note\": \"modeled numbers are host-independent (probe fuel + deque makespan, default geometry); only median_tune_nanos is wall time\",\n");
+    out.push_str("  \"programs\": {\n");
+    for (pi, (name, src)) in PROGRAMS.iter().enumerate() {
+        const REPS: usize = 3;
+        let mut nanos = Vec::new();
+        let mut outcome = None;
+        for _ in 0..REPS {
+            let t0 = std::time::Instant::now();
+            let o = tune(src, &cfg_for(name)).expect("tune");
+            nanos.push(t0.elapsed().as_nanos() as u64);
+            outcome = Some(o);
+        }
+        let o = outcome.expect("at least one rep");
+        out.push_str(&format!("    \"{name}\": {{\n"));
+        out.push_str(&format!("      \"baseline_modeled_cost\": {},\n", o.baseline_cost));
+        out.push_str(&format!("      \"tuned_modeled_cost\": {},\n", o.tuned_cost));
+        out.push_str(&format!(
+            "      \"improvement_pct\": {:.1},\n",
+            if o.baseline_cost == 0 {
+                0.0
+            } else {
+                100.0 * (o.baseline_cost as f64 - o.tuned_cost as f64) / o.baseline_cost as f64
+            }
+        ));
+        out.push_str(&format!("      \"changed\": {},\n", o.changed));
+        out.push_str(&format!("      \"verified\": {},\n", o.verified));
+        out.push_str("      \"sites\": [\n");
+        for (si, s) in o.sites.iter().enumerate() {
+            let winner = &s.candidates[s.winner];
+            let scored = s
+                .candidates
+                .iter()
+                .filter(|c| matches!(c.status, CandidateStatus::Scored { .. }))
+                .count();
+            let comma = if si + 1 < o.sites.len() { "," } else { "" };
+            out.push_str(&format!(
+                "        {{\"target\": \"{}\", \"winner\": \"{}\", \"candidates\": {}, \"scored\": {}}}{comma}\n",
+                esc(&s.site.target),
+                esc(&winner.rendered),
+                s.candidates.len(),
+                scored
+            ));
+        }
+        out.push_str("      ],\n");
+        out.push_str(&format!("      \"median_tune_nanos\": {}\n", median(nanos)));
+        let comma = if pi + 1 < PROGRAMS.len() { "," } else { "" };
+        out.push_str(&format!("    }}{comma}\n"));
+    }
+    out.push_str("  }\n");
+    out.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tune.json");
+    std::fs::write(path, out).expect("write BENCH_tune.json");
+    eprintln!("wrote {path}");
+}
+
+fn bench(c: &mut Criterion) {
+    write_trajectory();
+
+    let mut g = c.benchmark_group("tune");
+    let (name, src) = PROGRAMS[0];
+    g.bench_function("tune_imbalanced", |b| {
+        b.iter(|| tune(src, &cfg_for(name)).expect("tune"))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

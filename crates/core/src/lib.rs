@@ -35,7 +35,9 @@ use cmm_lang::{
     build_program, check_program, fuse_slice_indices, has_fusable_slice_index, host_ag, host_grammar, lower_program,
     LowerOptions,
 };
-use cmm_loopir::{emit, EmitError, Interp, InterpError, IrProgram, IrStmt, LimitKind, Limits, Tier};
+use cmm_loopir::{
+    emit, EmitError, Interp, InterpError, IrProgram, IrStmt, LimitKind, Limits, LoopCost, Tier,
+};
 
 pub use cmm_lang::typecheck::ExtSet as EnabledExtensions;
 
@@ -545,6 +547,31 @@ impl Compiler {
             allocations: interp.alloc_count(),
             leaked: interp.live_buffers(),
         })
+    }
+
+    /// Deterministic loop-cost probe (the `cmm-tune` measurement mode):
+    /// compile and execute on a single thread, tree tier, with
+    /// [`Interp::with_cost_probe`] enabled — parallel loops run
+    /// sequentially and record per-iteration fuel. Returns the run
+    /// result, the per-loop cost records, and the total fuel consumed.
+    /// Everything returned is a pure function of `(src, limits)`.
+    pub fn run_cost_probe(
+        &self,
+        src: &str,
+        limits: Limits,
+    ) -> Result<(RunResult, Vec<LoopCost>, u64), CompileError> {
+        let ir = self.compile(src)?;
+        let interp = Interp::new(&ir, 1)
+            .with_limits(limits)
+            .with_tier(Tier::Tree)
+            .with_cost_probe(true);
+        interp.run_main().map_err(map_interp_error)?;
+        let result = RunResult {
+            output: interp.output(),
+            allocations: interp.alloc_count(),
+            leaked: interp.live_buffers(),
+        };
+        Ok((result, interp.loop_costs(), interp.steps_used()))
     }
 
     /// [`Compiler::run_with_limits`] with full observability: compile

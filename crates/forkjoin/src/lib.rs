@@ -59,10 +59,12 @@ use std::time::{Duration, Instant};
 
 pub(crate) mod deque;
 pub mod faultinject;
+pub mod makespan;
 mod partition;
 pub mod schedule;
 pub mod tile;
 pub use deque::CachePadded;
+pub use makespan::{counter_makespan, deque_makespan, Makespan};
 pub use partition::{chunk_range, chunks_of};
 pub use schedule::{next_chunk, ParseScheduleError, Schedule};
 pub use tile::{cache_geometry, CacheGeometry, TilePolicy, DEFAULT_GEOMETRY};

@@ -27,9 +27,22 @@
 
 use cmm_ast::builder as b;
 use cmm_ast::{
-    BinOp, ElemKind, Expr, FoldKind, Function, IndexExpr, ScheduleKind, Stmt, TransformSpec, Type,
+    BinOp, ElemKind, Expr, FoldKind, Function, IndexExpr, Stmt, TransformSpec, Type,
 };
+use cmm_tune::search::{self, DirectiveRng};
 use proptest::test_runner::TestRng;
+
+/// Adapter driving the shared directive sampler (`cmm_tune::search`)
+/// with the fuzzer's proptest rng. The trait's default draw helpers are
+/// byte-for-byte the same arithmetic as [`Gen`]'s own, so delegating
+/// directive selection leaves every generated stream unchanged.
+struct RngRef<'a>(&'a mut TestRng);
+
+impl DirectiveRng for RngRef<'_> {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
 
 /// Bound for scalar int variables: every assignment reduces `% 97`.
 const INT_MOD: i64 = 97;
@@ -520,48 +533,13 @@ impl Gen {
     }
 
     /// A coherent directive list over a 2-D loop nest with indices
-    /// `i`, `j` — every referenced index names an actual loop.
+    /// `i`, `j` — every referenced index names an actual loop. The
+    /// shape itself comes from the shared sampler the autotuner also
+    /// explores with ([`cmm_tune::search::sample_rank2`]).
     fn transforms_for(&mut self, i: &str, j: &str) -> Vec<TransformSpec> {
         let inner = self.fresh("in");
         let outer = self.fresh("out");
-        let f = self.int_in(2, 4);
-        match self.below(8) {
-            0 => vec![TransformSpec::Parallelize { index: i.to_string() }],
-            1 => {
-                let kind = *self.pick(&[ScheduleKind::Static, ScheduleKind::Dynamic, ScheduleKind::Guided]);
-                let chunk = match kind {
-                    ScheduleKind::Static => None,
-                    ScheduleKind::Dynamic => Some(self.int_in(1, 4)),
-                    ScheduleKind::Guided => {
-                        if self.chance(50) {
-                            Some(self.int_in(1, 2))
-                        } else {
-                            None
-                        }
-                    }
-                };
-                vec![TransformSpec::Schedule { index: i.to_string(), kind, chunk }]
-            }
-            2 => vec![TransformSpec::Split {
-                index: j.to_string(),
-                by: f,
-                inner,
-                outer,
-            }],
-            3 => vec![
-                TransformSpec::Split { index: j.to_string(), by: f, inner, outer },
-                TransformSpec::Parallelize { index: i.to_string() },
-            ],
-            4 => vec![TransformSpec::Tile {
-                i: i.to_string(),
-                j: j.to_string(),
-                bi: self.int_in(2, 4),
-                bj: self.int_in(2, 4),
-            }],
-            5 => vec![TransformSpec::Interchange { a: i.to_string(), b: j.to_string() }],
-            6 => vec![TransformSpec::Reorder { order: vec![j.to_string(), i.to_string()] }],
-            _ => vec![TransformSpec::Unroll { index: j.to_string(), by: f }],
-        }
+        search::sample_rank2(&mut RngRef(&mut self.rng), i, j, &inner, &outer)
     }
 
     /// Rank-1 transformed with-assign (split / unroll / schedule).
@@ -578,21 +556,7 @@ impl Gen {
         let with = b::with_genarray(gen, vec![b::var_ref(&nvar)], body);
         let inner = self.fresh("in");
         let outer = self.fresh("out");
-        let transforms = match self.below(4) {
-            0 => vec![TransformSpec::Split {
-                index: iv.clone(),
-                by: self.int_in(2, 4),
-                inner,
-                outer,
-            }],
-            1 => vec![TransformSpec::Unroll { index: iv.clone(), by: self.int_in(2, 4) }],
-            2 => vec![TransformSpec::Parallelize { index: iv.clone() }],
-            _ => {
-                let kind = *self.pick(&[ScheduleKind::Dynamic, ScheduleKind::Guided]);
-                let chunk = if kind == ScheduleKind::Dynamic { Some(self.int_in(1, 4)) } else { None };
-                vec![TransformSpec::Schedule { index: iv.clone(), kind, chunk }]
-            }
-        };
+        let transforms = search::sample_rank1(&mut RngRef(&mut self.rng), &iv, &inner, &outer);
         out.push(b::decl(ty.clone(), &name, b::init_matrix(ty, vec![b::var_ref(&nvar)])));
         out.push(b::assign_transformed(b::lv_var(&name), with, transforms));
         self.mats.push(Mat { name, elem: ElemKind::Int, extents: vec![nval], derived: false });

@@ -8,10 +8,11 @@
 //!   over the whole composed surface (scalars, matrices with
 //!   `with`-loops / `matrixMap` / slices, tuples, rc-pointers,
 //!   `spawn`/`sync`, and every `transform` directive);
-//! * [`oracle`] cross-checks each program down five independent paths
+//! * [`oracle`] cross-checks each program down six independent paths
 //!   (untransformed reference, every schedule policy × thread count,
-//!   metered execution, tree-walker vs bytecode-VM tier, gcc-compiled
-//!   emitted C) and requires bitwise identical output;
+//!   metered execution, tree-walker vs bytecode-VM tier, fixed-seed
+//!   autotuned rewrite, gcc-compiled emitted C) and requires bitwise
+//!   identical output;
 //! * [`minimize`] delta-reduces any disagreement to a small reproducer,
 //!   which [`fuzz`] writes into a corpus directory replayed by
 //!   `tests/corpus_regressions.rs` on every `cargo test`.
@@ -36,7 +37,7 @@ pub struct FuzzConfig {
     pub seed: u64,
     /// Number of generated programs to check.
     pub cases: u32,
-    /// Oracles to run (default: all five).
+    /// Oracles to run (default: all six).
     pub oracles: Vec<OracleKind>,
     /// Where to write minimized reproducers (`tests/corpus/` in the
     /// repo); `None` disables corpus writing.
@@ -186,6 +187,7 @@ mod tests {
         assert_eq!(outcome.counts.schedule, 25 * 15);
         assert_eq!(outcome.counts.limits, 25);
         assert_eq!(outcome.counts.vm, 25);
+        assert_eq!(outcome.counts.tuned, 25);
     }
 
     /// Distinct seeds explore distinct programs (weak but cheap

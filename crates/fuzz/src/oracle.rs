@@ -1,4 +1,4 @@
-//! The five differential oracles and the harness that runs them.
+//! The six differential oracles and the harness that runs them.
 //!
 //! Baseline: the optimized pipeline (default [`LowerOptions`])
 //! interpreted with 2 pool threads under the static schedule on the
@@ -16,7 +16,13 @@
 //! 4. **vm** — the tree-walking interpreter re-runs the program as the
 //!    reference oracle for the bytecode VM baseline: identical output,
 //!    allocation/leak counts, and compiled IR are required.
-//! 5. **gcc** — the emitted C compiled with gcc and executed, when a C
+//! 5. **tuned** — `cmm_tune::tune` with a fixed seed and a small
+//!    budget rewrites the program's directives; the tuned source must
+//!    reproduce the untuned baseline output bitwise and leak-free, and
+//!    no candidate the tuner probes may diverge semantically. The
+//!    autotuner searches the same directive space the generator
+//!    samples, so every case doubles as a tuner-correctness check.
+//! 6. **gcc** — the emitted C compiled with gcc and executed, when a C
 //!    toolchain is present (skipped, not failed, otherwise).
 
 use cmm_ast::{Block, Program, Stmt};
@@ -39,16 +45,19 @@ pub enum OracleKind {
     Limits,
     /// Bytecode-VM baseline vs. the tree-walking reference interpreter.
     Vm,
+    /// Autotuned (fixed-seed `cmm_tune::tune`) vs. untuned run.
+    Tuned,
     /// Interpreter vs. gcc-compiled emitted C.
     Gcc,
 }
 
-/// All five oracles, in check order (gcc last — it is the slowest).
-pub const ALL_ORACLES: [OracleKind; 5] = [
+/// All six oracles, in check order (gcc last — it is the slowest).
+pub const ALL_ORACLES: [OracleKind; 6] = [
     OracleKind::Transform,
     OracleKind::Schedule,
     OracleKind::Limits,
     OracleKind::Vm,
+    OracleKind::Tuned,
     OracleKind::Gcc,
 ];
 
@@ -60,6 +69,7 @@ impl OracleKind {
             OracleKind::Schedule => "schedule",
             OracleKind::Limits => "limits",
             OracleKind::Vm => "vm",
+            OracleKind::Tuned => "tuned",
             OracleKind::Gcc => "gcc",
         }
     }
@@ -99,6 +109,8 @@ pub struct CheckCounts {
     pub limits: u64,
     /// Vm-oracle comparisons run (tree-walker reference re-runs).
     pub vm: u64,
+    /// Tuned-oracle comparisons run (autotune + tuned re-run).
+    pub tuned: u64,
     /// Gcc-oracle comparisons run (0 when gcc is absent).
     pub gcc: u64,
 }
@@ -110,6 +122,7 @@ impl CheckCounts {
         self.schedule += o.schedule;
         self.limits += o.limits;
         self.vm += o.vm;
+        self.tuned += o.tuned;
         self.gcc += o.gcc;
     }
 }
@@ -150,6 +163,11 @@ const BOUNDED_GCC_TIMEOUT: Duration = Duration::from_secs(20);
 ///
 /// [`minimize`]: crate::minimize::minimize
 pub const LIMIT_EXCEEDED_MARKER: &str = "limit exceeded (";
+
+/// Fixed seed for the tuned oracle's exploration candidates, so every
+/// campaign tunes a given case identically (the campaign's own seed
+/// already varies the *programs*).
+pub const TUNED_ORACLE_SEED: u64 = 0x7u64;
 
 /// Remove every `transform` clause from the program, recursively.
 pub fn strip_transforms(prog: &Program) -> Program {
@@ -282,6 +300,10 @@ impl Harness {
                 OracleKind::Vm => {
                     self.check_vm(src, &base, bounded)?;
                     counts.vm += 1;
+                }
+                OracleKind::Tuned => {
+                    self.check_tuned(src, &base, bounded)?;
+                    counts.tuned += 1;
                 }
                 OracleKind::Gcc => {
                     if self.gcc {
@@ -462,6 +484,75 @@ impl Harness {
             return Err(fail(format!(
                 "buffer accounting differs between tiers: tree {}/{} alloc/leaked, vm {}/{}",
                 reference.allocations, reference.leaked, base.allocations, base.leaked
+            )));
+        }
+        Ok(())
+    }
+
+    /// Autotune the program with a fixed seed and a small budget, then
+    /// require the tuned source to reproduce the untuned baseline
+    /// bitwise and leak-free. Three classes of tuner bug surface here:
+    /// a probed candidate whose output diverges (an unsound transform
+    /// the legality checks let through), a candidate that leaks (rc
+    /// insertion broken under rewritten directives), and a joint
+    /// application that fails where every per-site candidate passed.
+    fn check_tuned(
+        &self,
+        src: &str,
+        base: &cmm_core::RunResult,
+        bounded: bool,
+    ) -> Result<(), Failure> {
+        let fail = |detail: String| Failure { oracle: Some(OracleKind::Tuned), detail };
+        let cfg = cmm_tune::TuneConfig {
+            seed: TUNED_ORACLE_SEED,
+            budget: 6,
+            threads: 2,
+            max_sites: 2,
+            probe_fuel: if bounded { 20_000_000 } else { 50_000_000 },
+            program: String::from("<fuzz-case>"),
+            ..cmm_tune::TuneConfig::default()
+        };
+        let outcome = cmm_tune::tune(src, &cfg)
+            .map_err(|e| fail(format!("tuner failed on a program the baseline ran: {e}")))?;
+        for site in &outcome.sites {
+            for c in &site.candidates {
+                if let cmm_tune::CandidateStatus::Failed { error } = &c.status {
+                    // Probe-budget exhaustion is a legitimate candidate
+                    // failure; semantic divergence and leaks are not.
+                    if !error.contains(LIMIT_EXCEEDED_MARKER) {
+                        return Err(fail(format!(
+                            "candidate `{}` at site {} ({}) failed semantically: {error}",
+                            c.rendered, site.site.id, site.site.target
+                        )));
+                    }
+                }
+            }
+        }
+        if !outcome.verified {
+            return Err(fail(String::from(
+                "joint tuned program failed verification where every per-site candidate passed",
+            )));
+        }
+        if !outcome.changed {
+            return Ok(()); // tuned source is the input; nothing new to run
+        }
+        let tuned = if bounded {
+            self.opt.run_with_limits(&outcome.tuned_source, 2, bounded_limits())
+        } else {
+            self.opt.run(&outcome.tuned_source, 2)
+        }
+        .map_err(|e| fail(format!("tuned source failed to run: {e}")))?;
+        if tuned.output != base.output {
+            return Err(fail(format!(
+                "tuned output differs from untuned baseline\n\
+                 --- untuned\n{}\n--- tuned\n{}\n--- tuned source\n{}",
+                base.output, tuned.output, outcome.tuned_source
+            )));
+        }
+        if tuned.leaked != 0 {
+            return Err(fail(format!(
+                "tuned run leaked {} buffer(s)\n--- tuned source\n{}",
+                tuned.leaked, outcome.tuned_source
             )));
         }
         Ok(())

@@ -561,6 +561,31 @@ pub struct Interp<'p> {
     /// Process-default scheduling policy for parallel loops that don't
     /// pin one with a `schedule(...)` directive (`cmmc run --schedule`).
     pub(crate) schedule: Schedule,
+    /// Loop-cost probe switch ([`Interp::with_cost_probe`]): parallel
+    /// loops execute sequentially and record per-iteration fuel.
+    cost_probe: bool,
+    /// Parallel-loop nesting depth during a probe run; only depth-0
+    /// loops record (inner parallel loops fold into the outer
+    /// iteration's cost, matching how the region dispatches).
+    probe_depth: AtomicU64,
+    /// Per-execution cost records collected by the probe.
+    loop_costs: Mutex<Vec<LoopCost>>,
+}
+
+/// Per-iteration fuel profile of one execution of a parallel loop,
+/// collected by [`Interp::with_cost_probe`]. A loop that executes
+/// several times (e.g. inside a function called repeatedly) contributes
+/// one record per execution; consumers aggregate by `name`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopCost {
+    /// Source name of the loop index variable — the name `transform`
+    /// directives address the loop by.
+    pub name: String,
+    /// Per-loop `schedule(...)` directive, if the program pinned one.
+    pub schedule: Option<Schedule>,
+    /// Interpreter fuel consumed by each iteration, in order (includes
+    /// any nested parallel loops, which the probe runs sequentially).
+    pub iters: Vec<u64>,
 }
 
 impl<'p> Interp<'p> {
@@ -592,6 +617,9 @@ impl<'p> Interp<'p> {
             par_iters: AtomicU64::new(0),
             peak_live_bytes: AtomicU64::new(0),
             schedule: Schedule::Static,
+            cost_probe: false,
+            probe_depth: AtomicU64::new(0),
+            loop_costs: Mutex::new(Vec::new()),
         }
     }
 
@@ -644,6 +672,30 @@ impl<'p> Interp<'p> {
     pub fn with_profiling(mut self, enabled: bool) -> Self {
         self.profile = enabled;
         self
+    }
+
+    /// Enable the loop-cost probe (the `cmm-tune` measurement mode):
+    /// every parallel loop executes *sequentially* on the calling
+    /// thread, and each outermost parallel loop records the fuel
+    /// consumed by each of its iterations into [`Interp::loop_costs`].
+    /// Sequential execution plus the per-statement fuel charges makes
+    /// the recorded costs a pure function of the program — no pool, no
+    /// clock — so a tuner can replay them through the virtual-time
+    /// makespan model deterministically. Forces the tree tier (the VM
+    /// batches fuel per basic block, which would blur iteration
+    /// boundaries); call after [`Interp::with_tier`] if both are used.
+    pub fn with_cost_probe(mut self, enabled: bool) -> Self {
+        self.cost_probe = enabled;
+        if enabled {
+            self.vm = None;
+        }
+        self
+    }
+
+    /// Cost records collected by [`Interp::with_cost_probe`], in
+    /// execution order (empty unless the probe was enabled).
+    pub fn loop_costs(&self) -> Vec<LoopCost> {
+        lock_ignore_poison(&self.loop_costs).clone()
     }
 
     /// Snapshot of the collected profile (empty unless
@@ -733,7 +785,7 @@ impl<'p> Interp<'p> {
     /// attribution snapshots the counter around calls). Totals are
     /// unchanged either way — `steps_used()` reads the same number.
     pub(crate) fn fast_meter(&self) -> bool {
-        self.limits.fuel.is_none() && self.deadline_at.is_none() && !self.profile
+        self.limits.fuel.is_none() && self.deadline_at.is_none() && !self.profile && !self.cost_probe
     }
 
     /// Meter `n` interpreter steps against the fuel and deadline budgets.
@@ -1076,6 +1128,9 @@ impl<'p> Interp<'p> {
     fn exec_for(&self, f: &RFor, frame: &mut Frame) -> IResult<Flow> {
         let lo = self.eval(&f.lo, frame)?.as_i()?;
         let hi = self.eval(&f.hi, frame)?.as_i()?;
+        if self.cost_probe && f.parallel && hi > lo {
+            return self.probe_for(f, frame, lo, hi);
+        }
         if f.parallel && hi > lo {
             // Enhanced fork-join execution: iterations are chunked over the
             // persistent pool. Each participant's private frame is seeded
@@ -1168,6 +1223,49 @@ impl<'p> Interp<'p> {
             }
             Ok(Flow::Normal)
         }
+    }
+
+    /// Cost-probe execution of a parallel loop: sequential, on the
+    /// calling thread, recording per-iteration fuel deltas when this is
+    /// the outermost parallel loop. See [`Interp::with_cost_probe`].
+    fn probe_for(&self, f: &RFor, frame: &mut Frame, lo: i32, hi: i32) -> IResult<Flow> {
+        let record = self.probe_depth.fetch_add(1, Ordering::Relaxed) == 0;
+        let result = (|| {
+            let mut iters = if record {
+                Vec::with_capacity(hi.wrapping_sub(lo) as u32 as usize)
+            } else {
+                Vec::new()
+            };
+            let mut i = lo;
+            while i < hi {
+                let before = self.steps_used();
+                self.charge(1)?;
+                frame.slots[f.var as usize] = Value::I(i);
+                match self.exec_block(&f.body, frame)? {
+                    Flow::Normal => {}
+                    Flow::Return(_) => {
+                        return Err(InterpError::new(
+                            "return inside a parallel loop is not supported",
+                        ))
+                    }
+                }
+                if record {
+                    iters.push(self.steps_used().saturating_sub(before));
+                }
+                i = i.wrapping_add(1);
+            }
+            Ok(iters)
+        })();
+        self.probe_depth.fetch_sub(1, Ordering::Relaxed);
+        let iters = result?;
+        if record {
+            lock_ignore_poison(&self.loop_costs).push(LoopCost {
+                name: f.name.clone(),
+                schedule: f.schedule,
+                iters,
+            });
+        }
+        Ok(Flow::Normal)
     }
 
     fn eval(&self, expr: &RExpr, frame: &mut Frame) -> IResult<Value> {

@@ -31,7 +31,7 @@ pub use cmmx::CmmxError;
 pub use emit::EmitError;
 pub use interp::{
     BufHandle, FnProfile, Interp, InterpError, InterpErrorKind, InterpProfile, LimitKind, Limits,
-    Tier, Value,
+    LoopCost, Tier, Value,
 };
 pub use cmm_forkjoin::{
     schedule::DEFAULT_DYNAMIC_CHUNK, schedule::DEFAULT_GUIDED_MIN_CHUNK, ClaimProtocol,

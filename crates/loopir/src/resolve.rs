@@ -72,6 +72,10 @@ pub(crate) enum RExpr {
 pub(crate) struct RFor {
     /// Slot of the loop index variable.
     pub var: u32,
+    /// Source name of the loop index — kept for the cost probe
+    /// ([`crate::LoopCost`]) so tuning reports name loops the way the
+    /// `transform` directives address them.
+    pub name: String,
     pub lo: RExpr,
     pub hi: RExpr,
     pub body: Vec<RStmt>,
@@ -298,6 +302,7 @@ impl Resolver<'_> {
                 };
                 out.push(RStmt::For(RFor {
                     var,
+                    name: f.var.clone(),
                     lo,
                     hi,
                     body,

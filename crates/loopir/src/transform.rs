@@ -642,6 +642,14 @@ fn reorder(stmts: &mut [IrStmt], order: &[String]) -> Result<(), TransformError>
     let Some(first) = order.first() else {
         return Ok(());
     };
+    // A duplicated index (e.g. `interchange x, x`) would pass the
+    // set-membership check below twice and rebuild the nest with one
+    // loop repeated, silently dropping another.
+    for (k, v) in order.iter().enumerate() {
+        if order[..k].contains(v) {
+            return Err(TransformError::AmbiguousIndex { index: v.clone() });
+        }
+    }
     // The nest's current outermost loop is whichever of `order` is found
     // shallowest; we locate the loop containing all the others.
     let outermost = order

@@ -1,0 +1,327 @@
+//! The directive search space, shared between the autotuner and the
+//! fuzzer.
+//!
+//! ROADMAP item 2 calls for "the fuzzer's well-typed generator doubles
+//! as the search-space mutator": there is exactly one definition of
+//! what a coherent directive set over a loop nest looks like —
+//! [`sample_rank1`] / [`sample_rank2`] — and both consumers draw from
+//! it. `cmm-fuzz` drives it with its proptest `TestRng` (through the
+//! [`DirectiveRng`] adapter) to stress the compiler with random but
+//! well-formed directives; `cmm-tune` drives it with the seeded
+//! [`TuneRng`] to extend its deterministic candidate grid with sampled
+//! exploration candidates. A directive shape the tuner can propose is
+//! therefore by construction a shape the fuzzer has hammered.
+
+use cmm_ast::{ScheduleKind, TransformSpec};
+
+/// Source of randomness for directive sampling. The default methods
+/// mirror the fuzz generator's helpers exactly (same arithmetic over
+/// `next_u64`), so a `TestRng`-backed adapter and [`TuneRng`] walk the
+/// same decision tree for the same underlying stream.
+pub trait DirectiveRng {
+    /// Next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform in `0..n` (`n` clamped to at least 1).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    /// Uniform in `lo..=hi`.
+    fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo + 1) as u64) as i64
+    }
+
+    /// True with probability `percent`/100.
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+
+    /// Uniform pick from a slice.
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T
+    where
+        Self: Sized,
+    {
+        let i = self.below(items.len() as u64) as usize;
+        &items[i]
+    }
+}
+
+/// Self-contained seeded generator (SplitMix64) for the tuner's
+/// exploration candidates — no dependency on the vendored proptest, so
+/// `cmm-fuzz` can depend on this crate without a cycle.
+#[derive(Debug, Clone)]
+pub struct TuneRng(u64);
+
+impl TuneRng {
+    /// Seeded construction; the whole draw stream is a pure function of
+    /// the seed.
+    pub fn new(seed: u64) -> Self {
+        TuneRng(seed)
+    }
+}
+
+impl DirectiveRng for TuneRng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele et al.): full-period, passes BigCrush, two
+        // multiplications — plenty for candidate sampling.
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A coherent directive list over a rank-2 loop nest with indices `i`
+/// (outer) and `j` (inner); `inner`/`outer` are the fresh names a
+/// `split` introduces. Every referenced index names an actual loop, so
+/// samples are well-formed by construction (they can still be pruned by
+/// the legality checks, e.g. `tile` on an imperfect nest).
+pub fn sample_rank2<R: DirectiveRng>(
+    rng: &mut R,
+    i: &str,
+    j: &str,
+    inner: &str,
+    outer: &str,
+) -> Vec<TransformSpec> {
+    let f = rng.int_in(2, 4);
+    match rng.below(8) {
+        0 => vec![TransformSpec::Parallelize { index: i.to_string() }],
+        1 => {
+            let kind = *rng.pick(&[ScheduleKind::Static, ScheduleKind::Dynamic, ScheduleKind::Guided]);
+            let chunk = match kind {
+                ScheduleKind::Static => None,
+                ScheduleKind::Dynamic => Some(rng.int_in(1, 4)),
+                ScheduleKind::Guided => {
+                    if rng.chance(50) {
+                        Some(rng.int_in(1, 2))
+                    } else {
+                        None
+                    }
+                }
+            };
+            vec![TransformSpec::Schedule { index: i.to_string(), kind, chunk }]
+        }
+        2 => vec![TransformSpec::Split {
+            index: j.to_string(),
+            by: f,
+            inner: inner.to_string(),
+            outer: outer.to_string(),
+        }],
+        3 => vec![
+            TransformSpec::Split {
+                index: j.to_string(),
+                by: f,
+                inner: inner.to_string(),
+                outer: outer.to_string(),
+            },
+            TransformSpec::Parallelize { index: i.to_string() },
+        ],
+        4 => vec![TransformSpec::Tile {
+            i: i.to_string(),
+            j: j.to_string(),
+            bi: rng.int_in(2, 4),
+            bj: rng.int_in(2, 4),
+        }],
+        5 => vec![TransformSpec::Interchange { a: i.to_string(), b: j.to_string() }],
+        6 => vec![TransformSpec::Reorder { order: vec![j.to_string(), i.to_string()] }],
+        _ => vec![TransformSpec::Unroll { index: j.to_string(), by: f }],
+    }
+}
+
+/// A coherent directive list over a rank-1 loop with index `i`;
+/// `inner`/`outer` as in [`sample_rank2`].
+pub fn sample_rank1<R: DirectiveRng>(
+    rng: &mut R,
+    i: &str,
+    inner: &str,
+    outer: &str,
+) -> Vec<TransformSpec> {
+    match rng.below(4) {
+        0 => vec![TransformSpec::Split {
+            index: i.to_string(),
+            by: rng.int_in(2, 4),
+            inner: inner.to_string(),
+            outer: outer.to_string(),
+        }],
+        1 => vec![TransformSpec::Unroll { index: i.to_string(), by: rng.int_in(2, 4) }],
+        2 => vec![TransformSpec::Parallelize { index: i.to_string() }],
+        _ => {
+            let kind = *rng.pick(&[ScheduleKind::Dynamic, ScheduleKind::Guided]);
+            let chunk = if kind == ScheduleKind::Dynamic {
+                Some(rng.int_in(1, 4))
+            } else {
+                None
+            };
+            vec![TransformSpec::Schedule { index: i.to_string(), kind, chunk }]
+        }
+    }
+}
+
+fn sched(index: &str, kind: ScheduleKind, chunk: Option<i64>) -> TransformSpec {
+    TransformSpec::Schedule { index: index.to_string(), kind, chunk }
+}
+
+/// The deterministic candidate grid for a site with generator indices
+/// `indices` (outermost first). Ordered by how often each shape wins in
+/// practice, so truncating to a small budget keeps the load-bearing
+/// candidates: the empty set (the compiler's auto-parallel default),
+/// the canonical hand-written `schedule i dynamic, 4`, the other
+/// schedules, then structural transforms. `tile_edge` is the
+/// cache-derived tile edge ([`cmm_forkjoin::TilePolicy::matmul_tile`]).
+///
+/// The grid deliberately includes combinations the legality checks must
+/// arbitrate (tile + schedule of the tiled outer loop, split + schedule
+/// of the split product); pruned entries are reported, not hidden.
+pub fn candidate_grid(indices: &[String], tile_edge: usize) -> Vec<Vec<TransformSpec>> {
+    let mut out: Vec<Vec<TransformSpec>> = Vec::new();
+    let Some(i) = indices.first().cloned() else {
+        return out;
+    };
+    out.push(Vec::new());
+    out.push(vec![sched(&i, ScheduleKind::Dynamic, Some(4))]);
+    out.push(vec![sched(&i, ScheduleKind::Dynamic, Some(1))]);
+    out.push(vec![sched(&i, ScheduleKind::Dynamic, Some(2))]);
+    out.push(vec![sched(&i, ScheduleKind::Guided, None)]);
+    out.push(vec![sched(&i, ScheduleKind::Static, None)]);
+    out.push(vec![TransformSpec::Parallelize { index: i.clone() }]);
+    if let Some(j) = indices.get(1).cloned() {
+        let small = 4.min(tile_edge as i64).max(2);
+        let big = (tile_edge as i64).clamp(8, 32);
+        out.push(vec![TransformSpec::Tile { i: i.clone(), j: j.clone(), bi: small, bj: small }]);
+        out.push(vec![TransformSpec::Tile { i: i.clone(), j: j.clone(), bi: big, bj: big }]);
+        // Composition: tile, then self-schedule the tiled outer row loop
+        // (`tile` names it `{i}_out`).
+        out.push(vec![
+            TransformSpec::Tile { i: i.clone(), j: j.clone(), bi: small, bj: small },
+            sched(&format!("{i}_out"), ScheduleKind::Dynamic, Some(1)),
+        ]);
+        // Composition: split the inner loop, self-schedule the outer.
+        out.push(vec![
+            TransformSpec::Split {
+                index: j.clone(),
+                by: 4,
+                inner: format!("{j}_ti"),
+                outer: format!("{j}_to"),
+            },
+            sched(&i, ScheduleKind::Dynamic, Some(1)),
+        ]);
+        out.push(vec![TransformSpec::Split {
+            index: j.clone(),
+            by: 2,
+            inner: format!("{j}_ti"),
+            outer: format!("{j}_to"),
+        }]);
+        out.push(vec![TransformSpec::Interchange { a: i.clone(), b: j.clone() }]);
+        out.push(vec![TransformSpec::Unroll { index: j.clone(), by: 4 }]);
+        out.push(vec![TransformSpec::Unroll { index: j, by: 2 }]);
+    } else {
+        out.push(vec![
+            TransformSpec::Split {
+                index: i.clone(),
+                by: 4,
+                inner: format!("{i}_ti"),
+                outer: format!("{i}_to"),
+            },
+            sched(&format!("{i}_to"), ScheduleKind::Dynamic, Some(1)),
+        ]);
+        out.push(vec![TransformSpec::Split {
+            index: i.clone(),
+            by: 4,
+            inner: format!("{i}_ti"),
+            outer: format!("{i}_to"),
+        }]);
+        out.push(vec![TransformSpec::Unroll { index: i.clone(), by: 4 }]);
+        out.push(vec![TransformSpec::Unroll { index: i, by: 2 }]);
+    }
+    out
+}
+
+/// Sampled exploration candidates extending [`candidate_grid`] up to a
+/// budget: `count` draws from the shared sampler, with fresh split
+/// names namespaced per draw so two samples never collide.
+pub fn sampled_candidates(
+    rng: &mut TuneRng,
+    indices: &[String],
+    count: usize,
+) -> Vec<Vec<TransformSpec>> {
+    let mut out = Vec::with_capacity(count);
+    for k in 0..count {
+        let cand = match indices {
+            [i] => sample_rank1(rng, i, &format!("{i}_s{k}i"), &format!("{i}_s{k}o")),
+            [i, j, ..] => sample_rank2(rng, i, j, &format!("{j}_s{k}i"), &format!("{j}_s{k}o")),
+            [] => Vec::new(),
+        };
+        out.push(cand);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tunerng_is_deterministic() {
+        let mut a = TuneRng::new(7);
+        let mut b = TuneRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TuneRng::new(8);
+        assert_ne!(TuneRng::new(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn samples_reference_only_known_indices() {
+        let mut rng = TuneRng::new(1);
+        for _ in 0..200 {
+            let ts = sample_rank2(&mut rng, "i", "j", "in1", "out1");
+            assert!(!ts.is_empty());
+            let mut known = vec!["i".to_string(), "j".to_string()];
+            for t in &ts {
+                // A split introduces its product names for later directives.
+                for idx in t.referenced_indices() {
+                    assert!(known.contains(&idx.to_string()), "unknown index {idx} in {ts:?}");
+                }
+                if let TransformSpec::Split { inner, outer, .. } = t {
+                    known.push(inner.clone());
+                    known.push(outer.clone());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_starts_with_the_load_bearing_candidates() {
+        let g = candidate_grid(&["i".into(), "j".into()], 48);
+        assert_eq!(g[0], Vec::new());
+        assert!(matches!(
+            &g[1][..],
+            [TransformSpec::Schedule { kind: ScheduleKind::Dynamic, chunk: Some(4), .. }]
+        ));
+        // The grid includes at least one tile+schedule composition.
+        assert!(g.iter().any(|c| c.len() == 2
+            && matches!(c[0], TransformSpec::Tile { .. })
+            && matches!(c[1], TransformSpec::Schedule { .. })));
+        // Rank-1 grids still lead with the schedules.
+        let g1 = candidate_grid(&["i".into()], 48);
+        assert!(g1.len() >= 8);
+    }
+
+    #[test]
+    fn sampled_candidates_use_distinct_split_names() {
+        let mut rng = TuneRng::new(3);
+        let cands = sampled_candidates(&mut rng, &["i".into(), "j".into()], 32);
+        let mut names = std::collections::HashSet::new();
+        for c in &cands {
+            for t in c {
+                if let TransformSpec::Split { inner, outer, .. } = t {
+                    assert!(names.insert(inner.clone()), "dup split name {inner}");
+                    assert!(names.insert(outer.clone()), "dup split name {outer}");
+                }
+            }
+        }
+    }
+}

@@ -6,8 +6,13 @@
 //! cmmc check program.xc                     # parse + semantic analysis only
 //! cmmc analyses                             # print the §VI analysis verdicts
 //! cmmc fuzz [--seed N] [--cases K]          # differential fuzzing campaign
-//!           [--oracle transform|schedule|limits|vm|gcc]...
+//!           [--oracle transform|schedule|limits|vm|gcc|tuned]...
 //!           [--corpus-dir DIR]              # reproducer dir (default tests/corpus)
+//! cmmc tune program.xc [--seed N]           # autotune transform directives
+//!           [--budget N] [--threads N]      # candidates per site / modeled threads
+//!           [--apply] [-o FILE]             # emit tuned source (stdout or FILE)
+//!           [--report FILE]                 # write the report JSON to FILE
+//!           [--host-geometry]               # model probed caches, not defaults
 //! cmmc serve ADDR                           # multi-tenant compile/run daemon
 //!           [--unix PATH] [--workers N] [--max-in-flight N]
 //!           [--queue-deadline-ms N] [--drain-deadline-ms N]
@@ -46,13 +51,15 @@ const EXIT_LIMIT: u8 = 5;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cmmc <run|emit|check|analyses|fuzz|serve> [file.xc|addr] [options]\n\
+        "usage: cmmc <run|emit|check|analyses|fuzz|tune|serve> [file.xc|addr] [options]\n\
          options: --ext a,b,c | --threads N | -o out.c | --no-parallel | --no-fusion\n\
          \x20        --fuel N | --max-mem BYTES[k|m|g] | --deadline-ms N\n\
          \x20        --schedule static|dynamic[:N]|guided[:N] | --tier vm|tree\n\
          \x20        --profile | --metrics-json FILE\n\
-         fuzz:    --seed N | --cases K | --oracle transform|schedule|limits|gcc|vm\n\
+         fuzz:    --seed N | --cases K | --oracle transform|schedule|limits|gcc|vm|tuned\n\
          \x20        --corpus-dir DIR\n\
+         tune:    --seed N | --budget N | --threads N | --apply | -o FILE\n\
+         \x20        --report FILE | --host-geometry\n\
          serve:   --unix PATH | --workers N | --max-in-flight N\n\
          \x20        --queue-deadline-ms N | --drain-deadline-ms N\n\
          \x20        --max-deadline-ms N | --session-threads N\n\
@@ -219,7 +226,7 @@ fn fuzz_command(args: &[String]) -> ExitCode {
     let names: Vec<&str> = cfg.oracles.iter().map(|o| o.name()).collect();
     println!(
         "fuzz: seed {} · {} case(s) · oracles [{}] · comparisons: \
-         transform {}, schedule {}, limits {}, vm {}, gcc {}",
+         transform {}, schedule {}, limits {}, vm {}, tuned {}, gcc {}",
         cfg.seed,
         outcome.cases,
         names.join(", "),
@@ -227,6 +234,7 @@ fn fuzz_command(args: &[String]) -> ExitCode {
         outcome.counts.schedule,
         outcome.counts.limits,
         outcome.counts.vm,
+        outcome.counts.tuned,
         outcome.counts.gcc,
     );
     if outcome.findings.is_empty() {
@@ -243,6 +251,104 @@ fn fuzz_command(args: &[String]) -> ExitCode {
     }
     eprintln!("\nfuzz: {} finding(s)", outcome.findings.len());
     ExitCode::from(EXIT_RUNTIME)
+}
+
+/// `cmmc tune`: autotune transform directives for a program. Without
+/// `--apply`, the report JSON goes to stdout; with it, the tuned source
+/// goes to stdout (or `-o FILE`) and the report to `--report FILE`.
+fn tune_command(args: &[String]) -> ExitCode {
+    use cmm::tune::{tune, TuneConfig, TuneError};
+
+    let mut cfg = TuneConfig::default();
+    let mut file: Option<String> = None;
+    let mut apply = false;
+    let mut out_file: Option<String> = None;
+    let mut report_file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                cfg.seed = v;
+            }
+            "--budget" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()).filter(|&v: &usize| v > 0)
+                else {
+                    return usage();
+                };
+                cfg.budget = v;
+            }
+            "--threads" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()).filter(|&v: &usize| v > 0)
+                else {
+                    return usage();
+                };
+                cfg.threads = v;
+            }
+            "--fuel" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                cfg.probe_fuel = v;
+            }
+            "--apply" => apply = true,
+            "--host-geometry" => cfg.use_host_geometry = true,
+            "-o" => out_file = it.next().cloned(),
+            "--report" => report_file = it.next().cloned(),
+            other if !other.starts_with('-') && file.is_none() => {
+                file = Some(other.to_string());
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else { return usage() };
+    let src = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cmmc: cannot read {file}: {e}");
+            return ExitCode::from(EXIT_FILE);
+        }
+    };
+    cfg.program = file.clone();
+
+    let outcome = match tune(&src, &cfg) {
+        Ok(o) => o,
+        Err(TuneError::Compile(e)) => return fail(&e),
+        Err(e @ TuneError::Baseline(_)) => {
+            eprintln!("cmmc: {e}");
+            return ExitCode::from(EXIT_RUNTIME);
+        }
+    };
+    if let Some(path) = &report_file {
+        if let Err(e) = std::fs::write(path, &outcome.report) {
+            eprintln!("cmmc: cannot write {path}: {e}");
+            return ExitCode::from(EXIT_FILE);
+        }
+    }
+    if apply {
+        match out_file {
+            Some(path) => {
+                if let Err(e) = std::fs::write(&path, &outcome.tuned_source) {
+                    eprintln!("cmmc: cannot write {path}: {e}");
+                    return ExitCode::from(EXIT_FILE);
+                }
+                eprintln!("wrote {path}");
+            }
+            None => print!("{}", outcome.tuned_source),
+        }
+        eprintln!(
+            "cmmc tune: modeled cost {} -> {} ({}changed, verified {})",
+            outcome.baseline_cost,
+            outcome.tuned_cost,
+            if outcome.changed { "" } else { "un" },
+            outcome.verified
+        );
+    } else if report_file.is_none() {
+        print!("{}", outcome.report);
+    }
+    ExitCode::SUCCESS
 }
 
 /// Parse a byte count with an optional binary k/m/g suffix ("64k", "2M").
@@ -284,6 +390,9 @@ fn main() -> ExitCode {
     }
     if command == "serve" {
         return serve_command(&args[1..]);
+    }
+    if command == "tune" {
+        return tune_command(&args[1..]);
     }
     // One-shot commands behave like Unix filters: a closed stdout pipe
     // (`cmmc analyses | head`) ends the process, it doesn't panic. The

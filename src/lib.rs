@@ -46,6 +46,7 @@
 //! | [`forkjoin`] | `cmm-forkjoin` | SAC-style persistent thread pool |
 //! | [`serve`] | `cmm-serve` | crash-isolated multi-tenant compile/run daemon |
 //! | [`fuzz`] | `cmm-fuzz` | differential fuzzing: generator, oracles, minimizer |
+//! | [`tune`] | `cmm-tune` | profile-guided autotuner for transform directives |
 //! | [`rc`] | `cmm-rc` | refcounted buffers, pool allocator |
 //! | [`eddy`] | `cmm-eddy` | the §IV ocean-eddy application |
 //! | extensions | `cmm-ext-*` | grammar + AG specification fragments |
@@ -67,3 +68,4 @@ pub use cmm_loopir as loopir;
 pub use cmm_rc as rc;
 pub use cmm_runtime as runtime;
 pub use cmm_serve as serve;
+pub use cmm_tune as tune;

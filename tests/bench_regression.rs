@@ -27,6 +27,13 @@
 //! gate that replays quiet scalar roundtrips against an in-process
 //! daemon and fails if the measured p50 regresses past 2× the
 //! checked-in `quiet_roundtrip_us.run_scalar_p50`.
+//!
+//! A fourth family gates `BENCH_tune.json` (schema v1), whose headline
+//! numbers are host-independent modeled costs: on the imbalanced
+//! profile target the autotuner must record a verified improvement
+//! over the untuned baseline, and on the already-balanced pipeline
+//! target it must verify without pessimizing. Always-run — a
+//! regenerated artifact showing the tuner losing fails the build.
 
 use std::time::Instant;
 
@@ -37,6 +44,7 @@ const PROGRAM: &str = include_str!("../examples/pipeline_profile.xc");
 const TRAJECTORY: &str = include_str!("../BENCH_pipeline.json");
 const SCHEDULE_TRAJECTORY: &str = include_str!("../BENCH_schedule.json");
 const SERVE_TRAJECTORY: &str = include_str!("../BENCH_serve.json");
+const TUNE_TRAJECTORY: &str = include_str!("../BENCH_tune.json");
 const THREADS: usize = 4;
 
 /// First `"<key>": <uint>` after `anchor` in the hand-rolled trajectory
@@ -211,6 +219,68 @@ fn serve_artifact_shows_idle_connections_cost_no_threads() {
         "process thread count grew by {delta} with {idle_conns} idle connections open \
          (before {before}, with {with_idle}); idle connections must not cost threads"
     );
+}
+
+/// First `"<key>": <uint>` after `block` in BENCH_tune.json.
+fn tune_u64(block: &str, key: &str) -> u64 {
+    let at = TUNE_TRAJECTORY
+        .find(&format!("\"{block}\""))
+        .unwrap_or_else(|| panic!("BENCH_tune.json has a {block} block"));
+    let tail = &TUNE_TRAJECTORY[at..];
+    let key = format!("\"{key}\": ");
+    let at = tail.find(&key).unwrap_or_else(|| panic!("{block}.{key} missing"));
+    let digits: String = tail[at + key.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().unwrap_or_else(|_| panic!("{block}.{key} is not a uint"))
+}
+
+/// The `block` object in BENCH_tune.json contains `"<key>": <bool>`.
+fn tune_bool(block: &str, key: &str) -> bool {
+    let at = TUNE_TRAJECTORY
+        .find(&format!("\"{block}\""))
+        .unwrap_or_else(|| panic!("BENCH_tune.json has a {block} block"));
+    let tail = &TUNE_TRAJECTORY[at..];
+    if tail.contains(&format!("\"{key}\": true")) {
+        true
+    } else if tail.contains(&format!("\"{key}\": false")) {
+        false
+    } else {
+        panic!("{block}.{key} is not a bool")
+    }
+}
+
+#[test]
+fn tune_artifact_shows_verified_improvement_on_imbalanced() {
+    assert!(
+        TUNE_TRAJECTORY.contains("\"schema\": \"cmm-bench-tune-v1\""),
+        "BENCH_tune.json schema tag; regenerate with `cargo bench -p cmm-bench --bench tune`"
+    );
+    let baseline = tune_u64("imbalanced.xc", "baseline_modeled_cost");
+    let tuned = tune_u64("imbalanced.xc", "tuned_modeled_cost");
+    assert!(
+        tuned < baseline,
+        "the autotuner must record a modeled win on the triangular workload \
+         (baseline {baseline} vs tuned {tuned}); regenerate with \
+         `cargo bench -p cmm-bench --bench tune`"
+    );
+    assert!(tune_bool("imbalanced.xc", "changed"), "imbalanced winner must differ from baseline");
+    assert!(tune_bool("imbalanced.xc", "verified"), "tuned imbalanced program must verify");
+}
+
+#[test]
+fn tune_artifact_never_pessimizes() {
+    // On every recorded program the tuned modeled cost is at most the
+    // baseline's (the empty directive set is always a candidate) and
+    // the joint result verified — including the already-balanced
+    // pipeline target, where the honest answer is "leave it alone".
+    for prog in ["imbalanced.xc", "pipeline_profile.xc"] {
+        let baseline = tune_u64(prog, "baseline_modeled_cost");
+        let tuned = tune_u64(prog, "tuned_modeled_cost");
+        assert!(tuned <= baseline, "{prog}: tuned {tuned} worse than baseline {baseline}");
+        assert!(tune_bool(prog, "verified"), "{prog}: joint result must verify");
+    }
 }
 
 #[test]

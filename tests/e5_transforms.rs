@@ -292,3 +292,186 @@ fn reorder_requires_perfect_nest() {
     let msg = err.to_string();
     assert!(msg.contains("perfect") || msg.contains("nest"), "{msg}");
 }
+
+// ------------------------------------------------------- compositions
+//
+// The autotuner proposes directive *combinations* (tile + schedule,
+// split + schedule, …), so the compositions it can emit are pinned
+// here: legal ones keep their semantics including the tail epilogues
+// non-divisible extents need, and conflicting ones die in the legality
+// checks with a typed error — never a miscompile.
+
+#[test]
+fn tile_then_schedule_the_tiled_outer_loop() {
+    // `tile` introduces `x_out`; a subsequent `schedule` addresses it
+    // like any other loop and pins its policy on the tiled nest.
+    let compiler = full_compiler();
+    let src = r#"
+int main() {
+    int n = 8;
+    Matrix int <2> g = init(Matrix int <2>, n, n);
+    g = with ([0, 0] <= [x, y] < [n, n]) genarray([n, n], x * 8 + y)
+        transform tile x, y by 4, 4. schedule x_out dynamic, 1;
+    printInt(g[7, 7]);
+    return 0;
+}
+"#;
+    let ir = compiler.compile(src).expect("translate");
+    let main = ir.function("main").expect("main");
+    let xo = find_loop(&main.body, "x_out").expect("x_out");
+    assert!(xo.parallel, "schedule implies parallel");
+    assert_eq!(xo.schedule, Some(cmm::loopir::Schedule::Dynamic { chunk: 1 }));
+    for threads in [1, 4] {
+        let r = compiler.run(src, threads).expect("run");
+        assert_eq!(r.output, "63\n");
+    }
+}
+
+#[test]
+fn split_of_a_tiled_loop_composes() {
+    // Splitting one of tile's product loops nests a third level inside
+    // the tile body.
+    let compiler = full_compiler();
+    let src = r#"
+int main() {
+    int n = 8;
+    Matrix int <2> g = init(Matrix int <2>, n, n);
+    g = with ([0, 0] <= [x, y] < [n, n]) genarray([n, n], x * 8 + y)
+        transform tile x, y by 4, 4. split x_in by 2, xa, xb;
+    int s = with ([0, 0] <= [x, y] < [n, n]) fold(+, 0, g[x, y]);
+    printInt(s);
+    return 0;
+}
+"#;
+    let ir = compiler.compile(src).expect("translate");
+    let main = ir.function("main").expect("main");
+    let xo = find_loop(&main.body, "x_out").expect("x_out");
+    let xb = find_loop(&xo.body, "xb").expect("xb (split outer) inside the tile");
+    find_loop(&xb.body, "xa").expect("xa (split inner) under xb");
+    let expected: i64 = (0..8).flat_map(|x| (0..8).map(move |y| x * 8 + y)).sum();
+    let r = compiler.run(src, 2).expect("run");
+    assert_eq!(r.output, format!("{expected}\n"));
+}
+
+#[test]
+fn composed_transforms_keep_tail_epilogues() {
+    // 10×7 tiled by 3×3 — neither extent divides — then the tiled outer
+    // loop is self-scheduled. Every element must still be written
+    // exactly once (the fold sees any dropped tail).
+    let compiler = full_compiler();
+    let src = r#"
+int main() {
+    int m = 10;
+    int n = 7;
+    Matrix int <2> g = init(Matrix int <2>, m, n);
+    g = with ([0, 0] <= [x, y] < [m, n]) genarray([m, n], x * 100 + y)
+        transform tile x, y by 3, 3. schedule x_out dynamic, 1;
+    int s = with ([0, 0] <= [x, y] < [m, n]) fold(+, 0, g[x, y]);
+    printInt(s);
+    return 0;
+}
+"#;
+    let expected: i64 = (0..10).flat_map(|x| (0..7).map(move |y| x * 100 + y)).sum();
+    for threads in [1, 3] {
+        let r = compiler.run(src, threads).expect("run");
+        assert_eq!(r.output, format!("{expected}\n"), "dropped tail at {threads} threads");
+    }
+
+    // Same property for split + unroll + schedule on a 10-element loop
+    // split by 4: the epilogue survives both follow-on transforms.
+    let src2 = r#"
+int main() {
+    int n = 10;
+    Matrix int <1> v = init(Matrix int <1>, n);
+    v = with ([0] <= [x] < [n]) genarray([n], x + 1)
+        transform split x by 4, xin, xout. unroll xin by 2. schedule xout guided;
+    int s = with ([0] <= [x] < [n]) fold(+, 0, v[x]);
+    printInt(s);
+    return 0;
+}
+"#;
+    for threads in [1, 4] {
+        let r = compiler.run(src2, threads).expect("run");
+        assert_eq!(r.output, "55\n", "1+2+...+10 with tail, at {threads} threads");
+    }
+}
+
+#[test]
+fn conflicting_directives_fail_with_typed_errors() {
+    let compiler = full_compiler();
+    // Re-tiling a tiled nest collides on the product names.
+    let err = compiler
+        .compile(
+            r#"
+int main() {
+    int n = 8;
+    Matrix int <2> g = init(Matrix int <2>, n, n);
+    g = with ([0, 0] <= [x, y] < [n, n]) genarray([n, n], x * 8 + y)
+        transform tile x, y by 4, 4. tile x, y by 2, 2;
+    return 0;
+}
+"#,
+        )
+        .expect_err("tile of tile must reject");
+    assert!(err.to_string().contains("collides"), "{err}");
+
+    // A split whose product name shadows an existing loop, likewise.
+    let err = compiler
+        .compile(
+            r#"
+int main() {
+    int n = 8;
+    Matrix int <1> v = init(Matrix int <1>, n);
+    v = with ([0] <= [x] < [n]) genarray([n], x + 1)
+        transform split x by 4, xin, xout. split xin by 2, xin, deep;
+    return 0;
+}
+"#,
+        )
+        .expect_err("split name reuse must reject");
+    assert!(err.to_string().contains("collides"), "{err}");
+
+    // A duplicated index in interchange/reorder would rebuild the nest
+    // with one loop repeated, silently dropping another — rejected as
+    // ambiguous instead of miscompiled.
+    for directive in ["interchange x, x", "reorder x, x"] {
+        let err = compiler
+            .compile(&format!(
+                r#"
+int main() {{
+    int n = 8;
+    Matrix int <2> g = init(Matrix int <2>, n, n);
+    g = with ([0, 0] <= [x, y] < [n, n]) genarray([n, n], x * 8 + y)
+        transform {directive};
+    return 0;
+}}
+"#
+            ))
+            .expect_err("duplicate index must reject");
+        assert!(err.to_string().contains("more than one"), "{directive}: {err}");
+    }
+}
+
+#[test]
+fn duplicate_schedules_last_one_wins() {
+    // Two schedules on the same loop compose in source order like any
+    // other directive pair: the second overwrites the policy.
+    let compiler = full_compiler();
+    let src = r#"
+int main() {
+    int n = 8;
+    Matrix int <1> v = init(Matrix int <1>, n);
+    v = with ([0] <= [x] < [n]) genarray([n], x + 1)
+        transform schedule x dynamic, 2. schedule x guided;
+    int s = with ([0] <= [x] < [n]) fold(+, 0, v[x]);
+    printInt(s);
+    return 0;
+}
+"#;
+    let ir = compiler.compile(src).expect("translate");
+    let main = ir.function("main").expect("main");
+    let x = find_loop(&main.body, "x").expect("x loop");
+    assert_eq!(x.schedule, Some(cmm::loopir::Schedule::Guided { min_chunk: 1 }));
+    let r = compiler.run(src, 4).expect("run");
+    assert_eq!(r.output, "36\n");
+}
